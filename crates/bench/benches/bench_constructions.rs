@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the lower-bound constructions: building
+//! G(ℓ,β) and checking its dichotomy, and building G_S.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dsa_graphs::gen;
+use dsa_lowerbounds::construction_g::{GConstruction, GParams};
+use dsa_lowerbounds::construction_gs::GsConstruction;
+use dsa_lowerbounds::disjointness::random_intersecting;
+
+fn bench_build_g(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constructions/build_g");
+    group.sample_size(10);
+    for (ell, beta) in [(4usize, 8usize), (6, 12), (8, 16)] {
+        let params = GParams { ell, beta };
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = random_intersecting(params.input_len(), 1, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ell}x{beta}")),
+            &inst,
+            |b, inst| b.iter(|| GConstruction::build(params, inst.clone())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_forced_edges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constructions/forced_d_edges");
+    group.sample_size(10);
+    let params = GParams { ell: 6, beta: 12 };
+    let mut rng = StdRng::seed_from_u64(2);
+    let inst = random_intersecting(params.input_len(), 3, &mut rng);
+    let g = GConstruction::build(params, inst);
+    group.bench_function("6x12", |b| b.iter(|| g.forced_d_edges()));
+    group.finish();
+}
+
+fn bench_build_gs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constructions/build_gs");
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = gen::gnp_connected(100, 0.1, &mut rng);
+    group.bench_function("n100", |b| b.iter(|| GsConstruction::build(&g)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_g, bench_forced_edges, bench_build_gs);
+criterion_main!(benches);

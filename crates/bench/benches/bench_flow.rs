@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the flow substrate: Dinic max-flow and the
+//! Goldberg densest-subgraph oracle that every engine iteration calls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dsa_flow::{densest_subgraph, MaxFlow};
+
+fn random_local_graph(n: usize, p: f64, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+fn bench_densest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow/densest_subgraph");
+    for n in [16usize, 32, 64, 128] {
+        let edges = random_local_graph(n, 0.3, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &edges, |b, edges| {
+            b.iter(|| densest_subgraph(n, edges))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dinic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow/dinic");
+    for n in [32usize, 128] {
+        let edges = random_local_graph(n, 0.3, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &edges, |b, edges| {
+            b.iter(|| {
+                let mut net = MaxFlow::new(n + 2);
+                for &(u, v) in edges {
+                    net.add_edge(u, v, 3);
+                    net.add_edge(v, u, 3);
+                }
+                for v in 1..n {
+                    net.add_edge(n, v, 2);
+                    net.add_edge(v, n + 1, 2);
+                }
+                net.max_flow(n, n + 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_densest, bench_dinic);
+criterion_main!(benches);

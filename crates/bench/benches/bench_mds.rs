@@ -1,0 +1,36 @@
+//! Criterion benchmarks for the CONGEST MDS protocol (E5 runtime side)
+//! against the sequential greedy baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dsa_graphs::gen;
+use dsa_mds::{greedy_mds, run_mds_protocol};
+
+fn bench_mds_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mds/protocol");
+    group.sample_size(10);
+    for &(n, p) in &[(128usize, 0.06), (256, 0.04), (512, 0.02)] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = gen::gnp_connected(n, p, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| run_mds_protocol(g, 1, 1_000_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mds_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mds/greedy");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = gen::gnp_connected(512, 0.02, &mut rng);
+    group.bench_function("greedy_512", |b| b.iter(|| greedy_mds(&g)));
+    let grid = gen::grid(24, 24);
+    group.bench_function("greedy_grid24", |b| b.iter(|| greedy_mds(&grid)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_mds_protocol, bench_mds_baseline);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the 2-spanner algorithms (E1 runtime side):
+//! the distributed engine across sizes and variants, the sequential
+//! greedy baseline, and the message-passing protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dsa_core::dist::{
+    min_2_spanner, min_2_spanner_directed, min_2_spanner_weighted, EngineConfig,
+};
+use dsa_core::protocol::run_two_spanner_protocol;
+use dsa_core::seq::greedy_2_spanner;
+use dsa_graphs::gen;
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_spanner/engine");
+    group.sample_size(10);
+    for &(n, p) in &[(64usize, 0.25), (128, 0.15), (256, 0.10)] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = gen::gnp_connected(n, p, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| min_2_spanner(g, &EngineConfig::seeded(1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_spanner/variants");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = gen::gnp_connected(96, 0.15, &mut rng);
+    let w = gen::random_weights(g.num_edges(), 1, 8, &mut rng);
+    let dg = gen::random_digraph_connected(96, 0.08, &mut rng);
+
+    group.bench_function("undirected", |b| {
+        b.iter(|| min_2_spanner(&g, &EngineConfig::seeded(1)))
+    });
+    group.bench_function("weighted", |b| {
+        b.iter(|| min_2_spanner_weighted(&g, &w, &EngineConfig::seeded(1)))
+    });
+    group.bench_function("directed", |b| {
+        b.iter(|| min_2_spanner_directed(&dg, &EngineConfig::seeded(1)))
+    });
+    group.bench_function("greedy_baseline", |b| b.iter(|| greedy_2_spanner(&g)));
+    group.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_spanner/protocol");
+    group.sample_size(10);
+    for &(n, p) in &[(32usize, 0.25), (64, 0.15)] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = gen::gnp_connected(n, p, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| run_two_spanner_protocol(g, 1, 1_000_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_scaling, bench_variants, bench_protocol);
+criterion_main!(benches);

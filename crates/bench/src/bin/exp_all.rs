@@ -1,0 +1,42 @@
+//! Convenience driver: runs every experiment binary in sequence
+//! (resolving siblings next to the current executable), printing each
+//! one's tables with a header. `cargo run --release -p dsa-bench --bin
+//! exp_all` regenerates everything EXPERIMENTS.md archives.
+
+use std::process::Command;
+
+const ORDER: &[(&str, &str)] = &[
+    ("exp_constructions", "F1 F2 F3 — structural validation of the figures"),
+    ("exp_two_spanner", "E1-E4 — Theorems 1.3, 4.9, 4.12, 4.15"),
+    ("exp_mds", "E5 — Theorem 5.1 (+ expectation-only contrast)"),
+    ("exp_hardness", "E6-E9 — Theorems 1.1, 2.8, 2.9/2.10, Section 3"),
+    ("exp_one_plus_eps", "E10 — Theorem 1.2"),
+    ("exp_separation", "E11 E12 — the separations"),
+    ("exp_ablations", "A1-A3 — Section-4 design choices"),
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe directory");
+    let mut failures = 0;
+    for (bin, what) in ORDER {
+        println!("================================================================");
+        println!("== {bin} — {what}");
+        println!("================================================================\n");
+        let path = dir.join(bin);
+        if !path.exists() {
+            eprintln!("(binary {path:?} not built — run `cargo build --release -p dsa-bench` first)\n");
+            failures += 1;
+            continue;
+        }
+        let status = Command::new(&path).status().expect("spawn sibling binary");
+        if !status.success() {
+            eprintln!("({bin} exited with {status})\n");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,67 @@
+//! E10 — Theorem 1.2: the (1+ε)-approximation in LOCAL, compared with
+//! the exact optimum on small graphs, plus the network decomposition's
+//! color count.
+
+use dsa_bench::{banner, f2, Table};
+use dsa_core::one_plus_eps::{linial_saks, one_plus_eps_spanner};
+use dsa_core::seq::exact_min_k_spanner;
+use dsa_core::verify::is_k_spanner;
+use dsa_graphs::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(10);
+
+    banner(
+        "E10a",
+        "(1+ε) vs exact optimum — ratio must stay ≤ 1+ε (small instances; the inner oracle is exponential, as the LOCAL model allows)",
+    );
+    let mut t = Table::new([
+        "n", "m", "k", "ε", "(1+ε) |H|", "exact |H*|", "ratio", "≤ 1+ε", "colors", "max r_v",
+    ]);
+    for &(n, p, k, eps) in &[
+        (9usize, 0.35, 2usize, 0.5f64),
+        (10, 0.30, 2, 0.5),
+        (11, 0.25, 2, 1.0),
+        (12, 0.22, 2, 2.0),
+        (9, 0.30, 3, 1.0),
+        (10, 0.25, 3, 2.0),
+    ] {
+        let g = gen::gnp_connected(n, p, &mut rng);
+        let run = one_plus_eps_spanner(&g, k, eps, 1);
+        assert!(is_k_spanner(&g, &run.spanner, k));
+        let opt = exact_min_k_spanner(&g, k).len();
+        let ratio = run.spanner.len() as f64 / opt as f64;
+        t.row([
+            n.to_string(),
+            g.num_edges().to_string(),
+            k.to_string(),
+            f2(eps),
+            run.spanner.len().to_string(),
+            opt.to_string(),
+            f2(ratio),
+            (ratio <= 1.0 + eps + 1e-9).to_string(),
+            run.colors.to_string(),
+            run.max_radius.to_string(),
+        ]);
+    }
+    t.print();
+
+    banner(
+        "E10b",
+        "Linial–Saks decomposition of G^r: colors stay O(log n) as n grows",
+    );
+    let mut t = Table::new(["n", "r", "colors", "log2 n"]);
+    for n in [32usize, 64, 128, 256] {
+        let g = gen::gnp_connected(n, 3.0 / n as f64, &mut rng);
+        let d = linial_saks(&g, 2, 7);
+        t.row([
+            n.to_string(),
+            "2".to_string(),
+            d.num_colors.to_string(),
+            f2((n as f64).log2()),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,164 @@
+//! E1–E4 — the distributed 2-spanner approximations (Theorems 1.3,
+//! 4.9, 4.12, 4.15): ratio and round scaling across workloads.
+
+use dsa_bench::{banner, f2, Table};
+use dsa_core::dist::{
+    min_2_spanner, min_2_spanner_client_server, min_2_spanner_directed,
+    min_2_spanner_weighted, EngineConfig,
+};
+use dsa_core::seq::{exact_min_2_spanner, greedy_2_spanner, greedy_2_spanner_weighted};
+use dsa_core::verify::{
+    coverable_clients, is_client_server_2_spanner, is_k_spanner, is_k_spanner_directed,
+    spanner_cost,
+};
+use dsa_graphs::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2018);
+
+    banner(
+        "E1",
+        "Theorem 1.3 — undirected minimum 2-spanner: ratio stays O(log m/n), iterations ≈ O(log n · log Δ)",
+    );
+    let mut t = Table::new([
+        "n", "m", "Δ", "dist |H|", "greedy |H|", "|H|/(n-1)", "ln(m/n)+1", "iters",
+        "log n·log Δ", "fallbacks",
+    ]);
+    for &(n, p) in &[
+        (64usize, 0.25),
+        (128, 0.18),
+        (256, 0.125),
+        (512, 0.09),
+        (1024, 0.0625),
+    ] {
+        let g = gen::gnp_connected(n, p, &mut rng);
+        let run = min_2_spanner(&g, &EngineConfig::seeded(n as u64));
+        assert!(run.converged && is_k_spanner(&g, &run.spanner, 2));
+        let greedy = greedy_2_spanner(&g);
+        let logn = (n as f64).log2();
+        let logd = (g.max_degree().max(2) as f64).log2();
+        t.row([
+            n.to_string(),
+            g.num_edges().to_string(),
+            g.max_degree().to_string(),
+            run.spanner.len().to_string(),
+            greedy.len().to_string(),
+            f2(run.spanner.len() as f64 / (n - 1) as f64),
+            f2((g.num_edges() as f64 / n as f64).ln() + 1.0),
+            run.iterations.to_string(),
+            f2(logn * logd),
+            run.star_fallbacks.to_string(),
+        ]);
+    }
+    t.print();
+
+    banner("E1b", "dense graphs (where 2-spanners shine): K_n and near-complete G(n,p)");
+    let mut t = Table::new(["graph", "n", "m", "dist |H|", "greedy |H|", "exact |H*|", "ratio vs opt"]);
+    for n in [8usize, 9, 10] {
+        let g = gen::complete(n);
+        let run = min_2_spanner(&g, &EngineConfig::seeded(7));
+        let greedy = greedy_2_spanner(&g);
+        let opt = exact_min_2_spanner(&g);
+        t.row([
+            format!("K{n}"),
+            n.to_string(),
+            g.num_edges().to_string(),
+            run.spanner.len().to_string(),
+            greedy.len().to_string(),
+            opt.len().to_string(),
+            f2(run.spanner.len() as f64 / opt.len() as f64),
+        ]);
+    }
+    for n in [9usize, 10] {
+        let g = gen::gnp_connected(n, 0.55, &mut rng);
+        let run = min_2_spanner(&g, &EngineConfig::seeded(9));
+        let greedy = greedy_2_spanner(&g);
+        let opt = exact_min_2_spanner(&g);
+        t.row([
+            format!("G({n},0.55)"),
+            n.to_string(),
+            g.num_edges().to_string(),
+            run.spanner.len().to_string(),
+            greedy.len().to_string(),
+            opt.len().to_string(),
+            f2(run.spanner.len() as f64 / opt.len() as f64),
+        ]);
+    }
+    t.print();
+
+    banner("E2", "Theorem 4.9 — directed 2-spanner: same shape as undirected");
+    let mut t = Table::new(["n", "m", "dist |H|", "|H|/(n-1)", "iters"]);
+    for &(n, p) in &[(64usize, 0.15), (128, 0.08), (256, 0.05)] {
+        let g = gen::random_digraph_connected(n, p, &mut rng);
+        let run = min_2_spanner_directed(&g, &EngineConfig::seeded(n as u64));
+        assert!(run.converged && is_k_spanner_directed(&g, &run.spanner, 2));
+        t.row([
+            n.to_string(),
+            g.num_edges().to_string(),
+            run.spanner.len().to_string(),
+            f2(run.spanner.len() as f64 / (n - 1) as f64),
+            run.iterations.to_string(),
+        ]);
+    }
+    t.print();
+
+    banner(
+        "E3",
+        "Theorem 4.12 — weighted 2-spanner: cost ratio O(log Δ); rounds grow with log(ΔW)",
+    );
+    let mut t = Table::new([
+        "n", "W", "dist cost", "greedy cost", "total w(G)", "cost/greedy", "iters",
+    ]);
+    for &(n, wmax) in &[(64usize, 1u64), (64, 8), (64, 64), (128, 8), (256, 8)] {
+        let g = gen::gnp_connected(n, 0.15, &mut rng);
+        let w = gen::random_weights(g.num_edges(), 1, wmax, &mut rng);
+        let run = min_2_spanner_weighted(&g, &w, &EngineConfig::seeded(n as u64 + wmax));
+        assert!(run.converged && is_k_spanner(&g, &run.spanner, 2));
+        let greedy = greedy_2_spanner_weighted(&g, &w);
+        let (dc, gc) = (
+            spanner_cost(&run.spanner, &w),
+            spanner_cost(&greedy, &w).max(1),
+        );
+        t.row([
+            n.to_string(),
+            wmax.to_string(),
+            dc.to_string(),
+            gc.to_string(),
+            w.total().to_string(),
+            f2(dc as f64 / gc as f64),
+            run.iterations.to_string(),
+        ]);
+    }
+    t.print();
+
+    banner(
+        "E4",
+        "Theorem 4.15 — client-server 2-spanner: ratio O(min{log |C|/|V(C)|, log Δ_S})",
+    );
+    let mut t = Table::new([
+        "n", "|C|", "|S|", "coverable", "dist |H|", "iters",
+    ]);
+    for &(n, pc, ps) in &[
+        (64usize, 0.7, 0.5),
+        (128, 0.5, 0.6),
+        (256, 0.4, 0.7),
+    ] {
+        let g = gen::gnp_connected(n, 0.12, &mut rng);
+        let (clients, servers) = gen::client_server_split(&g, pc, ps, &mut rng);
+        let run =
+            min_2_spanner_client_server(&g, &clients, &servers, &EngineConfig::seeded(n as u64));
+        assert!(run.converged);
+        assert!(is_client_server_2_spanner(&g, &clients, &servers, &run.spanner));
+        t.row([
+            n.to_string(),
+            clients.len().to_string(),
+            servers.len().to_string(),
+            coverable_clients(&g, &clients, &servers).len().to_string(),
+            run.spanner.len().to_string(),
+            run.iterations.to_string(),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,104 @@
+//! Experiment harness for the PODC'18 spanner reproduction.
+//!
+//! One binary per experiment group (see DESIGN.md §5 for the index):
+//!
+//! | binary | experiments |
+//! |---|---|
+//! | `exp_constructions` | F1 F2 F3 |
+//! | `exp_two_spanner` | E1 E2 E3 E4 |
+//! | `exp_mds` | E5 |
+//! | `exp_hardness` | E6 E7 E8 E9 |
+//! | `exp_one_plus_eps` | E10 |
+//! | `exp_separation` | E11 E12 |
+//! | `exp_ablations` | A1 A2 A3 |
+//!
+//! Each binary prints self-contained markdown tables; EXPERIMENTS.md
+//! archives one representative run of each. `cargo bench` runs the
+//! Criterion performance benchmarks in `benches/`.
+
+/// A minimal fixed-width markdown table printer, so every experiment
+/// binary reports in the same shape.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Prints the table as markdown.
+    pub fn print(&self) {
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            let body: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            format!("| {} |", body.join(" | "))
+        };
+        println!("{}", fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("|-{}-|", sep.join("-|-"));
+        for r in &self.rows {
+            println!("{}", fmt_row(r));
+        }
+        println!();
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("### {id} — {title}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new(["a", "bb"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        assert_eq!(t.rows.len(), 2);
+        t.print(); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a"]);
+        t.row(["1", "2"]);
+    }
+}

@@ -1,0 +1,52 @@
+//! The primary contribution of *Distributed Spanner Approximation*
+//! (Censor-Hillel & Dory, PODC 2018): distributed approximation
+//! algorithms for minimum k-spanner problems, together with the
+//! sequential baselines the paper compares against and independent
+//! verifiers for every variant.
+//!
+//! # Map from paper to modules
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §4 distributed min 2-spanner (Thm 1.3) | [`dist`] ([`dist::min_2_spanner`]) |
+//! | §4.3.1 directed (Thm 4.9) | [`dist::min_2_spanner_directed`] |
+//! | §4.3.2 weighted (Thm 4.12) | [`dist::min_2_spanner_weighted`] |
+//! | §4.3.3 client-server (Thm 4.15) | [`dist::min_2_spanner_client_server`] |
+//! | §4.1 star-choice mechanism | [`star`] |
+//! | §6 (1+ε)-approximation (Thm 1.2) | [`one_plus_eps`] |
+//! | §4 LOCAL protocol, message-level | [`protocol`] |
+//! | Kortsarz–Peleg greedy baseline \[46\] | [`seq`] |
+//! | Baswana–Sen (2k−1)-spanners \[7, 28\] | [`sparse`] |
+//! | spanner definitions (§1.5) as checkers | [`verify`] |
+//!
+//! # Quick start
+//!
+//! ```
+//! use dsa_core::dist::{min_2_spanner, EngineConfig};
+//! use dsa_core::verify::is_k_spanner;
+//! use dsa_graphs::gen::complete_bipartite;
+//!
+//! // Complete bipartite graphs are the worst case for 2-spanner
+//! // sparsity — the paper's motivating example.
+//! let g = complete_bipartite(6, 6);
+//! let run = min_2_spanner(&g, &EngineConfig::seeded(42));
+//! assert!(run.converged);
+//! assert!(is_k_spanner(&g, &run.spanner, 2));
+//! println!(
+//!     "spanner: {} of {} edges in {} iterations",
+//!     run.spanner.len(),
+//!     g.num_edges(),
+//!     run.iterations
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod one_plus_eps;
+pub mod protocol;
+pub mod seq;
+pub mod sparse;
+pub mod star;
+pub mod verify;

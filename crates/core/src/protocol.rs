@@ -1,0 +1,931 @@
+//! The Section-4 minimum 2-spanner algorithm as a genuine
+//! message-passing LOCAL protocol.
+//!
+//! [`crate::dist`] runs the algorithm through a centrally-scheduled
+//! engine; this module spells out the actual communication, so that
+//! (a) the claim "each iteration takes O(1) LOCAL rounds using only the
+//! 2-neighborhood" is *executed*, not asserted, and (b) the message
+//! sizes can be measured: the paper's Section 1.3 observes that a
+//! direct CONGEST implementation costs an `O(Δ)` factor because
+//! adjacency lists and candidate stars must be shipped — experiment E12
+//! measures exactly that on this protocol.
+//!
+//! One iteration = [`PHASES`] = 7 rounds:
+//!
+//! | phase | message | size (words) |
+//! |---|---|---|
+//! | 0 | endpoints of my uncovered incident edges | O(Δ) |
+//! | 1 | my density `ρ(v, H_v)` (after local flow computation) | O(1) |
+//! | 2 | max density over my closed neighborhood | O(1) |
+//! | 3 | candidacy: `r_v` + chosen star's leaves | O(Δ) |
+//! | 4 | votes (one per responsible uncovered edge) | O(1) |
+//! | 5 | accepted star leaves + leftover additions | O(Δ) |
+//! | 6 | my incident spanner edges | O(Δ) |
+//!
+//! Vertices decide everything from received messages only; the
+//! simulator enforces that messages travel one hop per round.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::Rng;
+
+use dsa_graphs::{EdgeSet, EdgeWeights, Graph, Ratio, VertexId};
+use dsa_runtime::{Metrics, Network, Outbox, Protocol, RoundCtx, Simulator, Word, WordReader, WordWriter};
+
+use crate::star::{pow2_ratio, Leaf, LocalStars, Pair};
+
+/// Rounds per algorithm iteration.
+pub const PHASES: u64 = 7;
+
+/// The LOCAL 2-spanner protocol: undirected, unweighted by default,
+/// or weighted via [`TwoSpannerProtocol::weighted`] (Section 4.3.2 —
+/// densities become `|C_S|/w(S)`, weight-0 edges are pre-adopted, and
+/// the candidacy/termination threshold becomes a power of two at most
+/// `1/w_max` over the 2-neighborhood, aggregated by messages like the
+/// densities are).
+///
+/// The phase schedule starts with a phase-6 round so that pre-adopted
+/// weight-0 edges are announced before the first density computation.
+#[derive(Clone, Debug)]
+pub struct TwoSpannerProtocol<'a> {
+    /// Acceptance rule: `votes ≥ |C_v| / accept_denominator` (paper: 8).
+    pub accept_denominator: u64,
+    mode: Mode<'a>,
+}
+
+/// Which Section-4 variant the protocol runs.
+#[derive(Clone, Debug)]
+enum Mode<'a> {
+    Unweighted,
+    Weighted {
+        g: &'a Graph,
+        w: &'a EdgeWeights,
+    },
+    ClientServer {
+        g: &'a Graph,
+        clients: &'a EdgeSet,
+        servers: &'a EdgeSet,
+    },
+}
+
+impl Default for TwoSpannerProtocol<'_> {
+    fn default() -> Self {
+        TwoSpannerProtocol {
+            accept_denominator: 8,
+            mode: Mode::Unweighted,
+        }
+    }
+}
+
+impl<'a> TwoSpannerProtocol<'a> {
+    /// The weighted-variant protocol (Theorem 4.12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights don't match the graph.
+    pub fn weighted(g: &'a Graph, w: &'a EdgeWeights) -> Self {
+        assert_eq!(w.len(), g.num_edges(), "weights must match edges");
+        TwoSpannerProtocol {
+            accept_denominator: 8,
+            mode: Mode::Weighted { g, w },
+        }
+    }
+
+    /// The client-server variant protocol (Theorem 4.15): stars use
+    /// server edges only, only client edges need covering, the
+    /// threshold is 1/2, and termination is strict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label universes don't match the graph.
+    pub fn client_server(
+        g: &'a Graph,
+        clients: &'a EdgeSet,
+        servers: &'a EdgeSet,
+    ) -> Self {
+        assert_eq!(clients.universe(), g.num_edges(), "client set mismatch");
+        assert_eq!(servers.universe(), g.num_edges(), "server set mismatch");
+        TwoSpannerProtocol {
+            accept_denominator: 8,
+            mode: Mode::ClientServer {
+                g,
+                clients,
+                servers,
+            },
+        }
+    }
+
+    /// Weight of the edge between `v` and its neighbor `u` (1 when
+    /// not in weighted mode).
+    fn edge_weight(&self, v: VertexId, u: VertexId) -> u64 {
+        match self.mode {
+            Mode::Weighted { g, w } => w.get(g.edge_id(v, u).expect("neighbor edge")),
+            _ => 1,
+        }
+    }
+
+    /// Whether the edge `{v, u}` may join the spanner (a server edge).
+    fn is_server(&self, v: VertexId, u: VertexId) -> bool {
+        match self.mode {
+            Mode::ClientServer { g, servers, .. } => {
+                servers.contains(g.edge_id(v, u).expect("neighbor edge"))
+            }
+            _ => true,
+        }
+    }
+
+    /// Whether the edge `{v, u}` needs covering (a client edge).
+    fn is_client(&self, v: VertexId, u: VertexId) -> bool {
+        match self.mode {
+            Mode::ClientServer { g, clients, .. } => {
+                clients.contains(g.edge_id(v, u).expect("neighbor edge"))
+            }
+            _ => true,
+        }
+    }
+}
+
+/// Per-vertex protocol state.
+#[derive(Debug)]
+pub struct TwoSpannerNode {
+    neighbors: Vec<VertexId>,
+    /// Other endpoints of my incident spanner edges.
+    h_inc: BTreeSet<VertexId>,
+    /// Other endpoints of my incident *covered* edges.
+    covered_inc: BTreeSet<VertexId>,
+    /// Iteration scratch: the star search space built in phase 1.
+    local: LocalStars,
+    /// Pair `p` of `local` spans the edge `hv_pairs[p.items[0]]`.
+    hv_pairs: Vec<(VertexId, VertexId)>,
+    rho: Ratio,
+    max1: Ratio,
+    /// Candidate scratch: chosen leaves, snapshot |C_v|, r_v.
+    candidate: Option<(Vec<bool>, u64, u64)>,
+    /// Star memory for the Section 4.1 monotone choice.
+    prev_star: Option<(i32, Vec<bool>)>,
+    /// Leftover edges recorded at termination, announced in phase 5.
+    pending_leftovers: Vec<VertexId>,
+    /// Max incident edge weight, aggregated like the densities so the
+    /// weighted threshold `1/w_max` can be computed over the
+    /// 2-neighborhood (1 everywhere when unweighted).
+    my_wmax: u64,
+    wmax1: u64,
+    /// Neighbors over server edges (all neighbors outside
+    /// client-server mode) — the potential star leaves.
+    server_nbrs: Vec<VertexId>,
+    terminated: bool,
+    votes: u64,
+    done: bool,
+}
+
+impl TwoSpannerNode {
+    /// Neighbors whose edge to me is still uncovered.
+    fn uncovered_inc(&self) -> Vec<VertexId> {
+        self.neighbors
+            .iter()
+            .copied()
+            .filter(|u| !self.covered_inc.contains(u))
+            .collect()
+    }
+}
+
+impl Protocol for TwoSpannerProtocol<'_> {
+    type Node = TwoSpannerNode;
+
+    fn init(&self, ctx: &mut RoundCtx<'_>) -> TwoSpannerNode {
+        // Weighted mode pre-adopts weight-0 incident edges; they are
+        // both in H and covered from the start. Client-server mode
+        // marks non-client incident edges covered (they are not
+        // targets) and restricts star leaves to server neighbors.
+        let mut h_inc = BTreeSet::new();
+        let mut covered_inc = BTreeSet::new();
+        let mut my_wmax = 1;
+        if matches!(self.mode, Mode::Weighted { .. }) {
+            for &u in ctx.neighbors {
+                let w = self.edge_weight(ctx.me, u);
+                my_wmax = my_wmax.max(w);
+                if w == 0 {
+                    h_inc.insert(u);
+                    covered_inc.insert(u);
+                }
+            }
+        }
+        if matches!(self.mode, Mode::ClientServer { .. }) {
+            for &u in ctx.neighbors {
+                if !self.is_client(ctx.me, u) {
+                    covered_inc.insert(u);
+                }
+            }
+        }
+        let server_nbrs: Vec<VertexId> = ctx
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|&u| self.is_server(ctx.me, u))
+            .collect();
+        TwoSpannerNode {
+            neighbors: ctx.neighbors.to_vec(),
+            h_inc,
+            covered_inc,
+            local: LocalStars::default(),
+            hv_pairs: Vec::new(),
+            rho: Ratio::zero(),
+            max1: Ratio::zero(),
+            candidate: None,
+            prev_star: None,
+            pending_leftovers: Vec::new(),
+            my_wmax,
+            wmax1: my_wmax,
+            server_nbrs,
+            terminated: false,
+            votes: 0,
+            done: ctx.neighbors.is_empty(),
+        }
+    }
+
+    fn round(&self, node: &mut TwoSpannerNode, ctx: &mut RoundCtx<'_>, out: &mut Outbox) {
+        // Round 1 runs phase 6 so pre-adopted weight-0 edges are
+        // announced before the first density computation.
+        match (ctx.round - 1 + 6) % PHASES {
+            0 => phase0_uncovered(self, node, ctx, out),
+            1 => phase1_density(self, node, ctx, out),
+            2 => phase2_max1(node, ctx, out),
+            3 => phase3_candidacy(self, node, ctx, out),
+            4 => phase4_votes(node, ctx, out),
+            5 => phase5_accept(self, node, ctx, out),
+            6 => phase6_share_h(node, ctx, out),
+            _ => unreachable!(),
+        }
+    }
+
+    fn is_done(&self, node: &TwoSpannerNode) -> bool {
+        node.done
+    }
+}
+
+/// Phase 0: refresh coverage knowledge from the phase-6 spanner lists,
+/// then broadcast my uncovered incident edges.
+fn phase0_uncovered(
+    p: &TwoSpannerProtocol<'_>,
+    node: &mut TwoSpannerNode,
+    ctx: &mut RoundCtx<'_>,
+    out: &mut Outbox,
+) {
+    if ctx.round > 1 {
+        // Inbox: each neighbor's incident-spanner list, plus its
+        // incident-server list (used once, below).
+        let mut nbr_h: BTreeMap<VertexId, BTreeSet<VertexId>> = BTreeMap::new();
+        let mut nbr_servers: BTreeMap<VertexId, BTreeSet<VertexId>> = BTreeMap::new();
+        for env in ctx.inbox {
+            let mut r = WordReader::new(&env.words);
+            let list: BTreeSet<VertexId> =
+                r.read_list().into_iter().map(|w| w as VertexId).collect();
+            let server_list: BTreeSet<VertexId> =
+                r.read_list().into_iter().map(|w| w as VertexId).collect();
+            nbr_h.insert(env.from, list);
+            nbr_servers.insert(env.from, server_list);
+        }
+        // First phase 0 only: exclude incident client edges that no
+        // server edges can ever cover (Section 4.3.3 restricts the
+        // problem to coverable clients). Decidable locally from the
+        // neighbors' server lists.
+        if ctx.round == 2 && matches!(p.mode, Mode::ClientServer { .. }) {
+            for &w in &node.neighbors.clone() {
+                if node.covered_inc.contains(&w) {
+                    continue;
+                }
+                let self_server = p.is_server(ctx.me, w);
+                let coverable_via_path = node.neighbors.iter().any(|x| {
+                    nbr_servers
+                        .get(x)
+                        .is_some_and(|list| list.contains(&ctx.me) && list.contains(&w))
+                });
+                if !self_server && !coverable_via_path {
+                    node.covered_inc.insert(w);
+                }
+            }
+        }
+        for &w in &node.neighbors.clone() {
+            if node.covered_inc.contains(&w) {
+                continue;
+            }
+            let direct = node.h_inc.contains(&w);
+            let via_two_path = node.neighbors.iter().any(|x| {
+                nbr_h
+                    .get(x)
+                    .is_some_and(|list| list.contains(&ctx.me) && list.contains(&w))
+            });
+            if direct || via_two_path {
+                node.covered_inc.insert(w);
+            }
+        }
+        node.done = node.covered_inc.len() == node.neighbors.len();
+    }
+    let mut msg = WordWriter::new();
+    let uncov: Vec<Word> = node.uncovered_inc().iter().map(|&u| u as Word).collect();
+    msg.push_list(&uncov);
+    out.broadcast(&node.neighbors, msg.finish());
+}
+
+/// Phase 1: build `H_v` from the received lists, compute the densest
+/// star density with the flow oracle, broadcast it together with my
+/// maximum incident weight (for the weighted threshold aggregate).
+fn phase1_density(
+    p: &TwoSpannerProtocol<'_>,
+    node: &mut TwoSpannerNode,
+    ctx: &mut RoundCtx<'_>,
+    out: &mut Outbox,
+) {
+    // Potential leaves: server neighbors (all neighbors outside
+    // client-server mode).
+    let nbr_set: BTreeSet<VertexId> = node.server_nbrs.iter().copied().collect();
+    let index: BTreeMap<VertexId, usize> = node
+        .server_nbrs
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| (u, i))
+        .collect();
+    let mut pairs: Vec<Pair> = Vec::new();
+    let mut hv_pairs: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut seen: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
+    for env in ctx.inbox {
+        let u = env.from;
+        let mut r = WordReader::new(&env.words);
+        for w in r.read_list() {
+            let w = w as VertexId;
+            // {u, w} is an uncovered edge; it belongs to H_v iff both
+            // endpoints are my neighbors.
+            if !nbr_set.contains(&w) || !nbr_set.contains(&u) {
+                continue;
+            }
+            let key = (u.min(w), u.max(w));
+            if !seen.insert(key) {
+                continue;
+            }
+            let item = hv_pairs.len();
+            hv_pairs.push(key);
+            pairs.push(Pair {
+                a: index[&key.0],
+                b: index[&key.1],
+                items: vec![item],
+            });
+        }
+    }
+    let leaves: Vec<Leaf> = node
+        .server_nbrs
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| Leaf {
+            vertex: u,
+            weight: p.edge_weight(ctx.me, u),
+            edges: vec![i],
+        })
+        .collect();
+    node.local = LocalStars { leaves, pairs };
+    node.hv_pairs = hv_pairs;
+    node.rho = node.local.max_density().unwrap_or_else(Ratio::zero);
+
+    let mut msg = WordWriter::new();
+    msg.push_ratio(node.rho);
+    msg.push(node.my_wmax);
+    out.broadcast(&node.neighbors, msg.finish());
+}
+
+/// Phase 2: aggregate the closed-neighborhood maxima of density and
+/// incident weight.
+fn phase2_max1(node: &mut TwoSpannerNode, ctx: &mut RoundCtx<'_>, out: &mut Outbox) {
+    let mut max1 = node.rho;
+    let mut wmax1 = node.my_wmax;
+    for env in ctx.inbox {
+        let mut r = WordReader::new(&env.words);
+        max1 = max1.max(r.read_ratio());
+        wmax1 = wmax1.max(r.read());
+    }
+    node.max1 = max1;
+    node.wmax1 = wmax1;
+    let mut msg = WordWriter::new();
+    msg.push_ratio(max1);
+    msg.push(wmax1);
+    out.broadcast(&node.neighbors, msg.finish());
+}
+
+/// Phase 3: decide termination and candidacy; candidates announce their
+/// Section-4.1 star and permutation value.
+fn phase3_candidacy(
+    _p: &TwoSpannerProtocol<'_>,
+    node: &mut TwoSpannerNode,
+    ctx: &mut RoundCtx<'_>,
+    out: &mut Outbox,
+) {
+    let mut max2 = node.rho;
+    let mut wmax2 = node.wmax1;
+    for env in ctx.inbox {
+        let mut r = WordReader::new(&env.words);
+        max2 = max2.max(r.read_ratio());
+        wmax2 = wmax2.max(r.read());
+    }
+    // Candidacy/termination threshold: 1 unweighted; 1/2 in
+    // client-server mode; otherwise the largest power of two at most
+    // 1/w_max over the 2-neighborhood.
+    let threshold = match _p.mode {
+        Mode::ClientServer { .. } => Ratio::new(1, 2),
+        _ => {
+            let mut j = 0i32;
+            while pow2_ratio(j) < Ratio::new(wmax2.max(1), 1) {
+                j += 1;
+            }
+            pow2_ratio(-j)
+        }
+    };
+
+    // Termination (paper step 7): everything nearby has density at
+    // most the threshold (strictly below 1/2 in client-server mode).
+    let below = if matches!(_p.mode, Mode::ClientServer { .. }) {
+        max2 < threshold
+    } else {
+        max2 <= threshold
+    };
+    if !node.terminated && below {
+        node.terminated = true;
+        // Self-added leftovers must be eligible spanner edges: in
+        // client-server mode only client edges that are also servers.
+        node.pending_leftovers = node
+            .uncovered_inc()
+            .into_iter()
+            .filter(|&u| _p.is_server(ctx.me, u))
+            .collect();
+        for &u in &node.pending_leftovers.clone() {
+            node.h_inc.insert(u);
+            node.covered_inc.insert(u);
+        }
+    }
+
+    // Candidacy: ρ(v) at least the threshold and maximal rounded
+    // density in the 2-neighborhood.
+    node.candidate = None;
+    let my_key = node.rho.ceil_pow2_exponent();
+    let max_key = max2.ceil_pow2_exponent();
+    if node.rho >= threshold && my_key == max_key {
+        let exp = my_key.expect("positive density has a key");
+        let threshold = pow2_ratio(exp - 2);
+        let prev = node
+            .prev_star
+            .as_ref()
+            .filter(|(e, _)| *e == exp)
+            .map(|(_, m)| m.clone());
+        if let Some(choice) = node.local.choose_star(threshold, prev.as_deref()) {
+            let spanned = node.local.spanned_count(&choice.member);
+            if spanned > 0 {
+                let rv_max = (ctx.n.max(2) as u64).saturating_pow(4);
+                let rv = ctx.rng.gen_range(1..=rv_max);
+                node.prev_star = Some((exp, choice.member.clone()));
+                let mut msg = WordWriter::new();
+                msg.push(1);
+                msg.push(rv);
+                let leaves: Vec<Word> = node
+                    .local
+                    .leaves
+                    .iter()
+                    .zip(&choice.member)
+                    .filter(|&(_, &m)| m)
+                    .map(|(l, _)| l.vertex as Word)
+                    .collect();
+                msg.push_list(&leaves);
+                node.candidate = Some((choice.member, spanned, rv));
+                out.broadcast(&node.neighbors, msg.finish());
+                return;
+            }
+        }
+    }
+    let mut msg = WordWriter::new();
+    msg.push(0);
+    out.broadcast(&node.neighbors, msg.finish());
+}
+
+/// Phase 4: each vertex votes on behalf of the uncovered incident
+/// edges it is responsible for (smaller endpoint).
+fn phase4_votes(node: &mut TwoSpannerNode, ctx: &mut RoundCtx<'_>, out: &mut Outbox) {
+    struct Announce {
+        rv: u64,
+        leaves: BTreeSet<VertexId>,
+    }
+    let mut announces: BTreeMap<VertexId, Announce> = BTreeMap::new();
+    for env in ctx.inbox {
+        let mut r = WordReader::new(&env.words);
+        if r.read() == 1 {
+            let rv = r.read();
+            let leaves = r.read_list().into_iter().map(|w| w as VertexId).collect();
+            announces.insert(env.from, Announce { rv, leaves });
+        }
+    }
+    node.votes = 0;
+    for &w in &node.neighbors {
+        if ctx.me > w || node.covered_inc.contains(&w) {
+            continue; // covered, or the other endpoint is responsible
+        }
+        // Candidates 2-spanning {me, w} are common neighbors whose
+        // announced star contains both endpoints.
+        let winner = announces
+            .iter()
+            .filter(|(_, a)| a.leaves.contains(&ctx.me) && a.leaves.contains(&w))
+            .map(|(&x, a)| (a.rv, x))
+            .min();
+        if let Some((_, x)) = winner {
+            out.send(x, vec![w as Word]);
+        }
+    }
+}
+
+/// Phase 5: tally votes; accepted candidates adopt their star edges;
+/// everyone announces spanner additions (accepted leaves + leftovers).
+fn phase5_accept(
+    p: &TwoSpannerProtocol<'_>,
+    node: &mut TwoSpannerNode,
+    ctx: &mut RoundCtx<'_>,
+    out: &mut Outbox,
+) {
+    let votes = ctx.inbox.len() as u64;
+    let mut accepted_leaves: Vec<Word> = Vec::new();
+    if let Some((member, spanned, _rv)) = node.candidate.take() {
+        if votes * p.accept_denominator >= spanned {
+            for (leaf, &m) in node.local.leaves.iter().zip(&member) {
+                if m {
+                    node.h_inc.insert(leaf.vertex);
+                    accepted_leaves.push(leaf.vertex as Word);
+                }
+            }
+        }
+    }
+    let leftovers: Vec<Word> = node
+        .pending_leftovers
+        .drain(..)
+        .map(|u| u as Word)
+        .collect();
+    let mut msg = WordWriter::new();
+    msg.push_list(&accepted_leaves);
+    msg.push_list(&leftovers);
+    out.broadcast(&node.neighbors, msg.finish());
+}
+
+/// Phase 6: absorb announced additions, then share my incident spanner
+/// list (plus my incident server list, consumed once in the first
+/// phase 0) for the coverage refresh of the next phase 0.
+fn phase6_share_h(node: &mut TwoSpannerNode, ctx: &mut RoundCtx<'_>, out: &mut Outbox) {
+    for env in ctx.inbox {
+        let mut r = WordReader::new(&env.words);
+        let accepted: Vec<VertexId> = r.read_list().into_iter().map(|w| w as VertexId).collect();
+        let leftovers: Vec<VertexId> = r.read_list().into_iter().map(|w| w as VertexId).collect();
+        if accepted.contains(&ctx.me) || leftovers.contains(&ctx.me) {
+            node.h_inc.insert(env.from);
+        }
+    }
+    let list: Vec<Word> = node.h_inc.iter().map(|&u| u as Word).collect();
+    let servers: Vec<Word> = node.server_nbrs.iter().map(|&u| u as Word).collect();
+    let mut msg = WordWriter::new();
+    msg.push_list(&list);
+    msg.push_list(&servers);
+    out.broadcast(&node.neighbors, msg.finish());
+}
+
+/// Result of a protocol run.
+#[derive(Debug)]
+pub struct ProtocolRun {
+    /// The 2-spanner assembled from the per-vertex outputs.
+    pub spanner: EdgeSet,
+    /// Simulator traffic metrics (message sizes, totals).
+    pub metrics: Metrics,
+    /// Whether all vertices finished before the round cap.
+    pub completed: bool,
+}
+
+/// Runs the message-passing 2-spanner protocol on `g`.
+///
+/// # Example
+///
+/// ```
+/// use dsa_core::protocol::run_two_spanner_protocol;
+/// use dsa_core::verify::is_k_spanner;
+/// use dsa_graphs::gen::complete;
+///
+/// let g = complete(8);
+/// let run = run_two_spanner_protocol(&g, 7, 10_000);
+/// assert!(run.completed);
+/// assert!(is_k_spanner(&g, &run.spanner, 2));
+/// // Phase-0 adjacency messages are Θ(Δ) words: LOCAL-only behavior.
+/// assert!(run.metrics.max_message_words >= g.max_degree());
+/// ```
+pub fn run_two_spanner_protocol(g: &Graph, seed: u64, max_rounds: u64) -> ProtocolRun {
+    let net = Network::from_graph(g);
+    let report = Simulator::new(&net, TwoSpannerProtocol::default())
+        .seed(seed)
+        .run(max_rounds);
+    let mut spanner = EdgeSet::new(g.num_edges());
+    for (v, node) in report.nodes.iter().enumerate() {
+        for &u in &node.h_inc {
+            let e = g.edge_id(v, u).expect("h_inc edges exist");
+            spanner.insert(e);
+        }
+    }
+    ProtocolRun {
+        spanner,
+        metrics: report.metrics,
+        completed: report.completed,
+    }
+}
+
+/// Runs the weighted message-passing 2-spanner protocol on `g`
+/// (Theorem 4.12 as a LOCAL protocol).
+///
+/// # Panics
+///
+/// Panics if the weights don't match the graph.
+pub fn run_weighted_two_spanner_protocol(
+    g: &Graph,
+    w: &EdgeWeights,
+    seed: u64,
+    max_rounds: u64,
+) -> ProtocolRun {
+    let net = Network::from_graph(g);
+    let report = Simulator::new(&net, TwoSpannerProtocol::weighted(g, w))
+        .seed(seed)
+        .run(max_rounds);
+    let mut spanner = EdgeSet::new(g.num_edges());
+    for (v, node) in report.nodes.iter().enumerate() {
+        for &u in &node.h_inc {
+            let e = g.edge_id(v, u).expect("h_inc edges exist");
+            spanner.insert(e);
+        }
+    }
+    ProtocolRun {
+        spanner,
+        metrics: report.metrics,
+        completed: report.completed,
+    }
+}
+
+/// Runs the client-server message-passing 2-spanner protocol on `g`
+/// (Theorem 4.15 as a LOCAL protocol). Uncoverable client edges are
+/// excluded, as the paper prescribes.
+///
+/// # Panics
+///
+/// Panics if the label universes don't match the graph.
+pub fn run_client_server_two_spanner_protocol(
+    g: &Graph,
+    clients: &EdgeSet,
+    servers: &EdgeSet,
+    seed: u64,
+    max_rounds: u64,
+) -> ProtocolRun {
+    let net = Network::from_graph(g);
+    let report = Simulator::new(&net, TwoSpannerProtocol::client_server(g, clients, servers))
+        .seed(seed)
+        .run(max_rounds);
+    let mut spanner = EdgeSet::new(g.num_edges());
+    for (v, node) in report.nodes.iter().enumerate() {
+        for &u in &node.h_inc {
+            let e = g.edge_id(v, u).expect("h_inc edges exist");
+            spanner.insert(e);
+        }
+    }
+    ProtocolRun {
+        spanner,
+        metrics: report.metrics,
+        completed: report.completed,
+    }
+}
+
+/// Runs the 2-spanner protocol as a **direct CONGEST implementation**:
+/// every logical message is fragmented into physical messages of at
+/// most `cap` payload words (via [`dsa_runtime::Fragmented`]), each
+/// logical round costing `⌈(Δ+4)/cap⌉ + 1` physical rounds — the
+/// `O(Δ)` overhead of Section 1.3, executed.
+///
+/// Returns the run plus the slot factor used.
+pub fn run_two_spanner_protocol_congest(
+    g: &Graph,
+    seed: u64,
+    max_rounds: u64,
+    cap: usize,
+) -> (ProtocolRun, usize) {
+    let net = Network::from_graph(g);
+    // Largest logical message: the phase-6 pair of lists, up to
+    // 2Δ + 2 words, plus small framing slack.
+    let slots = (2 * g.max_degree() + 6).div_ceil(cap) + 1;
+    let frag = dsa_runtime::Fragmented::new(TwoSpannerProtocol::default(), cap, slots);
+    let report = Simulator::new(&net, frag)
+        .seed(seed)
+        .bandwidth_cap_words(cap + 1)
+        .run(max_rounds);
+    let mut spanner = EdgeSet::new(g.num_edges());
+    for (v, node) in report.nodes.iter().enumerate() {
+        let inner = dsa_runtime::Fragmented::<TwoSpannerProtocol>::inner_node(node);
+        for &u in &inner.h_inc {
+            let e = g.edge_id(v, u).expect("h_inc edges exist");
+            spanner.insert(e);
+        }
+    }
+    (
+        ProtocolRun {
+            spanner,
+            metrics: report.metrics,
+            completed: report.completed,
+        },
+        slots,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_k_spanner;
+    use dsa_graphs::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn protocol_output_is_valid_spanner() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for seed in 0..3u64 {
+            let g = gen::gnp_connected(24, 0.25, &mut rng);
+            let run = run_two_spanner_protocol(&g, seed, 50_000);
+            assert!(run.completed, "seed {seed}");
+            assert!(is_k_spanner(&g, &run.spanner, 2), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn h_inc_symmetry_holds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gen::gnp_connected(20, 0.3, &mut rng);
+        let net = Network::from_graph(&g);
+        let report = Simulator::new(&net, TwoSpannerProtocol::default())
+            .seed(9)
+            .run(50_000);
+        assert!(report.completed);
+        for (v, node) in report.nodes.iter().enumerate() {
+            for &u in &node.h_inc {
+                assert!(
+                    report.nodes[u].h_inc.contains(&v),
+                    "asymmetric spanner knowledge {v} vs {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_terminates_in_one_iteration() {
+        let g = gen::path(10);
+        let run = run_two_spanner_protocol(&g, 0, 1_000);
+        assert!(run.completed);
+        assert_eq!(run.spanner.len(), g.num_edges());
+        // One iteration (7 rounds) plus the coverage refresh round.
+        assert!(run.metrics.rounds <= 2 * PHASES + 2, "rounds = {}", run.metrics.rounds);
+    }
+
+    #[test]
+    fn message_sizes_scale_with_degree() {
+        // The star graph has Δ = n-1; phase-6 spanner lists from the hub
+        // are Θ(Δ) words, demonstrating the CONGEST overhead (E12).
+        let g = gen::star(30);
+        let run = run_two_spanner_protocol(&g, 1, 1_000);
+        assert!(run.completed);
+        assert!(run.metrics.max_message_words >= 29);
+    }
+
+    #[test]
+    fn weighted_protocol_outputs_valid_spanners() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for seed in 0..3u64 {
+            let g = gen::gnp_connected(22, 0.3, &mut rng);
+            let w = gen::random_weights(g.num_edges(), 0, 7, &mut rng);
+            let run = run_weighted_two_spanner_protocol(&g, &w, seed, 100_000);
+            assert!(run.completed, "seed {seed}");
+            assert!(is_k_spanner(&g, &run.spanner, 2), "seed {seed}");
+            // Every weight-0 edge is pre-adopted.
+            for (e, weight) in w.iter() {
+                if weight == 0 {
+                    assert!(run.spanner.contains(e), "free edge {e} missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_protocol_prefers_cheap_stars() {
+        // Wheel with cheap spokes and expensive rim: the protocol's
+        // cost must be far below taking the rim.
+        let n = 10;
+        let mut g = Graph::new(n);
+        let mut weights = Vec::new();
+        for u in 1..n {
+            g.add_edge(0, u);
+            weights.push(1);
+        }
+        for u in 1..n {
+            let next = if u == n - 1 { 1 } else { u + 1 };
+            g.ensure_edge(u, next);
+            weights.push(40);
+        }
+        let w = EdgeWeights::from_vec(weights);
+        let run = run_weighted_two_spanner_protocol(&g, &w, 3, 100_000);
+        assert!(run.completed);
+        assert!(is_k_spanner(&g, &run.spanner, 2));
+        let cost = crate::verify::spanner_cost(&run.spanner, &w);
+        assert!(cost <= 9 + 3 * 40, "cost {cost} too high");
+    }
+
+    #[test]
+    fn unit_weighted_protocol_close_to_unweighted() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = gen::gnp_connected(24, 0.3, &mut rng);
+        let w = EdgeWeights::unit(&g);
+        let a = run_two_spanner_protocol(&g, 5, 100_000);
+        let b = run_weighted_two_spanner_protocol(&g, &w, 5, 100_000);
+        assert!(a.completed && b.completed);
+        // Unit weights make the weighted protocol the same algorithm;
+        // identical seeds give identical runs.
+        assert_eq!(a.spanner, b.spanner);
+    }
+
+    #[test]
+    fn client_server_protocol_valid_and_server_only() {
+        use crate::verify::is_client_server_2_spanner;
+        let mut rng = StdRng::seed_from_u64(29);
+        for seed in 0..3u64 {
+            let g = gen::gnp_connected(22, 0.3, &mut rng);
+            let (clients, servers) = gen::client_server_split(&g, 0.6, 0.6, &mut rng);
+            let run =
+                run_client_server_two_spanner_protocol(&g, &clients, &servers, seed, 200_000);
+            assert!(run.completed, "seed {seed}");
+            assert!(run.spanner.is_subset_of(&servers), "seed {seed}");
+            assert!(
+                is_client_server_2_spanner(&g, &clients, &servers, &run.spanner),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn client_server_protocol_excludes_uncoverable() {
+        // Pendant client edge with no server coverage: the protocol
+        // must complete anyway, leaving it uncovered.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let e03 = g.edge_id(0, 3).unwrap();
+        let clients = EdgeSet::full(g.num_edges());
+        let mut servers = EdgeSet::full(g.num_edges());
+        servers.remove(e03);
+        let run = run_client_server_two_spanner_protocol(&g, &clients, &servers, 2, 100_000);
+        assert!(run.completed);
+        assert!(!run.spanner.contains(e03));
+        assert!(crate::verify::is_client_server_2_spanner(
+            &g, &clients, &servers, &run.spanner
+        ));
+    }
+
+    #[test]
+    fn all_edges_both_labels_reduce_to_unweighted() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = gen::gnp_connected(20, 0.3, &mut rng);
+        let all = EdgeSet::full(g.num_edges());
+        let cs = run_client_server_two_spanner_protocol(&g, &all, &all, 7, 200_000);
+        assert!(cs.completed);
+        assert!(is_k_spanner(&g, &cs.spanner, 2));
+    }
+
+    #[test]
+    fn congest_emulation_matches_local_run() {
+        // Same protocol, same seed: the fragmented CONGEST emulation
+        // must produce the identical spanner while respecting the word
+        // cap, at a Θ(Δ) round overhead.
+        let mut rng = StdRng::seed_from_u64(14);
+        let g = gen::gnp_connected(20, 0.3, &mut rng);
+        let local = run_two_spanner_protocol(&g, 6, 100_000);
+        let (congest, slots) = run_two_spanner_protocol_congest(&g, 6, 1_000_000, 2);
+        assert!(local.completed && congest.completed);
+        assert_eq!(local.spanner, congest.spanner, "emulation must be exact");
+        assert_eq!(congest.metrics.cap_violations, Some(0));
+        assert!(congest.metrics.max_message_words <= 3);
+        // Round overhead ≈ the slot factor.
+        assert!(
+            congest.metrics.rounds >= (slots as u64 - 1) * (local.metrics.rounds - 1),
+            "congest {} vs local {} × slots {slots}",
+            congest.metrics.rounds,
+            local.metrics.rounds
+        );
+    }
+
+    #[test]
+    fn matches_engine_quality() {
+        // The protocol and the engine are two renditions of one
+        // algorithm; their outputs should be comparable in size.
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = gen::gnp_connected(30, 0.3, &mut rng);
+        let engine = crate::dist::min_2_spanner(&g, &crate::dist::EngineConfig::seeded(5));
+        let proto = run_two_spanner_protocol(&g, 5, 50_000);
+        assert!(proto.completed);
+        assert!(is_k_spanner(&g, &proto.spanner, 2));
+        let (a, b) = (engine.spanner.len() as f64, proto.spanner.len() as f64);
+        assert!(a <= 2.5 * b && b <= 2.5 * a, "engine {a} vs protocol {b}");
+    }
+}

@@ -1,0 +1,437 @@
+//! Stars, star densities, and the star-choice mechanism of Section 4.1.
+//!
+//! A *v-star* is a non-empty subset of edges between a vertex `v` and
+//! some of its neighbors; its *density* with respect to the uncovered
+//! edge set `H_v` is the number of uncovered edges it 2-spans divided by
+//! its size (or weight). Choosing a star is choosing a set of **leaves**,
+//! so this module represents the per-vertex search space as a
+//! [`LocalStars`] structure — a small vertex-weighted multigraph on the
+//! neighbors of `v` — and implements:
+//!
+//! * the densest star, via the flow reduction (`dsa-flow`),
+//! * the paper's Section 4.1 star-choice mechanism: start from the
+//!   densest star and greedily absorb single leaves or disjoint stars
+//!   while the density stays above `ρ̃/4` (or `ρ̃/8` for the directed
+//!   variant), and, while the vertex's rounded density is unchanged,
+//!   only ever *shrink* the previously chosen star (Claim 4.4).
+
+use dsa_flow::densest_weighted_subgraph;
+use dsa_graphs::{EdgeId, Ratio, VertexId};
+
+/// One potential leaf of a star centered at some vertex `v`.
+#[derive(Clone, Debug)]
+pub struct Leaf {
+    /// The neighbor vertex this leaf stands for.
+    pub vertex: VertexId,
+    /// Contribution of this leaf to the density denominator: 1 for the
+    /// unweighted problem, the edge weight for the weighted problem,
+    /// the number of directed star edges for the directed problem.
+    pub weight: u64,
+    /// The selectable edges added to the spanner if this leaf is chosen
+    /// (one undirected edge, or up to two directed edges).
+    pub edges: Vec<EdgeId>,
+}
+
+/// An unordered pair of leaves that 2-spans one or more uncovered items.
+#[derive(Clone, Debug)]
+pub struct Pair {
+    /// Index of the first leaf in [`LocalStars::leaves`].
+    pub a: usize,
+    /// Index of the second leaf.
+    pub b: usize,
+    /// The uncovered items 2-spanned when both leaves are chosen
+    /// (multiplicity = length; up to 2 for antiparallel directed edges).
+    pub items: Vec<usize>,
+}
+
+/// The star search space at one vertex for one iteration: its potential
+/// leaves and the uncovered items each leaf pair would 2-span.
+#[derive(Clone, Debug, Default)]
+pub struct LocalStars {
+    /// Potential leaves (the neighbors of `v`), in ascending vertex order.
+    pub leaves: Vec<Leaf>,
+    /// Leaf pairs spanning at least one uncovered item.
+    pub pairs: Vec<Pair>,
+}
+
+/// A chosen star: leaf membership plus bookkeeping about how the choice
+/// was made.
+#[derive(Clone, Debug)]
+pub struct StarChoice {
+    /// `member[i]` — whether leaf `i` is in the star.
+    pub member: Vec<bool>,
+    /// Whether the Section 4.1 shrink-only path failed and a fresh star
+    /// had to be chosen. Claim 4.4 proves this never happens; the engine
+    /// counts occurrences so the tests can assert the claim empirically.
+    pub fallback: bool,
+}
+
+/// `2^exp` as an exact [`Ratio`] (negative exponents allowed).
+///
+/// # Panics
+///
+/// Panics for `|exp| > 62`.
+pub fn pow2_ratio(exp: i32) -> Ratio {
+    assert!(exp.unsigned_abs() <= 62, "exponent {exp} out of range");
+    if exp >= 0 {
+        Ratio::new(1u64 << exp, 1)
+    } else {
+        Ratio::new(1, 1u64 << (-exp))
+    }
+}
+
+impl LocalStars {
+    /// Whether no pair spans anything (density 0 for every star).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of uncovered items 2-spanned by the leaf set `member`.
+    pub fn spanned_count(&self, member: &[bool]) -> u64 {
+        self.pairs
+            .iter()
+            .filter(|p| member[p.a] && member[p.b])
+            .map(|p| p.items.len() as u64)
+            .sum()
+    }
+
+    /// The uncovered items 2-spanned by the leaf set `member`.
+    pub fn spanned_items(&self, member: &[bool]) -> Vec<usize> {
+        let mut items: Vec<usize> = self
+            .pairs
+            .iter()
+            .filter(|p| member[p.a] && member[p.b])
+            .flat_map(|p| p.items.iter().copied())
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        items
+    }
+
+    /// Total leaf weight of the set `member`.
+    pub fn weight_of(&self, member: &[bool]) -> u64 {
+        self.leaves
+            .iter()
+            .zip(member)
+            .filter(|&(_, &m)| m)
+            .map(|(l, _)| l.weight)
+            .sum()
+    }
+
+    /// Density of the leaf set `member`; `None` if the set has zero
+    /// total weight (then it spans nothing by the caller's invariants)
+    /// or is empty.
+    pub fn density_of(&self, member: &[bool]) -> Option<Ratio> {
+        let w = self.weight_of(member);
+        if w == 0 {
+            return None;
+        }
+        Some(Ratio::new(self.spanned_count(member), w))
+    }
+
+    /// The density of the densest star (`ρ(v, H_v)` in the paper), or
+    /// `None` when every star has density 0.
+    pub fn max_density(&self) -> Option<Ratio> {
+        self.densest(None).map(|(_, d)| d)
+    }
+
+    /// The densest star restricted to leaves allowed by `within`
+    /// (`None` = all leaves). Returns the leaf membership and density.
+    ///
+    /// Zero-weight leaves in range are always included — they can only
+    /// increase the density (the weighted variant's weight-0 edges).
+    pub fn densest(&self, within: Option<&[bool]>) -> Option<(Vec<bool>, Ratio)> {
+        let allowed = |i: usize| within.is_none_or(|w| w[i]);
+        // Build the local instance over allowed leaves.
+        let idx: Vec<usize> = (0..self.leaves.len()).filter(|&i| allowed(i)).collect();
+        if idx.is_empty() {
+            return None;
+        }
+        let back: Vec<usize> = {
+            let mut b = vec![usize::MAX; self.leaves.len()];
+            for (k, &i) in idx.iter().enumerate() {
+                b[i] = k;
+            }
+            b
+        };
+        let weights: Vec<u64> = idx.iter().map(|&i| self.leaves[i].weight).collect();
+        let edges: Vec<(usize, usize, u64)> = self
+            .pairs
+            .iter()
+            .filter(|p| allowed(p.a) && allowed(p.b) && !p.items.is_empty())
+            .map(|p| (back[p.a], back[p.b], p.items.len() as u64))
+            .collect();
+        let best = densest_weighted_subgraph(&weights, &edges)?;
+        let mut member = vec![false; self.leaves.len()];
+        for &k in &best.vertices {
+            member[idx[k]] = true;
+        }
+        // Include free leaves.
+        for &i in &idx {
+            if self.leaves[i].weight == 0 {
+                member[i] = true;
+            }
+        }
+        let density = self.density_of(&member).unwrap_or(best.density);
+        Some((member, density))
+    }
+
+    /// The Section 4.1 star choice.
+    ///
+    /// `threshold` is `ρ̃(v)/4` (undirected) or `ρ̃(v)/8` (directed),
+    /// where `ρ̃(v)` is the vertex's rounded density. `prev` is the star
+    /// chosen the last time the vertex was a candidate *with the same
+    /// rounded density*, if any; when present the choice is restricted
+    /// to shrink it (Claim 4.4 proves the restriction never fails; the
+    /// returned [`StarChoice::fallback`] flag records if it did).
+    ///
+    /// Returns `None` if no star with positive density exists at all.
+    pub fn choose_star(&self, threshold: Ratio, prev: Option<&[bool]>) -> Option<StarChoice> {
+        if let Some(prev) = prev {
+            // Same rounded density as before: keep the previous star if
+            // it is still dense enough.
+            if let Some(d) = self.density_of(prev) {
+                if d >= threshold {
+                    return Some(StarChoice {
+                        member: prev.to_vec(),
+                        fallback: false,
+                    });
+                }
+            }
+            // Otherwise look for a dense star inside the previous one.
+            if let Some((seed, d)) = self.densest(Some(prev)) {
+                if d >= threshold {
+                    let member = self.grow(seed, threshold, Some(prev));
+                    return Some(StarChoice {
+                        member,
+                        fallback: false,
+                    });
+                }
+            }
+            // Claim 4.4 says this is unreachable; fall back to a fresh
+            // choice and record it.
+            let (seed, _) = self.densest(None)?;
+            let member = self.grow(seed, threshold, None);
+            return Some(StarChoice {
+                member,
+                fallback: true,
+            });
+        }
+        let (seed, _) = self.densest(None)?;
+        let member = self.grow(seed, threshold, None);
+        Some(StarChoice {
+            member,
+            fallback: false,
+        })
+    }
+
+    /// Greedy absorption loop of Section 4.1: while possible, add a
+    /// single leaf keeping the density at least `threshold`; otherwise
+    /// add a disjoint star of density at least `threshold`; stop when
+    /// neither applies. Restricted to `within` when given.
+    fn grow(&self, mut member: Vec<bool>, threshold: Ratio, within: Option<&[bool]>) -> Vec<bool> {
+        let allowed = |i: usize| within.is_none_or(|w| w[i]);
+        // Pair adjacency per leaf for incremental density updates.
+        let mut by_leaf: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.leaves.len()];
+        for p in &self.pairs {
+            by_leaf[p.a].push((p.b, p.items.len() as u64));
+            by_leaf[p.b].push((p.a, p.items.len() as u64));
+        }
+        let mut num = self.spanned_count(&member);
+        let mut den = self.weight_of(&member);
+        loop {
+            // Try single leaves first.
+            let mut added_leaf = false;
+            loop {
+                let mut best: Option<(usize, u64)> = None;
+                for i in 0..self.leaves.len() {
+                    if member[i] || !allowed(i) {
+                        continue;
+                    }
+                    let gain: u64 = by_leaf[i]
+                        .iter()
+                        .filter(|&&(j, _)| member[j])
+                        .map(|&(_, mult)| mult)
+                        .sum();
+                    let new_num = num + gain;
+                    let new_den = den + self.leaves[i].weight;
+                    if new_den == 0 {
+                        continue;
+                    }
+                    if Ratio::new(new_num, new_den) >= threshold
+                        && best.is_none_or(|(_, g)| gain > g)
+                    {
+                        best = Some((i, gain));
+                    }
+                }
+                match best {
+                    Some((i, gain)) => {
+                        member[i] = true;
+                        num += gain;
+                        den += self.leaves[i].weight;
+                        added_leaf = true;
+                    }
+                    None => break,
+                }
+            }
+            // Then a disjoint star.
+            let complement: Vec<bool> = (0..self.leaves.len())
+                .map(|i| !member[i] && allowed(i))
+                .collect();
+            let Some((disjoint, d)) = self.densest(Some(&complement)) else {
+                if added_leaf {
+                    continue;
+                }
+                break;
+            };
+            if d >= threshold {
+                for (m, dj) in member.iter_mut().zip(&disjoint) {
+                    *m |= dj;
+                }
+                num = self.spanned_count(&member);
+                den = self.weight_of(&member);
+            } else if !added_leaf {
+                break;
+            }
+        }
+        member
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Local stars of the center of a wheel-like neighborhood:
+    /// leaves 0..4, pairs forming a 4-cycle plus one chord.
+    fn wheel() -> LocalStars {
+        let leaves = (0..4)
+            .map(|i| Leaf {
+                vertex: 10 + i,
+                weight: 1,
+                edges: vec![i],
+            })
+            .collect();
+        let pairs = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+            .iter()
+            .enumerate()
+            .map(|(k, &(a, b))| Pair {
+                a,
+                b,
+                items: vec![100 + k],
+            })
+            .collect();
+        LocalStars { leaves, pairs }
+    }
+
+    #[test]
+    fn densities() {
+        let ls = wheel();
+        assert_eq!(ls.density_of(&[true; 4]), Some(Ratio::new(5, 4)));
+        assert_eq!(ls.density_of(&[true, true, true, false]), Some(Ratio::new(3, 3)));
+        assert_eq!(ls.max_density(), Some(Ratio::new(5, 4)));
+        assert_eq!(ls.spanned_count(&[true, true, false, false]), 1);
+        assert_eq!(
+            ls.spanned_items(&[true, true, true, false]),
+            vec![100, 101, 104]
+        );
+    }
+
+    #[test]
+    fn pow2_ratios() {
+        assert_eq!(pow2_ratio(0), Ratio::one());
+        assert_eq!(pow2_ratio(3), Ratio::new(8, 1));
+        assert_eq!(pow2_ratio(-2), Ratio::new(1, 4));
+    }
+
+    #[test]
+    fn densest_respects_restriction() {
+        let ls = wheel();
+        // Restricted to {0, 1, 3}: pairs (0,1) and (3,0) live inside,
+        // density 2/3.
+        let within = vec![true, true, false, true];
+        let (member, d) = ls.densest(Some(&within)).unwrap();
+        assert_eq!(d, Ratio::new(2, 3));
+        assert!(member.iter().zip(&within).all(|(&m, &w)| !m || w));
+    }
+
+    #[test]
+    fn choose_star_fresh_takes_densest_and_grows() {
+        let ls = wheel();
+        // Rounded density of 5/4 is 2; threshold 2/4 = 1/2.
+        let choice = ls.choose_star(Ratio::new(1, 2), None).unwrap();
+        assert!(!choice.fallback);
+        // The grown star must meet the threshold.
+        assert!(ls.density_of(&choice.member).unwrap() >= Ratio::new(1, 2));
+        // All leaves qualify here: the whole neighborhood has density 5/4.
+        assert_eq!(choice.member, vec![true; 4]);
+    }
+
+    #[test]
+    fn choose_star_keeps_previous_when_dense_enough() {
+        let ls = wheel();
+        let prev = vec![true, true, true, false]; // density 1
+        let choice = ls.choose_star(Ratio::new(1, 2), Some(&prev)).unwrap();
+        assert!(!choice.fallback);
+        assert_eq!(choice.member, prev);
+    }
+
+    #[test]
+    fn choose_star_shrinks_previous_when_it_degraded() {
+        // Previous star {0,1,2,3} but the pairs touching leaf 3 are now
+        // covered: only (0,1), (1,2), (0,2) remain.
+        let leaves = (0..4)
+            .map(|i| Leaf {
+                vertex: 10 + i,
+                weight: 1,
+                edges: vec![i],
+            })
+            .collect();
+        let pairs = [(0, 1), (1, 2), (0, 2)]
+            .iter()
+            .enumerate()
+            .map(|(k, &(a, b))| Pair {
+                a,
+                b,
+                items: vec![k],
+            })
+            .collect();
+        let ls = LocalStars { leaves, pairs };
+        let prev = vec![true; 4];
+        // threshold 1: prev has density 3/4 < 1, densest within prev is
+        // {0,1,2} with density 1.
+        let choice = ls.choose_star(Ratio::one(), Some(&prev)).unwrap();
+        assert!(!choice.fallback);
+        assert_eq!(choice.member, vec![true, true, true, false]);
+        // The choice is a subset of prev (Claim 4.4 invariant).
+        assert!(choice.member.iter().zip(&prev).all(|(&m, &p)| !m || p));
+    }
+
+    #[test]
+    fn zero_weight_leaves_always_join() {
+        let leaves = vec![
+            Leaf { vertex: 1, weight: 0, edges: vec![0] },
+            Leaf { vertex: 2, weight: 3, edges: vec![1] },
+            Leaf { vertex: 3, weight: 3, edges: vec![2] },
+        ];
+        let pairs = vec![
+            Pair { a: 0, b: 1, items: vec![7] },
+            Pair { a: 1, b: 2, items: vec![8] },
+        ];
+        let ls = LocalStars { leaves, pairs };
+        let (member, d) = ls.densest(None).unwrap();
+        assert!(member[0], "free leaf must be included");
+        assert_eq!(d, ls.density_of(&member).unwrap());
+    }
+
+    #[test]
+    fn empty_pairs_mean_no_star() {
+        let ls = LocalStars {
+            leaves: vec![Leaf { vertex: 1, weight: 1, edges: vec![0] }],
+            pairs: Vec::new(),
+        };
+        assert!(ls.is_empty());
+        assert_eq!(ls.max_density(), None);
+        assert!(ls.choose_star(Ratio::one(), None).is_none());
+    }
+}

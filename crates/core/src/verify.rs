@@ -1,0 +1,168 @@
+//! Independent verifiers for every spanner variant of the paper.
+//!
+//! Tests and experiments never trust an algorithm's own bookkeeping:
+//! every produced subgraph is re-checked against the Section 1.5
+//! definitions by plain BFS.
+
+use dsa_graphs::traversal::{covers_edge, covers_edge_directed};
+use dsa_graphs::{DiGraph, EdgeId, EdgeSet, EdgeWeights, Graph};
+
+/// Whether `h` is a k-spanner of `g`: every edge of `g` has a path of
+/// length at most `k` between its endpoints inside `h`.
+pub fn is_k_spanner(g: &Graph, h: &EdgeSet, k: usize) -> bool {
+    uncovered_edges(g, h, k).is_empty()
+}
+
+/// The edges of `g` *not* covered by `h` within stretch `k`.
+pub fn uncovered_edges(g: &Graph, h: &EdgeSet, k: usize) -> Vec<EdgeId> {
+    g.edges()
+        .filter(|&(e, _, _)| !covers_edge(g, h, e, k))
+        .map(|(e, _, _)| e)
+        .collect()
+}
+
+/// Whether `h` is a k-spanner of the directed graph `g`.
+pub fn is_k_spanner_directed(g: &DiGraph, h: &EdgeSet, k: usize) -> bool {
+    uncovered_edges_directed(g, h, k).is_empty()
+}
+
+/// The directed edges of `g` not covered by `h` within stretch `k`.
+pub fn uncovered_edges_directed(g: &DiGraph, h: &EdgeSet, k: usize) -> Vec<EdgeId> {
+    g.edges()
+        .filter(|&(e, _, _)| !covers_edge_directed(g, h, e, k))
+        .map(|(e, _, _)| e)
+        .collect()
+}
+
+/// The cost `w(H)` of a spanner under edge weights.
+pub fn spanner_cost(h: &EdgeSet, w: &EdgeWeights) -> u64 {
+    w.sum(h.iter())
+}
+
+/// The client edges that can be covered by server edges at all: `e` is
+/// coverable when `e` is itself a server edge or some common neighbor
+/// connects both endpoints by server edges. Instances whose client
+/// edges are not all coverable have no feasible client-server
+/// 2-spanner; the algorithm (and this crate's verifier) then restrict
+/// attention to the coverable ones, as the paper prescribes
+/// (Section 4.3.3).
+pub fn coverable_clients(g: &Graph, clients: &EdgeSet, servers: &EdgeSet) -> EdgeSet {
+    let mut out = EdgeSet::new(g.num_edges());
+    for e in clients.iter() {
+        if servers.contains(e) {
+            out.insert(e);
+            continue;
+        }
+        let (u, v) = g.endpoints(e);
+        let has_server_path = g.neighbors(u).any(|(x, eux)| {
+            servers.contains(eux)
+                && g.edge_id(x, v)
+                    .is_some_and(|exv| servers.contains(exv))
+        });
+        if has_server_path {
+            out.insert(e);
+        }
+    }
+    out
+}
+
+/// Whether `h` is a valid client-server 2-spanner: `h` uses only server
+/// edges and covers every *coverable* client edge within stretch 2.
+pub fn is_client_server_2_spanner(
+    g: &Graph,
+    clients: &EdgeSet,
+    servers: &EdgeSet,
+    h: &EdgeSet,
+) -> bool {
+    if !h.is_subset_of(servers) {
+        return false;
+    }
+    coverable_clients(g, clients, servers)
+        .iter()
+        .all(|e| covers_edge(g, h, e, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_graph_is_always_a_spanner() {
+        let g = dsa_graphs::gen::complete(5);
+        let h = EdgeSet::full(g.num_edges());
+        assert!(is_k_spanner(&g, &h, 1));
+        assert!(is_k_spanner(&g, &h, 2));
+    }
+
+    #[test]
+    fn star_spans_complete_graph_within_2() {
+        let g = dsa_graphs::gen::complete(5);
+        let mut h = EdgeSet::new(g.num_edges());
+        for u in 1..5 {
+            h.insert(g.edge_id(0, u).unwrap());
+        }
+        assert!(is_k_spanner(&g, &h, 2));
+        assert!(!is_k_spanner(&g, &h, 1));
+        assert_eq!(uncovered_edges(&g, &h, 1).len(), g.num_edges() - 4);
+    }
+
+    #[test]
+    fn directed_spanner_needs_directions() {
+        // Cycle 0 -> 1 -> 2 -> 0 plus shortcut 0 -> 2.
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0), (0, 2)]);
+        let mut h = EdgeSet::new(4);
+        h.insert(g.edge_id(0, 1).unwrap());
+        h.insert(g.edge_id(1, 2).unwrap());
+        h.insert(g.edge_id(2, 0).unwrap());
+        // 0 -> 2 is covered by 0 -> 1 -> 2 within k = 2.
+        assert!(is_k_spanner_directed(&g, &h, 2));
+        // Dropping 1 -> 2 leaves 0 -> 2 and 1 -> 2 uncovered at k = 2.
+        h.remove(g.edge_id(1, 2).unwrap());
+        let unc = uncovered_edges_directed(&g, &h, 2);
+        assert_eq!(unc.len(), 2);
+    }
+
+    #[test]
+    fn cost_sums_weights() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let w = EdgeWeights::from_vec(vec![5, 0, 3]);
+        let h = EdgeSet::from_iter(3, [0, 2]);
+        assert_eq!(spanner_cost(&h, &w), 8);
+    }
+
+    #[test]
+    fn client_server_checks() {
+        // Path 0-1-2 plus chord 0-2.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let e01 = g.edge_id(0, 1).unwrap();
+        let e12 = g.edge_id(1, 2).unwrap();
+        let e02 = g.edge_id(0, 2).unwrap();
+        // The chord is a client, the path edges are servers.
+        let clients = EdgeSet::from_iter(3, [e02]);
+        let servers = EdgeSet::from_iter(3, [e01, e12]);
+        assert_eq!(
+            coverable_clients(&g, &clients, &servers).iter().collect::<Vec<_>>(),
+            vec![e02]
+        );
+        let h = EdgeSet::from_iter(3, [e01, e12]);
+        assert!(is_client_server_2_spanner(&g, &clients, &servers, &h));
+        // A spanner using a non-server edge is invalid.
+        let bad = EdgeSet::from_iter(3, [e02]);
+        assert!(!is_client_server_2_spanner(&g, &clients, &servers, &bad));
+        // Missing coverage is invalid.
+        let empty = EdgeSet::new(3);
+        assert!(!is_client_server_2_spanner(&g, &clients, &servers, &empty));
+    }
+
+    #[test]
+    fn uncoverable_clients_are_excluded() {
+        // Edge 0-1 is a client but nothing can cover it except itself,
+        // and it is not a server.
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let clients = EdgeSet::from_iter(1, [0]);
+        let servers = EdgeSet::new(1);
+        assert!(coverable_clients(&g, &clients, &servers).is_empty());
+        // The empty spanner is then (vacuously) valid.
+        assert!(is_client_server_2_spanner(&g, &clients, &servers, &EdgeSet::new(1)));
+    }
+}

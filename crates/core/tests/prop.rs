@@ -1,0 +1,160 @@
+//! Property tests for the core algorithms: star selection invariants
+//! (Section 4.1), engine/baseline sandwich bounds, and verifier
+//! consistency.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dsa_core::dist::{min_2_spanner, EngineConfig};
+use dsa_core::seq::{exact_min_2_spanner, exact_min_k_spanner, greedy_2_spanner};
+use dsa_core::star::{pow2_ratio, Leaf, LocalStars, Pair};
+use dsa_core::verify::{is_k_spanner, uncovered_edges};
+use dsa_graphs::{gen, Graph, Ratio};
+
+fn arb_connected(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3usize..max_n, 0u64..400, 1u32..5).prop_map(|(n, seed, d)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gen::gnp_connected(n, 0.08 * d as f64, &mut rng)
+    })
+}
+
+/// Random LocalStars instance: a handful of leaves and random pairs.
+fn arb_local_stars() -> impl Strategy<Value = LocalStars> {
+    (2usize..8, 0u64..300).prop_map(|(l, seed)| {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let leaves = (0..l)
+            .map(|i| Leaf {
+                vertex: 100 + i,
+                weight: rng.gen_range(1..4),
+                edges: vec![i],
+            })
+            .collect();
+        let mut pairs = Vec::new();
+        let mut item = 0;
+        for a in 0..l {
+            for b in (a + 1)..l {
+                if rng.gen_bool(0.5) {
+                    pairs.push(Pair {
+                        a,
+                        b,
+                        items: vec![item],
+                    });
+                    item += 1;
+                }
+            }
+        }
+        LocalStars { leaves, pairs }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The flow-based densest star really is densest: no subset of
+    /// leaves (exhaustively enumerated) beats it.
+    #[test]
+    fn densest_star_beats_all_subsets(ls in arb_local_stars()) {
+        let Some((_, best)) = ls.densest(None) else {
+            prop_assert!(ls.is_empty());
+            return Ok(());
+        };
+        let l = ls.leaves.len();
+        for mask in 1u32..(1 << l) {
+            let member: Vec<bool> = (0..l).map(|i| mask >> i & 1 == 1).collect();
+            if let Some(d) = ls.density_of(&member) {
+                prop_assert!(d <= best, "subset {member:?} denser: {d} > {best}");
+            }
+        }
+    }
+
+    /// Section 4.1 invariants: the chosen star meets the ρ̃/4 density
+    /// threshold, and with a previous star of the same key the choice
+    /// shrinks it (Claim 4.4), never falling back.
+    #[test]
+    fn star_choice_meets_threshold_and_shrinks(ls in arb_local_stars()) {
+        let Some(rho) = ls.max_density() else { return Ok(()); };
+        let exp = rho.ceil_pow2_exponent().unwrap();
+        let threshold = pow2_ratio(exp - 2);
+        let Some(choice) = ls.choose_star(threshold, None) else { return Ok(()); };
+        prop_assert!(!choice.fallback);
+        let d = ls.density_of(&choice.member).unwrap_or_else(Ratio::zero);
+        prop_assert!(d >= threshold, "chosen density {d} below {threshold}");
+
+        // Re-choosing with the previous star must return a subset.
+        let prev = choice.member.clone();
+        let again = ls.choose_star(threshold, Some(&prev)).unwrap();
+        prop_assert!(!again.fallback);
+        prop_assert!(
+            again.member.iter().zip(&prev).all(|(&m, &p)| !m || p),
+            "re-choice must shrink the previous star"
+        );
+    }
+
+    /// Exact ≤ greedy ≤ full graph, and all outputs verify.
+    #[test]
+    fn solution_sandwich(g in arb_connected(11)) {
+        let opt = exact_min_2_spanner(&g);
+        let greedy = greedy_2_spanner(&g);
+        prop_assert!(is_k_spanner(&g, &opt, 2));
+        prop_assert!(is_k_spanner(&g, &greedy, 2));
+        prop_assert!(opt.len() <= greedy.len());
+        prop_assert!(greedy.len() <= g.num_edges());
+        prop_assert!(opt.len() + 1 >= g.num_vertices());
+    }
+
+    /// Exact k-spanners are monotone non-increasing in k.
+    #[test]
+    fn exact_monotone_in_k(g in arb_connected(9)) {
+        let h2 = exact_min_k_spanner(&g, 2).len();
+        let h3 = exact_min_k_spanner(&g, 3).len();
+        prop_assert!(h3 <= h2);
+    }
+
+    /// The distributed engine's spanner, minus any single non-critical
+    /// edge, is detected by the verifier when coverage breaks —
+    /// i.e. the verifier and uncovered_edges agree.
+    #[test]
+    fn verifier_consistency(g in arb_connected(14), seed in 0u64..40) {
+        let run = min_2_spanner(&g, &EngineConfig::seeded(seed));
+        prop_assert!(run.converged);
+        let unc = uncovered_edges(&g, &run.spanner, 2);
+        prop_assert!(unc.is_empty());
+        // Remove one spanner edge: uncovered_edges must agree with
+        // is_k_spanner either way.
+        let first = run.spanner.iter().next();
+        if let Some(e) = first {
+            let mut h = run.spanner.clone();
+            h.remove(e);
+            let unc = uncovered_edges(&g, &h, 2);
+            prop_assert_eq!(unc.is_empty(), is_k_spanner(&g, &h, 2));
+        }
+    }
+
+    /// An engine spanner never contains an edge the graph doesn't have
+    /// (ids are within universe) and is minimal enough to be below m.
+    #[test]
+    fn engine_output_well_formed(g in arb_connected(20), seed in 0u64..40) {
+        let run = min_2_spanner(&g, &EngineConfig::seeded(seed));
+        prop_assert!(run.converged);
+        prop_assert_eq!(run.spanner.universe(), g.num_edges());
+        prop_assert!(run.spanner.len() <= g.num_edges());
+        // Iteration stats are consistent.
+        prop_assert_eq!(run.stats.len() as u64, run.iterations);
+        if let Some(last) = run.stats.last() {
+            prop_assert_eq!(last.uncovered, 0);
+        }
+    }
+
+    /// Empty-pair local stars never produce a star.
+    #[test]
+    fn empty_local_stars(l in 1usize..6) {
+        let ls = LocalStars {
+            leaves: (0..l).map(|i| Leaf { vertex: i, weight: 1, edges: vec![i] }).collect(),
+            pairs: Vec::new(),
+        };
+        prop_assert!(ls.max_density().is_none());
+        prop_assert!(ls.choose_star(Ratio::one(), None).is_none());
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for the flow crate: the Goldberg reduction must agree
+//! with exhaustive search on every small graph.
+
+use dsa_flow::{densest_subgraph, densest_subgraph_brute_force};
+use dsa_graphs::Ratio;
+use proptest::bits::BitSetLike;
+use proptest::prelude::*;
+
+/// Strategy: a small random undirected simple graph as (n, edges).
+fn small_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..=9).prop_flat_map(|n| {
+        let all_pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let k = all_pairs.len();
+        (Just(n), proptest::bits::bitset::between(0, k)).prop_map(move |(n, mask)| {
+            let edges = all_pairs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask.test(*i))
+                .map(|(_, &e)| e)
+                .collect();
+            (n, edges)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn goldberg_matches_brute_force((n, edges) in small_graph()) {
+        let fast = densest_subgraph(n, &edges);
+        let slow = densest_subgraph_brute_force(n, &edges);
+        match (fast, slow) {
+            (None, None) => {}
+            (Some(f), Some(s)) => {
+                prop_assert_eq!(f.density, s.density);
+                // The returned vertex set must actually achieve the density.
+                let inside: Vec<bool> = {
+                    let mut v = vec![false; n];
+                    for &x in &f.vertices { v[x] = true; }
+                    v
+                };
+                let count = edges.iter()
+                    .filter(|&&(u, v)| inside[u] && inside[v])
+                    .count() as u64;
+                prop_assert_eq!(Ratio::new(count, f.vertices.len() as u64), f.density);
+            }
+            (f, s) => prop_assert!(false, "mismatch: fast={f:?} slow={s:?}"),
+        }
+    }
+
+    #[test]
+    fn densest_is_at_least_any_single_edge((n, edges) in small_graph()) {
+        if let Some(best) = densest_subgraph(n, &edges) {
+            // Any single edge's endpoints give density 1/2.
+            prop_assert!(best.density >= Ratio::new(1, 2));
+            prop_assert!(!best.vertices.is_empty());
+        } else {
+            prop_assert!(edges.is_empty());
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Simple directed graphs with stable edge identifiers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{EdgeId, Graph, VertexId};
+
+/// A simple directed graph.
+///
+/// Edges `(u, v)` are ordered pairs; `(u, v)` and `(v, u)` may both be
+/// present, but parallel copies of the same ordered pair and self-loops
+/// are rejected.
+///
+/// As in the paper, the *communication* graph of a directed problem
+/// instance is its undirected underlying graph ([`DiGraph::underlying`]);
+/// directions only constrain which paths may 2-span an edge.
+///
+/// # Example
+///
+/// ```
+/// use dsa_graphs::DiGraph;
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// g.add_edge(2, 0);
+/// assert_eq!(g.out_degree(0), 1);
+/// assert_eq!(g.in_degree(0), 1);
+/// assert!(g.has_edge(0, 1));
+/// assert!(!g.has_edge(1, 0));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct DiGraph {
+    out_adj: Vec<Vec<(VertexId, EdgeId)>>,
+    in_adj: Vec<Vec<(VertexId, EdgeId)>>,
+    edges: Vec<(VertexId, VertexId)>,
+    index: BTreeMap<(VertexId, VertexId), EdgeId>,
+}
+
+impl DiGraph {
+    /// Creates a directed graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a directed graph from an edge iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, duplicate ordered pairs, or out-of-range
+    /// endpoints.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut g = DiGraph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices()
+    }
+
+    /// Adds the directed edge `(u, v)` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, duplicates, or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> EdgeId {
+        assert!(u != v, "self-loop ({u}, {v}) not allowed");
+        assert!(
+            u < self.num_vertices() && v < self.num_vertices(),
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.num_vertices()
+        );
+        assert!(
+            !self.index.contains_key(&(u, v)),
+            "duplicate directed edge ({u}, {v})"
+        );
+        let id = self.edges.len();
+        self.edges.push((u, v));
+        self.index.insert((u, v), id);
+        self.out_adj[u].push((v, id));
+        self.in_adj[v].push((u, id));
+        id
+    }
+
+    /// The id of the directed edge `(u, v)`, if present.
+    pub fn edge_id(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        self.index.get(&(u, v)).copied()
+    }
+
+    /// Whether the directed edge `(u, v)` is present.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.index.contains_key(&(u, v))
+    }
+
+    /// The `(tail, head)` pair of edge `e`.
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_adj[v].len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_adj[v].len()
+    }
+
+    /// Maximum total degree (in + out) over all vertices.
+    pub fn max_total_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.in_degree(v) + self.out_degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterator over `(head, edge id)` pairs of edges leaving `v`.
+    pub fn out_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        self.out_adj[v].iter().copied()
+    }
+
+    /// Iterator over `(tail, edge id)` pairs of edges entering `v`.
+    pub fn in_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        self.in_adj[v].iter().copied()
+    }
+
+    /// Iterator over `(edge id, tail, head)` triples for all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        self.edges.iter().enumerate().map(|(e, &(u, v))| (e, u, v))
+    }
+
+    /// The underlying undirected communication graph, together with the
+    /// mapping from each directed edge id to its undirected edge id.
+    ///
+    /// Antiparallel pairs `(u, v)` / `(v, u)` map to the same undirected
+    /// edge.
+    pub fn underlying(&self) -> (Graph, Vec<EdgeId>) {
+        let mut g = Graph::new(self.num_vertices());
+        let mut map = Vec::with_capacity(self.num_edges());
+        for &(u, v) in &self.edges {
+            let (id, _) = g.ensure_edge(u, v);
+            map.push(id);
+        }
+        (g, map)
+    }
+}
+
+impl fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiGraph")
+            .field("n", &self.num_vertices())
+            .field("m", &self.num_edges())
+            .field("edges", &self.edges)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_edges_are_ordered() {
+        let mut g = DiGraph::new(2);
+        let e = g.add_edge(0, 1);
+        let f = g.add_edge(1, 0);
+        assert_ne!(e, f);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.endpoints(e), (0, 1));
+        assert_eq!(g.endpoints(f), (1, 0));
+    }
+
+    #[test]
+    fn degrees() {
+        let g = DiGraph::from_edges(3, [(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(2), 2);
+        assert_eq!(g.max_total_degree(), 2);
+    }
+
+    #[test]
+    fn underlying_merges_antiparallel() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 0), (1, 2)]);
+        let (u, map) = g.underlying();
+        assert_eq!(u.num_edges(), 2);
+        assert_eq!(map[0], map[1]);
+        assert_ne!(map[0], map[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_ordered_pair() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+    }
+}

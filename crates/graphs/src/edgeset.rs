@@ -1,0 +1,256 @@
+//! A compact bitset over edge identifiers.
+
+use std::fmt;
+
+use crate::EdgeId;
+
+/// A set of edge ids backed by a bit vector.
+///
+/// Used throughout the workspace for spanners, covered-edge sets, and the
+/// per-vertex `H_v` sets of Section 4 of the paper. All operations are
+/// O(1) except iteration and the bulk set operations, which are linear in
+/// the universe size.
+///
+/// # Example
+///
+/// ```
+/// use dsa_graphs::EdgeSet;
+///
+/// let mut s = EdgeSet::new(10);
+/// s.insert(3);
+/// s.insert(7);
+/// assert!(s.contains(3));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 7]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct EdgeSet {
+    blocks: Vec<u64>,
+    universe: usize,
+    len: usize,
+}
+
+impl EdgeSet {
+    /// Creates an empty set over the universe `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        EdgeSet {
+            blocks: vec![0; universe.div_ceil(64)],
+            universe,
+            len: 0,
+        }
+    }
+
+    /// Creates a set containing every id in `0..universe`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = EdgeSet::new(universe);
+        for e in 0..universe {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of ids.
+    pub fn from_iter<I: IntoIterator<Item = EdgeId>>(universe: usize, ids: I) -> Self {
+        let mut s = EdgeSet::new(universe);
+        for e in ids {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// The universe size this set was created with.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `e` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is outside the universe.
+    pub fn contains(&self, e: EdgeId) -> bool {
+        assert!(e < self.universe, "id {e} outside universe {}", self.universe);
+        self.blocks[e / 64] >> (e % 64) & 1 == 1
+    }
+
+    /// Inserts `e`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is outside the universe.
+    pub fn insert(&mut self, e: EdgeId) -> bool {
+        assert!(e < self.universe, "id {e} outside universe {}", self.universe);
+        let mask = 1u64 << (e % 64);
+        let block = &mut self.blocks[e / 64];
+        if *block & mask == 0 {
+            *block |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `e`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is outside the universe.
+    pub fn remove(&mut self, e: EdgeId) -> bool {
+        assert!(e < self.universe, "id {e} outside universe {}", self.universe);
+        let mask = 1u64 << (e % 64);
+        let block = &mut self.blocks[e / 64];
+        if *block & mask != 0 {
+            *block &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts every id from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if universes differ.
+    pub fn union_with(&mut self, other: &EdgeSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut len = 0;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// Removes every id present in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if universes differ.
+    pub fn subtract(&mut self, other: &EdgeSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut len = 0;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// Whether this set and `other` share no ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if universes differ.
+    pub fn is_disjoint(&self, other: &EdgeSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every id of this set is in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if universes differ.
+    pub fn is_subset_of(&self, other: &EdgeSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterator over the ids in the set, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
+            let mut b = block;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let bit = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    Some(i * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for EdgeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<EdgeId> for EdgeSet {
+    /// Builds a set whose universe is one past the largest id seen.
+    fn from_iter<I: IntoIterator<Item = EdgeId>>(iter: I) -> Self {
+        let ids: Vec<EdgeId> = iter.into_iter().collect();
+        let universe = ids.iter().max().map_or(0, |&m| m + 1);
+        EdgeSet::from_iter(universe, ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = EdgeSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s = EdgeSet::from_iter(200, [5, 190, 64, 63, 65]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![5, 63, 64, 65, 190]);
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut a = EdgeSet::from_iter(100, [1, 2, 3]);
+        let b = EdgeSet::from_iter(100, [3, 4]);
+        assert!(!a.is_disjoint(&b));
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(a.is_disjoint(&b));
+        a.union_with(&b);
+        assert_eq!(a.len(), 4);
+        assert!(b.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn full_set() {
+        let s = EdgeSet::full(67);
+        assert_eq!(s.len(), 67);
+        assert!(s.contains(66));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_panics() {
+        let s = EdgeSet::new(5);
+        s.contains(5);
+    }
+}

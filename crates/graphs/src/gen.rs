@@ -1,0 +1,308 @@
+//! Workload generators for the experiments and the test suite.
+//!
+//! All randomized generators take an explicit `Rng`, so every experiment
+//! in the repository is reproducible from a seed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{DiGraph, EdgeSet, EdgeWeights, Graph, VertexId};
+
+/// Erdős–Rényi graph `G(n, p)`.
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Connected Erdős–Rényi graph: a random Hamiltonian path (to guarantee
+/// connectivity, as the paper assumes connected inputs) plus independent
+/// `G(n, p)` edges.
+pub fn gnp_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!(n >= 1, "need at least one vertex");
+    let mut order: Vec<VertexId> = (0..n).collect();
+    order.shuffle(rng);
+    let mut g = Graph::new(n);
+    for w in order.windows(2) {
+        g.add_edge(w[0], w[1]);
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(u, v) && rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}` (sides `0..a` and `a..a+b`).
+///
+/// Complete bipartite graphs are the canonical instances on which the
+/// sparsest 2-spanner has Θ(n²) edges, which is the motivation the paper
+/// gives for studying minimum 2-spanners (Section 1).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// A star with `n - 1` leaves centered at vertex 0.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1);
+    Graph::from_edges(n, (1..n).map(|v| (0, v)))
+}
+
+/// A path on `n` vertices.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1);
+    Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+}
+
+/// A cycle on `n >= 3` vertices.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+/// An `r × c` grid graph.
+pub fn grid(r: usize, c: usize) -> Graph {
+    let mut g = Graph::new(r * c);
+    let id = |i: usize, j: usize| i * c + j;
+    for i in 0..r {
+        for j in 0..c {
+            if j + 1 < c {
+                g.add_edge(id(i, j), id(i, j + 1));
+            }
+            if i + 1 < r {
+                g.add_edge(id(i, j), id(i + 1, j));
+            }
+        }
+    }
+    g
+}
+
+/// Preferential-attachment graph: starts from a clique on `seed`
+/// vertices and attaches each new vertex to `k` distinct existing
+/// vertices chosen proportionally to degree. Produces the skewed degree
+/// distributions under which star densities vary widely.
+pub fn preferential_attachment<R: Rng>(n: usize, seed: usize, k: usize, rng: &mut R) -> Graph {
+    assert!(seed >= 1 && k >= 1 && k <= seed && n >= seed);
+    let mut g = complete(seed);
+    // Degree-proportional sampling via a repeated-endpoint urn.
+    let mut urn: Vec<VertexId> = Vec::new();
+    for (_, u, v) in complete(seed).edges() {
+        urn.push(u);
+        urn.push(v);
+    }
+    if seed == 1 {
+        urn.push(0);
+    }
+    let mut g2 = Graph::new(n);
+    for (_, u, v) in g.edges() {
+        g2.add_edge(u, v);
+    }
+    g = g2;
+    for v in seed..n {
+        let mut targets: Vec<VertexId> = Vec::new();
+        while targets.len() < k {
+            let t = urn[rng.gen_range(0..urn.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            g.add_edge(v, t);
+            urn.push(v);
+            urn.push(t);
+        }
+    }
+    g
+}
+
+/// Random bipartite graph with sides `a`, `b` and edge probability `p`.
+pub fn random_bipartite<R: Rng>(a: usize, b: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Random simple digraph: each ordered pair `(u, v)`, `u != v`, is an
+/// edge independently with probability `p`.
+pub fn random_digraph<R: Rng>(n: usize, p: f64, rng: &mut R) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Random digraph whose underlying undirected graph is connected: a
+/// randomly-oriented Hamiltonian path plus independent random edges.
+pub fn random_digraph_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> DiGraph {
+    assert!(n >= 1);
+    let mut order: Vec<VertexId> = (0..n).collect();
+    order.shuffle(rng);
+    let mut g = DiGraph::new(n);
+    for w in order.windows(2) {
+        if rng.gen_bool(0.5) {
+            g.add_edge(w[0], w[1]);
+        } else {
+            g.add_edge(w[1], w[0]);
+        }
+    }
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && !g.has_edge(u, v) && rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Uniform random integer weights in `lo..=hi` for `m` edges.
+pub fn random_weights<R: Rng>(m: usize, lo: u64, hi: u64, rng: &mut R) -> EdgeWeights {
+    assert!(lo <= hi);
+    EdgeWeights::from_fn(m, |_| rng.gen_range(lo..=hi))
+}
+
+/// A random client/server labeling of the edges of `g` for the
+/// client-server 2-spanner problem (Section 4.3.3): each edge is a
+/// client with probability `p_client` and a server with probability
+/// `p_server`, independently; edges drawn as neither are made servers so
+/// the labeling is total.
+///
+/// Returns `(clients, servers)` as edge sets.
+pub fn client_server_split<R: Rng>(
+    g: &Graph,
+    p_client: f64,
+    p_server: f64,
+    rng: &mut R,
+) -> (EdgeSet, EdgeSet) {
+    let m = g.num_edges();
+    let mut clients = EdgeSet::new(m);
+    let mut servers = EdgeSet::new(m);
+    for e in 0..m {
+        let c = rng.gen_bool(p_client);
+        let s = rng.gen_bool(p_server);
+        if c {
+            clients.insert(e);
+        }
+        if s || !c {
+            servers.insert(e);
+        }
+    }
+    (clients, servers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_connected_is_connected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1, 2, 5, 20, 50] {
+            let g = gnp_connected(n, 0.05, &mut rng);
+            assert!(is_connected(&g), "n = {n}");
+            assert!(g.num_edges() >= n.saturating_sub(1));
+        }
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 12);
+        // No edges within a side.
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(3, 4));
+    }
+
+    #[test]
+    fn structured_generators() {
+        assert_eq!(star(5).max_degree(), 4);
+        assert_eq!(path(4).num_edges(), 3);
+        assert_eq!(cycle(5).num_edges(), 5);
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn preferential_attachment_grows() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = preferential_attachment(50, 4, 2, &mut rng);
+        assert_eq!(g.num_vertices(), 50);
+        assert_eq!(g.num_edges(), 6 + 46 * 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn digraph_connected_underlying() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = random_digraph_connected(30, 0.02, &mut rng);
+        let (u, _) = g.underlying();
+        assert!(is_connected(&u));
+    }
+
+    #[test]
+    fn client_server_total() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = complete(8);
+        let (clients, servers) = client_server_split(&g, 0.5, 0.5, &mut rng);
+        for e in 0..g.num_edges() {
+            assert!(clients.contains(e) || servers.contains(e));
+        }
+    }
+
+    #[test]
+    fn weights_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = random_weights(100, 2, 9, &mut rng);
+        assert!(w.iter().all(|(_, x)| (2..=9).contains(&x)));
+    }
+}

@@ -1,0 +1,201 @@
+//! Plain-text edge-list serialization, so workloads and results can be
+//! exchanged with other tools.
+//!
+//! Format: one `# n <count>` header line, then one `u v [w]` line per
+//! edge (whitespace separated, `#`-comments and blank lines ignored).
+//! Directed graphs use the same format; direction is tail then head.
+
+use std::fmt::Write as _;
+use std::num::ParseIntError;
+
+use crate::{DiGraph, EdgeWeights, Graph};
+
+/// Errors from [`parse_edge_list`] / [`parse_directed_edge_list`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseGraphError {
+    /// The `# n <count>` header is missing or malformed.
+    MissingHeader,
+    /// A data line did not have 2 or 3 fields.
+    BadLine(usize),
+    /// A field was not an integer.
+    BadNumber(usize),
+    /// Edge lines mixed weighted and unweighted entries.
+    InconsistentWeights,
+}
+
+impl std::fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseGraphError::MissingHeader => write!(f, "missing `# n <count>` header"),
+            ParseGraphError::BadLine(l) => write!(f, "malformed edge on line {l}"),
+            ParseGraphError::BadNumber(l) => write!(f, "invalid number on line {l}"),
+            ParseGraphError::InconsistentWeights => {
+                write!(f, "some edges have weights and some do not")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseGraphError {}
+
+impl From<(usize, ParseIntError)> for ParseGraphError {
+    fn from((line, _): (usize, ParseIntError)) -> Self {
+        ParseGraphError::BadNumber(line)
+    }
+}
+
+/// Serializes a graph (optionally weighted) as an edge list.
+pub fn to_edge_list(g: &Graph, w: Option<&EdgeWeights>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# n {}", g.num_vertices());
+    for (e, u, v) in g.edges() {
+        match w {
+            Some(w) => {
+                let _ = writeln!(out, "{u} {v} {}", w.get(e));
+            }
+            None => {
+                let _ = writeln!(out, "{u} {v}");
+            }
+        }
+    }
+    out
+}
+
+/// Serializes a directed graph as an edge list (tail head per line).
+pub fn to_directed_edge_list(g: &DiGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# n {}", g.num_vertices());
+    for (_, u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parsed data rows: (line number, numeric fields).
+type DataRows = Vec<(usize, Vec<u64>)>;
+
+fn parse_lines(text: &str) -> Result<(usize, DataRows), ParseGraphError> {
+    let mut n: Option<usize> = None;
+    let mut rows = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if n.is_none() && fields.len() == 2 && fields[0] == "n" {
+                n = Some(fields[1].parse().map_err(|e| (line_no, e))?);
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 2 && fields.len() != 3 {
+            return Err(ParseGraphError::BadLine(line_no));
+        }
+        let nums: Vec<u64> = fields
+            .iter()
+            .map(|f| f.parse::<u64>().map_err(|e| (line_no, e).into()))
+            .collect::<Result<_, ParseGraphError>>()?;
+        rows.push((line_no, nums));
+    }
+    let n = n.ok_or(ParseGraphError::MissingHeader)?;
+    Ok((n, rows))
+}
+
+/// Parses an undirected edge list; returns the graph and, when every
+/// line carries a third field, the weights.
+pub fn parse_edge_list(text: &str) -> Result<(Graph, Option<EdgeWeights>), ParseGraphError> {
+    let (n, rows) = parse_lines(text)?;
+    let mut g = Graph::new(n);
+    let mut weights: Vec<u64> = Vec::new();
+    let mut any_weight = false;
+    let mut any_plain = false;
+    for (_, nums) in &rows {
+        g.add_edge(nums[0] as usize, nums[1] as usize);
+        if nums.len() == 3 {
+            any_weight = true;
+            weights.push(nums[2]);
+        } else {
+            any_plain = true;
+        }
+    }
+    if any_weight && any_plain {
+        return Err(ParseGraphError::InconsistentWeights);
+    }
+    let w = any_weight.then(|| EdgeWeights::from_vec(weights));
+    Ok((g, w))
+}
+
+/// Parses a directed edge list.
+pub fn parse_directed_edge_list(text: &str) -> Result<DiGraph, ParseGraphError> {
+    let (n, rows) = parse_lines(text)?;
+    let mut g = DiGraph::new(n);
+    for (_, nums) in &rows {
+        g.add_edge(nums[0] as usize, nums[1] as usize);
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gen::gnp_connected(20, 0.2, &mut rng);
+        let text = to_edge_list(&g, None);
+        let (parsed, w) = parse_edge_list(&text).unwrap();
+        assert_eq!(parsed, g);
+        assert!(w.is_none());
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen::gnp_connected(15, 0.25, &mut rng);
+        let w = gen::random_weights(g.num_edges(), 0, 9, &mut rng);
+        let text = to_edge_list(&g, Some(&w));
+        let (parsed, parsed_w) = parse_edge_list(&text).unwrap();
+        assert_eq!(parsed, g);
+        assert_eq!(parsed_w, Some(w));
+    }
+
+    #[test]
+    fn roundtrip_directed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::random_digraph_connected(12, 0.15, &mut rng);
+        let text = to_directed_edge_list(&g);
+        let parsed = parse_directed_edge_list(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# n 3\n\n# a comment\n0 1\n1 2\n";
+        let (g, _) = parse_edge_list(text).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert_eq!(parse_edge_list("0 1\n"), Err(ParseGraphError::MissingHeader));
+        assert_eq!(
+            parse_edge_list("# n 3\n0\n"),
+            Err(ParseGraphError::BadLine(2))
+        );
+        assert_eq!(
+            parse_edge_list("# n 3\n0 x\n"),
+            Err(ParseGraphError::BadNumber(2))
+        );
+        assert_eq!(
+            parse_edge_list("# n 3\n0 1 5\n1 2\n"),
+            Err(ParseGraphError::InconsistentWeights)
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Graph substrate for the reproduction of *Distributed Spanner
+//! Approximation* (Censor-Hillel & Dory, PODC 2018).
+//!
+//! This crate provides the data structures every other crate in the
+//! workspace builds on:
+//!
+//! * [`Graph`] — a simple undirected graph with stable edge identifiers,
+//! * [`DiGraph`] — a simple directed graph with stable edge identifiers,
+//! * [`EdgeSet`] — a compact bitset over edge identifiers, used to track
+//!   spanners, covered-edge sets, and the `H_v` sets of Section 4 of the
+//!   paper,
+//! * [`Ratio`] — exact non-negative rational arithmetic for star densities,
+//! * [`gen`] — workload generators (random, structured, and weighted
+//!   graphs) used by the test suite and the experiment harness.
+//!
+//! The crate is dependency-light by design: the only runtime dependency is
+//! `rand` (for the generators), so the algorithmic crates above it stay
+//! auditable end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use dsa_graphs::{Graph, EdgeSet};
+//!
+//! // A 4-cycle plus one chord.
+//! let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+//! assert_eq!(g.num_vertices(), 4);
+//! assert_eq!(g.num_edges(), 5);
+//!
+//! // The chord {0, 2} is 2-spanned by the star {0-1, 1-2}.
+//! let mut spanner = EdgeSet::new(g.num_edges());
+//! spanner.insert(g.edge_id(0, 1).unwrap());
+//! spanner.insert(g.edge_id(1, 2).unwrap());
+//! assert!(dsa_graphs::traversal::covers_edge(&g, &spanner, g.edge_id(0, 2).unwrap(), 2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod directed;
+mod edgeset;
+pub mod gen;
+pub mod io;
+mod ratio;
+pub mod traversal;
+mod undirected;
+mod weights;
+
+pub use directed::DiGraph;
+pub use edgeset::EdgeSet;
+pub use ratio::Ratio;
+pub use undirected::Graph;
+pub use weights::EdgeWeights;
+
+/// Identifier of a vertex. Vertices of a graph with `n` vertices are
+/// `0..n`.
+pub type VertexId = usize;
+
+/// Identifier of an edge. Edges of a graph with `m` edges are `0..m`, in
+/// insertion order.
+pub type EdgeId = usize;

@@ -1,0 +1,204 @@
+//! Exact non-negative rational arithmetic for star densities.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A non-negative rational number with exact comparison.
+///
+/// Star densities in the paper are ratios of small integers (numbers of
+/// edges over star sizes or weights); comparing them with floating point
+/// would risk breaking the tie-carefulness the analysis relies on
+/// (Observation 1 of the paper manipulates exact mediant inequalities).
+/// All comparisons go through 128-bit cross multiplication, so they are
+/// exact for any operands produced by graphs with fewer than 2^32 edges.
+///
+/// The value is *not* kept in lowest terms; equality is value equality.
+///
+/// # Example
+///
+/// ```
+/// use dsa_graphs::Ratio;
+///
+/// let half = Ratio::new(1, 2);
+/// let two_quarters = Ratio::new(2, 4);
+/// assert_eq!(half, two_quarters);
+/// assert!(half < Ratio::new(2, 3));
+/// assert_eq!(Ratio::zero().ceil_pow2_exponent(), None);
+/// assert_eq!(Ratio::new(3, 1).ceil_pow2_exponent(), Some(2)); // 4 = 2^2 > 3
+/// assert_eq!(Ratio::new(4, 1).ceil_pow2_exponent(), Some(3)); // 8 = 2^3 > 4
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    /// Creates the ratio `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den != 0, "ratio denominator must be non-zero");
+        Ratio { num, den }
+    }
+
+    /// The ratio 0.
+    pub fn zero() -> Self {
+        Ratio { num: 0, den: 1 }
+    }
+
+    /// The ratio 1.
+    pub fn one() -> Self {
+        Ratio { num: 1, den: 1 }
+    }
+
+    /// The numerator as given.
+    pub fn numerator(&self) -> u64 {
+        self.num
+    }
+
+    /// The denominator as given.
+    pub fn denominator(&self) -> u64 {
+        self.den
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// The value as `f64`, for reporting only.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Compares `self` against `2^exp` (exp may be negative).
+    pub fn cmp_pow2(&self, exp: i32) -> Ordering {
+        // self ? 2^exp  <=>  num * 2^{-exp} ? den (for exp <= 0)
+        //                <=>  num ? den * 2^{exp} (for exp >= 0)
+        if exp >= 0 {
+            let rhs = (self.den as u128) << exp.min(100);
+            (self.num as u128).cmp(&rhs)
+        } else {
+            let lhs = (self.num as u128) << (-exp).min(100);
+            lhs.cmp(&(self.den as u128))
+        }
+    }
+
+    /// The exponent `j` of the *rounded density* of the paper: the
+    /// smallest integer with `2^j > self`. Returns `None` for zero.
+    ///
+    /// Section 4 of the paper rounds every density "to the closest power
+    /// of 2 that is greater than" the density, so an exact power of two
+    /// rounds up to the next one.
+    pub fn ceil_pow2_exponent(&self) -> Option<i32> {
+        if self.is_zero() {
+            return None;
+        }
+        // Start near log2(num/den) and walk to the exact answer.
+        let mut j = (self.num as f64 / self.den as f64).log2().ceil() as i32;
+        // Ensure 2^j > self.
+        while self.cmp_pow2(j) != Ordering::Less {
+            j += 1;
+        }
+        // Ensure minimality: 2^{j-1} <= self.
+        while self.cmp_pow2(j - 1) == Ordering::Less {
+            j -= 1;
+        }
+        Some(j)
+    }
+
+    /// `self * k` for an integer `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on numerator overflow.
+    pub fn scale(&self, k: u64) -> Ratio {
+        Ratio::new(self.num.checked_mul(k).expect("ratio overflow"), self.den)
+    }
+}
+
+impl PartialEq for Ratio {
+    fn eq(&self, other: &Self) -> bool {
+        (self.num as u128) * (other.den as u128) == (other.num as u128) * (self.den as u128)
+    }
+}
+
+impl Eq for Ratio {}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        ((self.num as u128) * (other.den as u128)).cmp(&((other.num as u128) * (self.den as u128)))
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl From<u64> for Ratio {
+    fn from(v: u64) -> Self {
+        Ratio::new(v, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_exact() {
+        // 1/3 < 3333333333/10^10 < 34/100
+        let a = Ratio::new(1, 3);
+        let b = Ratio::new(3_333_333_333, 10_000_000_000);
+        let c = Ratio::new(34, 100);
+        assert!(a > b);
+        assert!(b < c);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        assert_eq!(Ratio::new(6, 4), Ratio::new(3, 2));
+        assert_ne!(Ratio::new(6, 4), Ratio::new(3, 4));
+    }
+
+    #[test]
+    fn pow2_rounding_strictly_greater() {
+        assert_eq!(Ratio::new(1, 1).ceil_pow2_exponent(), Some(1));
+        assert_eq!(Ratio::new(3, 2).ceil_pow2_exponent(), Some(1));
+        assert_eq!(Ratio::new(5, 2).ceil_pow2_exponent(), Some(2));
+        assert_eq!(Ratio::new(1, 2).ceil_pow2_exponent(), Some(0));
+        assert_eq!(Ratio::new(1, 3).ceil_pow2_exponent(), Some(-1));
+        assert_eq!(Ratio::new(1, 4).ceil_pow2_exponent(), Some(-1));
+        assert_eq!(Ratio::new(1, 5).ceil_pow2_exponent(), Some(-2));
+    }
+
+    #[test]
+    fn cmp_pow2_negative_exponents() {
+        assert_eq!(Ratio::new(1, 8).cmp_pow2(-3), Ordering::Equal);
+        assert_eq!(Ratio::new(1, 9).cmp_pow2(-3), Ordering::Less);
+        assert_eq!(Ratio::new(1, 7).cmp_pow2(-3), Ordering::Greater);
+    }
+
+    #[test]
+    fn scale_multiplies_numerator() {
+        assert_eq!(Ratio::new(2, 3).scale(3), Ratio::new(6, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        Ratio::new(1, 0);
+    }
+}

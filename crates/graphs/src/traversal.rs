@@ -1,0 +1,247 @@
+//! Breadth-first traversal, distances, connectivity, and the
+//! bounded-stretch reachability queries the spanner verifiers rely on.
+
+use std::collections::VecDeque;
+
+use crate::{DiGraph, EdgeId, EdgeSet, Graph, VertexId};
+
+/// Distance labels produced by a BFS; `None` means unreachable.
+pub type Distances = Vec<Option<usize>>;
+
+/// BFS distances from `source` in `g`.
+pub fn bfs_distances(g: &Graph, source: VertexId) -> Distances {
+    bfs_distances_in(g, source, None, usize::MAX)
+}
+
+/// BFS distances from `source` using only edges in `allowed`
+/// (or all edges when `allowed` is `None`), exploring up to `max_depth`.
+pub fn bfs_distances_in(
+    g: &Graph,
+    source: VertexId,
+    allowed: Option<&EdgeSet>,
+    max_depth: usize,
+) -> Distances {
+    let mut dist: Distances = vec![None; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source] = Some(0);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v].expect("queued vertices have distances");
+        if d == max_depth {
+            continue;
+        }
+        for (u, e) in g.neighbors(v) {
+            if allowed.is_some_and(|set| !set.contains(e)) {
+                continue;
+            }
+            if dist[u].is_none() {
+                dist[u] = Some(d + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Directed BFS distances from `source` following edge directions,
+/// using only edges in `allowed` (or all edges when `None`), exploring
+/// up to `max_depth`.
+pub fn bfs_distances_directed(
+    g: &DiGraph,
+    source: VertexId,
+    allowed: Option<&EdgeSet>,
+    max_depth: usize,
+) -> Distances {
+    let mut dist: Distances = vec![None; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source] = Some(0);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v].expect("queued vertices have distances");
+        if d == max_depth {
+            continue;
+        }
+        for (u, e) in g.out_neighbors(v) {
+            if allowed.is_some_and(|set| !set.contains(e)) {
+                continue;
+            }
+            if dist[u].is_none() {
+                dist[u] = Some(d + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Whether `g` is connected (the empty graph and 1-vertex graph are).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.num_vertices() <= 1 {
+        return true;
+    }
+    let dist = bfs_distances(g, 0);
+    dist.iter().all(Option::is_some)
+}
+
+/// Whether there is a path of length at most `k` between the endpoints
+/// of edge `e` that uses only edges of `h` — the paper's notion of `e`
+/// being *covered* by the subset `h` (Section 1.5).
+///
+/// Note that `e ∈ h` trivially covers `e` (a path of length 1).
+pub fn covers_edge(g: &Graph, h: &EdgeSet, e: EdgeId, k: usize) -> bool {
+    let (u, v) = g.endpoints(e);
+    let dist = bfs_distances_in(g, u, Some(h), k);
+    matches!(dist[v], Some(d) if d <= k)
+}
+
+/// Directed analogue of [`covers_edge`]: whether `h` contains a directed
+/// path of length at most `k` from the tail of `e` to its head.
+pub fn covers_edge_directed(g: &DiGraph, h: &EdgeSet, e: EdgeId, k: usize) -> bool {
+    let (u, v) = g.endpoints(e);
+    let dist = bfs_distances_directed(g, u, Some(h), k);
+    matches!(dist[v], Some(d) if d <= k)
+}
+
+/// The ball `B_d(v)`: all vertices within distance `d` of `v`,
+/// in increasing distance order.
+pub fn ball(g: &Graph, v: VertexId, d: usize) -> Vec<VertexId> {
+    let dist = bfs_distances_in(g, v, None, d);
+    let mut out: Vec<(usize, VertexId)> = dist
+        .iter()
+        .enumerate()
+        .filter_map(|(u, &dd)| dd.map(|dd| (dd, u)))
+        .collect();
+    out.sort_unstable();
+    out.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Eccentricity-based diameter of the subgraph induced by `vertices`
+/// *measured in `g`* (i.e. a weak diameter). Returns `None` if some pair
+/// of the given vertices is disconnected in `g`.
+pub fn weak_diameter(g: &Graph, vertices: &[VertexId]) -> Option<usize> {
+    let mut diam = 0;
+    for &v in vertices {
+        let dist = bfs_distances(g, v);
+        for &u in vertices {
+            diam = diam.max(dist[u]?);
+        }
+    }
+    Some(diam)
+}
+
+/// All-pairs shortest-path distances by repeated BFS. Intended for the
+/// small graphs used in tests and exact baselines.
+pub fn all_pairs_distances(g: &Graph) -> Vec<Distances> {
+    g.vertices().map(|v| bfs_distances(g, v)).collect()
+}
+
+/// Connected components of `g`; each component is a sorted vertex list,
+/// and components appear in order of their smallest vertex.
+pub fn connected_components(g: &Graph) -> Vec<Vec<VertexId>> {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut comps = Vec::new();
+    for s in g.vertices() {
+        if seen[s] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut queue = VecDeque::new();
+        seen[s] = true;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            comp.push(v);
+            for (u, _) in g.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn bfs_depth_limit() {
+        let g = path_graph(5);
+        let d = bfs_distances_in(&g, 0, None, 2);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), None, None]);
+    }
+
+    #[test]
+    fn bfs_respects_allowed_set() {
+        let g = path_graph(4);
+        let mut allowed = EdgeSet::new(g.num_edges());
+        allowed.insert(g.edge_id(0, 1).unwrap());
+        // Edge 1-2 missing: 2 and 3 unreachable.
+        let d = bfs_distances_in(&g, 0, Some(&allowed), usize::MAX);
+        assert_eq!(d, vec![Some(0), Some(1), None, None]);
+    }
+
+    #[test]
+    fn covers_edge_via_two_path() {
+        // Triangle 0-1-2.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let mut h = EdgeSet::new(3);
+        h.insert(g.edge_id(0, 1).unwrap());
+        h.insert(g.edge_id(1, 2).unwrap());
+        let e02 = g.edge_id(0, 2).unwrap();
+        assert!(covers_edge(&g, &h, e02, 2));
+        assert!(!covers_edge(&g, &h, e02, 1));
+        // An edge in h covers itself.
+        assert!(covers_edge(&g, &h, g.edge_id(0, 1).unwrap(), 1));
+    }
+
+    #[test]
+    fn directed_coverage_follows_directions() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let mut h = EdgeSet::new(3);
+        h.insert(g.edge_id(0, 1).unwrap());
+        h.insert(g.edge_id(1, 2).unwrap());
+        let e02 = g.edge_id(0, 2).unwrap();
+        assert!(covers_edge_directed(&g, &h, e02, 2));
+        // Reverse edge is not covered: no directed path 2 -> 0.
+        let mut rev = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let e20 = rev.add_edge(2, 0);
+        let mut h2 = EdgeSet::new(3);
+        h2.insert(rev.edge_id(0, 1).unwrap());
+        h2.insert(rev.edge_id(1, 2).unwrap());
+        assert!(!covers_edge_directed(&rev, &h2, e20, 5));
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3)]);
+        assert!(!is_connected(&g));
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        assert!(is_connected(&path_graph(4)));
+    }
+
+    #[test]
+    fn balls_and_diameter() {
+        let g = path_graph(6);
+        assert_eq!(ball(&g, 2, 1), vec![2, 1, 3]);
+        assert_eq!(weak_diameter(&g, &[0, 5]), Some(5));
+        assert_eq!(weak_diameter(&g, &[1, 3]), Some(2));
+        let disc = Graph::from_edges(3, [(0, 1)]);
+        assert_eq!(weak_diameter(&disc, &[0, 2]), None);
+    }
+}

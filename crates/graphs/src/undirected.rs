@@ -1,0 +1,264 @@
+//! Simple undirected graphs with stable edge identifiers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{EdgeId, VertexId};
+
+/// A simple undirected graph.
+///
+/// Vertices are dense integers `0..n`; edges get dense identifiers
+/// `0..m` in insertion order, so algorithms can attach per-edge data
+/// (weights, coverage bits, spanner membership) in parallel vectors or
+/// [`crate::EdgeSet`]s.
+///
+/// Self-loops and parallel edges are rejected — the paper works with
+/// simple graphs throughout.
+///
+/// # Example
+///
+/// ```
+/// use dsa_graphs::Graph;
+///
+/// let mut g = Graph::new(3);
+/// let e01 = g.add_edge(0, 1);
+/// let e12 = g.add_edge(1, 2);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.edge_id(1, 0), Some(e01));
+/// assert_eq!(g.endpoints(e12), (1, 2));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    /// `adj[v]` lists `(neighbor, edge id)` pairs in insertion order.
+    adj: Vec<Vec<(VertexId, EdgeId)>>,
+    /// `edges[e]` is the pair of endpoints, with the smaller id first.
+    edges: Vec<(VertexId, VertexId)>,
+    /// Lookup from normalized endpoint pair to edge id.
+    index: BTreeMap<(VertexId, VertexId), EdgeId>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a graph with `n` vertices from an edge iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge is a self-loop, a duplicate, or references a
+    /// vertex `>= n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices()
+    }
+
+    /// Adds an edge `{u, v}` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, duplicate edges, or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> EdgeId {
+        assert!(u != v, "self-loop {u}-{v} not allowed in a simple graph");
+        assert!(
+            u < self.num_vertices() && v < self.num_vertices(),
+            "edge {u}-{v} out of range for {} vertices",
+            self.num_vertices()
+        );
+        let key = (u.min(v), u.max(v));
+        assert!(
+            !self.index.contains_key(&key),
+            "duplicate edge {u}-{v} not allowed in a simple graph"
+        );
+        let id = self.edges.len();
+        self.edges.push(key);
+        self.index.insert(key, id);
+        self.adj[u].push((v, id));
+        self.adj[v].push((u, id));
+        id
+    }
+
+    /// Adds an edge if not already present; returns `(id, inserted)`.
+    pub fn ensure_edge(&mut self, u: VertexId, v: VertexId) -> (EdgeId, bool) {
+        match self.edge_id(u, v) {
+            Some(id) => (id, false),
+            None => (self.add_edge(u, v), true),
+        }
+    }
+
+    /// The id of the edge `{u, v}`, if present.
+    pub fn edge_id(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        self.index.get(&(u.min(v), u.max(v))).copied()
+    }
+
+    /// Whether the edge `{u, v}` is present.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_id(u, v).is_some()
+    }
+
+    /// The endpoints of edge `e`, smaller vertex first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e]
+    }
+
+    /// Given edge `e` and one endpoint, returns the other endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of `e`.
+    pub fn other_endpoint(&self, e: EdgeId, v: VertexId) -> VertexId {
+        let (a, b) = self.edges[e];
+        if v == a {
+            b
+        } else if v == b {
+            a
+        } else {
+            panic!("vertex {v} is not an endpoint of edge {e} = {{{a}, {b}}}")
+        }
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree Δ of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterator over `(neighbor, edge id)` pairs of `v`.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        self.adj[v].iter().copied()
+    }
+
+    /// Iterator over the neighbor vertices of `v`.
+    pub fn neighbor_vertices(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.adj[v].iter().map(|&(u, _)| u)
+    }
+
+    /// Iterator over `(edge id, u, v)` triples for all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        self.edges.iter().enumerate().map(|(e, &(u, v))| (e, u, v))
+    }
+
+    /// True if `x` is adjacent to both endpoints of edge `e` — i.e. `x`
+    /// can 2-span `e` with a star centered at `x`.
+    pub fn is_common_neighbor(&self, x: VertexId, e: EdgeId) -> bool {
+        let (u, v) = self.endpoints(e);
+        self.has_edge(x, u) && self.has_edge(x, v)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.num_vertices())
+            .field("m", &self.num_edges())
+            .field("edges", &self.edges)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.edge_id(3, 2), g.edge_id(2, 3));
+        let e = g.edge_id(1, 2).unwrap();
+        assert_eq!(g.endpoints(e), (1, 2));
+        assert_eq!(g.other_endpoint(e, 1), 2);
+        assert_eq!(g.other_endpoint(e, 2), 1);
+    }
+
+    #[test]
+    fn neighbors_list_both_directions() {
+        let g = Graph::from_edges(3, [(0, 1), (0, 2)]);
+        let n0: Vec<_> = g.neighbor_vertices(0).collect();
+        assert_eq!(n0, vec![1, 2]);
+        let n1: Vec<_> = g.neighbor_vertices(1).collect();
+        assert_eq!(n1, vec![0]);
+    }
+
+    #[test]
+    fn ensure_edge_is_idempotent() {
+        let mut g = Graph::new(3);
+        let (e, fresh) = g.ensure_edge(0, 1);
+        assert!(fresh);
+        let (e2, fresh2) = g.ensure_edge(1, 0);
+        assert!(!fresh2);
+        assert_eq!(e, e2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn common_neighbor_detection() {
+        // Triangle 0-1-2 plus pendant 3 on 0.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3)]);
+        let e12 = g.edge_id(1, 2).unwrap();
+        assert!(g.is_common_neighbor(0, e12));
+        assert!(!g.is_common_neighbor(3, e12));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5);
+    }
+}

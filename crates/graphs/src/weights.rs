@@ -1,0 +1,145 @@
+//! Per-edge non-negative integer weights.
+
+use crate::{EdgeId, Graph};
+
+/// Non-negative integer weights attached to the edges of a [`Graph`] or
+/// [`crate::DiGraph`] by edge id.
+///
+/// The weighted k-spanner problem of the paper uses non-negative costs
+/// (weight 0 is meaningful — the lower-bound construction of Section 2.3
+/// and the reduction graph of Section 3 both rely on zero-weight edges),
+/// so weights are `u64`, not floats.
+///
+/// # Example
+///
+/// ```
+/// use dsa_graphs::{Graph, EdgeWeights};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+/// let w = EdgeWeights::from_fn(g.num_edges(), |e| (e as u64) * 10);
+/// assert_eq!(w.get(1), 10);
+/// assert_eq!(w.total(), 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeWeights {
+    weights: Vec<u64>,
+}
+
+impl EdgeWeights {
+    /// All-`c` weights for `m` edges.
+    pub fn constant(m: usize, c: u64) -> Self {
+        EdgeWeights {
+            weights: vec![c; m],
+        }
+    }
+
+    /// Unit weights for every edge of `g` (reduces weighted algorithms to
+    /// the unweighted problem).
+    pub fn unit(g: &Graph) -> Self {
+        Self::constant(g.num_edges(), 1)
+    }
+
+    /// Builds weights from a function of the edge id.
+    pub fn from_fn<F: FnMut(EdgeId) -> u64>(m: usize, mut f: F) -> Self {
+        EdgeWeights {
+            weights: (0..m).map(&mut f).collect(),
+        }
+    }
+
+    /// Builds weights from a vector, one entry per edge id.
+    pub fn from_vec(weights: Vec<u64>) -> Self {
+        EdgeWeights { weights }
+    }
+
+    /// Number of edges covered by this weighting.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the weighting covers zero edges.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The weight of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn get(&self, e: EdgeId) -> u64 {
+        self.weights[e]
+    }
+
+    /// Sets the weight of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn set(&mut self, e: EdgeId, w: u64) {
+        self.weights[e] = w;
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// Sum of weights over an id iterator.
+    pub fn sum<I: IntoIterator<Item = EdgeId>>(&self, ids: I) -> u64 {
+        ids.into_iter().map(|e| self.weights[e]).sum()
+    }
+
+    /// Maximum weight, or 0 if there are no edges.
+    pub fn max(&self) -> u64 {
+        self.weights.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum *positive* weight, if any edge has positive weight.
+    pub fn min_positive(&self) -> Option<u64> {
+        self.weights.iter().copied().filter(|&w| w > 0).min()
+    }
+
+    /// The ratio `W = w_max / w_min` between the extreme positive
+    /// weights, used in the round bound of Theorem 4.12. Returns `None`
+    /// when no edge has positive weight.
+    pub fn weight_spread(&self) -> Option<u64> {
+        let max_pos = self.weights.iter().copied().filter(|&w| w > 0).max()?;
+        let min_pos = self.min_positive()?;
+        Some(max_pos / min_pos)
+    }
+
+    /// Iterator over `(edge id, weight)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeId, u64)> + '_ {
+        self.weights.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_extremes() {
+        let w = EdgeWeights::from_vec(vec![0, 5, 3, 0, 10]);
+        assert_eq!(w.total(), 18);
+        assert_eq!(w.max(), 10);
+        assert_eq!(w.min_positive(), Some(3));
+        assert_eq!(w.weight_spread(), Some(3));
+        assert_eq!(w.sum([1, 2]), 8);
+    }
+
+    #[test]
+    fn all_zero_has_no_positive_min() {
+        let w = EdgeWeights::constant(4, 0);
+        assert_eq!(w.min_positive(), None);
+        assert_eq!(w.weight_spread(), None);
+    }
+
+    #[test]
+    fn unit_matches_graph() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let w = EdgeWeights::unit(&g);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.total(), 2);
+    }
+}

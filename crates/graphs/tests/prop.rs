@@ -1,0 +1,169 @@
+//! Property tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use dsa_graphs::traversal::{
+    all_pairs_distances, bfs_distances, connected_components, covers_edge, is_connected,
+};
+use dsa_graphs::{gen, EdgeSet, Graph, Ratio};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40, 0u64..500, 1u32..5).prop_map(|(n, seed, d)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gen::gnp(n, 0.06 * d as f64, &mut rng)
+    })
+}
+
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40, 0u64..500, 1u32..5).prop_map(|(n, seed, d)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gen::gnp_connected(n, 0.06 * d as f64, &mut rng)
+    })
+}
+
+proptest! {
+    /// Handshake lemma: degree sum equals twice the edge count.
+    #[test]
+    fn degree_sum_is_twice_edges(g in arb_graph()) {
+        let sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, 2 * g.num_edges());
+    }
+
+    /// Edge ids round-trip through endpoints and the index.
+    #[test]
+    fn edge_ids_roundtrip(g in arb_graph()) {
+        for (e, u, v) in g.edges() {
+            prop_assert_eq!(g.edge_id(u, v), Some(e));
+            prop_assert_eq!(g.edge_id(v, u), Some(e));
+            prop_assert_eq!(g.endpoints(e), (u.min(v), u.max(v)));
+            prop_assert_eq!(g.other_endpoint(e, u), v);
+        }
+    }
+
+    /// BFS distances are symmetric in undirected graphs.
+    #[test]
+    fn bfs_symmetry(g in arb_connected_graph()) {
+        let d = all_pairs_distances(&g);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                prop_assert_eq!(d[u][v], d[v][u]);
+            }
+        }
+    }
+
+    /// The triangle inequality holds for BFS distances.
+    #[test]
+    fn bfs_triangle_inequality(g in arb_connected_graph()) {
+        let d = all_pairs_distances(&g);
+        let n = g.num_vertices();
+        for u in 0..n {
+            for v in 0..n {
+                for w in 0..n {
+                    let (duv, dvw, duw) = (d[u][v].unwrap(), d[v][w].unwrap(), d[u][w].unwrap());
+                    prop_assert!(duw <= duv + dvw);
+                }
+            }
+        }
+    }
+
+    /// Components partition the vertex set, and a graph is connected
+    /// iff it has one component.
+    #[test]
+    fn components_partition(g in arb_graph()) {
+        let comps = connected_components(&g);
+        let mut seen = vec![false; g.num_vertices()];
+        for comp in &comps {
+            for &v in comp {
+                prop_assert!(!seen[v], "vertex {v} in two components");
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        prop_assert_eq!(comps.len() == 1, is_connected(&g) && g.num_vertices() > 0);
+    }
+
+    /// The full edge set covers everything at stretch 1; the empty set
+    /// covers nothing (on non-empty graphs).
+    #[test]
+    fn coverage_extremes(g in arb_graph()) {
+        let full = EdgeSet::full(g.num_edges());
+        let empty = EdgeSet::new(g.num_edges());
+        for (e, _, _) in g.edges() {
+            prop_assert!(covers_edge(&g, &full, e, 1));
+            prop_assert!(!covers_edge(&g, &empty, e, 5));
+        }
+    }
+
+    /// Coverage is monotone in the stretch and in the edge set.
+    #[test]
+    fn coverage_monotone(g in arb_connected_graph(), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let sub = EdgeSet::from_iter(
+            g.num_edges(),
+            (0..g.num_edges()).filter(|_| rng.gen_bool(0.6)),
+        );
+        let full = EdgeSet::full(g.num_edges());
+        for (e, _, _) in g.edges() {
+            if covers_edge(&g, &sub, e, 2) {
+                prop_assert!(covers_edge(&g, &sub, e, 3));
+                prop_assert!(covers_edge(&g, &full, e, 2));
+            }
+        }
+    }
+
+    /// EdgeSet operations behave like the reference BTreeSet.
+    #[test]
+    fn edgeset_matches_btreeset(ids in proptest::collection::vec(0usize..200, 0..60)) {
+        use std::collections::BTreeSet;
+        let set = EdgeSet::from_iter(200, ids.iter().copied());
+        let reference: BTreeSet<usize> = ids.iter().copied().collect();
+        prop_assert_eq!(set.len(), reference.len());
+        let collected: Vec<usize> = set.iter().collect();
+        let expected: Vec<usize> = reference.iter().copied().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    /// Rounded density: 2^{j-1} <= ρ < 2^j for the returned exponent.
+    #[test]
+    fn pow2_rounding_brackets(num in 1u64..10_000, den in 1u64..10_000) {
+        let r = Ratio::new(num, den);
+        let j = r.ceil_pow2_exponent().unwrap();
+        prop_assert_eq!(r.cmp_pow2(j), std::cmp::Ordering::Less);
+        prop_assert_ne!(r.cmp_pow2(j - 1), std::cmp::Ordering::Less);
+    }
+
+    /// Ratio ordering agrees with cross-multiplication on f64 (where
+    /// f64 is exact enough to decide).
+    #[test]
+    fn ratio_ordering_consistent(a in 0u64..1_000, b in 1u64..1_000, c in 0u64..1_000, d in 1u64..1_000) {
+        let (x, y) = (Ratio::new(a, b), Ratio::new(c, d));
+        let lhs = (a as u128) * (d as u128);
+        let rhs = (c as u128) * (b as u128);
+        prop_assert_eq!(x.cmp(&y), lhs.cmp(&rhs));
+    }
+
+    /// Generators produce what they promise.
+    #[test]
+    fn gnp_connected_connects(n in 1usize..50, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::gnp_connected(n, 0.01, &mut rng);
+        prop_assert!(is_connected(&g));
+        prop_assert_eq!(g.num_vertices(), n);
+    }
+
+    /// BFS from any vertex reaches exactly its component.
+    #[test]
+    fn bfs_reaches_component(g in arb_graph()) {
+        if g.num_vertices() == 0 { return Ok(()); }
+        let comps = connected_components(&g);
+        for comp in &comps {
+            let d = bfs_distances(&g, comp[0]);
+            for v in g.vertices() {
+                prop_assert_eq!(d[v].is_some(), comp.contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Set-disjointness and gap-disjointness instances (Section 2).
+//!
+//! Alice and Bob hold bit strings `a, b ∈ {0,1}^N`. The strings are
+//! *disjoint* when no index carries a 1 in both; they are *far from
+//! disjoint* when at least `N/12` indices do. Set-disjointness needs
+//! `Ω(N)` bits even with randomization (Lemma 2.1); gap-disjointness
+//! needs `Ω(N)` bits deterministically (Lemma 2.5).
+
+use rand::Rng;
+
+/// A 2-party input pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instance {
+    /// Alice's string.
+    pub a: Vec<bool>,
+    /// Bob's string.
+    pub b: Vec<bool>,
+}
+
+impl Instance {
+    /// Input length `N`.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Whether the instance is degenerate (length 0).
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+
+    /// Number of indices with `a_i = b_i = 1`.
+    pub fn intersection_size(&self) -> usize {
+        self.a
+            .iter()
+            .zip(&self.b)
+            .filter(|&(&x, &y)| x && y)
+            .count()
+    }
+
+    /// Whether the strings are disjoint.
+    pub fn is_disjoint(&self) -> bool {
+        self.intersection_size() == 0
+    }
+
+    /// Whether the strings are far from disjoint (≥ N/12 common 1s),
+    /// the gap-disjointness promise of Lemma 2.5/2.6.
+    pub fn is_far_from_disjoint(&self) -> bool {
+        12 * self.intersection_size() >= self.len()
+    }
+}
+
+/// A random disjoint instance: each index independently gets one of
+/// `(0,0), (0,1), (1,0)`.
+pub fn random_disjoint<R: Rng>(n: usize, rng: &mut R) -> Instance {
+    let mut a = vec![false; n];
+    let mut b = vec![false; n];
+    for i in 0..n {
+        match rng.gen_range(0..3) {
+            0 => {}
+            1 => a[i] = true,
+            _ => b[i] = true,
+        }
+    }
+    Instance { a, b }
+}
+
+/// A random instance with exactly `k ≥ 1` common 1s planted on top of
+/// a random disjoint instance.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n`.
+pub fn random_intersecting<R: Rng>(n: usize, k: usize, rng: &mut R) -> Instance {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+    let mut inst = random_disjoint(n, rng);
+    let mut planted = 0;
+    while planted < k {
+        let i = rng.gen_range(0..n);
+        if !(inst.a[i] && inst.b[i]) {
+            inst.a[i] = true;
+            inst.b[i] = true;
+            planted += 1;
+        }
+    }
+    inst
+}
+
+/// A random far-from-disjoint instance: at least `⌈N/6⌉` common 1s
+/// (comfortably beyond the `N/12` promise).
+pub fn random_far_from_disjoint<R: Rng>(n: usize, rng: &mut R) -> Instance {
+    let k = n.div_ceil(6).max(1);
+    random_intersecting(n, k, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generators_meet_their_promises() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 5, 36, 144] {
+            let d = random_disjoint(n, &mut rng);
+            assert!(d.is_disjoint());
+            assert_eq!(d.len(), n);
+
+            let i = random_intersecting(n, 1, &mut rng);
+            assert_eq!(i.intersection_size(), 1);
+            assert!(!i.is_disjoint());
+
+            let f = random_far_from_disjoint(n, &mut rng);
+            assert!(f.is_far_from_disjoint(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn far_threshold_is_n_over_12() {
+        let inst = Instance {
+            a: vec![true; 12],
+            b: {
+                let mut b = vec![false; 12];
+                b[0] = true;
+                b
+            },
+        };
+        assert!(inst.is_far_from_disjoint()); // 1 >= 12/12
+        let inst2 = Instance {
+            a: vec![true; 13],
+            b: {
+                let mut b = vec![false; 13];
+                b[0] = true;
+                b
+            },
+        };
+        assert!(!inst2.is_far_from_disjoint()); // 12 < 13
+    }
+}

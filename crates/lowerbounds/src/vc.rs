@@ -1,0 +1,115 @@
+//! Minimum vertex cover: verifier, greedy 2-approximation, and exact
+//! branch and bound (ground truth for the Section-3 reduction).
+
+use dsa_graphs::{Graph, VertexId};
+
+/// Whether `cover` touches every edge of `g`.
+///
+/// # Example
+///
+/// ```
+/// use dsa_graphs::gen::path;
+/// use dsa_lowerbounds::vc::is_vertex_cover;
+///
+/// let g = path(4); // 0-1-2-3
+/// assert!(is_vertex_cover(&g, &[1, 2]));
+/// assert!(!is_vertex_cover(&g, &[0, 3]));
+/// ```
+pub fn is_vertex_cover(g: &Graph, cover: &[VertexId]) -> bool {
+    let mut inside = vec![false; g.num_vertices()];
+    for &v in cover {
+        inside[v] = true;
+    }
+    g.edges().all(|(_, u, v)| inside[u] || inside[v])
+}
+
+/// Greedy maximal-matching 2-approximation of minimum vertex cover.
+pub fn greedy_vertex_cover(g: &Graph) -> Vec<VertexId> {
+    let mut matched = vec![false; g.num_vertices()];
+    let mut cover = Vec::new();
+    for (_, u, v) in g.edges() {
+        if !matched[u] && !matched[v] {
+            matched[u] = true;
+            matched[v] = true;
+            cover.push(u);
+            cover.push(v);
+        }
+    }
+    cover.sort_unstable();
+    cover
+}
+
+/// Exact minimum vertex cover by branch and bound (small graphs only).
+pub fn exact_vertex_cover(g: &Graph) -> Vec<VertexId> {
+    let mut best: Vec<VertexId> = (0..g.num_vertices()).collect();
+    let mut current: Vec<VertexId> = Vec::new();
+    let mut covered_by = vec![0u32; g.num_edges()];
+    branch(g, &mut current, &mut covered_by, &mut best);
+    best.sort_unstable();
+    best
+}
+
+fn branch(
+    g: &Graph,
+    current: &mut Vec<VertexId>,
+    covered_by: &mut [u32],
+    best: &mut Vec<VertexId>,
+) {
+    if current.len() >= best.len() {
+        return;
+    }
+    // First uncovered edge: one endpoint must join the cover.
+    let Some((_, u, v)) = g.edges().find(|&(e, _, _)| covered_by[e] == 0) else {
+        *best = current.clone();
+        return;
+    };
+    for pick in [u, v] {
+        current.push(pick);
+        for (_, e) in g.neighbors(pick) {
+            covered_by[e] += 1;
+        }
+        branch(g, current, covered_by, best);
+        current.pop();
+        for (_, e) in g.neighbors(pick) {
+            covered_by[e] -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_graphs::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_on_known_graphs() {
+        assert_eq!(exact_vertex_cover(&gen::star(7)).len(), 1);
+        assert_eq!(exact_vertex_cover(&gen::path(5)).len(), 2);
+        assert_eq!(exact_vertex_cover(&gen::cycle(6)).len(), 3);
+        assert_eq!(exact_vertex_cover(&gen::cycle(7)).len(), 4);
+        assert_eq!(exact_vertex_cover(&gen::complete(5)).len(), 4);
+    }
+
+    #[test]
+    fn greedy_is_within_factor_two() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let g = gen::gnp_connected(14, 0.25, &mut rng);
+            let exact = exact_vertex_cover(&g);
+            let greedy = greedy_vertex_cover(&g);
+            assert!(is_vertex_cover(&g, &exact));
+            assert!(is_vertex_cover(&g, &greedy));
+            assert!(greedy.len() <= 2 * exact.len());
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_empty_cover() {
+        let g = Graph::new(4);
+        assert!(is_vertex_cover(&g, &[]));
+        assert!(exact_vertex_cover(&g).is_empty());
+        assert!(greedy_vertex_cover(&g).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! Distributed minimum dominating set (Section 5 of *Distributed
+//! Spanner Approximation*, Censor-Hillel & Dory, PODC 2018).
+//!
+//! Theorem 5.1: a CONGEST algorithm for MDS with a **guaranteed**
+//! `O(log Δ)` approximation ratio in `O(log n log Δ)` rounds w.h.p. —
+//! prior CONGEST algorithms achieved that ratio only in expectation.
+//!
+//! The algorithm is the vertex analogue of the paper's 2-spanner
+//! scheme: the "star" of `v` is its closed neighborhood, its density is
+//! the number of still-uncovered vertices in it, candidacy goes to
+//! 2-neighborhood maxima of the rounded density, uncovered vertices
+//! vote for the first candidate in random-permutation order, and a
+//! candidate joins the dominating set when it collects at least
+//! `|C_v|/8` votes. Because densities are plain integers here, every
+//! message fits in O(1) words — the protocol is genuinely CONGEST,
+//! which [`run_mds_protocol`] verifies by metering message sizes.
+//!
+//! This crate provides:
+//! * [`MdsProtocol`] / [`run_mds_protocol`] — the message-passing
+//!   CONGEST protocol (6 rounds per iteration),
+//! * [`greedy_mds`] — the classic sequential greedy (ln Δ + 1 ratio),
+//! * [`exact_mds`] — branch-and-bound ground truth for small graphs,
+//! * [`is_dominating_set`] — an independent verifier.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod jia;
+mod protocol;
+mod seq;
+mod verify;
+
+pub use jia::{jia_style_mds, JiaRun};
+pub use protocol::{run_mds_protocol, MdsProtocol, MdsRun, PHASES};
+pub use seq::{exact_mds, greedy_mds};
+pub use verify::is_dominating_set;

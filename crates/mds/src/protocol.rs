@@ -1,0 +1,276 @@
+//! The CONGEST MDS protocol of Section 5.
+
+use rand::Rng;
+
+use dsa_graphs::{Graph, Ratio, VertexId};
+use dsa_runtime::{Metrics, Network, Outbox, Protocol, RoundCtx, Simulator};
+
+/// Rounds per algorithm iteration.
+pub const PHASES: u64 = 6;
+
+/// Words allowed per CONGEST message; every message of this protocol
+/// is at most 2 words.
+pub const CONGEST_CAP_WORDS: usize = 2;
+
+/// The Section-5 minimum dominating set protocol.
+///
+/// Phase layout (one iteration = 6 rounds, all messages O(1) words):
+///
+/// | phase | message |
+/// |---|---|
+/// | 0 | my covered/uncovered status (after absorbing phase-5 joins) |
+/// | 1 | my density `ρ(v)` = uncovered vertices in `N[v]` |
+/// | 2 | max density over my closed neighborhood |
+/// | 3 | candidacy flag + `r_v` |
+/// | 4 | votes (uncovered vertices pick the first covering candidate) |
+/// | 5 | whether I joined the dominating set |
+#[derive(Clone, Debug)]
+pub struct MdsProtocol {
+    /// Acceptance rule `votes ≥ |C_v| / accept_denominator` (paper: 8).
+    pub accept_denominator: u64,
+}
+
+impl Default for MdsProtocol {
+    fn default() -> Self {
+        MdsProtocol {
+            accept_denominator: 8,
+        }
+    }
+}
+
+/// Per-vertex state.
+#[derive(Debug)]
+pub struct MdsNode {
+    neighbors: Vec<VertexId>,
+    /// Whether this vertex has joined the dominating set.
+    pub in_ds: bool,
+    /// Whether this vertex is dominated.
+    pub covered: bool,
+    /// Which neighbors are still uncovered (refreshed each phase 0/1).
+    uncovered_nbrs: Vec<VertexId>,
+    rho: u64,
+    max1: u64,
+    /// Candidate scratch: (snapshot |C_v|, r_v).
+    candidate: Option<(u64, u64)>,
+    /// Whether this vertex voted for itself this iteration.
+    self_vote: bool,
+}
+
+/// Rounded density key: smallest power of two strictly above `rho`
+/// (`None` for zero), mirroring the spanner algorithm's rounding.
+fn key(rho: u64) -> Option<i32> {
+    Ratio::new(rho, 1).ceil_pow2_exponent()
+}
+
+impl Protocol for MdsProtocol {
+    type Node = MdsNode;
+
+    fn init(&self, ctx: &mut RoundCtx<'_>) -> MdsNode {
+        MdsNode {
+            neighbors: ctx.neighbors.to_vec(),
+            in_ds: false,
+            covered: false,
+            uncovered_nbrs: Vec::new(),
+            rho: 0,
+            max1: 0,
+            candidate: None,
+            self_vote: false,
+        }
+    }
+
+    fn round(&self, node: &mut MdsNode, ctx: &mut RoundCtx<'_>, out: &mut Outbox) {
+        match (ctx.round - 1) % PHASES {
+            0 => {
+                // Absorb phase-5 join announcements, update coverage,
+                // broadcast status.
+                if ctx.round > 1 {
+                    let nbr_joined = ctx.inbox.iter().any(|env| env.words[0] == 1);
+                    if node.in_ds || nbr_joined {
+                        node.covered = true;
+                    }
+                }
+                out.broadcast(&node.neighbors, vec![u64::from(node.covered)]);
+            }
+            1 => {
+                // Compute ρ(v) = uncovered vertices in N[v].
+                node.uncovered_nbrs = ctx
+                    .inbox
+                    .iter()
+                    .filter(|env| env.words[0] == 0)
+                    .map(|env| env.from)
+                    .collect();
+                node.rho = node.uncovered_nbrs.len() as u64 + u64::from(!node.covered);
+                out.broadcast(&node.neighbors, vec![node.rho]);
+            }
+            2 => {
+                node.max1 = node.rho;
+                for env in ctx.inbox {
+                    node.max1 = node.max1.max(env.words[0]);
+                }
+                out.broadcast(&node.neighbors, vec![node.max1]);
+            }
+            3 => {
+                let mut max2 = node.max1;
+                for env in ctx.inbox {
+                    max2 = max2.max(env.words[0]);
+                }
+                node.candidate = None;
+                if node.rho >= 1 && key(node.rho) == key(max2) {
+                    let rv_max = (ctx.n.max(2) as u64).saturating_pow(4);
+                    let rv = ctx.rng.gen_range(1..=rv_max);
+                    node.candidate = Some((node.rho, rv));
+                    out.broadcast(&node.neighbors, vec![1, rv]);
+                } else {
+                    out.broadcast(&node.neighbors, vec![0, 0]);
+                }
+            }
+            4 => {
+                // Uncovered vertices vote for the first covering
+                // candidate by (r_v, id); self-votes stay local.
+                node.self_vote = false;
+                if !node.covered {
+                    let mut best: Option<(u64, VertexId)> = node
+                        .candidate
+                        .as_ref()
+                        .map(|&(_, rv)| (rv, ctx.me));
+                    for env in ctx.inbox {
+                        if env.words[0] == 1 {
+                            let cand = (env.words[1], env.from);
+                            if best.is_none_or(|b| cand < b) {
+                                best = Some(cand);
+                            }
+                        }
+                    }
+                    match best {
+                        Some((_, x)) if x == ctx.me => node.self_vote = true,
+                        Some((_, x)) => out.send(x, vec![1]),
+                        None => {}
+                    }
+                }
+            }
+            5 => {
+                let votes = ctx.inbox.len() as u64 + u64::from(node.self_vote);
+                let mut joined = 0;
+                if let Some((snapshot, _)) = node.candidate.take() {
+                    if votes * self.accept_denominator >= snapshot && snapshot > 0 {
+                        node.in_ds = true;
+                        joined = 1;
+                    }
+                }
+                out.broadcast(&node.neighbors, vec![joined]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn is_done(&self, node: &MdsNode) -> bool {
+        node.covered
+    }
+}
+
+/// Result of an MDS protocol run.
+#[derive(Debug)]
+pub struct MdsRun {
+    /// The dominating set.
+    pub dominating_set: Vec<VertexId>,
+    /// Simulator traffic metrics.
+    pub metrics: Metrics,
+    /// Whether all vertices were dominated before the round cap.
+    pub completed: bool,
+}
+
+/// Runs the Section-5 MDS protocol on `g`, metering the CONGEST cap.
+///
+/// # Example
+///
+/// ```
+/// use dsa_graphs::gen::complete;
+/// use dsa_mds::{is_dominating_set, run_mds_protocol};
+///
+/// let g = complete(10);
+/// let run = run_mds_protocol(&g, 3, 10_000);
+/// assert!(run.completed);
+/// assert!(is_dominating_set(&g, &run.dominating_set));
+/// // Strictly CONGEST: no message exceeded 2 words.
+/// assert_eq!(run.metrics.cap_violations, Some(0));
+/// ```
+pub fn run_mds_protocol(g: &Graph, seed: u64, max_rounds: u64) -> MdsRun {
+    let net = Network::from_graph(g);
+    let report = Simulator::new(&net, MdsProtocol::default())
+        .seed(seed)
+        .bandwidth_cap_words(CONGEST_CAP_WORDS)
+        .run(max_rounds);
+    let dominating_set = report
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.in_ds)
+        .map(|(v, _)| v)
+        .collect();
+    MdsRun {
+        dominating_set,
+        metrics: report.metrics,
+        completed: report.completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{greedy_mds, is_dominating_set};
+    use dsa_graphs::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn star_graph_picks_the_hub() {
+        let g = gen::star(20);
+        let run = run_mds_protocol(&g, 1, 5_000);
+        assert!(run.completed);
+        assert!(is_dominating_set(&g, &run.dominating_set));
+        // The hub dominates everything; the guaranteed O(log Δ) ratio
+        // cannot justify many extra vertices (opt = 1).
+        assert!(
+            run.dominating_set.len() <= 6,
+            "got {:?}",
+            run.dominating_set
+        );
+    }
+
+    #[test]
+    fn always_congest_and_valid_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for seed in 0..4u64 {
+            let g = gen::gnp_connected(40, 0.1, &mut rng);
+            let run = run_mds_protocol(&g, seed, 20_000);
+            assert!(run.completed, "seed {seed}");
+            assert!(is_dominating_set(&g, &run.dominating_set), "seed {seed}");
+            assert_eq!(run.metrics.cap_violations, Some(0), "seed {seed}");
+            assert!(run.metrics.max_message_words <= CONGEST_CAP_WORDS);
+        }
+    }
+
+    #[test]
+    fn quality_comparable_to_greedy() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = gen::gnp_connected(60, 0.08, &mut rng);
+        let run = run_mds_protocol(&g, 11, 20_000);
+        let greedy = greedy_mds(&g);
+        assert!(run.completed);
+        // Both are O(log Δ)-quality; allow a generous constant.
+        assert!(
+            run.dominating_set.len() <= 4 * greedy.len().max(1),
+            "protocol {} vs greedy {}",
+            run.dominating_set.len(),
+            greedy.len()
+        );
+    }
+
+    #[test]
+    fn isolated_vertices_dominate_themselves() {
+        let g = dsa_graphs::Graph::new(3); // no edges at all
+        let run = run_mds_protocol(&g, 0, 1_000);
+        assert!(run.completed);
+        assert_eq!(run.dominating_set, vec![0, 1, 2]);
+    }
+}

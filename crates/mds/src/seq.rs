@@ -1,0 +1,151 @@
+//! Sequential MDS baselines: greedy and exact.
+
+use dsa_graphs::{Graph, VertexId};
+
+/// The classic greedy dominating set: repeatedly add the vertex that
+/// dominates the most still-uncovered vertices. Ratio `ln Δ + 2`.
+///
+/// # Example
+///
+/// ```
+/// use dsa_graphs::gen::star;
+/// use dsa_mds::{greedy_mds, is_dominating_set};
+///
+/// let g = star(10);
+/// let ds = greedy_mds(&g);
+/// assert_eq!(ds, vec![0]); // the hub
+/// assert!(is_dominating_set(&g, &ds));
+/// ```
+pub fn greedy_mds(g: &Graph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut covered = vec![false; n];
+    let mut ds = Vec::new();
+    let mut remaining = n;
+    while remaining > 0 {
+        let mut best: Option<(usize, VertexId)> = None;
+        for v in 0..n {
+            let gain = usize::from(!covered[v])
+                + g.neighbor_vertices(v).filter(|&u| !covered[u]).count();
+            if gain > 0 && best.is_none_or(|(bg, bv)| gain > bg || (gain == bg && v < bv)) {
+                best = Some((gain, v));
+            }
+        }
+        let (gain, v) = best.expect("uncovered vertices imply positive gain");
+        ds.push(v);
+        if !covered[v] {
+            covered[v] = true;
+            remaining -= 1;
+        }
+        for u in g.neighbor_vertices(v) {
+            if !covered[u] {
+                covered[u] = true;
+                remaining -= 1;
+            }
+        }
+        let _ = gain;
+    }
+    ds.sort_unstable();
+    ds
+}
+
+/// Exact minimum dominating set by branch and bound; ground truth for
+/// small graphs (exponential worst case).
+pub fn exact_mds(g: &Graph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut best: Vec<VertexId> = (0..n).collect();
+    let mut current: Vec<VertexId> = Vec::new();
+    let mut covered = vec![0u32; n]; // coverage counters
+    branch(g, &mut current, &mut covered, &mut best);
+    best.sort_unstable();
+    best
+}
+
+fn branch(g: &Graph, current: &mut Vec<VertexId>, covered: &mut [u32], best: &mut Vec<VertexId>) {
+    if current.len() + 1 >= best.len() {
+        // Even one more vertex cannot beat the incumbent unless we are
+        // already done.
+        if covered.iter().all(|&c| c > 0) && current.len() < best.len() {
+            *best = current.clone();
+        }
+        if current.len() + 1 >= best.len() {
+            return;
+        }
+    }
+    // Uncovered vertex with the fewest dominators.
+    let mut pick: Option<(usize, VertexId)> = None;
+    for (v, &cov) in covered.iter().enumerate() {
+        if cov > 0 {
+            continue;
+        }
+        let options = 1 + g.degree(v);
+        if pick.is_none_or(|(o, _)| options < o) {
+            pick = Some((options, v));
+        }
+    }
+    let Some((_, v)) = pick else {
+        if current.len() < best.len() {
+            *best = current.clone();
+        }
+        return;
+    };
+    let mut dominators: Vec<VertexId> = vec![v];
+    dominators.extend(g.neighbor_vertices(v));
+    for d in dominators {
+        current.push(d);
+        covered[d] += 1;
+        for u in g.neighbor_vertices(d) {
+            covered[u] += 1;
+        }
+        branch(g, current, covered, best);
+        current.pop();
+        covered[d] -= 1;
+        for u in g.neighbor_vertices(d) {
+            covered[u] -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_dominating_set;
+    use dsa_graphs::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_dominates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gen::gnp_connected(50, 0.1, &mut rng);
+        let ds = greedy_mds(&g);
+        assert!(is_dominating_set(&g, &ds));
+    }
+
+    #[test]
+    fn exact_on_known_graphs() {
+        // Star: 1. Path of 6: 2 (vertices 1 and 4). Cycle of 6: 2.
+        assert_eq!(exact_mds(&gen::star(8)).len(), 1);
+        assert_eq!(exact_mds(&gen::path(6)).len(), 2);
+        assert_eq!(exact_mds(&gen::cycle(6)).len(), 2);
+        assert_eq!(exact_mds(&gen::cycle(7)).len(), 3);
+    }
+
+    #[test]
+    fn exact_lower_bounds_greedy() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..5 {
+            let g = gen::gnp_connected(14, 0.25, &mut rng);
+            let opt = exact_mds(&g);
+            let greedy = greedy_mds(&g);
+            assert!(is_dominating_set(&g, &opt));
+            assert!(opt.len() <= greedy.len());
+        }
+    }
+
+    #[test]
+    fn empty_graph_needs_everyone() {
+        let g = dsa_graphs::Graph::new(4);
+        assert_eq!(greedy_mds(&g), vec![0, 1, 2, 3]);
+        assert_eq!(exact_mds(&g), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Independent dominating-set verification.
+
+use dsa_graphs::{Graph, VertexId};
+
+/// Whether `ds` dominates `g`: every vertex is in `ds` or adjacent to a
+/// member of `ds`.
+///
+/// # Example
+///
+/// ```
+/// use dsa_graphs::gen::path;
+/// use dsa_mds::is_dominating_set;
+///
+/// let g = path(5); // 0-1-2-3-4
+/// assert!(is_dominating_set(&g, &[1, 3]));
+/// assert!(!is_dominating_set(&g, &[0, 1]));
+/// ```
+pub fn is_dominating_set(g: &Graph, ds: &[VertexId]) -> bool {
+    let mut covered = vec![false; g.num_vertices()];
+    for &v in ds {
+        covered[v] = true;
+        for u in g.neighbor_vertices(v) {
+            covered[u] = true;
+        }
+    }
+    covered.into_iter().all(|c| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_graphs::gen;
+
+    #[test]
+    fn empty_set_only_dominates_empty_graph() {
+        assert!(is_dominating_set(&Graph::new(0), &[]));
+        assert!(!is_dominating_set(&gen::path(3), &[]));
+    }
+
+    #[test]
+    fn full_set_always_dominates() {
+        let g = gen::cycle(5);
+        let all: Vec<_> = (0..5).collect();
+        assert!(is_dominating_set(&g, &all));
+    }
+
+    use dsa_graphs::Graph;
+}

@@ -1,0 +1,69 @@
+//! Property tests for the MDS crate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dsa_graphs::{gen, Graph};
+use dsa_mds::{exact_mds, greedy_mds, is_dominating_set, run_mds_protocol};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..30, 0u64..400, 0u32..5).prop_map(|(n, seed, d)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gen::gnp(n, 0.07 * d as f64, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The protocol dominates every graph — including disconnected
+    /// ones and graphs with isolated vertices — within the CONGEST
+    /// message budget.
+    #[test]
+    fn protocol_dominates_any_graph(g in arb_graph(), seed in 0u64..30) {
+        let run = run_mds_protocol(&g, seed, 500_000);
+        prop_assert!(run.completed);
+        prop_assert!(is_dominating_set(&g, &run.dominating_set));
+        prop_assert_eq!(run.metrics.cap_violations, Some(0));
+    }
+
+    /// Greedy always dominates and exact is a true lower bound.
+    #[test]
+    fn greedy_and_exact_consistent(g in arb_graph()) {
+        let greedy = greedy_mds(&g);
+        prop_assert!(is_dominating_set(&g, &greedy));
+        if g.num_vertices() <= 16 {
+            let exact = exact_mds(&g);
+            prop_assert!(is_dominating_set(&g, &exact));
+            prop_assert!(exact.len() <= greedy.len());
+            // Every dominating set is at least n / (Δ+1).
+            let lower = g.num_vertices().div_ceil(g.max_degree() + 1);
+            prop_assert!(exact.len() >= lower);
+        }
+    }
+
+    /// Removing any vertex from the exact solution breaks domination
+    /// (minimality of the optimum as a whole: it cannot shrink by 1 to
+    /// a subset of itself).
+    #[test]
+    fn exact_is_irreducible(g in arb_graph()) {
+        if g.num_vertices() == 0 || g.num_vertices() > 14 {
+            return Ok(());
+        }
+        let exact = exact_mds(&g);
+        for skip in 0..exact.len() {
+            let reduced: Vec<_> = exact
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &v)| v)
+                .collect();
+            prop_assert!(
+                !is_dominating_set(&g, &reduced),
+                "dropping {} left a dominating set, so exact was not minimum",
+                exact[skip]
+            );
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Word-level encoding helpers for message payloads.
+//!
+//! Messages in the simulator are sequences of [`crate::Word`]s, each
+//! standing for `Θ(log n)` bits. These helpers keep protocol code honest
+//! about message sizes: everything a node sends must round-trip through
+//! words, so "free" structured payloads can't sneak past the CONGEST
+//! accounting.
+
+use dsa_graphs::Ratio;
+
+use crate::Word;
+
+/// Builds a word-encoded payload.
+///
+/// # Example
+///
+/// ```
+/// use dsa_runtime::{WordReader, WordWriter};
+/// use dsa_graphs::Ratio;
+///
+/// let mut w = WordWriter::new();
+/// w.push(7);
+/// w.push_ratio(Ratio::new(3, 4));
+/// w.push_list(&[10, 20, 30]);
+/// let words = w.finish();
+///
+/// let mut r = WordReader::new(&words);
+/// assert_eq!(r.read(), 7);
+/// assert_eq!(r.read_ratio(), Ratio::new(3, 4));
+/// assert_eq!(r.read_list(), vec![10, 20, 30]);
+/// assert!(r.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct WordWriter {
+    words: Vec<Word>,
+}
+
+impl WordWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        WordWriter::default()
+    }
+
+    /// Appends one word.
+    pub fn push(&mut self, w: Word) {
+        self.words.push(w);
+    }
+
+    /// Appends a signed value (two's complement in one word).
+    pub fn push_i64(&mut self, v: i64) {
+        self.words.push(v as u64);
+    }
+
+    /// Appends a rational as two words.
+    pub fn push_ratio(&mut self, r: Ratio) {
+        self.words.push(r.numerator());
+        self.words.push(r.denominator());
+    }
+
+    /// Appends a length-prefixed list of words.
+    pub fn push_list(&mut self, list: &[Word]) {
+        self.words.push(list.len() as Word);
+        self.words.extend_from_slice(list);
+    }
+
+    /// Appends a length-prefixed list of word pairs (e.g. edges).
+    pub fn push_pair_list(&mut self, list: &[(Word, Word)]) {
+        self.words.push(list.len() as Word);
+        for &(a, b) in list {
+            self.words.push(a);
+            self.words.push(b);
+        }
+    }
+
+    /// Number of words written so far.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Consumes the writer, returning the payload.
+    pub fn finish(self) -> Vec<Word> {
+        self.words
+    }
+}
+
+/// Reads a word-encoded payload in the order it was written.
+///
+/// # Panics
+///
+/// All `read_*` methods panic on underflow — a protocol decoding error
+/// is a programming bug, not a runtime condition.
+#[derive(Debug)]
+pub struct WordReader<'a> {
+    words: &'a [Word],
+    pos: usize,
+}
+
+impl<'a> WordReader<'a> {
+    /// Creates a reader over `words`.
+    pub fn new(words: &'a [Word]) -> Self {
+        WordReader { words, pos: 0 }
+    }
+
+    /// Reads one word.
+    pub fn read(&mut self) -> Word {
+        let w = self.words[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    /// Reads a signed value.
+    pub fn read_i64(&mut self) -> i64 {
+        self.read() as i64
+    }
+
+    /// Reads a rational (two words).
+    pub fn read_ratio(&mut self) -> Ratio {
+        let num = self.read();
+        let den = self.read();
+        Ratio::new(num, den)
+    }
+
+    /// Reads a length-prefixed list.
+    pub fn read_list(&mut self) -> Vec<Word> {
+        let len = self.read() as usize;
+        (0..len).map(|_| self.read()).collect()
+    }
+
+    /// Reads a length-prefixed list of pairs.
+    pub fn read_pair_list(&mut self) -> Vec<(Word, Word)> {
+        let len = self.read() as usize;
+        (0..len).map(|_| (self.read(), self.read())).collect()
+    }
+
+    /// Whether the payload is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.words.len()
+    }
+
+    /// Words remaining.
+    pub fn remaining(&self) -> usize {
+        self.words.len().saturating_sub(self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_everything() {
+        let mut w = WordWriter::new();
+        w.push(u64::MAX);
+        w.push_i64(-5);
+        w.push_ratio(Ratio::new(0, 7));
+        w.push_pair_list(&[(1, 2), (3, 4)]);
+        w.push_list(&[]);
+        assert_eq!(w.len(), 1 + 1 + 2 + 5 + 1);
+        let words = w.finish();
+
+        let mut r = WordReader::new(&words);
+        assert_eq!(r.read(), u64::MAX);
+        assert_eq!(r.read_i64(), -5);
+        assert_eq!(r.read_ratio(), Ratio::new(0, 7));
+        assert_eq!(r.read_pair_list(), vec![(1, 2), (3, 4)]);
+        assert_eq!(r.read_list(), Vec::<Word>::new());
+        assert!(r.is_empty());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let mut r = WordReader::new(&[1]);
+        r.read();
+        r.read();
+    }
+}

@@ -1,0 +1,78 @@
+//! A synchronous message-passing simulator for the LOCAL and CONGEST
+//! models of distributed computing.
+//!
+//! The paper's algorithms are stated for the classic synchronous models
+//! (Linial's LOCAL \[51\] and Peleg's CONGEST \[54\]): computation
+//! proceeds in rounds; in every round each vertex of the communication
+//! graph sends one message to each neighbor, receives its neighbors'
+//! messages, and updates its state. LOCAL places no bound on message
+//! size; CONGEST bounds every message by `O(log n)` bits.
+//!
+//! This crate realizes that model exactly:
+//!
+//! * [`Network`] — the communication graph (always undirected, even for
+//!   directed problem instances, per Section 1.5 of the paper),
+//! * [`Protocol`] — a node program: per-vertex state plus a `round`
+//!   function from inbox to outbox,
+//! * [`Simulator`] — the synchronous round loop, with deterministic
+//!   per-node RNGs derived from a single seed,
+//! * [`Metrics`] — word-level accounting: messages are sequences of
+//!   *words*, each standing for `Θ(log n)` bits. The metrics record the
+//!   largest message (to check whether a protocol is CONGEST-compatible
+//!   or by how much it exceeds the bound — the `O(Δ)` overhead
+//!   discussed in Section 1.3), total traffic, and, optionally, the
+//!   traffic crossing a planted vertex cut (the Alice/Bob simulation
+//!   argument of Section 2).
+//!
+//! # Example
+//!
+//! A protocol that floods the maximum vertex id for a fixed number of
+//! rounds:
+//!
+//! ```
+//! use dsa_graphs::Graph;
+//! use dsa_runtime::{Network, Outbox, Protocol, RoundCtx, Simulator};
+//!
+//! struct MaxFlood { rounds: u64 }
+//!
+//! struct Node { best: u64, done: bool }
+//!
+//! impl Protocol for MaxFlood {
+//!     type Node = Node;
+//!     fn init(&self, ctx: &mut RoundCtx<'_>) -> Node {
+//!         Node { best: ctx.me as u64, done: false }
+//!     }
+//!     fn round(&self, node: &mut Node, ctx: &mut RoundCtx<'_>, out: &mut Outbox) {
+//!         for env in ctx.inbox {
+//!             node.best = node.best.max(env.words[0]);
+//!         }
+//!         if ctx.round <= self.rounds {
+//!             out.broadcast(ctx.neighbors, vec![node.best]);
+//!         } else {
+//!             node.done = true;
+//!         }
+//!     }
+//!     fn is_done(&self, node: &Node) -> bool { node.done }
+//! }
+//!
+//! let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+//! let net = Network::from_graph(&g);
+//! let run = Simulator::new(&net, MaxFlood { rounds: 3 }).seed(7).run(100);
+//! assert!(run.nodes.iter().all(|n| n.best == 3));
+//! assert_eq!(run.metrics.max_message_words, 1); // CONGEST-friendly
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod fragment;
+mod metrics;
+mod network;
+mod simulator;
+
+pub use codec::{WordReader, WordWriter};
+pub use fragment::{Fragmented, FragmentedNode};
+pub use metrics::Metrics;
+pub use network::Network;
+pub use simulator::{Envelope, Outbox, Protocol, RoundCtx, RunReport, Simulator, Word};

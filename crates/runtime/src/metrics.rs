@@ -1,0 +1,80 @@
+//! Word-level traffic accounting for simulator runs.
+
+/// Traffic statistics for a simulator run.
+///
+/// A *word* stands for `Θ(log n)` bits, the CONGEST message unit: a
+/// message of `w` words corresponds to `w · ⌈log₂ n⌉` bits. A protocol
+/// is CONGEST-compatible if `max_message_words` is a constant
+/// independent of the input; a LOCAL-only protocol (such as the
+/// 2-spanner algorithm of Section 4, whose direct CONGEST
+/// implementation costs an `O(Δ)` factor) will show
+/// `max_message_words = Θ(Δ)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Rounds actually executed.
+    pub rounds: u64,
+    /// Total number of messages sent.
+    pub total_messages: u64,
+    /// Total number of words sent.
+    pub total_words: u64,
+    /// The largest single message, in words.
+    pub max_message_words: usize,
+    /// For each round, the largest message sent in that round, in words.
+    pub per_round_max_words: Vec<usize>,
+    /// Number of messages exceeding the configured bandwidth cap, if a
+    /// cap was set (`None` means no cap configured).
+    pub cap_violations: Option<u64>,
+    /// Words carried by messages crossing the planted cut, if a cut was
+    /// configured.
+    pub cut_words: Option<u64>,
+    /// Messages crossing the planted cut, if a cut was configured.
+    pub cut_messages: Option<u64>,
+}
+
+impl Metrics {
+    /// Bits crossing the planted cut, assuming each word is
+    /// `⌈log₂ n⌉` bits (`None` when no cut was configured).
+    pub fn cut_bits(&self, n: usize) -> Option<u64> {
+        let bits_per_word = usize::BITS - (n.max(2) - 1).leading_zeros();
+        self.cut_words.map(|w| w * bits_per_word as u64)
+    }
+
+    /// Average words per message (0 when nothing was sent).
+    pub fn mean_message_words(&self) -> f64 {
+        if self.total_messages == 0 {
+            0.0
+        } else {
+            self.total_words as f64 / self.total_messages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_bits_uses_log_n_words() {
+        let m = Metrics {
+            cut_words: Some(10),
+            ..Metrics::default()
+        };
+        // n = 1024 -> 10 bits per word.
+        assert_eq!(m.cut_bits(1024), Some(100));
+        // n = 1025 -> 11 bits per word.
+        assert_eq!(m.cut_bits(1025), Some(110));
+        let none = Metrics::default();
+        assert_eq!(none.cut_bits(16), None);
+    }
+
+    #[test]
+    fn mean_words() {
+        let m = Metrics {
+            total_messages: 4,
+            total_words: 10,
+            ..Metrics::default()
+        };
+        assert!((m.mean_message_words() - 2.5).abs() < 1e-12);
+        assert_eq!(Metrics::default().mean_message_words(), 0.0);
+    }
+}

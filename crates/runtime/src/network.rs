@@ -1,0 +1,83 @@
+//! The communication graph seen by the simulator.
+
+use dsa_graphs::{DiGraph, Graph, VertexId};
+
+/// A communication network: an undirected graph with sorted neighbor
+/// lists.
+///
+/// Directed *problem* instances still communicate bidirectionally
+/// (Section 1.5 of the paper), so a [`DiGraph`] is converted via its
+/// underlying undirected graph.
+#[derive(Clone, Debug)]
+pub struct Network {
+    adj: Vec<Vec<VertexId>>,
+}
+
+impl Network {
+    /// Builds a network from an undirected graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut adj: Vec<Vec<VertexId>> = (0..g.num_vertices())
+            .map(|v| g.neighbor_vertices(v).collect())
+            .collect();
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        Network { adj }
+    }
+
+    /// Builds a network from a directed graph's underlying undirected
+    /// graph (antiparallel edges become a single communication link).
+    pub fn from_digraph(g: &DiGraph) -> Self {
+        let (u, _) = g.underlying();
+        Network::from_graph(&u)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of communication links.
+    pub fn num_links(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// The sorted neighbor list of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v]
+    }
+
+    /// Whether `u` and `v` are directly connected.
+    pub fn are_neighbors(&self, u: VertexId, v: VertexId) -> bool {
+        self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Maximum degree of the network.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_graph_sorts_neighbors() {
+        let g = Graph::from_edges(4, [(2, 0), (0, 3), (0, 1)]);
+        let net = Network::from_graph(&g);
+        assert_eq!(net.neighbors(0), &[1, 2, 3]);
+        assert_eq!(net.num_links(), 3);
+        assert!(net.are_neighbors(3, 0));
+        assert!(!net.are_neighbors(1, 2));
+        assert_eq!(net.max_degree(), 3);
+    }
+
+    #[test]
+    fn from_digraph_merges_directions() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 0), (1, 2)]);
+        let net = Network::from_digraph(&g);
+        assert_eq!(net.num_links(), 2);
+        assert!(net.are_neighbors(0, 1));
+    }
+}

@@ -1,0 +1,438 @@
+//! The synchronous round loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dsa_graphs::VertexId;
+
+use crate::{Metrics, Network};
+
+/// One message word, standing for `Θ(log n)` bits.
+pub type Word = u64;
+
+/// A delivered message: sender plus payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// The neighbor that sent this message.
+    pub from: VertexId,
+    /// The payload, in words.
+    pub words: Vec<Word>,
+}
+
+/// The outgoing messages of one vertex in one round.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    msgs: Vec<(VertexId, Vec<Word>)>,
+}
+
+impl Outbox {
+    /// Sends `words` to the neighbor `to`. The simulator checks that
+    /// `to` really is a neighbor.
+    pub fn send(&mut self, to: VertexId, words: Vec<Word>) {
+        self.msgs.push((to, words));
+    }
+
+    /// Sends a copy of `words` to every vertex in `neighbors`.
+    pub fn broadcast(&mut self, neighbors: &[VertexId], words: Vec<Word>) {
+        for &u in neighbors {
+            self.msgs.push((u, words.clone()));
+        }
+    }
+
+    fn take(&mut self) -> Vec<(VertexId, Vec<Word>)> {
+        std::mem::take(&mut self.msgs)
+    }
+
+    /// Consumes the outbox, returning its `(to, payload)` messages.
+    /// Used by protocol adapters (e.g. [`crate::Fragmented`]) that
+    /// re-route an inner protocol's traffic.
+    pub fn into_messages(self) -> Vec<(VertexId, Vec<Word>)> {
+        self.msgs
+    }
+}
+
+/// Per-round context handed to a [`Protocol`]'s node program.
+pub struct RoundCtx<'a> {
+    /// This vertex's id.
+    pub me: VertexId,
+    /// Number of vertices in the network (vertices know `n`, or a
+    /// polynomial upper bound, as the paper assumes).
+    pub n: usize,
+    /// Sorted neighbor list of this vertex.
+    pub neighbors: &'a [VertexId],
+    /// Current round number (0 for `init`, then 1, 2, ...).
+    pub round: u64,
+    /// Messages received this round (sent by neighbors last round),
+    /// sorted by sender. Empty at round 1 unless `init` sent messages.
+    pub inbox: &'a [Envelope],
+    /// This vertex's private randomness, deterministic per (seed, id).
+    pub rng: &'a mut StdRng,
+}
+
+/// A distributed node program.
+///
+/// `init` builds the initial state (round 0; it may not send).
+/// `round` is called every subsequent round with the inbox of messages
+/// sent in the previous round, and fills an [`Outbox`].
+/// The simulator stops when every node reports [`Protocol::is_done`]
+/// and no messages are in flight, or when the round cap is hit.
+pub trait Protocol {
+    /// Per-vertex state.
+    type Node;
+
+    /// Creates the state of vertex `ctx.me`. Called with `round == 0`
+    /// and an empty inbox.
+    fn init(&self, ctx: &mut RoundCtx<'_>) -> Self::Node;
+
+    /// Executes one synchronous round for vertex `ctx.me`.
+    fn round(&self, node: &mut Self::Node, ctx: &mut RoundCtx<'_>, out: &mut Outbox);
+
+    /// Whether this vertex has produced its final output.
+    fn is_done(&self, node: &Self::Node) -> bool;
+}
+
+/// The result of a simulator run: final node states plus traffic
+/// metrics.
+#[derive(Debug)]
+pub struct RunReport<N> {
+    /// Final per-vertex states, indexed by vertex id.
+    pub nodes: Vec<N>,
+    /// Traffic and round accounting.
+    pub metrics: Metrics,
+    /// Whether all nodes reported done before the round cap.
+    pub completed: bool,
+}
+
+/// The synchronous simulator. Construct with [`Simulator::new`],
+/// optionally configure, then [`Simulator::run`].
+pub struct Simulator<'a, P: Protocol> {
+    net: &'a Network,
+    protocol: P,
+    seed: u64,
+    bandwidth_cap_words: Option<usize>,
+    cut: Option<Vec<bool>>,
+}
+
+impl<'a, P: Protocol> Simulator<'a, P> {
+    /// Creates a simulator for `protocol` on `net` with seed 0.
+    pub fn new(net: &'a Network, protocol: P) -> Self {
+        Simulator {
+            net,
+            protocol,
+            seed: 0,
+            bandwidth_cap_words: None,
+            cut: None,
+        }
+    }
+
+    /// Sets the global seed. Each vertex derives an independent RNG
+    /// from `(seed, vertex id)`, so runs are reproducible.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Configures a CONGEST bandwidth cap, in words per message.
+    /// Messages exceeding the cap are still delivered, but counted in
+    /// [`Metrics::cap_violations`] — the point of the Section 1.3
+    /// discussion is to *measure* by how much a LOCAL protocol would
+    /// overflow CONGEST.
+    pub fn bandwidth_cap_words(mut self, cap: usize) -> Self {
+        self.bandwidth_cap_words = Some(cap);
+        self
+    }
+
+    /// Configures a vertex cut to meter: `side[v]` is `true` for
+    /// Bob's vertices (e.g. `Y1` in the Section 2 construction).
+    /// Messages between different sides are counted in
+    /// [`Metrics::cut_words`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side.len()` differs from the number of vertices.
+    pub fn meter_cut(mut self, side: Vec<bool>) -> Self {
+        assert_eq!(side.len(), self.net.num_vertices(), "cut size mismatch");
+        self.cut = Some(side);
+        self
+    }
+
+    /// Runs until every node is done (and no messages are in flight) or
+    /// `max_rounds` rounds have executed.
+    pub fn run(self, max_rounds: u64) -> RunReport<P::Node> {
+        let n = self.net.num_vertices();
+        let mut rngs: Vec<StdRng> = (0..n)
+            .map(|v| {
+                StdRng::seed_from_u64(
+                    self.seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17),
+                )
+            })
+            .collect();
+
+        let mut metrics = Metrics {
+            cap_violations: self.bandwidth_cap_words.map(|_| 0),
+            cut_words: self.cut.as_ref().map(|_| 0),
+            cut_messages: self.cut.as_ref().map(|_| 0),
+            ..Metrics::default()
+        };
+
+        // Initialize nodes.
+        let mut nodes: Vec<P::Node> = Vec::with_capacity(n);
+        for (v, rng) in rngs.iter_mut().enumerate() {
+            let mut ctx = RoundCtx {
+                me: v,
+                n,
+                neighbors: self.net.neighbors(v),
+                round: 0,
+                inbox: &[],
+                rng,
+            };
+            nodes.push(self.protocol.init(&mut ctx));
+        }
+
+        // inboxes[v] = messages to deliver to v at the next round.
+        let mut inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); n];
+        let mut completed = false;
+
+        for round in 1..=max_rounds {
+            // Termination: everyone done and nothing in flight.
+            let in_flight = inboxes.iter().any(|b| !b.is_empty());
+            if !in_flight && nodes.iter().all(|node| self.protocol.is_done(node)) {
+                completed = true;
+                break;
+            }
+
+            metrics.rounds = round;
+            let mut next_inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); n];
+            let mut round_max_words = 0usize;
+
+            for v in 0..n {
+                // Deliver in deterministic order.
+                let mut inbox = std::mem::take(&mut inboxes[v]);
+                inbox.sort_by_key(|e| e.from);
+                let mut out = Outbox::default();
+                let mut ctx = RoundCtx {
+                    me: v,
+                    n,
+                    neighbors: self.net.neighbors(v),
+                    round,
+                    inbox: &inbox,
+                    rng: &mut rngs[v],
+                };
+                self.protocol.round(&mut nodes[v], &mut ctx, &mut out);
+
+                for (to, words) in out.take() {
+                    assert!(
+                        self.net.are_neighbors(v, to),
+                        "vertex {v} tried to message non-neighbor {to}"
+                    );
+                    metrics.total_messages += 1;
+                    metrics.total_words += words.len() as u64;
+                    round_max_words = round_max_words.max(words.len());
+                    metrics.max_message_words = metrics.max_message_words.max(words.len());
+                    if let (Some(cap), Some(viol)) =
+                        (self.bandwidth_cap_words, metrics.cap_violations.as_mut())
+                    {
+                        if words.len() > cap {
+                            *viol += 1;
+                        }
+                    }
+                    if let Some(cut) = &self.cut {
+                        if cut[v] != cut[to] {
+                            *metrics.cut_words.as_mut().expect("cut metered") +=
+                                words.len() as u64;
+                            *metrics.cut_messages.as_mut().expect("cut metered") += 1;
+                        }
+                    }
+                    next_inboxes[to].push(Envelope { from: v, words });
+                }
+            }
+
+            metrics.per_round_max_words.push(round_max_words);
+            inboxes = next_inboxes;
+        }
+
+        if !completed {
+            let in_flight = inboxes.iter().any(|b| !b.is_empty());
+            completed =
+                !in_flight && nodes.iter().all(|node| self.protocol.is_done(node));
+        }
+
+        RunReport {
+            nodes,
+            metrics,
+            completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_graphs::Graph;
+
+    /// Every vertex sends its id to all neighbors for `k` rounds and
+    /// records everything it hears.
+    struct Gossip {
+        k: u64,
+    }
+
+    #[derive(Debug)]
+    struct GossipNode {
+        heard: Vec<VertexId>,
+        done: bool,
+    }
+
+    impl Protocol for Gossip {
+        type Node = GossipNode;
+
+        fn init(&self, _ctx: &mut RoundCtx<'_>) -> GossipNode {
+            GossipNode {
+                heard: Vec::new(),
+                done: false,
+            }
+        }
+
+        fn round(&self, node: &mut GossipNode, ctx: &mut RoundCtx<'_>, out: &mut Outbox) {
+            for env in ctx.inbox {
+                node.heard.push(env.words[0] as VertexId);
+            }
+            if ctx.round <= self.k {
+                out.broadcast(ctx.neighbors, vec![ctx.me as Word]);
+            } else {
+                node.done = true;
+            }
+        }
+
+        fn is_done(&self, node: &GossipNode) -> bool {
+            node.done
+        }
+    }
+
+    #[test]
+    fn gossip_traffic_accounting() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let net = Network::from_graph(&g);
+        let run = Simulator::new(&net, Gossip { k: 2 }).run(100);
+        assert!(run.completed);
+        // 2 rounds of sending, 4 directed messages per round.
+        assert_eq!(run.metrics.total_messages, 8);
+        assert_eq!(run.metrics.total_words, 8);
+        assert_eq!(run.metrics.max_message_words, 1);
+        // Vertex 1 heard 0 and 2 twice each.
+        let mut heard = run.nodes[1].heard.clone();
+        heard.sort_unstable();
+        assert_eq!(heard, vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn cut_metering_counts_crossing_words() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let net = Network::from_graph(&g);
+        // Bob holds {2, 3}: only link 1-2 crosses.
+        let run = Simulator::new(&net, Gossip { k: 1 })
+            .meter_cut(vec![false, false, true, true])
+            .run(100);
+        // One round of sending: messages 1->2 and 2->1 cross.
+        assert_eq!(run.metrics.cut_messages, Some(2));
+        assert_eq!(run.metrics.cut_words, Some(2));
+        assert_eq!(run.metrics.cut_bits(4), Some(4));
+    }
+
+    #[test]
+    fn bandwidth_cap_counts_violations() {
+        struct BigTalk;
+        struct N(bool);
+        impl Protocol for BigTalk {
+            type Node = N;
+            fn init(&self, _ctx: &mut RoundCtx<'_>) -> N {
+                N(false)
+            }
+            fn round(&self, node: &mut N, ctx: &mut RoundCtx<'_>, out: &mut Outbox) {
+                if ctx.round == 1 {
+                    out.broadcast(ctx.neighbors, vec![0; 10]);
+                } else {
+                    node.0 = true;
+                }
+            }
+            fn is_done(&self, node: &N) -> bool {
+                node.0
+            }
+        }
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let net = Network::from_graph(&g);
+        let run = Simulator::new(&net, BigTalk).bandwidth_cap_words(3).run(10);
+        assert_eq!(run.metrics.cap_violations, Some(2));
+        assert_eq!(run.metrics.max_message_words, 10);
+    }
+
+    #[test]
+    fn determinism_from_seed() {
+        use rand::Rng;
+        struct Coin;
+        struct N(u64, bool);
+        impl Protocol for Coin {
+            type Node = N;
+            fn init(&self, _ctx: &mut RoundCtx<'_>) -> N {
+                N(0, false)
+            }
+            fn round(&self, node: &mut N, ctx: &mut RoundCtx<'_>, _out: &mut Outbox) {
+                node.0 = ctx.rng.gen();
+                node.1 = true;
+            }
+            fn is_done(&self, node: &N) -> bool {
+                node.1
+            }
+        }
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let net = Network::from_graph(&g);
+        let a = Simulator::new(&net, Coin).seed(42).run(10);
+        let b = Simulator::new(&net, Coin).seed(42).run(10);
+        let c = Simulator::new(&net, Coin).seed(43).run(10);
+        let va: Vec<u64> = a.nodes.iter().map(|n| n.0).collect();
+        let vb: Vec<u64> = b.nodes.iter().map(|n| n.0).collect();
+        let vc: Vec<u64> = c.nodes.iter().map(|n| n.0).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+        // Different vertices get different randomness.
+        assert_ne!(va[0], va[1]);
+    }
+
+    #[test]
+    fn round_cap_stops_nonterminating_protocol() {
+        struct Forever;
+        impl Protocol for Forever {
+            type Node = ();
+            fn init(&self, _ctx: &mut RoundCtx<'_>) {}
+            fn round(&self, _n: &mut (), ctx: &mut RoundCtx<'_>, out: &mut Outbox) {
+                out.broadcast(ctx.neighbors, vec![1]);
+            }
+            fn is_done(&self, _n: &()) -> bool {
+                false
+            }
+        }
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let net = Network::from_graph(&g);
+        let run = Simulator::new(&net, Forever).run(5);
+        assert!(!run.completed);
+        assert_eq!(run.metrics.rounds, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn messaging_non_neighbor_panics() {
+        struct Bad;
+        impl Protocol for Bad {
+            type Node = ();
+            fn init(&self, _ctx: &mut RoundCtx<'_>) {}
+            fn round(&self, _n: &mut (), _ctx: &mut RoundCtx<'_>, out: &mut Outbox) {
+                out.send(2, vec![1]);
+            }
+            fn is_done(&self, _n: &()) -> bool {
+                false
+            }
+        }
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let net = Network::from_graph(&g);
+        let _ = Simulator::new(&net, Bad).run(2);
+    }
+}

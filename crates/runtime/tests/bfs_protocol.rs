@@ -1,0 +1,94 @@
+//! Integration test: a classic distributed BFS as a sanity check that
+//! the simulator's round semantics (one hop per round) are exact.
+
+use dsa_graphs::traversal::bfs_distances;
+use dsa_graphs::{gen, Graph};
+use dsa_runtime::{Network, Outbox, Protocol, RoundCtx, Simulator, Word};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Flood-based BFS from vertex 0: a vertex that first learns a distance
+/// `d` at round `r` must satisfy `d = r - 1` exactly, because messages
+/// travel one hop per round.
+struct Bfs;
+
+#[derive(Debug)]
+struct Node {
+    dist: Option<u64>,
+    announced: bool,
+    learned_at_round: Option<u64>,
+}
+
+impl Protocol for Bfs {
+    type Node = Node;
+
+    fn init(&self, ctx: &mut RoundCtx<'_>) -> Node {
+        Node {
+            dist: (ctx.me == 0).then_some(0),
+            announced: false,
+            learned_at_round: None,
+        }
+    }
+
+    fn round(&self, node: &mut Node, ctx: &mut RoundCtx<'_>, out: &mut Outbox) {
+        for env in ctx.inbox {
+            let d = env.words[0] + 1;
+            if node.dist.is_none_or(|cur| d < cur) {
+                node.dist = Some(d);
+                node.announced = false;
+                node.learned_at_round = Some(ctx.round);
+            }
+        }
+        if let Some(d) = node.dist {
+            if !node.announced {
+                node.announced = true;
+                out.broadcast(ctx.neighbors, vec![d as Word]);
+            }
+        }
+    }
+
+    fn is_done(&self, node: &Node) -> bool {
+        node.announced || node.dist.is_none()
+    }
+}
+
+fn check(g: &Graph) {
+    let net = Network::from_graph(g);
+    let run = Simulator::new(&net, Bfs).run(10_000);
+    let expected = bfs_distances(g, 0);
+    for (v, node) in run.nodes.iter().enumerate() {
+        assert_eq!(
+            node.dist.map(|d| d as usize),
+            expected[v],
+            "distance mismatch at vertex {v}"
+        );
+        // Timing: the root announces in round 1, so a distance-d
+        // vertex learns its distance exactly at round d + 1 — one hop
+        // per round, no faster and no slower.
+        if let (Some(d), Some(r)) = (node.dist, node.learned_at_round) {
+            assert_eq!(d + 1, r, "vertex {v} learned distance {d} at round {r}");
+        }
+    }
+    // All messages are single words: BFS is CONGEST.
+    assert!(run.metrics.max_message_words <= 1);
+}
+
+#[test]
+fn bfs_on_structured_graphs() {
+    check(&gen::path(17));
+    check(&gen::cycle(12));
+    check(&gen::grid(5, 7));
+    check(&gen::star(9));
+    check(&gen::complete(8));
+}
+
+#[test]
+fn bfs_on_random_graphs() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for _ in 0..5 {
+        check(&gen::gnp_connected(60, 0.07, &mut rng));
+    }
+    // Disconnected: the far component stays unreached.
+    let g = Graph::from_edges(5, [(0, 1), (2, 3)]);
+    check(&g);
+}

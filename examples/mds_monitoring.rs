@@ -1,0 +1,47 @@
+//! Placing monitors with the CONGEST MDS protocol (Section 5).
+//!
+//! Scenario: pick a minimum set of monitor nodes so that every node of
+//! a sensor network is a monitor or adjacent to one. The Section-5
+//! protocol guarantees an O(log Δ) ratio — not just in expectation —
+//! while every message stays within the CONGEST budget, which this
+//! example verifies from the simulator's own traffic metering.
+//!
+//! Run with: `cargo run --example mds_monitoring`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spanner_repro::graphs::gen;
+use spanner_repro::mds::{greedy_mds, is_dominating_set, run_mds_protocol};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for (name, g) in [
+        ("grid 12×12", gen::grid(12, 12)),
+        ("random G(150, 0.04)", gen::gnp_connected(150, 0.04, &mut rng)),
+        ("preferential attachment", gen::preferential_attachment(150, 4, 2, &mut rng)),
+    ] {
+        let run = run_mds_protocol(&g, 5, 100_000);
+        assert!(run.completed, "{name}: protocol must terminate");
+        assert!(
+            is_dominating_set(&g, &run.dominating_set),
+            "{name}: output must dominate"
+        );
+        assert_eq!(
+            run.metrics.cap_violations,
+            Some(0),
+            "{name}: every message fits in O(1) CONGEST words"
+        );
+        let greedy = greedy_mds(&g);
+        println!(
+            "{name:<26} n={:<4} Δ={:<3} monitors={:<4} greedy={:<4} rounds={:<5} max_msg={}w",
+            g.num_vertices(),
+            g.max_degree(),
+            run.dominating_set.len(),
+            greedy.len(),
+            run.metrics.rounds,
+            run.metrics.max_message_words,
+        );
+    }
+    println!("\nall runs CONGEST-clean: no message exceeded 2 words");
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the PODC 2018 *Distributed Spanner Approximation*
+//! reproduction. Re-exports the workspace crates so examples and
+//! integration tests can use a single dependency.
+
+pub use dsa_core as core;
+pub use dsa_flow as flow;
+pub use dsa_graphs as graphs;
+pub use dsa_lowerbounds as lowerbounds;
+pub use dsa_mds as mds;
+pub use dsa_runtime as runtime;

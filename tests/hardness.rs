@@ -1,0 +1,133 @@
+//! Integration tests for the Sections 2–3 hardness machinery: the
+//! constructions, the dichotomies, and the reductions, checked end to
+//! end against the algorithmic crates.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spanner_repro::core::dist::{min_2_spanner_weighted, EngineConfig};
+use spanner_repro::core::verify::{is_k_spanner, is_k_spanner_directed, spanner_cost};
+use spanner_repro::graphs::gen;
+use spanner_repro::lowerbounds::construction_g::{GConstruction, GParams};
+use spanner_repro::lowerbounds::construction_gs::GsConstruction;
+use spanner_repro::lowerbounds::construction_gw::{GwDirected, GwUndirected};
+use spanner_repro::lowerbounds::disjointness::{
+    random_disjoint, random_far_from_disjoint, random_intersecting,
+};
+use spanner_repro::lowerbounds::two_party::decide_disjointness_by_spanner;
+use spanner_repro::lowerbounds::vc::{exact_vertex_cover, is_vertex_cover};
+
+#[test]
+fn theorem_1_1_dichotomy_with_proof_parameters() {
+    // Parameters exactly as the Theorem 1.1 proof picks them.
+    let mut rng = StdRng::seed_from_u64(1);
+    let alpha = 1.0;
+    let params = GParams::for_alpha(1_200, alpha);
+    assert!(params.beta >= params.ell);
+
+    let d = GConstruction::build(params, random_disjoint(params.input_len(), &mut rng));
+    // Disjoint: the non-D edges 5-span everything, within the 7ℓβ bound.
+    assert!(d.non_d_is_k_spanner(5));
+    assert!(d.non_d_spanner().len() <= d.disjoint_spanner_bound());
+    // Independent verification on the real graph.
+    assert!(is_k_spanner_directed(&d.graph, &d.non_d_spanner(), 5));
+
+    let i = GConstruction::build(
+        params,
+        random_intersecting(params.input_len(), 1, &mut rng),
+    );
+    // Intersecting: β² dense edges are forced, and β² > α·7ℓβ by the
+    // parameter choice (q > αc).
+    let forced = i.forced_d_edges();
+    assert!(forced >= params.beta * params.beta);
+    assert!(
+        forced as f64 > alpha * i.disjoint_spanner_bound() as f64,
+        "forced = {forced} must exceed α·t"
+    );
+    // And the decision rule of Lemma 2.4 separates the cases.
+    assert!(decide_disjointness_by_spanner(&d, alpha).0);
+    assert!(!decide_disjointness_by_spanner(&i, alpha).0);
+}
+
+#[test]
+fn theorem_2_8_gap_dichotomy_with_proof_parameters() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let alpha = 1.0;
+    let params = GParams::for_alpha_deterministic(1_300, alpha);
+    assert!(params.beta <= params.ell);
+
+    let d = GConstruction::build(params, random_disjoint(params.input_len(), &mut rng));
+    assert!(d.non_d_is_k_spanner(5));
+    assert!(d.non_d_spanner().len() <= d.disjoint_spanner_bound_gap());
+
+    let f = GConstruction::build(
+        params,
+        random_far_from_disjoint(params.input_len(), &mut rng),
+    );
+    let forced = f.forced_d_edges();
+    let gap_bound = params.beta * params.beta * params.ell * params.ell / 12;
+    assert!(forced >= gap_bound, "forced {forced} below β²ℓ²/12 = {gap_bound}");
+    // 12αc < β² by the parameter choice, so the dichotomy separates:
+    assert!(forced as f64 > alpha * d.disjoint_spanner_bound_gap() as f64);
+}
+
+#[test]
+fn weighted_constructions_zero_cost_dichotomy() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for ell in [3usize, 5] {
+        let d = GwDirected::build(ell, random_disjoint(ell * ell, &mut rng));
+        assert!(d.zero_cost_spanner_exists(4));
+        let i = GwDirected::build(ell, random_intersecting(ell * ell, 1, &mut rng));
+        assert!(!i.zero_cost_spanner_exists(4));
+    }
+    for k in 4..=6usize {
+        let d = GwUndirected::build(3, k, random_disjoint(9, &mut rng));
+        assert!(d.zero_cost_spanner_exists());
+        let i = GwUndirected::build(3, k, random_intersecting(9, 1, &mut rng));
+        assert!(!i.zero_cost_spanner_exists());
+    }
+}
+
+#[test]
+fn section_3_reduction_end_to_end_with_the_distributed_algorithm() {
+    // Lemma 3.2 in action: run our *distributed weighted 2-spanner*
+    // algorithm on G_S, convert the output to a vertex cover, and
+    // compare against the exact optimum.
+    let mut rng = StdRng::seed_from_u64(4);
+    for seed in 0..3u64 {
+        let g = gen::gnp_connected(9, 0.35, &mut rng);
+        let gs = GsConstruction::build(&g);
+        let run = min_2_spanner_weighted(&gs.graph, &gs.weights, &EngineConfig::seeded(seed));
+        assert!(run.converged);
+        assert!(is_k_spanner(&gs.graph, &run.spanner, 2));
+        let (cover, normalized) = gs.spanner_to_cover(&run.spanner);
+        assert!(is_vertex_cover(&g, &cover), "reduction must yield a cover");
+        assert!(
+            spanner_cost(&normalized, &gs.weights) <= spanner_cost(&run.spanner, &gs.weights)
+        );
+        // The cover inherits the algorithm's approximation quality.
+        let opt = exact_vertex_cover(&g).len();
+        assert!(
+            cover.len() <= 6 * opt.max(1),
+            "cover {} vs optimum {opt}",
+            cover.len()
+        );
+    }
+}
+
+#[test]
+fn gs_optimum_equals_vc_optimum() {
+    // Claim 3.1 as an exact statement, on several random graphs.
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..3 {
+        let g = gen::gnp_connected(6, 0.4, &mut rng);
+        let gs = GsConstruction::build(&g);
+        let vc = exact_vertex_cover(&g).len() as u64;
+        let (h, cost) = spanner_repro::core::seq::exact_min_2_spanner_weighted(
+            &gs.graph,
+            &gs.weights,
+        );
+        assert!(is_k_spanner(&gs.graph, &h, 2));
+        assert_eq!(cost, vc);
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: full pipelines from workload
+//! generation through distributed execution to independent
+//! verification, exercising every crate of the workspace together.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spanner_repro::core::dist::{
+    min_2_spanner, min_2_spanner_client_server, min_2_spanner_directed,
+    min_2_spanner_weighted, EngineConfig,
+};
+use spanner_repro::core::protocol::run_two_spanner_protocol;
+use spanner_repro::core::seq::{exact_min_2_spanner, greedy_2_spanner};
+use spanner_repro::core::verify::{
+    is_client_server_2_spanner, is_k_spanner, is_k_spanner_directed, spanner_cost,
+};
+use spanner_repro::graphs::{gen, EdgeWeights};
+use spanner_repro::mds::{greedy_mds, is_dominating_set, run_mds_protocol};
+
+#[test]
+fn every_variant_on_one_workload() {
+    let mut rng = StdRng::seed_from_u64(20_18);
+    let g = gen::gnp_connected(50, 0.15, &mut rng);
+
+    // Undirected unweighted.
+    let und = min_2_spanner(&g, &EngineConfig::seeded(1));
+    assert!(und.converged);
+    assert!(is_k_spanner(&g, &und.spanner, 2));
+
+    // Weighted.
+    let w = gen::random_weights(g.num_edges(), 0, 6, &mut rng);
+    let wtd = min_2_spanner_weighted(&g, &w, &EngineConfig::seeded(2));
+    assert!(wtd.converged);
+    assert!(is_k_spanner(&g, &wtd.spanner, 2));
+    assert!(spanner_cost(&wtd.spanner, &w) <= w.total());
+
+    // Client-server.
+    let (clients, servers) = gen::client_server_split(&g, 0.5, 0.6, &mut rng);
+    let cs = min_2_spanner_client_server(&g, &clients, &servers, &EngineConfig::seeded(3));
+    assert!(cs.converged);
+    assert!(is_client_server_2_spanner(&g, &clients, &servers, &cs.spanner));
+
+    // Directed (on a fresh digraph).
+    let dg = gen::random_digraph_connected(40, 0.1, &mut rng);
+    let dir = min_2_spanner_directed(&dg, &EngineConfig::seeded(4));
+    assert!(dir.converged);
+    assert!(is_k_spanner_directed(&dg, &dir.spanner, 2));
+
+    // MDS over the same communication graph.
+    let mds = run_mds_protocol(&g, 5, 50_000);
+    assert!(mds.completed);
+    assert!(is_dominating_set(&g, &mds.dominating_set));
+    assert_eq!(mds.metrics.cap_violations, Some(0));
+}
+
+#[test]
+fn engine_and_protocol_agree_on_validity_and_quality() {
+    let mut rng = StdRng::seed_from_u64(55);
+    for seed in 0..3u64 {
+        let g = gen::gnp_connected(28, 0.3, &mut rng);
+        let engine = min_2_spanner(&g, &EngineConfig::seeded(seed));
+        let protocol = run_two_spanner_protocol(&g, seed, 100_000);
+        assert!(engine.converged && protocol.completed);
+        assert!(is_k_spanner(&g, &engine.spanner, 2));
+        assert!(is_k_spanner(&g, &protocol.spanner, 2));
+        // Same algorithm, different schedulers: sizes stay comparable.
+        let (a, b) = (engine.spanner.len() as f64, protocol.spanner.len() as f64);
+        assert!(a <= 2.5 * b && b <= 2.5 * a, "engine {a} vs protocol {b}");
+    }
+}
+
+#[test]
+fn guaranteed_ratio_holds_against_exact_optimum() {
+    // Theorem 1.3's ratio is O(log m/n); on these small dense graphs
+    // the constant is modest. We check a conservative envelope against
+    // the exact optimum computed by branch and bound.
+    let mut rng = StdRng::seed_from_u64(77);
+    for seed in 0..5u64 {
+        let g = gen::gnp_connected(10, 0.45, &mut rng);
+        let opt = exact_min_2_spanner(&g).len() as f64;
+        let run = min_2_spanner(&g, &EngineConfig::seeded(seed));
+        let greedy = greedy_2_spanner(&g).len() as f64;
+        let ratio = run.spanner.len() as f64 / opt;
+        let log_bound = (g.num_edges() as f64 / g.num_vertices() as f64).ln().max(1.0);
+        assert!(
+            ratio <= 8.0 * log_bound,
+            "seed {seed}: ratio {ratio:.2} exceeds envelope {:.2}",
+            8.0 * log_bound
+        );
+        assert!(greedy / opt <= 8.0 * log_bound);
+    }
+}
+
+#[test]
+fn determinism_from_seed_across_the_stack() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let g = gen::gnp_connected(35, 0.2, &mut rng);
+    let a = min_2_spanner(&g, &EngineConfig::seeded(9));
+    let b = min_2_spanner(&g, &EngineConfig::seeded(9));
+    assert_eq!(a.spanner, b.spanner);
+    assert_eq!(a.iterations, b.iterations);
+
+    let pa = run_two_spanner_protocol(&g, 4, 100_000);
+    let pb = run_two_spanner_protocol(&g, 4, 100_000);
+    assert_eq!(pa.spanner, pb.spanner);
+    assert_eq!(pa.metrics.total_words, pb.metrics.total_words);
+
+    let ma = run_mds_protocol(&g, 3, 50_000);
+    let mb = run_mds_protocol(&g, 3, 50_000);
+    assert_eq!(ma.dominating_set, mb.dominating_set);
+}
+
+#[test]
+fn unit_weighted_run_close_to_unweighted_run() {
+    let mut rng = StdRng::seed_from_u64(303);
+    let g = gen::gnp_connected(40, 0.2, &mut rng);
+    let w = EdgeWeights::unit(&g);
+    let unweighted = min_2_spanner(&g, &EngineConfig::seeded(6));
+    let weighted = min_2_spanner_weighted(&g, &w, &EngineConfig::seeded(6));
+    assert!(unweighted.converged && weighted.converged);
+    // Identical problem: both valid, similar sizes.
+    let (a, b) = (unweighted.spanner.len() as f64, weighted.spanner.len() as f64);
+    assert!(a <= 1.5 * b && b <= 1.5 * a, "{a} vs {b}");
+}
+
+#[test]
+fn mds_quality_tracks_greedy_across_topologies() {
+    let mut rng = StdRng::seed_from_u64(404);
+    for g in [
+        gen::grid(8, 8),
+        gen::gnp_connected(80, 0.06, &mut rng),
+        gen::preferential_attachment(80, 3, 2, &mut rng),
+        gen::star(40),
+    ] {
+        let run = run_mds_protocol(&g, 8, 100_000);
+        assert!(run.completed);
+        assert!(is_dominating_set(&g, &run.dominating_set));
+        let greedy = greedy_mds(&g).len().max(1);
+        assert!(
+            run.dominating_set.len() <= 5 * greedy,
+            "protocol {} vs greedy {greedy}",
+            run.dominating_set.len()
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Cross-crate property-based tests: the invariants the paper's
+//! correctness arguments rest on, checked on randomized instances.
+
+use proptest::prelude::*;
+
+use spanner_repro::core::dist::{min_2_spanner, min_2_spanner_weighted, EngineConfig};
+use spanner_repro::core::sparse::baswana_sen;
+use spanner_repro::core::verify::{is_k_spanner, spanner_cost};
+use spanner_repro::graphs::{gen, EdgeWeights, Graph};
+use spanner_repro::lowerbounds::construction_g::{GConstruction, GParams};
+use spanner_repro::lowerbounds::construction_gs::GsConstruction;
+use spanner_repro::lowerbounds::disjointness::Instance;
+use spanner_repro::lowerbounds::vc::is_vertex_cover;
+use spanner_repro::mds::{is_dominating_set, run_mds_protocol};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A connected random graph described by (n, edge probability seed).
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (4usize..30, 0u64..1_000, 1u32..4).prop_map(|(n, seed, density)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gen::gnp_connected(n, 0.08 * density as f64, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The core guarantee: the distributed 2-spanner output is always a
+    /// valid 2-spanner, converges, and never needs the Claim 4.4
+    /// fallback.
+    #[test]
+    fn distributed_two_spanner_always_valid(g in connected_graph(), seed in 0u64..50) {
+        let run = min_2_spanner(&g, &EngineConfig::seeded(seed));
+        prop_assert!(run.converged);
+        prop_assert!(is_k_spanner(&g, &run.spanner, 2));
+        prop_assert_eq!(run.star_fallbacks, 0);
+        // n-1 lower bound for connected graphs.
+        prop_assert!(run.spanner.len() + 1 >= g.num_vertices());
+    }
+
+    /// Weighted runs never cost more than the whole graph and stay
+    /// valid; zero-weight edges are always available.
+    #[test]
+    fn weighted_two_spanner_always_valid(g in connected_graph(), seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = gen::random_weights(g.num_edges(), 0, 8, &mut rng);
+        let run = min_2_spanner_weighted(&g, &w, &EngineConfig::seeded(seed));
+        prop_assert!(run.converged);
+        prop_assert!(is_k_spanner(&g, &run.spanner, 2));
+        prop_assert!(spanner_cost(&run.spanner, &w) <= w.total());
+    }
+
+    /// Baswana–Sen always meets its stretch bound.
+    #[test]
+    fn baswana_sen_stretch(g in connected_graph(), k in 2usize..5, seed in 0u64..50) {
+        let run = baswana_sen(&g, k, seed);
+        prop_assert!(is_k_spanner(&g, &run.spanner, 2 * k - 1));
+    }
+
+    /// The MDS protocol always dominates and always stays CONGEST.
+    #[test]
+    fn mds_always_dominates_congest(g in connected_graph(), seed in 0u64..50) {
+        let run = run_mds_protocol(&g, seed, 200_000);
+        prop_assert!(run.completed);
+        prop_assert!(is_dominating_set(&g, &run.dominating_set));
+        prop_assert_eq!(run.metrics.cap_violations, Some(0));
+    }
+
+    /// Claim 2.2, property-tested: for every index pair, the bypass
+    /// exists iff one of the input bits is 0 — and when it exists it
+    /// has length ≤ 2 (checked inside bypass_within_2's BFS bound).
+    #[test]
+    fn claim_2_2_holds_for_arbitrary_inputs(
+        bits_a in proptest::collection::vec(any::<bool>(), 9),
+        bits_b in proptest::collection::vec(any::<bool>(), 9),
+    ) {
+        let params = GParams { ell: 3, beta: 3 };
+        let inst = Instance { a: bits_a.clone(), b: bits_b.clone() };
+        let c = GConstruction::build(params, inst);
+        for i in 0..3 {
+            for r in 0..3 {
+                let expected = !bits_a[i * 3 + r] || !bits_b[i * 3 + r];
+                prop_assert_eq!(c.bypass_within_2(i, r), expected);
+                prop_assert_eq!(c.bypass_any_length(i, r), expected);
+            }
+        }
+        // Forced dense edges = β² per (1,1) pair.
+        let bad = (0..9).filter(|&x| bits_a[x] && bits_b[x]).count();
+        prop_assert_eq!(c.forced_d_edges(), 9 * bad);
+    }
+
+    /// Claim 3.1 round trip on arbitrary graphs: any spanner of G_S
+    /// converts to a vertex cover of no larger cost.
+    #[test]
+    fn claim_3_1_round_trip(g in connected_graph()) {
+        let gs = GsConstruction::build(&g);
+        // The full graph is always a valid 2-spanner of G_S.
+        let full = spanner_repro::graphs::EdgeSet::full(gs.graph.num_edges());
+        let (cover, normalized) = gs.spanner_to_cover(&full);
+        prop_assert!(is_vertex_cover(&g, &cover));
+        prop_assert!(is_k_spanner(&gs.graph, &normalized, 2));
+        prop_assert_eq!(
+            spanner_cost(&normalized, &gs.weights),
+            cover.len() as u64
+        );
+    }
+
+    /// The unit-weight problem and the unweighted problem have the same
+    /// set of valid outputs (sanity link between the two code paths).
+    #[test]
+    fn unit_weights_equivalent(g in connected_graph(), seed in 0u64..20) {
+        let w = EdgeWeights::unit(&g);
+        let run = min_2_spanner_weighted(&g, &w, &EngineConfig::seeded(seed));
+        prop_assert!(is_k_spanner(&g, &run.spanner, 2));
+        prop_assert_eq!(spanner_cost(&run.spanner, &w), run.spanner.len() as u64);
+    }
+}
