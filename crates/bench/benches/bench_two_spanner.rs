@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dsa_core::dist::{
-    min_2_spanner, min_2_spanner_directed, min_2_spanner_weighted, EngineConfig,
-};
+use dsa_core::dist::{min_2_spanner, min_2_spanner_directed, min_2_spanner_weighted, EngineConfig};
 use dsa_core::protocol::run_two_spanner_protocol;
 use dsa_core::seq::greedy_2_spanner;
 use dsa_graphs::gen;
@@ -60,5 +58,10 @@ fn bench_protocol(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_scaling, bench_variants, bench_protocol);
+criterion_group!(
+    benches,
+    bench_engine_scaling,
+    bench_variants,
+    bench_protocol
+);
 criterion_main!(benches);

@@ -79,7 +79,12 @@ fn main() {
         "A3",
         "density rounding (powers of two) vs exact densities: rounding creates larger candidate cohorts per level",
     );
-    let mut t = Table::new(["densities", "avg |H|", "avg iterations", "avg candidates/iter"]);
+    let mut t = Table::new([
+        "densities",
+        "avg |H|",
+        "avg iterations",
+        "avg candidates/iter",
+    ]);
     for (label, rounding) in [("rounded (paper)", true), ("exact", false)] {
         let mut size = 0.0;
         let mut iters = 0.0;

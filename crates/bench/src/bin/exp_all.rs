@@ -6,10 +6,16 @@
 use std::process::Command;
 
 const ORDER: &[(&str, &str)] = &[
-    ("exp_constructions", "F1 F2 F3 — structural validation of the figures"),
+    (
+        "exp_constructions",
+        "F1 F2 F3 — structural validation of the figures",
+    ),
     ("exp_two_spanner", "E1-E4 — Theorems 1.3, 4.9, 4.12, 4.15"),
     ("exp_mds", "E5 — Theorem 5.1 (+ expectation-only contrast)"),
-    ("exp_hardness", "E6-E9 — Theorems 1.1, 2.8, 2.9/2.10, Section 3"),
+    (
+        "exp_hardness",
+        "E6-E9 — Theorems 1.1, 2.8, 2.9/2.10, Section 3",
+    ),
     ("exp_one_plus_eps", "E10 — Theorem 1.2"),
     ("exp_separation", "E11 E12 — the separations"),
     ("exp_ablations", "A1-A3 — Section-4 design choices"),
@@ -25,7 +31,9 @@ fn main() {
         println!("================================================================\n");
         let path = dir.join(bin);
         if !path.exists() {
-            eprintln!("(binary {path:?} not built — run `cargo build --release -p dsa-bench` first)\n");
+            eprintln!(
+                "(binary {path:?} not built — run `cargo build --release -p dsa-bench` first)\n"
+            );
             failures += 1;
             continue;
         }

@@ -12,8 +12,21 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(1);
 
-    banner("F1", "Figure 1: G(ℓ, β) — n = 2ℓβ+5ℓ, |D| = (ℓβ)², cut(Y1) = 3ℓ");
-    let mut t = Table::new(["ℓ", "β", "n", "n formula", "|D|", "(ℓβ)²", "cut", "3ℓ", "non-D ≤ 7ℓβ"]);
+    banner(
+        "F1",
+        "Figure 1: G(ℓ, β) — n = 2ℓβ+5ℓ, |D| = (ℓβ)², cut(Y1) = 3ℓ",
+    );
+    let mut t = Table::new([
+        "ℓ",
+        "β",
+        "n",
+        "n formula",
+        "|D|",
+        "(ℓβ)²",
+        "cut",
+        "3ℓ",
+        "non-D ≤ 7ℓβ",
+    ]);
     for (ell, beta) in [(2, 2), (3, 6), (4, 8), (6, 6), (8, 16)] {
         let params = GParams { ell, beta };
         let c = GConstruction::build(params, random_disjoint(params.input_len(), &mut rng));
@@ -26,17 +39,21 @@ fn main() {
             ((ell * beta) * (ell * beta)).to_string(),
             c.cut_size().to_string(),
             (3 * ell).to_string(),
-            format!(
-                "{} ≤ {}",
-                c.non_d_spanner().len(),
-                7 * ell * beta.max(ell)
-            ),
+            format!("{} ≤ {}", c.non_d_spanner().len(), 7 * ell * beta.max(ell)),
         ]);
     }
     t.print();
 
     banner("F2", "Figure 2: G_w(ℓ) — n = 6ℓ, weights {0,1}, cut = 3ℓ");
-    let mut t = Table::new(["ℓ", "n", "6ℓ", "|D|", "ℓ²", "cut", "zero-cost spanner (disjoint)"]);
+    let mut t = Table::new([
+        "ℓ",
+        "n",
+        "6ℓ",
+        "|D|",
+        "ℓ²",
+        "cut",
+        "zero-cost spanner (disjoint)",
+    ]);
     for ell in [2usize, 4, 8, 16, 32] {
         let d = GwDirected::build(ell, random_disjoint(ell * ell, &mut rng));
         t.row([
@@ -51,7 +68,10 @@ fn main() {
     }
     t.print();
 
-    banner("F2u", "Figure 2 undirected variant: path gadget adds (k−4)ℓ vertices");
+    banner(
+        "F2u",
+        "Figure 2 undirected variant: path gadget adds (k−4)ℓ vertices",
+    );
     let mut t = Table::new(["ℓ", "k", "n", "6ℓ+(k−4)ℓ"]);
     for k in 4..=8usize {
         let g = GwUndirected::build(4, k, random_disjoint(16, &mut rng));
@@ -64,7 +84,10 @@ fn main() {
     }
     t.print();
 
-    banner("F3", "Figure 3: G_S — 3n vertices, 3n+3m edges, weights {0,1,2}");
+    banner(
+        "F3",
+        "Figure 3: G_S — 3n vertices, 3n+3m edges, weights {0,1,2}",
+    );
     let mut t = Table::new(["n(G)", "m(G)", "n(G_S)", "m(G_S)", "#w=0", "#w=1", "#w=2"]);
     for (n, p) in [(6, 0.5), (10, 0.3), (20, 0.2), (40, 0.1)] {
         let g = gen::gnp_connected(n, p, &mut rng);

@@ -26,16 +26,20 @@ fn main() {
         "Theorem 1.1 / Lemma 2.3 — spanner-size dichotomy on G(ℓ,β) with proof parameters, and the Lemma 2.4 decision rule",
     );
     let mut t = Table::new([
-        "α", "ℓ", "β", "n", "disjoint |H|", "bound 7ℓβ", "forced (1 bit)", "α·t",
+        "α",
+        "ℓ",
+        "β",
+        "n",
+        "disjoint |H|",
+        "bound 7ℓβ",
+        "forced (1 bit)",
+        "α·t",
         "rule correct",
     ]);
     for alpha in [1.0f64, 2.0, 4.0] {
         let params = GParams::for_alpha(2_500, alpha);
         let d = GConstruction::build(params, random_disjoint(params.input_len(), &mut rng));
-        let i = GConstruction::build(
-            params,
-            random_intersecting(params.input_len(), 1, &mut rng),
-        );
+        let i = GConstruction::build(params, random_intersecting(params.input_len(), 1, &mut rng));
         let (dec_d, _, t_thresh) = decide_disjointness_by_spanner(&d, alpha);
         let (dec_i, forced, _) = decide_disjointness_by_spanner(&i, alpha);
         t.row([
@@ -57,7 +61,14 @@ fn main() {
         "communication accounting: the ℓ²-bit input vs the Θ(ℓ)-edge cut (naive flooding measured), plus the theorem's round bounds",
     );
     let mut t = Table::new([
-        "ℓ", "β", "n", "cut", "input bits", "flood cut-bits", "Ω rand (α=1)", "Ω det (α=1)",
+        "ℓ",
+        "β",
+        "n",
+        "cut",
+        "input bits",
+        "flood cut-bits",
+        "Ω rand (α=1)",
+        "Ω det (α=1)",
     ]);
     for (ell, beta) in [(2usize, 4usize), (3, 6), (4, 8)] {
         let params = GParams { ell, beta };
@@ -83,7 +94,14 @@ fn main() {
         "Theorem 2.8 / Lemma 2.6 — gap-disjointness dichotomy (β ≤ ℓ): far inputs force ≥ β²ℓ²/12 dense edges",
     );
     let mut t = Table::new([
-        "α", "ℓ", "β", "disjoint |H|", "bound 7ℓ²", "forced (far)", "β²ℓ²/12", "separated",
+        "α",
+        "ℓ",
+        "β",
+        "disjoint |H|",
+        "bound 7ℓ²",
+        "forced (far)",
+        "β²ℓ²/12",
+        "separated",
     ]);
     for alpha in [1.0f64, 2.0] {
         let params = GParams::for_alpha_deterministic(1_500, alpha);
@@ -111,7 +129,13 @@ fn main() {
         "E8",
         "Theorems 2.9/2.10 — weighted constructions: cost-0 k-spanner exists iff inputs disjoint",
     );
-    let mut t = Table::new(["variant", "ℓ", "k", "disjoint → 0-cost", "1 shared bit → 0-cost"]);
+    let mut t = Table::new([
+        "variant",
+        "ℓ",
+        "k",
+        "disjoint → 0-cost",
+        "1 shared bit → 0-cost",
+    ]);
     for ell in [4usize, 8, 16] {
         let d = GwDirected::build(ell, random_disjoint(ell * ell, &mut rng));
         let i = GwDirected::build(ell, random_intersecting(ell * ell, 1, &mut rng));
@@ -141,14 +165,19 @@ fn main() {
         "Claim 3.1 / Lemma 3.2 — MVC via weighted 2-spanner on G_S: exact equality and the distributed round trip",
     );
     let mut t = Table::new([
-        "n(G)", "m(G)", "VC opt", "spanner opt", "equal", "dist cover", "greedy VC",
+        "n(G)",
+        "m(G)",
+        "VC opt",
+        "spanner opt",
+        "equal",
+        "dist cover",
+        "greedy VC",
     ]);
     for (n, p) in [(6usize, 0.5), (8, 0.4), (10, 0.3)] {
         let g = gen::gnp_connected(n, p, &mut rng);
         let gs = GsConstruction::build(&g);
         let vc_opt = exact_vertex_cover(&g).len() as u64;
-        let (_, span_opt) =
-            dsa_core::seq::exact_min_2_spanner_weighted(&gs.graph, &gs.weights);
+        let (_, span_opt) = dsa_core::seq::exact_min_2_spanner_weighted(&gs.graph, &gs.weights);
         // Distributed weighted 2-spanner -> cover (Lemma 3.2).
         let run = min_2_spanner_weighted(&gs.graph, &gs.weights, &EngineConfig::seeded(3));
         let (cover, normalized) = gs.spanner_to_cover(&run.spanner);

@@ -15,13 +15,28 @@ fn main() {
         "E5a",
         "ratio vs exact optimum (small graphs) — the guarantee is O(log Δ), always",
     );
-    let mut t = Table::new(["graph", "n", "Δ", "MDS", "greedy", "exact", "ratio vs opt", "cap viol"]);
+    let mut t = Table::new([
+        "graph",
+        "n",
+        "Δ",
+        "MDS",
+        "greedy",
+        "exact",
+        "ratio vs opt",
+        "cap viol",
+    ]);
     for (name, g) in [
         ("star(16)".to_string(), gen::star(16)),
         ("cycle(15)".to_string(), gen::cycle(15)),
         ("grid 4×4".to_string(), gen::grid(4, 4)),
-        ("G(16,0.3)".to_string(), gen::gnp_connected(16, 0.3, &mut rng)),
-        ("G(18,0.2)".to_string(), gen::gnp_connected(18, 0.2, &mut rng)),
+        (
+            "G(16,0.3)".to_string(),
+            gen::gnp_connected(16, 0.3, &mut rng),
+        ),
+        (
+            "G(18,0.2)".to_string(),
+            gen::gnp_connected(18, 0.2, &mut rng),
+        ),
     ] {
         let run = run_mds_protocol(&g, 3, 100_000);
         assert!(run.completed && is_dominating_set(&g, &run.dominating_set));
@@ -45,7 +60,13 @@ fn main() {
         "round scaling — O(log n log Δ) iterations × 6 rounds; messages never exceed 2 words",
     );
     let mut t = Table::new([
-        "n", "Δ", "|DS|", "greedy", "rounds", "6·log n·log Δ", "max msg (w)",
+        "n",
+        "Δ",
+        "|DS|",
+        "greedy",
+        "rounds",
+        "6·log n·log Δ",
+        "max msg (w)",
     ]);
     for &(n, p) in &[
         (64usize, 0.10),
@@ -77,7 +98,11 @@ fn main() {
         "guaranteed (Thm 5.1) vs expectation-only (Jia et al. style): per-seed spread of output sizes over 8 seeds",
     );
     let mut t = Table::new([
-        "n", "protocol min..max", "protocol mean", "LRG min..max", "LRG mean",
+        "n",
+        "protocol min..max",
+        "protocol mean",
+        "LRG min..max",
+        "LRG mean",
     ]);
     for &(n, p) in &[(96usize, 0.06), (192, 0.04)] {
         let g = gen::gnp_connected(n, p, &mut rng);
@@ -90,9 +115,17 @@ fn main() {
         let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
         t.row([
             n.to_string(),
-            format!("{}..{}", ours.iter().min().unwrap(), ours.iter().max().unwrap()),
+            format!(
+                "{}..{}",
+                ours.iter().min().unwrap(),
+                ours.iter().max().unwrap()
+            ),
             f2(mean(&ours)),
-            format!("{}..{}", lrg.iter().min().unwrap(), lrg.iter().max().unwrap()),
+            format!(
+                "{}..{}",
+                lrg.iter().min().unwrap(),
+                lrg.iter().max().unwrap()
+            ),
             f2(mean(&lrg)),
         ]);
     }

@@ -18,7 +18,16 @@ fn main() {
         "(1+ε) vs exact optimum — ratio must stay ≤ 1+ε (small instances; the inner oracle is exponential, as the LOCAL model allows)",
     );
     let mut t = Table::new([
-        "n", "m", "k", "ε", "(1+ε) |H|", "exact |H*|", "ratio", "≤ 1+ε", "colors", "max r_v",
+        "n",
+        "m",
+        "k",
+        "ε",
+        "(1+ε) |H|",
+        "exact |H*|",
+        "ratio",
+        "≤ 1+ε",
+        "colors",
+        "max r_v",
     ]);
     for &(n, p, k, eps) in &[
         (9usize, 0.35, 2usize, 0.5f64),

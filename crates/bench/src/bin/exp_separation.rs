@@ -14,9 +14,7 @@ use dsa_core::protocol::run_two_spanner_protocol;
 use dsa_core::sparse::baswana_sen;
 use dsa_core::verify::is_k_spanner;
 use dsa_graphs::gen;
-use dsa_lowerbounds::two_party::{
-    predicted_rounds_deterministic, predicted_rounds_randomized,
-};
+use dsa_lowerbounds::two_party::{predicted_rounds_deterministic, predicted_rounds_randomized};
 use dsa_mds::run_mds_protocol;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,7 +27,14 @@ fn main() {
         "undirected (2k−1)-spanners via Baswana–Sen: size ≈ O(k·n^{1+1/k}) ⇒ O(n^{1/k})-approx in k CONGEST rounds; contrast with the directed Ω̃ bounds",
     );
     let mut t = Table::new([
-        "n", "m", "k", "|H|", "k·n^{1+1/k}", "|H|/(n-1)", "n^{1/k}", "Ω̃ rand (directed)",
+        "n",
+        "m",
+        "k",
+        "|H|",
+        "k·n^{1+1/k}",
+        "|H|/(n-1)",
+        "n^{1/k}",
+        "Ω̃ rand (directed)",
         "Ω̃ det (directed)",
     ]);
     for &(n, p) in &[(256usize, 0.20), (512, 0.12), (1024, 0.06)] {
@@ -58,7 +63,12 @@ fn main() {
         "CONGEST overhead: 2-spanner protocol messages grow Θ(Δ) words; MDS stays O(1) — measured on identical graphs",
     );
     let mut t = Table::new([
-        "n", "Δ", "2-spanner max msg (w)", "mds max msg (w)", "2-spanner rounds", "mds rounds",
+        "n",
+        "Δ",
+        "2-spanner max msg (w)",
+        "mds max msg (w)",
+        "2-spanner rounds",
+        "mds rounds",
     ]);
     for &(n, p) in &[(32usize, 0.2), (64, 0.15), (96, 0.12), (128, 0.10)] {
         let g = gen::gnp_connected(n, p, &mut rng);
@@ -85,7 +95,13 @@ fn main() {
         "direct CONGEST implementation via message fragmentation: identical output, rounds multiplied by the Θ(Δ) slot factor",
     );
     let mut t = Table::new([
-        "n", "Δ", "LOCAL rounds", "CONGEST rounds", "slot factor", "same spanner", "cap viol",
+        "n",
+        "Δ",
+        "LOCAL rounds",
+        "CONGEST rounds",
+        "slot factor",
+        "same spanner",
+        "cap viol",
     ]);
     for &(n, p) in &[(24usize, 0.3), (48, 0.2), (64, 0.15)] {
         let g = gen::gnp_connected(n, p, &mut rng);

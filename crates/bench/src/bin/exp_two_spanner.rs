@@ -3,8 +3,8 @@
 
 use dsa_bench::{banner, f2, Table};
 use dsa_core::dist::{
-    min_2_spanner, min_2_spanner_client_server, min_2_spanner_directed,
-    min_2_spanner_weighted, EngineConfig,
+    min_2_spanner, min_2_spanner_client_server, min_2_spanner_directed, min_2_spanner_weighted,
+    EngineConfig,
 };
 use dsa_core::seq::{exact_min_2_spanner, greedy_2_spanner, greedy_2_spanner_weighted};
 use dsa_core::verify::{
@@ -23,8 +23,16 @@ fn main() {
         "Theorem 1.3 — undirected minimum 2-spanner: ratio stays O(log m/n), iterations ≈ O(log n · log Δ)",
     );
     let mut t = Table::new([
-        "n", "m", "Δ", "dist |H|", "greedy |H|", "|H|/(n-1)", "ln(m/n)+1", "iters",
-        "log n·log Δ", "fallbacks",
+        "n",
+        "m",
+        "Δ",
+        "dist |H|",
+        "greedy |H|",
+        "|H|/(n-1)",
+        "ln(m/n)+1",
+        "iters",
+        "log n·log Δ",
+        "fallbacks",
     ]);
     for &(n, p) in &[
         (64usize, 0.25),
@@ -54,8 +62,19 @@ fn main() {
     }
     t.print();
 
-    banner("E1b", "dense graphs (where 2-spanners shine): K_n and near-complete G(n,p)");
-    let mut t = Table::new(["graph", "n", "m", "dist |H|", "greedy |H|", "exact |H*|", "ratio vs opt"]);
+    banner(
+        "E1b",
+        "dense graphs (where 2-spanners shine): K_n and near-complete G(n,p)",
+    );
+    let mut t = Table::new([
+        "graph",
+        "n",
+        "m",
+        "dist |H|",
+        "greedy |H|",
+        "exact |H*|",
+        "ratio vs opt",
+    ]);
     for n in [8usize, 9, 10] {
         let g = gen::complete(n);
         let run = min_2_spanner(&g, &EngineConfig::seeded(7));
@@ -88,7 +107,10 @@ fn main() {
     }
     t.print();
 
-    banner("E2", "Theorem 4.9 — directed 2-spanner: same shape as undirected");
+    banner(
+        "E2",
+        "Theorem 4.9 — directed 2-spanner: same shape as undirected",
+    );
     let mut t = Table::new(["n", "m", "dist |H|", "|H|/(n-1)", "iters"]);
     for &(n, p) in &[(64usize, 0.15), (128, 0.08), (256, 0.05)] {
         let g = gen::random_digraph_connected(n, p, &mut rng);
@@ -109,7 +131,13 @@ fn main() {
         "Theorem 4.12 — weighted 2-spanner: cost ratio O(log Δ); rounds grow with log(ΔW)",
     );
     let mut t = Table::new([
-        "n", "W", "dist cost", "greedy cost", "total w(G)", "cost/greedy", "iters",
+        "n",
+        "W",
+        "dist cost",
+        "greedy cost",
+        "total w(G)",
+        "cost/greedy",
+        "iters",
     ]);
     for &(n, wmax) in &[(64usize, 1u64), (64, 8), (64, 64), (128, 8), (256, 8)] {
         let g = gen::gnp_connected(n, 0.15, &mut rng);
@@ -137,20 +165,19 @@ fn main() {
         "E4",
         "Theorem 4.15 — client-server 2-spanner: ratio O(min{log |C|/|V(C)|, log Δ_S})",
     );
-    let mut t = Table::new([
-        "n", "|C|", "|S|", "coverable", "dist |H|", "iters",
-    ]);
-    for &(n, pc, ps) in &[
-        (64usize, 0.7, 0.5),
-        (128, 0.5, 0.6),
-        (256, 0.4, 0.7),
-    ] {
+    let mut t = Table::new(["n", "|C|", "|S|", "coverable", "dist |H|", "iters"]);
+    for &(n, pc, ps) in &[(64usize, 0.7, 0.5), (128, 0.5, 0.6), (256, 0.4, 0.7)] {
         let g = gen::gnp_connected(n, 0.12, &mut rng);
         let (clients, servers) = gen::client_server_split(&g, pc, ps, &mut rng);
         let run =
             min_2_spanner_client_server(&g, &clients, &servers, &EngineConfig::seeded(n as u64));
         assert!(run.converged);
-        assert!(is_client_server_2_spanner(&g, &clients, &servers, &run.spanner));
+        assert!(is_client_server_2_spanner(
+            &g,
+            &clients,
+            &servers,
+            &run.spanner
+        ));
         t.row([
             n.to_string(),
             clients.len().to_string(),

@@ -1,0 +1,792 @@
+//! The distributed minimum 2-spanner approximations of Section 4
+//! (Theorems 1.3, 4.9, 4.12, 4.15), run through the centrally
+//! scheduled, variant-generic [`engine`].
+//!
+//! Layering:
+//!
+//! * [`engine`] holds the iteration skeleton ([`run_engine`]) and the
+//!   [`engine::SpannerVariant`] abstraction — per-vertex star spaces,
+//!   densest-star choice via `dsa-flow`, density-threshold rounds, and
+//!   the Claim-4.4 shrink-only re-choice;
+//! * this module implements the four paper variants on top of it —
+//!   [`UndirectedTwoSpanner`], [`DirectedTwoSpanner`],
+//!   [`WeightedTwoSpanner`], [`ClientServerTwoSpanner`] — and exposes
+//!   the one-call entry points [`min_2_spanner`],
+//!   [`min_2_spanner_directed`], [`min_2_spanner_weighted`], and
+//!   [`min_2_spanner_client_server`];
+//! * [`crate::seq`] reuses the same variants for the sequential greedy
+//!   baselines, and [`crate::protocol`] executes the same iterations as
+//!   a genuine message-passing LOCAL protocol.
+
+pub mod engine;
+
+pub use engine::{run_engine, EngineConfig, IterationStats, SpannerRun, SpannerVariant};
+
+use dsa_graphs::{DiGraph, EdgeId, EdgeSet, EdgeWeights, Graph, Ratio, VertexId};
+
+use crate::star::{Leaf, LocalStars, Pair};
+use crate::verify::coverable_clients;
+
+/// Sorted neighbor lists of an undirected graph, precomputed once per
+/// variant so the engine's 2-neighborhood aggregation can borrow them.
+fn sorted_adjacency(g: &Graph) -> Vec<Vec<VertexId>> {
+    (0..g.num_vertices())
+        .map(|v| {
+            let mut a: Vec<VertexId> = g.neighbor_vertices(v).collect();
+            a.sort_unstable();
+            a
+        })
+        .collect()
+}
+
+/// Whether `h` contains a 2-path between the endpoints of edge `e`
+/// of `g` (coverage without using `e` itself is not required: callers
+/// check direct membership separately when it matters).
+fn two_path_in(g: &Graph, h: &EdgeSet, u: VertexId, v: VertexId) -> bool {
+    g.neighbors(u).any(|(x, eux)| {
+        x != v && h.contains(eux) && g.edge_id(x, v).is_some_and(|exv| h.contains(exv))
+    })
+}
+
+/// The edges of `g` covered by `h` within stretch 2 — the shared
+/// `covered` implementation of the undirected variants (weights don't
+/// change what covers what, only the densities).
+fn undirected_covered(g: &Graph, h: &EdgeSet) -> EdgeSet {
+    let mut out = EdgeSet::new(g.num_edges());
+    for (e, u, v) in g.edges() {
+        if h.contains(e) || two_path_in(g, h, u, v) {
+            out.insert(e);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Theorem 1.3: undirected, unweighted.
+// ---------------------------------------------------------------------
+
+/// The undirected minimum 2-spanner variant (Theorem 1.3): items are
+/// the graph's edges, a star leaf contributes one edge of weight 1, and
+/// the round threshold is density 1.
+pub struct UndirectedTwoSpanner<'a> {
+    g: &'a Graph,
+    adj: Vec<Vec<VertexId>>,
+}
+
+impl<'a> UndirectedTwoSpanner<'a> {
+    /// Wraps `g` as an engine variant.
+    pub fn new(g: &'a Graph) -> Self {
+        UndirectedTwoSpanner {
+            g,
+            adj: sorted_adjacency(g),
+        }
+    }
+}
+
+impl SpannerVariant for UndirectedTwoSpanner<'_> {
+    fn num_vertices(&self) -> usize {
+        self.g.num_vertices()
+    }
+
+    fn num_items(&self) -> usize {
+        self.g.num_edges()
+    }
+
+    fn targets(&self) -> EdgeSet {
+        EdgeSet::full(self.g.num_edges())
+    }
+
+    fn preselected(&self) -> EdgeSet {
+        EdgeSet::new(self.g.num_edges())
+    }
+
+    fn covered(&self, h: &EdgeSet) -> EdgeSet {
+        undirected_covered(self.g, h)
+    }
+
+    fn local_stars(&self, v: VertexId, uncovered: &EdgeSet) -> LocalStars {
+        unit_leaf_local_stars(self.g, &self.adj[v], v, |_| 1, |e| uncovered.contains(e))
+    }
+
+    fn force_cover(&self, item: usize) -> Vec<EdgeId> {
+        vec![item]
+    }
+
+    fn comm_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v]
+    }
+
+    fn threshold(&self) -> Ratio {
+        Ratio::one()
+    }
+}
+
+/// Shared [`LocalStars`] construction for the variants whose leaves are
+/// the (possibly filtered) neighbors of `v` with a single undirected
+/// edge each: leaf weights come from `weight_of`, and a neighbor pair
+/// `{a, b}` spans the edge `{a, b}` when `is_item` accepts it.
+fn unit_leaf_local_stars(
+    g: &Graph,
+    leaves_of: &[VertexId],
+    v: VertexId,
+    weight_of: impl Fn(EdgeId) -> u64,
+    is_item: impl Fn(EdgeId) -> bool,
+) -> LocalStars {
+    let leaves: Vec<Leaf> = leaves_of
+        .iter()
+        .map(|&u| {
+            let e = g.edge_id(v, u).expect("leaf is a neighbor");
+            Leaf {
+                vertex: u,
+                weight: weight_of(e),
+                edges: vec![e],
+            }
+        })
+        .collect();
+    let mut pairs = Vec::new();
+    for i in 0..leaves_of.len() {
+        for j in (i + 1)..leaves_of.len() {
+            if let Some(e) = g.edge_id(leaves_of[i], leaves_of[j]) {
+                if is_item(e) {
+                    pairs.push(Pair {
+                        a: i,
+                        b: j,
+                        items: vec![e],
+                    });
+                }
+            }
+        }
+    }
+    LocalStars { leaves, pairs }
+}
+
+// ---------------------------------------------------------------------
+// Theorem 4.12: weighted.
+// ---------------------------------------------------------------------
+
+/// The weighted minimum 2-spanner variant (Theorem 4.12): densities are
+/// `|C_S| / w(S)`, weight-0 edges are pre-adopted, and the round
+/// threshold is the largest power of two at most `1 / w_max`.
+pub struct WeightedTwoSpanner<'a> {
+    g: &'a Graph,
+    w: &'a EdgeWeights,
+    adj: Vec<Vec<VertexId>>,
+    threshold: Ratio,
+}
+
+impl<'a> WeightedTwoSpanner<'a> {
+    /// Wraps `g` with weights `w` as an engine variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights don't match the graph.
+    pub fn new(g: &'a Graph, w: &'a EdgeWeights) -> Self {
+        assert_eq!(w.len(), g.num_edges(), "weights must match edges");
+        WeightedTwoSpanner {
+            g,
+            w,
+            adj: sorted_adjacency(g),
+            // The protocol computes the same threshold from its
+            // 2-neighborhood w_max aggregate; here it is global.
+            threshold: crate::star::weight_threshold(w.max()),
+        }
+    }
+}
+
+impl SpannerVariant for WeightedTwoSpanner<'_> {
+    fn num_vertices(&self) -> usize {
+        self.g.num_vertices()
+    }
+
+    fn num_items(&self) -> usize {
+        self.g.num_edges()
+    }
+
+    fn targets(&self) -> EdgeSet {
+        EdgeSet::full(self.g.num_edges())
+    }
+
+    fn preselected(&self) -> EdgeSet {
+        let mut h = EdgeSet::new(self.g.num_edges());
+        for (e, weight) in self.w.iter() {
+            if weight == 0 {
+                h.insert(e);
+            }
+        }
+        h
+    }
+
+    fn covered(&self, h: &EdgeSet) -> EdgeSet {
+        undirected_covered(self.g, h)
+    }
+
+    fn local_stars(&self, v: VertexId, uncovered: &EdgeSet) -> LocalStars {
+        unit_leaf_local_stars(
+            self.g,
+            &self.adj[v],
+            v,
+            |e| self.w.get(e),
+            |e| uncovered.contains(e),
+        )
+    }
+
+    fn force_cover(&self, item: usize) -> Vec<EdgeId> {
+        vec![item]
+    }
+
+    fn comm_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v]
+    }
+
+    fn threshold(&self) -> Ratio {
+        self.threshold
+    }
+}
+
+// ---------------------------------------------------------------------
+// Theorem 4.9: directed.
+// ---------------------------------------------------------------------
+
+/// The directed minimum 2-spanner variant (Theorem 4.9): items are the
+/// directed edges, a star leaf contributes the (up to two) directed
+/// edges between the center and the leaf, densities are the Section
+/// 4.3.1 proxies, and the star choice uses the `ρ̃/8` threshold.
+pub struct DirectedTwoSpanner<'a> {
+    g: &'a DiGraph,
+    adj: Vec<Vec<VertexId>>,
+}
+
+impl<'a> DirectedTwoSpanner<'a> {
+    /// Wraps `g` as an engine variant. The communication graph is the
+    /// underlying undirected graph, as Section 1.5 prescribes.
+    pub fn new(g: &'a DiGraph) -> Self {
+        let (underlying, _) = g.underlying();
+        DirectedTwoSpanner {
+            g,
+            adj: sorted_adjacency(&underlying),
+        }
+    }
+}
+
+impl SpannerVariant for DirectedTwoSpanner<'_> {
+    fn num_vertices(&self) -> usize {
+        self.g.num_vertices()
+    }
+
+    fn num_items(&self) -> usize {
+        self.g.num_edges()
+    }
+
+    fn targets(&self) -> EdgeSet {
+        EdgeSet::full(self.g.num_edges())
+    }
+
+    fn preselected(&self) -> EdgeSet {
+        EdgeSet::new(self.g.num_edges())
+    }
+
+    fn covered(&self, h: &EdgeSet) -> EdgeSet {
+        let mut out = EdgeSet::new(self.g.num_edges());
+        for (e, u, v) in self.g.edges() {
+            let direct = h.contains(e);
+            let via_path = || {
+                self.g.out_neighbors(u).any(|(x, eux)| {
+                    x != v
+                        && h.contains(eux)
+                        && self.g.edge_id(x, v).is_some_and(|exv| h.contains(exv))
+                })
+            };
+            if direct || via_path() {
+                out.insert(e);
+            }
+        }
+        out
+    }
+
+    fn local_stars(&self, v: VertexId, uncovered: &EdgeSet) -> LocalStars {
+        let nbrs = &self.adj[v];
+        let leaves: Vec<Leaf> = nbrs
+            .iter()
+            .map(|&u| {
+                let edges: Vec<EdgeId> = [self.g.edge_id(v, u), self.g.edge_id(u, v)]
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                Leaf {
+                    vertex: u,
+                    weight: edges.len() as u64,
+                    edges,
+                }
+            })
+            .collect();
+        let mut pairs = Vec::new();
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                let (a, b) = (nbrs[i], nbrs[j]);
+                let mut items = Vec::new();
+                // a -> v -> b spans the directed edge (a, b).
+                if self.g.has_edge(a, v) && self.g.has_edge(v, b) {
+                    if let Some(e) = self.g.edge_id(a, b) {
+                        if uncovered.contains(e) {
+                            items.push(e);
+                        }
+                    }
+                }
+                // b -> v -> a spans the directed edge (b, a).
+                if self.g.has_edge(b, v) && self.g.has_edge(v, a) {
+                    if let Some(e) = self.g.edge_id(b, a) {
+                        if uncovered.contains(e) {
+                            items.push(e);
+                        }
+                    }
+                }
+                if !items.is_empty() {
+                    pairs.push(Pair { a: i, b: j, items });
+                }
+            }
+        }
+        LocalStars { leaves, pairs }
+    }
+
+    fn force_cover(&self, item: usize) -> Vec<EdgeId> {
+        vec![item]
+    }
+
+    fn comm_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v]
+    }
+
+    fn threshold(&self) -> Ratio {
+        Ratio::one()
+    }
+
+    fn choice_exponent_offset(&self) -> i32 {
+        3
+    }
+}
+
+// ---------------------------------------------------------------------
+// Theorem 4.15: client-server.
+// ---------------------------------------------------------------------
+
+/// The client-server minimum 2-spanner variant (Theorem 4.15): only
+/// *coverable* client edges need covering, stars use server edges only,
+/// the round threshold is 1/2, and termination is strict.
+pub struct ClientServerTwoSpanner<'a> {
+    g: &'a Graph,
+    servers: &'a EdgeSet,
+    adj: Vec<Vec<VertexId>>,
+    server_adj: Vec<Vec<VertexId>>,
+    targets: EdgeSet,
+}
+
+impl<'a> ClientServerTwoSpanner<'a> {
+    /// Wraps `g` with the given client/server edge labeling as an
+    /// engine variant. Client edges no server star can ever cover are
+    /// excluded from the targets, as Section 4.3.3 prescribes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label universes don't match the graph.
+    pub fn new(g: &'a Graph, clients: &'a EdgeSet, servers: &'a EdgeSet) -> Self {
+        assert_eq!(clients.universe(), g.num_edges(), "client set mismatch");
+        assert_eq!(servers.universe(), g.num_edges(), "server set mismatch");
+        let adj = sorted_adjacency(g);
+        let server_adj: Vec<Vec<VertexId>> = (0..g.num_vertices())
+            .map(|v| {
+                adj[v]
+                    .iter()
+                    .copied()
+                    .filter(|&u| servers.contains(g.edge_id(v, u).expect("neighbor edge")))
+                    .collect()
+            })
+            .collect();
+        ClientServerTwoSpanner {
+            g,
+            servers,
+            adj,
+            server_adj,
+            targets: coverable_clients(g, clients, servers),
+        }
+    }
+}
+
+impl SpannerVariant for ClientServerTwoSpanner<'_> {
+    fn num_vertices(&self) -> usize {
+        self.g.num_vertices()
+    }
+
+    fn num_items(&self) -> usize {
+        self.g.num_edges()
+    }
+
+    fn targets(&self) -> EdgeSet {
+        self.targets.clone()
+    }
+
+    fn preselected(&self) -> EdgeSet {
+        EdgeSet::new(self.g.num_edges())
+    }
+
+    fn covered(&self, h: &EdgeSet) -> EdgeSet {
+        let mut out = EdgeSet::new(self.g.num_edges());
+        for e in self.targets.iter() {
+            let (u, v) = self.g.endpoints(e);
+            if h.contains(e) || two_path_in(self.g, h, u, v) {
+                out.insert(e);
+            }
+        }
+        out
+    }
+
+    fn local_stars(&self, v: VertexId, uncovered: &EdgeSet) -> LocalStars {
+        // Leaves are the server neighbors; items are uncovered
+        // (coverable) client edges between them.
+        unit_leaf_local_stars(
+            self.g,
+            &self.server_adj[v],
+            v,
+            |_| 1,
+            |e| uncovered.contains(e),
+        )
+    }
+
+    fn force_cover(&self, item: usize) -> Vec<EdgeId> {
+        if self.servers.contains(item) {
+            return vec![item];
+        }
+        // A coverable non-server client edge has a server 2-path.
+        let (u, v) = self.g.endpoints(item);
+        for (x, eux) in self.g.neighbors(u) {
+            if x == v || !self.servers.contains(eux) {
+                continue;
+            }
+            if let Some(exv) = self.g.edge_id(x, v) {
+                if self.servers.contains(exv) {
+                    return vec![eux, exv];
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn comm_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v]
+    }
+
+    fn threshold(&self) -> Ratio {
+        Ratio::new(1, 2)
+    }
+
+    fn strict_termination(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------
+
+/// The distributed minimum 2-spanner approximation of Theorem 1.3:
+/// `O(log m/n)` expected ratio in `O(log n · log Δ)` rounds.
+///
+/// # Example
+///
+/// ```
+/// use dsa_core::dist::{min_2_spanner, EngineConfig};
+/// use dsa_core::verify::is_k_spanner;
+/// use dsa_graphs::gen::complete;
+///
+/// let g = complete(9);
+/// let run = min_2_spanner(&g, &EngineConfig::seeded(3));
+/// assert!(run.converged);
+/// assert!(is_k_spanner(&g, &run.spanner, 2));
+/// assert!(run.spanner.len() < g.num_edges());
+/// ```
+pub fn min_2_spanner(g: &Graph, cfg: &EngineConfig) -> SpannerRun {
+    run_engine(&UndirectedTwoSpanner::new(g), cfg)
+}
+
+/// The directed variant (Theorem 4.9), with the Section 4.3.1 proxy
+/// densities and the `ρ̃/8` star-choice threshold.
+///
+/// # Example
+///
+/// ```
+/// use dsa_core::dist::{min_2_spanner_directed, EngineConfig};
+/// use dsa_core::verify::is_k_spanner_directed;
+/// use dsa_graphs::DiGraph;
+///
+/// let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+/// let run = min_2_spanner_directed(&g, &EngineConfig::seeded(1));
+/// assert!(run.converged);
+/// assert!(is_k_spanner_directed(&g, &run.spanner, 2));
+/// ```
+pub fn min_2_spanner_directed(g: &DiGraph, cfg: &EngineConfig) -> SpannerRun {
+    run_engine(&DirectedTwoSpanner::new(g), cfg)
+}
+
+/// The weighted variant (Theorem 4.12): `O(log Δ)` expected cost ratio;
+/// weight-0 edges are pre-adopted.
+///
+/// # Panics
+///
+/// Panics if the weights don't match the graph.
+///
+/// # Example
+///
+/// ```
+/// use dsa_core::dist::{min_2_spanner_weighted, EngineConfig};
+/// use dsa_core::verify::is_k_spanner;
+/// use dsa_graphs::{gen, EdgeWeights};
+///
+/// let g = gen::complete(7);
+/// let w = EdgeWeights::from_fn(g.num_edges(), |e| (e % 4) as u64);
+/// let run = min_2_spanner_weighted(&g, &w, &EngineConfig::seeded(5));
+/// assert!(run.converged);
+/// assert!(is_k_spanner(&g, &run.spanner, 2));
+/// ```
+pub fn min_2_spanner_weighted(g: &Graph, w: &EdgeWeights, cfg: &EngineConfig) -> SpannerRun {
+    run_engine(&WeightedTwoSpanner::new(g, w), cfg)
+}
+
+/// The client-server variant (Theorem 4.15): covers every coverable
+/// client edge using server edges only.
+///
+/// # Panics
+///
+/// Panics if the label universes don't match the graph.
+///
+/// # Example
+///
+/// ```
+/// use dsa_core::dist::{min_2_spanner_client_server, EngineConfig};
+/// use dsa_core::verify::is_client_server_2_spanner;
+/// use dsa_graphs::{gen, EdgeSet};
+///
+/// let g = gen::complete(8);
+/// let clients = EdgeSet::full(g.num_edges());
+/// let servers = EdgeSet::full(g.num_edges());
+/// let run = min_2_spanner_client_server(&g, &clients, &servers, &EngineConfig::seeded(2));
+/// assert!(run.converged);
+/// assert!(is_client_server_2_spanner(&g, &clients, &servers, &run.spanner));
+/// ```
+pub fn min_2_spanner_client_server(
+    g: &Graph,
+    clients: &EdgeSet,
+    servers: &EdgeSet,
+    cfg: &EngineConfig,
+) -> SpannerRun {
+    run_engine(&ClientServerTwoSpanner::new(g, clients, servers), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{
+        is_client_server_2_spanner, is_k_spanner, is_k_spanner_directed, spanner_cost,
+    };
+    use dsa_graphs::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_graph_collapses_to_near_star() {
+        let g = gen::complete(10);
+        let run = min_2_spanner(&g, &EngineConfig::seeded(1));
+        assert!(run.converged);
+        assert!(is_k_spanner(&g, &run.spanner, 2));
+        // The densest star is the full star; a handful of accepted
+        // stars must suffice.
+        assert!(run.spanner.len() <= 3 * (g.num_vertices() - 1));
+        assert_eq!(run.iterations, run.stats.len() as u64);
+    }
+
+    #[test]
+    fn path_terminates_by_self_addition() {
+        let g = gen::path(8);
+        let run = min_2_spanner(&g, &EngineConfig::seeded(0));
+        assert!(run.converged);
+        // No 2-paths exist: one termination iteration self-adds all.
+        assert_eq!(run.iterations, 1);
+        assert_eq!(run.spanner.len(), g.num_edges());
+        assert_eq!(run.stats[0].candidates, 0);
+    }
+
+    #[test]
+    fn bipartite_worst_case_needs_every_edge() {
+        let g = gen::complete_bipartite(5, 5);
+        let run = min_2_spanner(&g, &EngineConfig::seeded(4));
+        assert!(run.converged);
+        // No edge of K_{a,b} is 2-spannable by others.
+        assert_eq!(run.spanner.len(), g.num_edges());
+    }
+
+    #[test]
+    fn weighted_pre_adopts_free_edges_and_verifies() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = gen::gnp_connected(24, 0.3, &mut rng);
+        let w = gen::random_weights(g.num_edges(), 0, 6, &mut rng);
+        let run = min_2_spanner_weighted(&g, &w, &EngineConfig::seeded(7));
+        assert!(run.converged);
+        assert!(is_k_spanner(&g, &run.spanner, 2));
+        for (e, weight) in w.iter() {
+            if weight == 0 {
+                assert!(run.spanner.contains(e), "free edge {e} missing");
+            }
+        }
+        assert!(spanner_cost(&run.spanner, &w) <= w.total());
+    }
+
+    #[test]
+    fn directed_engine_handles_antiparallel_pairs() {
+        let mut g = DiGraph::new(8);
+        for u in 0..8 {
+            for v in 0..8 {
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        let run = min_2_spanner_directed(&g, &EngineConfig::seeded(2));
+        assert!(run.converged);
+        assert!(is_k_spanner_directed(&g, &run.spanner, 2));
+        assert!(run.spanner.len() < g.num_edges());
+    }
+
+    #[test]
+    fn directed_random_instances_verify() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for seed in 0..3u64 {
+            let g = gen::random_digraph_connected(20, 0.12, &mut rng);
+            let run = min_2_spanner_directed(&g, &EngineConfig::seeded(seed));
+            assert!(run.converged, "seed {seed}");
+            assert!(is_k_spanner_directed(&g, &run.spanner, 2), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn client_server_stays_within_servers() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for seed in 0..3u64 {
+            let g = gen::gnp_connected(25, 0.25, &mut rng);
+            let (clients, servers) = gen::client_server_split(&g, 0.6, 0.6, &mut rng);
+            let run =
+                min_2_spanner_client_server(&g, &clients, &servers, &EngineConfig::seeded(seed));
+            assert!(run.converged, "seed {seed}");
+            assert!(run.spanner.is_subset_of(&servers), "seed {seed}");
+            assert!(
+                is_client_server_2_spanner(&g, &clients, &servers, &run.spanner),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn client_server_skips_uncoverable_clients() {
+        // Triangle plus a pendant client edge no server can cover.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let e03 = g.edge_id(0, 3).unwrap();
+        let clients = EdgeSet::full(g.num_edges());
+        let mut servers = EdgeSet::full(g.num_edges());
+        servers.remove(e03);
+        let run = min_2_spanner_client_server(&g, &clients, &servers, &EngineConfig::seeded(0));
+        assert!(run.converged);
+        assert!(!run.spanner.contains(e03));
+        assert!(is_client_server_2_spanner(
+            &g,
+            &clients,
+            &servers,
+            &run.spanner
+        ));
+    }
+
+    #[test]
+    fn ablated_configs_stay_correct() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = gen::gnp_connected(22, 0.3, &mut rng);
+        for cfg in [
+            EngineConfig {
+                monotone_stars: false,
+                ..EngineConfig::seeded(1)
+            },
+            EngineConfig {
+                round_densities: false,
+                ..EngineConfig::seeded(2)
+            },
+            EngineConfig {
+                accept_denominator: 1,
+                ..EngineConfig::seeded(3)
+            },
+            EngineConfig {
+                accept_denominator: 64,
+                ..EngineConfig::seeded(4)
+            },
+        ] {
+            let run = run_engine(&UndirectedTwoSpanner::new(&g), &cfg);
+            assert!(run.converged, "{cfg:?}");
+            assert!(is_k_spanner(&g, &run.spanner, 2), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn stats_track_progress_monotonically() {
+        // Strict decrease is guaranteed (not luck): the candidate with
+        // the globally smallest permutation value wins the vote of
+        // every item its star spans, so it always clears the |C_v|/8
+        // acceptance bar and covers at least one item per iteration.
+        let mut rng = StdRng::seed_from_u64(29);
+        let g = gen::gnp_connected(30, 0.25, &mut rng);
+        let run = min_2_spanner(&g, &EngineConfig::seeded(5));
+        assert!(run.converged);
+        for pair in run.stats.windows(2) {
+            assert!(
+                pair[1].uncovered < pair[0].uncovered,
+                "no progress: {run:?}"
+            );
+        }
+        assert_eq!(run.stats.last().unwrap().uncovered, 0);
+    }
+
+    #[test]
+    fn weighted_survives_astronomical_weights() {
+        // Regression: weights beyond 2^62 used to drive the threshold
+        // exponent past pow2_ratio's range and panic, and each of
+        // these weight profiles crashed a different layer (threshold
+        // loop, rounded star-choice exponent, fallback weight sums).
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        for weights in [
+            vec![1, 1, (1u64 << 62) + 1],
+            vec![(1u64 << 61) + 2, 2, (1u64 << 61) + 2],
+            vec![1u64 << 63, 1u64 << 63, 1],
+            vec![u64::MAX, u64::MAX, u64::MAX],
+        ] {
+            let w = EdgeWeights::from_vec(weights.clone());
+            let run = min_2_spanner_weighted(&g, &w, &EngineConfig::seeded(0));
+            assert!(run.converged, "{weights:?}");
+            assert!(is_k_spanner(&g, &run.spanner, 2), "{weights:?}");
+            // The exact-density ablation takes its own guarded path.
+            let cfg = EngineConfig {
+                round_densities: false,
+                ..EngineConfig::seeded(1)
+            };
+            let run = run_engine(&WeightedTwoSpanner::new(&g, &w), &cfg);
+            assert!(run.converged, "{weights:?}");
+            assert!(is_k_spanner(&g, &run.spanner, 2), "{weights:?}");
+            // The message-passing protocol shares the star machinery.
+            let run = crate::protocol::run_weighted_two_spanner_protocol(&g, &w, 3, 10_000);
+            assert!(run.completed, "{weights:?}");
+            assert!(is_k_spanner(&g, &run.spanner, 2), "{weights:?}");
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic_per_seed() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = gen::gnp_connected(26, 0.3, &mut rng);
+        let a = min_2_spanner(&g, &EngineConfig::seeded(9));
+        let b = min_2_spanner(&g, &EngineConfig::seeded(9));
+        assert_eq!(a.spanner, b.spanner);
+        assert_eq!(a.iterations, b.iterations);
+    }
+}

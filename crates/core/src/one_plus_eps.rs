@@ -66,9 +66,8 @@ pub fn linial_saks(g: &Graph, r: usize, seed: u64) -> Decomposition {
     let bound = ((n.max(2) as f64).log2().ceil() as usize) + 1;
 
     // Distance in G^r = ceil(dist_G / r).
-    let dist_gr = |dists: &[Option<usize>], v: VertexId| -> Option<usize> {
-        dists[v].map(|d| d.div_ceil(r))
-    };
+    let dist_gr =
+        |dists: &[Option<usize>], v: VertexId| -> Option<usize> { dists[v].map(|d| d.div_ceil(r)) };
 
     let mut current_color = 0;
     let max_phases = 8 * bound + 8;
@@ -216,8 +215,7 @@ fn one_plus_eps_impl(
     // (1+eps) factor, and g(v, ·) ≤ n²·w_max, so at most
     // 2k·log_{1+eps}(n²·w_max) radius increments can fail.
     let w_max = weights.max().max(1) as f64;
-    let log_growth =
-        (((n.max(2) as f64).powi(2) * w_max).ln() / (1.0 + eps).ln()).ceil() as usize;
+    let log_growth = (((n.max(2) as f64).powi(2) * w_max).ln() / (1.0 + eps).ln()).ceil() as usize;
     let r_bound = 2 * k * (log_growth + 2) + 4 * k + 1;
     let decomp = linial_saks(g, r_bound.max(1), seed);
 
@@ -248,8 +246,7 @@ fn one_plus_eps_impl(
             let g_outer = oracle(&outer);
             if (g_outer as f64) <= (1.0 + eps) * (g_inner as f64) {
                 if !outer.is_empty() {
-                    let (add, _) =
-                        exact_min_spanner_covering_weighted(g, weights, &outer, k);
+                    let (add, _) = exact_min_spanner_covering_weighted(g, weights, &outer, k);
                     h.union_with(&add);
                     // Recompute coverage (any target with a <= k path
                     // in h is covered).
@@ -280,12 +277,7 @@ fn one_plus_eps_impl(
 }
 
 /// The uncovered edges with both endpoints within distance `d` of `v`.
-fn uncovered_targets_in_ball(
-    g: &Graph,
-    covered: &EdgeSet,
-    v: VertexId,
-    d: usize,
-) -> Vec<EdgeId> {
+fn uncovered_targets_in_ball(g: &Graph, covered: &EdgeSet, v: VertexId, d: usize) -> Vec<EdgeId> {
     let ball_vertices = ball(g, v, d);
     let mut inside = vec![false; g.num_vertices()];
     for &u in &ball_vertices {
@@ -316,9 +308,9 @@ mod tests {
         // Same color, different cluster => distance > r in G.
         for v in 0..g.num_vertices() {
             let dists = dsa_graphs::traversal::bfs_distances(&g, v);
-            for u in 0..g.num_vertices() {
+            for (u, du) in dists.iter().enumerate() {
                 if u != v && d.color[u] == d.color[v] && d.cluster[u] != d.cluster[v] {
-                    let duv = dists[u].expect("connected");
+                    let duv = du.expect("connected");
                     assert!(duv > r, "vertices {v},{u} at distance {duv} <= r={r}");
                 }
             }

@@ -30,9 +30,11 @@ use std::collections::{BTreeMap, BTreeSet};
 use rand::Rng;
 
 use dsa_graphs::{EdgeSet, EdgeWeights, Graph, Ratio, VertexId};
-use dsa_runtime::{Metrics, Network, Outbox, Protocol, RoundCtx, Simulator, Word, WordReader, WordWriter};
+use dsa_runtime::{
+    Metrics, Network, Outbox, Protocol, RoundCtx, Simulator, Word, WordReader, WordWriter,
+};
 
-use crate::star::{pow2_ratio, Leaf, LocalStars, Pair};
+use crate::star::{pow2_ratio, weight_threshold, Leaf, LocalStars, Pair};
 
 /// Rounds per algorithm iteration.
 pub const PHASES: u64 = 7;
@@ -98,11 +100,7 @@ impl<'a> TwoSpannerProtocol<'a> {
     /// # Panics
     ///
     /// Panics if the label universes don't match the graph.
-    pub fn client_server(
-        g: &'a Graph,
-        clients: &'a EdgeSet,
-        servers: &'a EdgeSet,
-    ) -> Self {
+    pub fn client_server(g: &'a Graph, clients: &'a EdgeSet, servers: &'a EdgeSet) -> Self {
         assert_eq!(clients.universe(), g.num_edges(), "client set mismatch");
         assert_eq!(servers.universe(), g.num_edges(), "server set mismatch");
         TwoSpannerProtocol {
@@ -429,13 +427,7 @@ fn phase3_candidacy(
     // 1/w_max over the 2-neighborhood.
     let threshold = match _p.mode {
         Mode::ClientServer { .. } => Ratio::new(1, 2),
-        _ => {
-            let mut j = 0i32;
-            while pow2_ratio(j) < Ratio::new(wmax2.max(1), 1) {
-                j += 1;
-            }
-            pow2_ratio(-j)
-        }
+        _ => weight_threshold(wmax2),
     };
 
     // Termination (paper step 7): everything nearby has density at
@@ -467,7 +459,7 @@ fn phase3_candidacy(
     let max_key = max2.ceil_pow2_exponent();
     if node.rho >= threshold && my_key == max_key {
         let exp = my_key.expect("positive density has a key");
-        let threshold = pow2_ratio(exp - 2);
+        let threshold = pow2_ratio((exp - 2).max(-62));
         let prev = node
             .prev_star
             .as_ref()
@@ -780,7 +772,11 @@ mod tests {
         assert!(run.completed);
         assert_eq!(run.spanner.len(), g.num_edges());
         // One iteration (7 rounds) plus the coverage refresh round.
-        assert!(run.metrics.rounds <= 2 * PHASES + 2, "rounds = {}", run.metrics.rounds);
+        assert!(
+            run.metrics.rounds <= 2 * PHASES + 2,
+            "rounds = {}",
+            run.metrics.rounds
+        );
     }
 
     #[test]
@@ -855,8 +851,7 @@ mod tests {
         for seed in 0..3u64 {
             let g = gen::gnp_connected(22, 0.3, &mut rng);
             let (clients, servers) = gen::client_server_split(&g, 0.6, 0.6, &mut rng);
-            let run =
-                run_client_server_two_spanner_protocol(&g, &clients, &servers, seed, 200_000);
+            let run = run_client_server_two_spanner_protocol(&g, &clients, &servers, seed, 200_000);
             assert!(run.completed, "seed {seed}");
             assert!(run.spanner.is_subset_of(&servers), "seed {seed}");
             assert!(
@@ -879,7 +874,10 @@ mod tests {
         assert!(run.completed);
         assert!(!run.spanner.contains(e03));
         assert!(crate::verify::is_client_server_2_spanner(
-            &g, &clients, &servers, &run.spanner
+            &g,
+            &clients,
+            &servers,
+            &run.spanner
         ));
     }
 

@@ -58,7 +58,14 @@ pub fn greedy_2_spanner_weighted(g: &Graph, w: &EdgeWeights) -> EdgeSet {
             .iter()
             .map(|e| {
                 let we = w.get(e);
-                (e, if we == 0 { Ratio::new(u64::MAX, 1) } else { Ratio::new(1, we) })
+                (
+                    e,
+                    if we == 0 {
+                        Ratio::new(u64::MAX, 1)
+                    } else {
+                        Ratio::new(1, we)
+                    },
+                )
             })
             .max_by_key(|&(_, d)| d);
         let take_star = |h: &mut EdgeSet, v: VertexId, member: &[bool]| {
@@ -100,11 +107,7 @@ pub fn greedy_2_spanner_directed(g: &DiGraph) -> EdgeSet {
 /// style baseline): densest server-stars over uncovered client edges,
 /// stopping at density 1/2 (a 2-path covering one client edge), then
 /// self-adding client∩server leftovers.
-pub fn greedy_2_spanner_client_server(
-    g: &Graph,
-    clients: &EdgeSet,
-    servers: &EdgeSet,
-) -> EdgeSet {
+pub fn greedy_2_spanner_client_server(g: &Graph, clients: &EdgeSet, servers: &EdgeSet) -> EdgeSet {
     let variant = ClientServerTwoSpanner::new(g, clients, servers);
     greedy_over_variant(&variant, Ratio::new(1, 2))
 }
@@ -241,7 +244,14 @@ pub fn exact_min_2_spanner_weighted(g: &Graph, w: &EdgeWeights) -> (EdgeSet, u64
         }
     }
     let zero_cost_base = 0u64;
-    branch_2(g, w, &mut current, zero_cost_base, &mut best, &mut best_cost);
+    branch_2(
+        g,
+        w,
+        &mut current,
+        zero_cost_base,
+        &mut best,
+        &mut best_cost,
+    );
     (best, best_cost)
 }
 
@@ -496,8 +506,7 @@ mod tests {
             let g = gen::gnp_connected(9, 0.4, &mut rng);
             let opt = exact_min_2_spanner(&g);
             let greedy = greedy_2_spanner(&g);
-            let dist =
-                crate::dist::min_2_spanner(&g, &crate::dist::EngineConfig::seeded(seed));
+            let dist = crate::dist::min_2_spanner(&g, &crate::dist::EngineConfig::seeded(seed));
             assert!(is_k_spanner(&g, &opt, 2));
             assert!(is_k_spanner(&g, &greedy, 2));
             assert!(opt.len() <= greedy.len());

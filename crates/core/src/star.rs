@@ -80,6 +80,20 @@ pub fn pow2_ratio(exp: i32) -> Ratio {
     }
 }
 
+/// The candidacy/termination threshold of the weighted variant
+/// (Section 4.3.2): the largest power of two at most `1 / w_max`,
+/// saturating at `2^-62` ([`pow2_ratio`]'s exact range) for
+/// astronomical weights — the threshold only decides when termination
+/// self-adds leftovers, never correctness.
+pub fn weight_threshold(w_max: u64) -> Ratio {
+    let w = w_max.max(1);
+    let mut j = 0i32;
+    while j < 62 && pow2_ratio(j) < Ratio::new(w, 1) {
+        j += 1;
+    }
+    pow2_ratio(-j)
+}
+
 impl LocalStars {
     /// Whether no pair spans anything (density 0 for every star).
     pub fn is_empty(&self) -> bool {
@@ -108,14 +122,15 @@ impl LocalStars {
         items
     }
 
-    /// Total leaf weight of the set `member`.
+    /// Total leaf weight of the set `member`, saturating at
+    /// `u64::MAX` (astronomically weighted stars then read as density
+    /// ~0 instead of overflowing).
     pub fn weight_of(&self, member: &[bool]) -> u64 {
         self.leaves
             .iter()
             .zip(member)
             .filter(|&(_, &m)| m)
-            .map(|(l, _)| l.weight)
-            .sum()
+            .fold(0u64, |acc, (l, _)| acc.saturating_add(l.weight))
     }
 
     /// Density of the leaf set `member`; `None` if the set has zero
@@ -161,6 +176,19 @@ impl LocalStars {
             .filter(|p| allowed(p.a) && allowed(p.b) && !p.items.is_empty())
             .map(|p| (back[p.a], back[p.b], p.items.len() as u64))
             .collect();
+        // The flow oracle's exact arithmetic needs
+        // total_weight² · 2 · total_multiplicity to fit in i64; on
+        // astronomically weighted instances fall back to the densest
+        // single pair instead of panicking.
+        let total_w: u128 = weights.iter().map(|&w| w as u128).sum();
+        let total_m: u128 = edges.iter().map(|&(_, _, m)| m as u128).sum();
+        let oracle_safe = total_w
+            .checked_mul(total_w)
+            .and_then(|w2| w2.checked_mul(2 * total_m.max(1)))
+            .is_some_and(|bound| bound <= i64::MAX as u128);
+        if !oracle_safe {
+            return self.densest_pair(within);
+        }
         let best = densest_weighted_subgraph(&weights, &edges)?;
         let mut member = vec![false; self.leaves.len()];
         for &k in &best.vertices {
@@ -174,6 +202,33 @@ impl LocalStars {
         }
         let density = self.density_of(&member).unwrap_or(best.density);
         Some((member, density))
+    }
+
+    /// Overflow fallback for [`LocalStars::densest`]: the densest
+    /// two-leaf star (plus free leaves), found by direct scan. Only
+    /// used when the flow oracle's scaled capacities would overflow.
+    fn densest_pair(&self, within: Option<&[bool]>) -> Option<(Vec<bool>, Ratio)> {
+        let allowed = |i: usize| within.is_none_or(|w| w[i]);
+        let mut best: Option<(Vec<bool>, Ratio)> = None;
+        for p in &self.pairs {
+            if !allowed(p.a) || !allowed(p.b) || p.items.is_empty() {
+                continue;
+            }
+            let mut member = vec![false; self.leaves.len()];
+            member[p.a] = true;
+            member[p.b] = true;
+            for (i, leaf) in self.leaves.iter().enumerate() {
+                if leaf.weight == 0 && allowed(i) {
+                    member[i] = true;
+                }
+            }
+            if let Some(d) = self.density_of(&member) {
+                if best.as_ref().is_none_or(|(_, bd)| d > *bd) {
+                    best = Some((member, d));
+                }
+            }
+        }
+        best
     }
 
     /// The Section 4.1 star choice.
@@ -254,7 +309,7 @@ impl LocalStars {
                         .map(|&(_, mult)| mult)
                         .sum();
                     let new_num = num + gain;
-                    let new_den = den + self.leaves[i].weight;
+                    let new_den = den.saturating_add(self.leaves[i].weight);
                     if new_den == 0 {
                         continue;
                     }
@@ -268,7 +323,7 @@ impl LocalStars {
                     Some((i, gain)) => {
                         member[i] = true;
                         num += gain;
-                        den += self.leaves[i].weight;
+                        den = den.saturating_add(self.leaves[i].weight);
                         added_leaf = true;
                     }
                     None => break,
@@ -328,7 +383,10 @@ mod tests {
     fn densities() {
         let ls = wheel();
         assert_eq!(ls.density_of(&[true; 4]), Some(Ratio::new(5, 4)));
-        assert_eq!(ls.density_of(&[true, true, true, false]), Some(Ratio::new(3, 3)));
+        assert_eq!(
+            ls.density_of(&[true, true, true, false]),
+            Some(Ratio::new(3, 3))
+        );
         assert_eq!(ls.max_density(), Some(Ratio::new(5, 4)));
         assert_eq!(ls.spanned_count(&[true, true, false, false]), 1);
         assert_eq!(
@@ -410,13 +468,33 @@ mod tests {
     #[test]
     fn zero_weight_leaves_always_join() {
         let leaves = vec![
-            Leaf { vertex: 1, weight: 0, edges: vec![0] },
-            Leaf { vertex: 2, weight: 3, edges: vec![1] },
-            Leaf { vertex: 3, weight: 3, edges: vec![2] },
+            Leaf {
+                vertex: 1,
+                weight: 0,
+                edges: vec![0],
+            },
+            Leaf {
+                vertex: 2,
+                weight: 3,
+                edges: vec![1],
+            },
+            Leaf {
+                vertex: 3,
+                weight: 3,
+                edges: vec![2],
+            },
         ];
         let pairs = vec![
-            Pair { a: 0, b: 1, items: vec![7] },
-            Pair { a: 1, b: 2, items: vec![8] },
+            Pair {
+                a: 0,
+                b: 1,
+                items: vec![7],
+            },
+            Pair {
+                a: 1,
+                b: 2,
+                items: vec![8],
+            },
         ];
         let ls = LocalStars { leaves, pairs };
         let (member, d) = ls.densest(None).unwrap();
@@ -427,7 +505,11 @@ mod tests {
     #[test]
     fn empty_pairs_mean_no_star() {
         let ls = LocalStars {
-            leaves: vec![Leaf { vertex: 1, weight: 1, edges: vec![0] }],
+            leaves: vec![Leaf {
+                vertex: 1,
+                weight: 1,
+                edges: vec![0],
+            }],
             pairs: Vec::new(),
         };
         assert!(ls.is_empty());

@@ -60,7 +60,10 @@ impl MaxFlow {
     /// Panics if `cap < 0` or an endpoint is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: i64) -> usize {
         assert!(cap >= 0, "negative capacity");
-        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
         let id = self.to.len();
         self.to.push(v);
         self.cap.push(cap);

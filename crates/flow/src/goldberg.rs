@@ -302,7 +302,10 @@ mod tests {
         let cases: Vec<(usize, Vec<(usize, usize)>)> = vec![
             (4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]),
             (5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]),
-            (6, vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]),
+            (
+                6,
+                vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+            ),
             (7, vec![(0, 1), (2, 3), (4, 5), (5, 6), (4, 6), (1, 2)]),
         ];
         for (n, edges) in cases {

@@ -79,7 +79,11 @@ impl EdgeSet {
     ///
     /// Panics if `e` is outside the universe.
     pub fn contains(&self, e: EdgeId) -> bool {
-        assert!(e < self.universe, "id {e} outside universe {}", self.universe);
+        assert!(
+            e < self.universe,
+            "id {e} outside universe {}",
+            self.universe
+        );
         self.blocks[e / 64] >> (e % 64) & 1 == 1
     }
 
@@ -89,7 +93,11 @@ impl EdgeSet {
     ///
     /// Panics if `e` is outside the universe.
     pub fn insert(&mut self, e: EdgeId) -> bool {
-        assert!(e < self.universe, "id {e} outside universe {}", self.universe);
+        assert!(
+            e < self.universe,
+            "id {e} outside universe {}",
+            self.universe
+        );
         let mask = 1u64 << (e % 64);
         let block = &mut self.blocks[e / 64];
         if *block & mask == 0 {
@@ -107,7 +115,11 @@ impl EdgeSet {
     ///
     /// Panics if `e` is outside the universe.
     pub fn remove(&mut self, e: EdgeId) -> bool {
-        assert!(e < self.universe, "id {e} outside universe {}", self.universe);
+        assert!(
+            e < self.universe,
+            "id {e} outside universe {}",
+            self.universe
+        );
         let mask = 1u64 << (e % 64);
         let block = &mut self.blocks[e / 64];
         if *block & mask != 0 {
@@ -156,7 +168,10 @@ impl EdgeSet {
     /// Panics if universes differ.
     pub fn is_disjoint(&self, other: &EdgeSet) -> bool {
         assert_eq!(self.universe, other.universe, "universe mismatch");
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
     }
 
     /// Whether every id of this set is in `other`.
@@ -166,7 +181,10 @@ impl EdgeSet {
     /// Panics if universes differ.
     pub fn is_subset_of(&self, other: &EdgeSet) -> bool {
         assert_eq!(self.universe, other.universe, "universe mismatch");
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterator over the ids in the set, in increasing order.

@@ -184,7 +184,10 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        assert_eq!(parse_edge_list("0 1\n"), Err(ParseGraphError::MissingHeader));
+        assert_eq!(
+            parse_edge_list("0 1\n"),
+            Err(ParseGraphError::MissingHeader)
+        );
         assert_eq!(
             parse_edge_list("# n 3\n0\n"),
             Err(ParseGraphError::BadLine(2))

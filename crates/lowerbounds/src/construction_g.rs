@@ -37,10 +37,7 @@ impl GParams {
         let q = (alpha * c).ceil() as usize + 1;
         let ell = ((n_target as f64) / (c * q as f64)).sqrt().floor() as usize;
         assert!(ell >= 1, "alpha too large for target size (need α ≤ n/100)");
-        GParams {
-            ell,
-            beta: q * ell,
-        }
+        GParams { ell, beta: q * ell }
     }
 
     /// The parameter choice of Theorem 2.8 (deterministic bound, via
@@ -191,12 +188,7 @@ impl GConstruction {
     /// there is no such path at all).
     pub fn bypass_any_length(&self, i: usize, r: usize) -> bool {
         let non_d = self.non_d_spanner();
-        let dist = bfs_distances_directed(
-            &self.graph,
-            self.params.x1(i),
-            Some(&non_d),
-            usize::MAX,
-        );
+        let dist = bfs_distances_directed(&self.graph, self.params.x1(i), Some(&non_d), usize::MAX);
         dist[self.params.y2(r)].is_some()
     }
 
@@ -308,9 +300,7 @@ impl GParams {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::disjointness::{
-        random_disjoint, random_far_from_disjoint, random_intersecting,
-    };
+    use crate::disjointness::{random_disjoint, random_far_from_disjoint, random_intersecting};
     use dsa_core::verify::is_k_spanner_directed;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -21,7 +21,9 @@
 use std::collections::BTreeSet;
 
 use dsa_graphs::VertexId;
-use dsa_runtime::{Metrics, Network, Outbox, Protocol, RoundCtx, Simulator, Word, WordReader, WordWriter};
+use dsa_runtime::{
+    Metrics, Network, Outbox, Protocol, RoundCtx, Simulator, Word, WordReader, WordWriter,
+};
 
 use crate::construction_g::GConstruction;
 
@@ -34,10 +36,7 @@ use crate::construction_g::GConstruction;
 /// Returns `(declared_disjoint, d_edges_in_spanner, threshold)`.
 pub fn decide_disjointness_by_spanner(c: &GConstruction, alpha: f64) -> (bool, usize, f64) {
     let spanner = c.minimal_spanner();
-    let d_in_spanner = spanner
-        .iter()
-        .filter(|&e| c.d_edges.contains(e))
-        .count();
+    let d_in_spanner = spanner.iter().filter(|&e| c.d_edges.contains(e)).count();
     let t = c.disjoint_spanner_bound() as f64;
     let declared_disjoint = (d_in_spanner as f64) <= alpha * t;
     (declared_disjoint, d_in_spanner, t)
@@ -151,10 +150,8 @@ mod tests {
         // i.e. β > 10.5·ℓ... use a proper Theorem-1.1 parameterization.
         let params_ok = GParams::for_alpha(800, alpha);
         for _ in 0..2 {
-            let d = GConstruction::build(
-                params_ok,
-                random_disjoint(params_ok.input_len(), &mut rng),
-            );
+            let d =
+                GConstruction::build(params_ok, random_disjoint(params_ok.input_len(), &mut rng));
             let (decision, d_edges, _) = decide_disjointness_by_spanner(&d, alpha);
             assert!(decision, "disjoint declared intersecting");
             assert_eq!(d_edges, 0);
@@ -192,10 +189,11 @@ mod tests {
         // More vertices -> more rounds; more approximation slack ->
         // fewer rounds.
         assert!(predicted_rounds_randomized(10_000, 2.0) > predicted_rounds_randomized(1_000, 2.0));
-        assert!(predicted_rounds_randomized(10_000, 2.0) > predicted_rounds_randomized(10_000, 8.0));
         assert!(
-            predicted_rounds_deterministic(10_000, 2.0)
-                > predicted_rounds_randomized(10_000, 2.0)
+            predicted_rounds_randomized(10_000, 2.0) > predicted_rounds_randomized(10_000, 8.0)
+        );
+        assert!(
+            predicted_rounds_deterministic(10_000, 2.0) > predicted_rounds_randomized(10_000, 2.0)
         );
     }
 }

@@ -70,10 +70,7 @@ pub fn jia_style_mds(g: &Graph, seed: u64, max_rounds: u64) -> JiaRun {
         let key = |d: u64| Ratio::new(d, 1).ceil_pow2_exponent();
         let candidates: Vec<VertexId> = (0..n)
             .filter(|&v| {
-                span[v] >= 1
-                    && two_nbrhood[v]
-                        .iter()
-                        .all(|&u| key(span[u]) <= key(span[v]))
+                span[v] >= 1 && two_nbrhood[v].iter().all(|&u| key(span[u]) <= key(span[v]))
             })
             .collect();
         if candidates.is_empty() {

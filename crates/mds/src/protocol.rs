@@ -129,10 +129,8 @@ impl Protocol for MdsProtocol {
                 // candidate by (r_v, id); self-votes stay local.
                 node.self_vote = false;
                 if !node.covered {
-                    let mut best: Option<(u64, VertexId)> = node
-                        .candidate
-                        .as_ref()
-                        .map(|&(_, rv)| (rv, ctx.me));
+                    let mut best: Option<(u64, VertexId)> =
+                        node.candidate.as_ref().map(|&(_, rv)| (rv, ctx.me));
                     for env in ctx.inbox {
                         if env.words[0] == 1 {
                             let cand = (env.words[1], env.from);

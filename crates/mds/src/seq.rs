@@ -24,8 +24,8 @@ pub fn greedy_mds(g: &Graph) -> Vec<VertexId> {
     while remaining > 0 {
         let mut best: Option<(usize, VertexId)> = None;
         for v in 0..n {
-            let gain = usize::from(!covered[v])
-                + g.neighbor_vertices(v).filter(|&u| !covered[u]).count();
+            let gain =
+                usize::from(!covered[v]) + g.neighbor_vertices(v).filter(|&u| !covered[u]).count();
             if gain > 0 && best.is_none_or(|(bg, bv)| gain > bg || (gain == bg && v < bv)) {
                 best = Some((gain, v));
             }

@@ -104,7 +104,10 @@ impl<P: Protocol> Protocol for Fragmented<P> {
         for env in ctx.inbox {
             let remaining = env.words[0] as usize;
             let payload = &env.words[1..];
-            let slot = node.partial.iter_mut().find(|(from, _, _)| *from == env.from);
+            let slot = node
+                .partial
+                .iter_mut()
+                .find(|(from, _, _)| *from == env.from);
             match slot {
                 Some((_, buf, _)) => buf.extend_from_slice(payload),
                 None => {

@@ -39,13 +39,11 @@ impl Outbox {
         }
     }
 
-    fn take(&mut self) -> Vec<(VertexId, Vec<Word>)> {
-        std::mem::take(&mut self.msgs)
-    }
-
-    /// Consumes the outbox, returning its `(to, payload)` messages.
-    /// Used by protocol adapters (e.g. [`crate::Fragmented`]) that
-    /// re-route an inner protocol's traffic.
+    /// Consumes the outbox, returning its `(to, payload)` messages in
+    /// send order. This is the **only** way traffic leaves an outbox —
+    /// the simulator drains each round's outbox through it, and
+    /// protocol adapters (e.g. [`crate::Fragmented`]) use it to
+    /// re-route an inner protocol's messages.
     pub fn into_messages(self) -> Vec<(VertexId, Vec<Word>)> {
         self.msgs
     }
@@ -163,7 +161,10 @@ impl<'a, P: Protocol> Simulator<'a, P> {
         let mut rngs: Vec<StdRng> = (0..n)
             .map(|v| {
                 StdRng::seed_from_u64(
-                    self.seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17),
+                    self.seed
+                        ^ (v as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .rotate_left(17),
                 )
             })
             .collect();
@@ -220,7 +221,7 @@ impl<'a, P: Protocol> Simulator<'a, P> {
                 };
                 self.protocol.round(&mut nodes[v], &mut ctx, &mut out);
 
-                for (to, words) in out.take() {
+                for (to, words) in out.into_messages() {
                     assert!(
                         self.net.are_neighbors(v, to),
                         "vertex {v} tried to message non-neighbor {to}"
@@ -238,8 +239,7 @@ impl<'a, P: Protocol> Simulator<'a, P> {
                     }
                     if let Some(cut) = &self.cut {
                         if cut[v] != cut[to] {
-                            *metrics.cut_words.as_mut().expect("cut metered") +=
-                                words.len() as u64;
+                            *metrics.cut_words.as_mut().expect("cut metered") += words.len() as u64;
                             *metrics.cut_messages.as_mut().expect("cut metered") += 1;
                         }
                     }
@@ -253,8 +253,7 @@ impl<'a, P: Protocol> Simulator<'a, P> {
 
         if !completed {
             let in_flight = inboxes.iter().any(|b| !b.is_empty());
-            completed =
-                !in_flight && nodes.iter().all(|node| self.protocol.is_done(node));
+            completed = !in_flight && nodes.iter().all(|node| self.protocol.is_done(node));
         }
 
         RunReport {

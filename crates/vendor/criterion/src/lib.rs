@@ -1,0 +1,190 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate, exposing the API subset this workspace's
+//! benches use: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, `bench_with_input`, [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal harness. It has none of real criterion's
+//! statistics: each benchmark is warmed up once and then timed over a
+//! small fixed number of samples, reporting min / mean / max wall-clock
+//! time per iteration. That is enough to compare orders of magnitude
+//! between algorithm variants, which is all the experiment docs rely
+//! on; swap in the real crate for publication-grade numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark (after one warm-up run).
+const SAMPLES: usize = 5;
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the vendored harness always
+    /// takes a small fixed number of samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Benchmarks `f` with a fixed input under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// An identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness's fixed sample count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (also primes caches and lazy statics).
+        let _ = routine();
+        self.samples.clear();
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let min = bencher.samples.iter().min().expect("non-empty");
+    let max = bencher.samples.iter().max().expect("non-empty");
+    let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    println!("{label:<40} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]");
+}
+
+/// Bundles benchmark functions into one named runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` from one or more [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(runs)
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        // Warm-up + SAMPLES timed runs.
+        assert_eq!(runs, 1 + SAMPLES as u64);
+    }
+}

@@ -13,8 +13,7 @@ use rand::SeedableRng;
 use spanner_repro::lowerbounds::construction_g::{GConstruction, GParams};
 use spanner_repro::lowerbounds::disjointness::{random_disjoint, random_intersecting};
 use spanner_repro::lowerbounds::two_party::{
-    decide_disjointness_by_spanner, predicted_rounds_deterministic,
-    predicted_rounds_randomized,
+    decide_disjointness_by_spanner, predicted_rounds_deterministic, predicted_rounds_randomized,
 };
 
 fn main() {
@@ -31,8 +30,14 @@ fn main() {
     );
 
     for (label, inst) in [
-        ("disjoint     ", random_disjoint(params.input_len(), &mut rng)),
-        ("intersecting ", random_intersecting(params.input_len(), 1, &mut rng)),
+        (
+            "disjoint     ",
+            random_disjoint(params.input_len(), &mut rng),
+        ),
+        (
+            "intersecting ",
+            random_intersecting(params.input_len(), 1, &mut rng),
+        ),
     ] {
         let c = GConstruction::build(params, inst);
         let spanner = c.minimal_spanner();
@@ -40,10 +45,15 @@ fn main() {
         let (declared_disjoint, d_edges, t) = decide_disjointness_by_spanner(&c, alpha);
         println!(
             "{label}: spanner = {:>7} edges, forced D-edges = {:>6}, decision rule: \
-             {} (threshold α·t = {:.0})",
+             {} ({} D-edges vs threshold α·t = {:.0})",
             spanner.len(),
             forced,
-            if declared_disjoint { "disjoint" } else { "NOT disjoint" },
+            if declared_disjoint {
+                "disjoint"
+            } else {
+                "NOT disjoint"
+            },
+            d_edges,
             alpha * t,
         );
         assert_eq!(declared_disjoint, c.instance.is_disjoint());
@@ -58,7 +68,10 @@ fn main() {
     }
 
     println!("\npredicted round lower bounds for α-approximation (k ≥ 5, directed):");
-    println!("{:>8} {:>8} {:>14} {:>14}", "n", "α", "randomized", "deterministic");
+    println!(
+        "{:>8} {:>8} {:>14} {:>14}",
+        "n", "α", "randomized", "deterministic"
+    );
     for n in [1_000usize, 10_000, 100_000] {
         for a in [1.0, 4.0, 16.0] {
             println!(

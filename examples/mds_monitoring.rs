@@ -18,8 +18,14 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(99);
     for (name, g) in [
         ("grid 12×12", gen::grid(12, 12)),
-        ("random G(150, 0.04)", gen::gnp_connected(150, 0.04, &mut rng)),
-        ("preferential attachment", gen::preferential_attachment(150, 4, 2, &mut rng)),
+        (
+            "random G(150, 0.04)",
+            gen::gnp_connected(150, 0.04, &mut rng),
+        ),
+        (
+            "preferential attachment",
+            gen::preferential_attachment(150, 4, 2, &mut rng),
+        ),
     ] {
         let run = run_mds_protocol(&g, 5, 100_000);
         assert!(run.completed, "{name}: protocol must terminate");

@@ -17,9 +17,7 @@ use rand::{Rng, SeedableRng};
 use spanner_repro::core::dist::{
     min_2_spanner_client_server, min_2_spanner_weighted, EngineConfig,
 };
-use spanner_repro::core::verify::{
-    is_client_server_2_spanner, is_k_spanner, spanner_cost,
-};
+use spanner_repro::core::verify::{is_client_server_2_spanner, is_k_spanner, spanner_cost};
 use spanner_repro::graphs::{EdgeSet, EdgeWeights, Graph};
 
 fn main() {
@@ -45,7 +43,11 @@ fn main() {
             g.ensure_edge(s, s - 1);
         }
     }
-    println!("topology: n = {n}, m = {}, Δ = {}", g.num_edges(), g.max_degree());
+    println!(
+        "topology: n = {n}, m = {}, Δ = {}",
+        g.num_edges(),
+        g.max_degree()
+    );
 
     // Weighted variant: core-core links cost 1, core-switch 10,
     // switch-switch 25.
@@ -80,7 +82,12 @@ fn main() {
     }
     let cs = min_2_spanner_client_server(&g, &clients, &servers, &EngineConfig::seeded(2));
     assert!(cs.converged);
-    assert!(is_client_server_2_spanner(&g, &clients, &servers, &cs.spanner));
+    assert!(is_client_server_2_spanner(
+        &g,
+        &clients,
+        &servers,
+        &cs.spanner
+    ));
     println!(
         "client-server backbone: {} server edges keep every coverable adjacency 2-spanned",
         cs.spanner.len()

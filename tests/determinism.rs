@@ -1,0 +1,93 @@
+//! Seed-determinism of the engine across all four variants: the same
+//! `EngineConfig::seeded(s)` on the same instance must reproduce the
+//! identical spanner edge set, iteration count, and stats — and the
+//! outputs must pass the independent verifiers on instances with
+//! `n >= 50`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spanner_repro::core::dist::{
+    min_2_spanner, min_2_spanner_client_server, min_2_spanner_directed, min_2_spanner_weighted,
+    EngineConfig, SpannerRun,
+};
+use spanner_repro::core::verify::{
+    is_client_server_2_spanner, is_k_spanner, is_k_spanner_directed,
+};
+use spanner_repro::graphs::gen;
+
+/// Two runs of `f` under the same seeded config must agree exactly.
+fn assert_identical(label: &str, f: impl Fn(&EngineConfig) -> SpannerRun) -> SpannerRun {
+    let cfg = EngineConfig::seeded(2018);
+    let a = f(&cfg);
+    let b = f(&cfg);
+    assert!(a.converged, "{label}: first run did not converge");
+    assert!(b.converged, "{label}: second run did not converge");
+    assert_eq!(a.spanner, b.spanner, "{label}: spanners differ across runs");
+    assert_eq!(
+        a.iterations, b.iterations,
+        "{label}: iteration counts differ"
+    );
+    assert_eq!(
+        a.star_fallbacks, b.star_fallbacks,
+        "{label}: fallback counts differ"
+    );
+    assert_eq!(a.stats, b.stats, "{label}: per-iteration stats differ");
+    a
+}
+
+#[test]
+fn undirected_is_deterministic_per_seed() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = gen::gnp_connected(55, 0.12, &mut rng);
+    let run = assert_identical("undirected", |cfg| min_2_spanner(&g, cfg));
+    assert!(is_k_spanner(&g, &run.spanner, 2));
+}
+
+#[test]
+fn weighted_is_deterministic_per_seed() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = gen::gnp_connected(55, 0.12, &mut rng);
+    let w = gen::random_weights(g.num_edges(), 0, 9, &mut rng);
+    let run = assert_identical("weighted", |cfg| min_2_spanner_weighted(&g, &w, cfg));
+    assert!(is_k_spanner(&g, &run.spanner, 2));
+}
+
+#[test]
+fn directed_is_deterministic_per_seed() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = gen::random_digraph_connected(50, 0.08, &mut rng);
+    let run = assert_identical("directed", |cfg| min_2_spanner_directed(&g, cfg));
+    assert!(is_k_spanner_directed(&g, &run.spanner, 2));
+}
+
+#[test]
+fn client_server_is_deterministic_per_seed() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = gen::gnp_connected(55, 0.12, &mut rng);
+    let (clients, servers) = gen::client_server_split(&g, 0.6, 0.6, &mut rng);
+    let run = assert_identical("client-server", |cfg| {
+        min_2_spanner_client_server(&g, &clients, &servers, cfg)
+    });
+    assert!(run.spanner.is_subset_of(&servers));
+    assert!(is_client_server_2_spanner(
+        &g,
+        &clients,
+        &servers,
+        &run.spanner
+    ));
+}
+
+#[test]
+fn different_seeds_may_differ_but_both_verify() {
+    // Not a strict requirement of the algorithm, but a sanity check
+    // that the seed actually reaches the random permutation values:
+    // both runs must verify regardless.
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = gen::gnp_connected(50, 0.2, &mut rng);
+    let a = min_2_spanner(&g, &EngineConfig::seeded(1));
+    let b = min_2_spanner(&g, &EngineConfig::seeded(2));
+    assert!(a.converged && b.converged);
+    assert!(is_k_spanner(&g, &a.spanner, 2));
+    assert!(is_k_spanner(&g, &b.spanner, 2));
+}

@@ -32,10 +32,7 @@ fn theorem_1_1_dichotomy_with_proof_parameters() {
     // Independent verification on the real graph.
     assert!(is_k_spanner_directed(&d.graph, &d.non_d_spanner(), 5));
 
-    let i = GConstruction::build(
-        params,
-        random_intersecting(params.input_len(), 1, &mut rng),
-    );
+    let i = GConstruction::build(params, random_intersecting(params.input_len(), 1, &mut rng));
     // Intersecting: β² dense edges are forced, and β² > α·7ℓβ by the
     // parameter choice (q > αc).
     let forced = i.forced_d_edges();
@@ -66,7 +63,10 @@ fn theorem_2_8_gap_dichotomy_with_proof_parameters() {
     );
     let forced = f.forced_d_edges();
     let gap_bound = params.beta * params.beta * params.ell * params.ell / 12;
-    assert!(forced >= gap_bound, "forced {forced} below β²ℓ²/12 = {gap_bound}");
+    assert!(
+        forced >= gap_bound,
+        "forced {forced} below β²ℓ²/12 = {gap_bound}"
+    );
     // 12αc < β² by the parameter choice, so the dichotomy separates:
     assert!(forced as f64 > alpha * d.disjoint_spanner_bound_gap() as f64);
 }
@@ -102,9 +102,7 @@ fn section_3_reduction_end_to_end_with_the_distributed_algorithm() {
         assert!(is_k_spanner(&gs.graph, &run.spanner, 2));
         let (cover, normalized) = gs.spanner_to_cover(&run.spanner);
         assert!(is_vertex_cover(&g, &cover), "reduction must yield a cover");
-        assert!(
-            spanner_cost(&normalized, &gs.weights) <= spanner_cost(&run.spanner, &gs.weights)
-        );
+        assert!(spanner_cost(&normalized, &gs.weights) <= spanner_cost(&run.spanner, &gs.weights));
         // The cover inherits the algorithm's approximation quality.
         let opt = exact_vertex_cover(&g).len();
         assert!(
@@ -123,10 +121,8 @@ fn gs_optimum_equals_vc_optimum() {
         let g = gen::gnp_connected(6, 0.4, &mut rng);
         let gs = GsConstruction::build(&g);
         let vc = exact_vertex_cover(&g).len() as u64;
-        let (h, cost) = spanner_repro::core::seq::exact_min_2_spanner_weighted(
-            &gs.graph,
-            &gs.weights,
-        );
+        let (h, cost) =
+            spanner_repro::core::seq::exact_min_2_spanner_weighted(&gs.graph, &gs.weights);
         assert!(is_k_spanner(&gs.graph, &h, 2));
         assert_eq!(cost, vc);
     }

@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use spanner_repro::core::dist::{
-    min_2_spanner, min_2_spanner_client_server, min_2_spanner_directed,
-    min_2_spanner_weighted, EngineConfig,
+    min_2_spanner, min_2_spanner_client_server, min_2_spanner_directed, min_2_spanner_weighted,
+    EngineConfig,
 };
 use spanner_repro::core::protocol::run_two_spanner_protocol;
 use spanner_repro::core::seq::{exact_min_2_spanner, greedy_2_spanner};
@@ -38,7 +38,12 @@ fn every_variant_on_one_workload() {
     let (clients, servers) = gen::client_server_split(&g, 0.5, 0.6, &mut rng);
     let cs = min_2_spanner_client_server(&g, &clients, &servers, &EngineConfig::seeded(3));
     assert!(cs.converged);
-    assert!(is_client_server_2_spanner(&g, &clients, &servers, &cs.spanner));
+    assert!(is_client_server_2_spanner(
+        &g,
+        &clients,
+        &servers,
+        &cs.spanner
+    ));
 
     // Directed (on a fresh digraph).
     let dg = gen::random_digraph_connected(40, 0.1, &mut rng);
@@ -81,7 +86,9 @@ fn guaranteed_ratio_holds_against_exact_optimum() {
         let run = min_2_spanner(&g, &EngineConfig::seeded(seed));
         let greedy = greedy_2_spanner(&g).len() as f64;
         let ratio = run.spanner.len() as f64 / opt;
-        let log_bound = (g.num_edges() as f64 / g.num_vertices() as f64).ln().max(1.0);
+        let log_bound = (g.num_edges() as f64 / g.num_vertices() as f64)
+            .ln()
+            .max(1.0);
         assert!(
             ratio <= 8.0 * log_bound,
             "seed {seed}: ratio {ratio:.2} exceeds envelope {:.2}",
@@ -119,7 +126,10 @@ fn unit_weighted_run_close_to_unweighted_run() {
     let weighted = min_2_spanner_weighted(&g, &w, &EngineConfig::seeded(6));
     assert!(unweighted.converged && weighted.converged);
     // Identical problem: both valid, similar sizes.
-    let (a, b) = (unweighted.spanner.len() as f64, weighted.spanner.len() as f64);
+    let (a, b) = (
+        unweighted.spanner.len() as f64,
+        weighted.spanner.len() as f64,
+    );
     assert!(a <= 1.5 * b && b <= 1.5 * a, "{a} vs {b}");
 }
 
