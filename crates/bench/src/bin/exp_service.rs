@@ -1,0 +1,166 @@
+//! S1 — `dsa-service` load test: served-jobs/sec under a duplicate-heavy
+//! mix versus the sequential one-job-at-a-time baseline.
+//!
+//! The workload draws a pool of distinct seeded jobs across all four
+//! variants, then builds a request stream in which at least half the
+//! submissions repeat an earlier job (the serving sweet spot: real
+//! traffic re-queries the same graphs). The baseline executes the
+//! stream sequentially through `run_variant` with no cache; the
+//! service run submits the same stream from multiple client threads
+//! against an 8-worker [`dsa_service::Service`].
+//!
+//! Output is one JSON object (machine-readable, used by the
+//! acceptance check "speedup >= 3x with 8 workers and >= 50%
+//! duplicates") followed by a human-readable summary on stderr.
+//!
+//! ```text
+//! cargo run --release -p dsa-bench --bin exp_service [jobs] [unique] [workers]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dsa_core::dist::{run_variant, VariantInstance};
+use dsa_graphs::gen;
+use dsa_service::{JobSpec, Service, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn distinct_jobs(unique: usize, rng: &mut StdRng) -> Vec<JobSpec> {
+    (0..unique)
+        .map(|i| {
+            let n = 48 + (i % 5) * 8;
+            let instance = match i % 4 {
+                0 => VariantInstance::Undirected {
+                    graph: gen::gnp_connected(n, 0.18, rng),
+                },
+                1 => VariantInstance::Directed {
+                    graph: gen::random_digraph_connected(n / 2, 0.1, rng),
+                },
+                2 => {
+                    let graph = gen::gnp_connected(n, 0.16, rng);
+                    let weights = gen::random_weights(graph.num_edges(), 0, 9, rng);
+                    VariantInstance::Weighted { graph, weights }
+                }
+                _ => {
+                    let graph = gen::gnp_connected(n, 0.2, rng);
+                    let (clients, servers) = gen::client_server_split(&graph, 0.6, 0.6, rng);
+                    VariantInstance::ClientServer {
+                        graph,
+                        clients,
+                        servers,
+                    }
+                }
+            };
+            JobSpec::new(instance, i as u64)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(120);
+    let unique: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    assert!(unique >= 1 && jobs >= unique, "need jobs >= unique >= 1");
+
+    let mut rng = StdRng::seed_from_u64(2018);
+    let pool = distinct_jobs(unique, &mut rng);
+    // Request stream: every distinct job once, the rest duplicates
+    // drawn uniformly — a >= 50% duplicate mix by construction.
+    let stream: Vec<usize> = (0..unique)
+        .chain((unique..jobs).map(|_| rng.gen_range(0..unique)))
+        .collect();
+    let dup_fraction = (jobs - unique) as f64 / jobs as f64;
+
+    // Sequential one-job-at-a-time baseline: no cache, no overlap.
+    let t0 = Instant::now();
+    let mut baseline_edges = 0usize;
+    for &i in &stream {
+        let run = run_variant(&pool[i].instance, &pool[i].config);
+        assert!(run.converged);
+        baseline_edges += run.spanner.len();
+    }
+    let seq_secs = t0.elapsed().as_secs_f64();
+
+    // The service: same stream, submitted from client threads.
+    let service = Arc::new(Service::new(&ServiceConfig {
+        workers,
+        queue_capacity: jobs.max(64),
+        cache_capacity: unique.max(64),
+        default_timeout: None,
+    }));
+    let client_threads = workers.clamp(2, 8);
+    let t0 = Instant::now();
+    let mut served_edges = 0usize;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in stream.chunks(jobs.div_ceil(client_threads)) {
+            let service = Arc::clone(&service);
+            let pool = &pool;
+            handles.push(scope.spawn(move || {
+                // Pipeline: submit the whole chunk, then collect — the
+                // point of a batched service over one-at-a-time calls.
+                let submitted: Vec<_> = chunk
+                    .iter()
+                    .map(|&i| service.submit(&pool[i]).expect("submit"))
+                    .collect();
+                let mut edges = 0usize;
+                for handle in submitted {
+                    let resp = handle.wait().expect("service run");
+                    assert!(resp.converged);
+                    edges += resp.spanner.len();
+                }
+                edges
+            }));
+        }
+        for h in handles {
+            served_edges += h.join().expect("client thread");
+        }
+    });
+    let svc_secs = t0.elapsed().as_secs_f64();
+
+    // Same jobs, same seeds => byte-for-byte identical spanners, so
+    // the edge totals must agree exactly.
+    assert_eq!(baseline_edges, served_edges, "service changed results");
+
+    let m = service.metrics();
+    let speedup = seq_secs / svc_secs;
+    println!(
+        concat!(
+            "{{\"experiment\":\"exp_service\",\"jobs\":{},\"unique\":{},",
+            "\"dup_fraction\":{:.3},\"workers\":{},\"client_threads\":{},",
+            "\"seq_seconds\":{:.4},\"service_seconds\":{:.4},\"speedup\":{:.2},",
+            "\"seq_jobs_per_sec\":{:.1},\"service_jobs_per_sec\":{:.1},",
+            "\"cache_hit_rate\":{:.3},\"cache_hits\":{},\"cache_misses\":{},",
+            "\"coalesced\":{},\"p50_latency_us\":{},\"p95_latency_us\":{},",
+            "\"engine_local_rounds\":{}}}"
+        ),
+        jobs,
+        unique,
+        dup_fraction,
+        workers,
+        client_threads,
+        seq_secs,
+        svc_secs,
+        speedup,
+        jobs as f64 / seq_secs,
+        jobs as f64 / svc_secs,
+        m.cache_hit_rate,
+        m.cache_hits,
+        m.cache_misses,
+        m.coalesced,
+        m.p50_latency_us,
+        m.p95_latency_us,
+        m.engine_local_rounds,
+    );
+    eprintln!(
+        "exp_service: {jobs} jobs ({unique} unique, {:.0}% duplicates), {workers} workers: \
+         {:.2}x over sequential ({:.1} -> {:.1} jobs/s), cache hit rate {:.0}%",
+        dup_fraction * 100.0,
+        speedup,
+        jobs as f64 / seq_secs,
+        jobs as f64 / svc_secs,
+        m.cache_hit_rate * 100.0,
+    );
+}

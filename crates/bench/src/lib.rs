@@ -11,6 +11,7 @@
 //! | `exp_one_plus_eps` | E10 |
 //! | `exp_separation` | E11 E12 |
 //! | `exp_ablations` | A1 A2 A3 |
+//! | `exp_service` | S1 (dsa-service load test, JSON output) |
 //!
 //! Each binary prints self-contained markdown tables; EXPERIMENTS.md
 //! archives one representative run of each. `cargo bench` runs the

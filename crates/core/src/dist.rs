@@ -14,13 +14,19 @@
 //!   the one-call entry points [`min_2_spanner`],
 //!   [`min_2_spanner_directed`], [`min_2_spanner_weighted`], and
 //!   [`min_2_spanner_client_server`];
+//! * [`variant`] packages one owned problem instance of any shape as a
+//!   [`VariantInstance`] and dispatches through the single entry point
+//!   [`run_variant`] — the API generic callers (`dsa-service`, load
+//!   generators) use instead of matching on the four free functions;
 //! * [`crate::seq`] reuses the same variants for the sequential greedy
 //!   baselines, and [`crate::protocol`] executes the same iterations as
 //!   a genuine message-passing LOCAL protocol.
 
 pub mod engine;
+pub mod variant;
 
 pub use engine::{run_engine, EngineConfig, IterationStats, SpannerRun, SpannerVariant};
+pub use variant::{run_variant, VariantInstance, VariantKind};
 
 use dsa_graphs::{DiGraph, EdgeId, EdgeSet, EdgeWeights, Graph, Ratio, VertexId};
 

@@ -1,0 +1,326 @@
+//! Canonical edge-list normalization and stable 64-bit graph hashing.
+//!
+//! Two submissions of the *same* graph often arrive with edges in
+//! different orders (or with junk such as repeated lines and
+//! self-loops, when they come off the wire). This module defines the
+//! one normal form everything agrees on:
+//!
+//! * an undirected edge is the ordered pair `(min(u, v), max(u, v))`;
+//!   a directed edge is `(tail, head)`; self-loops are not edges at all
+//!   ([`undirected_key`] / [`directed_key`]);
+//! * the canonical edge order is the lexicographic order of those key
+//!   pairs, with duplicates collapsed;
+//! * the canonical hash ([`graph_hash`], [`digraph_hash`],
+//!   [`weighted_graph_hash`]) is FNV-1a over the vertex count and the
+//!   canonically ordered edges, so it is independent of insertion
+//!   order.
+//!
+//! [`canonicalize`] / [`canonicalize_digraph`] rebuild a graph with
+//! edge ids *in* canonical order and return the id translation in both
+//! directions, which is what lets a serving layer deduplicate
+//! isomorphic-as-submitted requests and still answer each caller in
+//! its own edge-id space. [`crate::io`] parsing uses the same keys, so
+//! a parsed graph and its hash agree on self-loop/duplicate handling.
+
+use crate::{DiGraph, EdgeId, EdgeWeights, Graph, VertexId};
+
+/// The 64-bit FNV-1a hasher used for canonical graph hashes.
+///
+/// Chosen over `std::hash` because the output must be *stable* — cache
+/// keys and wire-visible hashes may not change across Rust releases or
+/// hasher randomization.
+#[derive(Clone, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the standard FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Absorbs the bytes of `x` in little-endian order.
+    pub fn write_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a `usize` (as `u64`, so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// The normal form of an undirected edge `{u, v}`: endpoints in
+/// increasing order, or `None` for a self-loop (which a simple graph
+/// does not contain).
+pub fn undirected_key(u: VertexId, v: VertexId) -> Option<(VertexId, VertexId)> {
+    (u != v).then(|| (u.min(v), u.max(v)))
+}
+
+/// The normal form of a directed edge `(u, v)`: the pair itself, or
+/// `None` for a self-loop.
+pub fn directed_key(u: VertexId, v: VertexId) -> Option<(VertexId, VertexId)> {
+    (u != v).then_some((u, v))
+}
+
+/// A graph rebuilt with edge ids in canonical (sorted endpoint-pair)
+/// order, plus the id translation to and from the original graph.
+#[derive(Clone, Debug)]
+pub struct CanonicalGraph {
+    /// The same graph with edges inserted in canonical order.
+    pub graph: Graph,
+    /// `to_canonical[original_id] = canonical_id`.
+    pub to_canonical: Vec<EdgeId>,
+    /// `from_canonical[canonical_id] = original_id`.
+    pub from_canonical: Vec<EdgeId>,
+}
+
+/// Rebuilds `g` with edge ids in canonical order.
+///
+/// Simple graphs have no duplicate edges or self-loops, so this is a
+/// pure reordering: `graph` is [`PartialEq`]-equal to `g` exactly when
+/// the edges of `g` were already sorted.
+pub fn canonicalize(g: &Graph) -> CanonicalGraph {
+    // `Graph` stores endpoints min-first already, so the stored pairs
+    // are the undirected keys.
+    let mut order: Vec<EdgeId> = (0..g.num_edges()).collect();
+    order.sort_unstable_by_key(|&e| g.endpoints(e));
+    let mut graph = Graph::new(g.num_vertices());
+    let mut to_canonical = vec![0; g.num_edges()];
+    for (canonical, &original) in order.iter().enumerate() {
+        let (u, v) = g.endpoints(original);
+        graph.add_edge(u, v);
+        to_canonical[original] = canonical;
+    }
+    CanonicalGraph {
+        graph,
+        to_canonical,
+        from_canonical: order,
+    }
+}
+
+/// A directed graph rebuilt with edge ids in canonical order, plus the
+/// id translation to and from the original graph.
+#[derive(Clone, Debug)]
+pub struct CanonicalDiGraph {
+    /// The same digraph with edges inserted in canonical order.
+    pub graph: DiGraph,
+    /// `to_canonical[original_id] = canonical_id`.
+    pub to_canonical: Vec<EdgeId>,
+    /// `from_canonical[canonical_id] = original_id`.
+    pub from_canonical: Vec<EdgeId>,
+}
+
+/// Rebuilds `g` with edge ids in canonical order. See [`canonicalize`].
+pub fn canonicalize_digraph(g: &DiGraph) -> CanonicalDiGraph {
+    let mut order: Vec<EdgeId> = (0..g.num_edges()).collect();
+    order.sort_unstable_by_key(|&e| g.endpoints(e));
+    let mut graph = DiGraph::new(g.num_vertices());
+    let mut to_canonical = vec![0; g.num_edges()];
+    for (canonical, &original) in order.iter().enumerate() {
+        let (u, v) = g.endpoints(original);
+        graph.add_edge(u, v);
+        to_canonical[original] = canonical;
+    }
+    CanonicalDiGraph {
+        graph,
+        to_canonical,
+        from_canonical: order,
+    }
+}
+
+/// Domain tags keep hashes of different kinds of object disjoint even
+/// when the underlying edge data coincides.
+const TAG_UNDIRECTED: u64 = 0x7573;
+const TAG_DIRECTED: u64 = 0x6469;
+const TAG_WEIGHTED: u64 = 0x7765;
+
+fn hash_sorted_pairs(h: &mut Fnv1a, mut pairs: Vec<(VertexId, VertexId)>) {
+    pairs.sort_unstable();
+    h.write_usize(pairs.len());
+    for (u, v) in pairs {
+        h.write_usize(u);
+        h.write_usize(v);
+    }
+}
+
+/// The canonical (insertion-order-independent) hash of an undirected
+/// graph.
+pub fn graph_hash(g: &Graph) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(TAG_UNDIRECTED);
+    h.write_usize(g.num_vertices());
+    hash_sorted_pairs(&mut h, g.edges().map(|(_, u, v)| (u, v)).collect());
+    h.finish()
+}
+
+/// The canonical hash of a directed graph. Disjoint from undirected
+/// hashes by domain tag.
+pub fn digraph_hash(g: &DiGraph) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(TAG_DIRECTED);
+    h.write_usize(g.num_vertices());
+    hash_sorted_pairs(&mut h, g.edges().map(|(_, u, v)| (u, v)).collect());
+    h.finish()
+}
+
+/// The canonical hash of a weighted undirected graph: each edge is
+/// hashed together with its weight, in canonical edge order.
+///
+/// # Panics
+///
+/// Panics if the weights don't match the graph.
+pub fn weighted_graph_hash(g: &Graph, w: &EdgeWeights) -> u64 {
+    assert_eq!(w.len(), g.num_edges(), "weights must match edges");
+    let mut triples: Vec<(VertexId, VertexId, u64)> =
+        g.edges().map(|(e, u, v)| (u, v, w.get(e))).collect();
+    triples.sort_unstable();
+    let mut h = Fnv1a::new();
+    h.write_u64(TAG_WEIGHTED);
+    h.write_usize(g.num_vertices());
+    h.write_usize(triples.len());
+    for (u, v, weight) in triples {
+        h.write_usize(u);
+        h.write_usize(v);
+        h.write_u64(weight);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_normalize_and_reject_self_loops() {
+        assert_eq!(undirected_key(3, 1), Some((1, 3)));
+        assert_eq!(undirected_key(1, 3), Some((1, 3)));
+        assert_eq!(undirected_key(2, 2), None);
+        assert_eq!(directed_key(3, 1), Some((3, 1)));
+        assert_eq!(directed_key(2, 2), None);
+    }
+
+    #[test]
+    fn hash_is_insertion_order_independent() {
+        let a = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let b = Graph::from_edges(4, [(2, 0), (3, 2), (1, 0), (2, 1)]);
+        assert_ne!(a, b); // different edge ids...
+        assert_eq!(graph_hash(&a), graph_hash(&b)); // ...same graph
+        let c = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        assert_ne!(graph_hash(&a), graph_hash(&c));
+        // Vertex count matters even with identical edges.
+        let d = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (0, 2)]);
+        assert_ne!(graph_hash(&a), graph_hash(&d));
+    }
+
+    #[test]
+    fn directed_and_weighted_hashes_are_domain_separated() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let d = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let w = EdgeWeights::constant(2, 1);
+        let hashes = [
+            graph_hash(&g),
+            digraph_hash(&d),
+            weighted_graph_hash(&g, &w),
+        ];
+        assert_ne!(hashes[0], hashes[1]);
+        assert_ne!(hashes[0], hashes[2]);
+        assert_ne!(hashes[1], hashes[2]);
+    }
+
+    #[test]
+    fn digraph_hash_distinguishes_direction() {
+        let a = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let b = DiGraph::from_edges(3, [(1, 0), (1, 2)]);
+        assert_ne!(digraph_hash(&a), digraph_hash(&b));
+        let c = DiGraph::from_edges(3, [(1, 2), (0, 1)]);
+        assert_eq!(digraph_hash(&a), digraph_hash(&c));
+    }
+
+    #[test]
+    fn weighted_hash_sees_weights_through_reordering() {
+        let a = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let b = Graph::from_edges(3, [(1, 2), (0, 1)]);
+        // Weights follow edge ids, so the same id-indexed vector means
+        // *different* edge weights across the two insert orders...
+        let w = EdgeWeights::from_vec(vec![5, 9]);
+        assert_ne!(weighted_graph_hash(&a, &w), weighted_graph_hash(&b, &w));
+        // ...while the properly permuted weights hash identically.
+        let w_b = EdgeWeights::from_vec(vec![9, 5]);
+        assert_eq!(weighted_graph_hash(&a, &w), weighted_graph_hash(&b, &w_b));
+    }
+
+    #[test]
+    fn canonicalize_sorts_edges_and_inverts() {
+        let g = Graph::from_edges(5, [(3, 4), (0, 2), (1, 0), (2, 3)]);
+        let canon = canonicalize(&g);
+        let pairs: Vec<_> = canon.graph.edges().map(|(_, u, v)| (u, v)).collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (2, 3), (3, 4)]);
+        assert_eq!(canon.graph.num_vertices(), g.num_vertices());
+        for e in 0..g.num_edges() {
+            assert_eq!(canon.from_canonical[canon.to_canonical[e]], e);
+            assert_eq!(g.endpoints(e), canon.graph.endpoints(canon.to_canonical[e]));
+        }
+        // Canonicalizing a canonical graph is the identity.
+        let again = canonicalize(&canon.graph);
+        assert_eq!(again.graph, canon.graph);
+        assert_eq!(again.to_canonical, (0..g.num_edges()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn canonicalize_digraph_sorts_and_inverts() {
+        let g = DiGraph::from_edges(4, [(2, 1), (0, 3), (1, 0)]);
+        let canon = canonicalize_digraph(&g);
+        let pairs: Vec<_> = canon.graph.edges().map(|(_, u, v)| (u, v)).collect();
+        assert_eq!(pairs, vec![(0, 3), (1, 0), (2, 1)]);
+        for e in 0..g.num_edges() {
+            assert_eq!(canon.from_canonical[canon.to_canonical[e]], e);
+        }
+        assert_eq!(digraph_hash(&g), digraph_hash(&canon.graph));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned reference values of FNV-1a 64 (cache keys and
+        // wire-visible hashes must never change across releases).
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+        // write_u64 is the little-endian byte expansion.
+        let mut a = Fnv1a::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = Fnv1a::new();
+        b.write_bytes(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -4,11 +4,18 @@
 //! Format: one `# n <count>` header line, then one `u v [w]` line per
 //! edge (whitespace separated, `#`-comments and blank lines ignored).
 //! Directed graphs use the same format; direction is tail then head.
+//!
+//! Parsing *normalizes* through [`crate::canon`]: self-loop lines are
+//! dropped and repeated edges keep only their first occurrence (first
+//! weight wins), so a parsed graph always satisfies the simple-graph
+//! invariants and its [`crate::canon::graph_hash`] agrees with the
+//! hash of any other spelling of the same edge set.
 
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::num::ParseIntError;
 
-use crate::{DiGraph, EdgeWeights, Graph};
+use crate::{canon, DiGraph, EdgeWeights, Graph, VertexId};
 
 /// Errors from [`parse_edge_list`] / [`parse_directed_edge_list`].
 #[derive(Debug, PartialEq, Eq)]
@@ -19,6 +26,8 @@ pub enum ParseGraphError {
     BadLine(usize),
     /// A field was not an integer.
     BadNumber(usize),
+    /// An endpoint was `>=` the header's vertex count.
+    VertexOutOfRange(usize),
     /// Edge lines mixed weighted and unweighted entries.
     InconsistentWeights,
 }
@@ -29,6 +38,9 @@ impl std::fmt::Display for ParseGraphError {
             ParseGraphError::MissingHeader => write!(f, "missing `# n <count>` header"),
             ParseGraphError::BadLine(l) => write!(f, "malformed edge on line {l}"),
             ParseGraphError::BadNumber(l) => write!(f, "invalid number on line {l}"),
+            ParseGraphError::VertexOutOfRange(l) => {
+                write!(f, "vertex id out of range on line {l}")
+            }
             ParseGraphError::InconsistentWeights => {
                 write!(f, "some edges have weights and some do not")
             }
@@ -104,21 +116,51 @@ fn parse_lines(text: &str) -> Result<(usize, DataRows), ParseGraphError> {
     Ok((n, rows))
 }
 
+fn endpoints_checked(
+    n: usize,
+    line: usize,
+    nums: &[u64],
+) -> Result<(VertexId, VertexId), ParseGraphError> {
+    // Range-check in u64 before narrowing: casting first would wrap
+    // huge ids on 32-bit hosts and silently accept a wrong edge.
+    if nums[0] >= n as u64 || nums[1] >= n as u64 {
+        return Err(ParseGraphError::VertexOutOfRange(line));
+    }
+    Ok((nums[0] as usize, nums[1] as usize))
+}
+
 /// Parses an undirected edge list; returns the graph and, when every
 /// line carries a third field, the weights.
+///
+/// Self-loop lines are skipped and repeated edges (in either endpoint
+/// order) keep only their first occurrence, so the result is always a
+/// valid simple graph whose canonical hash matches any other spelling
+/// of the same edge set.
 pub fn parse_edge_list(text: &str) -> Result<(Graph, Option<EdgeWeights>), ParseGraphError> {
     let (n, rows) = parse_lines(text)?;
     let mut g = Graph::new(n);
+    let mut seen: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
     let mut weights: Vec<u64> = Vec::new();
     let mut any_weight = false;
     let mut any_plain = false;
-    for (_, nums) in &rows {
-        g.add_edge(nums[0] as usize, nums[1] as usize);
+    for (line, nums) in &rows {
+        let (u, v) = endpoints_checked(n, *line, nums)?;
+        let Some(key) = canon::undirected_key(u, v) else {
+            continue; // self-loop
+        };
+        if !seen.insert(key) {
+            continue; // duplicate edge: first occurrence wins
+        }
+        // Weight consistency is judged over the *surviving* lines:
+        // a dropped self-loop or duplicate cannot poison the parse.
         if nums.len() == 3 {
             any_weight = true;
-            weights.push(nums[2]);
         } else {
             any_plain = true;
+        }
+        g.add_edge(u, v);
+        if nums.len() == 3 {
+            weights.push(nums[2]);
         }
     }
     if any_weight && any_plain {
@@ -128,12 +170,21 @@ pub fn parse_edge_list(text: &str) -> Result<(Graph, Option<EdgeWeights>), Parse
     Ok((g, w))
 }
 
-/// Parses a directed edge list.
+/// Parses a directed edge list, with the same normalization as
+/// [`parse_edge_list`] (directed: `(u, v)` and `(v, u)` are distinct).
 pub fn parse_directed_edge_list(text: &str) -> Result<DiGraph, ParseGraphError> {
     let (n, rows) = parse_lines(text)?;
     let mut g = DiGraph::new(n);
-    for (_, nums) in &rows {
-        g.add_edge(nums[0] as usize, nums[1] as usize);
+    let mut seen: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
+    for (line, nums) in &rows {
+        let (u, v) = endpoints_checked(n, *line, nums)?;
+        let Some(key) = canon::directed_key(u, v) else {
+            continue;
+        };
+        if !seen.insert(key) {
+            continue;
+        }
+        g.add_edge(u, v);
     }
     Ok(g)
 }
@@ -183,6 +234,77 @@ mod tests {
     }
 
     #[test]
+    fn self_loops_and_duplicates_are_normalized_away() {
+        // The same graph three ways: clean, noisy, and reordered.
+        let clean = "# n 4\n0 1\n1 2\n2 3\n";
+        let noisy = "# n 4\n0 1\n1 1\n1 2\n1 0\n2 3\n3 2\n";
+        let reordered = "# n 4\n2 3\n1 2\n1 0\n";
+        let (g_clean, _) = parse_edge_list(clean).unwrap();
+        let (g_noisy, _) = parse_edge_list(noisy).unwrap();
+        let (g_reordered, _) = parse_edge_list(reordered).unwrap();
+        // First occurrences in order: the noisy parse equals the clean
+        // one edge-id for edge-id.
+        assert_eq!(g_noisy, g_clean);
+        // Parsing and hashing agree: every spelling hashes alike.
+        let h = canon::graph_hash(&g_clean);
+        assert_eq!(canon::graph_hash(&g_noisy), h);
+        assert_eq!(canon::graph_hash(&g_reordered), h);
+    }
+
+    #[test]
+    fn weighted_duplicates_keep_first_weight() {
+        let text = "# n 3\n0 1 5\n1 0 9\n1 2 7\n";
+        let (g, w) = parse_edge_list(text).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        let w = w.unwrap();
+        assert_eq!(w.get(g.edge_id(0, 1).unwrap()), 5);
+        assert_eq!(w.get(g.edge_id(1, 2).unwrap()), 7);
+    }
+
+    #[test]
+    fn dropped_lines_do_not_poison_weight_consistency() {
+        // The unweighted self-loop and the unweighted duplicate are
+        // both dropped by normalization, so the surviving edge set is
+        // uniformly weighted and must parse.
+        let text = "# n 3\n0 1 5\n1 1\n0 1\n1 2 7\n";
+        let (g, w) = parse_edge_list(text).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(w.unwrap().get(g.edge_id(0, 1).unwrap()), 5);
+        // Inconsistency among *surviving* lines still errors.
+        assert_eq!(
+            parse_edge_list("# n 3\n0 1 5\n1 2\n"),
+            Err(ParseGraphError::InconsistentWeights)
+        );
+    }
+
+    #[test]
+    fn directed_normalization_keeps_antiparallel_pairs() {
+        let text = "# n 3\n0 1\n1 0\n0 0\n0 1\n";
+        let g = parse_directed_edge_list(text).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn roundtrip_is_canonical_hash_stable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gen::gnp_connected(18, 0.3, &mut rng);
+        let w = gen::random_weights(g.num_edges(), 1, 9, &mut rng);
+        // serialize -> parse -> serialize is a fixed point, and every
+        // stage agrees on the canonical hash.
+        let text = to_edge_list(&g, Some(&w));
+        let (parsed, parsed_w) = parse_edge_list(&text).unwrap();
+        assert_eq!(to_edge_list(&parsed, parsed_w.as_ref()), text);
+        assert_eq!(
+            canon::weighted_graph_hash(&parsed, parsed_w.as_ref().unwrap()),
+            canon::weighted_graph_hash(&g, &w)
+        );
+        let dtext = to_directed_edge_list(&gen::random_digraph_connected(10, 0.2, &mut rng));
+        let dg = parse_directed_edge_list(&dtext).unwrap();
+        assert_eq!(to_directed_edge_list(&dg), dtext);
+    }
+
+    #[test]
     fn errors_are_reported() {
         assert_eq!(
             parse_edge_list("0 1\n"),
@@ -199,6 +321,14 @@ mod tests {
         assert_eq!(
             parse_edge_list("# n 3\n0 1 5\n1 2\n"),
             Err(ParseGraphError::InconsistentWeights)
+        );
+        assert_eq!(
+            parse_edge_list("# n 3\n0 3\n"),
+            Err(ParseGraphError::VertexOutOfRange(2))
+        );
+        assert_eq!(
+            parse_directed_edge_list("# n 2\n5 0\n"),
+            Err(ParseGraphError::VertexOutOfRange(2))
         );
     }
 }

@@ -11,7 +11,9 @@
 //!   paper,
 //! * [`Ratio`] — exact non-negative rational arithmetic for star densities,
 //! * [`gen`] — workload generators (random, structured, and weighted
-//!   graphs) used by the test suite and the experiment harness.
+//!   graphs) used by the test suite and the experiment harness,
+//! * [`canon`] — canonical edge-list normalization and stable 64-bit
+//!   graph hashing, the request-dedup substrate of `dsa-service`.
 //!
 //! The crate is dependency-light by design: the only runtime dependency is
 //! `rand` (for the generators), so the algorithmic crates above it stay
@@ -37,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 mod directed;
 mod edgeset;
 pub mod gen;

@@ -73,6 +73,6 @@ mod simulator;
 
 pub use codec::{WordReader, WordWriter};
 pub use fragment::{Fragmented, FragmentedNode};
-pub use metrics::Metrics;
+pub use metrics::{LatencyRecorder, Metrics};
 pub use network::Network;
 pub use simulator::{Envelope, Outbox, Protocol, RoundCtx, RunReport, Simulator, Word};

@@ -1,4 +1,6 @@
-//! Word-level traffic accounting for simulator runs.
+//! Word-level traffic accounting for simulator runs, plus the shared
+//! [`LatencyRecorder`] higher layers (the `dsa-service` serving
+//! subsystem) reuse instead of duplicating their own percentile math.
 
 /// Traffic statistics for a simulator run.
 ///
@@ -49,9 +51,143 @@ impl Metrics {
     }
 }
 
+/// A sample recorder with percentile queries.
+///
+/// Samples are microseconds by convention (the unit is not enforced).
+/// Percentiles use the nearest-rank definition, so every reported
+/// value is an actually observed sample. [`LatencyRecorder::bounded`]
+/// caps memory with a ring buffer — long-running servers keep the
+/// most recent window instead of growing per recorded job forever.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyRecorder {
+    samples_us: Vec<u64>,
+    /// Ring cursor (next overwrite position) when bounded.
+    cursor: usize,
+    /// Maximum retained samples; 0 means unbounded.
+    capacity: usize,
+}
+
+impl LatencyRecorder {
+    /// An empty, unbounded recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// An empty recorder retaining only the most recent `capacity`
+    /// samples (ring buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity >= 1, "bounded recorder needs capacity >= 1");
+        LatencyRecorder {
+            samples_us: Vec::new(),
+            cursor: 0,
+            capacity,
+        }
+    }
+
+    /// Records one sample, overwriting the oldest retained sample once
+    /// a bounded recorder is full.
+    pub fn record_micros(&mut self, us: u64) {
+        if self.capacity > 0 && self.samples_us.len() == self.capacity {
+            self.samples_us[self.cursor] = us;
+            self.cursor = (self.cursor + 1) % self.capacity;
+        } else {
+            self.samples_us.push(us);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Whether nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// The nearest-rank `q`-quantile (`0.0 <= q <= 1.0`), or `None`
+    /// when no samples were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// The median sample.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// The 95th-percentile sample.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            0.0
+        } else {
+            self.samples_us.iter().sum::<u64>() as f64 / self.samples_us.len() as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let mut rec = LatencyRecorder::new();
+        assert_eq!(rec.p50(), None);
+        assert_eq!(rec.mean_micros(), 0.0);
+        // Record 1..=100 out of order.
+        for i in (1..=100u64).rev() {
+            rec.record_micros(i);
+        }
+        assert_eq!(rec.len(), 100);
+        assert_eq!(rec.p50(), Some(50));
+        assert_eq!(rec.p95(), Some(95));
+        assert_eq!(rec.quantile(0.0), Some(1));
+        assert_eq!(rec.quantile(1.0), Some(100));
+        assert!((rec.mean_micros() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_single_sample() {
+        let mut rec = LatencyRecorder::new();
+        rec.record_micros(7);
+        assert_eq!(rec.p50(), Some(7));
+        assert_eq!(rec.p95(), Some(7));
+    }
+
+    #[test]
+    fn bounded_recorder_keeps_the_recent_window() {
+        let mut rec = LatencyRecorder::bounded(10);
+        for i in 1..=100u64 {
+            rec.record_micros(i);
+        }
+        // Only 91..=100 retained.
+        assert_eq!(rec.len(), 10);
+        assert_eq!(rec.quantile(0.0), Some(91));
+        assert_eq!(rec.quantile(1.0), Some(100));
+        assert_eq!(rec.p50(), Some(95));
+        assert!((rec.mean_micros() - 95.5).abs() < 1e-12);
+    }
 
     #[test]
     fn cut_bits_uses_log_n_words() {

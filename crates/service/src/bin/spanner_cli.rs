@@ -1,0 +1,292 @@
+//! `spanner-cli` — command-line client for `spanner-serve`.
+//!
+//! ```text
+//! spanner-cli [--addr HOST:PORT] ping
+//! spanner-cli [--addr HOST:PORT] stats
+//! spanner-cli [--addr HOST:PORT] run --variant KIND --seed N
+//!             [--input FILE|-] [--clients "IDS"] [--servers "IDS"]
+//!             [--timeout-ms N] [--accept-denominator N]
+//!             [--no-monotone] [--no-rounding] [--ids]
+//! ```
+//!
+//! `run` reads a [`dsa_graphs::io`] edge list from `--input` (default
+//! stdin; weighted lines `u v w` for the weighted variant, tail/head
+//! lines for directed), submits it, and prints a summary plus the
+//! spanner as `u v` lines (or raw edge ids with `--ids`). For the
+//! client-server variant, `--clients`/`--servers` take
+//! whitespace-separated edge ids of the input edge list.
+
+use std::io::Read;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dsa_core::dist::{VariantInstance, VariantKind};
+use dsa_graphs::io as gio;
+use dsa_graphs::EdgeSet;
+use dsa_service::{Client, JobSpec};
+
+const USAGE: &str = "usage: spanner-cli [--addr HOST:PORT] <ping|stats|run> [run options]\n\
+     run options: --variant <undirected|directed|weighted|client-server> --seed N\n\
+     \x20            [--input FILE|-] [--clients \"IDS\"] [--servers \"IDS\"]\n\
+     \x20            [--timeout-ms N] [--accept-denominator N] [--no-monotone]\n\
+     \x20            [--no-rounding] [--ids]";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Explicit `--help` is a successful invocation, unlike bad usage.
+fn help() -> ! {
+    println!("{USAGE}");
+    std::process::exit(0);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("spanner-cli: {msg}");
+    std::process::exit(1);
+}
+
+struct RunArgs {
+    variant: Option<VariantKind>,
+    seed: Option<u64>,
+    input: String,
+    clients: Option<String>,
+    servers: Option<String>,
+    timeout_ms: Option<u64>,
+    accept_denominator: Option<u64>,
+    monotone: bool,
+    rounding: bool,
+    print_ids: bool,
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7071".to_string();
+    let mut rest = &argv[..];
+    if rest.first().map(String::as_str) == Some("--addr") {
+        if rest.len() < 2 {
+            usage();
+        }
+        addr = rest[1].clone();
+        rest = &rest[2..];
+    }
+    let Some(command) = rest.first() else { usage() };
+    let connect = || {
+        Client::connect(addr.as_str())
+            .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")))
+    };
+    match command.as_str() {
+        "--help" | "-h" => help(),
+        "ping" => {
+            let mut client = connect();
+            match client.ping() {
+                Ok(()) => {
+                    println!("pong from {addr}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&format!("ping: {e}")),
+            }
+        }
+        "stats" => {
+            let mut client = connect();
+            match client.stats_json() {
+                Ok(json) => {
+                    println!("{json}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&format!("stats: {e}")),
+            }
+        }
+        "run" => run_command(&rest[1..], connect),
+        other => {
+            eprintln!("unknown command {other}");
+            usage()
+        }
+    }
+}
+
+fn run_command(args: &[String], connect: impl FnOnce() -> Client) -> ExitCode {
+    let args = parse_run_args(args);
+    let variant = args
+        .variant
+        .unwrap_or_else(|| fail("--variant is required"));
+    let seed = args.seed.unwrap_or_else(|| fail("--seed is required"));
+    let text = read_input(&args.input);
+    let instance = build_instance(variant, &text, &args);
+
+    let mut spec = JobSpec::new(instance, seed);
+    if let Some(d) = args.accept_denominator {
+        spec.config.accept_denominator = d;
+    }
+    spec.config.monotone_stars = args.monotone;
+    spec.config.round_densities = args.rounding;
+    spec.timeout = args.timeout_ms.map(Duration::from_millis);
+
+    let mut client = connect();
+    let resp = client
+        .run(&spec)
+        .unwrap_or_else(|e| fail(&format!("run: {e}")));
+    println!(
+        "variant {} key {:016x} converged {} iterations {} local-rounds {} spanner {} edges",
+        resp.kind,
+        resp.key,
+        resp.converged,
+        resp.iterations,
+        resp.local_rounds,
+        resp.spanner.len(),
+    );
+    if args.print_ids {
+        println!(
+            "{}",
+            resp.spanner
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    } else {
+        // Echo spanner edges as endpoint pairs of the *input* graph.
+        let endpoints = endpoints_of(&spec.instance);
+        for &e in &resp.spanner {
+            let (u, v) = endpoints[e];
+            println!("{u} {v}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_run_args(args: &[String]) -> RunArgs {
+    let mut out = RunArgs {
+        variant: None,
+        seed: None,
+        input: "-".to_string(),
+        clients: None,
+        servers: None,
+        timeout_ms: None,
+        accept_denominator: None,
+        monotone: true,
+        rounding: true,
+        print_ids: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("missing value for {name}")))
+        };
+        match flag.as_str() {
+            "--variant" => {
+                out.variant = Some(
+                    value("--variant")
+                        .parse()
+                        .unwrap_or_else(|e: String| fail(&e)),
+                )
+            }
+            "--seed" => out.seed = Some(parse_num(&value("--seed"), "--seed")),
+            "--input" => out.input = value("--input"),
+            "--clients" => out.clients = Some(value("--clients")),
+            "--servers" => out.servers = Some(value("--servers")),
+            "--timeout-ms" => {
+                out.timeout_ms = Some(parse_num(&value("--timeout-ms"), "--timeout-ms"))
+            }
+            "--accept-denominator" => {
+                out.accept_denominator = Some(parse_num(
+                    &value("--accept-denominator"),
+                    "--accept-denominator",
+                ))
+            }
+            "--no-monotone" => out.monotone = false,
+            "--no-rounding" => out.rounding = false,
+            "--ids" => out.print_ids = true,
+            other => fail(&format!("unknown run option {other}")),
+        }
+    }
+    out
+}
+
+fn parse_num(value: &str, flag: &str) -> u64 {
+    value
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("invalid value `{value}` for {flag}")))
+}
+
+fn read_input(path: &str) -> String {
+    if path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .unwrap_or_else(|e| fail(&format!("reading stdin: {e}")));
+        text
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")))
+    }
+}
+
+fn parse_ids(text: &str, universe: usize, what: &str) -> EdgeSet {
+    // Same validator the server runs, so CLI and wire never drift.
+    dsa_service::wire::parse_id_list(text, universe, what).unwrap_or_else(|e| fail(&e.to_string()))
+}
+
+fn build_instance(variant: VariantKind, text: &str, args: &RunArgs) -> VariantInstance {
+    match variant {
+        VariantKind::Undirected => {
+            let (graph, w) =
+                gio::parse_edge_list(text).unwrap_or_else(|e| fail(&format!("bad input: {e}")));
+            if w.is_some() {
+                fail("undirected variant takes an unweighted edge list");
+            }
+            VariantInstance::Undirected { graph }
+        }
+        VariantKind::Weighted => {
+            let (graph, w) =
+                gio::parse_edge_list(text).unwrap_or_else(|e| fail(&format!("bad input: {e}")));
+            let weights = w.unwrap_or_else(|| fail("weighted variant needs `u v w` edge lines"));
+            VariantInstance::Weighted { graph, weights }
+        }
+        VariantKind::Directed => {
+            let graph = gio::parse_directed_edge_list(text)
+                .unwrap_or_else(|e| fail(&format!("bad input: {e}")));
+            VariantInstance::Directed { graph }
+        }
+        VariantKind::ClientServer => {
+            let (graph, w) =
+                gio::parse_edge_list(text).unwrap_or_else(|e| fail(&format!("bad input: {e}")));
+            if w.is_some() {
+                fail("client-server variant takes an unweighted edge list");
+            }
+            let m = graph.num_edges();
+            let clients = parse_ids(
+                args.clients
+                    .as_deref()
+                    .unwrap_or_else(|| fail("--clients is required for client-server")),
+                m,
+                "client",
+            );
+            let servers = parse_ids(
+                args.servers
+                    .as_deref()
+                    .unwrap_or_else(|| fail("--servers is required for client-server")),
+                m,
+                "server",
+            );
+            VariantInstance::ClientServer {
+                graph,
+                clients,
+                servers,
+            }
+        }
+    }
+}
+
+fn endpoints_of(instance: &VariantInstance) -> Vec<(usize, usize)> {
+    match instance {
+        VariantInstance::Undirected { graph }
+        | VariantInstance::Weighted { graph, .. }
+        | VariantInstance::ClientServer { graph, .. } => {
+            graph.edges().map(|(_, u, v)| (u, v)).collect()
+        }
+        VariantInstance::Directed { graph } => graph.edges().map(|(_, u, v)| (u, v)).collect(),
+    }
+}

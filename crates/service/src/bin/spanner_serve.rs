@@ -1,0 +1,201 @@
+//! `spanner-serve` — the TCP spanner-serving daemon.
+//!
+//! ```text
+//! spanner-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!               [--cache N] [--self-check]
+//! ```
+//!
+//! Without `--self-check` the process binds the address (default
+//! `127.0.0.1:7071`, port 0 for ephemeral), prints one
+//! `listening <addr>` line, and serves until killed. With
+//! `--self-check` it binds an ephemeral port, drives all four variants
+//! plus a duplicate through a loopback client, asserts the cache and
+//! the wire behave, prints `self-check ok`, and exits — the one-shot
+//! mode CI uses.
+
+use std::process::ExitCode;
+
+use dsa_core::dist::VariantInstance;
+use dsa_graphs::{gen, EdgeSet, Graph};
+use dsa_service::{Client, JobSpec, Server, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Args {
+    addr: String,
+    cfg: ServiceConfig,
+    self_check: bool,
+}
+
+const USAGE: &str =
+    "usage: spanner-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--self-check]";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Explicit `--help` is a successful invocation, unlike bad usage.
+fn help() -> ! {
+    println!("{USAGE}");
+    std::process::exit(0);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7071".to_string(),
+        cfg: ServiceConfig {
+            workers: 8,
+            ..ServiceConfig::default()
+        },
+        self_check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--workers" => args.cfg.workers = parse_num(&value("--workers"), "--workers"),
+            "--queue" => args.cfg.queue_capacity = parse_num(&value("--queue"), "--queue"),
+            "--cache" => args.cfg.cache_capacity = parse_num(&value("--cache"), "--cache"),
+            "--self-check" => args.self_check = true,
+            "--help" | "-h" => help(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_num(value: &str, flag: &str) -> usize {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value `{value}` for {flag}");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.self_check {
+        return self_check(&args.cfg);
+    }
+    let server = match Server::start(args.addr.as_str(), &args.cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("spanner-serve: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening {}", server.addr());
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn self_check(cfg: &ServiceConfig) -> ExitCode {
+    match self_check_inner(cfg) {
+        Ok(()) => {
+            println!("self-check ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("self-check FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn self_check_inner(cfg: &ServiceConfig) -> Result<(), String> {
+    let server =
+        Server::start("127.0.0.1:0", cfg).map_err(|e| format!("bind ephemeral port: {e}"))?;
+    let addr = server.addr();
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.ping().map_err(|e| format!("ping: {e}"))?;
+
+    // One instance per variant, from seeded generators.
+    let mut rng = StdRng::seed_from_u64(2018);
+    let g = gen::gnp_connected(24, 0.3, &mut rng);
+    let d = gen::random_digraph_connected(18, 0.12, &mut rng);
+    let w = gen::random_weights(g.num_edges(), 0, 9, &mut rng);
+    let (clients, servers) = gen::client_server_split(&g, 0.6, 0.6, &mut rng);
+    let specs = [
+        JobSpec::new(VariantInstance::Undirected { graph: g.clone() }, 1),
+        JobSpec::new(VariantInstance::Directed { graph: d }, 2),
+        JobSpec::new(
+            VariantInstance::Weighted {
+                graph: g.clone(),
+                weights: w,
+            },
+            3,
+        ),
+        JobSpec::new(
+            VariantInstance::ClientServer {
+                graph: g,
+                clients,
+                servers,
+            },
+            4,
+        ),
+    ];
+    // The *first* submission of specs[0] is the cold computation;
+    // capture its raw bytes so the later cache hit is compared against
+    // a genuinely uncached response.
+    let cold = client
+        .run_raw(&specs[0])
+        .map_err(|e| format!("cold run: {e}"))?;
+    for spec in &specs {
+        let resp = client
+            .run(spec)
+            .map_err(|e| format!("{} run: {e}", spec.instance.kind()))?;
+        if !resp.converged {
+            return Err(format!("{} run did not converge", spec.instance.kind()));
+        }
+    }
+    let warm = client
+        .run_raw(&specs[0])
+        .map_err(|e| format!("warm run: {e}"))?;
+    if cold != warm {
+        return Err("cache hit was not byte-identical to cold response".into());
+    }
+    let stats = client.stats_json().map_err(|e| format!("stats: {e}"))?;
+    let m = server.service().metrics();
+    if m.cache_misses != specs.len() as u64 {
+        return Err(format!(
+            "expected {} engine runs, metrics: {stats}",
+            specs.len()
+        ));
+    }
+    if m.cache_hits < 2 {
+        return Err(format!("expected >= 2 cache hits, metrics: {stats}"));
+    }
+    if m.jobs_submitted != m.cache_hits + m.cache_misses + m.coalesced {
+        return Err(format!("counters do not add up: {stats}"));
+    }
+    // An invalid request must produce a wire error, not a dead server.
+    let mut invalid = JobSpec::new(
+        VariantInstance::ClientServer {
+            graph: Graph::from_edges(3, [(0, 1), (1, 2)]),
+            clients: EdgeSet::full(2),
+            servers: EdgeSet::full(2),
+        },
+        0,
+    );
+    invalid.config.accept_denominator = 0;
+    match client.run(&invalid) {
+        Err(dsa_service::JobError::Remote(_)) => {}
+        other => return Err(format!("invalid job: expected remote error, got {other:?}")),
+    }
+    client
+        .ping()
+        .map_err(|e| format!("ping after error: {e}"))?;
+    server.shutdown();
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! A least-recently-used result cache keyed by canonical job hash.
+//!
+//! The value type is generic ([`crate::Service`] stores
+//! `Arc<SpannerRun>`), keys are the 64-bit canonical hashes of
+//! [`crate::job`]. Recency is tracked with a monotone tick; eviction
+//! scans for the stalest entry, which is `O(capacity)` per insert but
+//! branch-free and allocation-free — at the few-hundred-entry
+//! capacities the service runs with, the scan is noise next to one
+//! engine run.
+
+use std::collections::HashMap;
+
+/// An LRU map from canonical job keys to results.
+pub(crate) struct LruCache<V> {
+    map: HashMap<u64, Entry<V>>,
+    capacity: usize,
+    tick: u64,
+}
+
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+impl<V> LruCache<V> {
+    /// A cache holding at most `capacity` entries; zero disables
+    /// caching entirely (every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            capacity,
+            tick: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|e| {
+            e.last_used = tick;
+            &e.value
+        })
+    }
+
+    /// Inserts `key`, evicting the least-recently-used entry when the
+    /// cache is full. Re-inserting an existing key replaces its value.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.map.get_mut(&key) {
+            e.value = value;
+            e.last_used = tick;
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let stalest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("non-empty full cache");
+            self.map.remove(&stalest);
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(1), Some(&"a")); // 1 is now fresher than 2
+        c.insert(3, "c"); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some(&"a"));
+        assert_eq!(c.get(3), Some(&"c"));
+    }
+
+    #[test]
+    fn reinsert_replaces_without_evicting() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(1, "a2");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Some(&"a2"));
+        assert_eq!(c.get(2), Some(&"b"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.insert(1, "a");
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.get(1), None);
+    }
+}

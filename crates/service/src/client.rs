@@ -1,0 +1,78 @@
+//! A blocking client for the `spanner-serve` wire protocol, used by
+//! `spanner-cli`, the load bench, and the integration tests.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::job::{JobError, JobResponse, JobSpec};
+use crate::wire::{
+    decode_response, encode_ping_request, encode_request, encode_stats_request, read_frame,
+    write_frame, Response,
+};
+
+/// One connection to a `spanner-serve` instance. Requests are
+/// submitted synchronously, one frame in, one frame out.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    fn roundtrip(&mut self, payload: &str) -> Result<Response, JobError> {
+        write_frame(&mut self.stream, payload.as_bytes())
+            .map_err(|e| JobError::Io(e.to_string()))?;
+        let bytes = self.roundtrip_raw_read()?;
+        decode_response(&bytes)
+    }
+
+    fn roundtrip_raw_read(&mut self) -> Result<Vec<u8>, JobError> {
+        read_frame(&mut self.stream)
+            .map_err(|e| JobError::Io(e.to_string()))?
+            .ok_or_else(|| JobError::Io("server closed the connection".into()))
+    }
+
+    /// Runs one job and decodes the response.
+    pub fn run(&mut self, spec: &JobSpec) -> Result<JobResponse, JobError> {
+        match self.roundtrip(&encode_request(spec))? {
+            Response::Run(resp) => Ok(resp),
+            Response::Error(m) => Err(JobError::Remote(m)),
+            other => Err(JobError::Protocol(format!(
+                "expected run response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Runs one job and returns the *raw response payload bytes* —
+    /// what the byte-identity guarantee of the protocol is stated
+    /// over.
+    pub fn run_raw(&mut self, spec: &JobSpec) -> Result<Vec<u8>, JobError> {
+        write_frame(&mut self.stream, encode_request(spec).as_bytes())
+            .map_err(|e| JobError::Io(e.to_string()))?;
+        self.roundtrip_raw_read()
+    }
+
+    /// Fetches the service metrics snapshot as one JSON line.
+    pub fn stats_json(&mut self) -> Result<String, JobError> {
+        match self.roundtrip(&encode_stats_request())? {
+            Response::Stats(json) => Ok(json),
+            Response::Error(m) => Err(JobError::Remote(m)),
+            other => Err(JobError::Protocol(format!(
+                "expected stats response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), JobError> {
+        match self.roundtrip(&encode_ping_request())? {
+            Response::Pong => Ok(()),
+            Response::Error(m) => Err(JobError::Remote(m)),
+            other => Err(JobError::Protocol(format!("expected pong, got {other:?}"))),
+        }
+    }
+}

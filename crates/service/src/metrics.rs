@@ -1,0 +1,281 @@
+//! Service-level accounting: throughput, latency percentiles, cache
+//! effectiveness, and the engine work re-exported from each
+//! [`dsa_core::dist::SpannerRun`].
+//!
+//! Counter semantics — every call to [`crate::Service::submit`] is
+//! classified exactly once:
+//!
+//! * **cache hit** — served from the LRU cache, no engine run;
+//! * **cache miss** — a fresh engine run was scheduled;
+//! * **coalesced** — an identical job was already in flight, the
+//!   submission joined it.
+//!
+//! So `submitted == cache_hits + cache_misses + coalesced` always, and
+//! with coalescing idle (no concurrent duplicates) the identity reads
+//! `jobs == hits + misses`. Latency percentile math reuses
+//! [`dsa_runtime::LatencyRecorder`] rather than duplicating it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dsa_runtime::LatencyRecorder;
+
+/// Interior-mutable counters shared by the service, its workers, and
+/// the wire frontend.
+#[derive(Debug)]
+pub(crate) struct ServiceMetrics {
+    started: Instant,
+    submitted: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    coalesced: AtomicU64,
+    completed: AtomicU64,
+    skipped: AtomicU64,
+    cancelled: AtomicU64,
+    timed_out: AtomicU64,
+    invalid: AtomicU64,
+    engine_iterations: AtomicU64,
+    engine_local_rounds: AtomicU64,
+    latency: Mutex<LatencyRecorder>,
+}
+
+/// Latency samples retained for percentile queries. Bounding the
+/// window keeps a serve-until-killed daemon's memory and per-snapshot
+/// cost independent of lifetime job count; 4096 recent engine runs is
+/// plenty for stable p50/p95.
+const LATENCY_WINDOW: usize = 4096;
+
+impl ServiceMetrics {
+    pub fn new() -> Self {
+        ServiceMetrics {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
+            engine_iterations: AtomicU64::new(0),
+            engine_local_rounds: AtomicU64::new(0),
+            latency: Mutex::new(LatencyRecorder::bounded(LATENCY_WINDOW)),
+        }
+    }
+
+    pub fn on_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A response actually reached a waiting caller — the only place
+    /// `jobs_completed` advances, so waiters that cancel or time out
+    /// are never counted as answered.
+    pub fn on_delivered(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_invalid(&self) {
+        self.invalid.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_skipped(&self) {
+        self.skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_executed(&self, iterations: u64, local_rounds: u64, latency: Duration) {
+        self.engine_iterations
+            .fetch_add(iterations, Ordering::Relaxed);
+        self.engine_local_rounds
+            .fetch_add(local_rounds, Ordering::Relaxed);
+        self.latency
+            .lock()
+            .expect("latency lock")
+            .record_micros(latency.as_micros() as u64);
+    }
+
+    /// A consistent-enough point-in-time view (counters are read
+    /// individually; the snapshot is advisory, not transactional).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let latency = self.latency.lock().expect("latency lock").clone();
+        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
+        let cache_misses = self.cache_misses.load(Ordering::Relaxed);
+        let completed = self.completed.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed();
+        let classified = cache_hits + cache_misses;
+        MetricsSnapshot {
+            jobs_submitted: self.submitted.load(Ordering::Relaxed),
+            jobs_completed: completed,
+            cache_hits,
+            cache_misses,
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            skipped: self.skipped.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            invalid: self.invalid.load(Ordering::Relaxed),
+            cache_hit_rate: if classified == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / classified as f64
+            },
+            throughput_jobs_per_sec: if uptime.as_secs_f64() > 0.0 {
+                completed as f64 / uptime.as_secs_f64()
+            } else {
+                0.0
+            },
+            p50_latency_us: latency.p50().unwrap_or(0),
+            p95_latency_us: latency.p95().unwrap_or(0),
+            mean_latency_us: latency.mean_micros(),
+            engine_iterations: self.engine_iterations.load(Ordering::Relaxed),
+            engine_local_rounds: self.engine_local_rounds.load(Ordering::Relaxed),
+            uptime,
+        }
+    }
+}
+
+/// A point-in-time copy of the service counters, plus derived rates.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Jobs submitted (accepted specs; invalid ones don't count).
+    pub jobs_submitted: u64,
+    /// Responses actually delivered to waiting callers. Waiters that
+    /// cancelled or timed out never count, so this can trail
+    /// `jobs_submitted` even when every engine run finished.
+    pub jobs_completed: u64,
+    /// Submissions served straight from the result cache.
+    pub cache_hits: u64,
+    /// Submissions that scheduled a fresh engine run.
+    pub cache_misses: u64,
+    /// Submissions that joined an identical in-flight run.
+    pub coalesced: u64,
+    /// Scheduled runs skipped because every waiter cancelled first.
+    pub skipped: u64,
+    /// Handle cancellations.
+    pub cancelled: u64,
+    /// Waits that hit their deadline.
+    pub timed_out: u64,
+    /// Specs rejected by validation.
+    pub invalid: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 when nothing was
+    /// classified yet.
+    pub cache_hit_rate: f64,
+    /// `jobs_completed / uptime`.
+    pub throughput_jobs_per_sec: f64,
+    /// Median engine-run latency over the most recent window (cache
+    /// hits don't contribute).
+    pub p50_latency_us: u64,
+    /// 95th-percentile engine-run latency over the most recent window.
+    pub p95_latency_us: u64,
+    /// Mean engine-run latency over the most recent window.
+    pub mean_latency_us: f64,
+    /// Total engine iterations across executed runs.
+    pub engine_iterations: u64,
+    /// Total LOCAL rounds across executed runs
+    /// ([`dsa_core::dist::SpannerRun::local_rounds`]).
+    pub engine_local_rounds: u64,
+    /// Time since the service started.
+    pub uptime: Duration,
+}
+
+impl MetricsSnapshot {
+    /// One-line JSON rendering (keys stable, no external dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"jobs_submitted\":{},\"jobs_completed\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"coalesced\":{},",
+                "\"skipped\":{},\"cancelled\":{},\"timed_out\":{},\"invalid\":{},",
+                "\"cache_hit_rate\":{:.6},\"throughput_jobs_per_sec\":{:.3},",
+                "\"p50_latency_us\":{},\"p95_latency_us\":{},\"mean_latency_us\":{:.1},",
+                "\"engine_iterations\":{},\"engine_local_rounds\":{},",
+                "\"uptime_secs\":{:.3}}}"
+            ),
+            self.jobs_submitted,
+            self.jobs_completed,
+            self.cache_hits,
+            self.cache_misses,
+            self.coalesced,
+            self.skipped,
+            self.cancelled,
+            self.timed_out,
+            self.invalid,
+            self.cache_hit_rate,
+            self.throughput_jobs_per_sec,
+            self.p50_latency_us,
+            self.p95_latency_us,
+            self.mean_latency_us,
+            self.engine_iterations,
+            self.engine_local_rounds,
+            self.uptime.as_secs_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_up() {
+        let m = ServiceMetrics::new();
+        for _ in 0..5 {
+            m.on_submitted();
+        }
+        m.on_cache_miss();
+        m.on_executed(10, 70, Duration::from_micros(1_000));
+        m.on_cache_hit();
+        m.on_cache_hit();
+        m.on_coalesced();
+        m.on_cache_miss();
+        m.on_executed(6, 42, Duration::from_micros(3_000));
+        // Four of the five waiters collected their response; the
+        // fifth (say the coalesced one) timed out first.
+        for _ in 0..4 {
+            m.on_delivered();
+        }
+        m.on_timed_out();
+        let s = m.snapshot();
+        assert_eq!(s.jobs_submitted, 5);
+        assert_eq!(
+            s.jobs_submitted,
+            s.cache_hits + s.cache_misses + s.coalesced
+        );
+        assert_eq!(s.jobs_completed, 4);
+        assert_eq!(s.timed_out, 1);
+        assert_eq!(s.cache_hit_rate, 0.5);
+        assert_eq!(s.engine_iterations, 16);
+        assert_eq!(s.engine_local_rounds, 112);
+        assert_eq!(s.p50_latency_us, 1_000);
+        assert_eq!(s.p95_latency_us, 3_000);
+    }
+
+    #[test]
+    fn json_snapshot_is_wellformed_enough() {
+        let m = ServiceMetrics::new();
+        let json = m.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cache_hit_rate\":0.000000"));
+        assert!(json.contains("\"jobs_submitted\":0"));
+    }
+}

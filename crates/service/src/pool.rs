@@ -1,0 +1,209 @@
+//! A deterministic fixed-size worker pool over `std::thread` with a
+//! bounded job queue.
+//!
+//! Jobs are opaque closures; the pool guarantees FIFO dispatch order
+//! and backpressure ([`Pool::submit`] blocks while the queue is at
+//! capacity), nothing more. Determinism of the *service* does not come
+//! from the pool — jobs are independent seeded engine runs — so any
+//! interleaving of workers yields the same per-job results.
+//!
+//! On drop the pool stops accepting work, drains the queued jobs, and
+//! joins every worker, so no submitted job is ever silently lost.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// A fixed-size worker pool with a bounded FIFO job queue.
+pub(crate) struct Pool {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `workers` threads sharing a queue of at most `capacity`
+    /// pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `capacity` is zero.
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        assert!(workers >= 1, "pool needs at least one worker");
+        assert!(capacity >= 1, "queue capacity must be positive");
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("dsa-service-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Pool { inner, workers }
+    }
+
+    /// Enqueues a job, blocking while the queue is at capacity.
+    ///
+    /// Jobs submitted during shutdown are dropped; the only caller is
+    /// [`crate::Service`], which never submits after starting its own
+    /// teardown.
+    pub fn submit(&self, job: Job) {
+        let mut state = self.inner.state.lock().expect("pool lock");
+        while state.queue.len() >= self.inner.capacity && !state.shutdown {
+            state = self.inner.not_full.wait(state).expect("pool lock");
+        }
+        if state.shutdown {
+            return;
+        }
+        state.queue.push_back(job);
+        drop(state);
+        self.inner.not_empty.notify_one();
+    }
+
+    /// Number of jobs waiting in the queue (diagnostic only).
+    pub fn queued(&self) -> usize {
+        self.inner.state.lock().expect("pool lock").queue.len()
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let job = {
+            let mut state = inner.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = inner.not_empty.wait(state).expect("pool lock");
+            }
+        };
+        inner.not_full.notify_one();
+        job();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = Pool::new(4, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            }));
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn drop_drains_the_queue() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            // One slow worker, deep queue: most jobs are still queued
+            // when drop begins, and must run anyway.
+            let pool = Pool::new(1, 64);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.submit(Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        // One worker pinned on a gate, capacity 1: job A runs, job B
+        // fills the queue, so a third submit must block until the
+        // worker drains one job.
+        let pool = Arc::new(Pool::new(1, 1));
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Arc::new(Mutex::new(gate_rx));
+        let done = Arc::new(AtomicUsize::new(0));
+        let blocking_job = || {
+            let gate_rx = Arc::clone(&gate_rx);
+            let done = Arc::clone(&done);
+            Box::new(move || {
+                gate_rx.lock().unwrap().recv().unwrap();
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        pool.submit(blocking_job()); // taken by the worker
+        pool.submit(blocking_job()); // fills the queue
+        let third_submitted = Arc::new(AtomicUsize::new(0));
+        let submitter = {
+            let pool = Arc::clone(&pool);
+            let third_submitted = Arc::clone(&third_submitted);
+            let job = blocking_job();
+            std::thread::spawn(move || {
+                pool.submit(job);
+                third_submitted.store(1, Ordering::SeqCst);
+            })
+        };
+        // The third submit stays blocked while the queue is full.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        assert_eq!(third_submitted.load(Ordering::SeqCst), 0);
+        assert_eq!(pool.queued(), 1);
+        // Releasing one job drains the queue and unblocks the submit.
+        gate_tx.send(()).unwrap();
+        submitter.join().unwrap();
+        assert_eq!(third_submitted.load(Ordering::SeqCst), 1);
+        gate_tx.send(()).unwrap();
+        gate_tx.send(()).unwrap();
+        drop(Arc::try_unwrap(pool).ok().expect("sole owner")); // joins: all three ran
+        assert_eq!(done.load(Ordering::SeqCst), 3);
+    }
+}

@@ -1,0 +1,516 @@
+//! The in-process serving core: canonicalize → cache → coalesce →
+//! schedule on the worker pool.
+//!
+//! Life of a submission:
+//!
+//! 1. the [`JobSpec`] is validated and rewritten into canonical edge
+//!    order, yielding the 64-bit job key ([`crate::job`]);
+//! 2. under the cache lock, a key already computed is answered
+//!    immediately (**cache hit** — no engine work, no queueing);
+//! 3. under the in-flight lock, a key currently executing is joined
+//!    (**coalesced** — N concurrent identical submissions run the
+//!    engine once and all receive the same run);
+//! 4. otherwise a fresh entry is registered and the engine run is
+//!    enqueued on the bounded worker pool (**cache miss**).
+//!
+//! Determinism: the engine is deterministic per seed and every run
+//! executes on the *canonical* instance, so the spanner a spec maps to
+//! is a pure function of the spec — independent of worker count,
+//! scheduling order, and whether the answer came from a cold run, the
+//! cache, or coalescing.
+//!
+//! Cancellation and timeouts are waiter-side: a handle that cancels or
+//! times out stops waiting immediately, and an engine run whose every
+//! waiter cancelled before a worker picked it up is skipped entirely.
+//! A run that already started is never interrupted — it completes and
+//! populates the cache for future submissions.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use dsa_core::dist::{run_variant, EngineConfig, SpannerRun, VariantInstance, VariantKind};
+use dsa_graphs::EdgeId;
+
+use crate::cache::LruCache;
+use crate::job::{canonicalize_job, JobError, JobResponse, JobSpec};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::pool::Pool;
+
+/// Tunables of a [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads executing engine runs.
+    pub workers: usize,
+    /// Bound on queued (not yet started) runs; submissions beyond it
+    /// block until a worker drains the queue.
+    pub queue_capacity: usize,
+    /// LRU result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Deadline applied by [`JobHandle::wait`] when the spec carries
+    /// none; `None` waits indefinitely.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            default_timeout: None,
+        }
+    }
+}
+
+/// The result-relevant engine-config fields: (seed, accept
+/// denominator, monotone stars, round densities, max iterations).
+type ConfigSig = (u64, u64, bool, bool, u64);
+
+fn config_sig(cfg: &EngineConfig) -> ConfigSig {
+    (
+        cfg.seed,
+        cfg.accept_denominator,
+        cfg.monotone_stars,
+        cfg.round_densities,
+        cfg.max_iterations,
+    )
+}
+
+/// One in-flight engine run, shared by every coalesced waiter.
+///
+/// The canonical instance and config signature live here both so the
+/// worker can execute the run and so joins can *verify* identity: the
+/// 64-bit key is a hash, and an (adversarially constructible) FNV
+/// collision must degrade to a duplicate computation, never to
+/// another job's result.
+struct Inflight {
+    instance: VariantInstance,
+    config_sig: ConfigSig,
+    state: Mutex<InflightState>,
+    done: Condvar,
+    /// Handles still interested in the result; when it reaches zero
+    /// before a worker starts the run, the run is skipped.
+    waiters: AtomicUsize,
+}
+
+#[derive(Default)]
+struct InflightState {
+    result: Option<Arc<SpannerRun>>,
+    skipped: bool,
+}
+
+/// A cached result together with the job identity it answers, checked
+/// on every hit (see [`Inflight`] on why the hash alone is not
+/// identity).
+struct CachedResult {
+    instance: VariantInstance,
+    config_sig: ConfigSig,
+    run: Arc<SpannerRun>,
+}
+
+struct Shared {
+    cache: Mutex<LruCache<CachedResult>>,
+    inflight: Mutex<HashMap<u64, Arc<Inflight>>>,
+    metrics: ServiceMetrics,
+}
+
+/// The in-process spanner-serving subsystem. See the module docs for
+/// the submission life cycle; [`crate::server`] exposes the same
+/// object over TCP.
+pub struct Service {
+    shared: Arc<Shared>,
+    default_timeout: Option<Duration>,
+    /// Dropped last (declaration order): pool teardown drains queued
+    /// runs, and those workers still need `shared`.
+    pool: Pool,
+}
+
+impl Service {
+    /// Starts a service with the given tunables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `queue_capacity` is zero.
+    pub fn new(cfg: &ServiceConfig) -> Self {
+        Service {
+            shared: Arc::new(Shared {
+                cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+                inflight: Mutex::new(HashMap::new()),
+                metrics: ServiceMetrics::new(),
+            }),
+            default_timeout: cfg.default_timeout,
+            pool: Pool::new(cfg.workers, cfg.queue_capacity),
+        }
+    }
+
+    /// Submits a job and returns a handle to its (possibly shared)
+    /// result.
+    pub fn submit(&self, spec: &JobSpec) -> Result<JobHandle, JobError> {
+        let job = match canonicalize_job(spec) {
+            Ok(job) => job,
+            Err(e) => {
+                self.shared.metrics.on_invalid();
+                return Err(e);
+            }
+        };
+        self.shared.metrics.on_submitted();
+        let kind = job.instance.kind();
+        let handle_base = |source| JobHandle {
+            key: job.key,
+            kind,
+            from_canonical: job.from_canonical.clone(),
+            timeout: spec.timeout.or(self.default_timeout),
+            shared: Arc::clone(&self.shared),
+            source,
+        };
+
+        // Classification happens with the cache lock held and the
+        // in-flight lock nested inside it; the completion path takes
+        // the two locks in the same order, so hit-or-join is atomic:
+        // a key is never both evicted from in-flight and absent from
+        // the cache. Every hash-keyed lookup is verified against the
+        // canonical instance + config, so a 64-bit key collision costs
+        // a duplicate computation instead of cross-serving results.
+        let sig = config_sig(&job.config);
+        let mut cache = self.shared.cache.lock().expect("cache lock");
+        if let Some(v) = cache.get(job.key) {
+            if v.instance == job.instance && v.config_sig == sig {
+                self.shared.metrics.on_cache_hit();
+                return Ok(handle_base(HandleSource::Ready(Arc::clone(&v.run))));
+            }
+            // Collision: fall through and recompute; the completion
+            // overwrites the slot and hits stay verified either way.
+        }
+        let mut inflight = self.shared.inflight.lock().expect("inflight lock");
+        // A colliding in-flight entry cannot be joined *or* displaced;
+        // the new run proceeds untracked (no dedup for the collider).
+        let mut tracked = true;
+        if let Some(entry) = inflight.get(&job.key).cloned() {
+            if entry.instance == job.instance && entry.config_sig == sig {
+                entry.waiters.fetch_add(1, Ordering::SeqCst);
+                self.shared.metrics.on_coalesced();
+                return Ok(handle_base(HandleSource::Waiting(entry)));
+            }
+            tracked = false;
+        }
+        let entry = Arc::new(Inflight {
+            instance: job.instance,
+            config_sig: sig,
+            state: Mutex::new(InflightState::default()),
+            done: Condvar::new(),
+            waiters: AtomicUsize::new(1),
+        });
+        if tracked {
+            inflight.insert(job.key, Arc::clone(&entry));
+        }
+        self.shared.metrics.on_cache_miss();
+        drop(inflight);
+        drop(cache);
+
+        let handle = handle_base(HandleSource::Waiting(Arc::clone(&entry)));
+        let shared = Arc::clone(&self.shared);
+        let key = job.key;
+        let config = job.config;
+        // May block on queue backpressure — locks are released above.
+        self.pool.submit(Box::new(move || {
+            // Skip the run when every waiter gave up before it began.
+            // The waiter count is read under the in-flight lock — the
+            // same lock a coalescing submit increments it under — so a
+            // submission can never join an entry this closure is about
+            // to retire as skipped.
+            {
+                let mut inflight = shared.inflight.lock().expect("inflight lock");
+                if entry.waiters.load(Ordering::SeqCst) == 0 {
+                    if tracked {
+                        inflight.remove(&key);
+                    }
+                    drop(inflight);
+                    let mut state = entry.state.lock().expect("inflight state");
+                    state.skipped = true;
+                    drop(state);
+                    entry.done.notify_all();
+                    shared.metrics.on_skipped();
+                    return;
+                }
+            }
+            let t0 = Instant::now();
+            let run = Arc::new(run_variant(&entry.instance, &config));
+            shared
+                .metrics
+                .on_executed(run.iterations, run.local_rounds(), t0.elapsed());
+            // Same lock order as classification: publish to the cache
+            // *before* retiring the in-flight entry.
+            let mut cache = shared.cache.lock().expect("cache lock");
+            cache.insert(
+                key,
+                CachedResult {
+                    instance: entry.instance.clone(),
+                    config_sig: entry.config_sig,
+                    run: Arc::clone(&run),
+                },
+            );
+            if tracked {
+                shared.inflight.lock().expect("inflight lock").remove(&key);
+            }
+            drop(cache);
+            let mut state = entry.state.lock().expect("inflight state");
+            state.result = Some(run);
+            drop(state);
+            entry.done.notify_all();
+        }));
+        Ok(handle)
+    }
+
+    /// Submit-and-wait convenience.
+    pub fn run(&self, spec: &JobSpec) -> Result<JobResponse, JobError> {
+        self.submit(spec)?.wait()
+    }
+
+    /// A point-in-time view of the service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Entries currently in the result cache.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.lock().expect("cache lock").len()
+    }
+
+    /// Jobs waiting in the pool queue (diagnostic only).
+    pub fn queued_jobs(&self) -> usize {
+        self.pool.queued()
+    }
+}
+
+enum HandleSource {
+    /// Served from cache at submission time.
+    Ready(Arc<SpannerRun>),
+    /// Waiting on an in-flight (possibly shared) engine run.
+    Waiting(Arc<Inflight>),
+}
+
+/// A claim on one submitted job's result.
+///
+/// Obtain the response with [`JobHandle::wait`] (or
+/// [`JobHandle::wait_for`] with an explicit deadline), or abandon it
+/// with [`JobHandle::cancel`].
+pub struct JobHandle {
+    key: u64,
+    kind: VariantKind,
+    from_canonical: Vec<EdgeId>,
+    timeout: Option<Duration>,
+    shared: Arc<Shared>,
+    source: HandleSource,
+}
+
+impl JobHandle {
+    /// The canonical job key (also the cache key).
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Waits using the spec's timeout, or the service default, or
+    /// forever.
+    pub fn wait(self) -> Result<JobResponse, JobError> {
+        let timeout = self.timeout;
+        self.wait_for(timeout)
+    }
+
+    /// Waits at most `timeout` (`None` waits forever).
+    pub fn wait_for(self, timeout: Option<Duration>) -> Result<JobResponse, JobError> {
+        let run = match &self.source {
+            HandleSource::Ready(run) => Arc::clone(run),
+            HandleSource::Waiting(entry) => {
+                let deadline = timeout.map(|t| Instant::now() + t);
+                let mut state = entry.state.lock().expect("inflight state");
+                loop {
+                    if let Some(run) = &state.result {
+                        break Arc::clone(run);
+                    }
+                    if state.skipped {
+                        // Only reachable through cancel-then-wait
+                        // misuse of a cloned key; a live waiter keeps
+                        // the run scheduled.
+                        return Err(JobError::Cancelled);
+                    }
+                    match deadline {
+                        None => state = entry.done.wait(state).expect("inflight state"),
+                        Some(d) => {
+                            let now = Instant::now();
+                            if now >= d {
+                                entry.waiters.fetch_sub(1, Ordering::SeqCst);
+                                self.shared.metrics.on_timed_out();
+                                return Err(JobError::TimedOut);
+                            }
+                            let (s, _) = entry
+                                .done
+                                .wait_timeout(state, d - now)
+                                .expect("inflight state");
+                            state = s;
+                        }
+                    }
+                }
+            }
+        };
+        self.shared.metrics.on_delivered();
+        Ok(JobResponse::from_run(
+            self.key,
+            self.kind,
+            &run,
+            &self.from_canonical,
+        ))
+    }
+
+    /// Abandons the result. A run no handle is waiting on anymore is
+    /// skipped if it has not started yet.
+    pub fn cancel(self) {
+        if let HandleSource::Waiting(entry) = &self.source {
+            entry.waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+        self.shared.metrics.on_cancelled();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_core::dist::VariantInstance;
+    use dsa_graphs::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn undirected_spec(n: usize, p: f64, graph_seed: u64, engine_seed: u64) -> JobSpec {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        JobSpec::new(
+            VariantInstance::Undirected {
+                graph: gen::gnp_connected(n, p, &mut rng),
+            },
+            engine_seed,
+        )
+    }
+
+    #[test]
+    fn hit_miss_and_coalesce_classification() {
+        let service = Service::new(&ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let spec = undirected_spec(24, 0.25, 1, 7);
+        let a = service.run(&spec).unwrap();
+        let b = service.run(&spec).unwrap();
+        assert_eq!(a, b);
+        let m = service.metrics();
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(
+            m.jobs_submitted,
+            m.cache_hits + m.cache_misses + m.coalesced
+        );
+        assert_eq!(service.cache_len(), 1);
+    }
+
+    #[test]
+    fn different_seeds_are_different_jobs() {
+        let service = Service::new(&ServiceConfig::default());
+        let a = service.run(&undirected_spec(20, 0.3, 2, 1)).unwrap();
+        let b = service.run(&undirected_spec(20, 0.3, 2, 2)).unwrap();
+        assert_ne!(a.key, b.key);
+        assert_eq!(service.metrics().cache_misses, 2);
+    }
+
+    #[test]
+    fn responses_are_in_submitted_id_space() {
+        // Submit the same graph under two edge orders: the canonical
+        // runs coincide (one cache entry), but each response speaks
+        // its caller's ids.
+        use dsa_core::verify::is_k_spanner;
+        use dsa_graphs::{EdgeSet, Graph};
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)];
+        let g1 = Graph::from_edges(4, edges);
+        let mut rev = edges;
+        rev.reverse();
+        let g2 = Graph::from_edges(4, rev);
+        let service = Service::new(&ServiceConfig::default());
+        let r1 = service
+            .run(&JobSpec::new(
+                VariantInstance::Undirected { graph: g1.clone() },
+                5,
+            ))
+            .unwrap();
+        let r2 = service
+            .run(&JobSpec::new(
+                VariantInstance::Undirected { graph: g2.clone() },
+                5,
+            ))
+            .unwrap();
+        assert_eq!(r1.key, r2.key, "same edge set, same job");
+        assert_eq!(service.metrics().cache_hits, 1);
+        let s1 = EdgeSet::from_iter(g1.num_edges(), r1.spanner.iter().copied());
+        let s2 = EdgeSet::from_iter(g2.num_edges(), r2.spanner.iter().copied());
+        assert!(is_k_spanner(&g1, &s1, 2));
+        assert!(is_k_spanner(&g2, &s2, 2));
+        // Same spanner as an edge *pair* set, despite different ids.
+        let pairs = |g: &Graph, ids: &[usize]| {
+            let mut p: Vec<_> = ids.iter().map(|&e| g.endpoints(e)).collect();
+            p.sort_unstable();
+            p
+        };
+        assert_eq!(pairs(&g1, &r1.spanner), pairs(&g2, &r2.spanner));
+    }
+
+    #[test]
+    fn invalid_spec_counts_and_rejects() {
+        use dsa_graphs::{EdgeWeights, Graph};
+        let service = Service::new(&ServiceConfig::default());
+        let bad = JobSpec::new(
+            VariantInstance::Weighted {
+                graph: Graph::from_edges(3, [(0, 1), (1, 2)]),
+                weights: EdgeWeights::constant(1, 1),
+            },
+            0,
+        );
+        assert!(matches!(service.submit(&bad), Err(JobError::Invalid(_))));
+        assert_eq!(service.metrics().invalid, 1);
+        assert_eq!(service.metrics().jobs_submitted, 0);
+    }
+
+    #[test]
+    fn zero_timeout_times_out() {
+        let service = Service::new(&ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let mut spec = undirected_spec(40, 0.2, 3, 1);
+        spec.timeout = Some(Duration::from_nanos(0));
+        // Either the worker wins the race (fine) or we time out; both
+        // are legal, but the error must be TimedOut, never a hang.
+        match service.submit(&spec).unwrap().wait() {
+            Ok(resp) => assert!(resp.converged),
+            Err(e) => assert_eq!(e, JobError::TimedOut),
+        }
+    }
+
+    #[test]
+    fn cancel_before_start_skips_the_run() {
+        // One worker pinned by a slow job; a second job cancelled
+        // while queued must be skipped, not executed.
+        let service = Service::new(&ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let slow = service.submit(&undirected_spec(70, 0.2, 4, 1)).unwrap();
+        let doomed = service.submit(&undirected_spec(30, 0.3, 5, 1)).unwrap();
+        doomed.cancel();
+        slow.wait().unwrap();
+        // Submit one more so the worker definitely reached the
+        // cancelled entry before we read the counters.
+        service.run(&undirected_spec(10, 0.5, 6, 1)).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.cancelled, 1);
+        assert_eq!(m.skipped, 1);
+        // The skipped job never executed: only the two live runs did.
+        assert_eq!(m.jobs_completed, 2);
+    }
+}

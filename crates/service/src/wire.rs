@@ -1,0 +1,684 @@
+//! The length-prefixed request/response wire protocol of
+//! `spanner-serve`.
+//!
+//! # Framing
+//!
+//! Every message is one *frame*: a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 text. Frames larger than
+//! [`MAX_FRAME`] are rejected. A connection carries any number of
+//! request frames, each answered by exactly one response frame, until
+//! the client closes it.
+//!
+//! # Requests
+//!
+//! A request payload is a line-oriented header, one `key value` pair
+//! per line, opened by a command line:
+//!
+//! ```text
+//! run v1                  |  stats v1  |  ping v1
+//! variant weighted
+//! seed 42
+//! accept-denominator 8    # optional, default 8
+//! monotone 1              # optional, default 1
+//! round-densities 1       # optional, default 1
+//! max-iterations 1000000  # optional
+//! timeout-ms 2000         # optional
+//! clients 0 2 5           # client-server only
+//! servers 1 3 4           # client-server only
+//! graph                   # the rest is a dsa-graphs edge list
+//! # n 5
+//! 0 1 3
+//! ...
+//! ```
+//!
+//! The graph body is the [`dsa_graphs::io`] text format (weighted for
+//! the `weighted` variant, directed for `directed`); `clients` /
+//! `servers` list edge ids of the parsed (normalized) edge list.
+//!
+//! # Responses
+//!
+//! ```text
+//! ok run                  |  ok stats        |  ok ping  |  err <message>
+//! key 1f2e3d4c5b6a7988    |  {"jobs_...": 1}
+//! variant weighted
+//! converged 1
+//! iterations 12
+//! local-rounds 84
+//! star-fallbacks 0
+//! spanner-size 3
+//! spanner 0 4 7
+//! ```
+//!
+//! A `run` response is a pure function of the job spec — no timing, no
+//! cached/coalesced flag — so a cache hit is byte-identical to the
+//! cold computation of the same spec.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use dsa_core::dist::{EngineConfig, VariantInstance, VariantKind};
+use dsa_graphs::{io as gio, EdgeSet};
+
+use crate::job::{JobError, JobResponse, JobSpec};
+
+/// Upper bound on a frame payload (64 MiB): a million-edge graph fits
+/// with a wide margin, while a corrupt length prefix cannot trigger an
+/// absurd allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF before the first length
+/// byte.
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A decoded request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Run one spanner job.
+    Run(JobSpec),
+    /// Report the service metrics snapshot as JSON.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// A decoded response.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// The job's result.
+    Run(JobResponse),
+    /// The metrics snapshot, as one JSON line.
+    Stats(String),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// The server rejected or failed the request.
+    Error(String),
+}
+
+fn parse_u64(value: &str, what: &str) -> Result<u64, JobError> {
+    value
+        .parse()
+        .map_err(|_| JobError::Protocol(format!("invalid {what}: `{value}`")))
+}
+
+fn parse_flag(value: &str, what: &str) -> Result<bool, JobError> {
+    match value {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        _ => Err(JobError::Protocol(format!(
+            "invalid {what}: `{value}` (expected 0 or 1)"
+        ))),
+    }
+}
+
+/// Parses a whitespace-separated edge-id list into a set over
+/// `0..universe`, rejecting out-of-range ids. Shared by the request
+/// decoder and `spanner-cli` so the two never drift.
+pub fn parse_id_list(value: &str, universe: usize, what: &str) -> Result<EdgeSet, JobError> {
+    let mut set = EdgeSet::new(universe);
+    for field in value.split_whitespace() {
+        let id = parse_u64(field, what)? as usize;
+        if id >= universe {
+            return Err(JobError::Protocol(format!(
+                "{what} id {id} out of range for {universe} edges"
+            )));
+        }
+        set.insert(id);
+    }
+    Ok(set)
+}
+
+/// Encodes a job spec as a `run v1` request payload.
+pub fn encode_request(spec: &JobSpec) -> String {
+    let mut out = String::from("run v1\n");
+    let kind = spec.instance.kind();
+    out.push_str(&format!("variant {kind}\n"));
+    out.push_str(&format!("seed {}\n", spec.config.seed));
+    out.push_str(&format!(
+        "accept-denominator {}\n",
+        spec.config.accept_denominator
+    ));
+    out.push_str(&format!(
+        "monotone {}\n",
+        u8::from(spec.config.monotone_stars)
+    ));
+    out.push_str(&format!(
+        "round-densities {}\n",
+        u8::from(spec.config.round_densities)
+    ));
+    out.push_str(&format!("max-iterations {}\n", spec.config.max_iterations));
+    if let Some(t) = spec.timeout {
+        out.push_str(&format!("timeout-ms {}\n", t.as_millis()));
+    }
+    let graph_text = match &spec.instance {
+        VariantInstance::Undirected { graph } => gio::to_edge_list(graph, None),
+        VariantInstance::Weighted { graph, weights } => gio::to_edge_list(graph, Some(weights)),
+        VariantInstance::Directed { graph } => gio::to_directed_edge_list(graph),
+        VariantInstance::ClientServer {
+            graph,
+            clients,
+            servers,
+        } => {
+            let ids = |s: &EdgeSet| {
+                s.iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            out.push_str(&format!("clients {}\n", ids(clients)));
+            out.push_str(&format!("servers {}\n", ids(servers)));
+            gio::to_edge_list(graph, None)
+        }
+    };
+    out.push_str("graph\n");
+    out.push_str(&graph_text);
+    out
+}
+
+/// Encodes the `stats v1` request payload.
+pub fn encode_stats_request() -> String {
+    "stats v1\n".to_string()
+}
+
+/// Encodes the `ping v1` request payload.
+pub fn encode_ping_request() -> String {
+    "ping v1\n".to_string()
+}
+
+/// Decodes a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, JobError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| JobError::Protocol("request is not UTF-8".into()))?;
+    let (head, rest) = text.split_once('\n').unwrap_or((text, ""));
+    match head.trim_end() {
+        "run v1" => decode_run_request(rest),
+        "stats v1" => Ok(Request::Stats),
+        "ping v1" => Ok(Request::Ping),
+        other => Err(JobError::Protocol(format!(
+            "unknown command `{other}` (expected `run v1`, `stats v1`, or `ping v1`)"
+        ))),
+    }
+}
+
+fn decode_run_request(body: &str) -> Result<Request, JobError> {
+    let mut variant: Option<VariantKind> = None;
+    let mut seed: Option<u64> = None;
+    let mut accept_denominator: Option<u64> = None;
+    let mut monotone: Option<bool> = None;
+    let mut round_densities: Option<bool> = None;
+    let mut max_iterations: Option<u64> = None;
+    let mut timeout: Option<Duration> = None;
+    let mut clients_line: Option<String> = None;
+    let mut servers_line: Option<String> = None;
+    let mut graph_text: Option<&str> = None;
+
+    let mut rest = body;
+    while !rest.is_empty() {
+        let (line, tail) = rest.split_once('\n').unwrap_or((rest, ""));
+        let line_trimmed = line.trim();
+        if line_trimmed == "graph" {
+            graph_text = Some(tail);
+            break;
+        }
+        rest = tail;
+        if line_trimmed.is_empty() {
+            continue;
+        }
+        // A bare key (e.g. `clients` with an empty id list) carries
+        // an empty value.
+        let (key, value) = line_trimmed.split_once(' ').unwrap_or((line_trimmed, ""));
+        let value = value.trim();
+        match key {
+            "variant" => variant = Some(value.parse::<VariantKind>().map_err(JobError::Protocol)?),
+            "seed" => seed = Some(parse_u64(value, "seed")?),
+            "accept-denominator" => {
+                accept_denominator = Some(parse_u64(value, "accept-denominator")?)
+            }
+            "monotone" => monotone = Some(parse_flag(value, "monotone")?),
+            "round-densities" => round_densities = Some(parse_flag(value, "round-densities")?),
+            "max-iterations" => max_iterations = Some(parse_u64(value, "max-iterations")?),
+            "timeout-ms" => timeout = Some(Duration::from_millis(parse_u64(value, "timeout-ms")?)),
+            "clients" => clients_line = Some(value.to_string()),
+            "servers" => servers_line = Some(value.to_string()),
+            other => return Err(JobError::Protocol(format!("unknown header `{other}`"))),
+        }
+    }
+
+    let variant = variant.ok_or_else(|| JobError::Protocol("missing `variant` header".into()))?;
+    let seed = seed.ok_or_else(|| JobError::Protocol("missing `seed` header".into()))?;
+    let graph_text =
+        graph_text.ok_or_else(|| JobError::Protocol("missing `graph` section".into()))?;
+    check_declared_vertices(graph_text)?;
+
+    let instance = match variant {
+        VariantKind::Undirected => {
+            let (graph, w) = gio::parse_edge_list(graph_text)
+                .map_err(|e| JobError::Protocol(format!("bad graph: {e}")))?;
+            if w.is_some() {
+                return Err(JobError::Protocol(
+                    "undirected variant takes an unweighted edge list".into(),
+                ));
+            }
+            VariantInstance::Undirected { graph }
+        }
+        VariantKind::Weighted => {
+            let (graph, w) = gio::parse_edge_list(graph_text)
+                .map_err(|e| JobError::Protocol(format!("bad graph: {e}")))?;
+            let weights = w.ok_or_else(|| {
+                JobError::Protocol("weighted variant needs `u v w` edge lines".into())
+            })?;
+            VariantInstance::Weighted { graph, weights }
+        }
+        VariantKind::Directed => {
+            let graph = gio::parse_directed_edge_list(graph_text)
+                .map_err(|e| JobError::Protocol(format!("bad graph: {e}")))?;
+            VariantInstance::Directed { graph }
+        }
+        VariantKind::ClientServer => {
+            let (graph, w) = gio::parse_edge_list(graph_text)
+                .map_err(|e| JobError::Protocol(format!("bad graph: {e}")))?;
+            if w.is_some() {
+                return Err(JobError::Protocol(
+                    "client-server variant takes an unweighted edge list".into(),
+                ));
+            }
+            let m = graph.num_edges();
+            let clients = parse_id_list(
+                &clients_line
+                    .ok_or_else(|| JobError::Protocol("missing `clients` header".into()))?,
+                m,
+                "client",
+            )?;
+            let servers = parse_id_list(
+                &servers_line
+                    .ok_or_else(|| JobError::Protocol("missing `servers` header".into()))?,
+                m,
+                "server",
+            )?;
+            VariantInstance::ClientServer {
+                graph,
+                clients,
+                servers,
+            }
+        }
+    };
+
+    let mut config = EngineConfig::seeded(seed);
+    if let Some(d) = accept_denominator {
+        if d == 0 {
+            return Err(JobError::Protocol("accept-denominator must be >= 1".into()));
+        }
+        config.accept_denominator = d;
+    }
+    if let Some(m) = monotone {
+        config.monotone_stars = m;
+    }
+    if let Some(r) = round_densities {
+        config.round_densities = r;
+    }
+    if let Some(m) = max_iterations {
+        config.max_iterations = m;
+    }
+
+    Ok(Request::Run(JobSpec {
+        instance,
+        config,
+        timeout,
+    }))
+}
+
+/// Vertex count every request may declare regardless of its size, so
+/// sparse graphs over large id spaces (mostly isolated vertices) stay
+/// servable over the wire.
+pub const MIN_VERTEX_ALLOWANCE: u64 = 1 << 20;
+
+/// Rejects a graph body whose `# n <count>` header declares more
+/// vertices than the request can justify.
+///
+/// The frame cap bounds payload *bytes*, but `Graph::new(n)` allocates
+/// per declared vertex, so without this check a ~60-byte frame could
+/// demand gigabytes. The bound is `max(2 * body length + 1024,`
+/// [`MIN_VERTEX_ALLOWANCE`]`)`: every non-isolated vertex occupies at
+/// least one byte of some edge line, and the absolute allowance keeps
+/// legitimate sparse graphs (big id space, few edges) inside the
+/// protocol while capping a hostile header at ~megabytes of
+/// allocation. The scan mirrors `dsa_graphs::io`'s header rule: the
+/// first `# n <count>` comment wins.
+fn check_declared_vertices(graph_text: &str) -> Result<(), JobError> {
+    for line in graph_text.lines() {
+        let Some(rest) = line.trim().strip_prefix('#') else {
+            continue;
+        };
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        if fields.len() != 2 || fields[0] != "n" {
+            continue;
+        }
+        // Unparseable counts fall through to the io parser's error.
+        if let Ok(n) = fields[1].parse::<u64>() {
+            let limit = (2 * graph_text.len() as u64 + 1024).max(MIN_VERTEX_ALLOWANCE);
+            if n > limit {
+                return Err(JobError::Protocol(format!(
+                    "declared vertex count {n} exceeds the request-size bound {limit}"
+                )));
+            }
+        }
+        return Ok(());
+    }
+    Ok(())
+}
+
+/// Encodes a job result as an `ok run` response payload.
+///
+/// Deterministic in the response: the serving path (cold, cached,
+/// coalesced) leaves no trace in the bytes.
+pub fn encode_run_response(resp: &JobResponse) -> String {
+    let ids = resp
+        .spanner
+        .iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    format!(
+        "ok run\nkey {:016x}\nvariant {}\nconverged {}\niterations {}\nlocal-rounds {}\nstar-fallbacks {}\nspanner-size {}\nspanner {}\n",
+        resp.key,
+        resp.kind,
+        u8::from(resp.converged),
+        resp.iterations,
+        resp.local_rounds,
+        resp.star_fallbacks,
+        resp.spanner.len(),
+        ids,
+    )
+}
+
+/// Encodes a metrics snapshot as an `ok stats` response payload.
+pub fn encode_stats_response(json: &str) -> String {
+    format!("ok stats\n{json}\n")
+}
+
+/// Encodes the `ok ping` response payload.
+pub fn encode_pong_response() -> String {
+    "ok ping\n".to_string()
+}
+
+/// Encodes an error response payload.
+pub fn encode_error_response(message: &str) -> String {
+    // Keep the message single-line so the response stays parseable.
+    format!("err {}\n", message.replace('\n', " "))
+}
+
+/// Decodes a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, JobError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| JobError::Protocol("response is not UTF-8".into()))?;
+    let (head, body) = text.split_once('\n').unwrap_or((text, ""));
+    let head = head.trim_end();
+    if let Some(message) = head.strip_prefix("err ") {
+        return Ok(Response::Error(message.to_string()));
+    }
+    match head {
+        "ok ping" => Ok(Response::Pong),
+        "ok stats" => Ok(Response::Stats(body.trim_end().to_string())),
+        "ok run" => decode_run_response(body),
+        other => Err(JobError::Protocol(format!(
+            "unknown response head `{other}`"
+        ))),
+    }
+}
+
+fn decode_run_response(body: &str) -> Result<Response, JobError> {
+    let mut key = None;
+    let mut kind = None;
+    let mut converged = None;
+    let mut iterations = None;
+    let mut local_rounds = None;
+    let mut star_fallbacks = None;
+    let mut spanner_size = None;
+    let mut spanner = None;
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = match line.split_once(' ') {
+            Some(pair) => pair,
+            // `spanner ` with an empty id list splits to a bare key.
+            None if line == "spanner" => ("spanner", ""),
+            None => {
+                return Err(JobError::Protocol(format!(
+                    "malformed response line `{line}`"
+                )))
+            }
+        };
+        let v = v.trim();
+        match k {
+            "key" => {
+                key = Some(
+                    u64::from_str_radix(v, 16)
+                        .map_err(|_| JobError::Protocol(format!("invalid key `{v}`")))?,
+                )
+            }
+            "variant" => kind = Some(v.parse::<VariantKind>().map_err(JobError::Protocol)?),
+            "converged" => converged = Some(parse_flag(v, "converged")?),
+            "iterations" => iterations = Some(parse_u64(v, "iterations")?),
+            "local-rounds" => local_rounds = Some(parse_u64(v, "local-rounds")?),
+            "star-fallbacks" => star_fallbacks = Some(parse_u64(v, "star-fallbacks")?),
+            "spanner-size" => spanner_size = Some(parse_u64(v, "spanner-size")? as usize),
+            "spanner" => {
+                spanner = Some(
+                    v.split_whitespace()
+                        .map(|f| parse_u64(f, "spanner id").map(|x| x as usize))
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+            other => return Err(JobError::Protocol(format!("unknown field `{other}`"))),
+        }
+    }
+    let missing = |what: &str| JobError::Protocol(format!("missing `{what}` field"));
+    let spanner = spanner.ok_or_else(|| missing("spanner"))?;
+    let size = spanner_size.ok_or_else(|| missing("spanner-size"))?;
+    if spanner.len() != size {
+        return Err(JobError::Protocol(format!(
+            "spanner-size {size} does not match {} listed ids",
+            spanner.len()
+        )));
+    }
+    Ok(Response::Run(JobResponse {
+        key: key.ok_or_else(|| missing("key"))?,
+        kind: kind.ok_or_else(|| missing("variant"))?,
+        spanner,
+        iterations: iterations.ok_or_else(|| missing("iterations"))?,
+        local_rounds: local_rounds.ok_or_else(|| missing("local-rounds"))?,
+        converged: converged.ok_or_else(|| missing("converged"))?,
+        star_fallbacks: star_fallbacks.ok_or_else(|| missing("star-fallbacks"))?,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_graphs::{EdgeWeights, Graph};
+
+    fn roundtrip_spec(spec: &JobSpec) -> JobSpec {
+        let encoded = encode_request(spec);
+        match decode_request(encoded.as_bytes()).unwrap() {
+            Request::Run(spec) => spec,
+            other => panic!("expected run request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn run_request_roundtrips_all_variants() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let d = dsa_graphs::DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let specs = [
+            JobSpec::new(VariantInstance::Undirected { graph: g.clone() }, 3),
+            JobSpec::new(VariantInstance::Directed { graph: d }, 4),
+            JobSpec::new(
+                VariantInstance::Weighted {
+                    graph: g.clone(),
+                    weights: EdgeWeights::from_vec(vec![2, 0, 5, 7]),
+                },
+                5,
+            ),
+            JobSpec::new(
+                VariantInstance::ClientServer {
+                    graph: g.clone(),
+                    clients: EdgeSet::from_iter(4, [0, 1, 3]),
+                    servers: EdgeSet::from_iter(4, [1, 2, 3]),
+                },
+                6,
+            ),
+        ];
+        for spec in &specs {
+            let back = roundtrip_spec(spec);
+            assert_eq!(back.instance.kind(), spec.instance.kind());
+            assert_eq!(back.config.seed, spec.config.seed);
+            // The canonical keys agree, which is the identity the
+            // service cares about.
+            assert_eq!(
+                crate::job::canonicalize_job(&back).unwrap().key,
+                crate::job::canonicalize_job(spec).unwrap().key,
+            );
+        }
+    }
+
+    #[test]
+    fn run_request_carries_config_and_timeout() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let mut spec = JobSpec::new(VariantInstance::Undirected { graph: g }, 9);
+        spec.config.accept_denominator = 16;
+        spec.config.monotone_stars = false;
+        spec.config.round_densities = false;
+        spec.config.max_iterations = 12_345;
+        spec.timeout = Some(Duration::from_millis(1500));
+        let back = roundtrip_spec(&spec);
+        assert_eq!(back.config.accept_denominator, 16);
+        assert!(!back.config.monotone_stars);
+        assert!(!back.config.round_densities);
+        assert_eq!(back.config.max_iterations, 12_345);
+        assert_eq!(back.timeout, Some(Duration::from_millis(1500)));
+    }
+
+    #[test]
+    fn run_response_roundtrips() {
+        let resp = JobResponse {
+            key: 0xdead_beef_0123_4567,
+            kind: VariantKind::ClientServer,
+            spanner: vec![0, 3, 9],
+            iterations: 7,
+            local_rounds: 49,
+            converged: true,
+            star_fallbacks: 0,
+        };
+        let encoded = encode_run_response(&resp);
+        match decode_response(encoded.as_bytes()).unwrap() {
+            Response::Run(back) => assert_eq!(back, resp),
+            other => panic!("expected run response, got {other:?}"),
+        }
+        // Empty spanners survive too.
+        let empty = JobResponse {
+            spanner: vec![],
+            ..resp
+        };
+        match decode_response(encode_run_response(&empty).as_bytes()).unwrap() {
+            Response::Run(back) => assert_eq!(back, empty),
+            other => panic!("expected run response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_error_cleanly() {
+        for bad in [
+            "bogus v1\n",
+            "run v1\nseed 1\ngraph\n# n 2\n0 1\n", // missing variant
+            "run v1\nvariant undirected\ngraph\n# n 2\n0 1\n", // missing seed
+            "run v1\nvariant undirected\nseed 1\n", // missing graph
+            "run v1\nvariant undirected\nseed 1\ngraph\n0 1\n", // headerless graph
+            "run v1\nvariant weighted\nseed 1\ngraph\n# n 2\n0 1\n", // weights missing
+            "run v1\nvariant client-server\nseed 1\nclients 9\nservers 0\ngraph\n# n 2\n0 1\n",
+        ] {
+            assert!(
+                matches!(decode_request(bad.as_bytes()), Err(JobError::Protocol(_))),
+                "accepted: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_vertex_counts_are_rejected_before_allocation() {
+        let bad = "run v1\nvariant undirected\nseed 1\ngraph\n# n 9999999999999\n0 1\n";
+        match decode_request(bad.as_bytes()) {
+            Err(JobError::Protocol(m)) => assert!(m.contains("vertex count"), "{m}"),
+            other => panic!("accepted absurd n: {other:?}"),
+        }
+        // A realistic header passes, including sparse graphs over a
+        // large id space (isolated vertices up to the allowance).
+        let ok = "run v1\nvariant undirected\nseed 1\ngraph\n# n 500\n0 1\n";
+        assert!(decode_request(ok.as_bytes()).is_ok());
+        let sparse = format!(
+            "run v1\nvariant undirected\nseed 1\ngraph\n# n {}\n0 1\n",
+            MIN_VERTEX_ALLOWANCE
+        );
+        assert!(decode_request(sparse.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn error_responses_roundtrip() {
+        let enc = encode_error_response("multi\nline gets flattened");
+        match decode_response(enc.as_bytes()).unwrap() {
+            Response::Error(m) => assert_eq!(m, "multi line gets flattened"),
+            other => panic!("expected error, got {other:?}"),
+        }
+        match decode_response(encode_pong_response().as_bytes()).unwrap() {
+            Response::Pong => {}
+            other => panic!("expected pong, got {other:?}"),
+        }
+        match decode_response(encode_stats_response("{\"a\":1}").as_bytes()).unwrap() {
+            Response::Stats(json) => assert_eq!(json, "{\"a\":1}"),
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+}

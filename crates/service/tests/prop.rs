@@ -1,0 +1,138 @@
+//! Property tests for the serving layer: for random graphs, a
+//! cache-hit response is byte-identical to the cold-compute response,
+//! coalesced concurrent duplicates all receive the same summary, and
+//! reordered submissions of the same edge set share one cache entry
+//! while staying valid in each caller's id space.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dsa_core::dist::VariantInstance;
+use dsa_core::verify::is_k_spanner;
+use dsa_graphs::{gen, EdgeSet, Graph};
+use dsa_service::{wire, JobSpec, Service, ServiceConfig};
+
+fn arb_instance() -> impl Strategy<Value = (VariantInstance, u64)> {
+    (3usize..28, 0u64..500, 1u32..4, 0u64..64).prop_map(|(n, seed, d, engine_seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::gnp_connected(n, 0.1 * d as f64, &mut rng);
+        let instance = match seed % 3 {
+            0 => VariantInstance::Undirected { graph: g },
+            1 => {
+                let weights = gen::random_weights(g.num_edges(), 0, 9, &mut rng);
+                VariantInstance::Weighted { graph: g, weights }
+            }
+            _ => {
+                let (clients, servers) = gen::client_server_split(&g, 0.7, 0.7, &mut rng);
+                VariantInstance::ClientServer {
+                    graph: g,
+                    clients,
+                    servers,
+                }
+            }
+        };
+        (instance, engine_seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cold compute, cache hit, and a fresh service instance all
+    /// produce byte-identical wire responses for the same spec.
+    #[test]
+    fn cache_hit_is_byte_identical((instance, seed) in arb_instance()) {
+        let spec = JobSpec::new(instance, seed);
+        let service = Service::new(&ServiceConfig::default());
+        let cold = wire::encode_run_response(&service.run(&spec).unwrap());
+        let warm = wire::encode_run_response(&service.run(&spec).unwrap());
+        prop_assert_eq!(&cold, &warm);
+        let m = service.metrics();
+        prop_assert_eq!(m.cache_misses, 1);
+        prop_assert_eq!(m.cache_hits, 1);
+        // A brand-new service (cold cache) agrees too: the response
+        // is a pure function of the spec.
+        let fresh = Service::new(&ServiceConfig::default());
+        let recomputed = wire::encode_run_response(&fresh.run(&spec).unwrap());
+        prop_assert_eq!(&cold, &recomputed);
+    }
+
+    /// N concurrent identical submissions coalesce into at most one
+    /// engine run per cache generation, and all waiters receive the
+    /// same response.
+    #[test]
+    fn coalesced_duplicates_agree((instance, seed) in arb_instance()) {
+        let spec = JobSpec::new(instance, seed);
+        let service = Arc::new(Service::new(&ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        }));
+        let responses: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..6)
+                .map(|_| {
+                    let service = Arc::clone(&service);
+                    let spec = spec.clone();
+                    scope.spawn(move || service.run(&spec).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for resp in &responses[1..] {
+            prop_assert_eq!(resp, &responses[0]);
+        }
+        let m = service.metrics();
+        // Exactly one engine run; the other five were coalesced onto
+        // it or (if they arrived after it finished) served from cache.
+        prop_assert_eq!(m.cache_misses, 1);
+        prop_assert_eq!(m.cache_hits + m.coalesced, 5);
+        prop_assert_eq!(m.jobs_submitted, 6);
+    }
+
+    /// Submitting the same edge set in a shuffled order hits the same
+    /// cache entry, and each response is a valid 2-spanner in its own
+    /// submitted id space.
+    #[test]
+    fn shuffled_submission_shares_cache(
+        (n, seed, d, engine_seed) in (4usize..24, 0u64..400, 2u32..4, 0u64..32)
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::gnp_connected(n, 0.1 * d as f64, &mut rng);
+        let mut edges: Vec<(usize, usize)> = g.edges().map(|(_, u, v)| (u, v)).collect();
+        // Shuffle edge insertion order (and flip endpoint order).
+        for i in (1..edges.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            edges.swap(i, j);
+        }
+        let shuffled = Graph::from_edges(
+            g.num_vertices(),
+            edges.iter().map(|&(u, v)| (v, u)),
+        );
+        let service = Service::new(&ServiceConfig::default());
+        let a = service
+            .run(&JobSpec::new(VariantInstance::Undirected { graph: g.clone() }, engine_seed))
+            .unwrap();
+        let b = service
+            .run(&JobSpec::new(
+                VariantInstance::Undirected { graph: shuffled.clone() },
+                engine_seed,
+            ))
+            .unwrap();
+        prop_assert_eq!(a.key, b.key);
+        let m = service.metrics();
+        prop_assert_eq!((m.cache_misses, m.cache_hits), (1, 1));
+        let sa = EdgeSet::from_iter(g.num_edges(), a.spanner.iter().copied());
+        let sb = EdgeSet::from_iter(shuffled.num_edges(), b.spanner.iter().copied());
+        prop_assert!(is_k_spanner(&g, &sa, 2));
+        prop_assert!(is_k_spanner(&shuffled, &sb, 2));
+        // Identical spanners as endpoint-pair sets.
+        let pairs = |g: &Graph, ids: &[usize]| {
+            let mut p: Vec<_> = ids.iter().map(|&e| g.endpoints(e)).collect();
+            p.sort_unstable();
+            p
+        };
+        prop_assert_eq!(pairs(&g, &a.spanner), pairs(&shuffled, &b.spanner));
+    }
+}

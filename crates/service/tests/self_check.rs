@@ -1,0 +1,50 @@
+//! Smoke tests over the real binaries: `spanner-serve --self-check`
+//! must pass end to end (ephemeral port, all four variants, cache
+//! byte-identity, error handling), and bad usage must exit non-zero.
+
+use std::process::Command;
+
+#[test]
+fn spanner_serve_self_check_passes() {
+    let out = Command::new(env!("CARGO_BIN_EXE_spanner-serve"))
+        .arg("--self-check")
+        .output()
+        .expect("run spanner-serve");
+    assert!(
+        out.status.success(),
+        "self-check failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("self-check ok"));
+}
+
+#[test]
+fn unknown_flags_exit_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_spanner-serve"))
+        .arg("--bogus")
+        .output()
+        .expect("run spanner-serve");
+    assert!(!out.status.success());
+    let out = Command::new(env!("CARGO_BIN_EXE_spanner-cli"))
+        .arg("frobnicate")
+        .output()
+        .expect("run spanner-cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn explicit_help_succeeds_on_stdout() {
+    for bin in [
+        env!("CARGO_BIN_EXE_spanner-cli"),
+        env!("CARGO_BIN_EXE_spanner-serve"),
+    ] {
+        let out = Command::new(bin)
+            .arg("--help")
+            .output()
+            .expect("run --help");
+        assert!(out.status.success(), "--help must exit 0 for {bin}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+    }
+}

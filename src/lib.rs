@@ -8,3 +8,4 @@ pub use dsa_graphs as graphs;
 pub use dsa_lowerbounds as lowerbounds;
 pub use dsa_mds as mds;
 pub use dsa_runtime as runtime;
+pub use dsa_service as service;
