@@ -1,0 +1,217 @@
+//! S2 — single-job shard scaling: wall-clock speedup of one
+//! `run_engine` call at 1/2/4/8 in-iteration shards, for all four
+//! variants, with a byte-identity check across every shard count.
+//!
+//! PR 2's service made *many small jobs* fast; this experiment tracks
+//! the complementary axis — one big job using every core via
+//! `EngineConfig::num_shards`. Because the engine is
+//! shard-count-deterministic, the experiment asserts that the spanner,
+//! iteration count, and per-iteration stats are identical for every
+//! shard count before reporting any timing: a speedup that changed the
+//! answer would be a bug, not a result.
+//!
+//! Output is one JSON object on stdout (machine-readable; CI uploads
+//! it as an artifact) and a human-readable summary on stderr.
+//!
+//! ```text
+//! cargo run --release -p dsa-bench --bin exp_engine_scaling -- \
+//!     [n] [--ci] [--tolerance F] [--reps K]
+//! ```
+//!
+//! `--ci` shrinks the instances (CI machines are small and shared) and
+//! *enforces* the no-regression bound: the run fails if the 4-shard
+//! time exceeds `tolerance ×` the 1-shard time *plus an absolute
+//! slack* ([`ABS_SLACK_SECS`]) for any variant — the guard that keeps
+//! sharding overhead from silently rotting. The absolute slack exists
+//! because the smallest CI instances finish in single-digit
+//! milliseconds, where scheduler noise alone can exceed any ratio;
+//! a genuine overhead regression dwarfs 30 ms, noise does not. On a
+//! multi-core machine the interesting number is the speedup column; on
+//! a 1-core container the check still bounds the overhead.
+
+use std::time::Instant;
+
+use dsa_core::dist::{run_variant, EngineConfig, SpannerRun, VariantInstance};
+use dsa_graphs::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Absolute slack for the `--ci` regression gate: sub-10ms baselines
+/// cannot be held to a pure ratio on shared CI machines.
+const ABS_SLACK_SECS: f64 = 0.030;
+
+struct Args {
+    n: usize,
+    ci: bool,
+    tolerance: f64,
+    reps: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n: 0,
+        ci: false,
+        tolerance: 1.5,
+        reps: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ci" => args.ci = true,
+            "--tolerance" => {
+                let v = it.next().expect("--tolerance needs a value");
+                args.tolerance = v.parse().expect("--tolerance takes a float");
+            }
+            "--reps" => {
+                let v = it.next().expect("--reps needs a value");
+                args.reps = v.parse().expect("--reps takes a count");
+            }
+            other => {
+                args.n = other.parse().unwrap_or_else(|_| {
+                    eprintln!("usage: exp_engine_scaling [n] [--ci] [--tolerance F] [--reps K]");
+                    std::process::exit(2);
+                })
+            }
+        }
+    }
+    if args.n == 0 {
+        args.n = if args.ci { 96 } else { 512 };
+    }
+    if args.reps == 0 {
+        // Small CI instances are noisy; best-of-3 steadies the check.
+        args.reps = if args.ci { 3 } else { 1 };
+    }
+    args
+}
+
+/// The instances under test: every variant sized so one run is heavy
+/// enough to time but the whole sweep stays minutes, not hours.
+fn instances(n: usize) -> Vec<(&'static str, VariantInstance)> {
+    let mut rng = StdRng::seed_from_u64(2018);
+    let avg_deg = |nv: usize, d: f64| (d / nv as f64).min(0.9);
+    let g = gen::gnp_connected(n, avg_deg(n, 12.0), &mut rng);
+    let weights = gen::random_weights(g.num_edges(), 0, 9, &mut rng);
+    let nd = (n / 4).max(8);
+    let d = gen::random_digraph_connected(nd, avg_deg(nd, 8.0), &mut rng);
+    let ncs = (n / 2).max(8);
+    let cs = gen::gnp_connected(ncs, avg_deg(ncs, 10.0), &mut rng);
+    let (clients, servers) = gen::client_server_split(&cs, 0.6, 0.6, &mut rng);
+    vec![
+        (
+            "undirected",
+            VariantInstance::Undirected { graph: g.clone() },
+        ),
+        ("directed", VariantInstance::Directed { graph: d }),
+        ("weighted", VariantInstance::Weighted { graph: g, weights }),
+        (
+            "client-server",
+            VariantInstance::ClientServer {
+                graph: cs,
+                clients,
+                servers,
+            },
+        ),
+    ]
+}
+
+/// Best-of-`reps` wall-clock seconds for one configuration, plus the
+/// (identical) run from the last repetition.
+fn time_run(instance: &VariantInstance, shards: usize, reps: usize) -> (f64, SpannerRun) {
+    let cfg = EngineConfig {
+        num_shards: shards,
+        ..EngineConfig::seeded(7)
+    };
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let run = run_variant(instance, &cfg);
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(run);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut rows = String::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    for (name, instance) in instances(args.n) {
+        let (base_secs, base_run) = time_run(&instance, 1, args.reps);
+        assert!(base_run.converged, "{name}: run did not converge");
+        let mut t4 = base_secs;
+        for shards in SHARD_COUNTS {
+            let (secs, run) = if shards == 1 {
+                (base_secs, base_run.clone())
+            } else {
+                time_run(&instance, shards, args.reps)
+            };
+            // The determinism contract, asserted before any timing is
+            // reported: identical spanner bytes and identical
+            // per-iteration accounting at every shard count.
+            assert_eq!(
+                run.spanner, base_run.spanner,
+                "{name}: spanner differs at {shards} shards"
+            );
+            assert_eq!(
+                run.stats, base_run.stats,
+                "{name}: iteration stats differ at {shards} shards"
+            );
+            assert_eq!(run.star_fallbacks, base_run.star_fallbacks);
+            if shards == 4 {
+                t4 = secs;
+            }
+            let speedup = base_secs / secs;
+            if !rows.is_empty() {
+                rows.push(',');
+            }
+            rows.push_str(&format!(
+                concat!(
+                    "{{\"variant\":\"{}\",\"vertices\":{},\"edges\":{},",
+                    "\"shards\":{},\"seconds\":{:.4},\"speedup\":{:.2},",
+                    "\"iterations\":{}}}"
+                ),
+                name,
+                instance.num_vertices(),
+                instance.num_edges(),
+                shards,
+                secs,
+                speedup,
+                run.iterations,
+            ));
+            eprintln!(
+                "exp_engine_scaling: {name:>13} n={:<4} shards={shards}: {:.3}s ({:.2}x)",
+                instance.num_vertices(),
+                secs,
+                speedup,
+            );
+        }
+        if t4 > args.tolerance * base_secs + ABS_SLACK_SECS {
+            failures.push(format!(
+                "{name}: 4-shard run {t4:.3}s exceeds {:.2}x the 1-shard {base_secs:.3}s (+{ABS_SLACK_SECS:.0e}s slack)",
+                args.tolerance
+            ));
+        }
+    }
+
+    println!(
+        concat!(
+            "{{\"experiment\":\"exp_engine_scaling\",\"n\":{},\"cores\":{},",
+            "\"ci\":{},\"tolerance\":{:.2},\"reps\":{},\"rows\":[{}]}}"
+        ),
+        args.n, cores, args.ci, args.tolerance, args.reps, rows,
+    );
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("exp_engine_scaling: REGRESSION: {f}");
+        }
+        if args.ci {
+            std::process::exit(1);
+        }
+    }
+}

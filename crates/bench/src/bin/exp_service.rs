@@ -89,6 +89,7 @@ fn main() {
         queue_capacity: jobs.max(64),
         cache_capacity: unique.max(64),
         default_timeout: None,
+        engine_shards: None,
     }));
     let client_threads = workers.clamp(2, 8);
     let t0 = Instant::now();

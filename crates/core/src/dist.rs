@@ -67,6 +67,37 @@ fn undirected_covered(g: &Graph, h: &EdgeSet) -> EdgeSet {
     out
 }
 
+/// The incremental counterpart of [`undirected_covered`]: the items
+/// `h` covers *because of* `new_edges` (which are already in `h`) —
+/// each new edge directly, plus every 2-path it completes. `O(deg)`
+/// per new edge instead of a full `O(Σ deg²)` recompute.
+///
+/// Shared by the undirected, weighted, and client-server variants: the
+/// reported set may include non-target items (client-server), which
+/// the engine's target-only subtraction ignores, and for client-server
+/// every edge the engine puts in `h` is a server edge, so any 2-path
+/// found in `h` is automatically a server 2-path.
+fn undirected_covered_delta(g: &Graph, h: &EdgeSet, new_edges: &[EdgeId], out: &mut EdgeSet) {
+    for &e in new_edges {
+        out.insert(e);
+        let (a, b) = g.endpoints(e);
+        // `e` as one hop of a 2-path endpoint–other–x, covering the
+        // item {endpoint, x}. Both orientations of `e` are tried; the
+        // second hop {other, x} must already be in `h` (which includes
+        // the other edges of this batch).
+        for (endpoint, other) in [(a, b), (b, a)] {
+            for (x, eox) in g.neighbors(other) {
+                if x == endpoint || !h.contains(eox) {
+                    continue;
+                }
+                if let Some(item) = g.edge_id(endpoint, x) {
+                    out.insert(item);
+                }
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Theorem 1.3: undirected, unweighted.
 // ---------------------------------------------------------------------
@@ -108,6 +139,10 @@ impl SpannerVariant for UndirectedTwoSpanner<'_> {
 
     fn covered(&self, h: &EdgeSet) -> EdgeSet {
         undirected_covered(self.g, h)
+    }
+
+    fn covered_delta(&self, h: &EdgeSet, new_edges: &[EdgeId], out: &mut EdgeSet) {
+        undirected_covered_delta(self.g, h, new_edges, out);
     }
 
     fn local_stars(&self, v: VertexId, uncovered: &EdgeSet) -> LocalStars {
@@ -226,6 +261,10 @@ impl SpannerVariant for WeightedTwoSpanner<'_> {
         undirected_covered(self.g, h)
     }
 
+    fn covered_delta(&self, h: &EdgeSet, new_edges: &[EdgeId], out: &mut EdgeSet) {
+        undirected_covered_delta(self.g, h, new_edges, out);
+    }
+
     fn local_stars(&self, v: VertexId, uncovered: &EdgeSet) -> LocalStars {
         unit_leaf_local_stars(
             self.g,
@@ -307,6 +346,32 @@ impl SpannerVariant for DirectedTwoSpanner<'_> {
             }
         }
         out
+    }
+
+    fn covered_delta(&self, h: &EdgeSet, new_edges: &[EdgeId], out: &mut EdgeSet) {
+        for &e in new_edges {
+            out.insert(e);
+            // `e` is the directed edge a -> b.
+            let (a, b) = self.g.endpoints(e);
+            // `e` as first hop: a -> b -> x covers the item a -> x.
+            for (x, ebx) in self.g.out_neighbors(b) {
+                if !h.contains(ebx) {
+                    continue;
+                }
+                if let Some(item) = self.g.edge_id(a, x) {
+                    out.insert(item);
+                }
+            }
+            // `e` as second hop: x -> a -> b covers the item x -> b.
+            for (x, exa) in self.g.in_neighbors(a) {
+                if !h.contains(exa) {
+                    continue;
+                }
+                if let Some(item) = self.g.edge_id(x, b) {
+                    out.insert(item);
+                }
+            }
+        }
     }
 
     fn local_stars(&self, v: VertexId, uncovered: &EdgeSet) -> LocalStars {
@@ -443,6 +508,12 @@ impl SpannerVariant for ClientServerTwoSpanner<'_> {
             }
         }
         out
+    }
+
+    fn covered_delta(&self, h: &EdgeSet, new_edges: &[EdgeId], out: &mut EdgeSet) {
+        // May report non-target items; the engine subtracts the delta
+        // from a target-only set, so they are ignored.
+        undirected_covered_delta(self.g, h, new_edges, out);
     }
 
     fn local_stars(&self, v: VertexId, uncovered: &EdgeSet) -> LocalStars {
@@ -783,6 +854,62 @@ mod tests {
             let run = crate::protocol::run_weighted_two_spanner_protocol(&g, &w, 3, 10_000);
             assert!(run.completed, "{weights:?}");
             assert!(is_k_spanner(&g, &run.spanner, 2), "{weights:?}");
+        }
+    }
+
+    /// Replays random edge-addition batches against `variant`,
+    /// checking after every batch that the incremental
+    /// `covered_delta` bookkeeping lands on exactly the from-scratch
+    /// `targets − covered(h)` recompute — the invariant the engine's
+    /// uncovered-set maintenance rests on.
+    fn assert_delta_matches_recompute<V: SpannerVariant>(
+        variant: &V,
+        universe: usize,
+        rng: &mut StdRng,
+    ) {
+        use rand::Rng;
+        let targets = variant.targets();
+        let mut h = variant.preselected();
+        let mut uncovered = targets.clone();
+        uncovered.subtract(&variant.covered(&h));
+        let mut delta = EdgeSet::new(variant.num_items());
+        while h.len() < universe {
+            let mut new_edges = Vec::new();
+            for _ in 0..rng.gen_range(1..=4) {
+                let e = rng.gen_range(0..universe);
+                if h.insert(e) {
+                    new_edges.push(e);
+                }
+            }
+            delta.clear();
+            variant.covered_delta(&h, &new_edges, &mut delta);
+            uncovered.subtract(&delta);
+            let mut expect = targets.clone();
+            expect.subtract(&variant.covered(&h));
+            assert_eq!(uncovered, expect, "delta diverged after {new_edges:?}");
+        }
+        // The loop exits with every edge in `h`, so nothing can be
+        // left uncovered.
+        assert!(uncovered.is_empty());
+    }
+
+    #[test]
+    fn covered_delta_matches_recompute_for_all_variants() {
+        let mut rng = StdRng::seed_from_u64(37);
+        for trial in 0..3u64 {
+            let g = gen::gnp_connected(18 + 2 * trial as usize, 0.25, &mut rng);
+            let m = g.num_edges();
+            assert_delta_matches_recompute(&UndirectedTwoSpanner::new(&g), m, &mut rng);
+            let w = gen::random_weights(m, 0, 5, &mut rng);
+            assert_delta_matches_recompute(&WeightedTwoSpanner::new(&g, &w), m, &mut rng);
+            let (clients, servers) = gen::client_server_split(&g, 0.6, 0.6, &mut rng);
+            assert_delta_matches_recompute(
+                &ClientServerTwoSpanner::new(&g, &clients, &servers),
+                m,
+                &mut rng,
+            );
+            let d = gen::random_digraph_connected(16, 0.12, &mut rng);
+            assert_delta_matches_recompute(&DirectedTwoSpanner::new(&d), d.num_edges(), &mut rng);
         }
     }
 

@@ -31,6 +31,45 @@
 //! the same iterations as [`crate::protocol`], without the
 //! message-level bookkeeping — which makes it the fast path for
 //! experiments and the reference the protocol is tested against.
+//!
+//! # Sharded execution
+//!
+//! The per-vertex work inside an iteration is embarrassingly parallel —
+//! exactly the per-vertex locality the paper's LOCAL model exposes.
+//! With [`EngineConfig::num_shards`] > 1 the engine splits Step 1 (star
+//! spaces + densest-star densities, one flow-oracle call per vertex,
+//! the dominant cost) and Step 3's candidate construction into
+//! contiguous vertex-range shards, and Step 4's vote collection into
+//! item-range shards, each executed on scoped `std::thread`s.
+//!
+//! **Determinism contract:** the result is bit-identical for every
+//! shard count. Three properties make that hold:
+//!
+//! * shard outputs are merged back in vertex (resp. item) order, and
+//!   every cross-shard reduction (vote minima) is order-independent;
+//! * all randomness is pre-drawn on the coordinating thread: the
+//!   permutation values `r_v` for *all* `n` vertices are drawn from the
+//!   seeded RNG in vertex order at the start of each iteration, so no
+//!   RNG call ever happens inside a shard;
+//! * shared state (`uncovered`, previous stars, densities) is read-only
+//!   while shards run; mutations happen on the coordinating thread in
+//!   vertex order between the parallel sections.
+//!
+//! # Incremental coverage
+//!
+//! Recomputing `uncovered = targets − covered(H)` from scratch costs
+//! `O(Σ_v deg(v)²)` per iteration. Coverage is monotone (the spanner
+//! only grows), so the engine instead maintains `uncovered`
+//! incrementally via [`SpannerVariant::covered_delta`], which reports
+//! only the items newly covered by the edges added this iteration —
+//! `O(Σ_{new e} deg)` work. The final termination pass still recomputes
+//! from scratch, so [`SpannerRun::converged`] is always grounded in a
+//! full check.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -66,6 +105,22 @@ pub trait SpannerVariant {
 
     /// The target items covered by the edge set `h` within stretch 2.
     fn covered(&self, h: &EdgeSet) -> EdgeSet;
+
+    /// Inserts into `out` (at least) every item that is covered by `h`
+    /// *because of* the edges `new_edges` — the increment the engine
+    /// subtracts from its `uncovered` set after adding `new_edges` to
+    /// the spanner this iteration.
+    ///
+    /// `new_edges` are already members of `h` when this is called.
+    /// Implementations may over-report items that were covered before
+    /// (subtracting an already-covered item is a no-op) but must never
+    /// miss a newly covered one, and must never report an uncovered
+    /// item. The default falls back to the full recompute, so custom
+    /// variants stay correct without implementing the fast path.
+    fn covered_delta(&self, h: &EdgeSet, new_edges: &[EdgeId], out: &mut EdgeSet) {
+        let _ = new_edges;
+        out.union_with(&self.covered(h));
+    }
 
     /// The star search space of `v` with respect to the still
     /// `uncovered` items: the potential leaves and the uncovered items
@@ -122,6 +177,20 @@ pub struct EngineConfig {
     /// Safety cap on iterations; every iteration covers at least one
     /// item, so runs converge long before this on any real input.
     pub max_iterations: u64,
+    /// Vertex/item shards executed in parallel inside each iteration
+    /// (see the module docs). `1` runs fully inline on the calling
+    /// thread; `0` uses one shard per available core; requests are
+    /// clamped to `max(64, cores)` so an untrusted value can never
+    /// demand an absurd thread count. The result is bit-identical for
+    /// every value, so this is execution policy, not part of a job's
+    /// identity.
+    pub num_shards: usize,
+    /// Cooperative cancellation: when set, the engine checks the flag
+    /// between iterations and returns early (with
+    /// [`SpannerRun::cancelled`] set) once it is `true`. Like
+    /// `num_shards`, this is execution policy and never part of a
+    /// job's identity.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl EngineConfig {
@@ -133,7 +202,16 @@ impl EngineConfig {
             monotone_stars: true,
             round_densities: true,
             max_iterations: 1_000_000,
+            num_shards: 1,
+            cancel: None,
         }
+    }
+
+    /// Whether the cooperative-cancellation flag is set and raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
 }
 
@@ -165,6 +243,10 @@ pub struct SpannerRun {
     pub iterations: u64,
     /// Whether every target item was covered before the iteration cap.
     pub converged: bool,
+    /// Whether the run stopped early because
+    /// [`EngineConfig::cancel`] was raised (the spanner is then the
+    /// partial state at the last completed iteration).
+    pub cancelled: bool,
     /// How often the Claim-4.4 shrink-only re-choice failed and a fresh
     /// star was chosen; the claim says this stays 0.
     pub star_fallbacks: u64,
@@ -189,17 +271,113 @@ struct Candidate {
     rv: u64,
 }
 
+/// The per-vertex candidacy output of the parallel Step-3 phase,
+/// before the coordinating thread merges it (in vertex order) into the
+/// candidate list and the star memory.
+struct ChosenStar {
+    member: Vec<bool>,
+    spanned: Vec<usize>,
+    fallback: bool,
+}
+
+/// Balanced contiguous index ranges covering `0..len`, at most one per
+/// index. Empty when `len == 0`.
+fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.clamp(1, len.max(1));
+    let base = len / shards;
+    let rem = len % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let end = start + base + usize::from(i < rem);
+        if start < end {
+            ranges.push(start..end);
+        }
+        start = end;
+    }
+    ranges
+}
+
+/// Runs `f` on each shard's index range (scoped threads when more than
+/// one shard) and concatenates the outputs in range order — the merge
+/// step that keeps sharded results identical to the inline run.
+fn sharded_chunks<T, F>(len: usize, shards: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let ranges = shard_ranges(len, shards);
+    if ranges.len() <= 1 {
+        return f(0..len);
+    }
+    let mut out = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let f = &f;
+                scope.spawn(move || f(range))
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(chunk) => out.extend(chunk),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out
+}
+
+/// Per-index parallel map with order-preserving merge (see
+/// [`sharded_chunks`]).
+fn sharded_map<T, F>(len: usize, shards: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    sharded_chunks(len, shards, |range| range.map(&f).collect())
+}
+
+/// Hard ceiling on engine shards (threads per sharded section).
+/// Shard counts can come from untrusted requests over the service's
+/// wire protocol; past `max(64, cores)` more shards only add spawn
+/// overhead, and an absurd value must not translate into an absurd
+/// thread count. Results are shard-count-independent, so clamping is
+/// always safe.
+const MAX_SHARDS: usize = 64;
+
+/// Resolves [`EngineConfig::num_shards`]: `0` means one shard per
+/// available core, and any request is clamped to
+/// `max(64, available cores)`.
+fn resolve_shards(requested: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    match requested {
+        0 => cores,
+        k => k.min(MAX_SHARDS.max(cores)),
+    }
+}
+
 /// Runs the Section-4 iteration skeleton for `variant`.
+///
+/// The result is a pure function of `variant` and the result-relevant
+/// configuration fields (seed, denominator, toggles, iteration cap) —
+/// independent of [`EngineConfig::num_shards`], which only controls
+/// how many threads execute each iteration.
 ///
 /// # Panics
 ///
 /// Panics if `cfg.accept_denominator == 0`.
-pub fn run_engine<V: SpannerVariant>(variant: &V, cfg: &EngineConfig) -> SpannerRun {
+pub fn run_engine<V: SpannerVariant + Sync>(variant: &V, cfg: &EngineConfig) -> SpannerRun {
     assert!(
         cfg.accept_denominator >= 1,
         "accept denominator must be positive"
     );
     let n = variant.num_vertices();
+    let num_items = variant.num_items();
+    let shards = resolve_shards(cfg.num_shards);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let mut h = variant.preselected();
@@ -215,14 +393,31 @@ pub fn run_engine<V: SpannerVariant>(variant: &V, cfg: &EngineConfig) -> Spanner
     let mut stats: Vec<IterationStats> = Vec::new();
     let mut star_fallbacks = 0u64;
     let mut converged = uncovered.is_empty();
+    let mut cancelled = false;
+
+    // Hot-loop buffers, allocated once and refilled per iteration.
+    let mut keys: Vec<Ratio> = vec![Ratio::zero(); n];
+    let mut max1: Vec<Ratio> = vec![Ratio::zero(); n];
+    let mut max2: Vec<Ratio> = vec![Ratio::zero(); n];
+    let mut rvs: Vec<u64> = vec![0; n];
+    let mut new_edges: Vec<EdgeId> = Vec::new();
+    let mut delta = EdgeSet::new(num_items);
 
     while !converged && (stats.len() as u64) < cfg.max_iterations {
-        // Step 1: per-vertex star spaces and densest-star densities.
-        let locals: Vec<LocalStars> = (0..n).map(|v| variant.local_stars(v, &uncovered)).collect();
-        let rho: Vec<Ratio> = locals
-            .iter()
-            .map(|ls| ls.max_density().unwrap_or_else(Ratio::zero))
-            .collect();
+        if cfg.is_cancelled() {
+            cancelled = true;
+            break;
+        }
+
+        // Step 1 (sharded): per-vertex star spaces and densest-star
+        // densities — one flow-oracle call per vertex, the dominant
+        // cost of an iteration.
+        let per_vertex: Vec<(LocalStars, Ratio)> = sharded_map(n, shards, |v| {
+            let ls = variant.local_stars(v, &uncovered);
+            let rho = ls.max_density().unwrap_or_else(Ratio::zero);
+            (ls, rho)
+        });
+        let (locals, rho): (Vec<LocalStars>, Vec<Ratio>) = per_vertex.into_iter().unzip();
         let global_max = rho.iter().copied().max().unwrap_or_else(Ratio::zero);
 
         // Step 2: termination — self-add what no dense-enough star
@@ -241,6 +436,8 @@ pub fn run_engine<V: SpannerVariant>(variant: &V, cfg: &EngineConfig) -> Spanner
                     added += usize::from(h.insert(e));
                 }
             }
+            // Final pass: recompute from scratch so `converged` rests
+            // on a full check, not the incremental bookkeeping.
             uncovered = targets.clone();
             uncovered.subtract(&variant.covered(&h));
             stats.push(IterationStats {
@@ -257,40 +454,43 @@ pub fn run_engine<V: SpannerVariant>(variant: &V, cfg: &EngineConfig) -> Spanner
         // (unless ablated) and aggregated twice over the closed
         // neighborhood, giving each vertex the maximum over its
         // 2-neighborhood.
-        let keys: Vec<Ratio> = rho
-            .iter()
-            .map(|&r| {
-                if cfg.round_densities {
-                    r.ceil_pow2_exponent()
-                        .map(pow2_ratio)
-                        .unwrap_or_else(Ratio::zero)
-                } else {
-                    r
-                }
-            })
-            .collect();
-        let max1: Vec<Ratio> = (0..n)
-            .map(|v| {
-                variant
-                    .comm_neighbors(v)
-                    .iter()
-                    .fold(keys[v], |m, &u| m.max(keys[u]))
-            })
-            .collect();
-        let max2: Vec<Ratio> = (0..n)
-            .map(|v| {
-                variant
-                    .comm_neighbors(v)
-                    .iter()
-                    .fold(max1[v], |m, &u| m.max(max1[u]))
-            })
-            .collect();
-
-        let rv_max = (n.max(2) as u64).saturating_pow(4);
-        let mut candidates: Vec<Candidate> = Vec::new();
         for v in 0..n {
+            keys[v] = if cfg.round_densities {
+                rho[v]
+                    .ceil_pow2_exponent()
+                    .map(pow2_ratio)
+                    .unwrap_or_else(Ratio::zero)
+            } else {
+                rho[v]
+            };
+        }
+        for v in 0..n {
+            max1[v] = variant
+                .comm_neighbors(v)
+                .iter()
+                .fold(keys[v], |m, &u| m.max(keys[u]));
+        }
+        for v in 0..n {
+            max2[v] = variant
+                .comm_neighbors(v)
+                .iter()
+                .fold(max1[v], |m, &u| m.max(max1[u]));
+        }
+
+        // Pre-draw the permutation values for *all* vertices in vertex
+        // order, on this thread: the RNG stream is then independent of
+        // which vertices end up candidates and of the shard schedule.
+        let rv_max = (n.max(2) as u64).saturating_pow(4);
+        for rv in rvs.iter_mut() {
+            *rv = rng.gen_range(1..=rv_max);
+        }
+
+        // Sharded candidate construction: pure per-vertex reads of the
+        // iteration state; star memory is updated afterwards, in
+        // vertex order, on this thread.
+        let chosen: Vec<Option<ChosenStar>> = sharded_map(n, shards, |v| {
             if rho[v].is_zero() || rho[v] < threshold || keys[v] != max2[v] {
-                continue;
+                return None;
             }
             let choice_threshold = if cfg.round_densities {
                 let exp = rho[v].ceil_pow2_exponent().expect("positive density");
@@ -313,51 +513,78 @@ pub fn run_engine<V: SpannerVariant>(variant: &V, cfg: &EngineConfig) -> Spanner
                 prev_star[v]
                     .as_ref()
                     .filter(|(key, _)| *key == keys[v])
-                    .map(|(_, member)| member.clone())
+                    .map(|(_, member)| member.as_slice())
             } else {
                 None
             };
-            let Some(choice) = locals[v].choose_star(choice_threshold, prev.as_deref()) else {
-                continue;
-            };
-            if choice.fallback {
-                star_fallbacks += 1;
-            }
+            let choice = locals[v].choose_star(choice_threshold, prev)?;
             let spanned = locals[v].spanned_items(&choice.member);
             if spanned.is_empty() {
-                continue;
+                return None;
             }
-            if cfg.monotone_stars {
-                prev_star[v] = Some((keys[v], choice.member.clone()));
-            }
-            let rv = rng.gen_range(1..=rv_max);
-            candidates.push(Candidate {
-                v,
+            Some(ChosenStar {
                 member: choice.member,
                 spanned,
-                rv,
+                fallback: choice.fallback,
+            })
+        });
+
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for (v, chosen) in chosen.into_iter().enumerate() {
+            let Some(star) = chosen else { continue };
+            if star.fallback {
+                star_fallbacks += 1;
+            }
+            if cfg.monotone_stars {
+                // Reuse the existing buffer when shapes match instead
+                // of reallocating every iteration.
+                match &mut prev_star[v] {
+                    Some((key, buf)) if buf.len() == star.member.len() => {
+                        *key = keys[v];
+                        buf.copy_from_slice(&star.member);
+                    }
+                    slot => *slot = Some((keys[v], star.member.clone())),
+                }
+            }
+            candidates.push(Candidate {
+                v,
+                member: star.member,
+                spanned: star.spanned,
+                rv: rvs[v],
             });
         }
 
-        // Step 4: voting. Each uncovered item backs the first candidate
-        // 2-spanning it in `(r_v, v)` order; ties on r_v (rare) break by
-        // vertex id, as a real permutation would.
-        let mut backer: Vec<Option<(u64, VertexId, usize)>> = vec![None; variant.num_items()];
-        for (ci, c) in candidates.iter().enumerate() {
-            for &item in &c.spanned {
-                let key = (c.rv, c.v, ci);
-                if backer[item].is_none_or(|b| key < b) {
-                    backer[item] = Some(key);
+        // Step 4 (sharded over item ranges): voting. Each uncovered
+        // item backs the first candidate 2-spanning it in `(r_v, v)`
+        // order; ties on r_v (rare) break by vertex id, as a real
+        // permutation would. Every shard owns a contiguous item range
+        // and scans each candidate's (sorted) spanned list from the
+        // first in-range entry.
+        let backer: Vec<Option<(u64, VertexId, usize)>> =
+            sharded_chunks(num_items, shards, |range| {
+                let mut out: Vec<Option<(u64, VertexId, usize)>> = vec![None; range.len()];
+                for (ci, c) in candidates.iter().enumerate() {
+                    let key = (c.rv, c.v, ci);
+                    let from = c.spanned.partition_point(|&item| item < range.start);
+                    for &item in &c.spanned[from..] {
+                        if item >= range.end {
+                            break;
+                        }
+                        let slot = &mut out[item - range.start];
+                        if slot.is_none_or(|b| key < b) {
+                            *slot = Some(key);
+                        }
+                    }
                 }
-            }
-        }
+                out
+            });
         let mut votes = vec![0u64; candidates.len()];
         for b in backer.iter().flatten() {
             votes[b.2] += 1;
         }
 
         // Acceptance: enough of the spanned items voted for the star.
-        let mut added = 0usize;
+        new_edges.clear();
         let mut accepted = 0usize;
         for (ci, c) in candidates.iter().enumerate() {
             if votes[ci] * cfg.accept_denominator >= c.spanned.len() as u64 {
@@ -365,19 +592,25 @@ pub fn run_engine<V: SpannerVariant>(variant: &V, cfg: &EngineConfig) -> Spanner
                 for (leaf, &m) in locals[c.v].leaves.iter().zip(&c.member) {
                     if m {
                         for &e in &leaf.edges {
-                            added += usize::from(h.insert(e));
+                            if h.insert(e) {
+                                new_edges.push(e);
+                            }
                         }
                     }
                 }
             }
         }
 
-        uncovered = targets.clone();
-        uncovered.subtract(&variant.covered(&h));
+        // Incremental coverage: only the items the new edges can have
+        // covered leave `uncovered` (coverage is monotone, so the
+        // delta is exact — see the module docs).
+        delta.clear();
+        variant.covered_delta(&h, &new_edges, &mut delta);
+        uncovered.subtract(&delta);
         stats.push(IterationStats {
             candidates: candidates.len(),
             accepted,
-            added_edges: added,
+            added_edges: new_edges.len(),
             uncovered: uncovered.len(),
         });
         converged = uncovered.is_empty();
@@ -387,7 +620,71 @@ pub fn run_engine<V: SpannerVariant>(variant: &V, cfg: &EngineConfig) -> Spanner
         spanner: h,
         iterations: stats.len() as u64,
         converged,
+        cancelled,
         star_fallbacks,
         stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for (len, shards) in [(0, 3), (1, 4), (7, 3), (8, 4), (10, 1), (5, 9), (64, 8)] {
+            let ranges = shard_ranges(len, shards);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "gap at len={len} shards={shards}");
+                assert!(r.start < r.end, "empty range at len={len} shards={shards}");
+                next = r.end;
+            }
+            assert_eq!(next, len, "ranges must cover 0..{len}");
+            assert!(ranges.len() <= shards.max(1));
+            // Balanced: sizes differ by at most one.
+            if let (Some(min), Some(max)) = (
+                ranges.iter().map(|r| r.len()).min(),
+                ranges.iter().map(|r| r.len()).max(),
+            ) {
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_map_matches_inline_for_any_shard_count() {
+        let f = |i: usize| i * i + 1;
+        let expect: Vec<usize> = (0..37).map(f).collect();
+        for shards in [1, 2, 3, 8, 37, 100] {
+            assert_eq!(sharded_map(37, shards, f), expect, "shards={shards}");
+        }
+        assert_eq!(sharded_map(0, 4, f), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn sharded_chunks_preserve_range_order() {
+        let out = sharded_chunks(10, 3, |r| r.map(|i| i as u64).collect::<Vec<_>>());
+        assert_eq!(out, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn resolve_shards_auto_is_positive_and_requests_are_clamped() {
+        assert!(resolve_shards(0) >= 1);
+        assert_eq!(resolve_shards(5), 5);
+        // A hostile request (e.g. a remote `shards 100000` header) is
+        // capped instead of becoming a thread-spawn storm.
+        assert!(resolve_shards(100_000) <= MAX_SHARDS.max(resolve_shards(0)));
+    }
+
+    #[test]
+    fn cancelled_flag_reads_through() {
+        let mut cfg = EngineConfig::seeded(0);
+        assert!(!cfg.is_cancelled());
+        let flag = Arc::new(AtomicBool::new(false));
+        cfg.cancel = Some(Arc::clone(&flag));
+        assert!(!cfg.is_cancelled());
+        flag.store(true, Ordering::Relaxed);
+        assert!(cfg.is_cancelled());
     }
 }

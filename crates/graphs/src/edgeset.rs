@@ -131,6 +131,13 @@ impl EdgeSet {
         }
     }
 
+    /// Removes every id, keeping the universe and the allocation — the
+    /// cheap way to reuse a set as a per-iteration scratch buffer.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+        self.len = 0;
+    }
+
     /// Inserts every id from `other`.
     ///
     /// # Panics
@@ -141,6 +148,21 @@ impl EdgeSet {
         let mut len = 0;
         for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
             *a |= b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// Keeps only the ids also present in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if universes differ.
+    pub fn intersect_with(&mut self, other: &EdgeSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut len = 0;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
             len += a.count_ones() as usize;
         }
         self.len = len;
@@ -256,6 +278,20 @@ mod tests {
         assert_eq!(a.len(), 4);
         assert!(b.is_subset_of(&a));
         assert!(!a.is_subset_of(&b));
+        a.intersect_with(&EdgeSet::from_iter(100, [2, 3, 99]));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn clear_keeps_universe_and_empties() {
+        let mut s = EdgeSet::from_iter(200, [0, 63, 64, 199]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.universe(), 200);
+        assert!(!s.contains(63));
+        assert!(s.insert(63));
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

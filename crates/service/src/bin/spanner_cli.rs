@@ -6,8 +6,12 @@
 //! spanner-cli [--addr HOST:PORT] run --variant KIND --seed N
 //!             [--input FILE|-] [--clients "IDS"] [--servers "IDS"]
 //!             [--timeout-ms N] [--accept-denominator N]
-//!             [--no-monotone] [--no-rounding] [--ids]
+//!             [--shards N] [--no-monotone] [--no-rounding] [--ids]
 //! ```
+//!
+//! `--shards N` asks the server to run the engine with `N`
+//! in-iteration shards (`0` = one per core); the spanner is identical
+//! whatever the value (and the server may override it).
 //!
 //! `run` reads a [`dsa_graphs::io`] edge list from `--input` (default
 //! stdin; weighted lines `u v w` for the weighted variant, tail/head
@@ -28,8 +32,8 @@ use dsa_service::{Client, JobSpec};
 const USAGE: &str = "usage: spanner-cli [--addr HOST:PORT] <ping|stats|run> [run options]\n\
      run options: --variant <undirected|directed|weighted|client-server> --seed N\n\
      \x20            [--input FILE|-] [--clients \"IDS\"] [--servers \"IDS\"]\n\
-     \x20            [--timeout-ms N] [--accept-denominator N] [--no-monotone]\n\
-     \x20            [--no-rounding] [--ids]";
+     \x20            [--timeout-ms N] [--accept-denominator N] [--shards N]\n\
+     \x20            [--no-monotone] [--no-rounding] [--ids]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -55,6 +59,7 @@ struct RunArgs {
     servers: Option<String>,
     timeout_ms: Option<u64>,
     accept_denominator: Option<u64>,
+    shards: Option<u64>,
     monotone: bool,
     rounding: bool,
     print_ids: bool,
@@ -119,6 +124,9 @@ fn run_command(args: &[String], connect: impl FnOnce() -> Client) -> ExitCode {
     if let Some(d) = args.accept_denominator {
         spec.config.accept_denominator = d;
     }
+    if let Some(s) = args.shards {
+        spec.config.num_shards = s as usize;
+    }
     spec.config.monotone_stars = args.monotone;
     spec.config.round_densities = args.rounding;
     spec.timeout = args.timeout_ms.map(Duration::from_millis);
@@ -165,6 +173,7 @@ fn parse_run_args(args: &[String]) -> RunArgs {
         servers: None,
         timeout_ms: None,
         accept_denominator: None,
+        shards: None,
         monotone: true,
         rounding: true,
         print_ids: false,
@@ -197,6 +206,7 @@ fn parse_run_args(args: &[String]) -> RunArgs {
                     "--accept-denominator",
                 ))
             }
+            "--shards" => out.shards = Some(parse_num(&value("--shards"), "--shards")),
             "--no-monotone" => out.monotone = false,
             "--no-rounding" => out.rounding = false,
             "--ids" => out.print_ids = true,

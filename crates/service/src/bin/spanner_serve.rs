@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! spanner-serve [--addr HOST:PORT] [--workers N] [--queue N]
-//!               [--cache N] [--self-check]
+//!               [--cache N] [--shards N] [--self-check]
 //! ```
+//!
+//! `--shards N` makes every engine run execute with `N` in-iteration
+//! shards (`0` = one per core), overriding per-request `shards`
+//! headers. Responses are unaffected — the engine is
+//! shard-count-deterministic — so this is purely a resource knob.
 //!
 //! Without `--self-check` the process binds the address (default
 //! `127.0.0.1:7071`, port 0 for ephemeral), prints one
@@ -27,8 +32,7 @@ struct Args {
     self_check: bool,
 }
 
-const USAGE: &str =
-    "usage: spanner-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--self-check]";
+const USAGE: &str = "usage: spanner-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--shards N] [--self-check]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -63,6 +67,7 @@ fn parse_args() -> Args {
             "--workers" => args.cfg.workers = parse_num(&value("--workers"), "--workers"),
             "--queue" => args.cfg.queue_capacity = parse_num(&value("--queue"), "--queue"),
             "--cache" => args.cfg.cache_capacity = parse_num(&value("--cache"), "--cache"),
+            "--shards" => args.cfg.engine_shards = Some(parse_num(&value("--shards"), "--shards")),
             "--self-check" => args.self_check = true,
             "--help" | "-h" => help(),
             other => {

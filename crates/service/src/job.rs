@@ -24,9 +24,12 @@ use dsa_graphs::{EdgeId, EdgeSet, EdgeWeights};
 pub struct JobSpec {
     /// The problem instance, in the caller's edge order.
     pub instance: VariantInstance,
-    /// Engine seed and ablation toggles. Everything here except
-    /// `max_iterations`' excess is result-relevant and thus part of
-    /// the cache key.
+    /// Engine seed and ablation toggles. The seed, denominator,
+    /// toggles, and iteration cap are result-relevant and thus part of
+    /// the cache key; `num_shards` and `cancel` are execution policy
+    /// (the engine's result is bit-identical for every shard count)
+    /// and deliberately excluded, so jobs differing only in them
+    /// dedup.
     pub config: EngineConfig,
     /// Optional deadline for [`crate::JobHandle::wait`]; `None` falls
     /// back to the service default. The timeout does not affect the
@@ -214,7 +217,8 @@ pub(crate) fn canonicalize_job(spec: &JobSpec) -> Result<CanonicalJob, JobError>
         }
     };
 
-    // Variant discriminant and result-relevant engine configuration.
+    // Variant discriminant and result-relevant engine configuration
+    // (num_shards and cancel stay out: execution policy, not result).
     hasher.write_u64(match instance.kind() {
         VariantKind::Undirected => 1,
         VariantKind::Directed => 2,
@@ -270,6 +274,20 @@ mod tests {
         let mut denom = base.clone();
         denom.config.accept_denominator = 4;
         assert_ne!(a.key, canonicalize_job(&denom).unwrap().key);
+    }
+
+    #[test]
+    fn shards_and_cancel_are_not_result_relevant() {
+        use std::sync::atomic::AtomicBool;
+        let base = spec_of(&[(0, 1), (1, 2)], 0);
+        let mut tuned = base.clone();
+        tuned.config.num_shards = 8;
+        tuned.config.cancel = Some(Arc::new(AtomicBool::new(false)));
+        assert_eq!(
+            canonicalize_job(&base).unwrap().key,
+            canonicalize_job(&tuned).unwrap().key,
+            "execution policy must not split the cache key space"
+        );
     }
 
     #[test]

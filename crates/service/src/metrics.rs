@@ -32,6 +32,7 @@ pub(crate) struct ServiceMetrics {
     coalesced: AtomicU64,
     completed: AtomicU64,
     skipped: AtomicU64,
+    aborted: AtomicU64,
     cancelled: AtomicU64,
     timed_out: AtomicU64,
     invalid: AtomicU64,
@@ -56,6 +57,7 @@ impl ServiceMetrics {
             coalesced: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             skipped: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
             invalid: AtomicU64::new(0),
@@ -104,6 +106,12 @@ impl ServiceMetrics {
         self.skipped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// An engine run that had already started was abandoned mid-flight
+    /// via the in-engine cancellation flag (every waiter cancelled).
+    pub fn on_aborted(&self) {
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn on_executed(&self, iterations: u64, local_rounds: u64, latency: Duration) {
         self.engine_iterations
             .fetch_add(iterations, Ordering::Relaxed);
@@ -131,6 +139,7 @@ impl ServiceMetrics {
             cache_misses,
             coalesced: self.coalesced.load(Ordering::Relaxed),
             skipped: self.skipped.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             invalid: self.invalid.load(Ordering::Relaxed),
@@ -169,8 +178,13 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Submissions that joined an identical in-flight run.
     pub coalesced: u64,
-    /// Scheduled runs skipped because every waiter cancelled first.
+    /// Scheduled runs skipped because every waiter left (cancelled or
+    /// timed out) before the run started.
     pub skipped: u64,
+    /// Started engine runs abandoned mid-flight after every waiter
+    /// cancelled (cooperative in-engine cancellation; nothing is
+    /// cached).
+    pub aborted: u64,
     /// Handle cancellations.
     pub cancelled: u64,
     /// Waits that hit their deadline.
@@ -205,7 +219,7 @@ impl MetricsSnapshot {
             concat!(
                 "{{\"jobs_submitted\":{},\"jobs_completed\":{},",
                 "\"cache_hits\":{},\"cache_misses\":{},\"coalesced\":{},",
-                "\"skipped\":{},\"cancelled\":{},\"timed_out\":{},\"invalid\":{},",
+                "\"skipped\":{},\"aborted\":{},\"cancelled\":{},\"timed_out\":{},\"invalid\":{},",
                 "\"cache_hit_rate\":{:.6},\"throughput_jobs_per_sec\":{:.3},",
                 "\"p50_latency_us\":{},\"p95_latency_us\":{},\"mean_latency_us\":{:.1},",
                 "\"engine_iterations\":{},\"engine_local_rounds\":{},",
@@ -217,6 +231,7 @@ impl MetricsSnapshot {
             self.cache_misses,
             self.coalesced,
             self.skipped,
+            self.aborted,
             self.cancelled,
             self.timed_out,
             self.invalid,

@@ -21,12 +21,24 @@
 //!
 //! Cancellation and timeouts are waiter-side: a handle that cancels or
 //! times out stops waiting immediately, and an engine run whose every
-//! waiter cancelled before a worker picked it up is skipped entirely.
-//! A run that already started is never interrupted — it completes and
-//! populates the cache for future submissions.
+//! waiter left (cancelled *or* timed out) before a worker picked it up
+//! is skipped entirely. Once a run has *started*, only explicit
+//! cancellation interrupts it: when the last waiter cancels, the
+//! in-engine cooperative flag
+//! ([`dsa_core::dist::EngineConfig::cancel`]) is raised and the run
+//! aborts between iterations — its partial result is discarded, never
+//! cached. A started run whose last waiter merely *timed out* still
+//! completes and populates the cache for future submissions (a
+//! deadline is not a cancellation).
+//!
+//! Sharded execution: [`ServiceConfig::engine_shards`] lets the
+//! operator override [`dsa_core::dist::EngineConfig::num_shards`] for
+//! every executed run. This is legal precisely because the engine's
+//! result is bit-identical for every shard count — execution policy
+//! never leaks into cached bytes.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -51,6 +63,12 @@ pub struct ServiceConfig {
     /// Deadline applied by [`JobHandle::wait`] when the spec carries
     /// none; `None` waits indefinitely.
     pub default_timeout: Option<Duration>,
+    /// When `Some(k)`, every executed run uses `k` engine shards
+    /// (`0` = one per core), overriding whatever the spec requested —
+    /// the operator's resource knob. `None` respects the per-job
+    /// request. Either way the response bytes are unchanged: shard
+    /// count cannot affect engine results.
+    pub engine_shards: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -60,12 +78,16 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cache_capacity: 256,
             default_timeout: None,
+            engine_shards: None,
         }
     }
 }
 
 /// The result-relevant engine-config fields: (seed, accept
 /// denominator, monotone stars, round densities, max iterations).
+/// `num_shards` and `cancel` are deliberately absent — they control
+/// *how* a run executes, never what it computes, so jobs differing
+/// only in them share cache entries and coalesce.
 type ConfigSig = (u64, u64, bool, bool, u64);
 
 fn config_sig(cfg: &EngineConfig) -> ConfigSig {
@@ -93,6 +115,12 @@ struct Inflight {
     /// Handles still interested in the result; when it reaches zero
     /// before a worker starts the run, the run is skipped.
     waiters: AtomicUsize,
+    /// Raised (under the in-flight lock) when the last waiter
+    /// *cancels*; plumbed into the engine as its cooperative
+    /// cancellation flag so a started run aborts between iterations.
+    /// An aborted or abort-pending entry is never joined — a fresh
+    /// submission of the same key displaces it instead.
+    abort: Arc<AtomicBool>,
 }
 
 #[derive(Default)]
@@ -122,6 +150,7 @@ struct Shared {
 pub struct Service {
     shared: Arc<Shared>,
     default_timeout: Option<Duration>,
+    engine_shards: Option<usize>,
     /// Dropped last (declaration order): pool teardown drains queued
     /// runs, and those workers still need `shared`.
     pool: Pool,
@@ -141,6 +170,7 @@ impl Service {
                 metrics: ServiceMetrics::new(),
             }),
             default_timeout: cfg.default_timeout,
+            engine_shards: cfg.engine_shards,
             pool: Pool::new(cfg.workers, cfg.queue_capacity),
         }
     }
@@ -186,14 +216,21 @@ impl Service {
         let mut inflight = self.shared.inflight.lock().expect("inflight lock");
         // A colliding in-flight entry cannot be joined *or* displaced;
         // the new run proceeds untracked (no dedup for the collider).
+        // An *abort-pending* identical entry (last waiter cancelled,
+        // run doomed) cannot be joined either — the fresh entry
+        // displaces it in the map, and the doomed run's retirement is
+        // pointer-checked so it never removes its successor.
         let mut tracked = true;
         if let Some(entry) = inflight.get(&job.key).cloned() {
             if entry.instance == job.instance && entry.config_sig == sig {
-                entry.waiters.fetch_add(1, Ordering::SeqCst);
-                self.shared.metrics.on_coalesced();
-                return Ok(handle_base(HandleSource::Waiting(entry)));
+                if !entry.abort.load(Ordering::SeqCst) {
+                    entry.waiters.fetch_add(1, Ordering::SeqCst);
+                    self.shared.metrics.on_coalesced();
+                    return Ok(handle_base(HandleSource::Waiting(entry)));
+                }
+            } else {
+                tracked = false;
             }
-            tracked = false;
         }
         let entry = Arc::new(Inflight {
             instance: job.instance,
@@ -201,6 +238,7 @@ impl Service {
             state: Mutex::new(InflightState::default()),
             done: Condvar::new(),
             waiters: AtomicUsize::new(1),
+            abort: Arc::new(AtomicBool::new(false)),
         });
         if tracked {
             inflight.insert(job.key, Arc::clone(&entry));
@@ -212,7 +250,30 @@ impl Service {
         let handle = handle_base(HandleSource::Waiting(Arc::clone(&entry)));
         let shared = Arc::clone(&self.shared);
         let key = job.key;
-        let config = job.config;
+        let mut config = job.config;
+        // Execution policy: the run aborts cooperatively when the
+        // entry's abort flag is raised, and the operator's shard
+        // override (if any) replaces the spec's request. Neither field
+        // is result-relevant, so the cached bytes are unaffected.
+        config.cancel = Some(Arc::clone(&entry.abort));
+        if let Some(shards) = self.engine_shards {
+            config.num_shards = shards;
+        }
+        // Retiring must be pointer-checked: an aborted entry may have
+        // been displaced in the map by a fresh submission of the same
+        // key, which this run must not remove.
+        let retire = {
+            let entry = Arc::clone(&entry);
+            move |inflight: &mut HashMap<u64, Arc<Inflight>>| {
+                if tracked
+                    && inflight
+                        .get(&key)
+                        .is_some_and(|cur| Arc::ptr_eq(cur, &entry))
+                {
+                    inflight.remove(&key);
+                }
+            }
+        };
         // May block on queue backpressure — locks are released above.
         self.pool.submit(Box::new(move || {
             // Skip the run when every waiter gave up before it began.
@@ -223,9 +284,7 @@ impl Service {
             {
                 let mut inflight = shared.inflight.lock().expect("inflight lock");
                 if entry.waiters.load(Ordering::SeqCst) == 0 {
-                    if tracked {
-                        inflight.remove(&key);
-                    }
+                    retire(&mut inflight);
                     drop(inflight);
                     let mut state = entry.state.lock().expect("inflight state");
                     state.skipped = true;
@@ -237,6 +296,20 @@ impl Service {
             }
             let t0 = Instant::now();
             let run = Arc::new(run_variant(&entry.instance, &config));
+            if run.cancelled {
+                // Mid-flight abort: every waiter is gone (the flag is
+                // only raised by the last cancel), and the partial
+                // spanner must never reach the cache.
+                let mut inflight = shared.inflight.lock().expect("inflight lock");
+                retire(&mut inflight);
+                drop(inflight);
+                let mut state = entry.state.lock().expect("inflight state");
+                state.skipped = true;
+                drop(state);
+                entry.done.notify_all();
+                shared.metrics.on_aborted();
+                return;
+            }
             shared
                 .metrics
                 .on_executed(run.iterations, run.local_rounds(), t0.elapsed());
@@ -251,9 +324,7 @@ impl Service {
                     run: Arc::clone(&run),
                 },
             );
-            if tracked {
-                shared.inflight.lock().expect("inflight lock").remove(&key);
-            }
+            retire(&mut shared.inflight.lock().expect("inflight lock"));
             drop(cache);
             let mut state = entry.state.lock().expect("inflight state");
             state.result = Some(run);
@@ -364,10 +435,19 @@ impl JobHandle {
     }
 
     /// Abandons the result. A run no handle is waiting on anymore is
-    /// skipped if it has not started yet.
+    /// skipped if it has not started yet; if it already started, the
+    /// last cancel raises the engine's cooperative flag and the run
+    /// aborts between iterations (its partial result is discarded).
     pub fn cancel(self) {
         if let HandleSource::Waiting(entry) = &self.source {
-            entry.waiters.fetch_sub(1, Ordering::SeqCst);
+            // The decrement-and-abort pair runs under the in-flight
+            // lock — the lock coalescing joins hold — so a join can
+            // never slip between "last waiter left" and "abort
+            // raised" and latch onto a doomed run.
+            let _inflight = self.shared.inflight.lock().expect("inflight lock");
+            if entry.waiters.fetch_sub(1, Ordering::SeqCst) == 1 {
+                entry.abort.store(true, Ordering::SeqCst);
+            }
         }
         self.shared.metrics.on_cancelled();
     }
@@ -490,6 +570,59 @@ mod tests {
             Ok(resp) => assert!(resp.converged),
             Err(e) => assert_eq!(e, JobError::TimedOut),
         }
+    }
+
+    #[test]
+    fn sharded_execution_serves_identical_bytes() {
+        // The operator's shard override may never change a response:
+        // the same spec through an unsharded and a 4-shard service
+        // must produce equal JobResponses (and both still verify).
+        let spec = undirected_spec(30, 0.25, 11, 5);
+        let plain = Service::new(&ServiceConfig::default());
+        let sharded = Service::new(&ServiceConfig {
+            engine_shards: Some(4),
+            ..ServiceConfig::default()
+        });
+        let a = plain.run(&spec).unwrap();
+        let b = sharded.run(&spec).unwrap();
+        assert_eq!(a, b);
+        // A spec *requesting* shards maps to the same cache key, so it
+        // is a hit on the sharded service's existing entry.
+        let mut requesting = spec.clone();
+        requesting.config.num_shards = 8;
+        assert_eq!(sharded.run(&requesting).unwrap(), b);
+        assert_eq!(sharded.metrics().cache_hits, 1);
+    }
+
+    #[test]
+    fn cancel_after_start_aborts_the_engine_mid_flight() {
+        let service = Service::new(&ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        // Big enough that the engine is still iterating long after the
+        // cancel below lands (hundreds of ms even in release builds).
+        let slow = undirected_spec(260, 0.08, 8, 1);
+        let handle = service.submit(&slow).unwrap();
+        // The queue drains the moment the worker dequeues the job;
+        // give it a beat more so the engine loop is actually running.
+        while service.queued_jobs() > 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        handle.cancel();
+        // Quiescence: with one worker, this job completes only after
+        // the aborted run returned.
+        service.run(&undirected_spec(10, 0.5, 9, 1)).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.cancelled, 1);
+        assert_eq!(m.aborted, 1, "started run must abort, not complete");
+        assert_eq!(m.skipped, 0);
+        // The partial spanner never reached the cache; only the small
+        // quiescence job is cached, and resubmitting the cancelled
+        // spec classifies as a fresh miss.
+        assert_eq!(service.cache_len(), 1);
+        assert_eq!(m.jobs_completed, 1);
     }
 
     #[test]

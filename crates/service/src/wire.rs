@@ -22,6 +22,7 @@
 //! monotone 1              # optional, default 1
 //! round-densities 1       # optional, default 1
 //! max-iterations 1000000  # optional
+//! shards 4                # optional, default 1; 0 = one per core
 //! timeout-ms 2000         # optional
 //! clients 0 2 5           # client-server only
 //! servers 1 3 4           # client-server only
@@ -51,7 +52,11 @@
 //!
 //! A `run` response is a pure function of the job spec — no timing, no
 //! cached/coalesced flag — so a cache hit is byte-identical to the
-//! cold computation of the same spec.
+//! cold computation of the same spec. `shards` requests parallel
+//! in-engine execution; it cannot change the response bytes (the
+//! engine is shard-count-deterministic), is not part of the job's
+//! cache identity, and may be overridden by the server's `--shards`
+//! flag.
 
 use std::io::{Read, Write};
 use std::time::Duration;
@@ -98,8 +103,9 @@ pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
 /// A decoded request.
 #[derive(Clone, Debug)]
 pub enum Request {
-    /// Run one spanner job.
-    Run(JobSpec),
+    /// Run one spanner job (boxed: a spec carries a whole graph, far
+    /// larger than the other variants).
+    Run(Box<JobSpec>),
     /// Report the service metrics snapshot as JSON.
     Stats,
     /// Liveness probe.
@@ -171,6 +177,9 @@ pub fn encode_request(spec: &JobSpec) -> String {
         u8::from(spec.config.round_densities)
     ));
     out.push_str(&format!("max-iterations {}\n", spec.config.max_iterations));
+    if spec.config.num_shards != 1 {
+        out.push_str(&format!("shards {}\n", spec.config.num_shards));
+    }
     if let Some(t) = spec.timeout {
         out.push_str(&format!("timeout-ms {}\n", t.as_millis()));
     }
@@ -231,6 +240,7 @@ fn decode_run_request(body: &str) -> Result<Request, JobError> {
     let mut monotone: Option<bool> = None;
     let mut round_densities: Option<bool> = None;
     let mut max_iterations: Option<u64> = None;
+    let mut shards: Option<usize> = None;
     let mut timeout: Option<Duration> = None;
     let mut clients_line: Option<String> = None;
     let mut servers_line: Option<String> = None;
@@ -261,6 +271,7 @@ fn decode_run_request(body: &str) -> Result<Request, JobError> {
             "monotone" => monotone = Some(parse_flag(value, "monotone")?),
             "round-densities" => round_densities = Some(parse_flag(value, "round-densities")?),
             "max-iterations" => max_iterations = Some(parse_u64(value, "max-iterations")?),
+            "shards" => shards = Some(parse_u64(value, "shards")? as usize),
             "timeout-ms" => timeout = Some(Duration::from_millis(parse_u64(value, "timeout-ms")?)),
             "clients" => clients_line = Some(value.to_string()),
             "servers" => servers_line = Some(value.to_string()),
@@ -343,12 +354,15 @@ fn decode_run_request(body: &str) -> Result<Request, JobError> {
     if let Some(m) = max_iterations {
         config.max_iterations = m;
     }
+    if let Some(s) = shards {
+        config.num_shards = s;
+    }
 
-    Ok(Request::Run(JobSpec {
+    Ok(Request::Run(Box::new(JobSpec {
         instance,
         config,
         timeout,
-    }))
+    })))
 }
 
 /// Vertex count every request may declare regardless of its size, so
@@ -526,7 +540,7 @@ mod tests {
     fn roundtrip_spec(spec: &JobSpec) -> JobSpec {
         let encoded = encode_request(spec);
         match decode_request(encoded.as_bytes()).unwrap() {
-            Request::Run(spec) => spec,
+            Request::Run(spec) => *spec,
             other => panic!("expected run request, got {other:?}"),
         }
     }
@@ -593,13 +607,29 @@ mod tests {
         spec.config.monotone_stars = false;
         spec.config.round_densities = false;
         spec.config.max_iterations = 12_345;
+        spec.config.num_shards = 4;
         spec.timeout = Some(Duration::from_millis(1500));
         let back = roundtrip_spec(&spec);
         assert_eq!(back.config.accept_denominator, 16);
         assert!(!back.config.monotone_stars);
         assert!(!back.config.round_densities);
         assert_eq!(back.config.max_iterations, 12_345);
+        assert_eq!(back.config.num_shards, 4);
         assert_eq!(back.timeout, Some(Duration::from_millis(1500)));
+    }
+
+    #[test]
+    fn shards_header_is_optional_and_roundtrips_auto() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        // Default (1) is omitted from the encoding and decodes back.
+        let spec = JobSpec::new(VariantInstance::Undirected { graph: g.clone() }, 1);
+        assert!(!encode_request(&spec).contains("shards"));
+        assert_eq!(roundtrip_spec(&spec).config.num_shards, 1);
+        // Explicit 0 ("one shard per core") survives the roundtrip.
+        let mut auto = spec.clone();
+        auto.config.num_shards = 0;
+        assert!(encode_request(&auto).contains("shards 0\n"));
+        assert_eq!(roundtrip_spec(&auto).config.num_shards, 0);
     }
 
     #[test]

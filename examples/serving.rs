@@ -21,6 +21,9 @@ fn main() {
         queue_capacity: 64,
         cache_capacity: 128,
         default_timeout: Some(Duration::from_secs(30)),
+        // One engine shard per core for every run; responses are
+        // identical whatever this is set to.
+        engine_shards: Some(0),
     });
 
     // A small mixed workload; every spec is submitted twice, so half
