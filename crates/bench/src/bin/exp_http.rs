@@ -1,0 +1,188 @@
+//! S2 — HTTP facade load test: requests/sec through `POST /v1/jobs`
+//! under concurrent keep-alive connections with a duplicate-heavy mix.
+//!
+//! The workload reuses the `exp_service` shape — a pool of distinct
+//! seeded jobs across all four variants, then a request stream in
+//! which at least half the submissions repeat an earlier job — but
+//! drives it through the real HTTP/1.1 frontend: every request is
+//! encoded to JSON, framed as HTTP, parsed by the server, routed into
+//! the shared [`dsa_service::Service`], and the response body decoded
+//! back. Concurrency comes from client *connections* (HTTP is one
+//! request/response at a time per connection), each pipelining its
+//! chunk of the stream over keep-alive.
+//!
+//! Before any timing is reported, the run asserts the facade's
+//! correctness contract: every response converged, duplicate
+//! submissions of one spec returned **byte-identical** bodies, and
+//! the `/v1/metrics` invariant `jobs = hits + misses + coalesced`
+//! holds. Output is one JSON object on stdout (the CI artifact)
+//! followed by a human-readable summary on stderr.
+//!
+//! ```text
+//! cargo run --release -p dsa-bench --bin exp_http [jobs] [unique] [workers]
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use dsa_core::dist::VariantInstance;
+use dsa_graphs::gen;
+use dsa_runtime::json::Json;
+use dsa_service::http::HttpClient;
+use dsa_service::{HttpServer, JobSpec, Service, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn distinct_jobs(unique: usize, rng: &mut StdRng) -> Vec<JobSpec> {
+    (0..unique)
+        .map(|i| {
+            let n = 40 + (i % 5) * 8;
+            let instance = match i % 4 {
+                0 => VariantInstance::Undirected {
+                    graph: gen::gnp_connected(n, 0.18, rng),
+                },
+                1 => VariantInstance::Directed {
+                    graph: gen::random_digraph_connected(n / 2, 0.1, rng),
+                },
+                2 => {
+                    let graph = gen::gnp_connected(n, 0.16, rng);
+                    let weights = gen::random_weights(graph.num_edges(), 0, 9, rng);
+                    VariantInstance::Weighted { graph, weights }
+                }
+                _ => {
+                    let graph = gen::gnp_connected(n, 0.2, rng);
+                    let (clients, servers) = gen::client_server_split(&graph, 0.6, 0.6, rng);
+                    VariantInstance::ClientServer {
+                        graph,
+                        clients,
+                        servers,
+                    }
+                }
+            };
+            JobSpec::new(instance, i as u64)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(120);
+    let unique: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    assert!(unique >= 1 && jobs >= unique, "need jobs >= unique >= 1");
+
+    let mut rng = StdRng::seed_from_u64(2018);
+    let pool = distinct_jobs(unique, &mut rng);
+    // Request stream: every distinct job once, the rest duplicates
+    // drawn uniformly — a >= 50% duplicate mix by construction.
+    let stream: Vec<usize> = (0..unique)
+        .chain((unique..jobs).map(|_| rng.gen_range(0..unique)))
+        .collect();
+    let dup_fraction = (jobs - unique) as f64 / jobs as f64;
+
+    let service = Arc::new(Service::new(&ServiceConfig {
+        workers,
+        queue_capacity: jobs.max(64),
+        cache_capacity: unique.max(64),
+        default_timeout: None,
+        engine_shards: None,
+    }));
+    let server =
+        HttpServer::with_service("127.0.0.1:0", Arc::clone(&service)).expect("bind http server");
+    let addr = server.addr();
+
+    // Byte-identity ledger: first body seen per pool index; every
+    // later duplicate must match it exactly.
+    let first_body: Mutex<HashMap<usize, Vec<u8>>> = Mutex::new(HashMap::new());
+    let client_connections = workers.clamp(2, 8);
+    let t0 = Instant::now();
+    let mut served_edges = 0usize;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in stream.chunks(jobs.div_ceil(client_connections)) {
+            let pool = &pool;
+            let first_body = &first_body;
+            handles.push(scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                let mut edges = 0usize;
+                for &i in chunk {
+                    let (status, body) = client.run_raw(&pool[i]).expect("http run");
+                    assert_eq!(
+                        status,
+                        200,
+                        "job rejected: {}",
+                        String::from_utf8_lossy(&body)
+                    );
+                    {
+                        let mut ledger = first_body.lock().expect("ledger lock");
+                        match ledger.get(&i) {
+                            None => {
+                                ledger.insert(i, body.clone());
+                            }
+                            Some(first) => assert_eq!(
+                                first, &body,
+                                "duplicate submission of job {i} returned different bytes"
+                            ),
+                        }
+                    }
+                    let resp = dsa_service::http::decode_job_response(&body).expect("decode");
+                    assert!(resp.converged, "job {i} did not converge");
+                    edges += resp.spanner.len();
+                }
+                edges
+            }));
+        }
+        for h in handles {
+            served_edges += h.join().expect("client thread");
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+
+    // Counters reconcile through the facade's own metrics route.
+    let mut client = HttpClient::connect(addr).expect("connect for metrics");
+    let metrics_json = client.metrics_json().expect("metrics");
+    let parsed = Json::parse(&metrics_json).expect("metrics JSON");
+    let field = |k: &str| parsed.get(k).and_then(Json::as_u64).expect(k);
+    assert_eq!(
+        field("jobs_submitted"),
+        field("cache_hits") + field("cache_misses") + field("coalesced"),
+        "metrics invariant violated: {metrics_json}"
+    );
+    assert_eq!(field("jobs_submitted"), jobs as u64);
+
+    let m = service.metrics();
+    println!(
+        concat!(
+            "{{\"experiment\":\"exp_http\",\"jobs\":{},\"unique\":{},",
+            "\"dup_fraction\":{:.3},\"workers\":{},\"client_connections\":{},",
+            "\"seconds\":{:.4},\"requests_per_sec\":{:.1},",
+            "\"cache_hit_rate\":{:.3},\"cache_hits\":{},\"cache_misses\":{},",
+            "\"coalesced\":{},\"p50_latency_us\":{},\"p95_latency_us\":{},",
+            "\"served_spanner_edges\":{}}}"
+        ),
+        jobs,
+        unique,
+        dup_fraction,
+        workers,
+        client_connections,
+        secs,
+        jobs as f64 / secs,
+        m.cache_hit_rate,
+        m.cache_hits,
+        m.cache_misses,
+        m.coalesced,
+        m.p50_latency_us,
+        m.p95_latency_us,
+        served_edges,
+    );
+    eprintln!(
+        "exp_http: {jobs} jobs ({unique} unique, {:.0}% duplicates) over {client_connections} \
+         keep-alive connections, {workers} workers: {:.1} requests/s, cache hit rate {:.0}%, \
+         byte-identity held for every duplicate",
+        dup_fraction * 100.0,
+        jobs as f64 / secs,
+        m.cache_hit_rate * 100.0,
+    );
+    server.shutdown();
+}

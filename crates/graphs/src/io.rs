@@ -138,13 +138,54 @@ fn endpoints_checked(
 /// of the same edge set.
 pub fn parse_edge_list(text: &str) -> Result<(Graph, Option<EdgeWeights>), ParseGraphError> {
     let (n, rows) = parse_lines(text)?;
+    build_graph(n, rows.iter().map(|(line, nums)| (*line, nums.as_slice())))
+}
+
+/// Parses a directed edge list, with the same normalization as
+/// [`parse_edge_list`] (directed: `(u, v)` and `(v, u)` are distinct).
+pub fn parse_directed_edge_list(text: &str) -> Result<DiGraph, ParseGraphError> {
+    let (n, rows) = parse_lines(text)?;
+    build_digraph(n, rows.iter().map(|(line, nums)| (*line, nums.as_slice())))
+}
+
+/// Builds a normalized undirected graph from numeric rows (`[u, v]` or
+/// `[u, v, w]` each) — the non-text entry point to exactly the
+/// normalization [`parse_edge_list`] applies, so the HTTP/JSON facade
+/// and the text protocol can never drift. Row `i` is reported as line
+/// `i + 1` in errors.
+pub fn edge_rows_to_graph(
+    n: usize,
+    rows: &[Vec<u64>],
+) -> Result<(Graph, Option<EdgeWeights>), ParseGraphError> {
+    build_graph(
+        n,
+        rows.iter().enumerate().map(|(i, r)| (i + 1, r.as_slice())),
+    )
+}
+
+/// Directed counterpart of [`edge_rows_to_graph`] (rows are
+/// `[tail, head]`).
+pub fn edge_rows_to_digraph(n: usize, rows: &[Vec<u64>]) -> Result<DiGraph, ParseGraphError> {
+    build_digraph(
+        n,
+        rows.iter().enumerate().map(|(i, r)| (i + 1, r.as_slice())),
+    )
+}
+
+fn build_graph<'a>(
+    n: usize,
+    rows: impl Iterator<Item = (usize, &'a [u64])>,
+) -> Result<(Graph, Option<EdgeWeights>), ParseGraphError> {
     let mut g = Graph::new(n);
     let mut seen: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
     let mut weights: Vec<u64> = Vec::new();
     let mut any_weight = false;
     let mut any_plain = false;
-    for (line, nums) in &rows {
-        let (u, v) = endpoints_checked(n, *line, nums)?;
+    for (line, nums) in rows {
+        if nums.len() != 2 && nums.len() != 3 {
+            return Err(ParseGraphError::BadLine(line));
+        }
+        let (u, v) = endpoints_checked(n, line, nums)?;
         let Some(key) = canon::undirected_key(u, v) else {
             continue; // self-loop
         };
@@ -170,14 +211,17 @@ pub fn parse_edge_list(text: &str) -> Result<(Graph, Option<EdgeWeights>), Parse
     Ok((g, w))
 }
 
-/// Parses a directed edge list, with the same normalization as
-/// [`parse_edge_list`] (directed: `(u, v)` and `(v, u)` are distinct).
-pub fn parse_directed_edge_list(text: &str) -> Result<DiGraph, ParseGraphError> {
-    let (n, rows) = parse_lines(text)?;
+fn build_digraph<'a>(
+    n: usize,
+    rows: impl Iterator<Item = (usize, &'a [u64])>,
+) -> Result<DiGraph, ParseGraphError> {
     let mut g = DiGraph::new(n);
     let mut seen: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
-    for (line, nums) in &rows {
-        let (u, v) = endpoints_checked(n, *line, nums)?;
+    for (line, nums) in rows {
+        if nums.len() != 2 && nums.len() != 3 {
+            return Err(ParseGraphError::BadLine(line));
+        }
+        let (u, v) = endpoints_checked(n, line, nums)?;
         let Some(key) = canon::directed_key(u, v) else {
             continue;
         };
@@ -231,6 +275,36 @@ mod tests {
         let text = "# n 3\n\n# a comment\n0 1\n1 2\n";
         let (g, _) = parse_edge_list(text).unwrap();
         assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn row_builders_agree_with_text_parsers() {
+        // The row builders are the same normalization as the text
+        // parsers: same graph, same edge ids, same errors.
+        let rows = |list: &[&[u64]]| -> Vec<Vec<u64>> { list.iter().map(|r| r.to_vec()).collect() };
+        let noisy = rows(&[&[0, 1], &[1, 1], &[1, 2], &[1, 0], &[2, 3], &[3, 2]]);
+        let (from_rows, w) = edge_rows_to_graph(4, &noisy).unwrap();
+        let (from_text, _) = parse_edge_list("# n 4\n0 1\n1 1\n1 2\n1 0\n2 3\n3 2\n").unwrap();
+        assert_eq!(from_rows, from_text);
+        assert!(w.is_none());
+        let (weighted, w) = edge_rows_to_graph(3, &rows(&[&[0, 1, 5], &[1, 2, 7]])).unwrap();
+        assert_eq!(weighted.num_edges(), 2);
+        assert_eq!(w, Some(EdgeWeights::from_vec(vec![5, 7])));
+        let d = edge_rows_to_digraph(3, &rows(&[&[0, 1], &[1, 0], &[0, 1]])).unwrap();
+        assert_eq!(d.num_edges(), 2, "directed keeps both orientations");
+        // Errors carry 1-based row positions, like text line numbers.
+        assert_eq!(
+            edge_rows_to_graph(3, &rows(&[&[0, 1], &[0]])),
+            Err(ParseGraphError::BadLine(2))
+        );
+        assert_eq!(
+            edge_rows_to_graph(3, &rows(&[&[0, 5]])),
+            Err(ParseGraphError::VertexOutOfRange(1))
+        );
+        assert_eq!(
+            edge_rows_to_graph(3, &rows(&[&[0, 1, 9], &[1, 2]])),
+            Err(ParseGraphError::InconsistentWeights)
+        );
     }
 
     #[test]

@@ -1,0 +1,696 @@
+//! A dependency-free JSON encoder/decoder for the serving frontends.
+//!
+//! The build environment is offline, so — like the hand-rolled wire
+//! protocol in `dsa-service` — this module implements the subset of
+//! JSON the workspace needs itself: a [`Json`] value tree, a strict
+//! recursive-descent parser ([`Json::parse`]), and a deterministic
+//! encoder ([`Json::encode`]).
+//!
+//! Design points that matter to the serving layer:
+//!
+//! * **Integers stay exact.** JSON numbers without a fraction or
+//!   exponent are kept as [`Json::U64`] / [`Json::I64`], never routed
+//!   through `f64` — engine seeds are arbitrary `u64`s and must
+//!   round-trip bit-exactly. Only numbers written with `.`/`e` (or
+//!   integers beyond 64 bits) become [`Json::F64`].
+//! * **Encoding is deterministic.** Objects preserve insertion order
+//!   (they are vectors of pairs, not hash maps), so the same value
+//!   tree always encodes to the same bytes — the HTTP facade's
+//!   cache-hit byte-identity guarantee rests on this.
+//! * **Parsing is bounded.** Nesting is capped at [`MAX_DEPTH`] so a
+//!   hostile body of `[[[[…` cannot overflow the stack; input size is
+//!   the caller's bound (the HTTP layer caps bodies before parsing).
+//!
+//! # Example
+//!
+//! ```
+//! use dsa_runtime::json::Json;
+//!
+//! let v = Json::parse(r#"{"seed": 18446744073709551615, "ok": true}"#).unwrap();
+//! assert_eq!(v.get("seed").and_then(Json::as_u64), Some(u64::MAX));
+//! assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+//! let back = v.encode();
+//! assert_eq!(Json::parse(&back).unwrap(), v);
+//! ```
+
+use std::fmt;
+
+/// Maximum nesting depth [`Json::parse`] accepts (arrays + objects).
+pub const MAX_DEPTH: usize = 128;
+
+/// One JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer written without fraction or exponent.
+    U64(u64),
+    /// A negative integer written without fraction or exponent.
+    I64(i64),
+    /// Any other number (fraction, exponent, or beyond 64-bit range).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Where and why parsing failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Looks up a key in an object; `None` for non-objects and missing
+    /// keys. First occurrence wins if the input repeated a key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(x) => Some(x),
+            Json::I64(x) => u64::try_from(x).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::I64(x) => Some(x),
+            Json::U64(x) => i64::try_from(x).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert; strings do not).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::F64(x) => Some(x),
+            Json::U64(x) => Some(x as f64),
+            Json::I64(x) => Some(x as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object pairs, if it is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing content after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Encodes the value as compact JSON (no whitespace), preserving
+    /// object key order. Deterministic: equal trees encode to equal
+    /// bytes.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::U64(x) => out.push_str(&x.to_string()),
+            Json::I64(x) => out.push_str(&x.to_string()),
+            Json::F64(x) => {
+                // JSON has no NaN/Infinity; map them to null like
+                // every lenient encoder does (we never produce them).
+                if x.is_finite() {
+                    let s = x.to_string();
+                    out.push_str(&s);
+                    // Keep float-ness explicit so the value re-parses
+                    // as F64, not as an integer: `-225.0` must not
+                    // encode to `-225`.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.error(format!("unexpected byte `{}`", b as char))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        // Fast path: no escapes, borrow the span wholesale.
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    // Safe: input is a &str, and the span contains no
+                    // escape, so it is valid UTF-8 as-is.
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?
+                        .to_string();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => break,
+                b if b < 0x20 => return Err(self.error("raw control character in string")),
+                _ => self.pos += 1,
+            }
+        }
+        // Slow path: build the string, decoding escapes.
+        let mut out = String::from_utf8(self.bytes[start..self.pos].to_vec())
+            .map_err(|_| self.error("invalid UTF-8 in string"))?;
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(self.error(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.error("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (1–4 bytes).
+                    let span_start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| (b & 0xc0) == 0x80) {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[span_start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v: u32 = 0;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.error("unterminated \\u escape"))?;
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a') as u32 + 10,
+                b'A'..=b'F' => (b - b'A') as u32 + 10,
+                _ => return Err(self.error("bad hex digit in \\u escape")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xd800..0xdc00).contains(&hi) {
+            // High surrogate: a low surrogate escape must follow.
+            if self.peek() != Some(b'\\') {
+                return Err(self.error("lone high surrogate"));
+            }
+            self.pos += 1;
+            if self.peek() != Some(b'u') {
+                return Err(self.error("lone high surrogate"));
+            }
+            self.pos += 1;
+            let lo = self.hex4()?;
+            if !(0xdc00..0xe000).contains(&lo) {
+                return Err(self.error("bad low surrogate"));
+            }
+            let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+            char::from_u32(cp).ok_or_else(|| self.error("bad surrogate pair"))
+        } else if (0xdc00..0xe000).contains(&hi) {
+            Err(self.error("lone low surrogate"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.error("bad \\u escape"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part (JSON forbids leading zeros like `042`).
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("malformed number")),
+        }
+        if self
+            .bytes
+            .get(start + usize::from(self.bytes[start] == b'-'))
+            == Some(&b'0')
+            && self
+                .bytes
+                .get(start + usize::from(self.bytes[start] == b'-') + 1)
+                .is_some_and(|b| b.is_ascii_digit())
+        {
+            return Err(self.error("leading zero in number"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(self.error("malformed fraction"));
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(self.error("malformed exponent"));
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number spans are ASCII");
+        if integral {
+            if let Some(rest) = text.strip_prefix('-') {
+                if let Ok(v) = rest.parse::<u64>() {
+                    if v == 0 {
+                        return Ok(Json::U64(0));
+                    }
+                    if let Ok(neg) = i64::try_from(v).map(|v| -v).or_else(|_| {
+                        if v == (i64::MAX as u64) + 1 {
+                            Ok(i64::MIN)
+                        } else {
+                            Err(())
+                        }
+                    }) {
+                        return Ok(Json::I64(neg));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+        }
+        match text.parse::<f64>() {
+            // Rust's f64 parser returns Ok(±inf) on overflow (e.g.
+            // `1e999`), but JSON has no non-finite numbers and
+            // encode() could not round-trip one — reject instead.
+            Ok(v) if v.is_finite() => Ok(Json::F64(v)),
+            Ok(_) => Err(self.error("number out of f64 range")),
+            Err(_) => Err(self.error("malformed number")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Json {
+        Json::parse(s).unwrap()
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for (text, value) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("0", Json::U64(0)),
+            ("42", Json::U64(42)),
+            ("-7", Json::I64(-7)),
+            ("18446744073709551615", Json::U64(u64::MAX)),
+            ("-9223372036854775808", Json::I64(i64::MIN)),
+            ("1.5", Json::F64(1.5)),
+            ("-2.25e2", Json::F64(-225.0)),
+            ("\"hi\"", Json::Str("hi".into())),
+        ] {
+            assert_eq!(parse(text), value, "{text}");
+            assert_eq!(parse(&value.encode()), value, "{text} re-parse");
+        }
+    }
+
+    #[test]
+    fn u64_seeds_stay_exact() {
+        // The motivating case: u64::MAX is not representable in f64.
+        let v = parse("{\"seed\":18446744073709551615}");
+        assert_eq!(v.get("seed").and_then(Json::as_u64), Some(u64::MAX));
+        assert_eq!(v.encode(), "{\"seed\":18446744073709551615}");
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        let v = parse(r#"{"b": [1, 2, {"x": null}], "a": 3}"#);
+        assert_eq!(
+            v.encode(),
+            r#"{"b":[1,2,{"x":null}],"a":3}"#,
+            "insertion order survives the roundtrip"
+        );
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            v.get("b").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        for (text, want) in [
+            ("\"a\\\"b\"", "a\"b"),
+            ("\"a\\\\b\"", "a\\b"),
+            ("\"a\\/b\"", "a/b"),
+            ("\"\\n\\r\\t\\b\\f\"", "\n\r\t\u{08}\u{0c}"),
+            ("\"\\u0041\"", "A"),
+            ("\"\\ud83e\\udd80\"", "\u{1f980}"),
+            ("\"snøfall\"", "snøfall"),
+        ] {
+            let v = parse(text);
+            assert_eq!(v.as_str(), Some(want), "{text}");
+            assert_eq!(parse(&v.encode()).as_str(), Some(want), "{text} re-parse");
+        }
+    }
+
+    #[test]
+    fn control_chars_encode_as_escapes() {
+        let v = Json::Str("a\u{01}b\nc".into());
+        assert_eq!(v.encode(), "\"a\\u0001b\\nc\"");
+        assert_eq!(parse(&v.encode()), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in [
+            "",
+            "   ",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "{a:1}",
+            "tru",
+            "nulll",
+            "1 2",
+            "042",
+            "-",
+            "1.",
+            "1e",
+            "\"abc",
+            "\"a\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0041\"",
+            "\"a\nb\"",
+            "[1],",
+            "1e999",
+            "-1e999",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = Json::parse(&too_deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_keys_first_wins_on_get() {
+        let v = parse(r#"{"k":1,"k":2}"#);
+        assert_eq!(v.get("k").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn nonfinite_floats_encode_as_null() {
+        assert_eq!(Json::F64(f64::NAN).encode(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).encode(), "null");
+    }
+
+    #[test]
+    fn accessor_conversions() {
+        assert_eq!(Json::U64(7).as_i64(), Some(7));
+        assert_eq!(Json::I64(-1).as_u64(), None);
+        assert_eq!(Json::U64(u64::MAX).as_i64(), None);
+        assert_eq!(Json::U64(3).as_f64(), Some(3.0));
+        assert_eq!(Json::Str("3".into()).as_u64(), None);
+        assert_eq!(Json::Null.get("k"), None);
+    }
+}

@@ -67,6 +67,7 @@
 
 mod codec;
 mod fragment;
+pub mod json;
 mod metrics;
 mod network;
 mod simulator;

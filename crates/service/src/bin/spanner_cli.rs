@@ -1,13 +1,19 @@
 //! `spanner-cli` — command-line client for `spanner-serve`.
 //!
 //! ```text
-//! spanner-cli [--addr HOST:PORT] ping
-//! spanner-cli [--addr HOST:PORT] stats
-//! spanner-cli [--addr HOST:PORT] run --variant KIND --seed N
+//! spanner-cli [--addr HOST:PORT] [--http] ping
+//! spanner-cli [--addr HOST:PORT] [--http] stats
+//! spanner-cli [--addr HOST:PORT] [--http] run --variant KIND --seed N
 //!             [--input FILE|-] [--clients "IDS"] [--servers "IDS"]
 //!             [--timeout-ms N] [--accept-denominator N]
 //!             [--shards N] [--no-monotone] [--no-rounding] [--ids]
 //! ```
+//!
+//! `--http` speaks the HTTP/JSON facade instead of the TCP wire
+//! protocol — `run` becomes `POST /v1/jobs`, `stats` becomes
+//! `GET /v1/metrics`, and `ping` becomes `GET /healthz` — against the
+//! port given to `spanner-serve --http-port`. Either way the response
+//! is the same: both surfaces serve one cache.
 //!
 //! `--shards N` asks the server to run the engine with `N`
 //! in-iteration shards (`0` = one per core); the spanner is identical
@@ -27,9 +33,10 @@ use std::time::Duration;
 use dsa_core::dist::{VariantInstance, VariantKind};
 use dsa_graphs::io as gio;
 use dsa_graphs::EdgeSet;
-use dsa_service::{Client, JobSpec};
+use dsa_service::{Client, HttpClient, JobError, JobResponse, JobSpec};
 
-const USAGE: &str = "usage: spanner-cli [--addr HOST:PORT] <ping|stats|run> [run options]\n\
+const USAGE: &str =
+    "usage: spanner-cli [--addr HOST:PORT] [--http] <ping|stats|run> [run options]\n\
      run options: --variant <undirected|directed|weighted|client-server> --seed N\n\
      \x20            [--input FILE|-] [--clients \"IDS\"] [--servers \"IDS\"]\n\
      \x20            [--timeout-ms N] [--accept-denominator N] [--shards N]\n\
@@ -65,21 +72,71 @@ struct RunArgs {
     print_ids: bool,
 }
 
+/// The transport behind every CLI command: the TCP wire protocol or
+/// the HTTP/JSON facade. Both answer with the same [`JobResponse`]
+/// bytes-for-bytes semantics, so the rest of the CLI is agnostic.
+enum Transport {
+    Tcp(Client),
+    Http(HttpClient),
+}
+
+impl Transport {
+    fn run(&mut self, spec: &JobSpec) -> Result<JobResponse, JobError> {
+        match self {
+            Transport::Tcp(c) => c.run(spec),
+            Transport::Http(c) => c.run(spec),
+        }
+    }
+
+    fn stats_json(&mut self) -> Result<String, JobError> {
+        match self {
+            Transport::Tcp(c) => c.stats_json(),
+            Transport::Http(c) => c.metrics_json(),
+        }
+    }
+
+    fn ping(&mut self) -> Result<(), JobError> {
+        match self {
+            Transport::Tcp(c) => c.ping(),
+            Transport::Http(c) => c.healthz(),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7071".to_string();
+    let mut http = false;
     let mut rest = &argv[..];
-    if rest.first().map(String::as_str) == Some("--addr") {
-        if rest.len() < 2 {
-            usage();
+    loop {
+        match rest.first().map(String::as_str) {
+            Some("--addr") => {
+                if rest.len() < 2 {
+                    usage();
+                }
+                addr = rest[1].clone();
+                rest = &rest[2..];
+            }
+            Some("--http") => {
+                http = true;
+                rest = &rest[1..];
+            }
+            _ => break,
         }
-        addr = rest[1].clone();
-        rest = &rest[2..];
     }
     let Some(command) = rest.first() else { usage() };
-    let connect = || {
-        Client::connect(addr.as_str())
-            .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")))
+    let connect = || -> Transport {
+        if http {
+            Transport::Http(
+                HttpClient::connect(addr.as_str())
+                    .unwrap_or_else(|e| fail(&format!("cannot connect to http://{addr}: {e}"))),
+            )
+        } else {
+            Transport::Tcp(
+                Client::connect(addr.as_str())
+                    .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}"))),
+            )
+        }
     };
     match command.as_str() {
         "--help" | "-h" => help(),
@@ -111,7 +168,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_command(args: &[String], connect: impl FnOnce() -> Client) -> ExitCode {
+fn run_command(args: &[String], connect: impl FnOnce() -> Transport) -> ExitCode {
     let args = parse_run_args(args);
     let variant = args
         .variant

@@ -1,9 +1,18 @@
-//! `spanner-serve` — the TCP spanner-serving daemon.
+//! `spanner-serve` — the spanner-serving daemon (TCP wire protocol,
+//! plus an optional HTTP/JSON facade over the same service).
 //!
 //! ```text
-//! spanner-serve [--addr HOST:PORT] [--workers N] [--queue N]
-//!               [--cache N] [--shards N] [--self-check]
+//! spanner-serve [--addr HOST:PORT] [--http-port PORT] [--workers N]
+//!               [--queue N] [--cache N] [--shards N]
+//!               [--self-check [--http]]
 //! ```
+//!
+//! `--http-port PORT` additionally serves the HTTP/JSON facade
+//! (`POST /v1/jobs`, `GET /v1/metrics`, `GET /healthz`) on the same
+//! host as `--addr`, concurrently with the TCP listener and over the
+//! *same* service — one cache, one worker pool, one coalescing map,
+//! whichever surface a job arrives on. Port 0 asks for an ephemeral
+//! port (the bound address is printed).
 //!
 //! `--shards N` makes every engine run execute with `N` in-iteration
 //! shards (`0` = one per core), overriding per-request `shards`
@@ -12,27 +21,35 @@
 //!
 //! Without `--self-check` the process binds the address (default
 //! `127.0.0.1:7071`, port 0 for ephemeral), prints one
-//! `listening <addr>` line, and serves until killed. With
-//! `--self-check` it binds an ephemeral port, drives all four variants
-//! plus a duplicate through a loopback client, asserts the cache and
-//! the wire behave, prints `self-check ok`, and exits — the one-shot
-//! mode CI uses.
+//! `listening <addr>` line (plus `http listening <addr>` with
+//! `--http-port`), and serves until killed. With `--self-check` it
+//! binds ephemeral ports, drives all four variants plus a duplicate
+//! through a loopback client, asserts the cache and the protocol
+//! behave, prints `self-check ok`, and exits — the one-shot mode CI
+//! uses. `--self-check --http` runs the HTTP flavor: all four
+//! variants via `POST /v1/jobs`, cache byte-identity over response
+//! bodies, a TCP+HTTP shared-cache check, and the
+//! `jobs = hits + misses + coalesced` invariant read from
+//! `/v1/metrics`.
 
 use std::process::ExitCode;
 
 use dsa_core::dist::VariantInstance;
 use dsa_graphs::{gen, EdgeSet, Graph};
-use dsa_service::{Client, JobSpec, Server, ServiceConfig};
+use dsa_runtime::json::Json;
+use dsa_service::{Client, HttpClient, HttpServer, JobSpec, Server, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 struct Args {
     addr: String,
+    http_port: Option<u16>,
     cfg: ServiceConfig,
     self_check: bool,
+    http: bool,
 }
 
-const USAGE: &str = "usage: spanner-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--shards N] [--self-check]";
+const USAGE: &str = "usage: spanner-serve [--addr HOST:PORT] [--http-port PORT] [--workers N] [--queue N] [--cache N] [--shards N] [--self-check [--http]]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -48,11 +65,13 @@ fn help() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         addr: "127.0.0.1:7071".to_string(),
+        http_port: None,
         cfg: ServiceConfig {
             workers: 8,
             ..ServiceConfig::default()
         },
         self_check: false,
+        http: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -64,17 +83,30 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr"),
+            "--http-port" => {
+                // Parse as u16 directly: `as u16` on a wider parse
+                // would silently wrap 65536 to an ephemeral bind.
+                args.http_port = Some(value("--http-port").parse().unwrap_or_else(|_| {
+                    eprintln!("invalid value for --http-port (expected 0..=65535)");
+                    usage()
+                }))
+            }
             "--workers" => args.cfg.workers = parse_num(&value("--workers"), "--workers"),
             "--queue" => args.cfg.queue_capacity = parse_num(&value("--queue"), "--queue"),
             "--cache" => args.cfg.cache_capacity = parse_num(&value("--cache"), "--cache"),
             "--shards" => args.cfg.engine_shards = Some(parse_num(&value("--shards"), "--shards")),
             "--self-check" => args.self_check = true,
+            "--http" => args.http = true,
             "--help" | "-h" => help(),
             other => {
                 eprintln!("unknown flag {other}");
                 usage()
             }
         }
+    }
+    if args.http && !args.self_check {
+        eprintln!("--http selects the HTTP self-check; it requires --self-check (use --http-port to serve HTTP)");
+        usage()
     }
     args
 }
@@ -86,10 +118,16 @@ fn parse_num(value: &str, flag: &str) -> usize {
     })
 }
 
+/// The HTTP listener binds the same host as `--addr`.
+fn http_addr_of(tcp_addr: &str, port: u16) -> String {
+    let host = tcp_addr.rsplit_once(':').map_or("127.0.0.1", |(h, _)| h);
+    format!("{host}:{port}")
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if args.self_check {
-        return self_check(&args.cfg);
+        return self_check(&args.cfg, args.http);
     }
     let server = match Server::start(args.addr.as_str(), &args.cfg) {
         Ok(server) => server,
@@ -99,14 +137,37 @@ fn main() -> ExitCode {
         }
     };
     println!("listening {}", server.addr());
+    // With --http-port, both frontends serve the same `Service`
+    // concurrently; `_http` is kept alive for the process lifetime.
+    let _http = match args.http_port {
+        None => None,
+        Some(port) => {
+            let addr = http_addr_of(&args.addr, port);
+            match HttpServer::with_service(addr.as_str(), server.service().clone()) {
+                Ok(http) => {
+                    println!("http listening {}", http.addr());
+                    Some(http)
+                }
+                Err(e) => {
+                    eprintln!("spanner-serve: cannot bind http {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
     // Serve until the process is killed.
     loop {
         std::thread::park();
     }
 }
 
-fn self_check(cfg: &ServiceConfig) -> ExitCode {
-    match self_check_inner(cfg) {
+fn self_check(cfg: &ServiceConfig, http: bool) -> ExitCode {
+    let result = if http {
+        self_check_http(cfg)
+    } else {
+        self_check_tcp(cfg)
+    };
+    match result {
         Ok(()) => {
             println!("self-check ok");
             ExitCode::SUCCESS
@@ -118,20 +179,15 @@ fn self_check(cfg: &ServiceConfig) -> ExitCode {
     }
 }
 
-fn self_check_inner(cfg: &ServiceConfig) -> Result<(), String> {
-    let server =
-        Server::start("127.0.0.1:0", cfg).map_err(|e| format!("bind ephemeral port: {e}"))?;
-    let addr = server.addr();
-    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    client.ping().map_err(|e| format!("ping: {e}"))?;
-
-    // One instance per variant, from seeded generators.
+/// One instance per variant, from seeded generators (shared by both
+/// self-check flavors so TCP and HTTP exercise identical jobs).
+fn self_check_specs() -> Vec<JobSpec> {
     let mut rng = StdRng::seed_from_u64(2018);
     let g = gen::gnp_connected(24, 0.3, &mut rng);
     let d = gen::random_digraph_connected(18, 0.12, &mut rng);
     let w = gen::random_weights(g.num_edges(), 0, 9, &mut rng);
     let (clients, servers) = gen::client_server_split(&g, 0.6, 0.6, &mut rng);
-    let specs = [
+    vec![
         JobSpec::new(VariantInstance::Undirected { graph: g.clone() }, 1),
         JobSpec::new(VariantInstance::Directed { graph: d }, 2),
         JobSpec::new(
@@ -149,7 +205,17 @@ fn self_check_inner(cfg: &ServiceConfig) -> Result<(), String> {
             },
             4,
         ),
-    ];
+    ]
+}
+
+fn self_check_tcp(cfg: &ServiceConfig) -> Result<(), String> {
+    let server =
+        Server::start("127.0.0.1:0", cfg).map_err(|e| format!("bind ephemeral port: {e}"))?;
+    let addr = server.addr();
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.ping().map_err(|e| format!("ping: {e}"))?;
+
+    let specs = self_check_specs();
     // The *first* submission of specs[0] is the cold computation;
     // capture its raw bytes so the later cache hit is compared against
     // a genuinely uncached response.
@@ -201,6 +267,122 @@ fn self_check_inner(cfg: &ServiceConfig) -> Result<(), String> {
     client
         .ping()
         .map_err(|e| format!("ping after error: {e}"))?;
+    server.shutdown();
+    Ok(())
+}
+
+fn self_check_http(cfg: &ServiceConfig) -> Result<(), String> {
+    // Both frontends over ONE service, exactly as `--http-port` runs
+    // them, so the shared-cache claim is checked against the real
+    // wiring.
+    let server =
+        Server::start("127.0.0.1:0", cfg).map_err(|e| format!("bind ephemeral port: {e}"))?;
+    let http = HttpServer::with_service("127.0.0.1:0", server.service().clone())
+        .map_err(|e| format!("bind ephemeral http port: {e}"))?;
+    let addr = http.addr();
+    let mut client = HttpClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.healthz().map_err(|e| format!("healthz: {e}"))?;
+
+    let specs = self_check_specs();
+    let (cold_status, cold) = client
+        .run_raw(&specs[0])
+        .map_err(|e| format!("cold run: {e}"))?;
+    if cold_status != 200 {
+        return Err(format!("cold run: HTTP {cold_status}"));
+    }
+    for spec in &specs {
+        let resp = client
+            .run(spec)
+            .map_err(|e| format!("{} run: {e}", spec.instance.kind()))?;
+        if !resp.converged {
+            return Err(format!("{} run did not converge", spec.instance.kind()));
+        }
+    }
+    let (warm_status, warm) = client
+        .run_raw(&specs[0])
+        .map_err(|e| format!("warm run: {e}"))?;
+    if warm_status != 200 {
+        return Err(format!("warm run: HTTP {warm_status}"));
+    }
+    if cold != warm {
+        return Err("cache hit was not byte-identical to cold response body".into());
+    }
+
+    // A job submitted over TCP and the identical job submitted over
+    // HTTP hit the same cache entry: the TCP run of a fresh spec is
+    // the miss, the HTTP repeat is a pure hit (no new engine run).
+    let misses_before = server.service().metrics().cache_misses;
+    let mut rng = StdRng::seed_from_u64(4242);
+    let shared_spec = JobSpec::new(
+        VariantInstance::Undirected {
+            graph: gen::gnp_connected(20, 0.3, &mut rng),
+        },
+        7,
+    );
+    let mut tcp = Client::connect(server.addr()).map_err(|e| format!("tcp connect: {e}"))?;
+    let via_tcp = tcp.run(&shared_spec).map_err(|e| format!("tcp run: {e}"))?;
+    let via_http = client
+        .run(&shared_spec)
+        .map_err(|e| format!("http run of tcp-cached spec: {e}"))?;
+    if via_tcp != via_http {
+        return Err("TCP and HTTP answered the same spec differently".into());
+    }
+    let m = server.service().metrics();
+    if m.cache_misses != misses_before + 1 {
+        return Err(format!(
+            "TCP+HTTP submissions of one spec did not share a cache entry: {} misses for one spec",
+            m.cache_misses - misses_before
+        ));
+    }
+
+    // The /v1/metrics invariant, read back through the facade itself.
+    let metrics_json = client.metrics_json().map_err(|e| format!("metrics: {e}"))?;
+    let parsed =
+        Json::parse(&metrics_json).map_err(|e| format!("metrics is not valid JSON: {e}"))?;
+    let field = |k: &str| -> Result<u64, String> {
+        parsed
+            .get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("metrics missing `{k}`: {metrics_json}"))
+    };
+    let (jobs, hits, misses, coalesced) = (
+        field("jobs_submitted")?,
+        field("cache_hits")?,
+        field("cache_misses")?,
+        field("coalesced")?,
+    );
+    if jobs != hits + misses + coalesced {
+        return Err(format!(
+            "metrics invariant violated: {jobs} != {hits} + {misses} + {coalesced}"
+        ));
+    }
+    if hits < 2 {
+        return Err(format!("expected >= 2 cache hits, metrics: {metrics_json}"));
+    }
+
+    // Errors must map to statuses without wedging the connection.
+    let (status, _) = client
+        .request("POST", "/v1/jobs", Some("{not json"))
+        .map_err(|e| format!("bad-JSON request: {e}"))?;
+    if status != 400 {
+        return Err(format!("bad JSON: expected 400, got {status}"));
+    }
+    let (status, _) = client
+        .request("GET", "/nope", None)
+        .map_err(|e| format!("unknown-route request: {e}"))?;
+    if status != 404 {
+        return Err(format!("unknown route: expected 404, got {status}"));
+    }
+    let (status, _) = client
+        .request("GET", "/v1/jobs", None)
+        .map_err(|e| format!("wrong-method request: {e}"))?;
+    if status != 405 {
+        return Err(format!("wrong method: expected 405, got {status}"));
+    }
+    client
+        .healthz()
+        .map_err(|e| format!("healthz after errors: {e}"))?;
+    http.shutdown();
     server.shutdown();
     Ok(())
 }

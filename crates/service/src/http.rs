@@ -1,0 +1,1124 @@
+//! The HTTP/JSON facade over [`Service`] — same cache, worker pool,
+//! and coalescing map as the TCP wire frontend, reachable by browsers,
+//! `curl`, and standard load-testing tools.
+//!
+//! Like [`crate::wire`], the protocol layer is hand-rolled (the build
+//! environment is offline): a deliberately small HTTP/1.1 subset —
+//! request line + headers + `Content-Length` bodies, keep-alive,
+//! `Expect: 100-continue` — with every request and response body in
+//! JSON via [`dsa_runtime::json`].
+//!
+//! # Routes
+//!
+//! | Method & path     | Body            | Response                     |
+//! |-------------------|-----------------|------------------------------|
+//! | `POST /v1/jobs`   | job spec (JSON) | job result (JSON)            |
+//! | `GET /v1/metrics` | —               | coherent counters + p50/p95  |
+//! | `GET /healthz`    | —               | `{"status":"ok"}`            |
+//!
+//! # Job spec schema (`POST /v1/jobs`)
+//!
+//! ```json
+//! {
+//!   "variant": "weighted",
+//!   "seed": 42,
+//!   "graph": {"n": 4, "edges": [[0, 1, 3], [1, 2, 5], [2, 3, 1]]},
+//!   "clients": [0, 2],          // client-server only: edge ids
+//!   "servers": [1],             // client-server only: edge ids
+//!   "accept_denominator": 8,    // optional, default 8
+//!   "monotone": true,           // optional, default true
+//!   "round_densities": true,    // optional, default true
+//!   "max_iterations": 1000000,  // optional
+//!   "shards": 4,                // optional, default 1; 0 = one per core
+//!   "timeout_ms": 2000          // optional
+//! }
+//! ```
+//!
+//! Edges are `[u, v]` pairs (`[u, v, w]` with a weight for the
+//! `weighted` variant); the graph is normalized exactly as the wire
+//! protocol's text edge lists are (self-loops dropped, duplicate edges
+//! keep their first occurrence — the same [`dsa_graphs::io`] builder
+//! runs under both), so a JSON submission and a wire submission of the
+//! same edge set map to the same canonical job and share one cache
+//! entry. Unknown keys are rejected, mirroring the wire decoder's
+//! unknown-header errors.
+//!
+//! # Job result schema
+//!
+//! ```json
+//! {
+//!   "key": "1f2e3d4c5b6a7988",
+//!   "variant": "weighted",
+//!   "converged": true,
+//!   "iterations": 12,
+//!   "local_rounds": 84,
+//!   "star_fallbacks": 0,
+//!   "spanner_size": 3,
+//!   "spanner": [0, 4, 7]
+//! }
+//! ```
+//!
+//! The `key` is the canonical 64-bit job/cache key in hex (a string,
+//! so 53-bit JSON consumers keep it exact); `spanner` lists edge ids
+//! in the *submitted* graph's id space, ascending. A result carries no
+//! serving incidentals (no timing, no cached/coalesced flag), so
+//! repeated submissions of one spec return **byte-identical** bodies
+//! whether computed cold, coalesced, or served from cache.
+//!
+//! # Status codes
+//!
+//! | Status | Meaning |
+//! |--------|---------|
+//! | 200    | job ran (or was served from cache) |
+//! | 400    | body is not valid JSON / schema violation / bad graph |
+//! | 404    | unknown route |
+//! | 405    | wrong method for a known route (`Allow` header set) |
+//! | 413    | body larger than [`MAX_BODY`] |
+//! | 422    | well-formed spec rejected by validation ([`JobError::Invalid`]) |
+//! | 431    | header section larger than the request-head bound |
+//! | 501    | `Transfer-Encoding` (chunked bodies are not supported) |
+//! | 503    | job cancelled before a result was available |
+//! | 504    | job deadline passed ([`JobError::TimedOut`]) |
+//! | 505    | HTTP version other than 1.0/1.1 |
+//!
+//! Every error response body is `{"error": "<message>"}`. Errors that
+//! leave the byte stream well-defined (routing, JSON, validation) keep
+//! the connection open; errors that desynchronize it (oversized or
+//! truncated requests) close it.
+
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dsa_core::dist::{EngineConfig, VariantInstance, VariantKind};
+use dsa_graphs::{io as gio, EdgeSet, Graph};
+use dsa_runtime::json::Json;
+
+use crate::job::{JobError, JobResponse, JobSpec};
+use crate::net::{ListenerHandle, ShutdownReader, IDLE_POLL};
+use crate::service::{Service, ServiceConfig};
+use crate::wire::MIN_VERTEX_ALLOWANCE;
+
+/// Upper bound on a request body (matches [`crate::wire::MAX_FRAME`]):
+/// a million-edge graph as JSON fits, while a hostile `Content-Length`
+/// cannot trigger an absurd allocation.
+pub const MAX_BODY: usize = 64 << 20;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD: usize = 32 << 10;
+
+/// A running HTTP frontend. Dropping it (or calling
+/// [`HttpServer::shutdown`]) stops the accept loop and joins the
+/// connection threads.
+pub struct HttpServer {
+    listener: ListenerHandle,
+    service: Arc<Service>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (port 0 for ephemeral) and serves a fresh
+    /// [`Service`] built from `cfg`.
+    pub fn start<A: ToSocketAddrs>(addr: A, cfg: &ServiceConfig) -> std::io::Result<HttpServer> {
+        HttpServer::with_service(addr, Arc::new(Service::new(cfg)))
+    }
+
+    /// Like [`HttpServer::start`], over an existing service — the way
+    /// `spanner-serve` runs it, so HTTP and TCP clients share one
+    /// cache, worker pool, and coalescing map.
+    pub fn with_service<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<Service>,
+    ) -> std::io::Result<HttpServer> {
+        let listener = {
+            let service = Arc::clone(&service);
+            ListenerHandle::start(
+                addr,
+                "spanner-http-accept",
+                "spanner-http-conn",
+                move |stream, stop| serve_http_connection(stream, &service, stop),
+            )?
+        };
+        Ok(HttpServer { listener, service })
+    }
+
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.listener.addr()
+    }
+
+    /// The shared service behind this frontend.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Stops accepting, waits for live connections to finish their
+    /// current request, and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.listener.shutdown();
+    }
+}
+
+/// One parsed request head.
+struct Head {
+    method: String,
+    path: String,
+    keep_alive: bool,
+    content_length: usize,
+    expect_continue: bool,
+}
+
+/// What became of an attempt to read one request.
+enum ReadOutcome {
+    /// A complete request (head + body).
+    Request(Head, Vec<u8>),
+    /// Clean EOF, shutdown, or a truncated request: close silently.
+    Close,
+    /// Protocol-level rejection: respond with this status and close.
+    Reject(u16, String),
+}
+
+fn serve_http_connection(stream: TcpStream, service: &Arc<Service>, stop: &AtomicBool) {
+    // Same idle-poll pattern as the wire frontend: a read timeout
+    // turns a blocked read into a periodic shutdown-flag check, and
+    // `ShutdownReader` retries so in-flight requests are unaffected.
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = ShutdownReader {
+        stream: &stream,
+        stop,
+    };
+    let mut writer = &stream;
+    let mut pending: Vec<u8> = Vec::new();
+    loop {
+        match read_request(&mut pending, &mut reader, &stream) {
+            ReadOutcome::Close => break,
+            ReadOutcome::Reject(status, message) => {
+                // The byte stream is no longer trustworthy after a
+                // rejected head: answer and close.
+                let _ = write_response(&mut writer, status, None, &error_body(&message), false);
+                break;
+            }
+            ReadOutcome::Request(head, body) => {
+                let (status, allow, resp_body) = route(&head.method, &head.path, &body, service);
+                if write_response(&mut writer, status, allow, &resp_body, head.keep_alive).is_err()
+                {
+                    break;
+                }
+                if !head.keep_alive {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Reads one full request (head + body) from `pending` + `reader`.
+/// `stream` is borrowed only to emit `100 Continue` interim responses.
+fn read_request(
+    pending: &mut Vec<u8>,
+    reader: &mut ShutdownReader<'_>,
+    mut stream: &TcpStream,
+) -> ReadOutcome {
+    use std::io::{Read, Write};
+    // 1. Accumulate bytes until the head terminator (CRLFCRLF, or
+    //    bare LFLF from lenient clients) is in the buffer.
+    let (head_len, term_len) = loop {
+        if let Some(found) = head_end(pending) {
+            break found;
+        }
+        if pending.len() > MAX_HEAD {
+            return ReadOutcome::Reject(431, "request head too large".into());
+        }
+        let mut chunk = [0u8; 4096];
+        match reader.read(&mut chunk) {
+            // EOF with a partial head is a truncated request; EOF on
+            // an empty buffer is a clean close. Either way: close.
+            Ok(0) => return ReadOutcome::Close,
+            Ok(k) => pending.extend_from_slice(&chunk[..k]),
+            Err(_) => return ReadOutcome::Close,
+        }
+    };
+    let head_bytes: Vec<u8> = pending.drain(..head_len + term_len).collect();
+    let head = match parse_head(&head_bytes[..head_len]) {
+        Ok(head) => head,
+        Err(reject) => return reject,
+    };
+    if head.content_length > MAX_BODY {
+        return ReadOutcome::Reject(
+            413,
+            format!(
+                "body of {} bytes exceeds limit {MAX_BODY}",
+                head.content_length
+            ),
+        );
+    }
+    // 2. `curl` sends bodies above ~1 KiB only after the server
+    //    acknowledges the Expect header.
+    if head.expect_continue && head.content_length > 0 {
+        let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+        let _ = stream.flush();
+    }
+    // 3. Read the body (some of it may already be buffered).
+    while pending.len() < head.content_length {
+        let mut chunk = [0u8; 4096];
+        match reader.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Close, // truncated body
+            Ok(k) => pending.extend_from_slice(&chunk[..k]),
+            Err(_) => return ReadOutcome::Close,
+        }
+    }
+    let body: Vec<u8> = pending.drain(..head.content_length).collect();
+    ReadOutcome::Request(head, body)
+}
+
+/// Finds the end of the request head: returns (head length, terminator
+/// length). Accepts `\r\n\r\n` and the bare-`\n\n` form.
+fn head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    for i in 0..buf.len() {
+        if buf[i..].starts_with(b"\r\n\r\n") {
+            return Some((i, 4));
+        }
+        if buf[i..].starts_with(b"\n\n") {
+            return Some((i, 2));
+        }
+    }
+    None
+}
+
+fn parse_head(bytes: &[u8]) -> Result<Head, ReadOutcome> {
+    let reject = |status: u16, msg: &str| Err(ReadOutcome::Reject(status, msg.to_string()));
+    let Ok(text) = std::str::from_utf8(bytes) else {
+        return reject(400, "request head is not UTF-8");
+    };
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return reject(400, "malformed request line");
+    };
+    let keep_alive_default = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return reject(505, "only HTTP/1.0 and HTTP/1.1 are supported"),
+    };
+    let mut head = Head {
+        method: method.to_string(),
+        // Queries are not part of any route; strip them so
+        // `/healthz?probe=1` still resolves.
+        path: target.split('?').next().unwrap_or(target).to_string(),
+        keep_alive: keep_alive_default,
+        content_length: 0,
+        expect_continue: false,
+    };
+    let mut seen_length: Option<usize> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return reject(400, "malformed header line");
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let Ok(len) = value.parse::<usize>() else {
+                    return reject(400, "invalid Content-Length");
+                };
+                if seen_length.is_some_and(|prev| prev != len) {
+                    return reject(400, "conflicting Content-Length headers");
+                }
+                seen_length = Some(len);
+                head.content_length = len;
+            }
+            "transfer-encoding" => {
+                return reject(
+                    501,
+                    "Transfer-Encoding is not supported; send Content-Length",
+                );
+            }
+            "connection" => {
+                if value.eq_ignore_ascii_case("close") {
+                    head.keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    head.keep_alive = true;
+                }
+            }
+            "expect" => {
+                if value.eq_ignore_ascii_case("100-continue") {
+                    head.expect_continue = true;
+                } else {
+                    return reject(400, "unsupported Expect header");
+                }
+            }
+            // Every other header (Host, User-Agent, Accept, ...) is
+            // irrelevant to the facade and ignored.
+            _ => {}
+        }
+    }
+    Ok(head)
+}
+
+/// Dispatches one request: returns (status, Allow header for 405,
+/// response body).
+fn route(
+    method: &str,
+    path: &str,
+    body: &[u8],
+    service: &Service,
+) -> (u16, Option<&'static str>, String) {
+    match (path, method) {
+        ("/v1/jobs", "POST") => match decode_job_spec(body) {
+            Err(e) => (400, None, error_body(&e.to_string())),
+            Ok(spec) => match service.run(&spec) {
+                Ok(resp) => (200, None, encode_job_response(&resp)),
+                Err(e @ JobError::Invalid(_)) => (422, None, error_body(&e.to_string())),
+                Err(e @ JobError::TimedOut) => (504, None, error_body(&e.to_string())),
+                Err(e @ JobError::Cancelled) => (503, None, error_body(&e.to_string())),
+                Err(e) => (500, None, error_body(&e.to_string())),
+            },
+        },
+        ("/v1/jobs", _) => (405, Some("POST"), error_body("use POST for /v1/jobs")),
+        ("/v1/metrics", "GET") => (200, None, service.metrics().to_json()),
+        ("/v1/metrics", _) => (405, Some("GET"), error_body("use GET for /v1/metrics")),
+        ("/healthz", "GET") => (200, None, "{\"status\":\"ok\"}".to_string()),
+        ("/healthz", _) => (405, Some("GET"), error_body("use GET for /healthz")),
+        _ => (
+            404,
+            None,
+            error_body(&format!(
+                "no route for `{path}` (try POST /v1/jobs, GET /v1/metrics, GET /healthz)"
+            )),
+        ),
+    }
+}
+
+fn error_body(message: &str) -> String {
+    Json::Obj(vec![("error".to_string(), Json::Str(message.to_string()))]).encode()
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        100 => "Continue",
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(
+    w: &mut impl std::io::Write,
+    status: u16,
+    allow: Option<&str>,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status_reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    if let Some(allow) = allow {
+        out.push_str("Allow: ");
+        out.push_str(allow);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    out.push_str(body);
+    w.write_all(out.as_bytes())?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------
+// JSON codecs
+// ---------------------------------------------------------------------
+
+fn proto(message: impl Into<String>) -> JobError {
+    JobError::Protocol(message.into())
+}
+
+/// Encodes a job spec as the `POST /v1/jobs` body documented in the
+/// module docs. Deterministic: key order is fixed, defaults that the
+/// wire encoder omits (`shards 1`, absent timeout) are omitted here
+/// too.
+pub fn encode_job_spec(spec: &JobSpec) -> String {
+    let edge_rows = |g: &Graph| -> Json {
+        Json::Arr(
+            g.edges()
+                .map(|(_, u, v)| Json::Arr(vec![Json::U64(u as u64), Json::U64(v as u64)]))
+                .collect(),
+        )
+    };
+    let id_list = |s: &EdgeSet| Json::Arr(s.iter().map(|e| Json::U64(e as u64)).collect());
+    let mut pairs: Vec<(String, Json)> = vec![(
+        "variant".to_string(),
+        Json::Str(spec.instance.kind().to_string()),
+    )];
+    let mut push = |k: &str, v: Json| pairs.push((k.to_string(), v));
+    push("seed", Json::U64(spec.config.seed));
+    let (n, edges) = match &spec.instance {
+        VariantInstance::Undirected { graph } => (graph.num_vertices(), edge_rows(graph)),
+        VariantInstance::Directed { graph } => (
+            graph.num_vertices(),
+            Json::Arr(
+                graph
+                    .edges()
+                    .map(|(_, u, v)| Json::Arr(vec![Json::U64(u as u64), Json::U64(v as u64)]))
+                    .collect(),
+            ),
+        ),
+        VariantInstance::Weighted { graph, weights } => (
+            graph.num_vertices(),
+            Json::Arr(
+                graph
+                    .edges()
+                    .map(|(e, u, v)| {
+                        Json::Arr(vec![
+                            Json::U64(u as u64),
+                            Json::U64(v as u64),
+                            Json::U64(weights.get(e)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        VariantInstance::ClientServer { graph, .. } => (graph.num_vertices(), edge_rows(graph)),
+    };
+    push(
+        "graph",
+        Json::Obj(vec![
+            ("n".to_string(), Json::U64(n as u64)),
+            ("edges".to_string(), edges),
+        ]),
+    );
+    if let VariantInstance::ClientServer {
+        clients, servers, ..
+    } = &spec.instance
+    {
+        push("clients", id_list(clients));
+        push("servers", id_list(servers));
+    }
+    push(
+        "accept_denominator",
+        Json::U64(spec.config.accept_denominator),
+    );
+    push("monotone", Json::Bool(spec.config.monotone_stars));
+    push("round_densities", Json::Bool(spec.config.round_densities));
+    push("max_iterations", Json::U64(spec.config.max_iterations));
+    if spec.config.num_shards != 1 {
+        push("shards", Json::U64(spec.config.num_shards as u64));
+    }
+    if let Some(t) = spec.timeout {
+        push("timeout_ms", Json::U64(t.as_millis() as u64));
+    }
+    Json::Obj(pairs).encode()
+}
+
+/// Decodes a `POST /v1/jobs` body into a job spec. Errors are
+/// [`JobError::Protocol`] and map to HTTP 400; semantic validation
+/// (e.g. a zero accept denominator) stays with the service and maps
+/// to 422.
+pub fn decode_job_spec(body: &[u8]) -> Result<JobSpec, JobError> {
+    let text = std::str::from_utf8(body).map_err(|_| proto("body is not UTF-8"))?;
+    let v = Json::parse(text).map_err(|e| proto(format!("bad JSON: {e}")))?;
+    let pairs = v
+        .as_obj()
+        .ok_or_else(|| proto("job spec must be a JSON object"))?;
+    for (key, _) in pairs {
+        match key.as_str() {
+            "variant" | "seed" | "graph" | "clients" | "servers" | "accept_denominator"
+            | "monotone" | "round_densities" | "max_iterations" | "shards" | "timeout_ms" => {}
+            other => return Err(proto(format!("unknown key `{other}`"))),
+        }
+    }
+    let variant: VariantKind = v
+        .get("variant")
+        .and_then(Json::as_str)
+        .ok_or_else(|| proto("missing `variant` (string)"))?
+        .parse()
+        .map_err(JobError::Protocol)?;
+    let seed = v
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| proto("missing `seed` (non-negative integer)"))?;
+
+    let graph = v.get("graph").ok_or_else(|| proto("missing `graph`"))?;
+    let graph_pairs = graph
+        .as_obj()
+        .ok_or_else(|| proto("`graph` must be an object"))?;
+    for (key, _) in graph_pairs {
+        if key != "n" && key != "edges" {
+            return Err(proto(format!("unknown key `graph.{key}`")));
+        }
+    }
+    let n = graph
+        .get("n")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| proto("missing `graph.n` (non-negative integer)"))?;
+    // Same request-size bound as the wire protocol's `# n` check: the
+    // body caps *bytes*, but `Graph::new(n)` allocates per declared
+    // vertex, so a ~60-byte body must not demand gigabytes.
+    let limit = (2 * body.len() as u64 + 1024).max(MIN_VERTEX_ALLOWANCE);
+    if n > limit {
+        return Err(proto(format!(
+            "declared vertex count {n} exceeds the request-size bound {limit}"
+        )));
+    }
+    let edges = graph
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| proto("missing `graph.edges` (array of arrays)"))?;
+    let mut rows: Vec<Vec<u64>> = Vec::with_capacity(edges.len());
+    for (i, edge) in edges.iter().enumerate() {
+        let fields = edge
+            .as_arr()
+            .ok_or_else(|| proto(format!("edge {i} must be an array")))?;
+        let row = fields
+            .iter()
+            .map(Json::as_u64)
+            .collect::<Option<Vec<u64>>>()
+            .ok_or_else(|| proto(format!("edge {i}: fields must be non-negative integers")))?;
+        rows.push(row);
+    }
+    let bad_graph = |e: gio::ParseGraphError| proto(format!("bad graph: {e}"));
+
+    let id_set = |key: &str, universe: usize| -> Result<EdgeSet, JobError> {
+        let ids = v
+            .get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| proto(format!("missing `{key}` (array of edge ids)")))?;
+        let mut set = EdgeSet::new(universe);
+        for id in ids {
+            let id = id
+                .as_u64()
+                .ok_or_else(|| proto(format!("`{key}` ids must be non-negative integers")))?
+                as usize;
+            if id >= universe {
+                return Err(proto(format!(
+                    "{key} id {id} out of range for {universe} edges"
+                )));
+            }
+            set.insert(id);
+        }
+        Ok(set)
+    };
+
+    if !matches!(variant, VariantKind::ClientServer)
+        && (v.get("clients").is_some() || v.get("servers").is_some())
+    {
+        return Err(proto(
+            "`clients`/`servers` only apply to the client-server variant",
+        ));
+    }
+
+    let instance = match variant {
+        VariantKind::Undirected => {
+            let (graph, w) = gio::edge_rows_to_graph(n as usize, &rows).map_err(bad_graph)?;
+            if w.is_some() {
+                return Err(proto("undirected variant takes [u, v] edges"));
+            }
+            VariantInstance::Undirected { graph }
+        }
+        VariantKind::Weighted => {
+            let (graph, w) = gio::edge_rows_to_graph(n as usize, &rows).map_err(bad_graph)?;
+            let weights = w.ok_or_else(|| proto("weighted variant needs [u, v, w] edges"))?;
+            VariantInstance::Weighted { graph, weights }
+        }
+        VariantKind::Directed => {
+            let graph = gio::edge_rows_to_digraph(n as usize, &rows).map_err(bad_graph)?;
+            VariantInstance::Directed { graph }
+        }
+        VariantKind::ClientServer => {
+            let (graph, w) = gio::edge_rows_to_graph(n as usize, &rows).map_err(bad_graph)?;
+            if w.is_some() {
+                return Err(proto("client-server variant takes [u, v] edges"));
+            }
+            let m = graph.num_edges();
+            let clients = id_set("clients", m)?;
+            let servers = id_set("servers", m)?;
+            VariantInstance::ClientServer {
+                graph,
+                clients,
+                servers,
+            }
+        }
+    };
+
+    let mut config = EngineConfig::seeded(seed);
+    let opt_u64 = |key: &str| -> Result<Option<u64>, JobError> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(x) => x
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| proto(format!("`{key}` must be a non-negative integer"))),
+        }
+    };
+    let opt_bool = |key: &str| -> Result<Option<bool>, JobError> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(x) => x
+                .as_bool()
+                .map(Some)
+                .ok_or_else(|| proto(format!("`{key}` must be a boolean"))),
+        }
+    };
+    if let Some(d) = opt_u64("accept_denominator")? {
+        config.accept_denominator = d;
+    }
+    if let Some(m) = opt_bool("monotone")? {
+        config.monotone_stars = m;
+    }
+    if let Some(r) = opt_bool("round_densities")? {
+        config.round_densities = r;
+    }
+    if let Some(m) = opt_u64("max_iterations")? {
+        config.max_iterations = m;
+    }
+    if let Some(s) = opt_u64("shards")? {
+        config.num_shards = s as usize;
+    }
+    let timeout = opt_u64("timeout_ms")?.map(Duration::from_millis);
+
+    Ok(JobSpec {
+        instance,
+        config,
+        timeout,
+    })
+}
+
+/// Encodes a job result as the `POST /v1/jobs` 200 body. Pure function
+/// of the response, so a cache hit is byte-identical to the cold
+/// computation.
+pub fn encode_job_response(resp: &JobResponse) -> String {
+    Json::Obj(vec![
+        ("key".to_string(), Json::Str(format!("{:016x}", resp.key))),
+        ("variant".to_string(), Json::Str(resp.kind.to_string())),
+        ("converged".to_string(), Json::Bool(resp.converged)),
+        ("iterations".to_string(), Json::U64(resp.iterations)),
+        ("local_rounds".to_string(), Json::U64(resp.local_rounds)),
+        ("star_fallbacks".to_string(), Json::U64(resp.star_fallbacks)),
+        (
+            "spanner_size".to_string(),
+            Json::U64(resp.spanner.len() as u64),
+        ),
+        (
+            "spanner".to_string(),
+            Json::Arr(resp.spanner.iter().map(|&e| Json::U64(e as u64)).collect()),
+        ),
+    ])
+    .encode()
+}
+
+/// Decodes a `POST /v1/jobs` 200 body back into a [`JobResponse`].
+pub fn decode_job_response(body: &[u8]) -> Result<JobResponse, JobError> {
+    let text = std::str::from_utf8(body).map_err(|_| proto("response is not UTF-8"))?;
+    let v = Json::parse(text).map_err(|e| proto(format!("bad JSON: {e}")))?;
+    let missing = |what: &str| proto(format!("missing `{what}` field"));
+    let key_hex = v
+        .get("key")
+        .and_then(Json::as_str)
+        .ok_or_else(|| missing("key"))?;
+    let key =
+        u64::from_str_radix(key_hex, 16).map_err(|_| proto(format!("invalid key `{key_hex}`")))?;
+    let kind: VariantKind = v
+        .get("variant")
+        .and_then(Json::as_str)
+        .ok_or_else(|| missing("variant"))?
+        .parse()
+        .map_err(JobError::Protocol)?;
+    let spanner = v
+        .get("spanner")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| missing("spanner"))?
+        .iter()
+        .map(|x| x.as_u64().map(|x| x as usize))
+        .collect::<Option<Vec<usize>>>()
+        .ok_or_else(|| proto("spanner ids must be non-negative integers"))?;
+    let size = v
+        .get("spanner_size")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| missing("spanner_size"))? as usize;
+    if spanner.len() != size {
+        return Err(proto(format!(
+            "spanner_size {size} does not match {} listed ids",
+            spanner.len()
+        )));
+    }
+    let field_u64 = |what: &str| {
+        v.get(what)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| missing(what))
+    };
+    Ok(JobResponse {
+        key,
+        kind,
+        spanner,
+        iterations: field_u64("iterations")?,
+        local_rounds: field_u64("local_rounds")?,
+        converged: v
+            .get("converged")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| missing("converged"))?,
+        star_fallbacks: field_u64("star_fallbacks")?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A blocking keep-alive client for the HTTP facade, used by
+/// `spanner-cli --http`, the `exp_http` bench, the HTTP self-check,
+/// and the integration tests.
+pub struct HttpClient {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects to a running [`HttpServer`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(HttpClient {
+            stream,
+            pending: Vec::new(),
+        })
+    }
+
+    /// Sends one request and returns `(status, body)`. The connection
+    /// is reused across calls (keep-alive).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, Vec<u8>), JobError> {
+        use std::io::Write;
+        let io_err = |e: std::io::Error| JobError::Io(e.to_string());
+        let mut req = format!("{method} {path} HTTP/1.1\r\nHost: spanner-serve\r\n");
+        if let Some(body) = body {
+            req.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        req.push_str("\r\n");
+        if let Some(body) = body {
+            req.push_str(body);
+        }
+        self.stream.write_all(req.as_bytes()).map_err(io_err)?;
+        self.stream.flush().map_err(io_err)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<(u16, Vec<u8>), JobError> {
+        use std::io::Read;
+        let io_err = |e: std::io::Error| JobError::Io(e.to_string());
+        loop {
+            let (head_len, term_len) = loop {
+                if let Some(found) = head_end(&self.pending) {
+                    break found;
+                }
+                if self.pending.len() > MAX_HEAD {
+                    return Err(proto("response head too large"));
+                }
+                let mut chunk = [0u8; 4096];
+                match self.stream.read(&mut chunk).map_err(io_err)? {
+                    0 => return Err(JobError::Io("server closed the connection".into())),
+                    k => self.pending.extend_from_slice(&chunk[..k]),
+                }
+            };
+            let head_bytes: Vec<u8> = self.pending.drain(..head_len + term_len).collect();
+            let head =
+                String::from_utf8(head_bytes).map_err(|_| proto("response head is not UTF-8"))?;
+            let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+            let status_line = lines.next().unwrap_or("");
+            let status: u16 = status_line
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| proto(format!("malformed status line `{status_line}`")))?;
+            // Interim responses (100 Continue) carry no body; wait for
+            // the final response.
+            if status == 100 {
+                continue;
+            }
+            let mut content_length = 0usize;
+            for line in lines {
+                if let Some((name, value)) = line.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("content-length") {
+                        content_length = value
+                            .trim()
+                            .parse()
+                            .map_err(|_| proto("invalid Content-Length in response"))?;
+                    }
+                }
+            }
+            if content_length > MAX_BODY {
+                return Err(proto("response body exceeds limit"));
+            }
+            while self.pending.len() < content_length {
+                let mut chunk = [0u8; 4096];
+                match self.stream.read(&mut chunk).map_err(io_err)? {
+                    0 => return Err(JobError::Io("server closed mid-response".into())),
+                    k => self.pending.extend_from_slice(&chunk[..k]),
+                }
+            }
+            let body: Vec<u8> = self.pending.drain(..content_length).collect();
+            return Ok((status, body));
+        }
+    }
+
+    /// Runs one job via `POST /v1/jobs` and decodes the response.
+    pub fn run(&mut self, spec: &JobSpec) -> Result<JobResponse, JobError> {
+        let (status, body) = self.run_raw(spec)?;
+        if status == 200 {
+            return decode_job_response(&body);
+        }
+        Err(JobError::Remote(format!(
+            "HTTP {status}: {}",
+            error_message(&body)
+        )))
+    }
+
+    /// Runs one job and returns the raw `(status, body bytes)` — what
+    /// the facade's byte-identity guarantee is stated over.
+    pub fn run_raw(&mut self, spec: &JobSpec) -> Result<(u16, Vec<u8>), JobError> {
+        self.request("POST", "/v1/jobs", Some(&encode_job_spec(spec)))
+    }
+
+    /// Fetches `/v1/metrics` as one JSON line.
+    pub fn metrics_json(&mut self) -> Result<String, JobError> {
+        let (status, body) = self.request("GET", "/v1/metrics", None)?;
+        if status != 200 {
+            return Err(JobError::Remote(format!(
+                "HTTP {status}: {}",
+                error_message(&body)
+            )));
+        }
+        String::from_utf8(body).map_err(|_| proto("metrics body is not UTF-8"))
+    }
+
+    /// Liveness probe via `GET /healthz`.
+    pub fn healthz(&mut self) -> Result<(), JobError> {
+        let (status, body) = self.request("GET", "/healthz", None)?;
+        if status != 200 {
+            return Err(JobError::Remote(format!(
+                "HTTP {status}: {}",
+                error_message(&body)
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Extracts the `error` field of an error body, or shows the raw body.
+fn error_message(body: &[u8]) -> String {
+    std::str::from_utf8(body)
+        .ok()
+        .and_then(|text| {
+            Json::parse(text)
+                .ok()
+                .and_then(|v| v.get("error").and_then(Json::as_str).map(String::from))
+        })
+        .unwrap_or_else(|| String::from_utf8_lossy(body).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::canonicalize_job;
+    use dsa_graphs::EdgeWeights;
+
+    fn roundtrip(spec: &JobSpec) -> JobSpec {
+        decode_job_spec(encode_job_spec(spec).as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn spec_roundtrips_all_variants() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let d = dsa_graphs::DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let specs = [
+            JobSpec::new(VariantInstance::Undirected { graph: g.clone() }, 3),
+            JobSpec::new(VariantInstance::Directed { graph: d }, 4),
+            JobSpec::new(
+                VariantInstance::Weighted {
+                    graph: g.clone(),
+                    weights: EdgeWeights::from_vec(vec![2, 0, 5, 7]),
+                },
+                5,
+            ),
+            JobSpec::new(
+                VariantInstance::ClientServer {
+                    graph: g.clone(),
+                    clients: EdgeSet::from_iter(4, [0, 1, 3]),
+                    servers: EdgeSet::from_iter(4, [1, 2, 3]),
+                },
+                6,
+            ),
+        ];
+        for spec in &specs {
+            let back = roundtrip(spec);
+            assert_eq!(back.instance.kind(), spec.instance.kind());
+            assert_eq!(back.config.seed, spec.config.seed);
+            // Canonical-key agreement is the identity the cache uses —
+            // and it also proves a JSON submission shares the cache
+            // entry of the equivalent wire submission.
+            assert_eq!(
+                canonicalize_job(&back).unwrap().key,
+                canonicalize_job(spec).unwrap().key,
+            );
+        }
+    }
+
+    #[test]
+    fn spec_carries_config_and_timeout() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let mut spec = JobSpec::new(VariantInstance::Undirected { graph: g }, u64::MAX);
+        spec.config.accept_denominator = 16;
+        spec.config.monotone_stars = false;
+        spec.config.round_densities = false;
+        spec.config.max_iterations = 12_345;
+        spec.config.num_shards = 4;
+        spec.timeout = Some(Duration::from_millis(1500));
+        let back = roundtrip(&spec);
+        assert_eq!(back.config.seed, u64::MAX, "u64 seeds stay exact");
+        assert_eq!(back.config.accept_denominator, 16);
+        assert!(!back.config.monotone_stars);
+        assert!(!back.config.round_densities);
+        assert_eq!(back.config.max_iterations, 12_345);
+        assert_eq!(back.config.num_shards, 4);
+        assert_eq!(back.timeout, Some(Duration::from_millis(1500)));
+    }
+
+    #[test]
+    fn malformed_specs_error_cleanly() {
+        for bad in [
+            "not json at all",
+            "[1,2,3]",
+            r#"{"variant":"undirected"}"#,
+            r#"{"variant":"undirected","seed":1}"#,
+            r#"{"variant":"bogus","seed":1,"graph":{"n":2,"edges":[[0,1]]}}"#,
+            r#"{"variant":"undirected","seed":-1,"graph":{"n":2,"edges":[[0,1]]}}"#,
+            r#"{"variant":"undirected","seed":1,"graph":{"n":2,"edges":[[0,1]]},"bogus":1}"#,
+            r#"{"variant":"undirected","seed":1,"graph":{"n":2,"edges":[[0,1]],"x":1}}"#,
+            r#"{"variant":"undirected","seed":1,"graph":{"n":2,"edges":[[0,1,2,3]]}}"#,
+            r#"{"variant":"undirected","seed":1,"graph":{"n":2,"edges":[[0,5]]}}"#,
+            r#"{"variant":"undirected","seed":1,"graph":{"n":2,"edges":[[0,1,7]]}}"#,
+            r#"{"variant":"undirected","seed":1,"graph":{"n":2,"edges":[0,1]}}"#,
+            r#"{"variant":"undirected","seed":1,"graph":{"n":2,"edges":[["a","b"]]}}"#,
+            r#"{"variant":"weighted","seed":1,"graph":{"n":2,"edges":[[0,1]]}}"#,
+            r#"{"variant":"undirected","seed":1,"graph":{"n":2,"edges":[[0,1]]},"clients":[0]}"#,
+            r#"{"variant":"client-server","seed":1,"graph":{"n":2,"edges":[[0,1]]},"clients":[9],"servers":[0]}"#,
+            r#"{"variant":"client-server","seed":1,"graph":{"n":2,"edges":[[0,1]]}}"#,
+            r#"{"variant":"undirected","seed":1,"graph":{"n":99999999999999,"edges":[[0,1]]}}"#,
+            r#"{"variant":"undirected","seed":1,"graph":{"n":2,"edges":[[0,1]]},"shards":true}"#,
+            r#"{"variant":"undirected","seed":1,"graph":{"n":2,"edges":[[0,1]]},"monotone":1}"#,
+        ] {
+            assert!(
+                matches!(decode_job_spec(bad.as_bytes()), Err(JobError::Protocol(_))),
+                "accepted: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_and_wire_submissions_share_a_cache_key() {
+        // The same edge set through the JSON decoder and the wire
+        // decoder canonicalizes to the same job key, including when
+        // the JSON spelling carries self-loops and duplicates.
+        let via_json = decode_job_spec(
+            br#"{"variant":"undirected","seed":9,"graph":{"n":3,"edges":[[0,1],[1,1],[1,0],[1,2]]}}"#,
+        )
+        .unwrap();
+        let via_wire = match crate::wire::decode_request(
+            b"run v1\nvariant undirected\nseed 9\ngraph\n# n 3\n1 2\n0 1\n",
+        )
+        .unwrap()
+        {
+            crate::wire::Request::Run(spec) => *spec,
+            other => panic!("expected run request, got {other:?}"),
+        };
+        assert_eq!(
+            canonicalize_job(&via_json).unwrap().key,
+            canonicalize_job(&via_wire).unwrap().key
+        );
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resp = JobResponse {
+            key: 0xdead_beef_0123_4567,
+            kind: VariantKind::ClientServer,
+            spanner: vec![0, 3, 9],
+            iterations: 7,
+            local_rounds: 49,
+            converged: true,
+            star_fallbacks: 0,
+        };
+        let encoded = encode_job_response(&resp);
+        assert_eq!(decode_job_response(encoded.as_bytes()).unwrap(), resp);
+        let empty = JobResponse {
+            spanner: vec![],
+            ..resp
+        };
+        assert_eq!(
+            decode_job_response(encode_job_response(&empty).as_bytes()).unwrap(),
+            empty
+        );
+        // A size/list mismatch is rejected like the wire decoder does.
+        let lying = encoded.replace("\"spanner_size\":3", "\"spanner_size\":2");
+        assert!(decode_job_response(lying.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn head_parsing_basics() {
+        let head = parse_head(
+            b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\nExpect: 100-continue\r\n",
+        )
+        .unwrap_or_else(|_| panic!("valid head rejected"));
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.path, "/v1/jobs");
+        assert_eq!(head.content_length, 12);
+        assert!(head.keep_alive);
+        assert!(head.expect_continue);
+        let head = parse_head(b"GET /healthz?probe=1 HTTP/1.0\r\n")
+            .unwrap_or_else(|_| panic!("valid head rejected"));
+        assert_eq!(head.path, "/healthz", "query strings are stripped");
+        assert!(!head.keep_alive, "HTTP/1.0 defaults to close");
+        for bad in [
+            &b"GARBAGE\r\n"[..],
+            b"GET /x HTTP/2\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n",
+            b"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n",
+            b"GET /x HTTP/1.1\r\nnocolon\r\n",
+        ] {
+            assert!(parse_head(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn head_end_finds_both_terminators() {
+        assert_eq!(head_end(b"a\r\n\r\nbody"), Some((1, 4)));
+        assert_eq!(head_end(b"a\n\nbody"), Some((1, 2)));
+        assert_eq!(head_end(b"a\r\nb"), None);
+        assert_eq!(head_end(b""), None);
+    }
+}

@@ -48,14 +48,17 @@
 
 mod cache;
 pub mod client;
+pub mod http;
 mod job;
 mod metrics;
+mod net;
 mod pool;
 pub mod server;
 mod service;
 pub mod wire;
 
 pub use client::Client;
+pub use http::{HttpClient, HttpServer};
 pub use job::{JobError, JobResponse, JobSpec};
 pub use metrics::MetricsSnapshot;
 pub use server::Server;

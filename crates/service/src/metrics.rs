@@ -10,8 +10,13 @@
 //! * **coalesced** — an identical job was already in flight, the
 //!   submission joined it.
 //!
-//! So `submitted == cache_hits + cache_misses + coalesced` always, and
-//! with coalescing idle (no concurrent duplicates) the identity reads
+//! So `submitted == cache_hits + cache_misses + coalesced` always —
+//! and not just eventually: the submitted count and its class advance
+//! *together* under one lock, and [`ServiceMetrics::snapshot`] reads
+//! the four counters under the same lock, so the identity holds at
+//! every observation point (the `/v1/metrics` HTTP endpoint and the
+//! TCP `stats` command both serve such coherent snapshots). With
+//! coalescing idle (no concurrent duplicates) the identity reads
 //! `jobs == hits + misses`. Latency percentile math reuses
 //! [`dsa_runtime::LatencyRecorder`] rather than duplicating it.
 
@@ -21,15 +26,23 @@ use std::time::{Duration, Instant};
 
 use dsa_runtime::LatencyRecorder;
 
+/// The classification counters, advanced and snapshotted as one unit
+/// so `submitted == cache_hits + cache_misses + coalesced` can never
+/// be observed mid-update.
+#[derive(Clone, Copy, Debug, Default)]
+struct Classified {
+    submitted: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    coalesced: u64,
+}
+
 /// Interior-mutable counters shared by the service, its workers, and
-/// the wire frontend.
+/// the wire/HTTP frontends.
 #[derive(Debug)]
 pub(crate) struct ServiceMetrics {
     started: Instant,
-    submitted: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    coalesced: AtomicU64,
+    classified: Mutex<Classified>,
     completed: AtomicU64,
     skipped: AtomicU64,
     aborted: AtomicU64,
@@ -51,10 +64,7 @@ impl ServiceMetrics {
     pub fn new() -> Self {
         ServiceMetrics {
             started: Instant::now(),
-            submitted: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
+            classified: Mutex::new(Classified::default()),
             completed: AtomicU64::new(0),
             skipped: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
@@ -67,20 +77,26 @@ impl ServiceMetrics {
         }
     }
 
-    pub fn on_submitted(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-    }
-
+    /// Classifying a submission counts it: `submitted` and the class
+    /// advance under one lock, so the `submitted == hits + misses +
+    /// coalesced` identity holds at every instant a snapshot can
+    /// observe.
     pub fn on_cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let mut c = self.classified.lock().expect("classified lock");
+        c.submitted += 1;
+        c.cache_hits += 1;
     }
 
     pub fn on_cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let mut c = self.classified.lock().expect("classified lock");
+        c.submitted += 1;
+        c.cache_misses += 1;
     }
 
     pub fn on_coalesced(&self) {
-        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        let mut c = self.classified.lock().expect("classified lock");
+        c.submitted += 1;
+        c.coalesced += 1;
     }
 
     /// A response actually reached a waiting caller — the only place
@@ -123,21 +139,23 @@ impl ServiceMetrics {
             .record_micros(latency.as_micros() as u64);
     }
 
-    /// A consistent-enough point-in-time view (counters are read
-    /// individually; the snapshot is advisory, not transactional).
+    /// A point-in-time view. The classification counters are copied
+    /// under their shared lock, so `jobs_submitted == cache_hits +
+    /// cache_misses + coalesced` holds in *every* snapshot, including
+    /// ones taken while submissions race; the remaining counters are
+    /// advisory (read individually).
     pub fn snapshot(&self) -> MetricsSnapshot {
         let latency = self.latency.lock().expect("latency lock").clone();
-        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
-        let cache_misses = self.cache_misses.load(Ordering::Relaxed);
+        let c = *self.classified.lock().expect("classified lock");
         let completed = self.completed.load(Ordering::Relaxed);
         let uptime = self.started.elapsed();
-        let classified = cache_hits + cache_misses;
+        let classified = c.cache_hits + c.cache_misses;
         MetricsSnapshot {
-            jobs_submitted: self.submitted.load(Ordering::Relaxed),
+            jobs_submitted: c.submitted,
             jobs_completed: completed,
-            cache_hits,
-            cache_misses,
-            coalesced: self.coalesced.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits,
+            cache_misses: c.cache_misses,
+            coalesced: c.coalesced,
             skipped: self.skipped.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
@@ -146,7 +164,7 @@ impl ServiceMetrics {
             cache_hit_rate: if classified == 0 {
                 0.0
             } else {
-                cache_hits as f64 / classified as f64
+                c.cache_hits as f64 / classified as f64
             },
             throughput_jobs_per_sec: if uptime.as_secs_f64() > 0.0 {
                 completed as f64 / uptime.as_secs_f64()
@@ -254,9 +272,6 @@ mod tests {
     #[test]
     fn counters_add_up() {
         let m = ServiceMetrics::new();
-        for _ in 0..5 {
-            m.on_submitted();
-        }
         m.on_cache_miss();
         m.on_executed(10, 70, Duration::from_micros(1_000));
         m.on_cache_hit();
@@ -283,6 +298,33 @@ mod tests {
         assert_eq!(s.engine_local_rounds, 112);
         assert_eq!(s.p50_latency_us, 1_000);
         assert_eq!(s.p95_latency_us, 3_000);
+    }
+
+    #[test]
+    fn snapshot_is_coherent_under_concurrent_classification() {
+        // Regression test for the snapshot race: before classification
+        // moved under one lock, a snapshot could land between the
+        // submitted increment and the class increment and observe
+        // `jobs != hits + misses + coalesced`. Hammer the three
+        // classification paths from three threads while a reader
+        // asserts the identity on every snapshot.
+        let m = ServiceMetrics::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| (0..2_000).for_each(|_| m.on_cache_hit()));
+            scope.spawn(|| (0..2_000).for_each(|_| m.on_cache_miss()));
+            scope.spawn(|| (0..2_000).for_each(|_| m.on_coalesced()));
+            for _ in 0..500 {
+                let s = m.snapshot();
+                assert_eq!(
+                    s.jobs_submitted,
+                    s.cache_hits + s.cache_misses + s.coalesced,
+                    "snapshot observed a mid-update classification"
+                );
+            }
+        });
+        let s = m.snapshot();
+        assert_eq!(s.jobs_submitted, 6_000);
+        assert_eq!(s.cache_hits + s.cache_misses + s.coalesced, 6_000);
     }
 
     #[test]

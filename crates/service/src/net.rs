@@ -1,0 +1,157 @@
+//! Shared TCP listener scaffolding for the serving frontends.
+//!
+//! Both frontends — the length-prefixed wire protocol
+//! ([`crate::server`]) and the HTTP/JSON facade ([`crate::http`]) —
+//! need the same machinery around their per-connection logic: an
+//! accept loop that survives transient errors, one named thread per
+//! connection with finished threads reaped as new ones arrive, a stop
+//! flag polled by idle connections, and a shutdown path that unblocks
+//! the accept call and joins everything. This module hosts that
+//! machinery once; the frontends supply only their connection handler.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Polling interval for the shutdown flag while a connection is idle.
+pub(crate) const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// A bound listener serving connections on background threads.
+/// Dropping it (or calling [`ListenerHandle::shutdown`]) stops the
+/// accept loop and joins every connection thread.
+pub(crate) struct ListenerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ListenerHandle {
+    /// Binds `addr` (port 0 for ephemeral) and starts accepting.
+    /// Every connection runs `handler(stream, stop)` on its own
+    /// thread named `conn_name`.
+    pub fn start<A, F>(
+        addr: A,
+        accept_name: &str,
+        conn_name: &'static str,
+        handler: F,
+    ) -> std::io::Result<ListenerHandle>
+    where
+        A: ToSocketAddrs,
+        F: Fn(TcpStream, &AtomicBool) + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(accept_name.to_string())
+                .spawn(move || accept_loop(&listener, &stop, conn_name, &handler))?
+        };
+        Ok(ListenerHandle {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, waits for live connections to finish their
+    /// current request, and joins the accept loop. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ListenerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop<F>(
+    listener: &TcpListener,
+    stop: &Arc<AtomicBool>,
+    conn_name: &'static str,
+    handler: &F,
+) where
+    F: Fn(TcpStream, &AtomicBool) + Send + Sync,
+{
+    // Joined on exit so shutdown leaves no detached threads behind;
+    // finished handles are reaped as new connections arrive so the
+    // list tracks live connections, not lifetime connection count.
+    std::thread::scope(|scope| {
+        let mut conn_threads: Vec<std::thread::ScopedJoinHandle<'_, ()>> = Vec::new();
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stop = Arc::clone(stop);
+                    let spawned = std::thread::Builder::new()
+                        .name(conn_name.into())
+                        .spawn_scoped(scope, move || handler(stream, &stop));
+                    conn_threads.retain(|t| !t.is_finished());
+                    match spawned {
+                        Ok(handle) => conn_threads.push(handle),
+                        // Thread exhaustion is the same overload as an
+                        // accept error: shed this connection (the
+                        // stream was moved into the failed spawn and
+                        // is already closed), back off, keep listening.
+                        Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                    }
+                }
+                Err(_) => {
+                    // Accept errors (aborted handshakes, EINTR, fd
+                    // exhaustion under load) are transient for a
+                    // daemon: back off briefly and keep listening.
+                    // Shutdown is signalled through `stop`, never
+                    // through an error.
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+        // The scope joins any still-running connection threads.
+    });
+}
+
+/// Wraps a read-timeout stream so timeout errors read as retries while
+/// the frontend is live and as clean EOF once shutdown is requested
+/// (so a frame/request boundary maps to a clean close).
+pub(crate) struct ShutdownReader<'a> {
+    pub stream: &'a TcpStream,
+    pub stop: &'a AtomicBool,
+}
+
+impl std::io::Read for ShutdownReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match std::io::Read::read(&mut self.stream, buf) {
+                Err(e)
+                    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+                        && !self.stop.load(Ordering::SeqCst) =>
+                {
+                    continue
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    // Shutdown requested: report EOF.
+                    return Ok(0);
+                }
+                other => return other,
+            }
+        }
+    }
+}

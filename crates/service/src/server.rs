@@ -1,28 +1,26 @@
 //! The TCP frontend: one accept loop, one thread per connection, each
 //! connection multiplexing any number of request frames against the
-//! shared [`Service`].
+//! shared [`Service`]. The listener scaffolding (accept loop, thread
+//! reaping, shutdown flag) lives in [`crate::net`] and is shared with
+//! the HTTP facade ([`crate::http`]).
 
-use std::io::ErrorKind;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
+use crate::net::{ListenerHandle, ShutdownReader, IDLE_POLL};
 use crate::service::{Service, ServiceConfig};
 use crate::wire::{
     decode_request, encode_error_response, encode_pong_response, encode_run_response,
     encode_stats_response, read_frame, write_frame, Request,
 };
 
-/// A running `spanner-serve` frontend. Dropping it (or calling
+/// A running `spanner-serve` wire frontend. Dropping it (or calling
 /// [`Server::shutdown`]) stops the accept loop, joins the connection
 /// threads, and tears down the service workers.
 pub struct Server {
-    addr: SocketAddr,
+    listener: ListenerHandle,
     service: Arc<Service>,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -33,32 +31,26 @@ impl Server {
     }
 
     /// Like [`Server::start`], over an existing service (so in-process
-    /// callers and remote clients can share one cache).
+    /// callers, HTTP clients, and wire clients can share one cache).
     pub fn with_service<A: ToSocketAddrs>(
         addr: A,
         service: Arc<Service>,
     ) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_thread = {
+        let listener = {
             let service = Arc::clone(&service);
-            let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("spanner-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &service, &stop))?
+            ListenerHandle::start(
+                addr,
+                "spanner-serve-accept",
+                "spanner-serve-conn",
+                move |stream, stop| serve_connection(stream, &service, stop),
+            )?
         };
-        Ok(Server {
-            addr,
-            service,
-            stop,
-            accept_thread: Some(accept_thread),
-        })
+        Ok(Server { listener, service })
     }
 
     /// The bound address (with the real port when 0 was requested).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.listener.addr()
     }
 
     /// The shared service behind this frontend.
@@ -69,72 +61,14 @@ impl Server {
     /// Stops accepting, waits for live connections to finish their
     /// current frame, and joins the accept loop.
     pub fn shutdown(mut self) {
-        self.stop_accepting();
-    }
-
-    fn stop_accepting(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept call with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.listener.shutdown();
     }
 }
 
-impl Drop for Server {
-    fn drop(&mut self) {
-        self.stop_accepting();
-    }
-}
-
-fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &Arc<AtomicBool>) {
-    // Joined on exit so shutdown leaves no detached threads behind;
-    // finished handles are reaped as new connections arrive so the
-    // list tracks live connections, not lifetime connection count.
-    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
-    while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let service = Arc::clone(service);
-                let stop = Arc::clone(stop);
-                let spawned = std::thread::Builder::new()
-                    .name("spanner-serve-conn".into())
-                    .spawn(move || serve_connection(stream, &service, &stop));
-                conn_threads.retain(|t| !t.is_finished());
-                match spawned {
-                    Ok(handle) => conn_threads.push(handle),
-                    // Thread exhaustion is the same overload as an
-                    // accept error: shed this connection (the stream
-                    // was moved into the failed spawn and is already
-                    // closed), back off, keep listening.
-                    Err(_) => std::thread::sleep(Duration::from_millis(50)),
-                }
-            }
-            Err(_) => {
-                // Accept errors (aborted handshakes, EINTR, fd
-                // exhaustion under load) are transient for a daemon:
-                // back off briefly and keep listening. Shutdown is
-                // signalled through `stop`, never through an error.
-                std::thread::sleep(Duration::from_millis(50));
-            }
-        }
-    }
-    for t in conn_threads {
-        let _ = t.join();
-    }
-}
-
-/// Polling interval for the shutdown flag while a connection is idle.
-const IDLE_POLL: Duration = Duration::from_millis(200);
-
-fn serve_connection(stream: TcpStream, service: &Arc<Service>, stop: &Arc<AtomicBool>) {
+fn serve_connection(stream: TcpStream, service: &Arc<Service>, stop: &AtomicBool) {
     // A read timeout turns a blocked idle read into a periodic
-    // shutdown-flag check. `read_with_shutdown` below retries cleanly,
-    // so in-flight frames are never corrupted by the poll.
+    // shutdown-flag check. `ShutdownReader` retries cleanly, so
+    // in-flight frames are never corrupted by the poll.
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let _ = stream.set_nodelay(true);
     let mut reader = ShutdownReader {
@@ -154,34 +88,6 @@ fn serve_connection(stream: TcpStream, service: &Arc<Service>, stop: &Arc<Atomic
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
-}
-
-/// Wraps the stream so timeout errors while *between* frames read as
-/// clean EOF once shutdown is requested, and are retried otherwise.
-struct ShutdownReader<'a> {
-    stream: &'a TcpStream,
-    stop: &'a AtomicBool,
-}
-
-impl std::io::Read for ShutdownReader<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        loop {
-            match std::io::Read::read(&mut self.stream, buf) {
-                Err(e)
-                    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
-                        && !self.stop.load(Ordering::SeqCst) =>
-                {
-                    continue
-                }
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    // Shutdown requested: report EOF. read_frame maps
-                    // EOF at a frame boundary to a clean close.
-                    return Ok(0);
-                }
-                other => return other,
-            }
-        }
-    }
 }
 
 fn handle_request(payload: &[u8], service: &Arc<Service>) -> String {

@@ -185,7 +185,6 @@ impl Service {
                 return Err(e);
             }
         };
-        self.shared.metrics.on_submitted();
         let kind = job.instance.kind();
         let handle_base = |source| JobHandle {
             key: job.key,

@@ -20,6 +20,31 @@ fn spanner_serve_self_check_passes() {
 }
 
 #[test]
+fn spanner_serve_http_self_check_passes() {
+    let out = Command::new(env!("CARGO_BIN_EXE_spanner-serve"))
+        .args(["--self-check", "--http"])
+        .output()
+        .expect("run spanner-serve");
+    assert!(
+        out.status.success(),
+        "http self-check failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("self-check ok"));
+}
+
+#[test]
+fn http_flag_without_self_check_is_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_spanner-serve"))
+        .arg("--http")
+        .output()
+        .expect("run spanner-serve");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--http-port"));
+}
+
+#[test]
 fn unknown_flags_exit_with_usage() {
     let out = Command::new(env!("CARGO_BIN_EXE_spanner-serve"))
         .arg("--bogus")
