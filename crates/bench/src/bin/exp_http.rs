@@ -85,8 +85,7 @@ fn main() {
         workers,
         queue_capacity: jobs.max(64),
         cache_capacity: unique.max(64),
-        default_timeout: None,
-        engine_shards: None,
+        ..ServiceConfig::default()
     }));
     let server =
         HttpServer::with_service("127.0.0.1:0", Arc::clone(&service)).expect("bind http server");

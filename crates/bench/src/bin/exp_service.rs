@@ -9,6 +9,13 @@
 //! service run submits the same stream from multiple client threads
 //! against an 8-worker [`dsa_service::Service`].
 //!
+//! A third phase measures the persistent store: the same stream is
+//! replayed through a service whose results land in a disk-backed
+//! `cache_dir`, the service is dropped ("restart"), and a fresh
+//! service over the same directory re-serves the stream — reporting
+//! the warm-start hit rate (it must be 1.0: every job answered from
+//! the warm LRU or the verified disk log, zero engine re-runs).
+//!
 //! Output is one JSON object (machine-readable, used by the
 //! acceptance check "speedup >= 3x with 8 workers and >= 50%
 //! duplicates") followed by a human-readable summary on stderr.
@@ -88,8 +95,7 @@ fn main() {
         workers,
         queue_capacity: jobs.max(64),
         cache_capacity: unique.max(64),
-        default_timeout: None,
-        engine_shards: None,
+        ..ServiceConfig::default()
     }));
     let client_threads = workers.clamp(2, 8);
     let t0 = Instant::now();
@@ -125,6 +131,40 @@ fn main() {
     // the edge totals must agree exactly.
     assert_eq!(baseline_edges, served_edges, "service changed results");
 
+    // Warm-restart phase: fill a persistent store, "restart" (drop the
+    // service), and re-serve the whole stream from the same directory.
+    let store_dir = std::env::temp_dir().join(format!("exp-service-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let persistent_cfg = ServiceConfig {
+        workers,
+        queue_capacity: jobs.max(64),
+        // Smaller than the record count so part of the warm stream
+        // must travel the verified disk path, not just the warm LRU.
+        cache_capacity: (unique / 2).max(1),
+        cache_dir: Some(store_dir.clone()),
+        ..ServiceConfig::default()
+    };
+    {
+        let filler = Service::new(&persistent_cfg);
+        for &i in &stream {
+            assert!(filler.run(&pool[i]).expect("fill run").converged);
+        }
+        assert_eq!(filler.metrics().store_records, unique as u64);
+    }
+    let warm_service = Service::new(&persistent_cfg);
+    let t0 = Instant::now();
+    let mut warm_edges = 0usize;
+    for &i in &stream {
+        warm_edges += warm_service.run(&pool[i]).expect("warm run").spanner.len();
+    }
+    let warm_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(baseline_edges, warm_edges, "restart changed results");
+    let wm = warm_service.metrics();
+    assert_eq!(wm.cache_misses, 0, "warm restart re-ran the engine");
+    assert!(wm.disk_hits > 0, "warm restart never touched the disk log");
+    let warm_hit_rate = wm.cache_hits as f64 / wm.jobs_submitted as f64;
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     let m = service.metrics();
     let speedup = seq_secs / svc_secs;
     println!(
@@ -135,7 +175,9 @@ fn main() {
             "\"seq_jobs_per_sec\":{:.1},\"service_jobs_per_sec\":{:.1},",
             "\"cache_hit_rate\":{:.3},\"cache_hits\":{},\"cache_misses\":{},",
             "\"coalesced\":{},\"p50_latency_us\":{},\"p95_latency_us\":{},",
-            "\"engine_local_rounds\":{}}}"
+            "\"engine_local_rounds\":{},",
+            "\"warm_hit_rate\":{:.3},\"warm_disk_hits\":{},\"warm_store_records\":{},",
+            "\"warm_seconds\":{:.4},\"warm_jobs_per_sec\":{:.1}}}"
         ),
         jobs,
         unique,
@@ -154,14 +196,23 @@ fn main() {
         m.p50_latency_us,
         m.p95_latency_us,
         m.engine_local_rounds,
+        warm_hit_rate,
+        wm.disk_hits,
+        wm.store_records,
+        warm_secs,
+        jobs as f64 / warm_secs,
     );
     eprintln!(
         "exp_service: {jobs} jobs ({unique} unique, {:.0}% duplicates), {workers} workers: \
-         {:.2}x over sequential ({:.1} -> {:.1} jobs/s), cache hit rate {:.0}%",
+         {:.2}x over sequential ({:.1} -> {:.1} jobs/s), cache hit rate {:.0}%; \
+         warm restart: {:.0}% hits ({} from disk), {:.1} jobs/s",
         dup_fraction * 100.0,
         speedup,
         jobs as f64 / seq_secs,
         jobs as f64 / svc_secs,
         m.cache_hit_rate * 100.0,
+        warm_hit_rate * 100.0,
+        wm.disk_hits,
+        jobs as f64 / warm_secs,
     );
 }

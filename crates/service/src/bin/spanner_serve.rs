@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! spanner-serve [--addr HOST:PORT] [--http-port PORT] [--workers N]
-//!               [--queue N] [--cache N] [--shards N]
+//!               [--queue N] [--cache N] [--shards N] [--cache-dir DIR]
 //!               [--self-check [--http]]
 //! ```
 //!
@@ -19,6 +19,13 @@
 //! headers. Responses are unaffected — the engine is
 //! shard-count-deterministic — so this is purely a resource knob.
 //!
+//! `--cache-dir DIR` persists every completed result to an
+//! append-only, checksummed record log in `DIR` and consults it on
+//! cache misses, so a restarted server answers previously computed
+//! instances byte-identically without re-running the engine (the log's
+//! most recent records also warm the in-memory LRU at startup; a
+//! corrupt or truncated log tail is dropped and counted, never fatal).
+//!
 //! Without `--self-check` the process binds the address (default
 //! `127.0.0.1:7071`, port 0 for ephemeral), prints one
 //! `listening <addr>` line (plus `http listening <addr>` with
@@ -30,14 +37,20 @@
 //! variants via `POST /v1/jobs`, cache byte-identity over response
 //! bodies, a TCP+HTTP shared-cache check, and the
 //! `jobs = hits + misses + coalesced` invariant read from
-//! `/v1/metrics`.
+//! `/v1/metrics`. `--self-check --cache-dir DIR` runs the
+//! *warm-restart* flavor instead: serve all four variants over TCP and
+//! HTTP into a store at `DIR`, shut the service down, reopen the same
+//! directory, and assert that every re-submission returns
+//! byte-identical bodies on both surfaces with `disk_hits > 0` and the
+//! metrics invariant intact.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use dsa_core::dist::VariantInstance;
 use dsa_graphs::{gen, EdgeSet, Graph};
 use dsa_runtime::json::Json;
-use dsa_service::{Client, HttpClient, HttpServer, JobSpec, Server, ServiceConfig};
+use dsa_service::{Client, HttpClient, HttpServer, JobSpec, Server, Service, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -49,7 +62,7 @@ struct Args {
     http: bool,
 }
 
-const USAGE: &str = "usage: spanner-serve [--addr HOST:PORT] [--http-port PORT] [--workers N] [--queue N] [--cache N] [--shards N] [--self-check [--http]]";
+const USAGE: &str = "usage: spanner-serve [--addr HOST:PORT] [--http-port PORT] [--workers N] [--queue N] [--cache N] [--shards N] [--cache-dir DIR] [--self-check [--http]]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -95,6 +108,7 @@ fn parse_args() -> Args {
             "--queue" => args.cfg.queue_capacity = parse_num(&value("--queue"), "--queue"),
             "--cache" => args.cfg.cache_capacity = parse_num(&value("--cache"), "--cache"),
             "--shards" => args.cfg.engine_shards = Some(parse_num(&value("--shards"), "--shards")),
+            "--cache-dir" => args.cfg.cache_dir = Some(value("--cache-dir").into()),
             "--self-check" => args.self_check = true,
             "--http" => args.http = true,
             "--help" | "-h" => help(),
@@ -129,7 +143,16 @@ fn main() -> ExitCode {
     if args.self_check {
         return self_check(&args.cfg, args.http);
     }
-    let server = match Server::start(args.addr.as_str(), &args.cfg) {
+    // Open the service first (so a bad --cache-dir reports as a store
+    // problem, not a bind problem), then attach the frontends to it.
+    let service = match Service::open(&args.cfg) {
+        Ok(service) => Arc::new(service),
+        Err(e) => {
+            eprintln!("spanner-serve: cannot open result store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::with_service(args.addr.as_str(), service) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("spanner-serve: cannot bind {}: {e}", args.addr);
@@ -162,7 +185,9 @@ fn main() -> ExitCode {
 }
 
 fn self_check(cfg: &ServiceConfig, http: bool) -> ExitCode {
-    let result = if http {
+    let result = if cfg.cache_dir.is_some() {
+        self_check_persistent(cfg)
+    } else if http {
         self_check_http(cfg)
     } else {
         self_check_tcp(cfg)
@@ -382,6 +407,160 @@ fn self_check_http(cfg: &ServiceConfig) -> Result<(), String> {
     client
         .healthz()
         .map_err(|e| format!("healthz after errors: {e}"))?;
+    http.shutdown();
+    server.shutdown();
+    Ok(())
+}
+
+/// The warm-restart flavor (`--self-check --cache-dir DIR`): serve all
+/// four variants into a persistent store over BOTH surfaces, stop the
+/// service, reopen the same directory, and prove that every
+/// re-submission is answered byte-identically *without* an engine
+/// re-run — with `disk_hits > 0` (the reopened LRU is kept smaller
+/// than the record count so the disk path must carry part of the
+/// load) and the metrics invariant intact at every observation point.
+fn self_check_persistent(cfg: &ServiceConfig) -> Result<(), String> {
+    let dir = cfg
+        .cache_dir
+        .as_deref()
+        .expect("persistent self-check needs --cache-dir");
+    let specs = self_check_specs();
+    let check_invariant = |service: &Service, when: &str| -> Result<(), String> {
+        let m = service.metrics();
+        if m.jobs_submitted != m.cache_hits + m.cache_misses + m.coalesced {
+            return Err(format!(
+                "metrics invariant violated {when}: {} != {} + {} + {}",
+                m.jobs_submitted, m.cache_hits, m.cache_misses, m.coalesced
+            ));
+        }
+        if m.disk_hits > m.cache_hits {
+            return Err(format!(
+                "disk_hits {} exceeds cache_hits {} {when}",
+                m.disk_hits, m.cache_hits
+            ));
+        }
+        Ok(())
+    };
+
+    // Phase 1: a cold store fills from engine runs.
+    let mut tcp_cold: Vec<Vec<u8>> = Vec::new();
+    let mut http_cold: Vec<Vec<u8>> = Vec::new();
+    {
+        let service =
+            Arc::new(Service::open(cfg).map_err(|e| format!("open store {}: {e}", dir.display()))?);
+        let server = Server::with_service("127.0.0.1:0", Arc::clone(&service))
+            .map_err(|e| format!("bind ephemeral port: {e}"))?;
+        let http = HttpServer::with_service("127.0.0.1:0", Arc::clone(&service))
+            .map_err(|e| format!("bind ephemeral http port: {e}"))?;
+        let mut tcp = Client::connect(server.addr()).map_err(|e| format!("tcp connect: {e}"))?;
+        let mut hc = HttpClient::connect(http.addr()).map_err(|e| format!("http connect: {e}"))?;
+        for spec in &specs {
+            let kind = spec.instance.kind();
+            tcp_cold.push(
+                tcp.run_raw(spec)
+                    .map_err(|e| format!("cold {kind} tcp: {e}"))?,
+            );
+            let (status, body) = hc
+                .run_raw(spec)
+                .map_err(|e| format!("cold {kind} http: {e}"))?;
+            if status != 200 {
+                return Err(format!("cold {kind} http: HTTP {status}"));
+            }
+            http_cold.push(body);
+        }
+        let m = service.metrics();
+        if m.store_records != specs.len() as u64 {
+            return Err(format!(
+                "expected {} store records after cold phase, got {}",
+                specs.len(),
+                m.store_records
+            ));
+        }
+        if m.disk_hits != 0 {
+            return Err(format!("cold phase reported {} disk hits", m.disk_hits));
+        }
+        check_invariant(&service, "after cold phase")?;
+        http.shutdown();
+        server.shutdown();
+    } // service drops here: the "restart"
+
+    // Phase 2: reopen the same directory. The LRU is deliberately too
+    // small to warm-hold every record, so some answers must travel the
+    // verified disk path.
+    let warm_cfg = ServiceConfig {
+        cache_capacity: specs.len() / 2,
+        ..cfg.clone()
+    };
+    let service = Arc::new(
+        Service::open(&warm_cfg).map_err(|e| format!("reopen store {}: {e}", dir.display()))?,
+    );
+    let server = Server::with_service("127.0.0.1:0", Arc::clone(&service))
+        .map_err(|e| format!("bind ephemeral port: {e}"))?;
+    let http = HttpServer::with_service("127.0.0.1:0", Arc::clone(&service))
+        .map_err(|e| format!("bind ephemeral http port: {e}"))?;
+    let mut tcp = Client::connect(server.addr()).map_err(|e| format!("tcp connect: {e}"))?;
+    let mut hc = HttpClient::connect(http.addr()).map_err(|e| format!("http connect: {e}"))?;
+    for (i, spec) in specs.iter().enumerate() {
+        let kind = spec.instance.kind();
+        let warm = tcp
+            .run_raw(spec)
+            .map_err(|e| format!("warm {kind} tcp: {e}"))?;
+        if warm != tcp_cold[i] {
+            return Err(format!(
+                "{kind}: TCP response after restart is not byte-identical"
+            ));
+        }
+        let (status, body) = hc
+            .run_raw(spec)
+            .map_err(|e| format!("warm {kind} http: {e}"))?;
+        if status != 200 {
+            return Err(format!("warm {kind} http: HTTP {status}"));
+        }
+        if body != http_cold[i] {
+            return Err(format!(
+                "{kind}: HTTP body after restart is not byte-identical"
+            ));
+        }
+    }
+    let m = service.metrics();
+    if m.cache_misses != 0 {
+        return Err(format!(
+            "restart re-ran the engine: {} cache misses",
+            m.cache_misses
+        ));
+    }
+    if m.disk_hits == 0 {
+        return Err("expected disk_hits > 0 after warm restart".into());
+    }
+    if m.store_records != specs.len() as u64 {
+        return Err(format!(
+            "expected {} store records after restart, got {}",
+            specs.len(),
+            m.store_records
+        ));
+    }
+    check_invariant(&service, "after warm phase")?;
+
+    // The same invariant, read back through the HTTP facade.
+    let metrics_json = hc.metrics_json().map_err(|e| format!("metrics: {e}"))?;
+    let parsed =
+        Json::parse(&metrics_json).map_err(|e| format!("metrics is not valid JSON: {e}"))?;
+    let field = |k: &str| -> Result<u64, String> {
+        parsed
+            .get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("metrics missing `{k}`: {metrics_json}"))
+    };
+    if field("jobs_submitted")?
+        != field("cache_hits")? + field("cache_misses")? + field("coalesced")?
+    {
+        return Err(format!("served metrics invariant violated: {metrics_json}"));
+    }
+    if field("disk_hits")? == 0 {
+        return Err(format!(
+            "served metrics report no disk hits: {metrics_json}"
+        ));
+    }
     http.shutdown();
     server.shutdown();
     Ok(())

@@ -2,24 +2,37 @@
 //!
 //! The value type is generic ([`crate::Service`] stores
 //! `Arc<SpannerRun>`), keys are the 64-bit canonical hashes of
-//! [`crate::job`]. Recency is tracked with a monotone tick; eviction
-//! scans for the stalest entry, which is `O(capacity)` per insert but
-//! branch-free and allocation-free — at the few-hundred-entry
-//! capacities the service runs with, the scan is noise next to one
-//! engine run.
+//! [`crate::job`]. Recency is an intrusive doubly-linked list threaded
+//! through a slab of nodes (indices, not pointers — no unsafe): every
+//! `get`, `insert`, and eviction is O(1). The earlier tick-scan
+//! eviction was O(capacity) per insert, which was noise behind one
+//! engine run but not behind a warm start replaying hundreds of
+//! disk-backed records in one burst.
 
 use std::collections::HashMap;
 
-/// An LRU map from canonical job keys to results.
-pub(crate) struct LruCache<V> {
-    map: HashMap<u64, Entry<V>>,
-    capacity: usize,
-    tick: u64,
+/// Sentinel slab index for "no node".
+const NIL: usize = usize::MAX;
+
+struct Node<V> {
+    key: u64,
+    value: V,
+    /// Neighbor toward the most-recently-used end.
+    prev: usize,
+    /// Neighbor toward the least-recently-used end.
+    next: usize,
 }
 
-struct Entry<V> {
-    value: V,
-    last_used: u64,
+/// An LRU map from canonical job keys to results.
+pub(crate) struct LruCache<V> {
+    map: HashMap<u64, usize>,
+    slab: Vec<Node<V>>,
+    free: Vec<usize>,
+    /// Most recently used node, or [`NIL`] when empty.
+    head: usize,
+    /// Least recently used node (the eviction victim), or [`NIL`].
+    tail: usize,
+    capacity: usize,
 }
 
 impl<V> LruCache<V> {
@@ -27,20 +40,47 @@ impl<V> LruCache<V> {
     /// caching entirely (every lookup misses).
     pub fn new(capacity: usize) -> Self {
         LruCache {
-            map: HashMap::new(),
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             capacity,
-            tick: 0,
         }
+    }
+
+    /// Unlinks `i` from the recency list without touching the slab.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    /// Links `i` in front of the current head (most recent).
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slab[h].prev = i,
+        }
+        self.head = i;
     }
 
     /// Looks up `key`, refreshing its recency on a hit.
     pub fn get(&mut self, key: u64) -> Option<&V> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(&key).map(|e| {
-            e.last_used = tick;
-            &e.value
-        })
+        let &i = self.map.get(&key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(&self.slab[i].value)
     }
 
     /// Inserts `key`, evicting the least-recently-used entry when the
@@ -49,29 +89,39 @@ impl<V> LruCache<V> {
         if self.capacity == 0 {
             return;
         }
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some(e) = self.map.get_mut(&key) {
-            e.value = value;
-            e.last_used = tick;
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
             return;
         }
         if self.map.len() >= self.capacity {
-            let stalest = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&k, _)| k)
-                .expect("non-empty full cache");
-            self.map.remove(&stalest);
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "non-empty full cache");
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
         }
-        self.map.insert(
+        let node = Node {
             key,
-            Entry {
-                value,
-                last_used: tick,
-            },
-        );
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = node;
+                i
+            }
+            None => {
+                self.slab.push(node);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
     }
 
     /// Number of cached entries.
@@ -114,5 +164,88 @@ mod tests {
         c.insert(1, "a");
         assert_eq!(c.len(), 0);
         assert_eq!(c.get(1), None);
+    }
+
+    #[test]
+    fn capacity_one_always_keeps_the_latest() {
+        let mut c = LruCache::new(1);
+        for k in 0..10 {
+            c.insert(k, k);
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.get(k), Some(&k));
+            if k > 0 {
+                assert_eq!(c.get(k - 1), None);
+            }
+        }
+    }
+
+    /// The O(1) list must agree with the obvious tick-scan model under
+    /// a long randomized mix of gets and inserts (this is the
+    /// semantics the old implementation had; eviction order must be
+    /// unchanged).
+    #[test]
+    fn matches_reference_model_under_random_workload() {
+        struct Model {
+            entries: Vec<(u64, u64, u64)>, // (key, value, last_used)
+            tick: u64,
+            capacity: usize,
+        }
+        impl Model {
+            fn get(&mut self, key: u64) -> Option<u64> {
+                self.tick += 1;
+                let tick = self.tick;
+                self.entries.iter_mut().find(|e| e.0 == key).map(|e| {
+                    e.2 = tick;
+                    e.1
+                })
+            }
+            fn insert(&mut self, key: u64, value: u64) {
+                self.tick += 1;
+                let tick = self.tick;
+                if let Some(e) = self.entries.iter_mut().find(|e| e.0 == key) {
+                    *e = (key, value, tick);
+                    return;
+                }
+                if self.entries.len() >= self.capacity {
+                    let stalest = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.2)
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    self.entries.remove(stalest);
+                }
+                self.entries.push((key, value, tick));
+            }
+        }
+
+        for capacity in [1usize, 2, 3, 7] {
+            let mut cache = LruCache::new(capacity);
+            let mut model = Model {
+                entries: Vec::new(),
+                tick: 0,
+                capacity,
+            };
+            // Deterministic pseudo-random op stream (splitmix-ish).
+            let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ capacity as u64;
+            for step in 0..4_000u64 {
+                state = state
+                    .wrapping_mul(0xbf58_476d_1ce4_e5b9)
+                    .wrapping_add(0x94d0_49bb_1331_11eb);
+                let key = (state >> 32) % 11;
+                if state.is_multiple_of(3) {
+                    assert_eq!(
+                        cache.get(key),
+                        model.get(key).as_ref(),
+                        "get({key}) diverged at step {step} (capacity {capacity})"
+                    );
+                } else {
+                    cache.insert(key, step);
+                    model.insert(key, step);
+                }
+                assert_eq!(cache.len(), model.entries.len());
+            }
+        }
     }
 }

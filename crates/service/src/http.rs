@@ -29,7 +29,8 @@
 //!   "monotone": true,           // optional, default true
 //!   "round_densities": true,    // optional, default true
 //!   "max_iterations": 1000000,  // optional
-//!   "shards": 4,                // optional, default 1; 0 = one per core
+//!   "shards": 4,                // optional, default 1; 0 = one per core;
+//!                               // capped at 65536 at decode time
 //!   "timeout_ms": 2000          // optional
 //! }
 //! ```
@@ -523,7 +524,9 @@ pub fn encode_job_spec(spec: &JobSpec) -> String {
         push("shards", Json::U64(spec.config.num_shards as u64));
     }
     if let Some(t) = spec.timeout {
-        push("timeout_ms", Json::U64(t.as_millis() as u64));
+        // Saturating, not wrapping: a pathological Duration must not
+        // come back as a short deadline (see the wire encoder).
+        push("timeout_ms", Json::U64(crate::wire::saturating_millis(t)));
     }
     Json::Obj(pairs).encode()
 }
@@ -690,7 +693,9 @@ pub fn decode_job_spec(body: &[u8]) -> Result<JobSpec, JobError> {
         config.max_iterations = m;
     }
     if let Some(s) = opt_u64("shards")? {
-        config.num_shards = s as usize;
+        // Capped exactly like the wire decoder: a hostile
+        // `"shards": 2^63` must not truncate on 32-bit targets.
+        config.num_shards = crate::wire::decode_shards(s);
     }
     let timeout = opt_u64("timeout_ms")?.map(Duration::from_millis);
 
@@ -1005,6 +1010,28 @@ mod tests {
         assert_eq!(back.config.max_iterations, 12_345);
         assert_eq!(back.config.num_shards, 4);
         assert_eq!(back.timeout, Some(Duration::from_millis(1500)));
+    }
+
+    #[test]
+    fn absurd_shards_and_timeouts_are_defanged() {
+        // `"shards": 2^63` is capped at decode (never truncated), and
+        // a pathological timeout saturates instead of wrapping.
+        let spec = decode_job_spec(
+            br#"{"variant":"undirected","seed":1,"graph":{"n":2,"edges":[[0,1]]},"shards":9223372036854775808}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.config.num_shards as u64, crate::wire::MAX_SHARDS);
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let mut pathological = JobSpec::new(VariantInstance::Undirected { graph: g }, 1);
+        pathological.timeout = Some(Duration::MAX);
+        let encoded = encode_job_spec(&pathological);
+        assert!(
+            encoded.contains(&format!("\"timeout_ms\":{}", u64::MAX)),
+            "expected saturated timeout in {encoded}"
+        );
+        let back = roundtrip(&pathological);
+        assert_eq!(back.timeout, Some(Duration::from_millis(u64::MAX)));
+        assert_eq!(roundtrip(&back).timeout, back.timeout);
     }
 
     #[test]

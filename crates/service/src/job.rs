@@ -7,10 +7,14 @@
 //! spec into *canonical* form — the graph rebuilt with edges in
 //! [`dsa_graphs::canon`] order, weights and client/server sets
 //! permuted to match — and derives the [`CanonicalJob::key`] hash the
-//! cache and the in-flight coalescing table are keyed by. Two
-//! submissions of the same edge set in different orders therefore
-//! collapse to one engine run, and each caller still receives spanner
-//! edge ids in *its own* id space via [`JobResponse`].
+//! cache, the in-flight coalescing table, *and the persistent result
+//! store* ([`crate::store`]) are keyed by. Two submissions of the same
+//! edge set in different orders therefore collapse to one engine run
+//! — in this process lifetime or a previous one — and each caller
+//! still receives spanner edge ids in *its own* id space via
+//! [`JobResponse`]. The key is a hash, never an identity: every
+//! consumer (LRU, coalescing map, disk store) re-verifies the full
+//! canonical instance before serving across it.
 
 use std::sync::Arc;
 use std::time::Duration;

@@ -11,10 +11,14 @@
 //!   seed, ablation toggles, and an optional deadline;
 //! * [`Service`] canonicalizes each request
 //!   ([`dsa_graphs::canon`]), answers repeats from an LRU result
-//!   cache, coalesces concurrent identical submissions into one engine
-//!   run, and schedules the rest on a bounded `std::thread` worker
-//!   pool — deterministically: the response to a spec is a pure
-//!   function of the spec, whatever the worker count;
+//!   cache — optionally backed by a persistent on-disk store
+//!   ([`ServiceConfig::cache_dir`]) that survives restarts, warm-fills
+//!   the LRU at startup, and verifies every disk hit against the
+//!   canonical instance — coalesces concurrent identical submissions
+//!   into one engine run, and schedules the rest on a bounded
+//!   `std::thread` worker pool — deterministically: the response to a
+//!   spec is a pure function of the spec, whatever the worker count
+//!   and whether the answer was computed in this process lifetime;
 //! * [`MetricsSnapshot`] accounts for the serving work (throughput,
 //!   p50/p95 latency via [`dsa_runtime::LatencyRecorder`], cache hit
 //!   rate, engine iterations/rounds re-exported from
@@ -55,6 +59,7 @@ mod net;
 mod pool;
 pub mod server;
 mod service;
+mod store;
 pub mod wire;
 
 pub use client::Client;

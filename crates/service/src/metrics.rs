@@ -5,7 +5,9 @@
 //! Counter semantics — every call to [`crate::Service::submit`] is
 //! classified exactly once:
 //!
-//! * **cache hit** — served from the LRU cache, no engine run;
+//! * **cache hit** — served without an engine run, either from the
+//!   in-memory LRU or from the persistent disk store (`disk_hits`
+//!   counts the disk-served subset, so `disk_hits <= cache_hits`);
 //! * **cache miss** — a fresh engine run was scheduled;
 //! * **coalesced** — an identical job was already in flight, the
 //!   submission joined it.
@@ -35,6 +37,10 @@ struct Classified {
     cache_hits: u64,
     cache_misses: u64,
     coalesced: u64,
+    /// Subset of `cache_hits` answered from the persistent store
+    /// (advanced under the same lock so `disk_hits <= cache_hits` is
+    /// also never observed mid-update).
+    disk_hits: u64,
 }
 
 /// Interior-mutable counters shared by the service, its workers, and
@@ -51,6 +57,9 @@ pub(crate) struct ServiceMetrics {
     invalid: AtomicU64,
     engine_iterations: AtomicU64,
     engine_local_rounds: AtomicU64,
+    /// Gauge: distinct results currently in the persistent store (0
+    /// when no store is configured). Set at open, advanced on append.
+    store_records: AtomicU64,
     latency: Mutex<LatencyRecorder>,
 }
 
@@ -73,6 +82,7 @@ impl ServiceMetrics {
             invalid: AtomicU64::new(0),
             engine_iterations: AtomicU64::new(0),
             engine_local_rounds: AtomicU64::new(0),
+            store_records: AtomicU64::new(0),
             latency: Mutex::new(LatencyRecorder::bounded(LATENCY_WINDOW)),
         }
     }
@@ -93,10 +103,28 @@ impl ServiceMetrics {
         c.cache_misses += 1;
     }
 
+    /// A disk hit is a cache hit (no engine run) that was answered
+    /// from the persistent store: `submitted`, `cache_hits`, and
+    /// `disk_hits` advance as one unit, so the classification
+    /// invariant extends coherently (`disk_hits` is a subset counter,
+    /// not a fourth class).
+    pub fn on_disk_hit(&self) {
+        let mut c = self.classified.lock().expect("classified lock");
+        c.submitted += 1;
+        c.cache_hits += 1;
+        c.disk_hits += 1;
+    }
+
     pub fn on_coalesced(&self) {
         let mut c = self.classified.lock().expect("classified lock");
         c.submitted += 1;
         c.coalesced += 1;
+    }
+
+    /// Updates the persistent-store size gauge (records currently
+    /// servable from disk).
+    pub fn set_store_records(&self, records: u64) {
+        self.store_records.store(records, Ordering::Relaxed);
     }
 
     /// A response actually reached a waiting caller — the only place
@@ -156,6 +184,8 @@ impl ServiceMetrics {
             cache_hits: c.cache_hits,
             cache_misses: c.cache_misses,
             coalesced: c.coalesced,
+            disk_hits: c.disk_hits,
+            store_records: self.store_records.load(Ordering::Relaxed),
             skipped: self.skipped.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
@@ -196,6 +226,13 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Submissions that joined an identical in-flight run.
     pub coalesced: u64,
+    /// Subset of `cache_hits` served from the persistent disk store
+    /// (verified against the canonical instance, then promoted into
+    /// the in-memory LRU). Always 0 without a configured store.
+    pub disk_hits: u64,
+    /// Distinct results currently servable from the persistent store
+    /// (a gauge, not a counter); 0 without a configured store.
+    pub store_records: u64,
     /// Scheduled runs skipped because every waiter left (cancelled or
     /// timed out) before the run started.
     pub skipped: u64,
@@ -237,6 +274,7 @@ impl MetricsSnapshot {
             concat!(
                 "{{\"jobs_submitted\":{},\"jobs_completed\":{},",
                 "\"cache_hits\":{},\"cache_misses\":{},\"coalesced\":{},",
+                "\"disk_hits\":{},\"store_records\":{},",
                 "\"skipped\":{},\"aborted\":{},\"cancelled\":{},\"timed_out\":{},\"invalid\":{},",
                 "\"cache_hit_rate\":{:.6},\"throughput_jobs_per_sec\":{:.3},",
                 "\"p50_latency_us\":{},\"p95_latency_us\":{},\"mean_latency_us\":{:.1},",
@@ -248,6 +286,8 @@ impl MetricsSnapshot {
             self.cache_hits,
             self.cache_misses,
             self.coalesced,
+            self.disk_hits,
+            self.store_records,
             self.skipped,
             self.aborted,
             self.cancelled,
@@ -275,10 +315,11 @@ mod tests {
         m.on_cache_miss();
         m.on_executed(10, 70, Duration::from_micros(1_000));
         m.on_cache_hit();
-        m.on_cache_hit();
+        m.on_disk_hit();
         m.on_coalesced();
         m.on_cache_miss();
         m.on_executed(6, 42, Duration::from_micros(3_000));
+        m.set_store_records(2);
         // Four of the five waiters collected their response; the
         // fifth (say the coalesced one) timed out first.
         for _ in 0..4 {
@@ -289,8 +330,12 @@ mod tests {
         assert_eq!(s.jobs_submitted, 5);
         assert_eq!(
             s.jobs_submitted,
-            s.cache_hits + s.cache_misses + s.coalesced
+            s.cache_hits + s.cache_misses + s.coalesced,
+            "a disk hit is a cache hit, not a fourth class"
         );
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.disk_hits, 1);
+        assert_eq!(s.store_records, 2);
         assert_eq!(s.jobs_completed, 4);
         assert_eq!(s.timed_out, 1);
         assert_eq!(s.cache_hit_rate, 0.5);
@@ -313,6 +358,7 @@ mod tests {
             scope.spawn(|| (0..2_000).for_each(|_| m.on_cache_hit()));
             scope.spawn(|| (0..2_000).for_each(|_| m.on_cache_miss()));
             scope.spawn(|| (0..2_000).for_each(|_| m.on_coalesced()));
+            scope.spawn(|| (0..2_000).for_each(|_| m.on_disk_hit()));
             for _ in 0..500 {
                 let s = m.snapshot();
                 assert_eq!(
@@ -320,11 +366,16 @@ mod tests {
                     s.cache_hits + s.cache_misses + s.coalesced,
                     "snapshot observed a mid-update classification"
                 );
+                assert!(
+                    s.disk_hits <= s.cache_hits,
+                    "snapshot observed a mid-update disk hit"
+                );
             }
         });
         let s = m.snapshot();
-        assert_eq!(s.jobs_submitted, 6_000);
-        assert_eq!(s.cache_hits + s.cache_misses + s.coalesced, 6_000);
+        assert_eq!(s.jobs_submitted, 8_000);
+        assert_eq!(s.cache_hits + s.cache_misses + s.coalesced, 8_000);
+        assert_eq!(s.disk_hits, 2_000);
     }
 
     #[test]

@@ -7,11 +7,28 @@
 //!    order, yielding the 64-bit job key ([`crate::job`]);
 //! 2. under the cache lock, a key already computed is answered
 //!    immediately (**cache hit** — no engine work, no queueing);
-//! 3. under the in-flight lock, a key currently executing is joined
+//! 3. still under the cache lock, a configured persistent store
+//!    ([`ServiceConfig::cache_dir`]) is consulted: a record whose
+//!    verification bytes equal the canonical job's is a **disk hit** —
+//!    also a cache hit, additionally counted in
+//!    [`MetricsSnapshot::disk_hits`] — and is promoted into the LRU;
+//! 4. under the in-flight lock, a key currently executing is joined
 //!    (**coalesced** — N concurrent identical submissions run the
 //!    engine once and all receive the same run);
-//! 4. otherwise a fresh entry is registered and the engine run is
-//!    enqueued on the bounded worker pool (**cache miss**).
+//! 5. otherwise a fresh entry is registered and the engine run is
+//!    enqueued on the bounded worker pool (**cache miss**). A
+//!    completed (never aborted) run is appended to the store before
+//!    its waiters are released.
+//!
+//! Persistence inherits the wire protocol's byte-identity contract: a
+//! disk hit reconstructs the same canonical [`SpannerRun`] the cold
+//! computation produced, so responses are byte-identical across
+//! restarts; and since disk records are verified against the full
+//! canonical instance (never trusted on the 64-bit hash alone), the
+//! FNV-collision guard survives restarts too. On startup the store's
+//! most recent records are replayed into the in-memory LRU (**warm
+//! start**), with corrupt log tails dropped and counted rather than
+//! failing the open.
 //!
 //! Determinism: the engine is deterministic per seed and every run
 //! executes on the *canonical* instance, so the spanner a spec maps to
@@ -38,6 +55,7 @@
 //! never leaks into cached bytes.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -49,6 +67,7 @@ use crate::cache::LruCache;
 use crate::job::{canonicalize_job, JobError, JobResponse, JobSpec};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::pool::Pool;
+use crate::store::{verification_bytes, Store};
 
 /// Tunables of a [`Service`].
 #[derive(Clone, Debug)]
@@ -69,6 +88,13 @@ pub struct ServiceConfig {
     /// request. Either way the response bytes are unchanged: shard
     /// count cannot affect engine results.
     pub engine_shards: Option<usize>,
+    /// Directory of the persistent result store ([`crate::store`]).
+    /// `None` (the default) keeps results in memory only; `Some(dir)`
+    /// appends every completed run to `dir/results.log`, consults the
+    /// log on LRU misses, and replays its most recent records into
+    /// the LRU at startup, so a restarted service answers prior
+    /// instances byte-identically without re-running the engine.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -79,6 +105,7 @@ impl Default for ServiceConfig {
             cache_capacity: 256,
             default_timeout: None,
             engine_shards: None,
+            cache_dir: None,
         }
     }
 }
@@ -140,6 +167,9 @@ struct CachedResult {
 
 struct Shared {
     cache: Mutex<LruCache<CachedResult>>,
+    /// The persistent tier behind the LRU; locked after `cache` and
+    /// never while `inflight` is held.
+    store: Option<Mutex<Store>>,
     inflight: Mutex<HashMap<u64, Arc<Inflight>>>,
     metrics: ServiceMetrics,
 }
@@ -161,18 +191,63 @@ impl Service {
     ///
     /// # Panics
     ///
-    /// Panics if `workers` or `queue_capacity` is zero.
+    /// Panics if `workers` or `queue_capacity` is zero, or if
+    /// [`ServiceConfig::cache_dir`] is set and the store cannot be
+    /// opened (use [`Service::open`] to handle that error instead; a
+    /// *corrupt* store never fails — bad records are dropped and
+    /// counted, only real IO errors do).
     pub fn new(cfg: &ServiceConfig) -> Self {
-        Service {
+        Service::open(cfg).expect("open persistent store")
+    }
+
+    /// Starts a service, propagating persistent-store IO errors (an
+    /// unwritable `cache_dir`, say) instead of panicking. With
+    /// `cache_dir: None` this never fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `queue_capacity` is zero.
+    pub fn open(cfg: &ServiceConfig) -> std::io::Result<Self> {
+        let mut cache = LruCache::new(cfg.cache_capacity);
+        let metrics = ServiceMetrics::new();
+        let store = match &cfg.cache_dir {
+            None => None,
+            Some(dir) => {
+                let mut store = Store::open(dir)?;
+                if store.dropped() > 0 {
+                    eprintln!(
+                        "dsa-service store: dropped {} corrupt record(s) recovering {}",
+                        store.dropped(),
+                        dir.display()
+                    );
+                }
+                // Warm start: replay the most recent records into the
+                // LRU (oldest first, so recency matches log order).
+                for record in store.warm_records(cfg.cache_capacity) {
+                    cache.insert(
+                        record.key,
+                        CachedResult {
+                            instance: record.instance,
+                            config_sig: config_sig(&record.config),
+                            run: record.run,
+                        },
+                    );
+                }
+                metrics.set_store_records(store.records());
+                Some(Mutex::new(store))
+            }
+        };
+        Ok(Service {
             shared: Arc::new(Shared {
-                cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+                cache: Mutex::new(cache),
+                store,
                 inflight: Mutex::new(HashMap::new()),
-                metrics: ServiceMetrics::new(),
+                metrics,
             }),
             default_timeout: cfg.default_timeout,
             engine_shards: cfg.engine_shards,
             pool: Pool::new(cfg.workers, cfg.queue_capacity),
-        }
+        })
     }
 
     /// Submits a job and returns a handle to its (possibly shared)
@@ -211,6 +286,37 @@ impl Service {
             }
             // Collision: fall through and recompute; the completion
             // overwrites the slot and hits stay verified either way.
+        }
+        // Second tier: the persistent store. Looked up under the cache
+        // lock (same atomicity argument as the LRU), verified against
+        // the canonical identity bytes — a stale or colliding record
+        // degrades to a recompute, never to another job's result. A
+        // verified disk hit is promoted into the LRU so repeats stay
+        // off the disk. The index is consulted *before* the identity
+        // bytes are rendered, so a stream of novel jobs never pays an
+        // O(instance) serialization for a guaranteed miss.
+        if let Some(store) = &self.shared.store {
+            let mut store = store.lock().expect("store lock");
+            let hit = if store.contains(job.key) {
+                let verification = verification_bytes(&job.instance, &job.config);
+                store.get(job.key, &verification)
+            } else {
+                None
+            };
+            drop(store);
+            if let Some(run) = hit {
+                let run = Arc::new(run);
+                cache.insert(
+                    job.key,
+                    CachedResult {
+                        instance: job.instance.clone(),
+                        config_sig: sig,
+                        run: Arc::clone(&run),
+                    },
+                );
+                self.shared.metrics.on_disk_hit();
+                return Ok(handle_base(HandleSource::Ready(run)));
+            }
         }
         let mut inflight = self.shared.inflight.lock().expect("inflight lock");
         // A colliding in-flight entry cannot be joined *or* displaced;
@@ -325,6 +431,20 @@ impl Service {
             );
             retire(&mut shared.inflight.lock().expect("inflight lock"));
             drop(cache);
+            // Persist the completed run (aborted runs returned above
+            // and never reach this point) — *outside* the cache lock:
+            // the LRU insert above already guarantees a racing
+            // submission finds the result, so the O(instance)
+            // serialization and the disk write need not block other
+            // submissions. (With the LRU disabled a racer landing in
+            // this window recomputes once; duplicate work, never
+            // wrong bytes.)
+            if let Some(store) = &shared.store {
+                let verification = verification_bytes(&entry.instance, &config);
+                let mut store = store.lock().expect("store lock");
+                store.append(key, &verification, &run);
+                shared.metrics.set_store_records(store.records());
+            }
             let mut state = entry.state.lock().expect("inflight state");
             state.result = Some(run);
             drop(state);
@@ -622,6 +742,137 @@ mod tests {
         // spec classifies as a fresh miss.
         assert_eq!(service.cache_len(), 1);
         assert_eq!(m.jobs_completed, 1);
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dsa-service-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn restart_serves_byte_identical_results_from_disk() {
+        let dir = store_dir("restart");
+        let specs: Vec<JobSpec> = (0..4)
+            .map(|i| undirected_spec(20, 0.3, 40 + i, i))
+            .collect();
+        let cold: Vec<JobResponse> = {
+            let service = Service::new(&ServiceConfig {
+                cache_dir: Some(dir.clone()),
+                ..ServiceConfig::default()
+            });
+            let cold = specs.iter().map(|s| service.run(s).unwrap()).collect();
+            assert_eq!(service.metrics().store_records, 4);
+            cold
+        };
+        // Restart with an LRU too small to warm-hold everything: the
+        // overflow must come back as verified *disk* hits, and every
+        // response must equal its cold computation exactly.
+        let service = Service::new(&ServiceConfig {
+            cache_dir: Some(dir.clone()),
+            cache_capacity: 2,
+            ..ServiceConfig::default()
+        });
+        for (spec, cold) in specs.iter().zip(&cold) {
+            assert_eq!(&service.run(spec).unwrap(), cold);
+        }
+        let m = service.metrics();
+        assert_eq!(m.cache_misses, 0, "no engine re-runs after restart");
+        assert_eq!(m.cache_hits, 4);
+        assert!(m.disk_hits > 0, "small LRU must fall through to disk");
+        assert_eq!(
+            m.jobs_submitted,
+            m.cache_hits + m.cache_misses + m.coalesced
+        );
+        assert_eq!(m.store_records, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_start_fills_the_lru() {
+        let dir = store_dir("warm");
+        let spec = undirected_spec(18, 0.3, 50, 1);
+        {
+            let service = Service::new(&ServiceConfig {
+                cache_dir: Some(dir.clone()),
+                ..ServiceConfig::default()
+            });
+            service.run(&spec).unwrap();
+        }
+        let service = Service::new(&ServiceConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        });
+        assert_eq!(service.cache_len(), 1, "warm start replays into the LRU");
+        service.run(&spec).unwrap();
+        let m = service.metrics();
+        // Ample LRU: the replayed record answers from memory.
+        assert_eq!((m.cache_hits, m.disk_hits, m.cache_misses), (1, 0, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_disabled_lru_still_serves_disk() {
+        // cache_capacity 0 disables the in-memory tier entirely; the
+        // persistent tier must still dedup across and within runs.
+        let dir = store_dir("no-lru");
+        let spec = undirected_spec(16, 0.35, 60, 2);
+        let cfg = ServiceConfig {
+            cache_dir: Some(dir.clone()),
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        };
+        let a = {
+            let service = Service::new(&cfg);
+            let a = service.run(&spec).unwrap();
+            assert_eq!(service.run(&spec).unwrap(), a);
+            let m = service.metrics();
+            assert_eq!((m.cache_misses, m.disk_hits), (1, 1));
+            a
+        };
+        let service = Service::new(&cfg);
+        assert_eq!(service.run(&spec).unwrap(), a);
+        assert_eq!(service.metrics().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aborted_runs_are_never_persisted() {
+        let dir = store_dir("abort");
+        let service = Service::new(&ServiceConfig {
+            workers: 1,
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        });
+        let slow = undirected_spec(260, 0.08, 8, 1);
+        let handle = service.submit(&slow).unwrap();
+        while service.queued_jobs() > 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        handle.cancel();
+        // Quiescence job: with one worker it runs after the abort.
+        service.run(&undirected_spec(10, 0.5, 9, 1)).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.aborted, 1);
+        assert_eq!(m.store_records, 1, "only the completed run is on disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_propagates_store_io_errors() {
+        // A cache_dir that collides with an existing *file* cannot be
+        // created; Service::open reports it instead of panicking.
+        let dir = store_dir("io-error");
+        std::fs::create_dir_all(dir.parent().unwrap()).unwrap();
+        std::fs::write(&dir, b"in the way").unwrap();
+        let result = Service::open(&ServiceConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        });
+        assert!(result.is_err());
+        let _ = std::fs::remove_file(&dir);
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //! monotone 1              # optional, default 1
 //! round-densities 1       # optional, default 1
 //! max-iterations 1000000  # optional
-//! shards 4                # optional, default 1; 0 = one per core
+//! shards 4                # optional, default 1; 0 = one per core;
+//!                         # capped at MAX_SHARDS at decode time
 //! timeout-ms 2000         # optional
 //! clients 0 2 5           # client-server only
 //! servers 1 3 4           # client-server only
@@ -70,6 +71,22 @@ use crate::job::{JobError, JobResponse, JobSpec};
 /// with a wide margin, while a corrupt length prefix cannot trigger an
 /// absurd allocation.
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// Cap applied to a request's `shards` value at decode time (shared
+/// with the HTTP facade). The engine already clamps its shard count to
+/// `max(64, cores)` internally, so any value at or above that is "as
+/// wide as the machine allows" — capping here preserves that meaning
+/// (mirroring the `--shards` operator override, which feeds the same
+/// clamp) while keeping a hostile `shards 2^63` from being truncated
+/// by the `u64 -> usize` conversion on 32-bit targets. Shard count is
+/// execution policy, never job identity, so the cap cannot change
+/// response bytes.
+pub const MAX_SHARDS: u64 = 1 << 16;
+
+/// Decodes a wire/HTTP `shards` value: capped, then safely narrowed.
+pub(crate) fn decode_shards(requested: u64) -> usize {
+    requested.min(MAX_SHARDS) as usize
+}
 
 /// Writes one frame.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
@@ -181,7 +198,11 @@ pub fn encode_request(spec: &JobSpec) -> String {
         out.push_str(&format!("shards {}\n", spec.config.num_shards));
     }
     if let Some(t) = spec.timeout {
-        out.push_str(&format!("timeout-ms {}\n", t.as_millis()));
+        // Saturating: `as_millis` is u128 and a pathological Duration
+        // (Duration::MAX is ~5.8e14 years) must encode as "wait
+        // practically forever", not wrap into a short deadline — and
+        // the value must stay parseable by the u64 decoder.
+        out.push_str(&format!("timeout-ms {}\n", saturating_millis(t)));
     }
     let graph_text = match &spec.instance {
         VariantInstance::Undirected { graph } => gio::to_edge_list(graph, None),
@@ -206,6 +227,12 @@ pub fn encode_request(spec: &JobSpec) -> String {
     out.push_str("graph\n");
     out.push_str(&graph_text);
     out
+}
+
+/// A duration's millisecond count, saturated into `u64` (shared with
+/// the HTTP facade's `timeout_ms` encoder).
+pub(crate) fn saturating_millis(t: Duration) -> u64 {
+    u64::try_from(t.as_millis()).unwrap_or(u64::MAX)
 }
 
 /// Encodes the `stats v1` request payload.
@@ -271,7 +298,7 @@ fn decode_run_request(body: &str) -> Result<Request, JobError> {
             "monotone" => monotone = Some(parse_flag(value, "monotone")?),
             "round-densities" => round_densities = Some(parse_flag(value, "round-densities")?),
             "max-iterations" => max_iterations = Some(parse_u64(value, "max-iterations")?),
-            "shards" => shards = Some(parse_u64(value, "shards")? as usize),
+            "shards" => shards = Some(decode_shards(parse_u64(value, "shards")?)),
             "timeout-ms" => timeout = Some(Duration::from_millis(parse_u64(value, "timeout-ms")?)),
             "clients" => clients_line = Some(value.to_string()),
             "servers" => servers_line = Some(value.to_string()),
@@ -630,6 +657,46 @@ mod tests {
         auto.config.num_shards = 0;
         assert!(encode_request(&auto).contains("shards 0\n"));
         assert_eq!(roundtrip_spec(&auto).config.num_shards, 0);
+    }
+
+    #[test]
+    fn absurd_shard_counts_are_capped_at_decode() {
+        // A hostile `shards 2^63` must not truncate through `as usize`
+        // on 32-bit targets; it is capped (the engine clamps further).
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let mut spec = JobSpec::new(VariantInstance::Undirected { graph: g }, 1);
+        spec.config.num_shards = usize::MAX;
+        let back = roundtrip_spec(&spec);
+        assert_eq!(back.config.num_shards as u64, MAX_SHARDS);
+        let explicit =
+            "run v1\nvariant undirected\nseed 1\nshards 9223372036854775808\ngraph\n# n 3\n0 1\n1 2\n";
+        match decode_request(explicit.as_bytes()).unwrap() {
+            Request::Run(spec) => assert_eq!(spec.config.num_shards as u64, MAX_SHARDS),
+            other => panic!("expected run request, got {other:?}"),
+        }
+        // Everything at or below the cap passes through untouched.
+        assert_eq!(decode_shards(0), 0);
+        assert_eq!(decode_shards(8), 8);
+        assert_eq!(decode_shards(MAX_SHARDS), MAX_SHARDS as usize);
+    }
+
+    #[test]
+    fn pathological_timeouts_saturate_not_wrap() {
+        // Duration::MAX.as_millis() far exceeds u64; the encoder must
+        // saturate (previously the HTTP encoder wrapped via `as u64`
+        // and the wire encoder emitted an unparseable u128).
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let mut spec = JobSpec::new(VariantInstance::Undirected { graph: g }, 1);
+        spec.timeout = Some(Duration::MAX);
+        let encoded = encode_request(&spec);
+        assert!(
+            encoded.contains(&format!("timeout-ms {}\n", u64::MAX)),
+            "expected saturated timeout in {encoded:?}"
+        );
+        let back = roundtrip_spec(&spec);
+        assert_eq!(back.timeout, Some(Duration::from_millis(u64::MAX)));
+        // And the saturated form is a fixed point of the roundtrip.
+        assert_eq!(roundtrip_spec(&back).timeout, back.timeout);
     }
 
     #[test]

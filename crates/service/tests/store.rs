@@ -1,0 +1,217 @@
+//! Integration tests for the persistent result store, driven entirely
+//! through the public [`Service`] API: restart byte-identity across
+//! all four variants (property-tested), and corruption recovery —
+//! truncated tails, flipped checksum bytes, and garbage headers must
+//! cost records, never correctness or startup.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dsa_core::dist::VariantInstance;
+use dsa_graphs::gen;
+use dsa_service::{wire, JobSpec, Service, ServiceConfig};
+
+/// A fresh per-test store directory (no tempfile dependency).
+fn store_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dsa-store-it-{}-{tag}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The store's single record log (found, not named, so the test does
+/// not depend on the private file-name constant).
+fn log_path(dir: &Path) -> PathBuf {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("store dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    assert_eq!(files.len(), 1, "store dir holds exactly the record log");
+    files.pop().expect("one file")
+}
+
+fn persistent_cfg(dir: &Path) -> ServiceConfig {
+    ServiceConfig {
+        cache_dir: Some(dir.to_path_buf()),
+        ..ServiceConfig::default()
+    }
+}
+
+/// One seeded instance of every variant.
+fn four_variant_specs(seed: u64) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::gnp_connected(14 + (seed % 7) as usize, 0.3, &mut rng);
+    let d = gen::random_digraph_connected(10 + (seed % 5) as usize, 0.15, &mut rng);
+    let w = gen::random_weights(g.num_edges(), 0, 9, &mut rng);
+    let (clients, servers) = gen::client_server_split(&g, 0.6, 0.6, &mut rng);
+    vec![
+        JobSpec::new(VariantInstance::Undirected { graph: g.clone() }, seed),
+        JobSpec::new(VariantInstance::Directed { graph: d }, seed + 1),
+        JobSpec::new(
+            VariantInstance::Weighted {
+                graph: g.clone(),
+                weights: w,
+            },
+            seed + 2,
+        ),
+        JobSpec::new(
+            VariantInstance::ClientServer {
+                graph: g,
+                clients,
+                servers,
+            },
+            seed + 3,
+        ),
+    ]
+}
+
+/// Wire-encoded responses for `specs` against a service over `dir`,
+/// plus the (misses, hits, disk hits) classification it ended with.
+fn serve_all(
+    dir: &Path,
+    cache_capacity: usize,
+    specs: &[JobSpec],
+) -> (Vec<String>, (u64, u64, u64)) {
+    let service = Service::new(&ServiceConfig {
+        cache_capacity,
+        ..persistent_cfg(dir)
+    });
+    let bodies = specs
+        .iter()
+        .map(|s| wire::encode_run_response(&service.run(s).expect("serve")))
+        .collect();
+    let m = service.metrics();
+    assert_eq!(
+        m.jobs_submitted,
+        m.cache_hits + m.cache_misses + m.coalesced,
+        "classification invariant"
+    );
+    assert!(m.disk_hits <= m.cache_hits);
+    (bodies, (m.cache_misses, m.cache_hits, m.disk_hits))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A populated store, reopened, serves byte-identical responses
+    /// for all four variants — through the warm LRU (ample capacity)
+    /// and through the verified disk path (capacity starved) alike.
+    #[test]
+    fn reopened_store_serves_all_variants_byte_identically(seed in 0u64..200) {
+        let dir = store_dir("prop");
+        let specs = four_variant_specs(seed);
+        let (cold, (misses, _, disk)) = serve_all(&dir, 256, &specs);
+        prop_assert_eq!(misses, 4);
+        prop_assert_eq!(disk, 0);
+        // Restart 1: ample LRU — warm start answers from memory.
+        let (warm, (misses, hits, disk)) = serve_all(&dir, 256, &specs);
+        prop_assert_eq!(&warm, &cold);
+        prop_assert_eq!((misses, hits, disk), (0, 4, 0));
+        // Restart 2: starved LRU — the disk path must carry load,
+        // with the same bytes.
+        let (starved, (misses, hits, disk)) = serve_all(&dir, 1, &specs);
+        prop_assert_eq!(&starved, &cold);
+        prop_assert_eq!((misses, hits), (0, 4));
+        prop_assert!(disk > 0, "expected verified disk hits, got none");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn truncated_tail_recovers_and_recomputes_only_the_lost_records() {
+    let dir = store_dir("trunc");
+    let specs = four_variant_specs(42);
+    let (cold, _) = serve_all(&dir, 256, &specs);
+    // Chop bytes off the end of the log: the tail record(s) die, the
+    // prefix survives, startup succeeds, and every response still
+    // matches its cold bytes (lost records are simply recomputed).
+    let path = log_path(&dir);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 11]).unwrap();
+    let (recovered, (misses, hits, _)) = serve_all(&dir, 1, &specs);
+    assert_eq!(recovered, cold, "recovery must never change bytes");
+    assert!(misses >= 1, "the truncated record must recompute");
+    assert!(hits >= 1, "the intact prefix must still serve");
+    // The recompute re-persisted the lost record: a further restart
+    // serves everything from the store again.
+    let (healed, (misses, _, disk)) = serve_all(&dir, 1, &specs);
+    assert_eq!(healed, cold);
+    assert_eq!(misses, 0);
+    assert!(disk > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_byte_skips_the_bad_record_not_the_startup() {
+    let dir = store_dir("flip");
+    let specs = four_variant_specs(7);
+    let (cold, _) = serve_all(&dir, 256, &specs);
+    // Flip one byte in the middle of the log (inside some record's
+    // payload or checksum): that record fails verification and is
+    // dropped; everything else keeps serving, and nothing wrong is
+    // ever served.
+    let path = log_path(&dir);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x5a;
+    std::fs::write(&path, &bytes).unwrap();
+    let (recovered, (misses, hits, _)) = serve_all(&dir, 1, &specs);
+    assert_eq!(
+        recovered, cold,
+        "a corrupt record must recompute, never lie"
+    );
+    assert!(misses >= 1, "the corrupted record must recompute");
+    assert!(hits >= 1, "records before the flip must still serve");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_header_starts_fresh_without_failing() {
+    let dir = store_dir("header");
+    let specs = four_variant_specs(9);
+    let (cold, _) = serve_all(&dir, 256, &specs);
+    std::fs::write(log_path(&dir), b"\x00\x01\x02 this is not a store").unwrap();
+    // Startup succeeds with an empty store; everything recomputes to
+    // the same bytes and repopulates the log.
+    let (recovered, (misses, _, disk)) = serve_all(&dir, 256, &specs);
+    assert_eq!(recovered, cold);
+    assert_eq!(misses, 4, "a dropped store recomputes everything");
+    assert_eq!(disk, 0);
+    let (warm, (misses, _, _)) = serve_all(&dir, 256, &specs);
+    assert_eq!(warm, cold);
+    assert_eq!(misses, 0, "the rewritten log must serve again");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_services_over_time_share_work_not_a_process() {
+    // The store is the only channel between these two service
+    // lifetimes; the second must not re-run the engine at all, and
+    // `store_records` must count distinct keys, not appends.
+    let dir = store_dir("lifetimes");
+    let specs = four_variant_specs(3);
+    {
+        let service = Service::new(&persistent_cfg(&dir));
+        for s in &specs {
+            service.run(s).unwrap();
+            service.run(s).unwrap(); // in-memory repeat, no new record
+        }
+        assert_eq!(service.metrics().store_records, 4);
+    }
+    let service = Service::new(&persistent_cfg(&dir));
+    for s in &specs {
+        assert!(service.run(s).unwrap().converged);
+    }
+    let m = service.metrics();
+    assert_eq!(m.cache_misses, 0);
+    assert_eq!(m.store_records, 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,6 +24,7 @@ fn main() {
         // One engine shard per core for every run; responses are
         // identical whatever this is set to.
         engine_shards: Some(0),
+        ..ServiceConfig::default()
     });
 
     // A small mixed workload; every spec is submitted twice, so half
