@@ -1,52 +1,83 @@
-//! S2 — single-job shard scaling: wall-clock speedup of one
-//! `run_engine` call at 1/2/4/8 in-iteration shards, for all four
-//! variants, with a byte-identity check across every shard count.
+//! S2 — engine scaling: shard scaling of one `run_engine` call plus
+//! the single-core before/after gate for the flat-CSR graph core.
 //!
-//! PR 2's service made *many small jobs* fast; this experiment tracks
-//! the complementary axis — one big job using every core via
-//! `EngineConfig::num_shards`. Because the engine is
-//! shard-count-deterministic, the experiment asserts that the spanner,
-//! iteration count, and per-iteration stats are identical for every
-//! shard count before reporting any timing: a speedup that changed the
-//! answer would be a bug, not a result.
+//! Two experiments share this binary because they share the identity
+//! contract:
+//!
+//! 1. **Shard scaling** — wall-clock speedup of one job at 1/2/4/8
+//!    in-iteration shards, for all four variants, with a byte-identity
+//!    check across every shard count (PR 3's guard that sharding
+//!    overhead does not rot).
+//! 2. **Single-core gate** — fixed, denser "gate instances" timed at
+//!    1 shard and compared against the committed pre-refactor baseline
+//!    (`BENCH_baseline.json`, recorded with `--record-baseline` before
+//!    the CSR refactor landed). The artifact reports
+//!    `single_core_speedup` per variant plus a per-phase (Step 1/3/4 +
+//!    coverage) breakdown from [`run_variant_timed`]; `--ci` *enforces*
+//!    speedup ≥ [`GATE_MIN_SPEEDUP`] on at least
+//!    [`GATE_MIN_VARIANTS`] of the four variants.
+//!
+//! In both experiments the determinism contract is asserted before any
+//! timing is reported: identical spanner bytes and identical
+//! per-iteration accounting at every shard count. A speedup that
+//! changed the answer would be a bug, not a result.
 //!
 //! Output is one JSON object on stdout (machine-readable; CI uploads
 //! it as an artifact) and a human-readable summary on stderr.
 //!
 //! ```text
 //! cargo run --release -p dsa-bench --bin exp_engine_scaling -- \
-//!     [n] [--ci] [--tolerance F] [--reps K]
+//!     [n] [--ci] [--tolerance F] [--reps K] \
+//!     [--baseline PATH] [--record-baseline]
 //! ```
 //!
-//! `--ci` shrinks the instances (CI machines are small and shared) and
-//! *enforces* the no-regression bound: the run fails if the 4-shard
-//! time exceeds `tolerance ×` the 1-shard time *plus an absolute
-//! slack* ([`ABS_SLACK_SECS`]) for any variant — the guard that keeps
-//! sharding overhead from silently rotting. The absolute slack exists
-//! because the smallest CI instances finish in single-digit
-//! milliseconds, where scheduler noise alone can exceed any ratio;
-//! a genuine overhead regression dwarfs 30 ms, noise does not. On a
-//! multi-core machine the interesting number is the speedup column; on
-//! a 1-core container the check still bounds the overhead.
+//! `--ci` shrinks the shard-scaling instances (CI machines are small
+//! and shared) and *enforces* both gates: the 4-shard no-regression
+//! bound (the run fails if the 4-shard time exceeds `tolerance ×` the
+//! 1-shard time *plus an absolute slack*, [`ABS_SLACK_SECS`]) and the
+//! single-core speedup floor. The absolute slack exists because the
+//! smallest CI instances finish in single-digit milliseconds, where
+//! scheduler noise alone can exceed any ratio; a genuine overhead
+//! regression dwarfs 30 ms, noise does not. The gate instances are
+//! deliberately denser (0.3–1.5 s each on the reference 1-core
+//! container at baseline) so the speedup ratio is signal, not noise.
 
 use std::time::Instant;
 
-use dsa_core::dist::{run_variant, EngineConfig, SpannerRun, VariantInstance};
+use dsa_core::dist::{
+    run_variant, run_variant_timed, EngineConfig, PhaseTimings, SpannerRun, VariantInstance,
+};
 use dsa_graphs::gen;
+use dsa_runtime::json::Json;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-/// Absolute slack for the `--ci` regression gate: sub-10ms baselines
-/// cannot be held to a pure ratio on shared CI machines.
+/// Absolute slack for the `--ci` shard-regression gate: sub-10ms
+/// baselines cannot be held to a pure ratio on shared CI machines.
 const ABS_SLACK_SECS: f64 = 0.030;
+
+/// Shard counts whose output must match before the single-core gate
+/// times anything.
+const GATE_IDENTITY_SHARDS: [usize; 3] = [1, 4, 8];
+
+/// Minimum `single_core_speedup` the `--ci` gate accepts per variant.
+const GATE_MIN_SPEEDUP: f64 = 1.5;
+
+/// How many of the four variants must clear [`GATE_MIN_SPEEDUP`].
+const GATE_MIN_VARIANTS: usize = 3;
+
+/// Best-of-`GATE_REPS` timing for the gate instances.
+const GATE_REPS: usize = 2;
 
 struct Args {
     n: usize,
     ci: bool,
     tolerance: f64,
     reps: usize,
+    baseline: String,
+    record_baseline: bool,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +86,8 @@ fn parse_args() -> Args {
         ci: false,
         tolerance: 1.5,
         reps: 0,
+        baseline: "BENCH_baseline.json".to_owned(),
+        record_baseline: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -68,9 +101,16 @@ fn parse_args() -> Args {
                 let v = it.next().expect("--reps needs a value");
                 args.reps = v.parse().expect("--reps takes a count");
             }
+            "--baseline" => {
+                args.baseline = it.next().expect("--baseline needs a path");
+            }
+            "--record-baseline" => args.record_baseline = true,
             other => {
                 args.n = other.parse().unwrap_or_else(|_| {
-                    eprintln!("usage: exp_engine_scaling [n] [--ci] [--tolerance F] [--reps K]");
+                    eprintln!(
+                        "usage: exp_engine_scaling [n] [--ci] [--tolerance F] [--reps K] \
+                         [--baseline PATH] [--record-baseline]"
+                    );
                     std::process::exit(2);
                 })
             }
@@ -86,8 +126,8 @@ fn parse_args() -> Args {
     args
 }
 
-/// The instances under test: every variant sized so one run is heavy
-/// enough to time but the whole sweep stays minutes, not hours.
+/// The shard-scaling instances: every variant sized so one run is
+/// heavy enough to time but the whole sweep stays minutes, not hours.
 fn instances(n: usize) -> Vec<(&'static str, VariantInstance)> {
     let mut rng = StdRng::seed_from_u64(2018);
     let avg_deg = |nv: usize, d: f64| (d / nv as f64).min(0.9);
@@ -97,6 +137,36 @@ fn instances(n: usize) -> Vec<(&'static str, VariantInstance)> {
     let d = gen::random_digraph_connected(nd, avg_deg(nd, 8.0), &mut rng);
     let ncs = (n / 2).max(8);
     let cs = gen::gnp_connected(ncs, avg_deg(ncs, 10.0), &mut rng);
+    let (clients, servers) = gen::client_server_split(&cs, 0.6, 0.6, &mut rng);
+    vec![
+        (
+            "undirected",
+            VariantInstance::Undirected { graph: g.clone() },
+        ),
+        ("directed", VariantInstance::Directed { graph: d }),
+        ("weighted", VariantInstance::Weighted { graph: g, weights }),
+        (
+            "client-server",
+            VariantInstance::ClientServer {
+                graph: cs,
+                clients,
+                servers,
+            },
+        ),
+    ]
+}
+
+/// The single-core gate instances: fixed sizes, independent of the
+/// `n` CLI knob so every run (and the committed baseline) times the
+/// *same* work. Densities are chosen so each baseline run lands in
+/// 0.3–1.5 s on the reference 1-core container — large enough that a
+/// 1.5x ratio is meaningful, small enough that CI stays fast.
+fn gate_instances() -> Vec<(&'static str, VariantInstance)> {
+    let mut rng = StdRng::seed_from_u64(2018);
+    let g = gen::gnp_connected(600, 36.0 / 600.0, &mut rng);
+    let weights = gen::random_weights(g.num_edges(), 0, 9, &mut rng);
+    let d = gen::random_digraph_connected(400, 22.0 / 400.0, &mut rng);
+    let cs = gen::gnp_connected(800, 44.0 / 800.0, &mut rng);
     let (clients, servers) = gen::client_server_split(&cs, 0.6, 0.6, &mut rng);
     vec![
         (
@@ -132,6 +202,199 @@ fn time_run(instance: &VariantInstance, shards: usize, reps: usize) -> (f64, Spa
         last = Some(run);
     }
     (best, last.expect("reps >= 1"))
+}
+
+/// One gate measurement: best-of-[`GATE_REPS`] 1-shard seconds with
+/// the phase breakdown of the best repetition.
+fn time_gate(instance: &VariantInstance) -> (f64, PhaseTimings, SpannerRun) {
+    let cfg = EngineConfig::seeded(7);
+    let mut best = f64::INFINITY;
+    let mut best_phases = PhaseTimings::default();
+    let mut last = None;
+    for _ in 0..GATE_REPS {
+        let t0 = Instant::now();
+        let (run, phases) = run_variant_timed(instance, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+            best_phases = phases;
+        }
+        last = Some(run);
+    }
+    (best, best_phases, last.expect("GATE_REPS >= 1"))
+}
+
+/// A baseline row parsed from `BENCH_baseline.json`.
+struct BaselineRow {
+    variant: String,
+    vertices: u64,
+    edges: u64,
+    seconds: f64,
+}
+
+fn load_baseline(path: &str) -> Option<Vec<BaselineRow>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = Json::parse(&text)
+        .unwrap_or_else(|e| panic!("exp_engine_scaling: {path} is not valid JSON: {e}"));
+    let rows = json
+        .get("rows")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("exp_engine_scaling: {path} has no `rows` array"));
+    Some(
+        rows.iter()
+            .map(|r| BaselineRow {
+                variant: r
+                    .get("variant")
+                    .and_then(Json::as_str)
+                    .expect("baseline row missing `variant`")
+                    .to_owned(),
+                vertices: r
+                    .get("vertices")
+                    .and_then(Json::as_u64)
+                    .expect("baseline row missing `vertices`"),
+                edges: r
+                    .get("edges")
+                    .and_then(Json::as_u64)
+                    .expect("baseline row missing `edges`"),
+                seconds: r
+                    .get("seconds")
+                    .and_then(Json::as_f64)
+                    .expect("baseline row missing `seconds`"),
+            })
+            .collect(),
+    )
+}
+
+fn phases_json(p: &PhaseTimings) -> String {
+    format!(
+        concat!(
+            "{{\"step1\":{:.4},\"step3\":{:.4},",
+            "\"step4\":{:.4},\"coverage\":{:.4}}}"
+        ),
+        p.step1.as_secs_f64(),
+        p.step3.as_secs_f64(),
+        p.step4.as_secs_f64(),
+        p.coverage.as_secs_f64(),
+    )
+}
+
+/// Runs the single-core gate. Returns the JSON rows plus any `--ci`
+/// failures.
+fn run_gate(args: &Args) -> (String, Vec<String>) {
+    let baseline = load_baseline(&args.baseline);
+    if baseline.is_none() && !args.record_baseline {
+        eprintln!(
+            "exp_engine_scaling: no baseline at {} — reporting absolute times only",
+            args.baseline
+        );
+    }
+    let mut rows = String::new();
+    let mut baseline_rows = String::new();
+    let mut passing = 0usize;
+    let mut failures = Vec::new();
+
+    for (name, instance) in gate_instances() {
+        // Identity across shard counts first: the gate times nothing
+        // it has not proven byte-identical.
+        let (secs, phases, run) = time_gate(&instance);
+        assert!(run.converged, "{name}: gate run did not converge");
+        for shards in GATE_IDENTITY_SHARDS {
+            if shards == 1 {
+                continue;
+            }
+            let cfg = EngineConfig {
+                num_shards: shards,
+                ..EngineConfig::seeded(7)
+            };
+            let other = run_variant(&instance, &cfg);
+            assert_eq!(
+                other.spanner, run.spanner,
+                "{name}: gate spanner differs at {shards} shards"
+            );
+            assert_eq!(
+                other.stats, run.stats,
+                "{name}: gate iteration stats differ at {shards} shards"
+            );
+            assert_eq!(other.star_fallbacks, run.star_fallbacks);
+        }
+
+        let base = baseline.as_ref().and_then(|b| {
+            b.iter().find(|r| r.variant == name).map(|r| {
+                assert_eq!(
+                    (r.vertices, r.edges),
+                    (instance.num_vertices() as u64, instance.num_edges() as u64),
+                    "{name}: baseline instance shape differs — re-record {}",
+                    args.baseline
+                );
+                r.seconds
+            })
+        });
+        let speedup = base.map(|b| b / secs);
+        if let Some(s) = speedup {
+            if s >= GATE_MIN_SPEEDUP {
+                passing += 1;
+            }
+        }
+
+        if !rows.is_empty() {
+            rows.push(',');
+            baseline_rows.push(',');
+        }
+        rows.push_str(&format!(
+            concat!(
+                "{{\"variant\":\"{}\",\"vertices\":{},\"edges\":{},",
+                "\"seconds\":{:.4},\"baseline_seconds\":{},",
+                "\"single_core_speedup\":{},\"iterations\":{},\"phases\":{}}}"
+            ),
+            name,
+            instance.num_vertices(),
+            instance.num_edges(),
+            secs,
+            base.map_or("null".to_owned(), |b| format!("{b:.4}")),
+            speedup.map_or("null".to_owned(), |s| format!("{s:.2}")),
+            run.iterations,
+            phases_json(&phases),
+        ));
+        baseline_rows.push_str(&format!(
+            concat!(
+                "{{\"variant\":\"{}\",\"vertices\":{},\"edges\":{},",
+                "\"seconds\":{:.4},\"iterations\":{},\"phases\":{}}}"
+            ),
+            name,
+            instance.num_vertices(),
+            instance.num_edges(),
+            secs,
+            run.iterations,
+            phases_json(&phases),
+        ));
+        eprintln!(
+            "exp_engine_scaling: gate {name:>13} n={:<4} m={:<6} {secs:.3}s{}",
+            instance.num_vertices(),
+            instance.num_edges(),
+            speedup.map_or(String::new(), |s| format!(" ({s:.2}x vs baseline)")),
+        );
+    }
+
+    if args.record_baseline {
+        let text = format!(
+            "{{\"experiment\":\"exp_engine_scaling_baseline\",\"rows\":[{baseline_rows}]}}\n"
+        );
+        std::fs::write(&args.baseline, text)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.baseline));
+        eprintln!("exp_engine_scaling: baseline recorded to {}", args.baseline);
+    } else if baseline.is_some() && passing < GATE_MIN_VARIANTS {
+        failures.push(format!(
+            "single-core gate: only {passing} of 4 variants reached \
+             {GATE_MIN_SPEEDUP}x over {} (need {GATE_MIN_VARIANTS})",
+            args.baseline
+        ));
+    } else if baseline.is_none() && args.ci {
+        failures.push(format!(
+            "single-core gate: baseline {} missing in --ci mode",
+            args.baseline
+        ));
+    }
+    (rows, failures)
 }
 
 fn main() {
@@ -198,12 +461,16 @@ fn main() {
         }
     }
 
+    let (gate_rows, gate_failures) = run_gate(&args);
+    failures.extend(gate_failures);
+
     println!(
         concat!(
             "{{\"experiment\":\"exp_engine_scaling\",\"n\":{},\"cores\":{},",
-            "\"ci\":{},\"tolerance\":{:.2},\"reps\":{},\"rows\":[{}]}}"
+            "\"ci\":{},\"tolerance\":{:.2},\"reps\":{},\"rows\":[{}],",
+            "\"gate\":[{}]}}"
         ),
-        args.n, cores, args.ci, args.tolerance, args.reps, rows,
+        args.n, cores, args.ci, args.tolerance, args.reps, rows, gate_rows,
     );
 
     if !failures.is_empty() {

@@ -25,33 +25,71 @@
 pub mod engine;
 pub mod variant;
 
-pub use engine::{run_engine, EngineConfig, IterationStats, SpannerRun, SpannerVariant};
-pub use variant::{run_variant, VariantInstance, VariantKind};
+pub use engine::{
+    run_engine, run_engine_timed, EngineConfig, IterationStats, PhaseTimings, SpannerRun,
+    SpannerVariant,
+};
+pub use variant::{run_variant, run_variant_timed, VariantInstance, VariantKind};
 
 use dsa_graphs::{DiGraph, EdgeId, EdgeSet, EdgeWeights, Graph, Ratio, VertexId};
 
-use crate::star::{Leaf, LocalStars, Pair};
+use crate::star::{IdList, Leaf, LocalStars, Pair};
 use crate::verify::coverable_clients;
-
-/// Sorted neighbor lists of an undirected graph, precomputed once per
-/// variant so the engine's 2-neighborhood aggregation can borrow them.
-fn sorted_adjacency(g: &Graph) -> Vec<Vec<VertexId>> {
-    (0..g.num_vertices())
-        .map(|v| {
-            let mut a: Vec<VertexId> = g.neighbor_vertices(v).collect();
-            a.sort_unstable();
-            a
-        })
-        .collect()
-}
 
 /// Whether `h` contains a 2-path between the endpoints of edge `e`
 /// of `g` (coverage without using `e` itself is not required: callers
-/// check direct membership separately when it matters).
+/// check direct membership separately when it matters). A two-pointer
+/// merge over the sorted CSR neighbor slices of both endpoints — each
+/// common neighbor yields both hop edge ids with no per-pair lookup.
 fn two_path_in(g: &Graph, h: &EdgeSet, u: VertexId, v: VertexId) -> bool {
-    g.neighbors(u).any(|(x, eux)| {
-        x != v && h.contains(eux) && g.edge_id(x, v).is_some_and(|exv| h.contains(exv))
-    })
+    let (un, ue) = g.sorted_neighbor_slices(u);
+    let (vn, ve) = g.sorted_neighbor_slices(v);
+    let (mut p, mut q) = (0, 0);
+    while p < un.len() && q < vn.len() {
+        match un[p].cmp(&vn[q]) {
+            std::cmp::Ordering::Less => p += 1,
+            std::cmp::Ordering::Greater => q += 1,
+            std::cmp::Ordering::Equal => {
+                if h.contains(ue[p]) && h.contains(ve[q]) {
+                    return true;
+                }
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+    false
+}
+
+/// Calls `on_match(p, q)` for every position pair with
+/// `xs[p] == ys[q]`, by a two-pointer merge. Both slices must be
+/// sorted ascending with distinct elements (CSR sorted slices are).
+fn merge_common(xs: &[VertexId], ys: &[VertexId], mut on_match: impl FnMut(usize, usize)) {
+    let (mut p, mut q) = (0, 0);
+    while p < xs.len() && q < ys.len() {
+        match xs[p].cmp(&ys[q]) {
+            std::cmp::Ordering::Less => p += 1,
+            std::cmp::Ordering::Greater => q += 1,
+            std::cmp::Ordering::Equal => {
+                on_match(p, q);
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+}
+
+/// Whether `h` contains a directed 2-path `u -> x -> v`: a merge of
+/// `u`'s sorted out-slice with `v`'s sorted in-slice — common vertices
+/// are exactly the candidate midpoints, with both hop edge ids at hand.
+fn directed_two_path_in(g: &DiGraph, h: &EdgeSet, u: VertexId, v: VertexId) -> bool {
+    let (un, ue) = g.sorted_out_neighbor_slices(u);
+    let (vn, ve) = g.sorted_in_neighbor_slices(v);
+    let mut found = false;
+    merge_common(un, vn, |p, q| {
+        found |= h.contains(ue[p]) && h.contains(ve[q]);
+    });
+    found
 }
 
 /// The edges of `g` covered by `h` within stretch 2 — the shared
@@ -84,14 +122,25 @@ fn undirected_covered_delta(g: &Graph, h: &EdgeSet, new_edges: &[EdgeId], out: &
         // `e` as one hop of a 2-path endpoint–other–x, covering the
         // item {endpoint, x}. Both orientations of `e` are tried; the
         // second hop {other, x} must already be in `h` (which includes
-        // the other edges of this batch).
+        // the other edges of this batch). Each covered item {endpoint,
+        // x} requires x adjacent to both endpoints, so a merge over
+        // the two sorted neighbor slices finds every item and both its
+        // edge ids in one linear pass.
         for (endpoint, other) in [(a, b), (b, a)] {
-            for (x, eox) in g.neighbors(other) {
-                if x == endpoint || !h.contains(eox) {
-                    continue;
-                }
-                if let Some(item) = g.edge_id(endpoint, x) {
-                    out.insert(item);
+            let (on, oe) = g.sorted_neighbor_slices(other);
+            let (en, ee) = g.sorted_neighbor_slices(endpoint);
+            let (mut p, mut q) = (0, 0);
+            while p < on.len() && q < en.len() {
+                match on[p].cmp(&en[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        if h.contains(oe[p]) {
+                            out.insert(ee[q]);
+                        }
+                        p += 1;
+                        q += 1;
+                    }
                 }
             }
         }
@@ -107,16 +156,13 @@ fn undirected_covered_delta(g: &Graph, h: &EdgeSet, new_edges: &[EdgeId], out: &
 /// the round threshold is density 1.
 pub struct UndirectedTwoSpanner<'a> {
     g: &'a Graph,
-    adj: Vec<Vec<VertexId>>,
 }
 
 impl<'a> UndirectedTwoSpanner<'a> {
-    /// Wraps `g` as an engine variant.
+    /// Wraps `g` as an engine variant. Neighbor lists come straight
+    /// from the graph's sorted CSR slices — nothing to precompute.
     pub fn new(g: &'a Graph) -> Self {
-        UndirectedTwoSpanner {
-            g,
-            adj: sorted_adjacency(g),
-        }
+        UndirectedTwoSpanner { g }
     }
 }
 
@@ -146,7 +192,8 @@ impl SpannerVariant for UndirectedTwoSpanner<'_> {
     }
 
     fn local_stars(&self, v: VertexId, uncovered: &EdgeSet) -> LocalStars {
-        unit_leaf_local_stars(self.g, &self.adj[v], v, |_| 1, |e| uncovered.contains(e))
+        let (nbrs, eids) = self.g.sorted_neighbor_slices(v);
+        unit_leaf_local_stars(self.g, nbrs, eids, |_| 1, |e| uncovered.contains(e))
     }
 
     fn force_cover(&self, item: usize) -> Vec<EdgeId> {
@@ -154,7 +201,7 @@ impl SpannerVariant for UndirectedTwoSpanner<'_> {
     }
 
     fn comm_neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.adj[v]
+        self.g.sorted_neighbor_slices(v).0
     }
 
     fn threshold(&self) -> Ratio {
@@ -164,36 +211,50 @@ impl SpannerVariant for UndirectedTwoSpanner<'_> {
 
 /// Shared [`LocalStars`] construction for the variants whose leaves are
 /// the (possibly filtered) neighbors of `v` with a single undirected
-/// edge each: leaf weights come from `weight_of`, and a neighbor pair
+/// edge each: leaf weights come from `weight_of`, and a leaf pair
 /// `{a, b}` spans the edge `{a, b}` when `is_item` accepts it.
+///
+/// `leaf_nbrs` must be sorted ascending with `leaf_eids[i]` the id of
+/// the center–`leaf_nbrs[i]` edge (the graph's sorted CSR slices, or a
+/// filtered copy of them). Pairs are found by merging each leaf's
+/// sorted neighbor slice against the remaining leaves — a two-pointer
+/// pass per leaf instead of a binary-search `edge_id` per leaf *pair*,
+/// and the merge yields the spanned edge id directly.
 fn unit_leaf_local_stars(
     g: &Graph,
-    leaves_of: &[VertexId],
-    v: VertexId,
+    leaf_nbrs: &[VertexId],
+    leaf_eids: &[EdgeId],
     weight_of: impl Fn(EdgeId) -> u64,
     is_item: impl Fn(EdgeId) -> bool,
 ) -> LocalStars {
-    let leaves: Vec<Leaf> = leaves_of
+    let leaves: Vec<Leaf> = leaf_nbrs
         .iter()
-        .map(|&u| {
-            let e = g.edge_id(v, u).expect("leaf is a neighbor");
-            Leaf {
-                vertex: u,
-                weight: weight_of(e),
-                edges: vec![e],
-            }
+        .zip(leaf_eids)
+        .map(|(&u, &e)| Leaf {
+            vertex: u,
+            weight: weight_of(e),
+            edges: IdList::one(e),
         })
         .collect();
     let mut pairs = Vec::new();
-    for i in 0..leaves_of.len() {
-        for j in (i + 1)..leaves_of.len() {
-            if let Some(e) = g.edge_id(leaves_of[i], leaves_of[j]) {
-                if is_item(e) {
-                    pairs.push(Pair {
-                        a: i,
-                        b: j,
-                        items: vec![e],
-                    });
+    for i in 0..leaf_nbrs.len() {
+        let (an, ae) = g.sorted_neighbor_slices(leaf_nbrs[i]);
+        let (mut p, mut q) = (0, i + 1);
+        while p < an.len() && q < leaf_nbrs.len() {
+            match an[p].cmp(&leaf_nbrs[q]) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => {
+                    let e = ae[p];
+                    if is_item(e) {
+                        pairs.push(Pair {
+                            a: i,
+                            b: q,
+                            items: IdList::one(e),
+                        });
+                    }
+                    p += 1;
+                    q += 1;
                 }
             }
         }
@@ -211,7 +272,6 @@ fn unit_leaf_local_stars(
 pub struct WeightedTwoSpanner<'a> {
     g: &'a Graph,
     w: &'a EdgeWeights,
-    adj: Vec<Vec<VertexId>>,
     threshold: Ratio,
 }
 
@@ -226,7 +286,6 @@ impl<'a> WeightedTwoSpanner<'a> {
         WeightedTwoSpanner {
             g,
             w,
-            adj: sorted_adjacency(g),
             // The protocol computes the same threshold from its
             // 2-neighborhood w_max aggregate; here it is global.
             threshold: crate::star::weight_threshold(w.max()),
@@ -266,10 +325,11 @@ impl SpannerVariant for WeightedTwoSpanner<'_> {
     }
 
     fn local_stars(&self, v: VertexId, uncovered: &EdgeSet) -> LocalStars {
+        let (nbrs, eids) = self.g.sorted_neighbor_slices(v);
         unit_leaf_local_stars(
             self.g,
-            &self.adj[v],
-            v,
+            nbrs,
+            eids,
             |e| self.w.get(e),
             |e| uncovered.contains(e),
         )
@@ -280,7 +340,7 @@ impl SpannerVariant for WeightedTwoSpanner<'_> {
     }
 
     fn comm_neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.adj[v]
+        self.g.sorted_neighbor_slices(v).0
     }
 
     fn threshold(&self) -> Ratio {
@@ -298,7 +358,9 @@ impl SpannerVariant for WeightedTwoSpanner<'_> {
 /// 4.3.1 proxies, and the star choice uses the `ρ̃/8` threshold.
 pub struct DirectedTwoSpanner<'a> {
     g: &'a DiGraph,
-    adj: Vec<Vec<VertexId>>,
+    /// The underlying undirected communication graph; its sorted CSR
+    /// slices are the per-vertex neighbor lists.
+    underlying: Graph,
 }
 
 impl<'a> DirectedTwoSpanner<'a> {
@@ -306,10 +368,7 @@ impl<'a> DirectedTwoSpanner<'a> {
     /// underlying undirected graph, as Section 1.5 prescribes.
     pub fn new(g: &'a DiGraph) -> Self {
         let (underlying, _) = g.underlying();
-        DirectedTwoSpanner {
-            g,
-            adj: sorted_adjacency(&underlying),
-        }
+        DirectedTwoSpanner { g, underlying }
     }
 }
 
@@ -333,15 +392,7 @@ impl SpannerVariant for DirectedTwoSpanner<'_> {
     fn covered(&self, h: &EdgeSet) -> EdgeSet {
         let mut out = EdgeSet::new(self.g.num_edges());
         for (e, u, v) in self.g.edges() {
-            let direct = h.contains(e);
-            let via_path = || {
-                self.g.out_neighbors(u).any(|(x, eux)| {
-                    x != v
-                        && h.contains(eux)
-                        && self.g.edge_id(x, v).is_some_and(|exv| h.contains(exv))
-                })
-            };
-            if direct || via_path() {
+            if h.contains(e) || directed_two_path_in(self.g, h, u, v) {
                 out.insert(e);
             }
         }
@@ -353,62 +404,83 @@ impl SpannerVariant for DirectedTwoSpanner<'_> {
             out.insert(e);
             // `e` is the directed edge a -> b.
             let (a, b) = self.g.endpoints(e);
-            // `e` as first hop: a -> b -> x covers the item a -> x.
-            for (x, ebx) in self.g.out_neighbors(b) {
-                if !h.contains(ebx) {
-                    continue;
+            // `e` as first hop: a -> b -> x covers the item a -> x;
+            // such x are common heads of a and b, so one merge over the
+            // two sorted out-slices finds every item and both hop ids.
+            let (bn, be) = self.g.sorted_out_neighbor_slices(b);
+            let (an, ae) = self.g.sorted_out_neighbor_slices(a);
+            merge_common(bn, an, |p, q| {
+                if h.contains(be[p]) {
+                    out.insert(ae[q]);
                 }
-                if let Some(item) = self.g.edge_id(a, x) {
-                    out.insert(item);
+            });
+            // `e` as second hop: x -> a -> b covers the item x -> b;
+            // such x are common tails of a and b.
+            let (an, ae) = self.g.sorted_in_neighbor_slices(a);
+            let (bn, be) = self.g.sorted_in_neighbor_slices(b);
+            merge_common(an, bn, |p, q| {
+                if h.contains(ae[p]) {
+                    out.insert(be[q]);
                 }
-            }
-            // `e` as second hop: x -> a -> b covers the item x -> b.
-            for (x, exa) in self.g.in_neighbors(a) {
-                if !h.contains(exa) {
-                    continue;
-                }
-                if let Some(item) = self.g.edge_id(x, b) {
-                    out.insert(item);
-                }
-            }
+            });
         }
     }
 
     fn local_stars(&self, v: VertexId, uncovered: &EdgeSet) -> LocalStars {
-        let nbrs = &self.adj[v];
-        let leaves: Vec<Leaf> = nbrs
-            .iter()
-            .map(|&u| {
-                let edges: Vec<EdgeId> = [self.g.edge_id(v, u), self.g.edge_id(u, v)]
-                    .into_iter()
-                    .flatten()
-                    .collect();
+        let nbrs = self.underlying.sorted_neighbor_slices(v).0;
+        let k = nbrs.len();
+        // The directed edges between `v` and each neighbor, found by
+        // merging the center's sorted out-/in-slices against `nbrs`
+        // (which contains every out- and in-neighbor of `v`).
+        let mut vto: Vec<Option<EdgeId>> = vec![None; k]; // v -> nbrs[i]
+        let mut inv: Vec<Option<EdgeId>> = vec![None; k]; // nbrs[i] -> v
+        let (on, oe) = self.g.sorted_out_neighbor_slices(v);
+        merge_common(on, nbrs, |p, q| vto[q] = Some(oe[p]));
+        let (inn, ie) = self.g.sorted_in_neighbor_slices(v);
+        merge_common(inn, nbrs, |p, q| inv[q] = Some(ie[p]));
+        let leaves: Vec<Leaf> = (0..k)
+            .map(|i| {
+                // Center-out edge first, then leaf-out, as edge_id
+                // lookups in that order used to produce.
+                let edges: IdList = vto[i].into_iter().chain(inv[i]).collect();
                 Leaf {
-                    vertex: u,
+                    vertex: nbrs[i],
                     weight: edges.len() as u64,
                     edges,
                 }
             })
             .collect();
         let mut pairs = Vec::new();
-        for i in 0..nbrs.len() {
-            for j in (i + 1)..nbrs.len() {
-                let (a, b) = (nbrs[i], nbrs[j]);
-                let mut items = Vec::new();
+        for i in 0..k {
+            let a = nbrs[i];
+            // For each later leaf b: the pair spans a -> b (needs
+            // a -> v -> b plus the edge) and/or b -> a (needs
+            // b -> v -> a plus the edge). Walk a's sorted out- and
+            // in-slices in step with the ascending tail `nbrs[i+1..]`.
+            let (aon, aoe) = self.g.sorted_out_neighbor_slices(a);
+            let (ain, aie) = self.g.sorted_in_neighbor_slices(a);
+            let (mut p, mut r) = (0, 0);
+            for j in (i + 1)..k {
+                let b = nbrs[j];
+                while p < aon.len() && aon[p] < b {
+                    p += 1;
+                }
+                while r < ain.len() && ain[r] < b {
+                    r += 1;
+                }
+                let mut items = IdList::new();
                 // a -> v -> b spans the directed edge (a, b).
-                if self.g.has_edge(a, v) && self.g.has_edge(v, b) {
-                    if let Some(e) = self.g.edge_id(a, b) {
-                        if uncovered.contains(e) {
-                            items.push(e);
-                        }
+                if inv[i].is_some() && vto[j].is_some() && p < aon.len() && aon[p] == b {
+                    let e = aoe[p];
+                    if uncovered.contains(e) {
+                        items.push(e);
                     }
                 }
                 // b -> v -> a spans the directed edge (b, a).
-                if self.g.has_edge(b, v) && self.g.has_edge(v, a) {
-                    if let Some(e) = self.g.edge_id(b, a) {
-                        if uncovered.contains(e) {
-                            items.push(e);
-                        }
+                if inv[j].is_some() && vto[i].is_some() && r < ain.len() && ain[r] == b {
+                    let e = aie[r];
+                    if uncovered.contains(e) {
+                        items.push(e);
                     }
                 }
                 if !items.is_empty() {
@@ -424,7 +496,7 @@ impl SpannerVariant for DirectedTwoSpanner<'_> {
     }
 
     fn comm_neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.adj[v]
+        self.underlying.sorted_neighbor_slices(v).0
     }
 
     fn threshold(&self) -> Ratio {
@@ -446,8 +518,12 @@ impl SpannerVariant for DirectedTwoSpanner<'_> {
 pub struct ClientServerTwoSpanner<'a> {
     g: &'a Graph,
     servers: &'a EdgeSet,
-    adj: Vec<Vec<VertexId>>,
-    server_adj: Vec<Vec<VertexId>>,
+    /// The server-edge sub-adjacency in flat CSR form, filtered from
+    /// the graph's sorted slices (so each per-vertex slice is sorted):
+    /// `server_offsets[v]..server_offsets[v + 1]` slices the arrays.
+    server_offsets: Vec<usize>,
+    server_nbrs: Vec<VertexId>,
+    server_eids: Vec<EdgeId>,
     targets: EdgeSet,
 }
 
@@ -462,23 +538,35 @@ impl<'a> ClientServerTwoSpanner<'a> {
     pub fn new(g: &'a Graph, clients: &'a EdgeSet, servers: &'a EdgeSet) -> Self {
         assert_eq!(clients.universe(), g.num_edges(), "client set mismatch");
         assert_eq!(servers.universe(), g.num_edges(), "server set mismatch");
-        let adj = sorted_adjacency(g);
-        let server_adj: Vec<Vec<VertexId>> = (0..g.num_vertices())
-            .map(|v| {
-                adj[v]
-                    .iter()
-                    .copied()
-                    .filter(|&u| servers.contains(g.edge_id(v, u).expect("neighbor edge")))
-                    .collect()
-            })
-            .collect();
+        let mut server_offsets = Vec::with_capacity(g.num_vertices() + 1);
+        let mut server_nbrs = Vec::new();
+        let mut server_eids = Vec::new();
+        server_offsets.push(0);
+        for v in 0..g.num_vertices() {
+            let (nbrs, eids) = g.sorted_neighbor_slices(v);
+            for (&u, &e) in nbrs.iter().zip(eids) {
+                if servers.contains(e) {
+                    server_nbrs.push(u);
+                    server_eids.push(e);
+                }
+            }
+            server_offsets.push(server_nbrs.len());
+        }
         ClientServerTwoSpanner {
             g,
             servers,
-            adj,
-            server_adj,
+            server_offsets,
+            server_nbrs,
+            server_eids,
             targets: coverable_clients(g, clients, servers),
         }
+    }
+
+    /// The sorted `(server neighbors, edge ids)` slices of `v`.
+    fn server_slices(&self, v: VertexId) -> (&[VertexId], &[EdgeId]) {
+        let lo = self.server_offsets[v];
+        let hi = self.server_offsets[v + 1];
+        (&self.server_nbrs[lo..hi], &self.server_eids[lo..hi])
     }
 }
 
@@ -519,13 +607,8 @@ impl SpannerVariant for ClientServerTwoSpanner<'_> {
     fn local_stars(&self, v: VertexId, uncovered: &EdgeSet) -> LocalStars {
         // Leaves are the server neighbors; items are uncovered
         // (coverable) client edges between them.
-        unit_leaf_local_stars(
-            self.g,
-            &self.server_adj[v],
-            v,
-            |_| 1,
-            |e| uncovered.contains(e),
-        )
+        let (nbrs, eids) = self.server_slices(v);
+        unit_leaf_local_stars(self.g, nbrs, eids, |_| 1, |e| uncovered.contains(e))
     }
 
     fn force_cover(&self, item: usize) -> Vec<EdgeId> {
@@ -548,7 +631,7 @@ impl SpannerVariant for ClientServerTwoSpanner<'_> {
     }
 
     fn comm_neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.adj[v]
+        self.g.sorted_neighbor_slices(v).0
     }
 
     fn threshold(&self) -> Ratio {

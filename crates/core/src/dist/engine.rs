@@ -70,13 +70,14 @@ use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dsa_graphs::{EdgeId, EdgeSet, Ratio, VertexId};
 
-use crate::star::{pow2_ratio, LocalStars};
+use crate::star::{pow2_ratio, LocalStars, StarScratch};
 
 /// One problem variant of the Section-4 scheme: what needs covering,
 /// which stars exist, and at which density the iteration stops.
@@ -262,6 +263,30 @@ impl SpannerRun {
     }
 }
 
+/// Wall-clock accounting of where a [`run_engine`] call spent its time,
+/// accumulated across all iterations. Deliberately *not* part of
+/// [`SpannerRun`]: timings are non-deterministic, and `SpannerRun` is
+/// the byte-stable identity the service caches and ships.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Step 1: per-vertex star spaces + densest-star flow calls.
+    pub step1: Duration,
+    /// Step 3: candidacy aggregation and star choice.
+    pub step3: Duration,
+    /// Step 4: vote collection and acceptance.
+    pub step4: Duration,
+    /// Coverage maintenance: `covered_delta` subtraction plus the
+    /// from-scratch termination recompute.
+    pub coverage: Duration,
+}
+
+impl PhaseTimings {
+    /// Total time across the four instrumented phases.
+    pub fn total(&self) -> Duration {
+        self.step1 + self.step3 + self.step4 + self.coverage
+    }
+}
+
 /// A candidate vertex of one iteration: its chosen star and the random
 /// permutation value that orders the vote.
 struct Candidate {
@@ -371,6 +396,20 @@ fn resolve_shards(requested: usize) -> usize {
 ///
 /// Panics if `cfg.accept_denominator == 0`.
 pub fn run_engine<V: SpannerVariant + Sync>(variant: &V, cfg: &EngineConfig) -> SpannerRun {
+    run_engine_timed(variant, cfg).0
+}
+
+/// [`run_engine`] plus per-phase wall-clock accounting — the
+/// instrumentation the `exp_engine_scaling` bench reports. The
+/// [`SpannerRun`] is byte-identical to the untimed entry point.
+///
+/// # Panics
+///
+/// Panics if `cfg.accept_denominator == 0`.
+pub fn run_engine_timed<V: SpannerVariant + Sync>(
+    variant: &V,
+    cfg: &EngineConfig,
+) -> (SpannerRun, PhaseTimings) {
     assert!(
         cfg.accept_denominator >= 1,
         "accept denominator must be positive"
@@ -394,6 +433,7 @@ pub fn run_engine<V: SpannerVariant + Sync>(variant: &V, cfg: &EngineConfig) -> 
     let mut star_fallbacks = 0u64;
     let mut converged = uncovered.is_empty();
     let mut cancelled = false;
+    let mut timings = PhaseTimings::default();
 
     // Hot-loop buffers, allocated once and refilled per iteration.
     let mut keys: Vec<Ratio> = vec![Ratio::zero(); n];
@@ -402,6 +442,19 @@ pub fn run_engine<V: SpannerVariant + Sync>(variant: &V, cfg: &EngineConfig) -> 
     let mut rvs: Vec<u64> = vec![0; n];
     let mut new_edges: Vec<EdgeId> = Vec::new();
     let mut delta = EdgeSet::new(num_items);
+    // Star spaces and densities carried across iterations. A vertex's
+    // LocalStars is a pure function of the (static) graph and the
+    // uncovered items inside its neighborhood, and `uncovered` only
+    // ever shrinks — so the stored space is still exact unless one of
+    // its pair items got covered since it was built. Checking that is
+    // a bitset probe per stored pair, vastly cheaper than the flow
+    // oracle the recompute would run.
+    let mut locals: Vec<LocalStars> = Vec::new();
+    let mut rho: Vec<Ratio> = Vec::new();
+    // The unrestricted densest star each Step 1 found — ρ(v)'s
+    // witness. Step 3 seeds fresh star choices with it instead of
+    // re-running the flow oracle.
+    let mut best: Vec<Option<(Vec<bool>, Ratio)>> = Vec::new();
 
     while !converged && (stats.len() as u64) < cfg.max_iterations {
         if cfg.is_cancelled() {
@@ -410,15 +463,49 @@ pub fn run_engine<V: SpannerVariant + Sync>(variant: &V, cfg: &EngineConfig) -> 
         }
 
         // Step 1 (sharded): per-vertex star spaces and densest-star
-        // densities — one flow-oracle call per vertex, the dominant
-        // cost of an iteration.
-        let per_vertex: Vec<(LocalStars, Ratio)> = sharded_map(n, shards, |v| {
-            let ls = variant.local_stars(v, &uncovered);
-            let rho = ls.max_density().unwrap_or_else(Ratio::zero);
-            (ls, rho)
-        });
-        let (locals, rho): (Vec<LocalStars>, Vec<Ratio>) = per_vertex.into_iter().unzip();
+        // densities — one flow-oracle call per stale vertex, the
+        // dominant cost of an iteration.
+        // A vertex's star space plus the densest star found in it.
+        type StarState = (LocalStars, Option<(Vec<bool>, Ratio)>);
+        let t_step1 = Instant::now();
+        if locals.is_empty() {
+            let per_vertex: Vec<StarState> = sharded_map(n, shards, |v| {
+                let ls = variant.local_stars(v, &uncovered);
+                let best = ls.densest(None);
+                (ls, best)
+            });
+            (locals, best) = per_vertex.into_iter().unzip();
+            rho = best
+                .iter()
+                .map(|b| b.as_ref().map_or_else(Ratio::zero, |&(_, d)| d))
+                .collect();
+        } else {
+            let refreshed: Vec<Option<StarState>> = {
+                let locals = &locals;
+                let uncovered = &uncovered;
+                sharded_map(n, shards, move |v| {
+                    let fresh = locals[v]
+                        .pairs
+                        .iter()
+                        .all(|p| p.items.iter().all(|&item| uncovered.contains(item)));
+                    if fresh {
+                        return None;
+                    }
+                    let ls = variant.local_stars(v, uncovered);
+                    let best = ls.densest(None);
+                    Some((ls, best))
+                })
+            };
+            for (v, refreshed) in refreshed.into_iter().enumerate() {
+                if let Some((ls, b)) = refreshed {
+                    locals[v] = ls;
+                    rho[v] = b.as_ref().map_or_else(Ratio::zero, |&(_, d)| d);
+                    best[v] = b;
+                }
+            }
+        }
         let global_max = rho.iter().copied().max().unwrap_or_else(Ratio::zero);
+        timings.step1 += t_step1.elapsed();
 
         // Step 2: termination — self-add what no dense-enough star
         // covers (the centrally scheduled analogue of every vertex
@@ -438,8 +525,10 @@ pub fn run_engine<V: SpannerVariant + Sync>(variant: &V, cfg: &EngineConfig) -> 
             }
             // Final pass: recompute from scratch so `converged` rests
             // on a full check, not the incremental bookkeeping.
+            let t_cov = Instant::now();
             uncovered = targets.clone();
             uncovered.subtract(&variant.covered(&h));
+            timings.coverage += t_cov.elapsed();
             stats.push(IterationStats {
                 candidates: 0,
                 accepted: 0,
@@ -454,6 +543,7 @@ pub fn run_engine<V: SpannerVariant + Sync>(variant: &V, cfg: &EngineConfig) -> 
         // (unless ablated) and aggregated twice over the closed
         // neighborhood, giving each vertex the maximum over its
         // 2-neighborhood.
+        let t_step3 = Instant::now();
         for v in 0..n {
             keys[v] = if cfg.round_densities {
                 rho[v]
@@ -487,46 +577,60 @@ pub fn run_engine<V: SpannerVariant + Sync>(variant: &V, cfg: &EngineConfig) -> 
 
         // Sharded candidate construction: pure per-vertex reads of the
         // iteration state; star memory is updated afterwards, in
-        // vertex order, on this thread.
-        let chosen: Vec<Option<ChosenStar>> = sharded_map(n, shards, |v| {
-            if rho[v].is_zero() || rho[v] < threshold || keys[v] != max2[v] {
-                return None;
-            }
-            let choice_threshold = if cfg.round_densities {
-                let exp = rho[v].ceil_pow2_exponent().expect("positive density");
-                // Clamp to pow2_ratio's exact range; only reachable
-                // with astronomical weights, where the saturated
-                // threshold is equally serviceable.
-                pow2_ratio((exp - offset).max(-62))
-            } else {
-                // Exact-density ablation: ρ(v) / 2^offset. Shift the
-                // numerator down instead when the denominator would
-                // overflow (astronomical star weights).
-                let (num, den) = (rho[v].numerator(), rho[v].denominator());
-                if den.leading_zeros() as i32 >= offset {
-                    Ratio::new(num, den << offset)
-                } else {
-                    Ratio::new(num >> offset, den)
-                }
-            };
-            let prev = if cfg.monotone_stars {
-                prev_star[v]
-                    .as_ref()
-                    .filter(|(key, _)| *key == keys[v])
-                    .map(|(_, member)| member.as_slice())
-            } else {
-                None
-            };
-            let choice = locals[v].choose_star(choice_threshold, prev)?;
-            let spanned = locals[v].spanned_items(&choice.member);
-            if spanned.is_empty() {
-                return None;
-            }
-            Some(ChosenStar {
-                member: choice.member,
-                spanned,
-                fallback: choice.fallback,
-            })
+        // vertex order, on this thread. Each shard owns one reusable
+        // StarScratch, so the choice loop stops allocating per vertex
+        // once its arena has warmed up.
+        let chosen: Vec<Option<ChosenStar>> = sharded_chunks(n, shards, |range| {
+            let mut scratch = StarScratch::default();
+            range
+                .map(|v| {
+                    if rho[v].is_zero() || rho[v] < threshold || keys[v] != max2[v] {
+                        return None;
+                    }
+                    let choice_threshold = if cfg.round_densities {
+                        let exp = rho[v].ceil_pow2_exponent().expect("positive density");
+                        // Clamp to pow2_ratio's exact range; only
+                        // reachable with astronomical weights, where
+                        // the saturated threshold is equally
+                        // serviceable.
+                        pow2_ratio((exp - offset).max(-62))
+                    } else {
+                        // Exact-density ablation: ρ(v) / 2^offset.
+                        // Shift the numerator down instead when the
+                        // denominator would overflow (astronomical
+                        // star weights).
+                        let (num, den) = (rho[v].numerator(), rho[v].denominator());
+                        if den.leading_zeros() as i32 >= offset {
+                            Ratio::new(num, den << offset)
+                        } else {
+                            Ratio::new(num >> offset, den)
+                        }
+                    };
+                    let prev = if cfg.monotone_stars {
+                        prev_star[v]
+                            .as_ref()
+                            .filter(|(key, _)| *key == keys[v])
+                            .map(|(_, member)| member.as_slice())
+                    } else {
+                        None
+                    };
+                    let choice = locals[v].choose_star_seeded(
+                        choice_threshold,
+                        prev,
+                        Some(&best[v]),
+                        &mut scratch,
+                    )?;
+                    let spanned = locals[v].spanned_items(&choice.member);
+                    if spanned.is_empty() {
+                        return None;
+                    }
+                    Some(ChosenStar {
+                        member: choice.member,
+                        spanned,
+                        fallback: choice.fallback,
+                    })
+                })
+                .collect()
         });
 
         let mut candidates: Vec<Candidate> = Vec::new();
@@ -553,6 +657,8 @@ pub fn run_engine<V: SpannerVariant + Sync>(variant: &V, cfg: &EngineConfig) -> 
                 rv: rvs[v],
             });
         }
+        timings.step3 += t_step3.elapsed();
+        let t_step4 = Instant::now();
 
         // Step 4 (sharded over item ranges): voting. Each uncovered
         // item backs the first candidate 2-spanning it in `(r_v, v)`
@@ -601,12 +707,16 @@ pub fn run_engine<V: SpannerVariant + Sync>(variant: &V, cfg: &EngineConfig) -> 
             }
         }
 
+        timings.step4 += t_step4.elapsed();
+
         // Incremental coverage: only the items the new edges can have
         // covered leave `uncovered` (coverage is monotone, so the
         // delta is exact — see the module docs).
+        let t_cov = Instant::now();
         delta.clear();
         variant.covered_delta(&h, &new_edges, &mut delta);
         uncovered.subtract(&delta);
+        timings.coverage += t_cov.elapsed();
         stats.push(IterationStats {
             candidates: candidates.len(),
             accepted,
@@ -616,14 +726,17 @@ pub fn run_engine<V: SpannerVariant + Sync>(variant: &V, cfg: &EngineConfig) -> 
         converged = uncovered.is_empty();
     }
 
-    SpannerRun {
-        spanner: h,
-        iterations: stats.len() as u64,
-        converged,
-        cancelled,
-        star_fallbacks,
-        stats,
-    }
+    (
+        SpannerRun {
+            spanner: h,
+            iterations: stats.len() as u64,
+            converged,
+            cancelled,
+            star_fallbacks,
+            stats,
+        },
+        timings,
+    )
 }
 
 #[cfg(test)]

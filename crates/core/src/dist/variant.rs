@@ -15,9 +15,10 @@ use std::str::FromStr;
 
 use dsa_graphs::{DiGraph, EdgeSet, EdgeWeights, Graph};
 
-use super::engine::{EngineConfig, SpannerRun};
+use super::engine::{run_engine_timed, EngineConfig, PhaseTimings, SpannerRun};
 use super::{
     min_2_spanner, min_2_spanner_client_server, min_2_spanner_directed, min_2_spanner_weighted,
+    ClientServerTwoSpanner, DirectedTwoSpanner, UndirectedTwoSpanner, WeightedTwoSpanner,
 };
 
 /// The shape of a minimum 2-spanner problem variant.
@@ -195,6 +196,36 @@ pub fn run_variant(instance: &VariantInstance, cfg: &EngineConfig) -> SpannerRun
             clients,
             servers,
         } => min_2_spanner_client_server(graph, clients, servers, cfg),
+    }
+}
+
+/// [`run_variant`] plus the engine's per-phase wall-clock accounting —
+/// the dispatch point the benchmarks use. The [`SpannerRun`] is
+/// byte-identical to [`run_variant`]'s.
+///
+/// # Panics
+///
+/// Panics if the instance's cross-field invariants are violated (call
+/// [`VariantInstance::validate`] first on untrusted input).
+pub fn run_variant_timed(
+    instance: &VariantInstance,
+    cfg: &EngineConfig,
+) -> (SpannerRun, PhaseTimings) {
+    match instance {
+        VariantInstance::Undirected { graph } => {
+            run_engine_timed(&UndirectedTwoSpanner::new(graph), cfg)
+        }
+        VariantInstance::Directed { graph } => {
+            run_engine_timed(&DirectedTwoSpanner::new(graph), cfg)
+        }
+        VariantInstance::Weighted { graph, weights } => {
+            run_engine_timed(&WeightedTwoSpanner::new(graph, weights), cfg)
+        }
+        VariantInstance::ClientServer {
+            graph,
+            clients,
+            servers,
+        } => run_engine_timed(&ClientServerTwoSpanner::new(graph, clients, servers), cfg),
     }
 }
 

@@ -34,7 +34,7 @@ use dsa_runtime::{
     Metrics, Network, Outbox, Protocol, RoundCtx, Simulator, Word, WordReader, WordWriter,
 };
 
-use crate::star::{pow2_ratio, weight_threshold, Leaf, LocalStars, Pair};
+use crate::star::{pow2_ratio, weight_threshold, IdList, Leaf, LocalStars, Pair};
 
 /// Rounds per algorithm iteration.
 pub const PHASES: u64 = 7;
@@ -365,7 +365,7 @@ fn phase1_density(
             pairs.push(Pair {
                 a: index[&key.0],
                 b: index[&key.1],
-                items: vec![item],
+                items: IdList::one(item),
             });
         }
     }
@@ -376,7 +376,7 @@ fn phase1_density(
         .map(|(i, &u)| Leaf {
             vertex: u,
             weight: p.edge_weight(ctx.me, u),
-            edges: vec![i],
+            edges: IdList::one(i),
         })
         .collect();
     node.local = LocalStars { leaves, pairs };

@@ -16,7 +16,93 @@
 //!   only ever *shrink* the previously chosen star (Claim 4.4).
 
 use dsa_flow::densest_weighted_subgraph;
-use dsa_graphs::{EdgeId, Ratio, VertexId};
+use dsa_graphs::{Ratio, VertexId};
+
+/// An inline list of at most two ids (edge ids or item indices).
+///
+/// Every leaf carries at most two spanner edges (the antiparallel
+/// directed pair) and every leaf pair spans at most two items, so the
+/// hot per-vertex-per-iteration structures never touch the heap. The
+/// engine builds one [`Leaf`] per neighbor and one [`Pair`] per
+/// spanning neighbor pair on every vertex of every iteration; keeping
+/// these inline removes two mallocs per element from the Step-1 loop.
+///
+/// Dereferences to `&[usize]`, so `.len()`, `.iter()`, indexing, and
+/// `for &e in &list` all work as they did when these were `Vec`s.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IdList {
+    len: u8,
+    buf: [usize; 2],
+}
+
+impl IdList {
+    /// The empty list.
+    pub const fn new() -> Self {
+        IdList {
+            len: 0,
+            buf: [0; 2],
+        }
+    }
+
+    /// A one-element list.
+    pub const fn one(id: usize) -> Self {
+        IdList {
+            len: 1,
+            buf: [id, 0],
+        }
+    }
+
+    /// A two-element list.
+    pub const fn two(a: usize, b: usize) -> Self {
+        IdList {
+            len: 2,
+            buf: [a, b],
+        }
+    }
+
+    /// Appends `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds two ids.
+    pub fn push(&mut self, id: usize) {
+        assert!(self.len < 2, "IdList holds at most two ids");
+        self.buf[self.len as usize] = id;
+        self.len += 1;
+    }
+
+    /// The ids as a slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for IdList {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a IdList {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<usize> for IdList {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut out = IdList::new();
+        for id in iter {
+            out.push(id);
+        }
+        out
+    }
+}
 
 /// One potential leaf of a star centered at some vertex `v`.
 #[derive(Clone, Debug)]
@@ -29,7 +115,7 @@ pub struct Leaf {
     pub weight: u64,
     /// The selectable edges added to the spanner if this leaf is chosen
     /// (one undirected edge, or up to two directed edges).
-    pub edges: Vec<EdgeId>,
+    pub edges: IdList,
 }
 
 /// An unordered pair of leaves that 2-spans one or more uncovered items.
@@ -41,7 +127,18 @@ pub struct Pair {
     pub b: usize,
     /// The uncovered items 2-spanned when both leaves are chosen
     /// (multiplicity = length; up to 2 for antiparallel directed edges).
-    pub items: Vec<usize>,
+    pub items: IdList,
+}
+
+/// Reusable buffers for [`LocalStars::choose_star_with`], so the
+/// engine's Step-3 loop allocates nothing per vertex in steady state.
+///
+/// The inner per-leaf vectors keep their capacity across calls; each
+/// call leaves them cleared for the next (debug-asserted on entry).
+#[derive(Debug, Default)]
+pub struct StarScratch {
+    /// Pair adjacency per leaf, indexed by leaf id: `(other, mult)`.
+    by_leaf: Vec<Vec<(usize, u64)>>,
 }
 
 /// The star search space at one vertex for one iteration: its potential
@@ -242,6 +339,36 @@ impl LocalStars {
     ///
     /// Returns `None` if no star with positive density exists at all.
     pub fn choose_star(&self, threshold: Ratio, prev: Option<&[bool]>) -> Option<StarChoice> {
+        self.choose_star_with(threshold, prev, &mut StarScratch::default())
+    }
+
+    /// [`LocalStars::choose_star`] with caller-owned scratch buffers,
+    /// for hot loops that choose stars for many vertices in a row.
+    pub fn choose_star_with(
+        &self,
+        threshold: Ratio,
+        prev: Option<&[bool]>,
+        scratch: &mut StarScratch,
+    ) -> Option<StarChoice> {
+        self.choose_star_seeded(threshold, prev, None, scratch)
+    }
+
+    /// [`LocalStars::choose_star_with`] with an optional precomputed
+    /// unrestricted-densest result (what [`LocalStars::densest`] with
+    /// `within = None` returns). The engine computes exactly that in
+    /// Step 1 for the density aggregate; passing it here spares the
+    /// star choice a duplicate flow-oracle call per fresh candidate.
+    pub fn choose_star_seeded(
+        &self,
+        threshold: Ratio,
+        prev: Option<&[bool]>,
+        cached_densest: Option<&Option<(Vec<bool>, Ratio)>>,
+        scratch: &mut StarScratch,
+    ) -> Option<StarChoice> {
+        let densest_unrestricted = |ls: &LocalStars| match cached_densest {
+            Some(c) => c.clone(),
+            None => ls.densest(None),
+        };
         if let Some(prev) = prev {
             // Same rounded density as before: keep the previous star if
             // it is still dense enough.
@@ -256,7 +383,7 @@ impl LocalStars {
             // Otherwise look for a dense star inside the previous one.
             if let Some((seed, d)) = self.densest(Some(prev)) {
                 if d >= threshold {
-                    let member = self.grow(seed, threshold, Some(prev));
+                    let member = self.grow(seed, threshold, Some(prev), scratch);
                     return Some(StarChoice {
                         member,
                         fallback: false,
@@ -265,15 +392,15 @@ impl LocalStars {
             }
             // Claim 4.4 says this is unreachable; fall back to a fresh
             // choice and record it.
-            let (seed, _) = self.densest(None)?;
-            let member = self.grow(seed, threshold, None);
+            let (seed, _) = densest_unrestricted(self)?;
+            let member = self.grow(seed, threshold, None, scratch);
             return Some(StarChoice {
                 member,
                 fallback: true,
             });
         }
-        let (seed, _) = self.densest(None)?;
-        let member = self.grow(seed, threshold, None);
+        let (seed, _) = densest_unrestricted(self)?;
+        let member = self.grow(seed, threshold, None, scratch);
         Some(StarChoice {
             member,
             fallback: false,
@@ -284,10 +411,24 @@ impl LocalStars {
     /// single leaf keeping the density at least `threshold`; otherwise
     /// add a disjoint star of density at least `threshold`; stop when
     /// neither applies. Restricted to `within` when given.
-    fn grow(&self, mut member: Vec<bool>, threshold: Ratio, within: Option<&[bool]>) -> Vec<bool> {
+    fn grow(
+        &self,
+        mut member: Vec<bool>,
+        threshold: Ratio,
+        within: Option<&[bool]>,
+        scratch: &mut StarScratch,
+    ) -> Vec<bool> {
         let allowed = |i: usize| within.is_none_or(|w| w[i]);
-        // Pair adjacency per leaf for incremental density updates.
-        let mut by_leaf: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.leaves.len()];
+        // Pair adjacency per leaf for incremental density updates,
+        // built in the reused arena (each call leaves it cleared).
+        debug_assert!(
+            scratch.by_leaf.iter().all(Vec::is_empty),
+            "StarScratch not cleared between uses"
+        );
+        if scratch.by_leaf.len() < self.leaves.len() {
+            scratch.by_leaf.resize(self.leaves.len(), Vec::new());
+        }
+        let by_leaf = &mut scratch.by_leaf;
         for p in &self.pairs {
             by_leaf[p.a].push((p.b, p.items.len() as u64));
             by_leaf[p.b].push((p.a, p.items.len() as u64));
@@ -349,6 +490,9 @@ impl LocalStars {
                 break;
             }
         }
+        for adj in &mut by_leaf[..self.leaves.len()] {
+            adj.clear();
+        }
         member
     }
 }
@@ -364,7 +508,7 @@ mod tests {
             .map(|i| Leaf {
                 vertex: 10 + i,
                 weight: 1,
-                edges: vec![i],
+                edges: IdList::one(i),
             })
             .collect();
         let pairs = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
@@ -373,7 +517,7 @@ mod tests {
             .map(|(k, &(a, b))| Pair {
                 a,
                 b,
-                items: vec![100 + k],
+                items: IdList::one(100 + k),
             })
             .collect();
         LocalStars { leaves, pairs }
@@ -442,7 +586,7 @@ mod tests {
             .map(|i| Leaf {
                 vertex: 10 + i,
                 weight: 1,
-                edges: vec![i],
+                edges: IdList::one(i),
             })
             .collect();
         let pairs = [(0, 1), (1, 2), (0, 2)]
@@ -451,7 +595,7 @@ mod tests {
             .map(|(k, &(a, b))| Pair {
                 a,
                 b,
-                items: vec![k],
+                items: IdList::one(k),
             })
             .collect();
         let ls = LocalStars { leaves, pairs };
@@ -471,29 +615,29 @@ mod tests {
             Leaf {
                 vertex: 1,
                 weight: 0,
-                edges: vec![0],
+                edges: IdList::one(0),
             },
             Leaf {
                 vertex: 2,
                 weight: 3,
-                edges: vec![1],
+                edges: IdList::one(1),
             },
             Leaf {
                 vertex: 3,
                 weight: 3,
-                edges: vec![2],
+                edges: IdList::one(2),
             },
         ];
         let pairs = vec![
             Pair {
                 a: 0,
                 b: 1,
-                items: vec![7],
+                items: IdList::one(7),
             },
             Pair {
                 a: 1,
                 b: 2,
-                items: vec![8],
+                items: IdList::one(8),
             },
         ];
         let ls = LocalStars { leaves, pairs };
@@ -508,7 +652,7 @@ mod tests {
             leaves: vec![Leaf {
                 vertex: 1,
                 weight: 1,
-                edges: vec![0],
+                edges: IdList::one(0),
             }],
             pairs: Vec::new(),
         };

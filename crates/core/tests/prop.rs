@@ -8,7 +8,7 @@ use rand::SeedableRng;
 
 use dsa_core::dist::{min_2_spanner, EngineConfig};
 use dsa_core::seq::{exact_min_2_spanner, exact_min_k_spanner, greedy_2_spanner};
-use dsa_core::star::{pow2_ratio, Leaf, LocalStars, Pair};
+use dsa_core::star::{pow2_ratio, IdList, Leaf, LocalStars, Pair};
 use dsa_core::verify::{is_k_spanner, uncovered_edges};
 use dsa_graphs::{gen, Graph, Ratio};
 
@@ -28,7 +28,7 @@ fn arb_local_stars() -> impl Strategy<Value = LocalStars> {
             .map(|i| Leaf {
                 vertex: 100 + i,
                 weight: rng.gen_range(1..4),
-                edges: vec![i],
+                edges: IdList::one(i),
             })
             .collect();
         let mut pairs = Vec::new();
@@ -39,7 +39,7 @@ fn arb_local_stars() -> impl Strategy<Value = LocalStars> {
                     pairs.push(Pair {
                         a,
                         b,
-                        items: vec![item],
+                        items: IdList::one(item),
                     });
                     item += 1;
                 }
@@ -151,7 +151,7 @@ proptest! {
     #[test]
     fn empty_local_stars(l in 1usize..6) {
         let ls = LocalStars {
-            leaves: (0..l).map(|i| Leaf { vertex: i, weight: 1, edges: vec![i] }).collect(),
+            leaves: (0..l).map(|i| Leaf { vertex: i, weight: 1, edges: IdList::one(i) }).collect(),
             pairs: Vec::new(),
         };
         prop_assert!(ls.max_density().is_none());

@@ -109,13 +109,11 @@ pub fn canonicalize(g: &Graph) -> CanonicalGraph {
     // are the undirected keys.
     let mut order: Vec<EdgeId> = (0..g.num_edges()).collect();
     order.sort_unstable_by_key(|&e| g.endpoints(e));
-    let mut graph = Graph::new(g.num_vertices());
     let mut to_canonical = vec![0; g.num_edges()];
     for (canonical, &original) in order.iter().enumerate() {
-        let (u, v) = g.endpoints(original);
-        graph.add_edge(u, v);
         to_canonical[original] = canonical;
     }
+    let graph = Graph::from_edges(g.num_vertices(), order.iter().map(|&e| g.endpoints(e)));
     CanonicalGraph {
         graph,
         to_canonical,
@@ -139,13 +137,11 @@ pub struct CanonicalDiGraph {
 pub fn canonicalize_digraph(g: &DiGraph) -> CanonicalDiGraph {
     let mut order: Vec<EdgeId> = (0..g.num_edges()).collect();
     order.sort_unstable_by_key(|&e| g.endpoints(e));
-    let mut graph = DiGraph::new(g.num_vertices());
     let mut to_canonical = vec![0; g.num_edges()];
     for (canonical, &original) in order.iter().enumerate() {
-        let (u, v) = g.endpoints(original);
-        graph.add_edge(u, v);
         to_canonical[original] = canonical;
     }
+    let graph = DiGraph::from_edges(g.num_vertices(), order.iter().map(|&e| g.endpoints(e)));
     CanonicalDiGraph {
         graph,
         to_canonical,

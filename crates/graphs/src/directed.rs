@@ -1,11 +1,11 @@
 //! Simple directed graphs with stable edge identifiers.
 
-use std::collections::BTreeMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use crate::{EdgeId, Graph, VertexId};
 
-/// A simple directed graph.
+/// A simple directed graph in flat CSR form.
 ///
 /// Edges `(u, v)` are ordered pairs; `(u, v)` and `(v, u)` may both be
 /// present, but parallel copies of the same ordered pair and self-loops
@@ -14,6 +14,13 @@ use crate::{EdgeId, Graph, VertexId};
 /// As in the paper, the *communication* graph of a directed problem
 /// instance is its undirected underlying graph ([`DiGraph::underlying`]);
 /// directions only constrain which paths may 2-span an edge.
+///
+/// Out- and in-adjacency each live in contiguous offset/neighbor/edge-id
+/// arrays (see [`Graph`] for the layout rationale); a sorted copy of the
+/// out-neighbors backs binary-search [`DiGraph::edge_id`] lookup. As in
+/// the undirected case, [`DiGraph::add_edge`] rebuilds the arrays —
+/// O(n + m) per call — while [`DiGraph::from_edges`] builds once in
+/// bulk.
 ///
 /// # Example
 ///
@@ -29,26 +36,55 @@ use crate::{EdgeId, Graph, VertexId};
 /// assert!(g.has_edge(0, 1));
 /// assert!(!g.has_edge(1, 0));
 /// ```
-#[derive(Clone, Default, PartialEq, Eq)]
+#[derive(Clone, Eq)]
 pub struct DiGraph {
-    out_adj: Vec<Vec<(VertexId, EdgeId)>>,
-    in_adj: Vec<Vec<(VertexId, EdgeId)>>,
+    /// Number of vertices.
+    n: usize,
+    /// `edges[e]` is the ordered `(tail, head)` pair.
     edges: Vec<(VertexId, VertexId)>,
-    index: BTreeMap<(VertexId, VertexId), EdgeId>,
+    /// `out_offsets[v]..out_offsets[v + 1]` slices the out-arrays.
+    out_offsets: Vec<usize>,
+    /// Heads of edges leaving each vertex, in insertion order.
+    out_nbrs: Vec<VertexId>,
+    /// Edge id of each `out_nbrs` entry.
+    out_eids: Vec<EdgeId>,
+    /// `out_nbrs` with each per-vertex slice sorted by head id.
+    sorted_out_nbrs: Vec<VertexId>,
+    /// Edge id of each `sorted_out_nbrs` entry.
+    sorted_out_eids: Vec<EdgeId>,
+    /// `in_offsets[v]..in_offsets[v + 1]` slices the in-arrays.
+    in_offsets: Vec<usize>,
+    /// Tails of edges entering each vertex, in insertion order.
+    in_nbrs: Vec<VertexId>,
+    /// Edge id of each `in_nbrs` entry.
+    in_eids: Vec<EdgeId>,
+    /// `in_nbrs` with each per-vertex slice sorted by tail id.
+    sorted_in_nbrs: Vec<VertexId>,
+    /// Edge id of each `sorted_in_nbrs` entry.
+    sorted_in_eids: Vec<EdgeId>,
 }
 
 impl DiGraph {
     /// Creates a directed graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
         DiGraph {
-            out_adj: vec![Vec::new(); n],
-            in_adj: vec![Vec::new(); n],
+            n,
             edges: Vec::new(),
-            index: BTreeMap::new(),
+            out_offsets: vec![0; n + 1],
+            out_nbrs: Vec::new(),
+            out_eids: Vec::new(),
+            sorted_out_nbrs: Vec::new(),
+            sorted_out_eids: Vec::new(),
+            in_offsets: vec![0; n + 1],
+            in_nbrs: Vec::new(),
+            in_eids: Vec::new(),
+            sorted_in_nbrs: Vec::new(),
+            sorted_in_eids: Vec::new(),
         }
     }
 
-    /// Creates a directed graph from an edge iterator.
+    /// Creates a directed graph from an edge iterator, in one bulk CSR
+    /// build.
     ///
     /// # Panics
     ///
@@ -59,15 +95,88 @@ impl DiGraph {
         I: IntoIterator<Item = (VertexId, VertexId)>,
     {
         let mut g = DiGraph::new(n);
+        let mut seen = HashSet::new();
         for (u, v) in edges {
-            g.add_edge(u, v);
+            assert!(u != v, "self-loop ({u}, {v}) not allowed");
+            assert!(
+                u < n && v < n,
+                "edge ({u}, {v}) out of range for {n} vertices"
+            );
+            assert!(seen.insert((u, v)), "duplicate directed edge ({u}, {v})");
+            g.edges.push((u, v));
         }
+        g.rebuild();
         g
+    }
+
+    /// Rebuilds the CSR arrays from `self.edges`.
+    fn rebuild(&mut self) {
+        let n = self.n;
+        let m = self.edges.len();
+        self.out_offsets.clear();
+        self.out_offsets.resize(n + 1, 0);
+        self.in_offsets.clear();
+        self.in_offsets.resize(n + 1, 0);
+        for &(u, v) in &self.edges {
+            self.out_offsets[u + 1] += 1;
+            self.in_offsets[v + 1] += 1;
+        }
+        for v in 0..n {
+            self.out_offsets[v + 1] += self.out_offsets[v];
+            self.in_offsets[v + 1] += self.in_offsets[v];
+        }
+        let mut out_cursor: Vec<usize> = self.out_offsets[..n].to_vec();
+        let mut in_cursor: Vec<usize> = self.in_offsets[..n].to_vec();
+        self.out_nbrs.clear();
+        self.out_nbrs.resize(m, 0);
+        self.out_eids.clear();
+        self.out_eids.resize(m, 0);
+        self.in_nbrs.clear();
+        self.in_nbrs.resize(m, 0);
+        self.in_eids.clear();
+        self.in_eids.resize(m, 0);
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            self.out_nbrs[out_cursor[u]] = v;
+            self.out_eids[out_cursor[u]] = e;
+            out_cursor[u] += 1;
+            self.in_nbrs[in_cursor[v]] = u;
+            self.in_eids[in_cursor[v]] = e;
+            in_cursor[v] += 1;
+        }
+        // Heads are unique per tail (no parallel ordered pairs), so
+        // sorting (head, eid) pairs sorts by head; likewise tails per
+        // head for the in-arrays.
+        let mut pairs: Vec<(VertexId, EdgeId)> = self
+            .out_nbrs
+            .iter()
+            .copied()
+            .zip(self.out_eids.iter().copied())
+            .collect();
+        for v in 0..n {
+            pairs[self.out_offsets[v]..self.out_offsets[v + 1]].sort_unstable();
+        }
+        self.sorted_out_nbrs.clear();
+        self.sorted_out_eids.clear();
+        self.sorted_out_nbrs.extend(pairs.iter().map(|&(x, _)| x));
+        self.sorted_out_eids.extend(pairs.iter().map(|&(_, e)| e));
+        let mut pairs: Vec<(VertexId, EdgeId)> = self
+            .in_nbrs
+            .iter()
+            .copied()
+            .zip(self.in_eids.iter().copied())
+            .collect();
+        for v in 0..n {
+            pairs[self.in_offsets[v]..self.in_offsets[v + 1]].sort_unstable();
+        }
+        self.sorted_in_nbrs.clear();
+        self.sorted_in_eids.clear();
+        self.sorted_in_nbrs.extend(pairs.iter().map(|&(x, _)| x));
+        self.sorted_in_eids.extend(pairs.iter().map(|&(_, e)| e));
     }
 
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        self.out_adj.len()
+        self.n
     }
 
     /// Number of directed edges.
@@ -82,36 +191,46 @@ impl DiGraph {
 
     /// Adds the directed edge `(u, v)` and returns its id.
     ///
+    /// Rebuilds the CSR arrays: O(n + m) per call. Use
+    /// [`DiGraph::from_edges`] for bulk construction.
+    ///
     /// # Panics
     ///
     /// Panics on self-loops, duplicates, or out-of-range endpoints.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> EdgeId {
         assert!(u != v, "self-loop ({u}, {v}) not allowed");
         assert!(
-            u < self.num_vertices() && v < self.num_vertices(),
+            u < self.n && v < self.n,
             "edge ({u}, {v}) out of range for {} vertices",
-            self.num_vertices()
+            self.n
         );
         assert!(
-            !self.index.contains_key(&(u, v)),
+            self.edge_id(u, v).is_none(),
             "duplicate directed edge ({u}, {v})"
         );
         let id = self.edges.len();
         self.edges.push((u, v));
-        self.index.insert((u, v), id);
-        self.out_adj[u].push((v, id));
-        self.in_adj[v].push((u, id));
+        self.rebuild();
         id
     }
 
-    /// The id of the directed edge `(u, v)`, if present.
+    /// The id of the directed edge `(u, v)`, if present: a binary
+    /// search over the sorted out-neighbor slice of `u`.
     pub fn edge_id(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
-        self.index.get(&(u, v)).copied()
+        if u >= self.n || v >= self.n {
+            return None;
+        }
+        let lo = self.out_offsets[u];
+        let hi = self.out_offsets[u + 1];
+        self.sorted_out_nbrs[lo..hi]
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.sorted_out_eids[lo + i])
     }
 
     /// Whether the directed edge `(u, v)` is present.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.index.contains_key(&(u, v))
+        self.edge_id(u, v).is_some()
     }
 
     /// The `(tail, head)` pair of edge `e`.
@@ -121,12 +240,12 @@ impl DiGraph {
 
     /// Out-degree of `v`.
     pub fn out_degree(&self, v: VertexId) -> usize {
-        self.out_adj[v].len()
+        self.out_offsets[v + 1] - self.out_offsets[v]
     }
 
     /// In-degree of `v`.
     pub fn in_degree(&self, v: VertexId) -> usize {
-        self.in_adj[v].len()
+        self.in_offsets[v + 1] - self.in_offsets[v]
     }
 
     /// Maximum total degree (in + out) over all vertices.
@@ -137,14 +256,50 @@ impl DiGraph {
             .unwrap_or(0)
     }
 
-    /// Iterator over `(head, edge id)` pairs of edges leaving `v`.
+    /// Iterator over `(head, edge id)` pairs of edges leaving `v`, in
+    /// insertion order.
     pub fn out_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
-        self.out_adj[v].iter().copied()
+        let (nbrs, eids) = self.out_neighbor_slices(v);
+        nbrs.iter().copied().zip(eids.iter().copied())
     }
 
-    /// Iterator over `(tail, edge id)` pairs of edges entering `v`.
+    /// Iterator over `(tail, edge id)` pairs of edges entering `v`, in
+    /// insertion order.
     pub fn in_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
-        self.in_adj[v].iter().copied()
+        let (nbrs, eids) = self.in_neighbor_slices(v);
+        nbrs.iter().copied().zip(eids.iter().copied())
+    }
+
+    /// The contiguous `(heads, edge ids)` slices of edges leaving `v`,
+    /// in insertion order.
+    pub fn out_neighbor_slices(&self, v: VertexId) -> (&[VertexId], &[EdgeId]) {
+        let lo = self.out_offsets[v];
+        let hi = self.out_offsets[v + 1];
+        (&self.out_nbrs[lo..hi], &self.out_eids[lo..hi])
+    }
+
+    /// The contiguous `(tails, edge ids)` slices of edges entering `v`,
+    /// in insertion order.
+    pub fn in_neighbor_slices(&self, v: VertexId) -> (&[VertexId], &[EdgeId]) {
+        let lo = self.in_offsets[v];
+        let hi = self.in_offsets[v + 1];
+        (&self.in_nbrs[lo..hi], &self.in_eids[lo..hi])
+    }
+
+    /// [`DiGraph::out_neighbor_slices`] with heads in ascending id
+    /// order — the layout merge-based intersection loops want.
+    pub fn sorted_out_neighbor_slices(&self, v: VertexId) -> (&[VertexId], &[EdgeId]) {
+        let lo = self.out_offsets[v];
+        let hi = self.out_offsets[v + 1];
+        (&self.sorted_out_nbrs[lo..hi], &self.sorted_out_eids[lo..hi])
+    }
+
+    /// [`DiGraph::in_neighbor_slices`] with tails in ascending id
+    /// order.
+    pub fn sorted_in_neighbor_slices(&self, v: VertexId) -> (&[VertexId], &[EdgeId]) {
+        let lo = self.in_offsets[v];
+        let hi = self.in_offsets[v + 1];
+        (&self.sorted_in_nbrs[lo..hi], &self.sorted_in_eids[lo..hi])
     }
 
     /// Iterator over `(edge id, tail, head)` triples for all edges.
@@ -156,15 +311,37 @@ impl DiGraph {
     /// mapping from each directed edge id to its undirected edge id.
     ///
     /// Antiparallel pairs `(u, v)` / `(v, u)` map to the same undirected
-    /// edge.
+    /// edge. Built in bulk: undirected edge ids are assigned in order of
+    /// first occurrence, exactly as the old one-`ensure_edge`-per-edge
+    /// loop did.
     pub fn underlying(&self) -> (Graph, Vec<EdgeId>) {
-        let mut g = Graph::new(self.num_vertices());
+        let mut ids: HashMap<(VertexId, VertexId), EdgeId> =
+            HashMap::with_capacity(self.num_edges());
+        let mut undirected = Vec::with_capacity(self.num_edges());
         let mut map = Vec::with_capacity(self.num_edges());
         for &(u, v) in &self.edges {
-            let (id, _) = g.ensure_edge(u, v);
+            let key = (u.min(v), u.max(v));
+            let id = *ids.entry(key).or_insert_with(|| {
+                undirected.push(key);
+                undirected.len() - 1
+            });
             map.push(id);
         }
-        (g, map)
+        (Graph::from_edges(self.num_vertices(), undirected), map)
+    }
+}
+
+impl Default for DiGraph {
+    fn default() -> Self {
+        DiGraph::new(0)
+    }
+}
+
+/// Equality is structural: same vertex count and same ordered edges in
+/// the same id order (the CSR arrays are derived from those).
+impl PartialEq for DiGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.edges == other.edges
     }
 }
 
@@ -200,6 +377,40 @@ mod tests {
         assert_eq!(g.in_degree(0), 0);
         assert_eq!(g.in_degree(2), 2);
         assert_eq!(g.max_total_degree(), 2);
+    }
+
+    #[test]
+    fn neighbors_keep_insertion_order() {
+        let g = DiGraph::from_edges(4, [(1, 3), (1, 0), (2, 1), (1, 2), (0, 1)]);
+        let outs: Vec<_> = g.out_neighbors(1).map(|(v, _)| v).collect();
+        assert_eq!(outs, vec![3, 0, 2]);
+        let ins: Vec<_> = g.in_neighbors(1).map(|(v, _)| v).collect();
+        assert_eq!(ins, vec![2, 0]);
+        for (e, u, v) in g.edges() {
+            assert_eq!(g.edge_id(u, v), Some(e));
+        }
+        assert_eq!(g.edge_id(3, 1), None);
+    }
+
+    #[test]
+    fn incremental_matches_bulk() {
+        let edges = [(0, 1), (1, 0), (2, 1), (0, 2)];
+        let bulk = DiGraph::from_edges(3, edges);
+        let mut inc = DiGraph::new(3);
+        for (u, v) in edges {
+            inc.add_edge(u, v);
+        }
+        assert_eq!(bulk, inc);
+        for v in bulk.vertices() {
+            assert_eq!(
+                bulk.out_neighbors(v).collect::<Vec<_>>(),
+                inc.out_neighbors(v).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                bulk.in_neighbors(v).collect::<Vec<_>>(),
+                inc.in_neighbors(v).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

@@ -40,13 +40,53 @@ impl EdgeSet {
         }
     }
 
-    /// Creates a set containing every id in `0..universe`.
+    /// Creates a set containing every id in `0..universe`, writing
+    /// whole all-ones words plus a masked tail instead of setting bits
+    /// one at a time.
     pub fn full(universe: usize) -> Self {
-        let mut s = EdgeSet::new(universe);
-        for e in 0..universe {
-            s.insert(e);
+        let mut blocks = vec![u64::MAX; universe.div_ceil(64)];
+        if !universe.is_multiple_of(64) {
+            if let Some(tail) = blocks.last_mut() {
+                *tail = (1u64 << (universe % 64)) - 1;
+            }
         }
-        s
+        EdgeSet {
+            blocks,
+            universe,
+            len: universe,
+        }
+    }
+
+    /// Inserts every id in `lo..hi` with word-parallel fills: full
+    /// interior words are set with a single all-ones store, the two
+    /// boundary words with one masked OR each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi` exceeds the universe or `lo > hi`.
+    pub fn insert_range(&mut self, lo: EdgeId, hi: EdgeId) {
+        assert!(lo <= hi, "inverted range {lo}..{hi}");
+        assert!(
+            hi <= self.universe,
+            "range end {hi} outside universe {}",
+            self.universe
+        );
+        if lo == hi {
+            return;
+        }
+        let (first, last) = (lo / 64, (hi - 1) / 64);
+        let lo_mask = u64::MAX << (lo % 64);
+        let hi_mask = u64::MAX >> (63 - (hi - 1) % 64);
+        if first == last {
+            self.blocks[first] |= lo_mask & hi_mask;
+        } else {
+            self.blocks[first] |= lo_mask;
+            for b in &mut self.blocks[first + 1..last] {
+                *b = u64::MAX;
+            }
+            self.blocks[last] |= hi_mask;
+        }
+        self.len = self.blocks.iter().map(|b| b.count_ones() as usize).sum();
     }
 
     /// Creates a set from an iterator of ids.
@@ -183,6 +223,21 @@ impl EdgeSet {
         self.len = len;
     }
 
+    /// Number of ids present in both this set and `other`, one
+    /// popcount per word without materializing the intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if universes differ.
+    pub fn count_intersection(&self, other: &EdgeSet) -> usize {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
     /// Whether this set and `other` share no ids.
     ///
     /// # Panics
@@ -299,6 +354,48 @@ mod tests {
         let s = EdgeSet::full(67);
         assert_eq!(s.len(), 67);
         assert!(s.contains(66));
+        // Word-fill agrees with bit-by-bit construction at every
+        // boundary shape: empty, sub-word, exact words, word + tail.
+        for universe in [0, 1, 63, 64, 65, 128, 130] {
+            let fast = EdgeSet::full(universe);
+            let slow = EdgeSet::from_iter(universe, 0..universe);
+            assert_eq!(fast, slow, "universe {universe}");
+            assert_eq!(fast.len(), universe);
+        }
+    }
+
+    #[test]
+    fn insert_range_matches_loop() {
+        for &(universe, lo, hi) in &[
+            (10, 2, 7),
+            (64, 0, 64),
+            (130, 0, 130),
+            (200, 63, 65),
+            (200, 64, 128),
+            (200, 70, 70),
+            (300, 1, 299),
+        ] {
+            let mut fast = EdgeSet::from_iter(universe, [0, universe - 1]);
+            let mut slow = fast.clone();
+            fast.insert_range(lo, hi);
+            for e in lo..hi {
+                slow.insert(e);
+            }
+            assert_eq!(fast, slow, "universe {universe} range {lo}..{hi}");
+            assert_eq!(fast.len(), slow.len());
+        }
+    }
+
+    #[test]
+    fn count_intersection_matches_materialized() {
+        let a = EdgeSet::from_iter(200, [1, 5, 63, 64, 65, 190]);
+        let b = EdgeSet::from_iter(200, [5, 64, 66, 190, 199]);
+        assert_eq!(a.count_intersection(&b), 3);
+        assert_eq!(b.count_intersection(&a), 3);
+        let mut both = a.clone();
+        both.intersect_with(&b);
+        assert_eq!(both.len(), a.count_intersection(&b));
+        assert_eq!(a.count_intersection(&EdgeSet::new(200)), 0);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 //! All randomized generators take an explicit `Rng`, so every experiment
 //! in the repository is reproducible from a seed.
 
+use std::collections::HashSet;
+
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -10,47 +12,53 @@ use crate::{DiGraph, EdgeSet, EdgeWeights, Graph, VertexId};
 
 /// Erdős–Rényi graph `G(n, p)`.
 pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
-    let mut g = Graph::new(n);
+    let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
             if rng.gen_bool(p) {
-                g.add_edge(u, v);
+                edges.push((u, v));
             }
         }
     }
-    g
+    Graph::from_edges(n, edges)
 }
 
 /// Connected Erdős–Rényi graph: a random Hamiltonian path (to guarantee
 /// connectivity, as the paper assumes connected inputs) plus independent
 /// `G(n, p)` edges.
+///
+/// Built in bulk; the probability draw is skipped for pairs the path
+/// already connected, exactly as the incremental version's short-circuit
+/// did, so the RNG stream (and thus every seeded instance) is unchanged.
 pub fn gnp_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
     assert!(n >= 1, "need at least one vertex");
     let mut order: Vec<VertexId> = (0..n).collect();
     order.shuffle(rng);
-    let mut g = Graph::new(n);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut on_path = HashSet::new();
     for w in order.windows(2) {
-        g.add_edge(w[0], w[1]);
+        edges.push((w[0], w[1]));
+        on_path.insert((w[0].min(w[1]), w[0].max(w[1])));
     }
     for u in 0..n {
         for v in (u + 1)..n {
-            if !g.has_edge(u, v) && rng.gen_bool(p) {
-                g.add_edge(u, v);
+            if !on_path.contains(&(u, v)) && rng.gen_bool(p) {
+                edges.push((u, v));
             }
         }
     }
-    g
+    Graph::from_edges(n, edges)
 }
 
 /// The complete graph `K_n`.
 pub fn complete(n: usize) -> Graph {
-    let mut g = Graph::new(n);
+    let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
-            g.add_edge(u, v);
+            edges.push((u, v));
         }
     }
-    g
+    Graph::from_edges(n, edges)
 }
 
 /// The complete bipartite graph `K_{a,b}` (sides `0..a` and `a..a+b`).
@@ -59,13 +67,13 @@ pub fn complete(n: usize) -> Graph {
 /// sparsest 2-spanner has Θ(n²) edges, which is the motivation the paper
 /// gives for studying minimum 2-spanners (Section 1).
 pub fn complete_bipartite(a: usize, b: usize) -> Graph {
-    let mut g = Graph::new(a + b);
+    let mut edges = Vec::new();
     for u in 0..a {
         for v in a..(a + b) {
-            g.add_edge(u, v);
+            edges.push((u, v));
         }
     }
-    g
+    Graph::from_edges(a + b, edges)
 }
 
 /// A star with `n - 1` leaves centered at vertex 0.
@@ -88,19 +96,19 @@ pub fn cycle(n: usize) -> Graph {
 
 /// An `r × c` grid graph.
 pub fn grid(r: usize, c: usize) -> Graph {
-    let mut g = Graph::new(r * c);
+    let mut edges = Vec::new();
     let id = |i: usize, j: usize| i * c + j;
     for i in 0..r {
         for j in 0..c {
             if j + 1 < c {
-                g.add_edge(id(i, j), id(i, j + 1));
+                edges.push((id(i, j), id(i, j + 1)));
             }
             if i + 1 < r {
-                g.add_edge(id(i, j), id(i + 1, j));
+                edges.push((id(i, j), id(i + 1, j)));
             }
         }
     }
-    g
+    Graph::from_edges(r * c, edges)
 }
 
 /// Preferential-attachment graph: starts from a clique on `seed`
@@ -109,21 +117,17 @@ pub fn grid(r: usize, c: usize) -> Graph {
 /// distributions under which star densities vary widely.
 pub fn preferential_attachment<R: Rng>(n: usize, seed: usize, k: usize, rng: &mut R) -> Graph {
     assert!(seed >= 1 && k >= 1 && k <= seed && n >= seed);
-    let mut g = complete(seed);
+    let mut edges = Vec::new();
     // Degree-proportional sampling via a repeated-endpoint urn.
     let mut urn: Vec<VertexId> = Vec::new();
     for (_, u, v) in complete(seed).edges() {
+        edges.push((u, v));
         urn.push(u);
         urn.push(v);
     }
     if seed == 1 {
         urn.push(0);
     }
-    let mut g2 = Graph::new(n);
-    for (_, u, v) in g.edges() {
-        g2.add_edge(u, v);
-    }
-    g = g2;
     for v in seed..n {
         let mut targets: Vec<VertexId> = Vec::new();
         while targets.len() < k {
@@ -133,63 +137,70 @@ pub fn preferential_attachment<R: Rng>(n: usize, seed: usize, k: usize, rng: &mu
             }
         }
         for t in targets {
-            g.add_edge(v, t);
+            edges.push((v, t));
             urn.push(v);
             urn.push(t);
         }
     }
-    g
+    Graph::from_edges(n, edges)
 }
 
 /// Random bipartite graph with sides `a`, `b` and edge probability `p`.
 pub fn random_bipartite<R: Rng>(a: usize, b: usize, p: f64, rng: &mut R) -> Graph {
-    let mut g = Graph::new(a + b);
+    let mut edges = Vec::new();
     for u in 0..a {
         for v in a..(a + b) {
             if rng.gen_bool(p) {
-                g.add_edge(u, v);
+                edges.push((u, v));
             }
         }
     }
-    g
+    Graph::from_edges(a + b, edges)
 }
 
 /// Random simple digraph: each ordered pair `(u, v)`, `u != v`, is an
 /// edge independently with probability `p`.
 pub fn random_digraph<R: Rng>(n: usize, p: f64, rng: &mut R) -> DiGraph {
-    let mut g = DiGraph::new(n);
+    let mut edges = Vec::new();
     for u in 0..n {
         for v in 0..n {
             if u != v && rng.gen_bool(p) {
-                g.add_edge(u, v);
+                edges.push((u, v));
             }
         }
     }
-    g
+    DiGraph::from_edges(n, edges)
 }
 
 /// Random digraph whose underlying undirected graph is connected: a
 /// randomly-oriented Hamiltonian path plus independent random edges.
+/// Built in bulk with the same draw-skipping as [`gnp_connected`]: the
+/// probability draw happens only for ordered pairs the oriented path
+/// did not already place, keeping the RNG stream identical to the old
+/// incremental builder.
 pub fn random_digraph_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> DiGraph {
     assert!(n >= 1);
     let mut order: Vec<VertexId> = (0..n).collect();
     order.shuffle(rng);
-    let mut g = DiGraph::new(n);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut on_path = HashSet::new();
     for w in order.windows(2) {
-        if rng.gen_bool(0.5) {
-            g.add_edge(w[0], w[1]);
+        let e = if rng.gen_bool(0.5) {
+            (w[0], w[1])
         } else {
-            g.add_edge(w[1], w[0]);
-        }
+            (w[1], w[0])
+        };
+        edges.push(e);
+        on_path.insert(e);
     }
     for u in 0..n {
         for v in 0..n {
-            if u != v && !g.has_edge(u, v) && rng.gen_bool(p) {
-                g.add_edge(u, v);
+            if u != v && !on_path.contains(&(u, v)) && rng.gen_bool(p) {
+                edges.push((u, v));
             }
         }
     }
-    g
+    DiGraph::from_edges(n, edges)
 }
 
 /// Uniform random integer weights in `lo..=hi` for `m` edges.

@@ -176,7 +176,7 @@ fn build_graph<'a>(
     n: usize,
     rows: impl Iterator<Item = (usize, &'a [u64])>,
 ) -> Result<(Graph, Option<EdgeWeights>), ParseGraphError> {
-    let mut g = Graph::new(n);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut seen: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
     let mut weights: Vec<u64> = Vec::new();
     let mut any_weight = false;
@@ -199,7 +199,7 @@ fn build_graph<'a>(
         } else {
             any_plain = true;
         }
-        g.add_edge(u, v);
+        edges.push((u, v));
         if nums.len() == 3 {
             weights.push(nums[2]);
         }
@@ -208,14 +208,14 @@ fn build_graph<'a>(
         return Err(ParseGraphError::InconsistentWeights);
     }
     let w = any_weight.then(|| EdgeWeights::from_vec(weights));
-    Ok((g, w))
+    Ok((Graph::from_edges(n, edges), w))
 }
 
 fn build_digraph<'a>(
     n: usize,
     rows: impl Iterator<Item = (usize, &'a [u64])>,
 ) -> Result<DiGraph, ParseGraphError> {
-    let mut g = DiGraph::new(n);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut seen: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
     for (line, nums) in rows {
         if nums.len() != 2 && nums.len() != 3 {
@@ -228,9 +228,9 @@ fn build_digraph<'a>(
         if !seen.insert(key) {
             continue;
         }
-        g.add_edge(u, v);
+        edges.push((u, v));
     }
-    Ok(g)
+    Ok(DiGraph::from_edges(n, edges))
 }
 
 #[cfg(test)]

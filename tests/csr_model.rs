@@ -1,0 +1,230 @@
+//! Property tests pinning the flat CSR graphs to a naive reference
+//! model (PR 6).
+//!
+//! The CSR representation packs adjacency into contiguous
+//! offset/neighbor/edge-id arrays plus a per-vertex *sorted* copy for
+//! binary-search lookup. These tests rebuild the same graph as plain
+//! nested structures — insertion-order adjacency lists and a `BTreeMap`
+//! edge index, exactly what the pre-CSR representation stored — and
+//! require every query to agree: degrees, neighbor iteration order,
+//! edge-id lookup (hits, misses, and out-of-range), endpoints, and
+//! common-neighbor tests.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use spanner_repro::graphs::{gen, DiGraph, EdgeId, Graph, VertexId};
+
+/// The naive model: insertion-order adjacency plus a `BTreeMap` index
+/// over normalized endpoint pairs.
+struct NaiveGraph {
+    n: usize,
+    adj: Vec<Vec<(VertexId, EdgeId)>>,
+    index: BTreeMap<(VertexId, VertexId), EdgeId>,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl NaiveGraph {
+    fn new(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut model = NaiveGraph {
+            n,
+            adj: vec![Vec::new(); n],
+            index: BTreeMap::new(),
+            edges: edges.to_vec(),
+        };
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            model.adj[u].push((v, e));
+            model.adj[v].push((u, e));
+            model.index.insert((u.min(v), u.max(v)), e);
+        }
+        model
+    }
+
+    fn edge_id(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        self.index.get(&(u.min(v), u.max(v))).copied()
+    }
+}
+
+/// The directed naive model: ordered-pair index plus out-/in-lists in
+/// insertion order.
+struct NaiveDiGraph {
+    out: Vec<Vec<(VertexId, EdgeId)>>,
+    inn: Vec<Vec<(VertexId, EdgeId)>>,
+    index: BTreeMap<(VertexId, VertexId), EdgeId>,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl NaiveDiGraph {
+    fn new(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut model = NaiveDiGraph {
+            out: vec![Vec::new(); n],
+            inn: vec![Vec::new(); n],
+            index: BTreeMap::new(),
+            edges: edges.to_vec(),
+        };
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            model.out[u].push((v, e));
+            model.inn[v].push((u, e));
+            model.index.insert((u, v), e);
+        }
+        model
+    }
+}
+
+/// A random undirected edge list over `n` vertices (insertion order is
+/// part of the contract, so the shuffle matters).
+fn undirected_edges() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
+    (2usize..24, 0u64..1_000).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut all: Vec<(VertexId, VertexId)> = (0..n)
+            .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+            .collect();
+        // Shuffle endpoints and order so insertion order is arbitrary.
+        for i in (1..all.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            all.swap(i, j);
+        }
+        all.truncate(rng.gen_range(0..=all.len()));
+        let all = all
+            .into_iter()
+            .map(|(u, v)| if rng.gen_bool(0.5) { (v, u) } else { (u, v) })
+            .collect();
+        (n, all)
+    })
+}
+
+/// A random directed edge list (antiparallel pairs allowed).
+fn directed_edges() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
+    (2usize..20, 0u64..1_000).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut all: Vec<(VertexId, VertexId)> = (0..n)
+            .flat_map(|u| (0..n).map(move |v| (u, v)))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        for i in (1..all.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            all.swap(i, j);
+        }
+        all.truncate(rng.gen_range(0..=all.len()));
+        (n, all)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSR `Graph` answers every query exactly as the naive
+    /// adjacency-list + BTreeMap model does.
+    #[test]
+    fn graph_matches_naive_model((n, edges) in undirected_edges()) {
+        let g = Graph::from_edges(n, edges.iter().copied());
+        let model = NaiveGraph::new(n, &edges);
+
+        prop_assert_eq!(g.num_vertices(), model.n);
+        prop_assert_eq!(g.num_edges(), model.edges.len());
+        for (e, &(u, v)) in model.edges.iter().enumerate() {
+            let (a, b) = g.endpoints(e);
+            prop_assert_eq!((a.min(b), a.max(b)), (u.min(v), u.max(v)));
+        }
+        for v in 0..n {
+            prop_assert_eq!(g.degree(v), model.adj[v].len());
+            // Insertion order is the iteration contract.
+            let got: Vec<_> = g.neighbors(v).collect();
+            prop_assert_eq!(&got, &model.adj[v]);
+            // The sorted slices hold the same set, ascending.
+            let (snbrs, seids) = g.sorted_neighbor_slices(v);
+            prop_assert!(snbrs.windows(2).all(|w| w[0] < w[1]));
+            let mut sorted_model = model.adj[v].clone();
+            sorted_model.sort_unstable();
+            let resorted: Vec<_> = snbrs.iter().copied()
+                .zip(seids.iter().copied())
+                .collect();
+            prop_assert_eq!(resorted, sorted_model);
+        }
+        // Lookup agreement on every pair, present or not, plus
+        // out-of-range probes.
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(g.edge_id(u, v), model.edge_id(u, v));
+                prop_assert_eq!(g.has_edge(u, v), model.edge_id(u, v).is_some());
+            }
+            prop_assert_eq!(g.edge_id(u, n + 3), None);
+        }
+        // Common-neighbor tests against the model's adjacency.
+        for (e, &(u, v)) in model.edges.iter().enumerate() {
+            for x in 0..n {
+                let expected = model.edge_id(x, u).is_some() && model.edge_id(x, v).is_some();
+                prop_assert_eq!(g.is_common_neighbor(x, e), expected);
+            }
+        }
+    }
+
+    /// CSR `DiGraph` likewise matches its naive model.
+    #[test]
+    fn digraph_matches_naive_model((n, edges) in directed_edges()) {
+        let g = DiGraph::from_edges(n, edges.iter().copied());
+        let model = NaiveDiGraph::new(n, &edges);
+
+        prop_assert_eq!(g.num_edges(), model.edges.len());
+        for (e, &(u, v)) in model.edges.iter().enumerate() {
+            prop_assert_eq!(g.endpoints(e), (u, v));
+        }
+        for v in 0..n {
+            prop_assert_eq!(g.out_degree(v), model.out[v].len());
+            prop_assert_eq!(g.in_degree(v), model.inn[v].len());
+            let got: Vec<_> = g.out_neighbors(v).collect();
+            prop_assert_eq!(&got, &model.out[v]);
+            let got: Vec<_> = g.in_neighbors(v).collect();
+            prop_assert_eq!(&got, &model.inn[v]);
+            let (snbrs, seids) = g.sorted_out_neighbor_slices(v);
+            prop_assert!(snbrs.windows(2).all(|w| w[0] < w[1]));
+            let mut sorted_out = model.out[v].clone();
+            sorted_out.sort_unstable();
+            let resorted: Vec<_> = snbrs.iter().copied()
+                .zip(seids.iter().copied())
+                .collect();
+            prop_assert_eq!(resorted, sorted_out);
+            let (snbrs, seids) = g.sorted_in_neighbor_slices(v);
+            prop_assert!(snbrs.windows(2).all(|w| w[0] < w[1]));
+            let mut sorted_in = model.inn[v].clone();
+            sorted_in.sort_unstable();
+            let resorted: Vec<_> = snbrs.iter().copied()
+                .zip(seids.iter().copied())
+                .collect();
+            prop_assert_eq!(resorted, sorted_in);
+        }
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(g.edge_id(u, v), model.index.get(&(u, v)).copied());
+            }
+            prop_assert_eq!(g.edge_id(u, n + 1), None);
+        }
+    }
+}
+
+/// Satellite micro-test: the binary-search `edge_id` over the sorted
+/// CSR slice agrees with a reference `BTreeMap` index on dense-ish
+/// random graphs — the lookup the old representation kept as an
+/// explicit side map.
+#[test]
+fn binary_search_lookup_agrees_with_reference_index() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::gnp(40, 0.3, &mut rng);
+        let reference: BTreeMap<(VertexId, VertexId), EdgeId> = g
+            .edges()
+            .map(|(e, u, v)| ((u.min(v), u.max(v)), e))
+            .collect();
+        for u in 0..g.num_vertices() {
+            for v in 0..g.num_vertices() {
+                let expected = reference.get(&(u.min(v), u.max(v))).copied();
+                assert_eq!(g.edge_id(u, v), expected, "seed {seed} pair ({u}, {v})");
+                assert_eq!(g.edge_id(v, u), expected, "seed {seed} pair ({v}, {u})");
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Golden pins of `SpannerRun` results across the graph-representation
+//! change (flat CSR, PR 6).
+//!
+//! The digests below were recorded from the pre-CSR adjacency-list
+//! representation (`Vec<Vec<(VertexId, EdgeId)>>` + `BTreeMap` edge
+//! index). The CSR refactor is required to be a *layout* change only:
+//! identical `SpannerRun` output for every variant, seed, and shard
+//! count. These tests fail if any future representation change alters
+//! a single spanner bit, an iteration count, or a per-iteration stat.
+//!
+//! Regenerate (only when an *intentional* result change lands, e.g. a
+//! new RNG stream) with:
+//!
+//! ```text
+//! GOLDEN_CSR_PRINT=1 cargo test --test golden_csr -- --nocapture
+//! ```
+
+use dsa_core::dist::{run_variant, EngineConfig, SpannerRun, VariantInstance};
+use dsa_graphs::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// FNV-1a over a canonical byte rendering of every result-relevant
+/// field of a run — the same identity the service's byte-identical
+/// response contract rests on.
+fn digest(run: &SpannerRun) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(run.spanner.universe() as u64);
+    eat(run.spanner.len() as u64);
+    for e in run.spanner.iter() {
+        eat(e as u64);
+    }
+    eat(run.iterations);
+    eat(u64::from(run.converged));
+    eat(u64::from(run.cancelled));
+    eat(run.star_fallbacks);
+    for s in &run.stats {
+        eat(s.candidates as u64);
+        eat(s.accepted as u64);
+        eat(s.added_edges as u64);
+        eat(s.uncovered as u64);
+    }
+    h
+}
+
+/// The pinned instances: one per variant, sized to exercise several
+/// iterations but stay fast in debug builds.
+fn instances() -> Vec<(&'static str, VariantInstance)> {
+    let mut rng = StdRng::seed_from_u64(2018);
+    let g = gen::gnp_connected(48, 0.18, &mut rng);
+    let weights = gen::random_weights(g.num_edges(), 0, 9, &mut rng);
+    let d = gen::random_digraph_connected(28, 0.14, &mut rng);
+    let cs = gen::gnp_connected(40, 0.2, &mut rng);
+    let (clients, servers) = gen::client_server_split(&cs, 0.6, 0.6, &mut rng);
+    vec![
+        (
+            "undirected",
+            VariantInstance::Undirected { graph: g.clone() },
+        ),
+        ("directed", VariantInstance::Directed { graph: d }),
+        ("weighted", VariantInstance::Weighted { graph: g, weights }),
+        (
+            "client-server",
+            VariantInstance::ClientServer {
+                graph: cs,
+                clients,
+                servers,
+            },
+        ),
+    ]
+}
+
+const SEEDS: [u64; 2] = [7, 41];
+const SHARDS: [usize; 3] = [1, 4, 8];
+
+/// variant name, engine seed, expected digest (shard-independent).
+const GOLDEN: [(&str, u64, u64); 8] = [
+    ("undirected", 7, 0xa5da0da2db115535),
+    ("undirected", 41, 0xa6913ea8511e4109),
+    ("directed", 7, 0x2da015c4cc7b8cda),
+    ("directed", 41, 0x2da015c4cc7b8cda),
+    ("weighted", 7, 0x81f053957ebfed81),
+    ("weighted", 41, 0x86ade9dfb79800bf),
+    ("client-server", 7, 0x494698cab8424971),
+    ("client-server", 41, 0xf589bed195102f16),
+];
+
+#[test]
+fn spanner_run_bytes_are_pinned_across_representations() {
+    let print = std::env::var_os("GOLDEN_CSR_PRINT").is_some();
+    let mut golden = GOLDEN.iter();
+    for (name, instance) in instances() {
+        for seed in SEEDS {
+            let mut first: Option<(usize, u64)> = None;
+            for shards in SHARDS {
+                let cfg = EngineConfig {
+                    num_shards: shards,
+                    ..EngineConfig::seeded(seed)
+                };
+                let run = run_variant(&instance, &cfg);
+                assert!(run.converged, "{name} seed {seed} did not converge");
+                let d = digest(&run);
+                match first {
+                    None => first = Some((shards, d)),
+                    Some((s0, d0)) => assert_eq!(
+                        d, d0,
+                        "{name} seed {seed}: digest differs between {s0} and {shards} shards"
+                    ),
+                }
+            }
+            let (_, d) = first.expect("at least one shard count");
+            if print {
+                println!("    (\"{name}\", {seed}, {d:#018x}),");
+            } else {
+                let &(gname, gseed, gd) = golden.next().expect("golden table too short");
+                assert_eq!((gname, gseed), (name, seed), "golden table order");
+                assert_eq!(
+                    d, gd,
+                    "{name} seed {seed}: SpannerRun digest changed — the graph \
+                     representation altered engine output"
+                );
+            }
+        }
+    }
+}
