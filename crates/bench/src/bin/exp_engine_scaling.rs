@@ -17,10 +17,18 @@
 //!    speedup ≥ [`GATE_MIN_SPEEDUP`] on at least
 //!    [`GATE_MIN_VARIANTS`] of the four variants.
 //!
-//! In both experiments the determinism contract is asserted before any
+//! A third check rides along: **instrumentation overhead**. Every row
+//! now carries a per-phase breakdown plus per-shard Step 1 seconds
+//! (from `EngineConfig::collect_timings`), so the binary also proves
+//! that collecting those timings costs < 3% single-core on the gate
+//! instances — the `overhead` rows in the artifact; `--ci` enforces
+//! the bound.
+//!
+//! In all experiments the determinism contract is asserted before any
 //! timing is reported: identical spanner bytes and identical
-//! per-iteration accounting at every shard count. A speedup that
-//! changed the answer would be a bug, not a result.
+//! per-iteration accounting at every shard count (and across the
+//! timing toggle). A speedup that changed the answer would be a bug,
+//! not a result.
 //!
 //! Output is one JSON object on stdout (machine-readable; CI uploads
 //! it as an artifact) and a human-readable summary on stderr.
@@ -70,6 +78,14 @@ const GATE_MIN_VARIANTS: usize = 3;
 
 /// Best-of-`GATE_REPS` timing for the gate instances.
 const GATE_REPS: usize = 2;
+
+/// Maximum single-core slowdown the instrumentation toggle
+/// (`EngineConfig::collect_timings`) may cost on a gate instance.
+const OVERHEAD_MAX_RATIO: f64 = 1.03;
+
+/// Absolute slack for the overhead check, for the same reason as
+/// [`ABS_SLACK_SECS`]: a ratio alone is meaningless inside clock noise.
+const OVERHEAD_SLACK_SECS: f64 = 0.015;
 
 struct Args {
     n: usize,
@@ -187,21 +203,61 @@ fn gate_instances() -> Vec<(&'static str, VariantInstance)> {
 }
 
 /// Best-of-`reps` wall-clock seconds for one configuration, plus the
-/// (identical) run from the last repetition.
-fn time_run(instance: &VariantInstance, shards: usize, reps: usize) -> (f64, SpannerRun) {
+/// phase breakdown of the best repetition and the (identical) run from
+/// the last repetition. Timing collection is ON so the artifact can
+/// report per-shard section times; the overhead check below bounds
+/// what that collection is allowed to cost.
+fn time_run(
+    instance: &VariantInstance,
+    shards: usize,
+    reps: usize,
+) -> (f64, PhaseTimings, SpannerRun) {
     let cfg = EngineConfig {
         num_shards: shards,
+        collect_timings: true,
         ..EngineConfig::seeded(7)
     };
     let mut best = f64::INFINITY;
+    let mut best_phases = PhaseTimings::default();
     let mut last = None;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let run = run_variant(instance, &cfg);
-        best = best.min(t0.elapsed().as_secs_f64());
+        let (run, phases) = run_variant_timed(instance, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+            best_phases = phases;
+        }
         last = Some(run);
     }
-    (best, last.expect("reps >= 1"))
+    (best, best_phases, last.expect("reps >= 1"))
+}
+
+/// Per-shard Step 1 seconds summed over all iterations of a traced
+/// run, in shard order. Iterations may use fewer shards than the
+/// configured count (tiny vertex ranges); missing slots contribute 0.
+fn step1_shard_secs(run: &SpannerRun) -> Vec<f64> {
+    let Some(trace) = &run.trace else {
+        return Vec::new();
+    };
+    let width = trace
+        .iterations
+        .iter()
+        .map(|it| it.step1.shards.len())
+        .max()
+        .unwrap_or(0);
+    let mut sums = vec![0f64; width];
+    for it in &trace.iterations {
+        for (i, d) in it.step1.shards.iter().enumerate() {
+            sums[i] += d.as_secs_f64();
+        }
+    }
+    sums
+}
+
+fn secs_array(values: &[f64]) -> String {
+    let body: Vec<String> = values.iter().map(|v| format!("{v:.4}")).collect();
+    format!("[{}]", body.join(","))
 }
 
 /// One gate measurement: best-of-[`GATE_REPS`] 1-shard seconds with
@@ -397,6 +453,66 @@ fn run_gate(args: &Args) -> (String, Vec<String>) {
     (rows, failures)
 }
 
+/// The instrumentation-overhead check: per-section/per-shard timing
+/// collection (`collect_timings`) must cost < [`OVERHEAD_MAX_RATIO`]
+/// single-core on the gate instances. Best-of-[`GATE_REPS`] per
+/// configuration; results are asserted byte-identical across the
+/// toggle before any timing is reported.
+fn run_overhead_check() -> (String, Vec<String>) {
+    let mut rows = String::new();
+    let mut failures = Vec::new();
+    for (name, instance) in gate_instances() {
+        let mut best = [f64::INFINITY; 2];
+        let mut runs: [Option<SpannerRun>; 2] = [None, None];
+        for (slot, collect) in [false, true].into_iter().enumerate() {
+            let cfg = EngineConfig {
+                collect_timings: collect,
+                ..EngineConfig::seeded(7)
+            };
+            for _ in 0..GATE_REPS {
+                let t0 = Instant::now();
+                let run = run_variant(&instance, &cfg);
+                best[slot] = best[slot].min(t0.elapsed().as_secs_f64());
+                runs[slot] = Some(run);
+            }
+        }
+        let (off_run, on_run) = (
+            runs[0].take().expect("GATE_REPS >= 1"),
+            runs[1].take().expect("GATE_REPS >= 1"),
+        );
+        assert_eq!(
+            off_run.spanner, on_run.spanner,
+            "{name}: collect_timings changed the spanner"
+        );
+        assert_eq!(
+            off_run.stats, on_run.stats,
+            "{name}: collect_timings changed iteration stats"
+        );
+        let (off, on) = (best[0], best[1]);
+        let ratio = on / off;
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            concat!(
+                "{{\"variant\":\"{}\",\"off_seconds\":{:.4},",
+                "\"on_seconds\":{:.4},\"overhead_ratio\":{:.4}}}"
+            ),
+            name, off, on, ratio,
+        ));
+        eprintln!(
+            "exp_engine_scaling: overhead {name:>13} off={off:.3}s on={on:.3}s ({ratio:.3}x)"
+        );
+        if on > OVERHEAD_MAX_RATIO * off + OVERHEAD_SLACK_SECS {
+            failures.push(format!(
+                "{name}: collect_timings costs {on:.3}s vs {off:.3}s off \
+                 (allowed {OVERHEAD_MAX_RATIO:.2}x + {OVERHEAD_SLACK_SECS:.0e}s)"
+            ));
+        }
+    }
+    (rows, failures)
+}
+
 fn main() {
     let args = parse_args();
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
@@ -404,12 +520,12 @@ fn main() {
     let mut failures: Vec<String> = Vec::new();
 
     for (name, instance) in instances(args.n) {
-        let (base_secs, base_run) = time_run(&instance, 1, args.reps);
+        let (base_secs, base_phases, base_run) = time_run(&instance, 1, args.reps);
         assert!(base_run.converged, "{name}: run did not converge");
         let mut t4 = base_secs;
         for shards in SHARD_COUNTS {
-            let (secs, run) = if shards == 1 {
-                (base_secs, base_run.clone())
+            let (secs, phases, run) = if shards == 1 {
+                (base_secs, base_phases, base_run.clone())
             } else {
                 time_run(&instance, shards, args.reps)
             };
@@ -436,7 +552,8 @@ fn main() {
                 concat!(
                     "{{\"variant\":\"{}\",\"vertices\":{},\"edges\":{},",
                     "\"shards\":{},\"seconds\":{:.4},\"speedup\":{:.2},",
-                    "\"iterations\":{}}}"
+                    "\"iterations\":{},\"phases\":{},",
+                    "\"step1_shard_seconds\":{}}}"
                 ),
                 name,
                 instance.num_vertices(),
@@ -445,6 +562,8 @@ fn main() {
                 secs,
                 speedup,
                 run.iterations,
+                phases_json(&phases),
+                secs_array(&step1_shard_secs(&run)),
             ));
             eprintln!(
                 "exp_engine_scaling: {name:>13} n={:<4} shards={shards}: {:.3}s ({:.2}x)",
@@ -464,13 +583,16 @@ fn main() {
     let (gate_rows, gate_failures) = run_gate(&args);
     failures.extend(gate_failures);
 
+    let (overhead_rows, overhead_failures) = run_overhead_check();
+    failures.extend(overhead_failures);
+
     println!(
         concat!(
             "{{\"experiment\":\"exp_engine_scaling\",\"n\":{},\"cores\":{},",
             "\"ci\":{},\"tolerance\":{:.2},\"reps\":{},\"rows\":[{}],",
-            "\"gate\":[{}]}}"
+            "\"gate\":[{}],\"overhead\":[{}]}}"
         ),
-        args.n, cores, args.ci, args.tolerance, args.reps, rows, gate_rows,
+        args.n, cores, args.ci, args.tolerance, args.reps, rows, gate_rows, overhead_rows,
     );
 
     if !failures.is_empty() {

@@ -26,8 +26,8 @@ pub mod engine;
 pub mod variant;
 
 pub use engine::{
-    run_engine, run_engine_timed, EngineConfig, IterationStats, PhaseTimings, SpannerRun,
-    SpannerVariant,
+    run_engine, run_engine_timed, EngineConfig, EngineTrace, IterationStats, IterationTiming,
+    PhaseTimings, SectionTiming, SpannerRun, SpannerVariant,
 };
 pub use variant::{run_variant, run_variant_timed, VariantInstance, VariantKind};
 
@@ -906,6 +906,35 @@ mod tests {
             );
         }
         assert_eq!(run.stats.last().unwrap().uncovered, 0);
+    }
+
+    #[test]
+    fn timing_trace_never_changes_results() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = gen::gnp_connected(28, 0.25, &mut rng);
+        let base = min_2_spanner(&g, &EngineConfig::seeded(6));
+        assert!(base.trace.is_none(), "trace must be opt-in");
+        for shards in [1usize, 3] {
+            let cfg = EngineConfig {
+                collect_timings: true,
+                num_shards: shards,
+                ..EngineConfig::seeded(6)
+            };
+            let run = run_engine(&UndirectedTwoSpanner::new(&g), &cfg);
+            assert_eq!(run.spanner, base.spanner, "shards={shards}");
+            assert_eq!(run.stats, base.stats, "shards={shards}");
+            assert_eq!(run.star_fallbacks, base.star_fallbacks);
+            let trace = run.trace.expect("trace requested");
+            assert_eq!(trace.iterations.len(), run.stats.len());
+            for (timing, stats) in trace.iterations.iter().zip(&run.stats) {
+                assert!(timing.step1.shards.len() <= shards.max(1) || shards == 0);
+                assert!(!timing.step1.shards.is_empty());
+                if stats.candidates == 0 && timing.step3.shards.is_empty() {
+                    // Termination pass: only Step 1 + coverage ran.
+                    assert!(timing.step4.shards.is_empty());
+                }
+            }
+        }
     }
 
     #[test]

@@ -192,6 +192,13 @@ pub struct EngineConfig {
     /// `num_shards`, this is execution policy and never part of a
     /// job's identity.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Record per-iteration, per-section, per-shard wall times into
+    /// [`SpannerRun::trace`]. Timing reads clocks only — it never
+    /// touches the RNG stream or the merge order — so the spanner,
+    /// stats, and every other result field stay byte-identical with
+    /// the toggle on or off. Like `num_shards`, this is execution
+    /// policy and never part of a job's identity.
+    pub collect_timings: bool,
 }
 
 impl EngineConfig {
@@ -205,6 +212,7 @@ impl EngineConfig {
             max_iterations: 1_000_000,
             num_shards: 1,
             cancel: None,
+            collect_timings: false,
         }
     }
 
@@ -253,6 +261,13 @@ pub struct SpannerRun {
     pub star_fallbacks: u64,
     /// Per-iteration accounting.
     pub stats: Vec<IterationStats>,
+    /// Per-iteration wall-clock trace; `Some` only when
+    /// [`EngineConfig::collect_timings`] was set. Timing data is
+    /// observational: it is excluded from the store and wire
+    /// encodings, from job identity, and from every result
+    /// comparison — the deterministic payload of a run is unchanged
+    /// by its presence.
+    pub trace: Option<EngineTrace>,
 }
 
 impl SpannerRun {
@@ -286,6 +301,52 @@ impl PhaseTimings {
         self.step1 + self.step3 + self.step4 + self.coverage
     }
 }
+
+/// Wall-clock timing of one sharded engine section in one iteration.
+#[derive(Clone, Debug, Default)]
+pub struct SectionTiming {
+    /// Wall time of the whole section as seen by the coordinating
+    /// thread (includes merge work and any serial pre/post loops).
+    pub wall: Duration,
+    /// Per-shard wall times of the parallel portion, in shard (range)
+    /// order. The spread across entries is the shard imbalance.
+    pub shards: Vec<Duration>,
+}
+
+/// Wall-clock timing of one engine iteration, by section.
+///
+/// The termination pass (Step 2 self-adds plus the final from-scratch
+/// coverage recompute) appears as a final entry whose `step3`/`step4`
+/// sections are empty.
+#[derive(Clone, Debug, Default)]
+pub struct IterationTiming {
+    /// Step 1: star spaces + densest-star flow calls (sharded over
+    /// vertex ranges).
+    pub step1: SectionTiming,
+    /// Step 3: candidacy aggregation and star choice (sharded over
+    /// vertex ranges).
+    pub step3: SectionTiming,
+    /// Step 4: vote collection and acceptance (sharded over item
+    /// ranges).
+    pub step4: SectionTiming,
+    /// Coverage maintenance on the coordinating thread.
+    pub coverage: Duration,
+}
+
+/// The full per-iteration timing trace of a run, collected when
+/// [`EngineConfig::collect_timings`] is set. Purely observational —
+/// see [`SpannerRun::trace`].
+#[derive(Clone, Debug, Default)]
+pub struct EngineTrace {
+    /// One entry per executed iteration (`iterations.len()` equals
+    /// `SpannerRun::stats.len()`).
+    pub iterations: Vec<IterationTiming>,
+}
+
+/// The `(r_v, vertex, candidate index)` key an item backs in Step 4:
+/// the minimum key over the candidates 2-spanning the item wins its
+/// vote, matching the permutation order of the paper.
+type VoteKey = (u64, VertexId, usize);
 
 /// A candidate vertex of one iteration: its chosen star and the random
 /// permutation value that orders the vote.
@@ -326,37 +387,52 @@ fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
 /// Runs `f` on each shard's index range (scoped threads when more than
 /// one shard) and concatenates the outputs in range order — the merge
 /// step that keeps sharded results identical to the inline run.
-fn sharded_chunks<T, F>(len: usize, shards: usize, f: F) -> Vec<T>
+///
+/// Also returns each shard's wall time, in range order, so the engine
+/// trace can expose shard imbalance. The two clock reads per shard are
+/// noise next to the work a shard does, and the timing never feeds
+/// back into the outputs or their order.
+fn sharded_chunks<T, F>(len: usize, shards: usize, f: F) -> (Vec<T>, Vec<Duration>)
 where
     T: Send,
     F: Fn(Range<usize>) -> Vec<T> + Sync,
 {
     let ranges = shard_ranges(len, shards);
     if ranges.len() <= 1 {
-        return f(0..len);
+        let t = Instant::now();
+        let out = f(0..len);
+        return (out, vec![t.elapsed()]);
     }
     let mut out = Vec::with_capacity(len);
+    let mut times = Vec::with_capacity(ranges.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
             .map(|range| {
                 let f = &f;
-                scope.spawn(move || f(range))
+                scope.spawn(move || {
+                    let t = Instant::now();
+                    let chunk = f(range);
+                    (chunk, t.elapsed())
+                })
             })
             .collect();
         for handle in handles {
             match handle.join() {
-                Ok(chunk) => out.extend(chunk),
+                Ok((chunk, elapsed)) => {
+                    out.extend(chunk);
+                    times.push(elapsed);
+                }
                 Err(panic) => std::panic::resume_unwind(panic),
             }
         }
     });
-    out
+    (out, times)
 }
 
 /// Per-index parallel map with order-preserving merge (see
 /// [`sharded_chunks`]).
-fn sharded_map<T, F>(len: usize, shards: usize, f: F) -> Vec<T>
+fn sharded_map<T, F>(len: usize, shards: usize, f: F) -> (Vec<T>, Vec<Duration>)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -434,6 +510,7 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
     let mut converged = uncovered.is_empty();
     let mut cancelled = false;
     let mut timings = PhaseTimings::default();
+    let mut trace_iters: Vec<IterationTiming> = Vec::new();
 
     // Hot-loop buffers, allocated once and refilled per iteration.
     let mut keys: Vec<Ratio> = vec![Ratio::zero(); n];
@@ -468,19 +545,21 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
         // A vertex's star space plus the densest star found in it.
         type StarState = (LocalStars, Option<(Vec<bool>, Ratio)>);
         let t_step1 = Instant::now();
+        let step1_shards: Vec<Duration>;
         if locals.is_empty() {
-            let per_vertex: Vec<StarState> = sharded_map(n, shards, |v| {
+            let (per_vertex, shard_times): (Vec<StarState>, _) = sharded_map(n, shards, |v| {
                 let ls = variant.local_stars(v, &uncovered);
                 let best = ls.densest(None);
                 (ls, best)
             });
+            step1_shards = shard_times;
             (locals, best) = per_vertex.into_iter().unzip();
             rho = best
                 .iter()
                 .map(|b| b.as_ref().map_or_else(Ratio::zero, |&(_, d)| d))
                 .collect();
         } else {
-            let refreshed: Vec<Option<StarState>> = {
+            let (refreshed, shard_times): (Vec<Option<StarState>>, _) = {
                 let locals = &locals;
                 let uncovered = &uncovered;
                 sharded_map(n, shards, move |v| {
@@ -496,6 +575,7 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
                     Some((ls, best))
                 })
             };
+            step1_shards = shard_times;
             for (v, refreshed) in refreshed.into_iter().enumerate() {
                 if let Some((ls, b)) = refreshed {
                     locals[v] = ls;
@@ -505,7 +585,8 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
             }
         }
         let global_max = rho.iter().copied().max().unwrap_or_else(Ratio::zero);
-        timings.step1 += t_step1.elapsed();
+        let step1_wall = t_step1.elapsed();
+        timings.step1 += step1_wall;
 
         // Step 2: termination — self-add what no dense-enough star
         // covers (the centrally scheduled analogue of every vertex
@@ -528,7 +609,18 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
             let t_cov = Instant::now();
             uncovered = targets.clone();
             uncovered.subtract(&variant.covered(&h));
-            timings.coverage += t_cov.elapsed();
+            let cov_wall = t_cov.elapsed();
+            timings.coverage += cov_wall;
+            if cfg.collect_timings {
+                trace_iters.push(IterationTiming {
+                    step1: SectionTiming {
+                        wall: step1_wall,
+                        shards: step1_shards,
+                    },
+                    coverage: cov_wall,
+                    ..IterationTiming::default()
+                });
+            }
             stats.push(IterationStats {
                 candidates: 0,
                 accepted: 0,
@@ -580,58 +672,59 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
         // vertex order, on this thread. Each shard owns one reusable
         // StarScratch, so the choice loop stops allocating per vertex
         // once its arena has warmed up.
-        let chosen: Vec<Option<ChosenStar>> = sharded_chunks(n, shards, |range| {
-            let mut scratch = StarScratch::default();
-            range
-                .map(|v| {
-                    if rho[v].is_zero() || rho[v] < threshold || keys[v] != max2[v] {
-                        return None;
-                    }
-                    let choice_threshold = if cfg.round_densities {
-                        let exp = rho[v].ceil_pow2_exponent().expect("positive density");
-                        // Clamp to pow2_ratio's exact range; only
-                        // reachable with astronomical weights, where
-                        // the saturated threshold is equally
-                        // serviceable.
-                        pow2_ratio((exp - offset).max(-62))
-                    } else {
-                        // Exact-density ablation: ρ(v) / 2^offset.
-                        // Shift the numerator down instead when the
-                        // denominator would overflow (astronomical
-                        // star weights).
-                        let (num, den) = (rho[v].numerator(), rho[v].denominator());
-                        if den.leading_zeros() as i32 >= offset {
-                            Ratio::new(num, den << offset)
-                        } else {
-                            Ratio::new(num >> offset, den)
+        let (chosen, step3_shards): (Vec<Option<ChosenStar>>, _) =
+            sharded_chunks(n, shards, |range| {
+                let mut scratch = StarScratch::default();
+                range
+                    .map(|v| {
+                        if rho[v].is_zero() || rho[v] < threshold || keys[v] != max2[v] {
+                            return None;
                         }
-                    };
-                    let prev = if cfg.monotone_stars {
-                        prev_star[v]
-                            .as_ref()
-                            .filter(|(key, _)| *key == keys[v])
-                            .map(|(_, member)| member.as_slice())
-                    } else {
-                        None
-                    };
-                    let choice = locals[v].choose_star_seeded(
-                        choice_threshold,
-                        prev,
-                        Some(&best[v]),
-                        &mut scratch,
-                    )?;
-                    let spanned = locals[v].spanned_items(&choice.member);
-                    if spanned.is_empty() {
-                        return None;
-                    }
-                    Some(ChosenStar {
-                        member: choice.member,
-                        spanned,
-                        fallback: choice.fallback,
+                        let choice_threshold = if cfg.round_densities {
+                            let exp = rho[v].ceil_pow2_exponent().expect("positive density");
+                            // Clamp to pow2_ratio's exact range; only
+                            // reachable with astronomical weights, where
+                            // the saturated threshold is equally
+                            // serviceable.
+                            pow2_ratio((exp - offset).max(-62))
+                        } else {
+                            // Exact-density ablation: ρ(v) / 2^offset.
+                            // Shift the numerator down instead when the
+                            // denominator would overflow (astronomical
+                            // star weights).
+                            let (num, den) = (rho[v].numerator(), rho[v].denominator());
+                            if den.leading_zeros() as i32 >= offset {
+                                Ratio::new(num, den << offset)
+                            } else {
+                                Ratio::new(num >> offset, den)
+                            }
+                        };
+                        let prev = if cfg.monotone_stars {
+                            prev_star[v]
+                                .as_ref()
+                                .filter(|(key, _)| *key == keys[v])
+                                .map(|(_, member)| member.as_slice())
+                        } else {
+                            None
+                        };
+                        let choice = locals[v].choose_star_seeded(
+                            choice_threshold,
+                            prev,
+                            Some(&best[v]),
+                            &mut scratch,
+                        )?;
+                        let spanned = locals[v].spanned_items(&choice.member);
+                        if spanned.is_empty() {
+                            return None;
+                        }
+                        Some(ChosenStar {
+                            member: choice.member,
+                            spanned,
+                            fallback: choice.fallback,
+                        })
                     })
-                })
-                .collect()
-        });
+                    .collect()
+            });
 
         let mut candidates: Vec<Candidate> = Vec::new();
         for (v, chosen) in chosen.into_iter().enumerate() {
@@ -657,7 +750,8 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
                 rv: rvs[v],
             });
         }
-        timings.step3 += t_step3.elapsed();
+        let step3_wall = t_step3.elapsed();
+        timings.step3 += step3_wall;
         let t_step4 = Instant::now();
 
         // Step 4 (sharded over item ranges): voting. Each uncovered
@@ -666,9 +760,9 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
         // permutation would. Every shard owns a contiguous item range
         // and scans each candidate's (sorted) spanned list from the
         // first in-range entry.
-        let backer: Vec<Option<(u64, VertexId, usize)>> =
+        let (backer, step4_shards): (Vec<Option<VoteKey>>, _) =
             sharded_chunks(num_items, shards, |range| {
-                let mut out: Vec<Option<(u64, VertexId, usize)>> = vec![None; range.len()];
+                let mut out: Vec<Option<VoteKey>> = vec![None; range.len()];
                 for (ci, c) in candidates.iter().enumerate() {
                     let key = (c.rv, c.v, ci);
                     let from = c.spanned.partition_point(|&item| item < range.start);
@@ -707,7 +801,8 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
             }
         }
 
-        timings.step4 += t_step4.elapsed();
+        let step4_wall = t_step4.elapsed();
+        timings.step4 += step4_wall;
 
         // Incremental coverage: only the items the new edges can have
         // covered leave `uncovered` (coverage is monotone, so the
@@ -716,7 +811,25 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
         delta.clear();
         variant.covered_delta(&h, &new_edges, &mut delta);
         uncovered.subtract(&delta);
-        timings.coverage += t_cov.elapsed();
+        let cov_wall = t_cov.elapsed();
+        timings.coverage += cov_wall;
+        if cfg.collect_timings {
+            trace_iters.push(IterationTiming {
+                step1: SectionTiming {
+                    wall: step1_wall,
+                    shards: step1_shards,
+                },
+                step3: SectionTiming {
+                    wall: step3_wall,
+                    shards: step3_shards,
+                },
+                step4: SectionTiming {
+                    wall: step4_wall,
+                    shards: step4_shards,
+                },
+                coverage: cov_wall,
+            });
+        }
         stats.push(IterationStats {
             candidates: candidates.len(),
             accepted,
@@ -734,6 +847,9 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
             cancelled,
             star_fallbacks,
             stats,
+            trace: cfg.collect_timings.then_some(EngineTrace {
+                iterations: trace_iters,
+            }),
         },
         timings,
     )
@@ -770,15 +886,19 @@ mod tests {
         let f = |i: usize| i * i + 1;
         let expect: Vec<usize> = (0..37).map(f).collect();
         for shards in [1, 2, 3, 8, 37, 100] {
-            assert_eq!(sharded_map(37, shards, f), expect, "shards={shards}");
+            let (out, times) = sharded_map(37, shards, f);
+            assert_eq!(out, expect, "shards={shards}");
+            assert_eq!(times.len(), shard_ranges(37, shards).len().max(1));
         }
-        assert_eq!(sharded_map(0, 4, f), Vec::<usize>::new());
+        assert_eq!(sharded_map(0, 4, f).0, Vec::<usize>::new());
     }
 
     #[test]
     fn sharded_chunks_preserve_range_order() {
-        let out = sharded_chunks(10, 3, |r| r.map(|i| i as u64).collect::<Vec<_>>());
+        let (out, times) = sharded_chunks(10, 3, |r| r.map(|i| i as u64).collect::<Vec<_>>());
         assert_eq!(out, (0..10).collect::<Vec<u64>>());
+        // One wall time per shard, in range order.
+        assert_eq!(times.len(), 3);
     }
 
     #[test]

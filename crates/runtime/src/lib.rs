@@ -70,10 +70,12 @@ mod fragment;
 pub mod json;
 mod metrics;
 mod network;
+pub mod obs;
 mod simulator;
 
 pub use codec::{WordReader, WordWriter};
 pub use fragment::{Fragmented, FragmentedNode};
 pub use metrics::{LatencyRecorder, Metrics};
 pub use network::Network;
+pub use obs::{FlightRecorder, Level, TraceEvent};
 pub use simulator::{Envelope, Outbox, Protocol, RoundCtx, RunReport, Simulator, Word};

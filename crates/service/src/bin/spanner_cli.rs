@@ -19,6 +19,11 @@
 //! in-iteration shards (`0` = one per core); the spanner is identical
 //! whatever the value (and the server may override it).
 //!
+//! `--log-level LEVEL` (error/warn/info/debug/trace, default `info`)
+//! sets the threshold for structured stderr log lines; errors are
+//! reported through the same [`dsa_runtime::obs`] format the server
+//! uses, so mixed client/server logs grep uniformly.
+//!
 //! `run` reads a [`dsa_graphs::io`] edge list from `--input` (default
 //! stdin; weighted lines `u v w` for the weighted variant, tail/head
 //! lines for directed), submits it, and prints a summary plus the
@@ -36,7 +41,7 @@ use dsa_graphs::EdgeSet;
 use dsa_service::{Client, HttpClient, JobError, JobResponse, JobSpec};
 
 const USAGE: &str =
-    "usage: spanner-cli [--addr HOST:PORT] [--http] <ping|stats|run> [run options]\n\
+    "usage: spanner-cli [--addr HOST:PORT] [--http] [--log-level LEVEL] <ping|stats|run> [run options]\n\
      run options: --variant <undirected|directed|weighted|client-server> --seed N\n\
      \x20            [--input FILE|-] [--clients \"IDS\"] [--servers \"IDS\"]\n\
      \x20            [--timeout-ms N] [--accept-denominator N] [--shards N]\n\
@@ -54,7 +59,7 @@ fn help() -> ! {
 }
 
 fn fail(msg: &str) -> ! {
-    eprintln!("spanner-cli: {msg}");
+    dsa_runtime::obs::error("spanner-cli", msg, &[]);
     std::process::exit(1);
 }
 
@@ -121,6 +126,19 @@ fn main() -> ExitCode {
                 http = true;
                 rest = &rest[1..];
             }
+            Some("--log-level") => {
+                if rest.len() < 2 {
+                    usage();
+                }
+                match rest[1].parse() {
+                    Ok(level) => dsa_runtime::obs::set_log_level(level),
+                    Err(_) => fail(&format!(
+                        "invalid value `{}` for --log-level (expected error/warn/info/debug/trace)",
+                        rest[1]
+                    )),
+                }
+                rest = &rest[2..];
+            }
             _ => break,
         }
     }
@@ -162,7 +180,7 @@ fn main() -> ExitCode {
         }
         "run" => run_command(&rest[1..], connect),
         other => {
-            eprintln!("unknown command {other}");
+            dsa_runtime::obs::error("spanner-cli", "unknown command", &[("command", &other)]);
             usage()
         }
     }

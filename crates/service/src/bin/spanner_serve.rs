@@ -4,8 +4,17 @@
 //! ```text
 //! spanner-serve [--addr HOST:PORT] [--http-port PORT] [--workers N]
 //!               [--queue N] [--cache N] [--shards N] [--cache-dir DIR]
+//!               [--log-level LEVEL] [--trace-dir DIR]
 //!               [--self-check [--http]]
 //! ```
+//!
+//! `--log-level LEVEL` (error/warn/info/debug/trace, default `info`)
+//! sets the threshold for the structured stderr log lines emitted via
+//! [`dsa_runtime::obs`]. `--trace-dir DIR` exports the service's
+//! bounded flight recorder — one JSONL line per job-lifecycle event,
+//! tagged with a per-job trace id — to `DIR/trace-<pid>.jsonl`: a
+//! background thread flushes every 2 s in serve mode, and the
+//! self-check flavors export once on success.
 //!
 //! `--http-port PORT` additionally serves the HTTP/JSON facade
 //! (`POST /v1/jobs`, `GET /v1/metrics`, `GET /healthz`) on the same
@@ -44,12 +53,14 @@
 //! byte-identical bodies on both surfaces with `disk_hits > 0` and the
 //! metrics invariant intact.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use dsa_core::dist::VariantInstance;
 use dsa_graphs::{gen, EdgeSet, Graph};
 use dsa_runtime::json::Json;
+use dsa_runtime::obs;
 use dsa_service::{Client, HttpClient, HttpServer, JobSpec, Server, Service, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,9 +71,10 @@ struct Args {
     cfg: ServiceConfig,
     self_check: bool,
     http: bool,
+    trace_dir: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: spanner-serve [--addr HOST:PORT] [--http-port PORT] [--workers N] [--queue N] [--cache N] [--shards N] [--cache-dir DIR] [--self-check [--http]]";
+const USAGE: &str = "usage: spanner-serve [--addr HOST:PORT] [--http-port PORT] [--workers N] [--queue N] [--cache N] [--shards N] [--cache-dir DIR] [--log-level LEVEL] [--trace-dir DIR] [--self-check [--http]]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -85,12 +97,13 @@ fn parse_args() -> Args {
         },
         self_check: false,
         http: false,
+        trace_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
             it.next().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
+                obs::error("spanner-serve", "missing flag value", &[("flag", &name)]);
                 usage()
             })
         };
@@ -100,7 +113,11 @@ fn parse_args() -> Args {
                 // Parse as u16 directly: `as u16` on a wider parse
                 // would silently wrap 65536 to an ephemeral bind.
                 args.http_port = Some(value("--http-port").parse().unwrap_or_else(|_| {
-                    eprintln!("invalid value for --http-port (expected 0..=65535)");
+                    obs::error(
+                        "spanner-serve",
+                        "invalid value for --http-port (expected 0..=65535)",
+                        &[],
+                    );
                     usage()
                 }))
             }
@@ -109,17 +126,36 @@ fn parse_args() -> Args {
             "--cache" => args.cfg.cache_capacity = parse_num(&value("--cache"), "--cache"),
             "--shards" => args.cfg.engine_shards = Some(parse_num(&value("--shards"), "--shards")),
             "--cache-dir" => args.cfg.cache_dir = Some(value("--cache-dir").into()),
+            "--log-level" => {
+                let raw = value("--log-level");
+                match raw.parse() {
+                    Ok(level) => obs::set_log_level(level),
+                    Err(_) => {
+                        obs::error(
+                            "spanner-serve",
+                            "invalid value for --log-level (expected error/warn/info/debug/trace)",
+                            &[("value", &raw)],
+                        );
+                        usage()
+                    }
+                }
+            }
+            "--trace-dir" => args.trace_dir = Some(value("--trace-dir").into()),
             "--self-check" => args.self_check = true,
             "--http" => args.http = true,
             "--help" | "-h" => help(),
             other => {
-                eprintln!("unknown flag {other}");
+                obs::error("spanner-serve", "unknown flag", &[("flag", &other)]);
                 usage()
             }
         }
     }
     if args.http && !args.self_check {
-        eprintln!("--http selects the HTTP self-check; it requires --self-check (use --http-port to serve HTTP)");
+        obs::error(
+            "spanner-serve",
+            "--http selects the HTTP self-check; it requires --self-check (use --http-port to serve HTTP)",
+            &[],
+        );
         usage()
     }
     args
@@ -127,7 +163,11 @@ fn parse_args() -> Args {
 
 fn parse_num(value: &str, flag: &str) -> usize {
     value.parse().unwrap_or_else(|_| {
-        eprintln!("invalid value `{value}` for {flag}");
+        obs::error(
+            "spanner-serve",
+            "invalid flag value",
+            &[("flag", &flag), ("value", &value)],
+        );
         usage()
     })
 }
@@ -141,21 +181,29 @@ fn http_addr_of(tcp_addr: &str, port: u16) -> String {
 fn main() -> ExitCode {
     let args = parse_args();
     if args.self_check {
-        return self_check(&args.cfg, args.http);
+        return self_check(&args.cfg, args.http, args.trace_dir.as_deref());
     }
     // Open the service first (so a bad --cache-dir reports as a store
     // problem, not a bind problem), then attach the frontends to it.
     let service = match Service::open(&args.cfg) {
         Ok(service) => Arc::new(service),
         Err(e) => {
-            eprintln!("spanner-serve: cannot open result store: {e}");
+            obs::error(
+                "spanner-serve",
+                "cannot open result store",
+                &[("error", &e)],
+            );
             return ExitCode::FAILURE;
         }
     };
     let server = match Server::with_service(args.addr.as_str(), service) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("spanner-serve: cannot bind {}: {e}", args.addr);
+            obs::error(
+                "spanner-serve",
+                "cannot bind",
+                &[("addr", &args.addr), ("error", &e)],
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -172,25 +220,82 @@ fn main() -> ExitCode {
                     Some(http)
                 }
                 Err(e) => {
-                    eprintln!("spanner-serve: cannot bind http {addr}: {e}");
+                    obs::error(
+                        "spanner-serve",
+                        "cannot bind http",
+                        &[("addr", &addr), ("error", &e)],
+                    );
                     return ExitCode::FAILURE;
                 }
             }
         }
     };
+    // With --trace-dir, a background thread drains the flight recorder
+    // to JSONL every 2 s; events between flushes stay in the bounded
+    // ring (oldest evicted first under pressure).
+    if let Some(dir) = &args.trace_dir {
+        match trace_file_in(dir) {
+            Err(e) => {
+                obs::error("spanner-serve", "cannot open trace dir", &[("error", &e)]);
+                return ExitCode::FAILURE;
+            }
+            Ok(path) => {
+                println!("tracing to {}", path.display());
+                let service = server.service().clone();
+                let spawned = std::thread::Builder::new()
+                    .name("spanner-trace-flush".into())
+                    .spawn(move || loop {
+                        std::thread::sleep(std::time::Duration::from_secs(2));
+                        if let Err(e) = append_trace(&service, &path) {
+                            obs::warn("spanner-serve", "trace flush failed", &[("error", &e)]);
+                        }
+                    });
+                if let Err(e) = spawned {
+                    obs::error(
+                        "spanner-serve",
+                        "cannot start trace flusher",
+                        &[("error", &e)],
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     // Serve until the process is killed.
     loop {
         std::thread::park();
     }
 }
 
-fn self_check(cfg: &ServiceConfig, http: bool) -> ExitCode {
+/// The per-process trace file inside `dir` (created if missing).
+fn trace_file_in(dir: &Path) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    Ok(dir.join(format!("trace-{}.jsonl", std::process::id())))
+}
+
+/// Drains the service's flight recorder and appends it to `path`.
+fn append_trace(service: &Service, path: &Path) -> Result<(), String> {
+    use std::io::Write;
+    let lines = service.flight_recorder().drain_jsonl();
+    if lines.is_empty() {
+        return Ok(());
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("open {}: {e}", path.display()))?;
+    file.write_all(lines.as_bytes())
+        .map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+fn self_check(cfg: &ServiceConfig, http: bool, trace_dir: Option<&Path>) -> ExitCode {
     let result = if cfg.cache_dir.is_some() {
-        self_check_persistent(cfg)
+        self_check_persistent(cfg, trace_dir)
     } else if http {
-        self_check_http(cfg)
+        self_check_http(cfg, trace_dir)
     } else {
-        self_check_tcp(cfg)
+        self_check_tcp(cfg, trace_dir)
     };
     match result {
         Ok(()) => {
@@ -198,10 +303,61 @@ fn self_check(cfg: &ServiceConfig, http: bool) -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("self-check FAILED: {e}");
+            obs::error("spanner-serve", "self-check FAILED", &[("error", &e)]);
             ExitCode::FAILURE
         }
     }
+}
+
+/// One-shot flight-recorder export for the self-check flavors.
+fn export_trace(service: &Service, trace_dir: Option<&Path>) -> Result<(), String> {
+    let Some(dir) = trace_dir else {
+        return Ok(());
+    };
+    let path = trace_file_in(dir)?;
+    append_trace(service, &path)
+}
+
+/// Checks the counter invariant inside a Prometheus text exposition:
+/// `spanner_jobs_total` must equal the sum of the
+/// `spanner_jobs_by_class_total` series, and the body must carry the
+/// format's structural markers.
+fn check_prometheus(text: &str) -> Result<(), String> {
+    if !text.starts_with("# HELP ") {
+        return Err(format!(
+            "prometheus exposition does not start with # HELP: {:?}",
+            text.lines().next().unwrap_or("")
+        ));
+    }
+    let sample_value = |line: &str| -> Result<u64, String> {
+        line.rsplit(' ')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("unparseable sample line: {line}"))
+    };
+    let mut jobs: Option<u64> = None;
+    let mut class_sum: u64 = 0;
+    let mut class_series = 0;
+    for line in text.lines() {
+        if line.starts_with("spanner_jobs_total ") {
+            jobs = Some(sample_value(line)?);
+        } else if line.starts_with("spanner_jobs_by_class_total{") {
+            class_sum += sample_value(line)?;
+            class_series += 1;
+        }
+    }
+    let jobs = jobs.ok_or("exposition is missing spanner_jobs_total")?;
+    if class_series != 3 {
+        return Err(format!(
+            "expected 3 spanner_jobs_by_class_total series, found {class_series}"
+        ));
+    }
+    if jobs != class_sum {
+        return Err(format!(
+            "prometheus invariant violated: spanner_jobs_total {jobs} != class sum {class_sum}"
+        ));
+    }
+    Ok(())
 }
 
 /// One instance per variant, from seeded generators (shared by both
@@ -233,7 +389,7 @@ fn self_check_specs() -> Vec<JobSpec> {
     ]
 }
 
-fn self_check_tcp(cfg: &ServiceConfig) -> Result<(), String> {
+fn self_check_tcp(cfg: &ServiceConfig, trace_dir: Option<&Path>) -> Result<(), String> {
     let server =
         Server::start("127.0.0.1:0", cfg).map_err(|e| format!("bind ephemeral port: {e}"))?;
     let addr = server.addr();
@@ -292,11 +448,12 @@ fn self_check_tcp(cfg: &ServiceConfig) -> Result<(), String> {
     client
         .ping()
         .map_err(|e| format!("ping after error: {e}"))?;
+    export_trace(server.service(), trace_dir)?;
     server.shutdown();
     Ok(())
 }
 
-fn self_check_http(cfg: &ServiceConfig) -> Result<(), String> {
+fn self_check_http(cfg: &ServiceConfig, trace_dir: Option<&Path>) -> Result<(), String> {
     // Both frontends over ONE service, exactly as `--http-port` runs
     // them, so the shared-cache claim is checked against the real
     // wiring.
@@ -385,6 +542,21 @@ fn self_check_http(cfg: &ServiceConfig) -> Result<(), String> {
         return Err(format!("expected >= 2 cache hits, metrics: {metrics_json}"));
     }
 
+    // The same snapshot as Prometheus text exposition: structurally
+    // well-formed, and its class series sum back to the jobs total.
+    let prom = client
+        .metrics_prometheus()
+        .map_err(|e| format!("prometheus metrics: {e}"))?;
+    check_prometheus(&prom)?;
+    let (status, _) = client
+        .request("GET", "/v1/metrics?format=csv", None)
+        .map_err(|e| format!("bad-format request: {e}"))?;
+    if status != 400 {
+        return Err(format!(
+            "unknown metrics format: expected 400, got {status}"
+        ));
+    }
+
     // Errors must map to statuses without wedging the connection.
     let (status, _) = client
         .request("POST", "/v1/jobs", Some("{not json"))
@@ -407,6 +579,7 @@ fn self_check_http(cfg: &ServiceConfig) -> Result<(), String> {
     client
         .healthz()
         .map_err(|e| format!("healthz after errors: {e}"))?;
+    export_trace(server.service(), trace_dir)?;
     http.shutdown();
     server.shutdown();
     Ok(())
@@ -419,7 +592,7 @@ fn self_check_http(cfg: &ServiceConfig) -> Result<(), String> {
 /// re-run — with `disk_hits > 0` (the reopened LRU is kept smaller
 /// than the record count so the disk path must carry part of the
 /// load) and the metrics invariant intact at every observation point.
-fn self_check_persistent(cfg: &ServiceConfig) -> Result<(), String> {
+fn self_check_persistent(cfg: &ServiceConfig, trace_dir: Option<&Path>) -> Result<(), String> {
     let dir = cfg
         .cache_dir
         .as_deref()
@@ -561,6 +734,12 @@ fn self_check_persistent(cfg: &ServiceConfig) -> Result<(), String> {
             "served metrics report no disk hits: {metrics_json}"
         ));
     }
+    // The Prometheus exposition stays coherent across the restart too.
+    let prom = hc
+        .metrics_prometheus()
+        .map_err(|e| format!("prometheus metrics: {e}"))?;
+    check_prometheus(&prom)?;
+    export_trace(&service, trace_dir)?;
     http.shutdown();
     server.shutdown();
     Ok(())

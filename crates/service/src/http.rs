@@ -16,6 +16,13 @@
 //! | `GET /v1/metrics` | —               | coherent counters + p50/p95  |
 //! | `GET /healthz`    | —               | `{"status":"ok"}`            |
 //!
+//! `GET /v1/metrics` additionally accepts `?format=prometheus`, which
+//! returns the same snapshot in the Prometheus text exposition format
+//! (version 0.0.4, `Content-Type: text/plain`) with a fixed metric and
+//! label order — see [`crate::metrics::MetricsSnapshot::to_prometheus`].
+//! `?format=json` (and no query at all) select the JSON body; any
+//! other `format` value is a 400.
+//!
 //! # Job spec schema (`POST /v1/jobs`)
 //!
 //! ```json
@@ -164,6 +171,8 @@ impl HttpServer {
 struct Head {
     method: String,
     path: String,
+    /// Raw query string (without the `?`), empty when absent.
+    query: String,
     keep_alive: bool,
     content_length: usize,
     expect_continue: bool,
@@ -197,12 +206,28 @@ fn serve_http_connection(stream: TcpStream, service: &Arc<Service>, stop: &Atomi
             ReadOutcome::Reject(status, message) => {
                 // The byte stream is no longer trustworthy after a
                 // rejected head: answer and close.
-                let _ = write_response(&mut writer, status, None, &error_body(&message), false);
+                let _ = write_response(
+                    &mut writer,
+                    status,
+                    None,
+                    CT_JSON,
+                    &error_body(&message),
+                    false,
+                );
                 break;
             }
             ReadOutcome::Request(head, body) => {
-                let (status, allow, resp_body) = route(&head.method, &head.path, &body, service);
-                if write_response(&mut writer, status, allow, &resp_body, head.keep_alive).is_err()
+                let (status, allow, content_type, resp_body) =
+                    route(&head.method, &head.path, &head.query, &body, service);
+                if write_response(
+                    &mut writer,
+                    status,
+                    allow,
+                    content_type,
+                    &resp_body,
+                    head.keep_alive,
+                )
+                .is_err()
                 {
                     break;
                 }
@@ -305,11 +330,17 @@ fn parse_head(bytes: &[u8]) -> Result<Head, ReadOutcome> {
         "HTTP/1.0" => false,
         _ => return reject(505, "only HTTP/1.0 and HTTP/1.1 are supported"),
     };
+    // Routes are matched on the path alone so `/healthz?probe=1`
+    // still resolves; the query is kept for handlers that accept
+    // options (e.g. `/v1/metrics?format=prometheus`).
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
     let mut head = Head {
         method: method.to_string(),
-        // Queries are not part of any route; strip them so
-        // `/healthz?probe=1` still resolves.
-        path: target.split('?').next().unwrap_or(target).to_string(),
+        path: path.to_string(),
+        query: query.to_string(),
         keep_alive: keep_alive_default,
         content_length: 0,
         expect_continue: false,
@@ -363,15 +394,40 @@ fn parse_head(bytes: &[u8]) -> Result<Head, ReadOutcome> {
     Ok(head)
 }
 
+/// Content type of every JSON response body.
+const CT_JSON: &str = "application/json";
+/// Content type of the Prometheus text exposition format.
+const CT_PROMETHEUS: &str = "text/plain; version=0.0.4";
+
 /// Dispatches one request: returns (status, Allow header for 405,
-/// response body).
+/// Content-Type, response body).
 fn route(
     method: &str,
     path: &str,
+    query: &str,
     body: &[u8],
     service: &Service,
-) -> (u16, Option<&'static str>, String) {
-    match (path, method) {
+) -> (u16, Option<&'static str>, &'static str, String) {
+    // Every route except the Prometheus exposition answers JSON; fold
+    // the old 3-tuple shape back in so the match arms stay readable.
+    let json =
+        |(status, allow, body): (u16, Option<&'static str>, String)| (status, allow, CT_JSON, body);
+    if (path, method) == ("/v1/metrics", "GET") {
+        // `format` selects the representation; anything else in the
+        // query is ignored, mirroring how unknown headers are ignored.
+        return match query_param(query, "format") {
+            None | Some("json") => (200, None, CT_JSON, service.metrics().to_json()),
+            Some("prometheus") => (200, None, CT_PROMETHEUS, service.metrics().to_prometheus()),
+            Some(other) => json((
+                400,
+                None,
+                error_body(&format!(
+                    "unknown metrics format `{other}` (expected `json` or `prometheus`)"
+                )),
+            )),
+        };
+    }
+    json(match (path, method) {
         ("/v1/jobs", "POST") => match decode_job_spec(body) {
             Err(e) => (400, None, error_body(&e.to_string())),
             Ok(spec) => match service.run(&spec) {
@@ -383,7 +439,6 @@ fn route(
             },
         },
         ("/v1/jobs", _) => (405, Some("POST"), error_body("use POST for /v1/jobs")),
-        ("/v1/metrics", "GET") => (200, None, service.metrics().to_json()),
         ("/v1/metrics", _) => (405, Some("GET"), error_body("use GET for /v1/metrics")),
         ("/healthz", "GET") => (200, None, "{\"status\":\"ok\"}".to_string()),
         ("/healthz", _) => (405, Some("GET"), error_body("use GET for /healthz")),
@@ -394,7 +449,18 @@ fn route(
                 "no route for `{path}` (try POST /v1/jobs, GET /v1/metrics, GET /healthz)"
             )),
         ),
-    }
+    })
+}
+
+/// Looks up one `key=value` pair in a raw query string. No percent
+/// decoding: the only recognised values (`json`, `prometheus`) need
+/// none, and undecodable inputs fall through to the 400 path.
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
 }
 
 fn error_body(message: &str) -> String {
@@ -424,11 +490,12 @@ fn write_response(
     w: &mut impl std::io::Write,
     status: u16,
     allow: Option<&str>,
+    content_type: &str,
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let mut out = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status_reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
@@ -920,6 +987,18 @@ impl HttpClient {
         String::from_utf8(body).map_err(|_| proto("metrics body is not UTF-8"))
     }
 
+    /// Fetches `/v1/metrics?format=prometheus` as text exposition.
+    pub fn metrics_prometheus(&mut self) -> Result<String, JobError> {
+        let (status, body) = self.request("GET", "/v1/metrics?format=prometheus", None)?;
+        if status != 200 {
+            return Err(JobError::Remote(format!(
+                "HTTP {status}: {}",
+                error_message(&body)
+            )));
+        }
+        String::from_utf8(body).map_err(|_| proto("metrics body is not UTF-8"))
+    }
+
     /// Liveness probe via `GET /healthz`.
     pub fn healthz(&mut self) -> Result<(), JobError> {
         let (status, body) = self.request("GET", "/healthz", None)?;
@@ -1122,12 +1201,14 @@ mod tests {
         .unwrap_or_else(|_| panic!("valid head rejected"));
         assert_eq!(head.method, "POST");
         assert_eq!(head.path, "/v1/jobs");
+        assert_eq!(head.query, "");
         assert_eq!(head.content_length, 12);
         assert!(head.keep_alive);
         assert!(head.expect_continue);
         let head = parse_head(b"GET /healthz?probe=1 HTTP/1.0\r\n")
             .unwrap_or_else(|_| panic!("valid head rejected"));
-        assert_eq!(head.path, "/healthz", "query strings are stripped");
+        assert_eq!(head.path, "/healthz", "query is not part of the path");
+        assert_eq!(head.query, "probe=1");
         assert!(!head.keep_alive, "HTTP/1.0 defaults to close");
         for bad in [
             &b"GARBAGE\r\n"[..],

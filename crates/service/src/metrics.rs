@@ -60,7 +60,46 @@ pub(crate) struct ServiceMetrics {
     /// Gauge: distinct results currently in the persistent store (0
     /// when no store is configured). Set at open, advanced on append.
     store_records: AtomicU64,
+    /// Records dropped by corruption recovery when the store was
+    /// opened (a counter per process lifetime; recovery happens once,
+    /// at open).
+    store_records_dropped: AtomicU64,
+    /// Cumulative store I/O wall time, in microseconds.
+    store_read_us: AtomicU64,
+    store_write_us: AtomicU64,
+    /// Wall time of the open-time recovery scan (log walk + warm
+    /// decode), set once at open.
+    store_recovery_us: AtomicU64,
     latency: Mutex<LatencyRecorder>,
+    hist: Mutex<Histogram>,
+}
+
+/// Upper bounds (µs) of the fixed engine-run latency buckets; the
+/// overflow (`+Inf`) bucket is implicit. Fixed bounds make scraped
+/// histograms comparable across processes and restarts, unlike the
+/// sliding p50/p95 window next to them.
+pub const LATENCY_BUCKETS_US: [u64; 8] = [100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000];
+
+/// Cumulative-friendly fixed-bucket latency histogram. Kept behind its
+/// own mutex: one bucket increment per executed run.
+#[derive(Clone, Copy, Debug, Default)]
+struct Histogram {
+    /// Per-bucket (non-cumulative) counts; the last slot is `+Inf`.
+    counts: [u64; LATENCY_BUCKETS_US.len() + 1],
+    sum_us: u64,
+    total: u64,
+}
+
+impl Histogram {
+    fn record_micros(&mut self, us: u64) {
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.counts[idx] += 1;
+        self.sum_us += us;
+        self.total += 1;
+    }
 }
 
 /// Latency samples retained for percentile queries. Bounding the
@@ -83,7 +122,12 @@ impl ServiceMetrics {
             engine_iterations: AtomicU64::new(0),
             engine_local_rounds: AtomicU64::new(0),
             store_records: AtomicU64::new(0),
+            store_records_dropped: AtomicU64::new(0),
+            store_read_us: AtomicU64::new(0),
+            store_write_us: AtomicU64::new(0),
+            store_recovery_us: AtomicU64::new(0),
             latency: Mutex::new(LatencyRecorder::bounded(LATENCY_WINDOW)),
+            hist: Mutex::new(Histogram::default()),
         }
     }
 
@@ -127,6 +171,32 @@ impl ServiceMetrics {
         self.store_records.store(records, Ordering::Relaxed);
     }
 
+    /// Records how many corrupt records open-time recovery dropped —
+    /// previously only a startup log line, now a scrapeable counter so
+    /// silent data loss shows up on dashboards.
+    pub fn set_store_dropped(&self, dropped: u64) {
+        self.store_records_dropped.store(dropped, Ordering::Relaxed);
+    }
+
+    /// Wall time of the store open (log recovery walk + warm decode).
+    pub fn set_store_recovery(&self, elapsed: Duration) {
+        self.store_recovery_us
+            .store(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds one store read (verified disk-hit lookup) to the
+    /// cumulative read-time counter.
+    pub fn on_store_read(&self, elapsed: Duration) {
+        self.store_read_us
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds one store append to the cumulative write-time counter.
+    pub fn on_store_write(&self, elapsed: Duration) {
+        self.store_write_us
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
     /// A response actually reached a waiting caller — the only place
     /// `jobs_completed` advances, so waiters that cancel or time out
     /// are never counted as answered.
@@ -161,10 +231,9 @@ impl ServiceMetrics {
             .fetch_add(iterations, Ordering::Relaxed);
         self.engine_local_rounds
             .fetch_add(local_rounds, Ordering::Relaxed);
-        self.latency
-            .lock()
-            .expect("latency lock")
-            .record_micros(latency.as_micros() as u64);
+        let us = latency.as_micros() as u64;
+        self.latency.lock().expect("latency lock").record_micros(us);
+        self.hist.lock().expect("hist lock").record_micros(us);
     }
 
     /// A point-in-time view. The classification counters are copied
@@ -174,6 +243,7 @@ impl ServiceMetrics {
     /// advisory (read individually).
     pub fn snapshot(&self) -> MetricsSnapshot {
         let latency = self.latency.lock().expect("latency lock").clone();
+        let hist = *self.hist.lock().expect("hist lock");
         let c = *self.classified.lock().expect("classified lock");
         let completed = self.completed.load(Ordering::Relaxed);
         let uptime = self.started.elapsed();
@@ -186,6 +256,17 @@ impl ServiceMetrics {
             coalesced: c.coalesced,
             disk_hits: c.disk_hits,
             store_records: self.store_records.load(Ordering::Relaxed),
+            store_records_dropped: self.store_records_dropped.load(Ordering::Relaxed),
+            store_read_us: self.store_read_us.load(Ordering::Relaxed),
+            store_write_us: self.store_write_us.load(Ordering::Relaxed),
+            store_recovery_us: self.store_recovery_us.load(Ordering::Relaxed),
+            // Gauges sampled by the owner of the queue/inflight state:
+            // `Service::metrics` fills them in after this snapshot.
+            queue_depth: 0,
+            in_flight: 0,
+            latency_bucket_counts: hist.counts,
+            latency_hist_sum_us: hist.sum_us,
+            latency_hist_count: hist.total,
             skipped: self.skipped.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
@@ -233,6 +314,32 @@ pub struct MetricsSnapshot {
     /// Distinct results currently servable from the persistent store
     /// (a gauge, not a counter); 0 without a configured store.
     pub store_records: u64,
+    /// Corrupt records dropped by the store's open-time recovery scan.
+    /// Non-zero means the log was damaged and silently healed — the
+    /// dashboards should see that, not just the startup stderr.
+    pub store_records_dropped: u64,
+    /// Cumulative wall time spent reading results from the store, µs.
+    pub store_read_us: u64,
+    /// Cumulative wall time spent appending results to the store, µs.
+    pub store_write_us: u64,
+    /// Wall time of the open-time recovery scan (log walk + warm
+    /// decode), µs.
+    pub store_recovery_us: u64,
+    /// Jobs waiting in the worker-pool queue (a gauge sampled at
+    /// snapshot time).
+    pub queue_depth: u64,
+    /// Jobs currently executing or awaiting pickup in the in-flight
+    /// table (a gauge sampled at snapshot time).
+    pub in_flight: u64,
+    /// Engine-run latency counts per fixed bucket
+    /// ([`LATENCY_BUCKETS_US`]); the last slot is the `+Inf` overflow.
+    /// Non-cumulative; the Prometheus rendering accumulates.
+    pub latency_bucket_counts: [u64; LATENCY_BUCKETS_US.len() + 1],
+    /// Sum of all engine-run latencies ever recorded, µs (unlike the
+    /// windowed mean, this never forgets).
+    pub latency_hist_sum_us: u64,
+    /// Engine runs recorded into the histogram.
+    pub latency_hist_count: u64,
     /// Scheduled runs skipped because every waiter left (cancelled or
     /// timed out) before the run started.
     pub skipped: u64,
@@ -270,14 +377,23 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// One-line JSON rendering (keys stable, no external dependency).
     pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .latency_bucket_counts
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
         format!(
             concat!(
                 "{{\"jobs_submitted\":{},\"jobs_completed\":{},",
                 "\"cache_hits\":{},\"cache_misses\":{},\"coalesced\":{},",
-                "\"disk_hits\":{},\"store_records\":{},",
+                "\"disk_hits\":{},\"store_records\":{},\"store_records_dropped\":{},",
                 "\"skipped\":{},\"aborted\":{},\"cancelled\":{},\"timed_out\":{},\"invalid\":{},",
                 "\"cache_hit_rate\":{:.6},\"throughput_jobs_per_sec\":{:.3},",
                 "\"p50_latency_us\":{},\"p95_latency_us\":{},\"mean_latency_us\":{:.1},",
+                "\"latency_bucket_counts\":[{}],\"latency_hist_sum_us\":{},",
+                "\"latency_hist_count\":{},",
+                "\"queue_depth\":{},\"in_flight\":{},",
+                "\"store_read_us\":{},\"store_write_us\":{},\"store_recovery_us\":{},",
                 "\"engine_iterations\":{},\"engine_local_rounds\":{},",
                 "\"uptime_secs\":{:.3}}}"
             ),
@@ -288,6 +404,7 @@ impl MetricsSnapshot {
             self.coalesced,
             self.disk_hits,
             self.store_records,
+            self.store_records_dropped,
             self.skipped,
             self.aborted,
             self.cancelled,
@@ -298,11 +415,250 @@ impl MetricsSnapshot {
             self.p50_latency_us,
             self.p95_latency_us,
             self.mean_latency_us,
+            buckets.join(","),
+            self.latency_hist_sum_us,
+            self.latency_hist_count,
+            self.queue_depth,
+            self.in_flight,
+            self.store_read_us,
+            self.store_write_us,
+            self.store_recovery_us,
             self.engine_iterations,
             self.engine_local_rounds,
             self.uptime.as_secs_f64(),
         )
     }
+
+    /// Prometheus text exposition (format version 0.0.4).
+    ///
+    /// The rendering is a pure function of the snapshot — metric
+    /// order, label order, and number formatting are all fixed — so a
+    /// fixed metrics state always serializes to the same bytes
+    /// (scrapers and the golden test both rely on that).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut metric = |name: &str, kind: &str, help: &str, samples: &[(String, String)]| {
+            out.push_str("# HELP spanner_");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(help);
+            out.push_str("\n# TYPE spanner_");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(kind);
+            out.push('\n');
+            for (labels, value) in samples {
+                out.push_str("spanner_");
+                out.push_str(name);
+                out.push_str(labels);
+                out.push(' ');
+                out.push_str(value);
+                out.push('\n');
+            }
+        };
+        let plain = |v: u64| vec![(String::new(), v.to_string())];
+        let secs6 = |us: u64| format!("{:.6}", us as f64 / 1e6);
+
+        metric(
+            "build_info",
+            "gauge",
+            "Constant 1, labeled with the serving crate and version.",
+            &[(
+                format!(
+                    "{{crate=\"{}\",version=\"{}\"}}",
+                    escape_label_value("dsa-service"),
+                    escape_label_value(env!("CARGO_PKG_VERSION")),
+                ),
+                "1".to_string(),
+            )],
+        );
+        metric(
+            "jobs_total",
+            "counter",
+            "Jobs accepted by the service (invalid specs excluded).",
+            &plain(self.jobs_submitted),
+        );
+        metric(
+            "jobs_by_class_total",
+            "counter",
+            "Accepted jobs by cache classification; the classes sum to spanner_jobs_total.",
+            &[
+                (
+                    "{class=\"cache_hit\"}".to_string(),
+                    self.cache_hits.to_string(),
+                ),
+                (
+                    "{class=\"cache_miss\"}".to_string(),
+                    self.cache_misses.to_string(),
+                ),
+                (
+                    "{class=\"coalesced\"}".to_string(),
+                    self.coalesced.to_string(),
+                ),
+            ],
+        );
+        metric(
+            "disk_hits_total",
+            "counter",
+            "Cache hits served from the persistent store (subset of class cache_hit).",
+            &plain(self.disk_hits),
+        );
+        metric(
+            "jobs_completed_total",
+            "counter",
+            "Responses delivered to waiting callers.",
+            &plain(self.jobs_completed),
+        );
+        metric(
+            "jobs_skipped_total",
+            "counter",
+            "Scheduled runs skipped because every waiter left first.",
+            &plain(self.skipped),
+        );
+        metric(
+            "jobs_aborted_total",
+            "counter",
+            "Started engine runs abandoned mid-flight after every waiter cancelled.",
+            &plain(self.aborted),
+        );
+        metric(
+            "jobs_cancelled_total",
+            "counter",
+            "Handle cancellations.",
+            &plain(self.cancelled),
+        );
+        metric(
+            "jobs_timed_out_total",
+            "counter",
+            "Waits that hit their deadline.",
+            &plain(self.timed_out),
+        );
+        metric(
+            "jobs_invalid_total",
+            "counter",
+            "Specs rejected by validation.",
+            &plain(self.invalid),
+        );
+        metric(
+            "cache_hit_ratio",
+            "gauge",
+            "cache_hits / (cache_hits + cache_misses).",
+            &[(String::new(), format!("{:.6}", self.cache_hit_rate))],
+        );
+        metric(
+            "queue_depth",
+            "gauge",
+            "Jobs waiting in the worker-pool queue.",
+            &plain(self.queue_depth),
+        );
+        metric(
+            "inflight_jobs",
+            "gauge",
+            "Jobs executing or awaiting pickup in the in-flight table.",
+            &plain(self.in_flight),
+        );
+        metric(
+            "store_records",
+            "gauge",
+            "Distinct results currently servable from the persistent store.",
+            &plain(self.store_records),
+        );
+        metric(
+            "store_records_dropped_total",
+            "counter",
+            "Corrupt records dropped by the store's open-time recovery.",
+            &plain(self.store_records_dropped),
+        );
+        metric(
+            "store_read_seconds_total",
+            "counter",
+            "Cumulative wall time reading results from the store.",
+            &[(String::new(), secs6(self.store_read_us))],
+        );
+        metric(
+            "store_write_seconds_total",
+            "counter",
+            "Cumulative wall time appending results to the store.",
+            &[(String::new(), secs6(self.store_write_us))],
+        );
+        metric(
+            "store_recovery_seconds_total",
+            "counter",
+            "Wall time of the store's open-time recovery scan.",
+            &[(String::new(), secs6(self.store_recovery_us))],
+        );
+        metric(
+            "engine_iterations_total",
+            "counter",
+            "Engine iterations across executed runs.",
+            &plain(self.engine_iterations),
+        );
+        metric(
+            "engine_local_rounds_total",
+            "counter",
+            "LOCAL rounds across executed runs.",
+            &plain(self.engine_local_rounds),
+        );
+
+        // Histogram: cumulative buckets over the fixed bounds, then
+        // +Inf, _sum, and _count — the standard exposition shape.
+        let mut hist_samples: Vec<(String, String)> = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.latency_bucket_counts[i];
+            hist_samples.push((
+                format!("_bucket{{le=\"{}\"}}", bound as f64 / 1e6),
+                cumulative.to_string(),
+            ));
+        }
+        hist_samples.push((
+            "_bucket{le=\"+Inf\"}".to_string(),
+            self.latency_hist_count.to_string(),
+        ));
+        hist_samples.push(("_sum".to_string(), secs6(self.latency_hist_sum_us)));
+        hist_samples.push(("_count".to_string(), self.latency_hist_count.to_string()));
+        metric(
+            "engine_run_seconds",
+            "histogram",
+            "Engine-run latency over fixed buckets (cache hits excluded).",
+            &hist_samples,
+        );
+
+        metric(
+            "engine_run_p50_seconds",
+            "gauge",
+            "Median engine-run latency over the recent window.",
+            &[(String::new(), secs6(self.p50_latency_us))],
+        );
+        metric(
+            "engine_run_p95_seconds",
+            "gauge",
+            "95th-percentile engine-run latency over the recent window.",
+            &[(String::new(), secs6(self.p95_latency_us))],
+        );
+        metric(
+            "uptime_seconds",
+            "gauge",
+            "Time since the service started.",
+            &[(String::new(), format!("{:.3}", self.uptime.as_secs_f64()))],
+        );
+        out
+    }
+}
+
+/// Escapes a Prometheus label value: backslash, double quote, and
+/// newline must be backslash-escaped per the text exposition format.
+pub(crate) fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -385,5 +741,130 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"cache_hit_rate\":0.000000"));
         assert!(json.contains("\"jobs_submitted\":0"));
+    }
+
+    #[test]
+    fn label_values_escape_per_exposition_format() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+    }
+
+    #[test]
+    fn latency_histogram_buckets_count_correctly() {
+        let m = ServiceMetrics::new();
+        // One sample inside the first bucket, one on a bucket boundary
+        // (le is inclusive), one past every bound (the +Inf slot).
+        m.on_executed(1, 1, Duration::from_micros(50));
+        m.on_executed(1, 1, Duration::from_micros(500));
+        m.on_executed(1, 1, Duration::from_micros(900_000));
+        let s = m.snapshot();
+        assert_eq!(s.latency_hist_count, 3);
+        assert_eq!(s.latency_hist_sum_us, 50 + 500 + 900_000);
+        assert_eq!(s.latency_bucket_counts[0], 1, "50us <= 100us");
+        assert_eq!(
+            s.latency_bucket_counts[1], 1,
+            "500us lands ON the 500us bound"
+        );
+        assert_eq!(
+            s.latency_bucket_counts[LATENCY_BUCKETS_US.len()],
+            1,
+            "900ms overflows to +Inf"
+        );
+        assert_eq!(s.latency_bucket_counts.iter().sum::<u64>(), 3);
+    }
+
+    /// The golden-format test: structure, ordering, escaping, and
+    /// byte-determinism of the Prometheus exposition.
+    #[test]
+    fn prometheus_exposition_is_wellformed_and_deterministic() {
+        let m = ServiceMetrics::new();
+        m.on_cache_miss();
+        m.on_executed(10, 70, Duration::from_micros(1_000));
+        m.on_cache_hit();
+        m.on_coalesced();
+        m.on_delivered();
+        m.set_store_records(1);
+        m.set_store_dropped(2);
+        let mut snap = m.snapshot();
+        // Pin the wall-clock-dependent fields so repeated renderings
+        // must agree byte-for-byte.
+        snap.uptime = Duration::from_millis(1_500);
+        snap.throughput_jobs_per_sec = 0.0;
+        let text = snap.to_prometheus();
+        assert_eq!(
+            text,
+            snap.to_prometheus(),
+            "exposition must be deterministic"
+        );
+
+        // Every sample line's metric has HELP and TYPE lines, and they
+        // precede it.
+        for line in text.lines() {
+            assert!(!line.is_empty());
+            if line.starts_with('#') {
+                continue;
+            }
+            let name = line
+                .split(['{', ' '])
+                .next()
+                .unwrap()
+                .trim_end_matches("_bucket")
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count");
+            let help_at = text.find(&format!("# HELP {name} "));
+            let type_at = text.find(&format!("# TYPE {name} "));
+            let sample_at = text.find(line).unwrap();
+            assert!(
+                help_at.is_some_and(|h| h < sample_at),
+                "no HELP before {line}"
+            );
+            assert!(
+                type_at.is_some_and(|t| t < sample_at),
+                "no TYPE before {line}"
+            );
+        }
+
+        // Fixed emission order: jobs total before class split, class
+        // labels in hit/miss/coalesced order, histogram before p50.
+        let pos = |needle: &str| {
+            text.find(needle)
+                .unwrap_or_else(|| panic!("missing {needle}"))
+        };
+        assert!(pos("spanner_jobs_total ") < pos("class=\"cache_hit\""));
+        assert!(pos("class=\"cache_hit\"") < pos("class=\"cache_miss\""));
+        assert!(pos("class=\"cache_miss\"") < pos("class=\"coalesced\""));
+        assert!(pos("spanner_engine_run_seconds_bucket") < pos("spanner_engine_run_p50_seconds"));
+        assert!(text.contains("spanner_store_records_dropped_total 2\n"));
+        assert!(text.contains("le=\"+Inf\""));
+
+        // The class series sum back to the total — the same invariant
+        // the JSON body guarantees.
+        let value = |prefix: &str| -> u64 {
+            text.lines()
+                .find(|l| l.starts_with(prefix))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("no sample for {prefix}"))
+        };
+        let class_sum: u64 = ["cache_hit", "cache_miss", "coalesced"]
+            .iter()
+            .map(|c| value(&format!("spanner_jobs_by_class_total{{class=\"{c}\"}}")))
+            .sum();
+        assert_eq!(value("spanner_jobs_total "), class_sum);
+
+        // Histogram buckets are cumulative and end at the count.
+        let bucket_values: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("spanner_engine_run_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(bucket_values.len(), LATENCY_BUCKETS_US.len() + 1);
+        assert!(bucket_values.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(
+            *bucket_values.last().unwrap(),
+            value("spanner_engine_run_seconds_count")
+        );
     }
 }

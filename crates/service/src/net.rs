@@ -111,15 +111,27 @@ fn accept_loop<F>(
                         // accept error: shed this connection (the
                         // stream was moved into the failed spawn and
                         // is already closed), back off, keep listening.
-                        Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                        Err(e) => {
+                            dsa_runtime::obs::warn(
+                                conn_name,
+                                "connection shed: thread spawn failed",
+                                &[("error", &e)],
+                            );
+                            std::thread::sleep(Duration::from_millis(50));
+                        }
                     }
                 }
-                Err(_) => {
+                Err(e) => {
                     // Accept errors (aborted handshakes, EINTR, fd
                     // exhaustion under load) are transient for a
                     // daemon: back off briefly and keep listening.
                     // Shutdown is signalled through `stop`, never
                     // through an error.
+                    dsa_runtime::obs::debug(
+                        conn_name,
+                        "transient accept error; backing off",
+                        &[("error", &e)],
+                    );
                     std::thread::sleep(Duration::from_millis(50));
                 }
             }

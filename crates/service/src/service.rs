@@ -60,8 +60,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use dsa_core::dist::{run_variant, EngineConfig, SpannerRun, VariantInstance, VariantKind};
+use dsa_core::dist::{run_variant_timed, EngineConfig, SpannerRun, VariantInstance, VariantKind};
 use dsa_graphs::EdgeId;
+use dsa_runtime::obs;
+use dsa_runtime::FlightRecorder;
 
 use crate::cache::LruCache;
 use crate::job::{canonicalize_job, JobError, JobResponse, JobSpec};
@@ -172,6 +174,10 @@ struct Shared {
     store: Option<Mutex<Store>>,
     inflight: Mutex<HashMap<u64, Arc<Inflight>>>,
     metrics: ServiceMetrics,
+    /// Lifecycle span/event ring: every submission gets a trace id and
+    /// leaves a submitted → classified → executed → delivered trail
+    /// here, exportable as JSONL (`spanner-serve --trace-dir`).
+    flight: FlightRecorder,
 }
 
 /// The in-process spanner-serving subsystem. See the module docs for
@@ -213,14 +219,18 @@ impl Service {
         let store = match &cfg.cache_dir {
             None => None,
             Some(dir) => {
+                let t_recovery = Instant::now();
                 let mut store = Store::open(dir)?;
                 if store.dropped() > 0 {
-                    eprintln!(
-                        "dsa-service store: dropped {} corrupt record(s) recovering {}",
-                        store.dropped(),
-                        dir.display()
+                    let dropped = store.dropped();
+                    let dir = dir.display();
+                    obs::warn(
+                        "dsa-service",
+                        "store recovery dropped corrupt records",
+                        &[("dropped", &dropped), ("dir", &dir)],
                     );
                 }
+                metrics.set_store_dropped(store.dropped());
                 // Warm start: replay the most recent records into the
                 // LRU (oldest first, so recency matches log order).
                 for record in store.warm_records(cfg.cache_capacity) {
@@ -234,6 +244,7 @@ impl Service {
                     );
                 }
                 metrics.set_store_records(store.records());
+                metrics.set_store_recovery(t_recovery.elapsed());
                 Some(Mutex::new(store))
             }
         };
@@ -243,6 +254,7 @@ impl Service {
                 store,
                 inflight: Mutex::new(HashMap::new()),
                 metrics,
+                flight: FlightRecorder::new(obs::DEFAULT_FLIGHT_CAPACITY),
             }),
             default_timeout: cfg.default_timeout,
             engine_shards: cfg.engine_shards,
@@ -261,12 +273,22 @@ impl Service {
             }
         };
         let kind = job.instance.kind();
+        let trace_id = obs::next_trace_id();
+        self.shared.flight.event(
+            trace_id,
+            "job.submitted",
+            vec![
+                ("key".to_string(), format!("{:016x}", job.key)),
+                ("kind".to_string(), kind.to_string()),
+            ],
+        );
         let handle_base = |source| JobHandle {
             key: job.key,
             kind,
             from_canonical: job.from_canonical.clone(),
             timeout: spec.timeout.or(self.default_timeout),
             shared: Arc::clone(&self.shared),
+            trace_id,
             source,
         };
 
@@ -282,6 +304,7 @@ impl Service {
         if let Some(v) = cache.get(job.key) {
             if v.instance == job.instance && v.config_sig == sig {
                 self.shared.metrics.on_cache_hit();
+                self.shared.flight.event(trace_id, "job.cache_hit", vec![]);
                 return Ok(handle_base(HandleSource::Ready(Arc::clone(&v.run))));
             }
             // Collision: fall through and recompute; the completion
@@ -298,8 +321,11 @@ impl Service {
         if let Some(store) = &self.shared.store {
             let mut store = store.lock().expect("store lock");
             let hit = if store.contains(job.key) {
+                let t_read = Instant::now();
                 let verification = verification_bytes(&job.instance, &job.config);
-                store.get(job.key, &verification)
+                let hit = store.get(job.key, &verification);
+                self.shared.metrics.on_store_read(t_read.elapsed());
+                hit
             } else {
                 None
             };
@@ -315,6 +341,7 @@ impl Service {
                     },
                 );
                 self.shared.metrics.on_disk_hit();
+                self.shared.flight.event(trace_id, "job.disk_hit", vec![]);
                 return Ok(handle_base(HandleSource::Ready(run)));
             }
         }
@@ -331,6 +358,7 @@ impl Service {
                 if !entry.abort.load(Ordering::SeqCst) {
                     entry.waiters.fetch_add(1, Ordering::SeqCst);
                     self.shared.metrics.on_coalesced();
+                    self.shared.flight.event(trace_id, "job.coalesced", vec![]);
                     return Ok(handle_base(HandleSource::Waiting(entry)));
                 }
             } else {
@@ -349,6 +377,7 @@ impl Service {
             inflight.insert(job.key, Arc::clone(&entry));
         }
         self.shared.metrics.on_cache_miss();
+        self.shared.flight.event(trace_id, "job.queued", vec![]);
         drop(inflight);
         drop(cache);
 
@@ -396,11 +425,13 @@ impl Service {
                     drop(state);
                     entry.done.notify_all();
                     shared.metrics.on_skipped();
+                    shared.flight.event(trace_id, "job.skipped", vec![]);
                     return;
                 }
             }
             let t0 = Instant::now();
-            let run = Arc::new(run_variant(&entry.instance, &config));
+            let (run, phases) = run_variant_timed(&entry.instance, &config);
+            let run = Arc::new(run);
             if run.cancelled {
                 // Mid-flight abort: every waiter is gone (the flag is
                 // only raised by the last cancel), and the partial
@@ -413,11 +444,28 @@ impl Service {
                 drop(state);
                 entry.done.notify_all();
                 shared.metrics.on_aborted();
+                shared.flight.event(trace_id, "job.aborted", vec![]);
                 return;
             }
+            let elapsed = t0.elapsed();
             shared
                 .metrics
-                .on_executed(run.iterations, run.local_rounds(), t0.elapsed());
+                .on_executed(run.iterations, run.local_rounds(), elapsed);
+            shared.flight.span(
+                trace_id,
+                "engine.run",
+                elapsed,
+                vec![
+                    ("iterations".to_string(), run.iterations.to_string()),
+                    ("step1_us".to_string(), phases.step1.as_micros().to_string()),
+                    ("step3_us".to_string(), phases.step3.as_micros().to_string()),
+                    ("step4_us".to_string(), phases.step4.as_micros().to_string()),
+                    (
+                        "coverage_us".to_string(),
+                        phases.coverage.as_micros().to_string(),
+                    ),
+                ],
+            );
             // Same lock order as classification: publish to the cache
             // *before* retiring the in-flight entry.
             let mut cache = shared.cache.lock().expect("cache lock");
@@ -440,10 +488,12 @@ impl Service {
             // this window recomputes once; duplicate work, never
             // wrong bytes.)
             if let Some(store) = &shared.store {
+                let t_write = Instant::now();
                 let verification = verification_bytes(&entry.instance, &config);
                 let mut store = store.lock().expect("store lock");
                 store.append(key, &verification, &run);
                 shared.metrics.set_store_records(store.records());
+                shared.metrics.on_store_write(t_write.elapsed());
             }
             let mut state = entry.state.lock().expect("inflight state");
             state.result = Some(run);
@@ -458,9 +508,19 @@ impl Service {
         self.submit(spec)?.wait()
     }
 
-    /// A point-in-time view of the service counters.
+    /// A point-in-time view of the service counters, with the queue
+    /// and in-flight gauges sampled at the same moment.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        let mut snapshot = self.shared.metrics.snapshot();
+        snapshot.queue_depth = self.pool.queued() as u64;
+        snapshot.in_flight = self.shared.inflight.lock().expect("inflight lock").len() as u64;
+        snapshot
+    }
+
+    /// The service's lifecycle span/event ring (`spanner-serve
+    /// --trace-dir` drains it to JSONL).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.shared.flight
     }
 
     /// Entries currently in the result cache.
@@ -492,6 +552,7 @@ pub struct JobHandle {
     from_canonical: Vec<EdgeId>,
     timeout: Option<Duration>,
     shared: Arc<Shared>,
+    trace_id: u64,
     source: HandleSource,
 }
 
@@ -532,6 +593,9 @@ impl JobHandle {
                             if now >= d {
                                 entry.waiters.fetch_sub(1, Ordering::SeqCst);
                                 self.shared.metrics.on_timed_out();
+                                self.shared
+                                    .flight
+                                    .event(self.trace_id, "job.timed_out", vec![]);
                                 return Err(JobError::TimedOut);
                             }
                             let (s, _) = entry
@@ -545,6 +609,9 @@ impl JobHandle {
             }
         };
         self.shared.metrics.on_delivered();
+        self.shared
+            .flight
+            .event(self.trace_id, "job.delivered", vec![]);
         Ok(JobResponse::from_run(
             self.key,
             self.kind,
@@ -569,6 +636,9 @@ impl JobHandle {
             }
         }
         self.shared.metrics.on_cancelled();
+        self.shared
+            .flight
+            .event(self.trace_id, "job.cancelled", vec![]);
     }
 }
 

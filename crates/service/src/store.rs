@@ -327,9 +327,11 @@ impl Store {
                 self.end += frame.len() as u64;
             }
             Err(e) => {
-                eprintln!(
-                    "dsa-service store: append to {} failed ({e}); result not persisted",
-                    self.path.display()
+                let path = self.path.display();
+                dsa_runtime::obs::error(
+                    "dsa-service",
+                    "store append failed; result not persisted",
+                    &[("path", &path), ("error", &e)],
                 );
                 // Best effort: drop any partial frame.
                 let _ = self.file.set_len(self.end);
@@ -496,6 +498,9 @@ fn decode_run(bytes: &[u8]) -> Option<SpannerRun> {
         cancelled: false,
         star_fallbacks,
         stats,
+        // Timing traces are observational and never persisted; a
+        // decoded run is identical to a fresh untraced run.
+        trace: None,
     })
 }
 

@@ -180,6 +180,115 @@ fn metrics_route_serves_a_coherent_snapshot() {
     );
     assert!(parsed.get("p50_latency_us").is_some());
     assert!(parsed.get("p95_latency_us").is_some());
+    assert!(parsed.get("latency_hist_count").is_some());
+    assert!(parsed.get("queue_depth").is_some());
+    assert!(parsed.get("store_records_dropped").is_some());
+}
+
+/// Parses the `spanner_jobs_total` sample and the sum of the
+/// `spanner_jobs_by_class_total` series out of a text exposition.
+fn prometheus_jobs_and_class_sum(text: &str) -> (u64, u64) {
+    let sample = |line: &str| -> u64 { line.rsplit(' ').next().unwrap().parse().unwrap() };
+    let mut jobs = None;
+    let mut class_sum = 0;
+    for line in text.lines() {
+        if line.starts_with("spanner_jobs_total ") {
+            jobs = Some(sample(line));
+        } else if line.starts_with("spanner_jobs_by_class_total{") {
+            class_sum += sample(line);
+        }
+    }
+    (jobs.expect("spanner_jobs_total sample"), class_sum)
+}
+
+#[test]
+fn prometheus_format_negotiation_and_content_type() {
+    let server = start_server();
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+    client.run(&undirected_spec(16, 0.3, 1, 1)).expect("run");
+    client.run(&undirected_spec(16, 0.3, 1, 1)).expect("rerun");
+
+    // The text exposition is served with the Prometheus content type.
+    let (status, head, body) = raw_roundtrip(
+        server.addr(),
+        b"GET /v1/metrics?format=prometheus HTTP/1.1\r\nHost: x\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("Content-Type: text/plain; version=0.0.4"),
+        "head: {head}"
+    );
+    let text = String::from_utf8(body).expect("exposition utf8");
+    assert!(
+        text.starts_with("# HELP "),
+        "starts: {:?}",
+        text.lines().next()
+    );
+    let (jobs, class_sum) = prometheus_jobs_and_class_sum(&text);
+    assert_eq!(jobs, 2);
+    assert_eq!(jobs, class_sum, "scraped snapshot violates the invariant");
+
+    // `format=json` and no query both answer JSON.
+    for path in ["/v1/metrics", "/v1/metrics?format=json"] {
+        let (status, body) = client.request("GET", path, None).expect("json metrics");
+        assert_eq!(status, 200);
+        assert!(Json::parse(std::str::from_utf8(&body).unwrap()).is_ok());
+    }
+    // Anything else is a 400, not a silent fallback.
+    let (status, _) = client
+        .request("GET", "/v1/metrics?format=xml", None)
+        .expect("bad format");
+    assert_eq!(status, 400);
+}
+
+#[test]
+fn concurrent_prometheus_scrapes_under_load_stay_coherent() {
+    // The hammer test: writers push a mix of fresh and duplicate jobs
+    // through the facade while scrapers pull both metric formats.
+    // Every scraped snapshot — JSON and Prometheus alike — must
+    // satisfy `jobs = hits + misses + coalesced`, mid-load included.
+    let server = start_server();
+    let addr = server.addr();
+    std::thread::scope(|scope| {
+        for w in 0..3u64 {
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("writer connect");
+                for i in 0..6u64 {
+                    // Seed reuse across writers makes cache hits and
+                    // coalesced submissions likely, not just misses.
+                    let spec = undirected_spec(14, 0.3, i % 3, w % 2);
+                    client.run(&spec).expect("writer run");
+                }
+            });
+        }
+        for _ in 0..2 {
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("scraper connect");
+                for _ in 0..10 {
+                    let json = client.metrics_json().expect("scrape json");
+                    let parsed = Json::parse(&json).expect("metrics json");
+                    let field = |k: &str| parsed.get(k).and_then(Json::as_u64).expect(k);
+                    assert_eq!(
+                        field("jobs_submitted"),
+                        field("cache_hits") + field("cache_misses") + field("coalesced"),
+                        "JSON snapshot violated the invariant mid-load"
+                    );
+                    let text = client.metrics_prometheus().expect("scrape prometheus");
+                    let (jobs, class_sum) = prometheus_jobs_and_class_sum(&text);
+                    assert_eq!(
+                        jobs, class_sum,
+                        "Prometheus snapshot violated the invariant mid-load"
+                    );
+                }
+            });
+        }
+    });
+    let m = server.service().metrics();
+    assert_eq!(m.jobs_submitted, 18);
+    assert_eq!(
+        m.jobs_submitted,
+        m.cache_hits + m.cache_misses + m.coalesced
+    );
 }
 
 #[test]

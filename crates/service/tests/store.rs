@@ -174,6 +174,46 @@ fn flipped_byte_skips_the_bad_record_not_the_startup() {
 }
 
 #[test]
+fn dropped_records_are_counted_and_exported() {
+    // Regression test for the `store_records_dropped` metric: a
+    // corrupted cache dir must surface the drop count through
+    // `Service::metrics`, the JSON body of `GET /v1/metrics`, and the
+    // Prometheus exposition — not just a log line.
+    let dir = store_dir("dropcount");
+    let specs = four_variant_specs(11);
+    let (_, _) = serve_all(&dir, 256, &specs);
+    let path = log_path(&dir);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x5a;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let service = std::sync::Arc::new(Service::new(&persistent_cfg(&dir)));
+    let m = service.metrics();
+    assert!(
+        m.store_records_dropped >= 1,
+        "recovery dropped a corrupt record but the counter reads 0"
+    );
+    let http =
+        dsa_service::HttpServer::with_service("127.0.0.1:0", std::sync::Arc::clone(&service))
+            .expect("bind http");
+    let mut client = dsa_service::HttpClient::connect(http.addr()).expect("connect");
+    let parsed = dsa_runtime::json::Json::parse(&client.metrics_json().expect("metrics"))
+        .expect("metrics json");
+    let dropped = parsed
+        .get("store_records_dropped")
+        .and_then(dsa_runtime::json::Json::as_u64)
+        .expect("store_records_dropped field");
+    assert_eq!(dropped, m.store_records_dropped);
+    let text = client.metrics_prometheus().expect("prometheus");
+    assert!(
+        text.contains(&format!("spanner_store_records_dropped_total {dropped}")),
+        "exposition missing the dropped-records sample"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn garbage_header_starts_fresh_without_failing() {
     let dir = store_dir("header");
     let specs = four_variant_specs(9);
