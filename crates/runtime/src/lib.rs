@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 
 mod codec;
+pub mod fault;
 mod fragment;
 pub mod json;
 mod metrics;
@@ -74,6 +75,7 @@ pub mod obs;
 mod simulator;
 
 pub use codec::{WordReader, WordWriter};
+pub use fault::{FaultInjector, FaultPlan};
 pub use fragment::{Fragmented, FragmentedNode};
 pub use metrics::{LatencyRecorder, Metrics};
 pub use network::Network;

@@ -7,7 +7,15 @@
 //!             [--input FILE|-] [--clients "IDS"] [--servers "IDS"]
 //!             [--timeout-ms N] [--accept-denominator N]
 //!             [--shards N] [--no-monotone] [--no-rounding] [--ids]
+//!             [--retries N] [--retry-base-ms MS]
 //! ```
+//!
+//! `--retries N` retries a `run` up to `N` times when the server sheds
+//! it (HTTP 429 / wire `busy`, honoring the server's retry hint),
+//! cancels it, or drops the connection — with capped jittered
+//! exponential backoff starting at `--retry-base-ms MS` (default 50).
+//! Safe to use blindly: a job response is a pure function of the spec,
+//! so a retried submission can only return the same bytes.
 //!
 //! `--http` speaks the HTTP/JSON facade instead of the TCP wire
 //! protocol — `run` becomes `POST /v1/jobs`, `stats` becomes
@@ -38,14 +46,15 @@ use std::time::Duration;
 use dsa_core::dist::{VariantInstance, VariantKind};
 use dsa_graphs::io as gio;
 use dsa_graphs::EdgeSet;
-use dsa_service::{Client, HttpClient, JobError, JobResponse, JobSpec};
+use dsa_service::{Client, HttpClient, JobError, JobResponse, JobSpec, RetryPolicy};
 
 const USAGE: &str =
     "usage: spanner-cli [--addr HOST:PORT] [--http] [--log-level LEVEL] <ping|stats|run> [run options]\n\
      run options: --variant <undirected|directed|weighted|client-server> --seed N\n\
      \x20            [--input FILE|-] [--clients \"IDS\"] [--servers \"IDS\"]\n\
      \x20            [--timeout-ms N] [--accept-denominator N] [--shards N]\n\
-     \x20            [--no-monotone] [--no-rounding] [--ids]";
+     \x20            [--no-monotone] [--no-rounding] [--ids]\n\
+     \x20            [--retries N] [--retry-base-ms MS]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -75,6 +84,8 @@ struct RunArgs {
     monotone: bool,
     rounding: bool,
     print_ids: bool,
+    retries: u32,
+    retry_base_ms: u64,
 }
 
 /// The transport behind every CLI command: the TCP wire protocol or
@@ -86,10 +97,16 @@ enum Transport {
 }
 
 impl Transport {
-    fn run(&mut self, spec: &JobSpec) -> Result<JobResponse, JobError> {
-        match self {
-            Transport::Tcp(c) => c.run(spec),
-            Transport::Http(c) => c.run(spec),
+    fn run(
+        &mut self,
+        spec: &JobSpec,
+        policy: Option<&RetryPolicy>,
+    ) -> Result<JobResponse, JobError> {
+        match (self, policy) {
+            (Transport::Tcp(c), None) => c.run(spec),
+            (Transport::Tcp(c), Some(p)) => c.run_with_retry(spec, p),
+            (Transport::Http(c), None) => c.run(spec),
+            (Transport::Http(c), Some(p)) => c.run_with_retry(spec, p),
         }
     }
 
@@ -206,9 +223,16 @@ fn run_command(args: &[String], connect: impl FnOnce() -> Transport) -> ExitCode
     spec.config.round_densities = args.rounding;
     spec.timeout = args.timeout_ms.map(Duration::from_millis);
 
+    let policy = (args.retries > 0).then(|| RetryPolicy {
+        base: Duration::from_millis(args.retry_base_ms),
+        // Jitter from the job seed: concurrent CLI invocations across
+        // a fleet naturally de-synchronize, one invocation replays.
+        seed,
+        ..RetryPolicy::new(args.retries)
+    });
     let mut client = connect();
     let resp = client
-        .run(&spec)
+        .run(&spec, policy.as_ref())
         .unwrap_or_else(|e| fail(&format!("run: {e}")));
     println!(
         "variant {} key {:016x} converged {} iterations {} local-rounds {} spanner {} edges",
@@ -252,6 +276,8 @@ fn parse_run_args(args: &[String]) -> RunArgs {
         monotone: true,
         rounding: true,
         print_ids: false,
+        retries: 0,
+        retry_base_ms: 50,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -285,6 +311,10 @@ fn parse_run_args(args: &[String]) -> RunArgs {
             "--no-monotone" => out.monotone = false,
             "--no-rounding" => out.rounding = false,
             "--ids" => out.print_ids = true,
+            "--retries" => out.retries = parse_num(&value("--retries"), "--retries") as u32,
+            "--retry-base-ms" => {
+                out.retry_base_ms = parse_num(&value("--retry-base-ms"), "--retry-base-ms")
+            }
             other => fail(&format!("unknown run option {other}")),
         }
     }

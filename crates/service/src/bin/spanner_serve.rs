@@ -5,7 +5,8 @@
 //! spanner-serve [--addr HOST:PORT] [--http-port PORT] [--workers N]
 //!               [--queue N] [--cache N] [--shards N] [--cache-dir DIR]
 //!               [--log-level LEVEL] [--trace-dir DIR]
-//!               [--self-check [--http]]
+//!               [--drain-timeout SECS] [--fault-plan PLAN]
+//!               [--self-check [--http | --chaos]]
 //! ```
 //!
 //! `--log-level LEVEL` (error/warn/info/debug/trace, default `info`)
@@ -38,7 +39,22 @@
 //! Without `--self-check` the process binds the address (default
 //! `127.0.0.1:7071`, port 0 for ephemeral), prints one
 //! `listening <addr>` line (plus `http listening <addr>` with
-//! `--http-port`), and serves until killed. With `--self-check` it
+//! `--http-port`), and serves until it receives SIGTERM or SIGINT —
+//! then it **drains gracefully**: stops accepting, lets in-flight
+//! requests finish (bounded by `--drain-timeout SECS`, default 10),
+//! flushes the trace file, and exits 0. A drain that does not finish
+//! inside the bound exits 1 so supervisors can tell abandonment from
+//! a clean stop.
+//!
+//! `--fault-plan PLAN` arms the deterministic fault injector
+//! ([`dsa_runtime::fault`]) with a seeded plan such as
+//! `seed=42;store.append.err=0.5;engine.latency_ms=5@0.25;conn.drop=0.1`.
+//! Injection can delay or abort engine runs, fail store I/O (demoting
+//! the service to memory-only caching, `store_degraded` in metrics),
+//! and drop connections mid-response — it can never change response
+//! bytes.
+//!
+//! With `--self-check` it
 //! binds ephemeral ports, drives all four variants plus a duplicate
 //! through a loopback client, asserts the cache and the protocol
 //! behave, prints `self-check ok`, and exits — the one-shot mode CI
@@ -51,17 +67,30 @@
 //! HTTP into a store at `DIR`, shut the service down, reopen the same
 //! directory, and assert that every re-submission returns
 //! byte-identical bodies on both surfaces with `disk_hits > 0` and the
-//! metrics invariant intact.
+//! metrics invariant intact. `--self-check --chaos` runs the *chaos*
+//! flavor: compute fault-free reference responses, then hammer a
+//! deliberately tiny service (one worker, depth-1 queue) through
+//! retrying TCP and HTTP clients while a seeded fault plan injects
+//! store failures, engine aborts and latency, and mid-response
+//! connection drops — and assert that every delivered response is
+//! byte-identical to the reference, that at least one job was shed and
+//! retried to completion, that the store degraded without failing a
+//! job, and that `jobs = hits + misses + coalesced + shed` holds.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use dsa_core::dist::VariantInstance;
 use dsa_graphs::{gen, EdgeSet, Graph};
 use dsa_runtime::json::Json;
 use dsa_runtime::obs;
-use dsa_service::{Client, HttpClient, HttpServer, JobSpec, Server, Service, ServiceConfig};
+use dsa_runtime::{FaultInjector, FaultPlan};
+use dsa_service::{
+    Client, HttpClient, HttpServer, JobSpec, RetryPolicy, Server, Service, ServiceConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -71,10 +100,12 @@ struct Args {
     cfg: ServiceConfig,
     self_check: bool,
     http: bool,
+    chaos: bool,
+    drain_timeout: Duration,
     trace_dir: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: spanner-serve [--addr HOST:PORT] [--http-port PORT] [--workers N] [--queue N] [--cache N] [--shards N] [--cache-dir DIR] [--log-level LEVEL] [--trace-dir DIR] [--self-check [--http]]";
+const USAGE: &str = "usage: spanner-serve [--addr HOST:PORT] [--http-port PORT] [--workers N] [--queue N] [--cache N] [--shards N] [--cache-dir DIR] [--log-level LEVEL] [--trace-dir DIR] [--drain-timeout SECS] [--fault-plan PLAN] [--self-check [--http | --chaos]]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -97,6 +128,8 @@ fn parse_args() -> Args {
         },
         self_check: false,
         http: false,
+        chaos: false,
+        drain_timeout: Duration::from_secs(10),
         trace_dir: None,
     };
     let mut it = std::env::args().skip(1);
@@ -141,8 +174,29 @@ fn parse_args() -> Args {
                 }
             }
             "--trace-dir" => args.trace_dir = Some(value("--trace-dir").into()),
+            "--drain-timeout" => {
+                args.drain_timeout = Duration::from_secs(parse_num(
+                    &value("--drain-timeout"),
+                    "--drain-timeout",
+                ) as u64)
+            }
+            "--fault-plan" => {
+                let raw = value("--fault-plan");
+                match FaultPlan::parse(&raw) {
+                    Ok(plan) => args.cfg.fault = Some(Arc::new(FaultInjector::new(plan))),
+                    Err(e) => {
+                        obs::error(
+                            "spanner-serve",
+                            "invalid --fault-plan",
+                            &[("value", &raw), ("error", &e)],
+                        );
+                        usage()
+                    }
+                }
+            }
             "--self-check" => args.self_check = true,
             "--http" => args.http = true,
+            "--chaos" => args.chaos = true,
             "--help" | "-h" => help(),
             other => {
                 obs::error("spanner-serve", "unknown flag", &[("flag", &other)]);
@@ -154,6 +208,14 @@ fn parse_args() -> Args {
         obs::error(
             "spanner-serve",
             "--http selects the HTTP self-check; it requires --self-check (use --http-port to serve HTTP)",
+            &[],
+        );
+        usage()
+    }
+    if args.chaos && !args.self_check {
+        obs::error(
+            "spanner-serve",
+            "--chaos selects the chaos self-check; it requires --self-check (use --fault-plan to serve with injection)",
             &[],
         );
         usage()
@@ -178,11 +240,43 @@ fn http_addr_of(tcp_addr: &str, port: u16) -> String {
     format!("{host}:{port}")
 }
 
+/// Set by the SIGTERM/SIGINT handler; the serve loop polls it and
+/// starts the graceful drain when it flips.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the graceful-shutdown handler for SIGTERM and SIGINT.
+/// Declared by hand (the build is offline, no libc crate): `signal`
+/// is in every libc this binary links against.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_shutdown_signal);
+        signal(SIGINT, on_shutdown_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if args.self_check {
-        return self_check(&args.cfg, args.http, args.trace_dir.as_deref());
+        return self_check(&args.cfg, args.http, args.chaos, args.trace_dir.as_deref());
     }
+    // Handlers go in before `listening` is announced: a supervisor
+    // may SIGTERM the instant it sees the line, and that must already
+    // be a drain, not a default-action kill.
+    install_signal_handlers();
     // Open the service first (so a bad --cache-dir reports as a store
     // problem, not a bind problem), then attach the frontends to it.
     let service = match Service::open(&args.cfg) {
@@ -209,8 +303,8 @@ fn main() -> ExitCode {
     };
     println!("listening {}", server.addr());
     // With --http-port, both frontends serve the same `Service`
-    // concurrently; `_http` is kept alive for the process lifetime.
-    let _http = match args.http_port {
+    // concurrently, and both are shut down by the drain path.
+    let http_frontend = match args.http_port {
         None => None,
         Some(port) => {
             let addr = http_addr_of(&args.addr, port);
@@ -232,7 +326,9 @@ fn main() -> ExitCode {
     };
     // With --trace-dir, a background thread drains the flight recorder
     // to JSONL every 2 s; events between flushes stay in the bounded
-    // ring (oldest evicted first under pressure).
+    // ring (oldest evicted first under pressure). The drain path does
+    // one final flush to the same file.
+    let mut trace_path: Option<PathBuf> = None;
     if let Some(dir) = &args.trace_dir {
         match trace_file_in(dir) {
             Err(e) => {
@@ -241,6 +337,7 @@ fn main() -> ExitCode {
             }
             Ok(path) => {
                 println!("tracing to {}", path.display());
+                trace_path = Some(path.clone());
                 let service = server.service().clone();
                 let spawned = std::thread::Builder::new()
                     .name("spanner-trace-flush".into())
@@ -261,10 +358,44 @@ fn main() -> ExitCode {
             }
         }
     }
-    // Serve until the process is killed.
-    loop {
-        std::thread::park();
+    // Serve until SIGTERM/SIGINT, then drain: stop accepting (the
+    // listener shutdown joins connection threads, so every response
+    // already on a socket finishes), wait for queued and in-flight
+    // runs, flush the trace, exit 0. The store needs no explicit
+    // flush — every append is flushed before its job completes.
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
     }
+    let service = server.service().clone();
+    obs::info(
+        "spanner-serve",
+        "shutdown requested; draining",
+        &[("drain_timeout_s", &args.drain_timeout.as_secs())],
+    );
+    if let Some(http) = http_frontend {
+        http.shutdown();
+    }
+    server.shutdown();
+    let drained = service.drain(args.drain_timeout);
+    if let Some(path) = &trace_path {
+        if let Err(e) = append_trace(&service, path) {
+            obs::warn(
+                "spanner-serve",
+                "final trace flush failed",
+                &[("error", &e)],
+            );
+        }
+    }
+    if !drained {
+        obs::error(
+            "spanner-serve",
+            "drain timed out with work still in flight",
+            &[("drain_timeout_s", &args.drain_timeout.as_secs())],
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("drained");
+    ExitCode::SUCCESS
 }
 
 /// The per-process trace file inside `dir` (created if missing).
@@ -289,8 +420,10 @@ fn append_trace(service: &Service, path: &Path) -> Result<(), String> {
         .map_err(|e| format!("write {}: {e}", path.display()))
 }
 
-fn self_check(cfg: &ServiceConfig, http: bool, trace_dir: Option<&Path>) -> ExitCode {
-    let result = if cfg.cache_dir.is_some() {
+fn self_check(cfg: &ServiceConfig, http: bool, chaos: bool, trace_dir: Option<&Path>) -> ExitCode {
+    let result = if chaos {
+        self_check_chaos(cfg, trace_dir)
+    } else if cfg.cache_dir.is_some() {
         self_check_persistent(cfg, trace_dir)
     } else if http {
         self_check_http(cfg, trace_dir)
@@ -347,9 +480,9 @@ fn check_prometheus(text: &str) -> Result<(), String> {
         }
     }
     let jobs = jobs.ok_or("exposition is missing spanner_jobs_total")?;
-    if class_series != 3 {
+    if class_series != 4 {
         return Err(format!(
-            "expected 3 spanner_jobs_by_class_total series, found {class_series}"
+            "expected 4 spanner_jobs_by_class_total series (hit/miss/coalesced/shed), found {class_series}"
         ));
     }
     if jobs != class_sum {
@@ -742,5 +875,214 @@ fn self_check_persistent(cfg: &ServiceConfig, trace_dir: Option<&Path>) -> Resul
     export_trace(&service, trace_dir)?;
     http.shutdown();
     server.shutdown();
+    Ok(())
+}
+
+/// The default chaos plan (`--self-check --chaos` without
+/// `--fault-plan`): every fault point armed, seeded so the decision
+/// stream is reproducible run to run.
+const DEFAULT_CHAOS_PLAN: &str = "seed=7;store.append.err=0.5;store.append.short=0.3;store.read.err=0.2;engine.latency_ms=3@0.4;engine.abort=0.25;conn.drop=0.2";
+
+/// The chaos flavor (`--self-check --chaos`): fault-free reference
+/// responses first, then a deliberately tiny service (one worker,
+/// depth-1 queue, persistent store in a scratch dir) hammered through
+/// retrying TCP and HTTP clients while the seeded plan injects store
+/// failures, engine aborts/latency, and mid-response connection drops.
+/// Asserts: every delivered response is byte-identical to the
+/// reference, at least one job was shed, at least one fault fired, the
+/// store degraded to memory-only without failing a job, and
+/// `jobs = hits + misses + coalesced + shed` — scraped back out of the
+/// Prometheus exposition, not just the in-process counters.
+fn self_check_chaos(cfg: &ServiceConfig, trace_dir: Option<&Path>) -> Result<(), String> {
+    // Twelve distinct jobs: the four variants under three seeds each.
+    let specs: Vec<JobSpec> = (0..3u64)
+        .flat_map(|salt| {
+            self_check_specs().into_iter().map(move |mut spec| {
+                spec.config.seed += 10 * salt;
+                spec
+            })
+        })
+        .collect();
+
+    // Reference: a fault-free in-process service (no store, no
+    // frontends) maps each spec to its canonical response.
+    let reference_service = Service::new(&ServiceConfig {
+        fault: None,
+        cache_dir: None,
+        ..cfg.clone()
+    });
+    let mut reference = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        reference.push(
+            reference_service
+                .run(spec)
+                .map_err(|e| format!("reference {} run: {e}", spec.instance.kind()))?,
+        );
+    }
+
+    // The chaos service: user-supplied plan if one came via
+    // --fault-plan, the default plan otherwise.
+    let default_plan = cfg.fault.is_none();
+    let fault = match &cfg.fault {
+        Some(f) => Arc::clone(f),
+        None => Arc::new(FaultInjector::new(
+            FaultPlan::parse(DEFAULT_CHAOS_PLAN).map_err(|e| format!("default plan: {e}"))?,
+        )),
+    };
+    let store_dir = std::env::temp_dir().join(format!("spanner-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let chaos_cfg = ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        cache_dir: Some(store_dir.clone()),
+        fault: Some(Arc::clone(&fault)),
+        ..cfg.clone()
+    };
+    let service =
+        Arc::new(Service::open(&chaos_cfg).map_err(|e| format!("open chaos store: {e}"))?);
+    let server = Server::with_service("127.0.0.1:0", Arc::clone(&service))
+        .map_err(|e| format!("bind ephemeral port: {e}"))?;
+    let http = HttpServer::with_service("127.0.0.1:0", Arc::clone(&service))
+        .map_err(|e| format!("bind ephemeral http port: {e}"))?;
+
+    // Phase 1 — byte identity under chaos: four TCP clients and one
+    // HTTP client, each retrying with its own jitter seed, each
+    // submitting all twelve jobs in a rotated order. Everything that
+    // is *delivered* must equal the reference, whatever was injected.
+    let policy = |seed: u64| RetryPolicy {
+        max_retries: 60,
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(50),
+        seed,
+    };
+    let tcp_addr = server.addr();
+    let http_addr = http.addr();
+    let worker_errors: Vec<String> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let (specs, reference) = (&specs, &reference);
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let mut client =
+                    Client::connect(tcp_addr).map_err(|e| format!("tcp connect: {e}"))?;
+                let policy = policy(t as u64);
+                for i in 0..specs.len() {
+                    let i = (i + 3 * t) % specs.len();
+                    let resp = client
+                        .run_with_retry(&specs[i], &policy)
+                        .map_err(|e| format!("tcp client {t}, spec {i}: {e}"))?;
+                    if resp != reference[i] {
+                        return Err(format!("tcp client {t}: spec {i} diverged from reference"));
+                    }
+                }
+                Ok(())
+            }));
+        }
+        {
+            let (specs, reference) = (&specs, &reference);
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let mut client =
+                    HttpClient::connect(http_addr).map_err(|e| format!("http connect: {e}"))?;
+                let policy = policy(99);
+                for (i, spec) in specs.iter().enumerate() {
+                    let resp = client
+                        .run_with_retry(spec, &policy)
+                        .map_err(|e| format!("http client, spec {i}: {e}"))?;
+                    if resp != reference[i] {
+                        return Err(format!("http client: spec {i} diverged from reference"));
+                    }
+                }
+                Ok(())
+            }));
+        }
+        handles
+            .into_iter()
+            .filter_map(|h| {
+                h.join()
+                    .unwrap_or(Err("client thread panicked".into()))
+                    .err()
+            })
+            .collect()
+    });
+    if let Some(e) = worker_errors.first() {
+        return Err(e.clone());
+    }
+
+    // Phase 2 — force admission control if phase 1 never tripped it:
+    // rounds of three concurrent never-cached jobs against the
+    // one-worker, depth-1 queue until a shed is counted.
+    let mut hammer_seed = 1000u64;
+    let mut rounds = 0;
+    while service.metrics().shed == 0 && rounds < 50 {
+        rounds += 1;
+        let fresh: Vec<JobSpec> = (0..3)
+            .map(|i| {
+                let mut spec = specs[0].clone();
+                spec.config.seed = hammer_seed + i;
+                spec
+            })
+            .collect();
+        hammer_seed += 3;
+        std::thread::scope(|scope| {
+            for spec in &fresh {
+                scope.spawn(move || {
+                    if let Ok(mut c) = Client::connect(tcp_addr) {
+                        // Sheds and injected failures are the point
+                        // here; only delivery integrity matters, and
+                        // phase 1 already asserted that.
+                        let _ = c.run(spec);
+                    }
+                });
+            }
+        });
+    }
+    let m = service.metrics();
+    if m.shed == 0 {
+        return Err(format!(
+            "admission control never shed a job in {rounds} hammer rounds"
+        ));
+    }
+    if m.jobs_submitted != m.cache_hits + m.cache_misses + m.coalesced + m.shed {
+        return Err(format!(
+            "metrics invariant violated: {} != {} + {} + {} + {}",
+            m.jobs_submitted, m.cache_hits, m.cache_misses, m.coalesced, m.shed
+        ));
+    }
+    if fault.fired() == 0 {
+        return Err("the fault plan never fired".into());
+    }
+    if default_plan && m.store_degraded != 1 {
+        return Err(format!(
+            "expected the store to degrade under injected append failures, store_degraded = {}",
+            m.store_degraded
+        ));
+    }
+
+    // The same facts, scraped from the Prometheus exposition the way
+    // CI scrapes them.
+    let mut hc = HttpClient::connect(http_addr).map_err(|e| format!("http connect: {e}"))?;
+    let prom = hc
+        .metrics_prometheus()
+        .map_err(|e| format!("prometheus metrics: {e}"))?;
+    check_prometheus(&prom)?;
+    let shed_line = format!("spanner_jobs_by_class_total{{class=\"shed\"}} {}", m.shed);
+    if !prom.lines().any(|l| l == shed_line) {
+        return Err(format!("exposition is missing `{shed_line}`"));
+    }
+    if default_plan && !prom.lines().any(|l| l == "spanner_store_degraded 1") {
+        return Err("exposition is missing `spanner_store_degraded 1`".into());
+    }
+
+    println!(
+        "chaos: shed={} degraded={} faults_fired={} timed_out={}",
+        m.shed,
+        m.store_degraded,
+        fault.fired(),
+        m.connections_timed_out,
+    );
+    export_trace(&service, trace_dir)?;
+    http.shutdown();
+    server.shutdown();
+    drop(service);
+    let _ = std::fs::remove_dir_all(&store_dir);
     Ok(())
 }

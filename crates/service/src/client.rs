@@ -1,9 +1,10 @@
 //! A blocking client for the `spanner-serve` wire protocol, used by
 //! `spanner-cli`, the load bench, and the integration tests.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 use crate::job::{JobError, JobResponse, JobSpec};
+use crate::retry::RetryPolicy;
 use crate::wire::{
     decode_response, encode_ping_request, encode_request, encode_stats_request, read_frame,
     write_frame, Response,
@@ -13,6 +14,9 @@ use crate::wire::{
 /// submitted synchronously, one frame in, one frame out.
 pub struct Client {
     stream: TcpStream,
+    /// The resolved peer address, kept so retries can reconnect after
+    /// the server (or a chaos hook) drops the connection mid-frame.
+    addr: SocketAddr,
 }
 
 impl Client {
@@ -20,7 +24,16 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream })
+        let addr = stream.peer_addr()?;
+        Ok(Client { stream, addr })
+    }
+
+    /// Drops the current connection and dials the same peer again.
+    fn reconnect(&mut self) -> Result<(), JobError> {
+        let stream = TcpStream::connect(self.addr).map_err(|e| JobError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        self.stream = stream;
+        Ok(())
     }
 
     fn roundtrip(&mut self, payload: &str) -> Result<Response, JobError> {
@@ -36,14 +49,61 @@ impl Client {
             .ok_or_else(|| JobError::Io("server closed the connection".into()))
     }
 
-    /// Runs one job and decodes the response.
+    /// Runs one job and decodes the response. A shed job (`busy`
+    /// frame) surfaces as [`JobError::Busy`]; see
+    /// [`Client::run_with_retry`] for the retrying flavor.
     pub fn run(&mut self, spec: &JobSpec) -> Result<JobResponse, JobError> {
         match self.roundtrip(&encode_request(spec))? {
             Response::Run(resp) => Ok(resp),
+            Response::Busy { retry_after_ms } => Err(JobError::Busy { retry_after_ms }),
             Response::Error(m) => Err(JobError::Remote(m)),
             other => Err(JobError::Protocol(format!(
                 "expected run response, got {other:?}"
             ))),
+        }
+    }
+
+    /// Like [`Client::run`], but retries shed jobs (honoring the
+    /// server's retry hint), cancelled runs, and transport failures
+    /// (reconnecting first) under `policy`'s capped jittered
+    /// exponential backoff. Safe because a job response is a pure
+    /// function of the spec: a resubmission can only return the same
+    /// bytes.
+    pub fn run_with_retry(
+        &mut self,
+        spec: &JobSpec,
+        policy: &RetryPolicy,
+    ) -> Result<JobResponse, JobError> {
+        let mut attempt = 0u32;
+        loop {
+            let (hint, err) = match self.run(spec) {
+                Ok(resp) => return Ok(resp),
+                Err(e @ JobError::Busy { retry_after_ms }) => (Some(retry_after_ms), e),
+                // A cancelled run crosses the wire as a generic error
+                // frame carrying [`JobError::Cancelled`]'s message —
+                // transient (an aborted engine run), so retryable.
+                Err(e @ JobError::Remote(_)) if matches!(&e, JobError::Remote(m) if m == &JobError::Cancelled.to_string()) => {
+                    (None, e)
+                }
+                Err(e @ JobError::Io(_)) => {
+                    // The connection is gone or desynchronized (e.g. a
+                    // mid-frame drop); replace it before retrying. A
+                    // failed reconnect (server restarting) is itself
+                    // retried: the dead stream just errors again.
+                    match self.reconnect() {
+                        Ok(()) => (None, e),
+                        Err(re) => (None, re),
+                    }
+                }
+                // Remote/protocol/validation errors repeat identically
+                // on resubmission; fail fast.
+                Err(e) => return Err(e),
+            };
+            if attempt >= policy.max_retries {
+                return Err(err);
+            }
+            std::thread::sleep(policy.backoff(attempt, hint));
+            attempt += 1;
         }
     }
 

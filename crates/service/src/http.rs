@@ -83,16 +83,25 @@
 //! | 405    | wrong method for a known route (`Allow` header set) |
 //! | 413    | body larger than [`MAX_BODY`] |
 //! | 422    | well-formed spec rejected by validation ([`JobError::Invalid`]) |
+//! | 429    | job shed by admission control ([`JobError::Busy`]); `Retry-After` set |
 //! | 431    | header section larger than the request-head bound |
 //! | 501    | `Transfer-Encoding` (chunked bodies are not supported) |
 //! | 503    | job cancelled before a result was available |
 //! | 504    | job deadline passed ([`JobError::TimedOut`]) |
 //! | 505    | HTTP version other than 1.0/1.1 |
 //!
+//! A 429 carries a `Retry-After` header (integer seconds, rounded up
+//! from the service's millisecond hint) derived from the observed p95
+//! engine latency and the queue backlog; [`HttpClient::run_with_retry`]
+//! honors it.
+//!
 //! Every error response body is `{"error": "<message>"}`. Errors that
 //! leave the byte stream well-defined (routing, JSON, validation) keep
 //! the connection open; errors that desynchronize it (oversized or
-//! truncated requests) close it.
+//! truncated requests) close it. A request whose bytes stall mid-flight
+//! longer than the read budget ([`ServiceConfig::read_budget`]) also
+//! closes the connection (slow-loris defense, counted in
+//! `connections_timed_out`).
 
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::AtomicBool;
@@ -105,6 +114,7 @@ use dsa_runtime::json::Json;
 
 use crate::job::{JobError, JobResponse, JobSpec};
 use crate::net::{ListenerHandle, ShutdownReader, IDLE_POLL};
+use crate::retry::RetryPolicy;
 use crate::service::{Service, ServiceConfig};
 use crate::wire::MIN_VERTEX_ALLOWANCE;
 
@@ -191,24 +201,29 @@ enum ReadOutcome {
 fn serve_http_connection(stream: TcpStream, service: &Arc<Service>, stop: &AtomicBool) {
     // Same idle-poll pattern as the wire frontend: a read timeout
     // turns a blocked read into a periodic shutdown-flag check, and
-    // `ShutdownReader` retries so in-flight requests are unaffected.
+    // `ShutdownReader` retries so in-flight requests are unaffected —
+    // while a per-request deadline armed by the first byte defends
+    // against slow-loris reads.
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let _ = stream.set_nodelay(true);
-    let mut reader = ShutdownReader {
-        stream: &stream,
-        stop,
-    };
+    let mut reader = ShutdownReader::new(&stream, stop, service.read_budget());
     let mut writer = &stream;
     let mut pending: Vec<u8> = Vec::new();
     loop {
         match read_request(&mut pending, &mut reader, &stream) {
-            ReadOutcome::Close => break,
+            ReadOutcome::Close => {
+                if reader.timed_out() {
+                    service.on_connection_timed_out();
+                }
+                break;
+            }
             ReadOutcome::Reject(status, message) => {
                 // The byte stream is no longer trustworthy after a
                 // rejected head: answer and close.
                 let _ = write_response(
                     &mut writer,
                     status,
+                    None,
                     None,
                     CT_JSON,
                     &error_body(&message),
@@ -217,12 +232,29 @@ fn serve_http_connection(stream: TcpStream, service: &Arc<Service>, stop: &Atomi
                 break;
             }
             ReadOutcome::Request(head, body) => {
-                let (status, allow, content_type, resp_body) =
+                reader.finish_message();
+                let (status, allow, retry_after_ms, content_type, resp_body) =
                     route(&head.method, &head.path, &head.query, &body, service);
+                // Chaos hook: the connection drops mid-response — head
+                // promising a full body, only half of it written. A
+                // retrying client reconnects and resubmits.
+                if service.fault().fire("conn.drop") {
+                    use std::io::Write;
+                    let head_text = format!(
+                        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+                        status_reason(status),
+                        resp_body.len(),
+                    );
+                    let _ = writer.write_all(head_text.as_bytes());
+                    let _ = writer.write_all(&resp_body.as_bytes()[..resp_body.len() / 2]);
+                    let _ = writer.flush();
+                    break;
+                }
                 if write_response(
                     &mut writer,
                     status,
                     allow,
+                    retry_after_ms,
                     content_type,
                     &resp_body,
                     head.keep_alive,
@@ -400,26 +432,34 @@ const CT_JSON: &str = "application/json";
 const CT_PROMETHEUS: &str = "text/plain; version=0.0.4";
 
 /// Dispatches one request: returns (status, Allow header for 405,
-/// Content-Type, response body).
+/// Retry-After hint in ms for 429, Content-Type, response body).
 fn route(
     method: &str,
     path: &str,
     query: &str,
     body: &[u8],
     service: &Service,
-) -> (u16, Option<&'static str>, &'static str, String) {
+) -> (u16, Option<&'static str>, Option<u64>, &'static str, String) {
     // Every route except the Prometheus exposition answers JSON; fold
-    // the old 3-tuple shape back in so the match arms stay readable.
-    let json =
-        |(status, allow, body): (u16, Option<&'static str>, String)| (status, allow, CT_JSON, body);
+    // the shorter tuple shape back in so the match arms stay readable.
+    let json = |(status, allow, retry, body): (u16, Option<&'static str>, Option<u64>, String)| {
+        (status, allow, retry, CT_JSON, body)
+    };
     if (path, method) == ("/v1/metrics", "GET") {
         // `format` selects the representation; anything else in the
         // query is ignored, mirroring how unknown headers are ignored.
         return match query_param(query, "format") {
-            None | Some("json") => (200, None, CT_JSON, service.metrics().to_json()),
-            Some("prometheus") => (200, None, CT_PROMETHEUS, service.metrics().to_prometheus()),
+            None | Some("json") => (200, None, None, CT_JSON, service.metrics().to_json()),
+            Some("prometheus") => (
+                200,
+                None,
+                None,
+                CT_PROMETHEUS,
+                service.metrics().to_prometheus(),
+            ),
             Some(other) => json((
                 400,
+                None,
                 None,
                 error_body(&format!(
                     "unknown metrics format `{other}` (expected `json` or `prometheus`)"
@@ -429,21 +469,30 @@ fn route(
     }
     json(match (path, method) {
         ("/v1/jobs", "POST") => match decode_job_spec(body) {
-            Err(e) => (400, None, error_body(&e.to_string())),
+            Err(e) => (400, None, None, error_body(&e.to_string())),
             Ok(spec) => match service.run(&spec) {
-                Ok(resp) => (200, None, encode_job_response(&resp)),
-                Err(e @ JobError::Invalid(_)) => (422, None, error_body(&e.to_string())),
-                Err(e @ JobError::TimedOut) => (504, None, error_body(&e.to_string())),
-                Err(e @ JobError::Cancelled) => (503, None, error_body(&e.to_string())),
-                Err(e) => (500, None, error_body(&e.to_string())),
+                Ok(resp) => (200, None, None, encode_job_response(&resp)),
+                Err(e @ JobError::Invalid(_)) => (422, None, None, error_body(&e.to_string())),
+                Err(e @ JobError::TimedOut) => (504, None, None, error_body(&e.to_string())),
+                Err(e @ JobError::Cancelled) => (503, None, None, error_body(&e.to_string())),
+                Err(e @ JobError::Busy { retry_after_ms }) => {
+                    (429, None, Some(retry_after_ms), error_body(&e.to_string()))
+                }
+                Err(e) => (500, None, None, error_body(&e.to_string())),
             },
         },
-        ("/v1/jobs", _) => (405, Some("POST"), error_body("use POST for /v1/jobs")),
-        ("/v1/metrics", _) => (405, Some("GET"), error_body("use GET for /v1/metrics")),
-        ("/healthz", "GET") => (200, None, "{\"status\":\"ok\"}".to_string()),
-        ("/healthz", _) => (405, Some("GET"), error_body("use GET for /healthz")),
+        ("/v1/jobs", _) => (405, Some("POST"), None, error_body("use POST for /v1/jobs")),
+        ("/v1/metrics", _) => (
+            405,
+            Some("GET"),
+            None,
+            error_body("use GET for /v1/metrics"),
+        ),
+        ("/healthz", "GET") => (200, None, None, "{\"status\":\"ok\"}".to_string()),
+        ("/healthz", _) => (405, Some("GET"), None, error_body("use GET for /healthz")),
         _ => (
             404,
+            None,
             None,
             error_body(&format!(
                 "no route for `{path}` (try POST /v1/jobs, GET /v1/metrics, GET /healthz)"
@@ -476,6 +525,7 @@ fn status_reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
@@ -490,6 +540,7 @@ fn write_response(
     w: &mut impl std::io::Write,
     status: u16,
     allow: Option<&str>,
+    retry_after_ms: Option<u64>,
     content_type: &str,
     body: &str,
     keep_alive: bool,
@@ -504,6 +555,11 @@ fn write_response(
         out.push_str("Allow: ");
         out.push_str(allow);
         out.push_str("\r\n");
+    }
+    if let Some(ms) = retry_after_ms {
+        // Retry-After is integer seconds; round the millisecond hint
+        // up so "retry after 50ms" never becomes "retry immediately".
+        out.push_str(&format!("Retry-After: {}\r\n", ms.div_ceil(1000).max(1)));
     }
     out.push_str("\r\n");
     out.push_str(body);
@@ -859,7 +915,13 @@ pub fn decode_job_response(body: &[u8]) -> Result<JobResponse, JobError> {
 /// and the integration tests.
 pub struct HttpClient {
     stream: TcpStream,
+    /// The resolved peer address, kept so retries can reconnect after
+    /// the server (or a chaos hook) drops the connection mid-response.
+    addr: SocketAddr,
     pending: Vec<u8>,
+    /// The `Retry-After` header of the most recent response, converted
+    /// to milliseconds; `None` when the response carried none.
+    last_retry_after_ms: Option<u64>,
 }
 
 impl HttpClient {
@@ -867,10 +929,23 @@ impl HttpClient {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<HttpClient> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
+        let addr = stream.peer_addr()?;
         Ok(HttpClient {
             stream,
+            addr,
             pending: Vec::new(),
+            last_retry_after_ms: None,
         })
+    }
+
+    /// Drops the current connection and dials the same peer again,
+    /// discarding any half-read response bytes.
+    fn reconnect(&mut self) -> Result<(), JobError> {
+        let stream = TcpStream::connect(self.addr).map_err(|e| JobError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        self.stream = stream;
+        self.pending.clear();
+        Ok(())
     }
 
     /// Sends one request and returns `(status, body)`. The connection
@@ -932,6 +1007,7 @@ impl HttpClient {
                 continue;
             }
             let mut content_length = 0usize;
+            self.last_retry_after_ms = None;
             for line in lines {
                 if let Some((name, value)) = line.split_once(':') {
                     if name.trim().eq_ignore_ascii_case("content-length") {
@@ -939,6 +1015,12 @@ impl HttpClient {
                             .trim()
                             .parse()
                             .map_err(|_| proto("invalid Content-Length in response"))?;
+                    } else if name.trim().eq_ignore_ascii_case("retry-after") {
+                        // Integer seconds on the wire (the only form
+                        // the facade emits); unparseable values are
+                        // treated as absent, not as errors.
+                        self.last_retry_after_ms =
+                            value.trim().parse::<u64>().ok().map(|s| s * 1000);
                     }
                 }
             }
@@ -973,6 +1055,54 @@ impl HttpClient {
     /// the facade's byte-identity guarantee is stated over.
     pub fn run_raw(&mut self, spec: &JobSpec) -> Result<(u16, Vec<u8>), JobError> {
         self.request("POST", "/v1/jobs", Some(&encode_job_spec(spec)))
+    }
+
+    /// Like [`HttpClient::run`], but retries shed (429, honoring the
+    /// server's `Retry-After`), cancelled (503), and transport-level
+    /// failures (reconnecting first) under `policy`'s capped jittered
+    /// exponential backoff. Safe because a job response is a pure
+    /// function of the spec: a resubmission can only return the same
+    /// bytes.
+    pub fn run_with_retry(
+        &mut self,
+        spec: &JobSpec,
+        policy: &RetryPolicy,
+    ) -> Result<JobResponse, JobError> {
+        let mut attempt = 0u32;
+        loop {
+            let (hint, err) = match self.run_raw(spec) {
+                Ok((200, body)) => return decode_job_response(&body),
+                Ok((status @ (429 | 503), body)) => (
+                    self.last_retry_after_ms,
+                    JobError::Remote(format!("HTTP {status}: {}", error_message(&body))),
+                ),
+                Ok((status, body)) => {
+                    // Validation and routing errors (4xx/5xx outside
+                    // the two transient codes) repeat identically on
+                    // resubmission; fail fast.
+                    return Err(JobError::Remote(format!(
+                        "HTTP {status}: {}",
+                        error_message(&body)
+                    )));
+                }
+                Err(e @ JobError::Io(_)) => {
+                    // The connection is gone or desynchronized (e.g. a
+                    // mid-response drop); replace it before retrying.
+                    // A failed reconnect (server restarting) is itself
+                    // retried: the dead stream just errors again.
+                    match self.reconnect() {
+                        Ok(()) => (None, e),
+                        Err(re) => (None, re),
+                    }
+                }
+                Err(e) => return Err(e),
+            };
+            if attempt >= policy.max_retries {
+                return Err(err);
+            }
+            std::thread::sleep(policy.backoff(attempt, hint));
+            attempt += 1;
+        }
     }
 
     /// Fetches `/v1/metrics` as one JSON line.

@@ -78,6 +78,15 @@ pub enum JobError {
     /// run, if already started, still completes and populates the
     /// cache; only this wait gives up.
     TimedOut,
+    /// The service shed the job at admission (queue depth or byte
+    /// budget exhausted). Safe to retry after the hinted delay:
+    /// responses are byte-deterministic, so a retried job returns
+    /// exactly what the shed attempt would have.
+    Busy {
+        /// Suggested client wait before retrying, in milliseconds
+        /// (derived from the observed p95 service time and backlog).
+        retry_after_ms: u64,
+    },
     /// A wire-protocol violation (client side).
     Protocol(String),
     /// A transport error (client side).
@@ -92,6 +101,9 @@ impl std::fmt::Display for JobError {
             JobError::Invalid(m) => write!(f, "invalid job: {m}"),
             JobError::Cancelled => write!(f, "job cancelled"),
             JobError::TimedOut => write!(f, "job timed out"),
+            JobError::Busy { retry_after_ms } => {
+                write!(f, "server busy: retry after {retry_after_ms}ms")
+            }
             JobError::Protocol(m) => write!(f, "protocol error: {m}"),
             JobError::Io(m) => write!(f, "transport error: {m}"),
             JobError::Remote(m) => write!(f, "server error: {m}"),

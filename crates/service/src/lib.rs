@@ -57,6 +57,7 @@ mod job;
 mod metrics;
 mod net;
 mod pool;
+pub mod retry;
 pub mod server;
 mod service;
 mod store;
@@ -66,5 +67,6 @@ pub use client::Client;
 pub use http::{HttpClient, HttpServer};
 pub use job::{JobError, JobResponse, JobSpec};
 pub use metrics::MetricsSnapshot;
+pub use retry::RetryPolicy;
 pub use server::Server;
 pub use service::{JobHandle, Service, ServiceConfig};

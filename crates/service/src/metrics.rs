@@ -10,16 +10,19 @@
 //!   counts the disk-served subset, so `disk_hits <= cache_hits`);
 //! * **cache miss** — a fresh engine run was scheduled;
 //! * **coalesced** — an identical job was already in flight, the
-//!   submission joined it.
+//!   submission joined it;
+//! * **shed** — admission control rejected the job (queue depth or
+//!   byte budget exhausted); the caller was told to retry later, no
+//!   engine work was scheduled.
 //!
-//! So `submitted == cache_hits + cache_misses + coalesced` always —
-//! and not just eventually: the submitted count and its class advance
-//! *together* under one lock, and [`ServiceMetrics::snapshot`] reads
-//! the four counters under the same lock, so the identity holds at
-//! every observation point (the `/v1/metrics` HTTP endpoint and the
+//! So `submitted == cache_hits + cache_misses + coalesced + shed`
+//! always — and not just eventually: the submitted count and its class
+//! advance *together* under one lock, and [`ServiceMetrics::snapshot`]
+//! reads the five counters under the same lock, so the identity holds
+//! at every observation point (the `/v1/metrics` HTTP endpoint and the
 //! TCP `stats` command both serve such coherent snapshots). With
-//! coalescing idle (no concurrent duplicates) the identity reads
-//! `jobs == hits + misses`. Latency percentile math reuses
+//! coalescing and shedding idle the identity reads `jobs == hits +
+//! misses`. Latency percentile math reuses
 //! [`dsa_runtime::LatencyRecorder`] rather than duplicating it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,14 +32,15 @@ use std::time::{Duration, Instant};
 use dsa_runtime::LatencyRecorder;
 
 /// The classification counters, advanced and snapshotted as one unit
-/// so `submitted == cache_hits + cache_misses + coalesced` can never
-/// be observed mid-update.
+/// so `submitted == cache_hits + cache_misses + coalesced + shed` can
+/// never be observed mid-update.
 #[derive(Clone, Copy, Debug, Default)]
 struct Classified {
     submitted: u64,
     cache_hits: u64,
     cache_misses: u64,
     coalesced: u64,
+    shed: u64,
     /// Subset of `cache_hits` answered from the persistent store
     /// (advanced under the same lock so `disk_hits <= cache_hits` is
     /// also never observed mid-update).
@@ -57,6 +61,14 @@ pub(crate) struct ServiceMetrics {
     invalid: AtomicU64,
     engine_iterations: AtomicU64,
     engine_local_rounds: AtomicU64,
+    /// Gauge: 1 once the persistent store has been demoted to
+    /// memory-only after an append failure (ENOSPC, injected fault);
+    /// the service keeps serving correct bytes, it just stops
+    /// persisting. Never resets within a process lifetime.
+    store_degraded: AtomicU64,
+    /// Connections closed because a request or frame read exceeded its
+    /// deadline (slow-loris defense).
+    connections_timed_out: AtomicU64,
     /// Gauge: distinct results currently in the persistent store (0
     /// when no store is configured). Set at open, advanced on append.
     store_records: AtomicU64,
@@ -121,6 +133,8 @@ impl ServiceMetrics {
             invalid: AtomicU64::new(0),
             engine_iterations: AtomicU64::new(0),
             engine_local_rounds: AtomicU64::new(0),
+            store_degraded: AtomicU64::new(0),
+            connections_timed_out: AtomicU64::new(0),
             store_records: AtomicU64::new(0),
             store_records_dropped: AtomicU64::new(0),
             store_read_us: AtomicU64::new(0),
@@ -163,6 +177,39 @@ impl ServiceMetrics {
         let mut c = self.classified.lock().expect("classified lock");
         c.submitted += 1;
         c.coalesced += 1;
+    }
+
+    /// Admission control rejected the job: it still counts as
+    /// submitted (the caller's request was valid and classified), with
+    /// class `shed`, so the classification identity extends to
+    /// `submitted == hits + misses + coalesced + shed`.
+    pub fn on_shed(&self) {
+        let mut c = self.classified.lock().expect("classified lock");
+        c.submitted += 1;
+        c.shed += 1;
+    }
+
+    /// Marks the persistent store demoted to memory-only caching (an
+    /// append failed; results are still correct, just not persisted).
+    pub fn set_store_degraded(&self) {
+        self.store_degraded.store(1, Ordering::Relaxed);
+    }
+
+    /// A connection was closed because a request/frame read exceeded
+    /// its deadline (slow-loris defense).
+    pub fn on_connection_timed_out(&self) {
+        self.connections_timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current 95th-percentile engine-run latency in microseconds
+    /// (0 with no samples yet) — the basis of `Retry-After` hints on
+    /// shed jobs.
+    pub fn p95_us(&self) -> u64 {
+        self.latency
+            .lock()
+            .expect("latency lock")
+            .p95()
+            .unwrap_or(0)
     }
 
     /// Updates the persistent-store size gauge (records currently
@@ -254,8 +301,11 @@ impl ServiceMetrics {
             cache_hits: c.cache_hits,
             cache_misses: c.cache_misses,
             coalesced: c.coalesced,
+            shed: c.shed,
             disk_hits: c.disk_hits,
             store_records: self.store_records.load(Ordering::Relaxed),
+            store_degraded: self.store_degraded.load(Ordering::Relaxed),
+            connections_timed_out: self.connections_timed_out.load(Ordering::Relaxed),
             store_records_dropped: self.store_records_dropped.load(Ordering::Relaxed),
             store_read_us: self.store_read_us.load(Ordering::Relaxed),
             store_write_us: self.store_write_us.load(Ordering::Relaxed),
@@ -307,6 +357,10 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Submissions that joined an identical in-flight run.
     pub coalesced: u64,
+    /// Submissions rejected by admission control (queue depth or byte
+    /// budget exhausted); `jobs_submitted == cache_hits + cache_misses
+    /// + coalesced + shed` in every snapshot.
+    pub shed: u64,
     /// Subset of `cache_hits` served from the persistent disk store
     /// (verified against the canonical instance, then promoted into
     /// the in-memory LRU). Always 0 without a configured store.
@@ -318,6 +372,12 @@ pub struct MetricsSnapshot {
     /// Non-zero means the log was damaged and silently healed — the
     /// dashboards should see that, not just the startup stderr.
     pub store_records_dropped: u64,
+    /// 1 once the persistent store was demoted to memory-only caching
+    /// after an append failure; 0 while healthy (or with no store).
+    pub store_degraded: u64,
+    /// Connections closed because a request/frame read exceeded its
+    /// deadline (slow-loris defense).
+    pub connections_timed_out: u64,
     /// Cumulative wall time spent reading results from the store, µs.
     pub store_read_us: u64,
     /// Cumulative wall time spent appending results to the store, µs.
@@ -385,8 +445,9 @@ impl MetricsSnapshot {
         format!(
             concat!(
                 "{{\"jobs_submitted\":{},\"jobs_completed\":{},",
-                "\"cache_hits\":{},\"cache_misses\":{},\"coalesced\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"coalesced\":{},\"jobs_shed\":{},",
                 "\"disk_hits\":{},\"store_records\":{},\"store_records_dropped\":{},",
+                "\"store_degraded\":{},\"connections_timed_out\":{},",
                 "\"skipped\":{},\"aborted\":{},\"cancelled\":{},\"timed_out\":{},\"invalid\":{},",
                 "\"cache_hit_rate\":{:.6},\"throughput_jobs_per_sec\":{:.3},",
                 "\"p50_latency_us\":{},\"p95_latency_us\":{},\"mean_latency_us\":{:.1},",
@@ -402,9 +463,12 @@ impl MetricsSnapshot {
             self.cache_hits,
             self.cache_misses,
             self.coalesced,
+            self.shed,
             self.disk_hits,
             self.store_records,
             self.store_records_dropped,
+            self.store_degraded,
+            self.connections_timed_out,
             self.skipped,
             self.aborted,
             self.cancelled,
@@ -495,6 +559,7 @@ impl MetricsSnapshot {
                     "{class=\"coalesced\"}".to_string(),
                     self.coalesced.to_string(),
                 ),
+                ("{class=\"shed\"}".to_string(), self.shed.to_string()),
             ],
         );
         metric(
@@ -558,6 +623,12 @@ impl MetricsSnapshot {
             &plain(self.in_flight),
         );
         metric(
+            "connections_timed_out_total",
+            "counter",
+            "Connections closed because a request read exceeded its deadline.",
+            &plain(self.connections_timed_out),
+        );
+        metric(
             "store_records",
             "gauge",
             "Distinct results currently servable from the persistent store.",
@@ -568,6 +639,12 @@ impl MetricsSnapshot {
             "counter",
             "Corrupt records dropped by the store's open-time recovery.",
             &plain(self.store_records_dropped),
+        );
+        metric(
+            "store_degraded",
+            "gauge",
+            "Set once the store is demoted to memory-only caching after an append failure.",
+            &plain(self.store_degraded),
         );
         metric(
             "store_read_seconds_total",
@@ -675,20 +752,23 @@ mod tests {
         m.on_coalesced();
         m.on_cache_miss();
         m.on_executed(6, 42, Duration::from_micros(3_000));
+        m.on_shed();
         m.set_store_records(2);
-        // Four of the five waiters collected their response; the
-        // fifth (say the coalesced one) timed out first.
+        // Four of the five admitted waiters collected their response;
+        // the fifth (say the coalesced one) timed out first, and the
+        // shed submission never got a handle at all.
         for _ in 0..4 {
             m.on_delivered();
         }
         m.on_timed_out();
         let s = m.snapshot();
-        assert_eq!(s.jobs_submitted, 5);
+        assert_eq!(s.jobs_submitted, 6);
         assert_eq!(
             s.jobs_submitted,
-            s.cache_hits + s.cache_misses + s.coalesced,
-            "a disk hit is a cache hit, not a fourth class"
+            s.cache_hits + s.cache_misses + s.coalesced + s.shed,
+            "a disk hit is a cache hit, not a fifth class"
         );
+        assert_eq!(s.shed, 1);
         assert_eq!(s.cache_hits, 2);
         assert_eq!(s.disk_hits, 1);
         assert_eq!(s.store_records, 2);
@@ -715,11 +795,12 @@ mod tests {
             scope.spawn(|| (0..2_000).for_each(|_| m.on_cache_miss()));
             scope.spawn(|| (0..2_000).for_each(|_| m.on_coalesced()));
             scope.spawn(|| (0..2_000).for_each(|_| m.on_disk_hit()));
+            scope.spawn(|| (0..2_000).for_each(|_| m.on_shed()));
             for _ in 0..500 {
                 let s = m.snapshot();
                 assert_eq!(
                     s.jobs_submitted,
-                    s.cache_hits + s.cache_misses + s.coalesced,
+                    s.cache_hits + s.cache_misses + s.coalesced + s.shed,
                     "snapshot observed a mid-update classification"
                 );
                 assert!(
@@ -729,9 +810,10 @@ mod tests {
             }
         });
         let s = m.snapshot();
-        assert_eq!(s.jobs_submitted, 8_000);
-        assert_eq!(s.cache_hits + s.cache_misses + s.coalesced, 8_000);
+        assert_eq!(s.jobs_submitted, 10_000);
+        assert_eq!(s.cache_hits + s.cache_misses + s.coalesced + s.shed, 10_000);
         assert_eq!(s.disk_hits, 2_000);
+        assert_eq!(s.shed, 2_000);
     }
 
     #[test]
@@ -784,9 +866,12 @@ mod tests {
         m.on_executed(10, 70, Duration::from_micros(1_000));
         m.on_cache_hit();
         m.on_coalesced();
+        m.on_shed();
         m.on_delivered();
+        m.on_connection_timed_out();
         m.set_store_records(1);
         m.set_store_dropped(2);
+        m.set_store_degraded();
         let mut snap = m.snapshot();
         // Pin the wall-clock-dependent fields so repeated renderings
         // must agree byte-for-byte.
@@ -835,8 +920,11 @@ mod tests {
         assert!(pos("spanner_jobs_total ") < pos("class=\"cache_hit\""));
         assert!(pos("class=\"cache_hit\"") < pos("class=\"cache_miss\""));
         assert!(pos("class=\"cache_miss\"") < pos("class=\"coalesced\""));
+        assert!(pos("class=\"coalesced\"") < pos("class=\"shed\""));
         assert!(pos("spanner_engine_run_seconds_bucket") < pos("spanner_engine_run_p50_seconds"));
         assert!(text.contains("spanner_store_records_dropped_total 2\n"));
+        assert!(text.contains("spanner_store_degraded 1\n"));
+        assert!(text.contains("spanner_connections_timed_out_total 1\n"));
         assert!(text.contains("le=\"+Inf\""));
 
         // The class series sum back to the total — the same invariant
@@ -848,7 +936,7 @@ mod tests {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| panic!("no sample for {prefix}"))
         };
-        let class_sum: u64 = ["cache_hit", "cache_miss", "coalesced"]
+        let class_sum: u64 = ["cache_hit", "cache_miss", "coalesced", "shed"]
             .iter()
             .map(|c| value(&format!("spanner_jobs_by_class_total{{class=\"{c}\"}}")))
             .sum();

@@ -14,7 +14,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Polling interval for the shutdown flag while a connection is idle.
 pub(crate) const IDLE_POLL: Duration = Duration::from_millis(200);
@@ -143,15 +143,75 @@ fn accept_loop<F>(
 /// Wraps a read-timeout stream so timeout errors read as retries while
 /// the frontend is live and as clean EOF once shutdown is requested
 /// (so a frame/request boundary maps to a clean close).
+///
+/// **Slow-loris defense.** An idle connection between messages may
+/// block indefinitely (keep-alive costs only a thread), but once the
+/// first byte of a message arrives, a deadline of `budget` is armed:
+/// the whole message must be read before it expires, or reads fail
+/// with [`ErrorKind::TimedOut`] and [`ShutdownReader::timed_out`]
+/// reports true — the frontends close the connection and count it. The
+/// caller disarms the deadline at each message boundary with
+/// [`ShutdownReader::finish_message`].
 pub(crate) struct ShutdownReader<'a> {
-    pub stream: &'a TcpStream,
-    pub stop: &'a AtomicBool,
+    stream: &'a TcpStream,
+    stop: &'a AtomicBool,
+    budget: Duration,
+    deadline: Option<Instant>,
+    timed_out: bool,
+}
+
+impl<'a> ShutdownReader<'a> {
+    /// Wraps `stream` (which must already have a short read timeout
+    /// set, e.g. [`IDLE_POLL`]) with a per-message read budget.
+    pub fn new(stream: &'a TcpStream, stop: &'a AtomicBool, budget: Duration) -> Self {
+        ShutdownReader {
+            stream,
+            stop,
+            budget,
+            deadline: None,
+            timed_out: false,
+        }
+    }
+
+    /// Disarms the in-message deadline: the next message may begin
+    /// arbitrarily later (idle keep-alive), and its first byte re-arms.
+    pub fn finish_message(&mut self) {
+        self.deadline = None;
+    }
+
+    /// Whether a read failed because the message exceeded its budget
+    /// (as opposed to EOF or a transport error).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+
+    fn expire(&mut self) -> std::io::Error {
+        self.timed_out = true;
+        std::io::Error::new(
+            ErrorKind::TimedOut,
+            format!("read exceeded the {:?} message budget", self.budget),
+        )
+    }
 }
 
 impl std::io::Read for ShutdownReader<'_> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         loop {
+            if self
+                .deadline
+                .is_some_and(|deadline| Instant::now() >= deadline)
+            {
+                return Err(self.expire());
+            }
             match std::io::Read::read(&mut self.stream, buf) {
+                Ok(n) => {
+                    // First byte of a message arms the deadline; the
+                    // budget covers everything up to finish_message().
+                    if n > 0 && self.deadline.is_none() {
+                        self.deadline = Some(Instant::now() + self.budget);
+                    }
+                    return Ok(n);
+                }
                 Err(e)
                     if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
                         && !self.stop.load(Ordering::SeqCst) =>
@@ -165,5 +225,65 @@ impl std::io::Read for ShutdownReader<'_> {
                 other => return other,
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn slow_loris_reads_expire_but_idle_connections_do_not() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server
+            .set_read_timeout(Some(Duration::from_millis(5)))
+            .unwrap();
+        let stop = AtomicBool::new(false);
+        let mut reader = ShutdownReader::new(&server, &stop, Duration::from_millis(60));
+        // Idle (no bytes yet): well past the budget, nothing expires —
+        // the reader keeps retrying. Probe via a thread that writes
+        // after an idle stretch longer than the budget.
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            client.write_all(b"x").unwrap();
+            client.flush().unwrap();
+            client // keep the connection alive, now dribbling
+        });
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte).expect("idle is not a timeout");
+        assert_eq!(&byte, b"x");
+        // Armed (mid-message): the peer goes silent and the budget
+        // expires with a TimedOut error, flagged as such.
+        let err = reader.read_exact(&mut byte).expect_err("must expire");
+        assert_eq!(err.kind(), ErrorKind::TimedOut);
+        assert!(reader.timed_out());
+        drop(writer.join().unwrap());
+    }
+
+    #[test]
+    fn finish_message_disarms_the_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server
+            .set_read_timeout(Some(Duration::from_millis(5)))
+            .unwrap();
+        let stop = AtomicBool::new(false);
+        let mut reader = ShutdownReader::new(&server, &stop, Duration::from_millis(60));
+        client.write_all(b"a").unwrap();
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte).unwrap();
+        reader.finish_message();
+        // A pause longer than the budget between messages is fine.
+        std::thread::sleep(Duration::from_millis(120));
+        client.write_all(b"b").unwrap();
+        reader.read_exact(&mut byte).expect("new message re-arms");
+        assert_eq!(&byte, b"b");
+        assert!(!reader.timed_out());
     }
 }

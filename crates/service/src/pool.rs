@@ -2,13 +2,21 @@
 //! bounded job queue.
 //!
 //! Jobs are opaque closures; the pool guarantees FIFO dispatch order
-//! and backpressure ([`Pool::submit`] blocks while the queue is at
-//! capacity), nothing more. Determinism of the *service* does not come
-//! from the pool — jobs are independent seeded engine runs — so any
-//! interleaving of workers yields the same per-job results.
+//! and bounded admission, nothing more. Determinism of the *service*
+//! does not come from the pool — jobs are independent seeded engine
+//! runs — so any interleaving of workers yields the same per-job
+//! results.
+//!
+//! Admission is bounded two ways: by queue *depth* (`capacity`) and by
+//! a queue *byte budget* (the sum of per-job cost estimates supplied
+//! at submission). [`Pool::try_submit`] rejects instead of blocking
+//! when either budget is exhausted — the caller sheds the job and
+//! tells its client to retry — while the legacy [`Pool::submit`]
+//! blocks on depth (used by tests and tools that want backpressure
+//! semantics).
 //!
 //! On drop the pool stops accepting work, drains the queued jobs, and
-//! joins every worker, so no submitted job is ever silently lost.
+//! joins every worker, so no admitted job is ever silently lost.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -17,7 +25,9 @@ use std::thread::JoinHandle;
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct QueueState {
-    queue: VecDeque<Job>,
+    queue: VecDeque<(Job, usize)>,
+    /// Sum of the cost estimates of the queued jobs.
+    queued_cost: usize,
     shutdown: bool,
 }
 
@@ -26,6 +36,7 @@ struct PoolInner {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    byte_budget: usize,
 }
 
 /// A fixed-size worker pool with a bounded FIFO job queue.
@@ -36,22 +47,24 @@ pub(crate) struct Pool {
 
 impl Pool {
     /// Spawns `workers` threads sharing a queue of at most `capacity`
-    /// pending jobs.
+    /// pending jobs whose cost estimates sum to at most `byte_budget`.
     ///
     /// # Panics
     ///
     /// Panics if `workers` or `capacity` is zero.
-    pub fn new(workers: usize, capacity: usize) -> Self {
+    pub fn new(workers: usize, capacity: usize, byte_budget: usize) -> Self {
         assert!(workers >= 1, "pool needs at least one worker");
         assert!(capacity >= 1, "queue capacity must be positive");
         let inner = Arc::new(PoolInner {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
+                queued_cost: 0,
                 shutdown: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
+            byte_budget,
         });
         let workers = (0..workers)
             .map(|i| {
@@ -65,11 +78,14 @@ impl Pool {
         Pool { inner, workers }
     }
 
-    /// Enqueues a job, blocking while the queue is at capacity.
+    /// Enqueues a job, blocking while the queue is at depth capacity
+    /// (the byte budget is not consulted; the job costs 0 bytes).
     ///
-    /// Jobs submitted during shutdown are dropped; the only caller is
-    /// [`crate::Service`], which never submits after starting its own
-    /// teardown.
+    /// Jobs submitted during shutdown are dropped; the only callers
+    /// never submit after starting their own teardown. The service
+    /// itself sheds via [`Pool::try_submit`]; blocking admission
+    /// survives for tests that want backpressure semantics.
+    #[cfg(test)]
     pub fn submit(&self, job: Job) {
         let mut state = self.inner.state.lock().expect("pool lock");
         while state.queue.len() >= self.inner.capacity && !state.shutdown {
@@ -78,14 +94,45 @@ impl Pool {
         if state.shutdown {
             return;
         }
-        state.queue.push_back(job);
+        state.queue.push_back((job, 0));
         drop(state);
         self.inner.not_empty.notify_one();
+    }
+
+    /// Non-blocking admission: enqueues `job` (with cost estimate
+    /// `cost` bytes) unless the queue is at depth capacity or the new
+    /// cost would exceed the byte budget. An *empty* queue always
+    /// admits, so a single job larger than the whole budget is still
+    /// servable. Returns whether the job was admitted (during
+    /// shutdown the job is dropped and reported as admitted, matching
+    /// [`Pool::submit`]).
+    pub fn try_submit(&self, job: Job, cost: usize) -> bool {
+        let mut state = self.inner.state.lock().expect("pool lock");
+        if state.shutdown {
+            return true;
+        }
+        let fits = state.queue.is_empty()
+            || (state.queue.len() < self.inner.capacity
+                && state.queued_cost.saturating_add(cost) <= self.inner.byte_budget);
+        if !fits {
+            return false;
+        }
+        state.queued_cost += cost;
+        state.queue.push_back((job, cost));
+        drop(state);
+        self.inner.not_empty.notify_one();
+        true
     }
 
     /// Number of jobs waiting in the queue (diagnostic only).
     pub fn queued(&self) -> usize {
         self.inner.state.lock().expect("pool lock").queue.len()
+    }
+
+    /// Summed cost estimates of the queued jobs (diagnostic only).
+    #[cfg(test)]
+    pub fn queued_bytes(&self) -> usize {
+        self.inner.state.lock().expect("pool lock").queued_cost
     }
 }
 
@@ -94,7 +141,8 @@ fn worker_loop(inner: &PoolInner) {
         let job = {
             let mut state = inner.state.lock().expect("pool lock");
             loop {
-                if let Some(job) = state.queue.pop_front() {
+                if let Some((job, cost)) = state.queue.pop_front() {
+                    state.queued_cost -= cost;
                     break job;
                 }
                 if state.shutdown {
@@ -130,7 +178,7 @@ mod tests {
 
     #[test]
     fn runs_every_submitted_job() {
-        let pool = Pool::new(4, 8);
+        let pool = Pool::new(4, 8, usize::MAX);
         let counter = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = mpsc::channel();
         for _ in 0..100 {
@@ -153,7 +201,7 @@ mod tests {
         {
             // One slow worker, deep queue: most jobs are still queued
             // when drop begins, and must run anyway.
-            let pool = Pool::new(1, 64);
+            let pool = Pool::new(1, 64, usize::MAX);
             for _ in 0..50 {
                 let counter = Arc::clone(&counter);
                 pool.submit(Box::new(move || {
@@ -169,7 +217,7 @@ mod tests {
         // One worker pinned on a gate, capacity 1: job A runs, job B
         // fills the queue, so a third submit must block until the
         // worker drains one job.
-        let pool = Arc::new(Pool::new(1, 1));
+        let pool = Arc::new(Pool::new(1, 1, usize::MAX));
         let (gate_tx, gate_rx) = mpsc::channel::<()>();
         let gate_rx = Arc::new(Mutex::new(gate_rx));
         let done = Arc::new(AtomicUsize::new(0));
@@ -205,5 +253,45 @@ mod tests {
         gate_tx.send(()).unwrap();
         drop(Arc::try_unwrap(pool).ok().expect("sole owner")); // joins: all three ran
         assert_eq!(done.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn try_submit_sheds_on_depth_and_bytes() {
+        // One worker pinned on a gate; depth capacity 2, byte budget
+        // 100. The pinned job holds no queue slot, so shedding
+        // decisions are made purely on the queued jobs.
+        let pool = Pool::new(1, 2, 100);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Arc::new(Mutex::new(gate_rx));
+        let pin = || {
+            let gate_rx = Arc::clone(&gate_rx);
+            Box::new(move || {
+                gate_rx.lock().unwrap().recv().unwrap();
+            })
+        };
+        let wait_empty = || {
+            while pool.queued() > 0 {
+                std::thread::yield_now();
+            }
+        };
+        assert!(pool.try_submit(pin(), 0));
+        wait_empty(); // the worker picked the pin job up
+                      // Empty queue admits even past the byte budget.
+        assert!(pool.try_submit(Box::new(|| {}), 1_000));
+        assert_eq!(pool.queued_bytes(), 1_000);
+        // Non-empty and over budget: everything is shed, even free
+        // jobs, until the queue drains.
+        assert!(!pool.try_submit(Box::new(|| {}), 50));
+        assert!(!pool.try_submit(Box::new(|| {}), 0));
+        gate_tx.send(()).unwrap(); // unpin: the 1000-byte job drains
+        wait_empty();
+        assert!(pool.try_submit(pin(), 0));
+        wait_empty(); // re-pinned
+                      // Within budget: depth is the binding constraint.
+        assert!(pool.try_submit(Box::new(|| {}), 60));
+        assert!(pool.try_submit(Box::new(|| {}), 40));
+        assert_eq!(pool.queued_bytes(), 100);
+        assert!(!pool.try_submit(Box::new(|| {}), 0), "depth capacity 2");
+        gate_tx.send(()).unwrap();
     }
 }

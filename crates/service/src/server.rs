@@ -8,11 +8,12 @@ use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
+use crate::job::JobError;
 use crate::net::{ListenerHandle, ShutdownReader, IDLE_POLL};
 use crate::service::{Service, ServiceConfig};
 use crate::wire::{
-    decode_request, encode_error_response, encode_pong_response, encode_run_response,
-    encode_stats_response, read_frame, write_frame, Request,
+    decode_request, encode_busy_response, encode_error_response, encode_pong_response,
+    encode_run_response, encode_stats_response, read_frame, write_frame, Request,
 };
 
 /// A running `spanner-serve` wire frontend. Dropping it (or calling
@@ -68,21 +69,38 @@ impl Server {
 fn serve_connection(stream: TcpStream, service: &Arc<Service>, stop: &AtomicBool) {
     // A read timeout turns a blocked idle read into a periodic
     // shutdown-flag check. `ShutdownReader` retries cleanly, so
-    // in-flight frames are never corrupted by the poll.
+    // in-flight frames are never corrupted by the poll — and arms a
+    // per-frame deadline once bytes start flowing (slow-loris
+    // defense).
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let _ = stream.set_nodelay(true);
-    let mut reader = ShutdownReader {
-        stream: &stream,
-        stop,
-    };
+    let mut reader = ShutdownReader::new(&stream, stop, service.read_budget());
     let mut writer = &stream;
     loop {
         let payload = match read_frame(&mut reader) {
             Ok(Some(p)) => p,
             Ok(None) => break, // client closed, or shutdown while idle
-            Err(_) => break,
+            Err(_) => {
+                if reader.timed_out() {
+                    service.on_connection_timed_out();
+                }
+                break;
+            }
         };
+        reader.finish_message();
         let response = handle_request(&payload, service);
+        // Chaos hook: a dropped connection mid-response frame. The
+        // client sees an unexpected EOF and (with retries enabled)
+        // reconnects and resubmits — idempotent by the byte-identity
+        // contract.
+        if service.fault().fire("conn.drop") {
+            use std::io::Write;
+            let bytes = response.as_bytes();
+            let _ = writer.write_all(&(bytes.len() as u32).to_be_bytes());
+            let _ = writer.write_all(&bytes[..bytes.len() / 2]);
+            let _ = writer.flush();
+            break;
+        }
         if write_frame(&mut writer, response.as_bytes()).is_err() {
             break;
         }
@@ -96,6 +114,7 @@ fn handle_request(payload: &[u8], service: &Arc<Service>) -> String {
         Ok(Request::Stats) => encode_stats_response(&service.metrics().to_json()),
         Ok(Request::Run(spec)) => match service.run(&spec) {
             Ok(resp) => encode_run_response(&resp),
+            Err(JobError::Busy { retry_after_ms }) => encode_busy_response(retry_after_ms),
             Err(e) => encode_error_response(&e.to_string()),
         },
         Err(e) => encode_error_response(&e.to_string()),

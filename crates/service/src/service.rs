@@ -15,10 +15,15 @@
 //! 4. under the in-flight lock, a key currently executing is joined
 //!    (**coalesced** — N concurrent identical submissions run the
 //!    engine once and all receive the same run);
-//! 5. otherwise a fresh entry is registered and the engine run is
-//!    enqueued on the bounded worker pool (**cache miss**). A
-//!    completed (never aborted) run is appended to the store before
-//!    its waiters are released.
+//! 5. otherwise admission control charges the run against the worker
+//!    queue's depth and byte budgets: an exhausted budget **sheds**
+//!    the job — [`JobError::Busy`] with a retry hint derived from the
+//!    observed p95 latency, never a silently growing backlog — while
+//!    an admitted run registers a fresh in-flight entry and enqueues
+//!    on the bounded worker pool (**cache miss**). A completed (never
+//!    aborted) run is appended to the store before its waiters are
+//!    released; a *failed* append demotes the store to memory-only
+//!    caching (`store_degraded` gauge) instead of failing the job.
 //!
 //! Persistence inherits the wire protocol's byte-identity contract: a
 //! disk hit reconstructs the same canonical [`SpannerRun`] the cold
@@ -63,7 +68,7 @@ use std::time::{Duration, Instant};
 use dsa_core::dist::{run_variant_timed, EngineConfig, SpannerRun, VariantInstance, VariantKind};
 use dsa_graphs::EdgeId;
 use dsa_runtime::obs;
-use dsa_runtime::FlightRecorder;
+use dsa_runtime::{FaultInjector, FlightRecorder};
 
 use crate::cache::LruCache;
 use crate::job::{canonicalize_job, JobError, JobResponse, JobSpec};
@@ -76,9 +81,15 @@ use crate::store::{verification_bytes, Store};
 pub struct ServiceConfig {
     /// Worker threads executing engine runs.
     pub workers: usize,
-    /// Bound on queued (not yet started) runs; submissions beyond it
-    /// block until a worker drains the queue.
+    /// Bound on queued (not yet started) runs; a fresh submission that
+    /// would exceed it is *shed* — rejected with
+    /// [`JobError::Busy`] and a retry hint — never silently backlogged.
     pub queue_capacity: usize,
+    /// Bound on the summed size estimates (bytes) of queued runs; a
+    /// fresh submission that would exceed it is shed like a depth
+    /// overflow. An empty queue always admits, so one oversized job
+    /// is still servable.
+    pub queue_byte_budget: usize,
     /// LRU result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
     /// Deadline applied by [`JobHandle::wait`] when the spec carries
@@ -97,6 +108,18 @@ pub struct ServiceConfig {
     /// the LRU at startup, so a restarted service answers prior
     /// instances byte-identically without re-running the engine.
     pub cache_dir: Option<PathBuf>,
+    /// Deterministic fault injector for chaos testing
+    /// ([`dsa_runtime::fault`]). `None` (the default) never faults.
+    /// Injection can delay or abort engine runs, fail store I/O, and
+    /// drop connections — it can never change response bytes.
+    pub fault: Option<Arc<FaultInjector>>,
+    /// Per-connection read deadline applied by the TCP and HTTP
+    /// frontends: once the first byte of a request (or frame) has
+    /// arrived, the rest must arrive within this budget or the
+    /// connection is closed and counted
+    /// ([`MetricsSnapshot::connections_timed_out`]) — the slow-loris
+    /// defense. Idle keep-alive connections are unaffected.
+    pub read_budget: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -104,10 +127,13 @@ impl Default for ServiceConfig {
         ServiceConfig {
             workers: 4,
             queue_capacity: 64,
+            queue_byte_budget: 64 << 20,
             cache_capacity: 256,
             default_timeout: None,
             engine_shards: None,
             cache_dir: None,
+            fault: None,
+            read_budget: Duration::from_secs(30),
         }
     }
 }
@@ -127,6 +153,14 @@ fn config_sig(cfg: &EngineConfig) -> ConfigSig {
         cfg.round_densities,
         cfg.max_iterations,
     )
+}
+
+/// Rough in-memory footprint of a queued run, charged against the
+/// admission byte budget ([`ServiceConfig::queue_byte_budget`]): the
+/// canonical instance (CSR adjacency + per-edge payload) dominates a
+/// queued closure's retained memory.
+fn job_cost(instance: &VariantInstance) -> usize {
+    256 + instance.num_vertices() * 8 + instance.num_edges() * 24
 }
 
 /// One in-flight engine run, shared by every coalesced waiter.
@@ -172,6 +206,11 @@ struct Shared {
     /// The persistent tier behind the LRU; locked after `cache` and
     /// never while `inflight` is held.
     store: Option<Mutex<Store>>,
+    /// Cleared when a store append fails (real ENOSPC or injected
+    /// fault): the service demotes itself to memory-only caching —
+    /// the store is neither read nor written again — instead of
+    /// failing requests or serving unverified bytes.
+    store_ok: AtomicBool,
     inflight: Mutex<HashMap<u64, Arc<Inflight>>>,
     metrics: ServiceMetrics,
     /// Lifecycle span/event ring: every submission gets a trace id and
@@ -187,6 +226,9 @@ pub struct Service {
     shared: Arc<Shared>,
     default_timeout: Option<Duration>,
     engine_shards: Option<usize>,
+    workers: usize,
+    fault: Arc<FaultInjector>,
+    read_budget: Duration,
     /// Dropped last (declaration order): pool teardown drains queued
     /// runs, and those workers still need `shared`.
     pool: Pool,
@@ -216,11 +258,15 @@ impl Service {
     pub fn open(cfg: &ServiceConfig) -> std::io::Result<Self> {
         let mut cache = LruCache::new(cfg.cache_capacity);
         let metrics = ServiceMetrics::new();
+        let fault = cfg
+            .fault
+            .clone()
+            .unwrap_or_else(|| Arc::new(FaultInjector::disabled()));
         let store = match &cfg.cache_dir {
             None => None,
             Some(dir) => {
                 let t_recovery = Instant::now();
-                let mut store = Store::open(dir)?;
+                let mut store = Store::open_with(dir, Arc::clone(&fault))?;
                 if store.dropped() > 0 {
                     let dropped = store.dropped();
                     let dir = dir.display();
@@ -252,13 +298,17 @@ impl Service {
             shared: Arc::new(Shared {
                 cache: Mutex::new(cache),
                 store,
+                store_ok: AtomicBool::new(true),
                 inflight: Mutex::new(HashMap::new()),
                 metrics,
                 flight: FlightRecorder::new(obs::DEFAULT_FLIGHT_CAPACITY),
             }),
             default_timeout: cfg.default_timeout,
             engine_shards: cfg.engine_shards,
-            pool: Pool::new(cfg.workers, cfg.queue_capacity),
+            workers: cfg.workers,
+            fault,
+            read_budget: cfg.read_budget,
+            pool: Pool::new(cfg.workers, cfg.queue_capacity, cfg.queue_byte_budget),
         })
     }
 
@@ -318,7 +368,12 @@ impl Service {
         // off the disk. The index is consulted *before* the identity
         // bytes are rendered, so a stream of novel jobs never pays an
         // O(instance) serialization for a guaranteed miss.
-        if let Some(store) = &self.shared.store {
+        if let Some(store) = self
+            .shared
+            .store
+            .as_ref()
+            .filter(|_| self.shared.store_ok.load(Ordering::SeqCst))
+        {
             let mut store = store.lock().expect("store lock");
             let hit = if store.contains(job.key) {
                 let t_read = Instant::now();
@@ -373,16 +428,8 @@ impl Service {
             waiters: AtomicUsize::new(1),
             abort: Arc::new(AtomicBool::new(false)),
         });
-        if tracked {
-            inflight.insert(job.key, Arc::clone(&entry));
-        }
-        self.shared.metrics.on_cache_miss();
-        self.shared.flight.event(trace_id, "job.queued", vec![]);
-        drop(inflight);
-        drop(cache);
-
-        let handle = handle_base(HandleSource::Waiting(Arc::clone(&entry)));
         let shared = Arc::clone(&self.shared);
+        let fault = Arc::clone(&self.fault);
         let key = job.key;
         let mut config = job.config;
         // Execution policy: the run aborts cooperatively when the
@@ -408,99 +455,168 @@ impl Service {
                 }
             }
         };
-        // May block on queue backpressure — locks are released above.
-        self.pool.submit(Box::new(move || {
-            // Skip the run when every waiter gave up before it began.
-            // The waiter count is read under the in-flight lock — the
-            // same lock a coalescing submit increments it under — so a
-            // submission can never join an entry this closure is about
-            // to retire as skipped.
-            {
-                let mut inflight = shared.inflight.lock().expect("inflight lock");
-                if entry.waiters.load(Ordering::SeqCst) == 0 {
+        let worker = {
+            let entry = Arc::clone(&entry);
+            Box::new(move || {
+                // Skip the run when every waiter gave up before it began.
+                // The waiter count is read under the in-flight lock — the
+                // same lock a coalescing submit increments it under — so a
+                // submission can never join an entry this closure is about
+                // to retire as skipped.
+                {
+                    let mut inflight = shared.inflight.lock().expect("inflight lock");
+                    if entry.waiters.load(Ordering::SeqCst) == 0 {
+                        retire(&mut inflight);
+                        drop(inflight);
+                        let mut state = entry.state.lock().expect("inflight state");
+                        state.skipped = true;
+                        drop(state);
+                        entry.done.notify_all();
+                        shared.metrics.on_skipped();
+                        shared.flight.event(trace_id, "job.skipped", vec![]);
+                        return;
+                    }
+                }
+                // Chaos hooks: injected latency perturbs scheduling, an
+                // injected abort exercises the cooperative-cancellation
+                // path (waiters see `Cancelled` and retry). Neither can
+                // change the bytes a spec maps to.
+                if let Some(delay) = fault.latency("engine.latency_ms") {
+                    std::thread::sleep(delay);
+                }
+                if fault.fire("engine.abort") {
+                    entry.abort.store(true, Ordering::SeqCst);
+                }
+                let t0 = Instant::now();
+                let (run, phases) = run_variant_timed(&entry.instance, &config);
+                let run = Arc::new(run);
+                if run.cancelled {
+                    // Mid-flight abort: every waiter is gone (the flag is
+                    // only raised by the last cancel), and the partial
+                    // spanner must never reach the cache.
+                    let mut inflight = shared.inflight.lock().expect("inflight lock");
                     retire(&mut inflight);
                     drop(inflight);
                     let mut state = entry.state.lock().expect("inflight state");
                     state.skipped = true;
                     drop(state);
                     entry.done.notify_all();
-                    shared.metrics.on_skipped();
-                    shared.flight.event(trace_id, "job.skipped", vec![]);
+                    shared.metrics.on_aborted();
+                    shared.flight.event(trace_id, "job.aborted", vec![]);
                     return;
                 }
-            }
-            let t0 = Instant::now();
-            let (run, phases) = run_variant_timed(&entry.instance, &config);
-            let run = Arc::new(run);
-            if run.cancelled {
-                // Mid-flight abort: every waiter is gone (the flag is
-                // only raised by the last cancel), and the partial
-                // spanner must never reach the cache.
-                let mut inflight = shared.inflight.lock().expect("inflight lock");
-                retire(&mut inflight);
-                drop(inflight);
+                let elapsed = t0.elapsed();
+                shared
+                    .metrics
+                    .on_executed(run.iterations, run.local_rounds(), elapsed);
+                shared.flight.span(
+                    trace_id,
+                    "engine.run",
+                    elapsed,
+                    vec![
+                        ("iterations".to_string(), run.iterations.to_string()),
+                        ("step1_us".to_string(), phases.step1.as_micros().to_string()),
+                        ("step3_us".to_string(), phases.step3.as_micros().to_string()),
+                        ("step4_us".to_string(), phases.step4.as_micros().to_string()),
+                        (
+                            "coverage_us".to_string(),
+                            phases.coverage.as_micros().to_string(),
+                        ),
+                    ],
+                );
+                // Same lock order as classification: publish to the cache
+                // *before* retiring the in-flight entry.
+                let mut cache = shared.cache.lock().expect("cache lock");
+                cache.insert(
+                    key,
+                    CachedResult {
+                        instance: entry.instance.clone(),
+                        config_sig: entry.config_sig,
+                        run: Arc::clone(&run),
+                    },
+                );
+                retire(&mut shared.inflight.lock().expect("inflight lock"));
+                drop(cache);
+                // Persist the completed run (aborted runs returned above
+                // and never reach this point) — *outside* the cache lock:
+                // the LRU insert above already guarantees a racing
+                // submission finds the result, so the O(instance)
+                // serialization and the disk write need not block other
+                // submissions. (With the LRU disabled a racer landing in
+                // this window recomputes once; duplicate work, never
+                // wrong bytes.)
+                if let Some(store) = shared
+                    .store
+                    .as_ref()
+                    .filter(|_| shared.store_ok.load(Ordering::SeqCst))
+                {
+                    let t_write = Instant::now();
+                    let verification = verification_bytes(&entry.instance, &config);
+                    let mut store = store.lock().expect("store lock");
+                    match store.append(key, &verification, &run) {
+                        Ok(()) => {
+                            shared.metrics.set_store_records(store.records());
+                            shared.metrics.on_store_write(t_write.elapsed());
+                        }
+                        Err(e) => {
+                            // Degrade, never fail: the result was already
+                            // published to the cache with verified bytes;
+                            // only persistence is lost. Demote the store so
+                            // no later submission reads from (or writes to)
+                            // a file in an unknown state.
+                            drop(store);
+                            shared.store_ok.store(false, Ordering::SeqCst);
+                            shared.metrics.set_store_degraded();
+                            let err = e.to_string();
+                            obs::error(
+                                "dsa-service",
+                                "store append failed; demoting to memory-only caching",
+                                &[("error", &err)],
+                            );
+                        }
+                    }
+                }
                 let mut state = entry.state.lock().expect("inflight state");
-                state.skipped = true;
+                state.result = Some(run);
                 drop(state);
                 entry.done.notify_all();
-                shared.metrics.on_aborted();
-                shared.flight.event(trace_id, "job.aborted", vec![]);
-                return;
-            }
-            let elapsed = t0.elapsed();
-            shared
-                .metrics
-                .on_executed(run.iterations, run.local_rounds(), elapsed);
-            shared.flight.span(
+            })
+        };
+        // Admission control, decided with both locks still held (the
+        // pool lock is a leaf): a fresh run must win a queue slot
+        // before the entry is published to the in-flight map, so a
+        // shed job leaves nothing behind for later submissions to
+        // coalesce onto — and `shed` classification is as atomic as
+        // the other three classes.
+        if !self.pool.try_submit(worker, job_cost(&entry.instance)) {
+            let retry_after_ms = self.retry_after_hint_ms();
+            self.shared.metrics.on_shed();
+            self.shared.flight.event(
                 trace_id,
-                "engine.run",
-                elapsed,
-                vec![
-                    ("iterations".to_string(), run.iterations.to_string()),
-                    ("step1_us".to_string(), phases.step1.as_micros().to_string()),
-                    ("step3_us".to_string(), phases.step3.as_micros().to_string()),
-                    ("step4_us".to_string(), phases.step4.as_micros().to_string()),
-                    (
-                        "coverage_us".to_string(),
-                        phases.coverage.as_micros().to_string(),
-                    ),
-                ],
+                "job.shed",
+                vec![("retry_after_ms".to_string(), retry_after_ms.to_string())],
             );
-            // Same lock order as classification: publish to the cache
-            // *before* retiring the in-flight entry.
-            let mut cache = shared.cache.lock().expect("cache lock");
-            cache.insert(
-                key,
-                CachedResult {
-                    instance: entry.instance.clone(),
-                    config_sig: entry.config_sig,
-                    run: Arc::clone(&run),
-                },
-            );
-            retire(&mut shared.inflight.lock().expect("inflight lock"));
-            drop(cache);
-            // Persist the completed run (aborted runs returned above
-            // and never reach this point) — *outside* the cache lock:
-            // the LRU insert above already guarantees a racing
-            // submission finds the result, so the O(instance)
-            // serialization and the disk write need not block other
-            // submissions. (With the LRU disabled a racer landing in
-            // this window recomputes once; duplicate work, never
-            // wrong bytes.)
-            if let Some(store) = &shared.store {
-                let t_write = Instant::now();
-                let verification = verification_bytes(&entry.instance, &config);
-                let mut store = store.lock().expect("store lock");
-                store.append(key, &verification, &run);
-                shared.metrics.set_store_records(store.records());
-                shared.metrics.on_store_write(t_write.elapsed());
-            }
-            let mut state = entry.state.lock().expect("inflight state");
-            state.result = Some(run);
-            drop(state);
-            entry.done.notify_all();
-        }));
-        Ok(handle)
+            return Err(JobError::Busy { retry_after_ms });
+        }
+        if tracked {
+            inflight.insert(job.key, Arc::clone(&entry));
+        }
+        self.shared.metrics.on_cache_miss();
+        self.shared.flight.event(trace_id, "job.queued", vec![]);
+        drop(inflight);
+        drop(cache);
+        Ok(handle_base(HandleSource::Waiting(entry)))
+    }
+
+    /// How long a shed caller should wait before retrying, derived
+    /// from the observed p95 engine latency and the backlog per
+    /// worker. Clamped to [10ms, 30s]; with no latency samples yet the
+    /// floor applies.
+    fn retry_after_hint_ms(&self) -> u64 {
+        let p95_ms = (self.shared.metrics.p95_us() / 1_000).max(1);
+        let pending = self.pool.queued() as u64 + 1;
+        let per_worker = pending.div_ceil(self.workers.max(1) as u64);
+        (p95_ms * per_worker).clamp(10, 30_000)
     }
 
     /// Submit-and-wait convenience.
@@ -531,6 +647,49 @@ impl Service {
     /// Jobs waiting in the pool queue (diagnostic only).
     pub fn queued_jobs(&self) -> usize {
         self.pool.queued()
+    }
+
+    /// The service's fault injector (never fires unless
+    /// [`ServiceConfig::fault`] was set); the TCP/HTTP frontends
+    /// consult it for connection-level fault points.
+    pub fn fault(&self) -> &Arc<FaultInjector> {
+        &self.fault
+    }
+
+    /// The per-connection read budget the frontends enforce
+    /// ([`ServiceConfig::read_budget`]).
+    pub(crate) fn read_budget(&self) -> Duration {
+        self.read_budget
+    }
+
+    /// Records a connection closed for exceeding its read budget.
+    pub(crate) fn on_connection_timed_out(&self) {
+        self.shared.metrics.on_connection_timed_out();
+    }
+
+    /// Waits until the worker queue and the in-flight table are both
+    /// empty, or until `timeout` passes; returns whether the service
+    /// fully drained. Graceful-shutdown callers stop accepting new
+    /// submissions first, then drain, then drop the service (which
+    /// joins the workers).
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let idle = self.pool.queued() == 0
+                && self
+                    .shared
+                    .inflight
+                    .lock()
+                    .expect("inflight lock")
+                    .is_empty();
+            if idle {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 }
 
@@ -965,5 +1124,83 @@ mod tests {
         assert_eq!(m.skipped, 1);
         // The skipped job never executed: only the two live runs did.
         assert_eq!(m.jobs_completed, 2);
+    }
+
+    #[test]
+    fn overload_sheds_with_busy_and_exact_accounting() {
+        // One worker held by an injected delay, a depth-1 queue: the
+        // third concurrent distinct submission must shed.
+        let plan = dsa_runtime::FaultPlan::parse("seed=1;engine.latency_ms=300@1.0").unwrap();
+        let service = Service::new(&ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            fault: Some(Arc::new(FaultInjector::new(plan))),
+            ..ServiceConfig::default()
+        });
+        let running = service.submit(&undirected_spec(20, 0.3, 10, 1)).unwrap();
+        // Wait for the worker to dequeue the first job so the single
+        // queue slot is free for the second — otherwise this test
+        // races the worker thread's pickup.
+        while service.metrics().queue_depth > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let queued = service.submit(&undirected_spec(20, 0.3, 11, 1)).unwrap();
+        let shed = service.submit(&undirected_spec(20, 0.3, 12, 1)).map(|_| ());
+        let Err(JobError::Busy { retry_after_ms }) = shed else {
+            panic!("expected Busy, got {shed:?}");
+        };
+        assert!((10..=30_000).contains(&retry_after_ms));
+        running.wait().unwrap();
+        queued.wait().unwrap();
+        let m = service.metrics();
+        assert_eq!(m.shed, 1);
+        assert_eq!(
+            m.jobs_submitted,
+            m.cache_hits + m.cache_misses + m.coalesced + m.shed
+        );
+        // A shed job left nothing to coalesce onto: resubmitting it
+        // now is a plain miss that runs to completion.
+        service.run(&undirected_spec(20, 0.3, 12, 1)).unwrap();
+        assert_eq!(service.metrics().coalesced, 0);
+    }
+
+    #[test]
+    fn injected_store_failure_degrades_to_memory_only() {
+        // Every append fails: the first completed run demotes the
+        // store, yet every job still returns correct (byte-identical)
+        // results from the in-memory path.
+        let plan = dsa_runtime::FaultPlan::parse("seed=2;store.append.err=1.0").unwrap();
+        let dir = store_dir("degrade");
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Service::open(&ServiceConfig {
+            cache_dir: Some(dir.clone()),
+            fault: Some(Arc::new(FaultInjector::new(plan))),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let spec = undirected_spec(24, 0.25, 20, 1);
+        let a = service.run(&spec).unwrap();
+        let b = service.run(&spec).unwrap();
+        assert_eq!(a, b, "degraded service still serves identical bytes");
+        service.run(&undirected_spec(24, 0.25, 21, 1)).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.store_degraded, 1);
+        assert_eq!(m.store_records, 0, "no record survived the failed appends");
+        assert_eq!(
+            m.jobs_submitted,
+            m.cache_hits + m.cache_misses + m.coalesced + m.shed
+        );
+        drop(service);
+        // The degraded store never poisoned the directory: a healthy
+        // reopen starts clean.
+        let reopened = Service::open(&ServiceConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        reopened.run(&spec).unwrap();
+        assert_eq!(reopened.metrics().store_records, 1);
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

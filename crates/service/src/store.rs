@@ -55,11 +55,23 @@
 //! [`Store::warm_records`] both respect.
 //!
 //! **Single writer.** A store directory belongs to one process at a
-//! time (the standard one-daemon deployment); concurrent writers are
-//! not coordinated, and two live services appending to one log can
-//! interleave frames. Verification still prevents wrong bytes from
-//! ever being served, but the interleaved tail is dropped on the next
-//! open. An advisory lock is queued on the ROADMAP.
+//! time (the standard one-daemon deployment): opening the store takes
+//! an advisory lock — a `lock` file created with `create_new`
+//! holding the owner's PID — and a second open fails fast with an
+//! error naming that PID instead of interleaving frames into the log.
+//! A lock left behind by a crashed process (its PID no longer alive)
+//! is detected as stale and reclaimed; the lock file is removed when
+//! the store is dropped.
+//!
+//! **Fault injection.** The store threads every write and point read
+//! through [`dsa_runtime::fault`] points (`store.append.err`,
+//! `store.append.short`, `store.append.corrupt`, `store.read.err`) so
+//! chaos runs can exercise ENOSPC-style failures, crash-shaped short
+//! writes, and silent corruption deterministically. An injected (or
+//! real) append failure surfaces as an `Err` the service uses to
+//! demote itself to memory-only caching; injected corruption is
+//! caught by the same checksum-plus-verification reads that guard
+//! against real disk rot — wrong bytes are never served.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -70,6 +82,7 @@ use std::sync::Arc;
 use dsa_core::dist::{EngineConfig, IterationStats, SpannerRun, VariantInstance};
 use dsa_graphs::canon::Fnv1a;
 use dsa_graphs::EdgeSet;
+use dsa_runtime::{obs, FaultInjector};
 
 use crate::job::{canonicalize_job, JobSpec};
 use crate::wire;
@@ -79,6 +92,10 @@ const MAGIC: &[u8; 8] = b"DSASTOR1";
 
 /// Name of the record log inside a store directory.
 pub(crate) const LOG_FILE: &str = "results.log";
+
+/// Name of the advisory single-writer lock file inside a store
+/// directory; holds the owning PID for diagnostics.
+pub(crate) const LOCK_FILE: &str = "lock";
 
 /// Upper bound on one record payload. A record carries the wire
 /// encoding of the job (bounded by [`wire::MAX_FRAME`] for anything
@@ -132,6 +149,10 @@ struct IndexEntry {
 pub(crate) struct Store {
     file: File,
     path: PathBuf,
+    /// The advisory lock file this store holds; removed on drop.
+    lock_path: PathBuf,
+    /// Fault-injection points threaded through appends and reads.
+    fault: Arc<FaultInjector>,
     /// `key -> latest record` for point lookups.
     index: HashMap<u64, IndexEntry>,
     /// Keys in append order (latest position per key), for warm
@@ -144,30 +165,121 @@ pub(crate) struct Store {
     dropped: u64,
 }
 
+/// Whether `pid` names a live process. Probed via procfs; where
+/// procfs is absent the holder is assumed alive — never risking a
+/// second writer is worth a manual `rm` after an unclean shutdown on
+/// such platforms.
+fn pid_alive(pid: u32) -> bool {
+    let proc_root = Path::new("/proc");
+    if !proc_root.exists() {
+        return true;
+    }
+    proc_root.join(pid.to_string()).exists()
+}
+
+/// Takes the advisory single-writer lock: creates `path` exclusively
+/// with this process's PID inside. A lock held by a live process is a
+/// hard error naming that PID; a lock whose owner is dead (or whose
+/// contents are garbage) is reclaimed once.
+fn acquire_lock(path: &Path) -> std::io::Result<()> {
+    for attempt in 0..2 {
+        match OpenOptions::new().write(true).create_new(true).open(path) {
+            Ok(mut f) => {
+                // The PID is diagnostic; a lock that exists but cannot
+                // be written still excludes other writers.
+                let _ = writeln!(f, "{}", std::process::id());
+                let _ = f.flush();
+                return Ok(());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists && attempt == 0 => {
+                let holder = std::fs::read_to_string(path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                match holder {
+                    Some(pid) if pid_alive(pid) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WouldBlock,
+                            format!(
+                                "store is locked by pid {pid} ({}); \
+                                 a store directory has one writer at a time — \
+                                 remove the lock file only if that process is gone",
+                                path.display()
+                            ),
+                        ));
+                    }
+                    _ => {
+                        // Dead owner or unreadable contents: the lock
+                        // is stale. Reclaim it and retry once (a loser
+                        // of the reclaim race sees AlreadyExists again
+                        // on attempt 1 and errors out below).
+                        let lock = path.display();
+                        obs::warn(
+                            "dsa-service",
+                            "reclaiming stale store lock",
+                            &[("path", &lock), ("holder", &format_args!("{holder:?}"))],
+                        );
+                        std::fs::remove_file(path)?;
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(std::io::Error::new(
+        std::io::ErrorKind::WouldBlock,
+        format!(
+            "store lock {} was re-taken while reclaiming it",
+            path.display()
+        ),
+    ))
+}
+
 impl Store {
+    /// Opens (creating if necessary) the store in `dir` with fault
+    /// injection disabled. See [`Store::open_with`].
+    #[cfg(test)]
+    pub fn open(dir: &Path) -> std::io::Result<Store> {
+        Store::open_with(dir, Arc::new(FaultInjector::disabled()))
+    }
+
     /// Opens (creating if necessary) the store in `dir`, recovering
     /// from a corrupt or truncated log as described in the module
-    /// docs. IO errors other than corruption — an unwritable
-    /// directory, say — are real errors and fail the open.
-    pub fn open(dir: &Path) -> std::io::Result<Store> {
+    /// docs, and threading `fault` through subsequent IO. Takes the
+    /// single-writer lock first: a directory already owned by a live
+    /// process fails fast. IO errors other than corruption — an
+    /// unwritable directory, say — are real errors and fail the open.
+    pub fn open_with(dir: &Path, fault: Arc<FaultInjector>) -> std::io::Result<Store> {
         std::fs::create_dir_all(dir)?;
+        let lock_path = dir.join(LOCK_FILE);
+        acquire_lock(&lock_path)?;
         let path = dir.join(LOG_FILE);
-        let file = OpenOptions::new()
+        let file = match OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
-            .open(&path)?;
-        let file_len = file.metadata()?.len();
-
+            .open(&path)
+        {
+            Ok(file) => file,
+            Err(e) => {
+                // The lock was taken but no Store exists to drop it.
+                let _ = std::fs::remove_file(&lock_path);
+                return Err(e);
+            }
+        };
+        // From here on `store` owns the lock: any early `?` return
+        // drops it, which removes the lock file.
         let mut store = Store {
             file,
             path,
+            lock_path,
+            fault,
             index: HashMap::new(),
             order: Vec::new(),
             end: MAGIC.len() as u64,
             dropped: 0,
         };
+        let file_len = store.file.metadata()?.len();
 
         if file_len == 0 {
             store.file.write_all(MAGIC)?;
@@ -281,6 +393,9 @@ impl Store {
     /// form of the service's hash-collision guard. Any mismatch, read
     /// failure, or decode failure is a miss.
     pub fn get(&mut self, key: u64, verification: &[u8]) -> Option<SpannerRun> {
+        if self.fault.fire("store.read.err") {
+            return None; // an unreadable record is a miss, never an error
+        }
         let entry = *self.index.get(&key)?;
         let payload = self.read_payload(entry)?;
         let record = decode_payload(&payload)?;
@@ -291,11 +406,21 @@ impl Store {
     }
 
     /// Appends one completed run. The caller guarantees the run is
-    /// complete (never cancelled); a failed write leaves the log
-    /// truncated back to its previous end so the tail stays
-    /// well-formed, and the record is simply not persisted.
-    pub fn append(&mut self, key: u64, verification: &[u8], run: &SpannerRun) {
+    /// complete (never cancelled). On error the record is not
+    /// persisted: a real write failure leaves the log truncated back
+    /// to its previous end (best effort) so the tail stays
+    /// well-formed, and the error is returned for the caller to act
+    /// on — the service demotes itself to memory-only caching.
+    pub fn append(
+        &mut self,
+        key: u64,
+        verification: &[u8],
+        run: &SpannerRun,
+    ) -> std::io::Result<()> {
         debug_assert!(!run.cancelled, "aborted runs must never be persisted");
+        if let Some(e) = self.fault.io_error("store.append.err") {
+            return Err(e); // ENOSPC-shaped: fails before touching disk
+        }
         let mut payload = Vec::with_capacity(verification.len() + 64);
         payload.extend_from_slice(&key.to_be_bytes());
         payload.extend_from_slice(&(verification.len() as u32).to_be_bytes());
@@ -304,12 +429,31 @@ impl Store {
         payload.extend_from_slice(&(run_bytes.len() as u32).to_be_bytes());
         payload.extend_from_slice(&run_bytes);
         if payload.len() > MAX_PAYLOAD {
-            return; // cannot be replayed within the read bound; skip
+            return Ok(()); // cannot be replayed within the read bound; skip
         }
         let mut frame = Vec::with_capacity(payload.len() + 12);
         frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
         frame.extend_from_slice(&payload);
         frame.extend_from_slice(&checksum(&payload).to_be_bytes());
+        if self.fault.fire("store.append.short") {
+            // Crash-shaped: half the frame reaches disk and stays
+            // there (no truncation — the next open's recovery walk has
+            // to cope with the ragged tail, exactly as after a real
+            // crash).
+            let cut = frame.len() / 2;
+            let _ = self.file.seek(SeekFrom::Start(self.end));
+            let _ = self.file.write_all(&frame[..cut]);
+            let _ = self.file.flush();
+            return Err(std::io::Error::other("injected fault: store.append.short"));
+        }
+        if self.fault.fire("store.append.corrupt") {
+            // Silent-rot-shaped: the write "succeeds" but a checksum
+            // byte is flipped. Reads catch it (checksum mismatch =>
+            // miss) and the next open counts it dropped; wrong bytes
+            // are never served.
+            let last = frame.len() - 1;
+            frame[last] ^= 0xff;
+        }
         let write = (|| -> std::io::Result<()> {
             self.file.seek(SeekFrom::Start(self.end))?;
             self.file.write_all(&frame)?;
@@ -325,16 +469,15 @@ impl Store {
                     },
                 );
                 self.end += frame.len() as u64;
+                Ok(())
             }
             Err(e) => {
-                let path = self.path.display();
-                dsa_runtime::obs::error(
-                    "dsa-service",
-                    "store append failed; result not persisted",
-                    &[("path", &path), ("error", &e)],
-                );
                 // Best effort: drop any partial frame.
                 let _ = self.file.set_len(self.end);
+                Err(std::io::Error::new(
+                    e.kind(),
+                    format!("{}: {e}", self.path.display()),
+                ))
             }
         }
     }
@@ -394,6 +537,15 @@ impl Store {
             return None;
         }
         Some(buf[..entry.payload_len as usize].to_vec())
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        // Release the single-writer lock. Best effort: a failure here
+        // leaves a stale lock that the next open reclaims (our PID is
+        // gone by then, or the operator removes it by hand).
+        let _ = std::fs::remove_file(&self.lock_path);
     }
 }
 
@@ -584,7 +736,7 @@ mod tests {
         {
             let mut store = Store::open(&dir).unwrap();
             assert_eq!(store.records(), 0);
-            store.append(key, &verification, &run);
+            store.append(key, &verification, &run).unwrap();
             assert_eq!(store.records(), 1);
             let hit = store.get(key, &verification).expect("hit");
             assert!(runs_equal(&hit, &run));
@@ -607,8 +759,8 @@ mod tests {
         let (k2, v2, r2) = sample_job(2);
         {
             let mut store = Store::open(&dir).unwrap();
-            store.append(k1, &v1, &r1);
-            store.append(k2, &v2, &r2);
+            store.append(k1, &v1, &r1).unwrap();
+            store.append(k2, &v2, &r2).unwrap();
         }
         let mut store = Store::open(&dir).unwrap();
         let warm = store.warm_records(usize::MAX);
@@ -630,9 +782,9 @@ mod tests {
         let full_len;
         {
             let mut store = Store::open(&dir).unwrap();
-            store.append(k1, &v1, &r1);
+            store.append(k1, &v1, &r1).unwrap();
             full_len = store.end;
-            store.append(k2, &v2, &r2);
+            store.append(k2, &v2, &r2).unwrap();
         }
         // Cut the second record short (mid-payload).
         let path = dir.join(LOG_FILE);
@@ -645,7 +797,7 @@ mod tests {
         assert!(store.get(k2, &v2).is_none());
         // The tail was truncated to a clean boundary: appending and
         // reopening works.
-        store.append(k2, &v2, &r2);
+        store.append(k2, &v2, &r2).unwrap();
         drop(store);
         let mut store = Store::open(&dir).unwrap();
         assert_eq!((store.records(), store.dropped()), (2, 0));
@@ -661,9 +813,9 @@ mod tests {
         let first_end;
         {
             let mut store = Store::open(&dir).unwrap();
-            store.append(k1, &v1, &r1);
+            store.append(k1, &v1, &r1).unwrap();
             first_end = store.end;
-            store.append(k2, &v2, &r2);
+            store.append(k2, &v2, &r2).unwrap();
         }
         // Flip a byte of the FIRST record's checksum; the second
         // record must survive the skip.
@@ -690,7 +842,7 @@ mod tests {
         assert_eq!(store.dropped(), 1);
         // And the rewritten file is a working store.
         let (k, v, r) = sample_job(5);
-        store.append(k, &v, &r);
+        store.append(k, &v, &r).unwrap();
         drop(store);
         let mut store = Store::open(&dir).unwrap();
         assert_eq!((store.records(), store.dropped()), (1, 0));
@@ -704,7 +856,7 @@ mod tests {
         let (k1, v1, r1) = sample_job(1);
         {
             let mut store = Store::open(&dir).unwrap();
-            store.append(k1, &v1, &r1);
+            store.append(k1, &v1, &r1).unwrap();
         }
         // Append a frame whose length prefix claims more than the cap.
         let path = dir.join(LOG_FILE);
@@ -719,14 +871,100 @@ mod tests {
     }
 
     #[test]
+    fn second_writer_fails_fast_and_stale_locks_are_reclaimed() {
+        let dir = test_dir("lock");
+        let store = Store::open(&dir).unwrap();
+        // A live lock (our own PID) excludes a second writer, and the
+        // error names the holder.
+        let Err(err) = Store::open(&dir).map(|_| ()) else {
+            panic!("second open must fail");
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("locked by pid"), "got: {msg}");
+        assert!(msg.contains(&std::process::id().to_string()), "got: {msg}");
+        // Drop releases the lock; the next open succeeds.
+        drop(store);
+        assert!(!dir.join(LOCK_FILE).exists());
+        let store = Store::open(&dir).unwrap();
+        drop(store);
+        // A stale lock (dead PID, or garbage contents) is reclaimed.
+        std::fs::write(dir.join(LOCK_FILE), b"999999999\n").unwrap();
+        let store = Store::open(&dir).unwrap();
+        drop(store);
+        std::fs::write(dir.join(LOCK_FILE), b"not a pid\n").unwrap();
+        let store = Store::open(&dir).unwrap();
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_append_faults_fail_without_corrupting_the_log() {
+        use dsa_runtime::FaultPlan;
+        let dir = test_dir("fault-append");
+        let (k, v, r) = sample_job(1);
+        {
+            // Every append fails up front; the log stays clean.
+            let plan = FaultPlan::parse("seed=1;store.append.err=1.0").unwrap();
+            let fault = Arc::new(FaultInjector::new(plan));
+            let mut store = Store::open_with(&dir, fault).unwrap();
+            assert!(store.append(k, &v, &r).is_err());
+            assert_eq!(store.records(), 0);
+        }
+        {
+            // A short write leaves a ragged tail on disk...
+            let plan = FaultPlan::parse("seed=1;store.append.short=1.0").unwrap();
+            let fault = Arc::new(FaultInjector::new(plan));
+            let mut store = Store::open_with(&dir, fault).unwrap();
+            assert!(store.append(k, &v, &r).is_err());
+        }
+        {
+            // ...which the next open recovers from, exactly like a
+            // crash mid-append.
+            let mut store = Store::open(&dir).unwrap();
+            assert_eq!(store.records(), 0);
+            assert_eq!(store.dropped(), 1);
+            store.append(k, &v, &r).unwrap();
+            assert!(store.get(k, &v).is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_corruption_is_caught_by_reads_never_served() {
+        use dsa_runtime::FaultPlan;
+        let dir = test_dir("fault-corrupt");
+        let (k, v, r) = sample_job(1);
+        {
+            let plan = FaultPlan::parse("seed=1;store.append.corrupt=1.0").unwrap();
+            let fault = Arc::new(FaultInjector::new(plan));
+            let mut store = Store::open_with(&dir, fault).unwrap();
+            // The corrupted append reports success (silent rot)...
+            store.append(k, &v, &r).unwrap();
+            // ...but the point read's checksum catches it: a miss.
+            assert!(store.get(k, &v).is_none());
+        }
+        let mut store = Store::open(&dir).unwrap();
+        assert_eq!((store.records(), store.dropped()), (0, 1));
+        // Injected read faults are also just misses.
+        store.append(k, &v, &r).unwrap();
+        drop(store);
+        let plan = FaultPlan::parse("seed=1;store.read.err=1.0").unwrap();
+        let fault = Arc::new(FaultInjector::new(plan));
+        let mut store = Store::open_with(&dir, fault).unwrap();
+        assert_eq!(store.records(), 1);
+        assert!(store.get(k, &v).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn rewritten_key_prefers_the_latest_record() {
         let dir = test_dir("rewrite");
         let (k, v, r) = sample_job(1);
         // A different identity colliding on the key would overwrite;
         // simulate by appending the same key twice (second wins).
         let mut store = Store::open(&dir).unwrap();
-        store.append(k, b"old identity", &r);
-        store.append(k, &v, &r);
+        store.append(k, b"old identity", &r).unwrap();
+        store.append(k, &v, &r).unwrap();
         assert_eq!(store.records(), 1);
         assert!(store.get(k, &v).is_some());
         assert!(store.get(k, b"old identity").is_none());

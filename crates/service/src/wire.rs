@@ -40,7 +40,7 @@
 //! # Responses
 //!
 //! ```text
-//! ok run                  |  ok stats        |  ok ping  |  err <message>
+//! ok run                  |  ok stats        |  ok ping  |  err <message>  |  busy <retry-after-ms>
 //! key 1f2e3d4c5b6a7988    |  {"jobs_...": 1}
 //! variant weighted
 //! converged 1
@@ -138,6 +138,12 @@ pub enum Response {
     Stats(String),
     /// Answer to [`Request::Ping`].
     Pong,
+    /// The server shed the request at admission (overload). The job
+    /// was not started; retrying after the hinted delay is safe.
+    Busy {
+        /// Suggested client wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// The server rejected or failed the request.
     Error(String),
 }
@@ -472,6 +478,12 @@ pub fn encode_error_response(message: &str) -> String {
     format!("err {}\n", message.replace('\n', " "))
 }
 
+/// Encodes a `busy` response payload: the server shed the request at
+/// admission and the client should retry after `retry_after_ms`.
+pub fn encode_busy_response(retry_after_ms: u64) -> String {
+    format!("busy {retry_after_ms}\n")
+}
+
 /// Decodes a response payload.
 pub fn decode_response(payload: &[u8]) -> Result<Response, JobError> {
     let text = std::str::from_utf8(payload)
@@ -480,6 +492,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, JobError> {
     let head = head.trim_end();
     if let Some(message) = head.strip_prefix("err ") {
         return Ok(Response::Error(message.to_string()));
+    }
+    if let Some(ms) = head.strip_prefix("busy ") {
+        let retry_after_ms = parse_u64(ms.trim(), "busy retry hint")?;
+        return Ok(Response::Busy { retry_after_ms });
     }
     match head {
         "ok ping" => Ok(Response::Pong),
@@ -760,6 +776,20 @@ mod tests {
             MIN_VERTEX_ALLOWANCE
         );
         assert!(decode_request(sparse.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn busy_responses_roundtrip() {
+        let enc = encode_busy_response(1_250);
+        match decode_response(enc.as_bytes()).unwrap() {
+            Response::Busy { retry_after_ms } => assert_eq!(retry_after_ms, 1_250),
+            other => panic!("expected busy, got {other:?}"),
+        }
+        // A garbled hint is a protocol error, not a panic.
+        assert!(matches!(
+            decode_response(b"busy soon\n"),
+            Err(JobError::Protocol(_))
+        ));
     }
 
     #[test]

@@ -135,4 +135,66 @@ proptest! {
         };
         prop_assert_eq!(pairs(&g, &a.spanner), pairs(&shuffled, &b.spanner));
     }
+
+    /// Admission control accounts for every job exactly once under
+    /// concurrent hammering of a deliberately tiny pool: what the
+    /// callers observed (deliveries + busy rejections) matches the
+    /// server-side classes, `submitted = hits + misses + coalesced +
+    /// shed`, and nothing is both shed and delivered.
+    #[test]
+    fn admission_control_accounts_for_every_job(
+        (workers, queue, threads, jobs, seed) in
+            (1usize..3, 1usize..3, 2usize..6, 1u64..8, 0u64..200)
+    ) {
+        let service = Arc::new(Service::new(&ServiceConfig {
+            workers,
+            queue_capacity: queue,
+            ..ServiceConfig::default()
+        }));
+        let (delivered, shed) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let service = Arc::clone(&service);
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(seed ^ ((t as u64) << 32));
+                        let (mut delivered, mut shed) = (0u64, 0u64);
+                        for j in 0..jobs {
+                            let g = gen::gnp_connected(
+                                6 + (j as usize % 10),
+                                0.3,
+                                &mut rng,
+                            );
+                            let spec = JobSpec::new(
+                                VariantInstance::Undirected { graph: g },
+                                seed.wrapping_add(j),
+                            );
+                            match service.run(&spec) {
+                                Ok(_) => delivered += 1,
+                                Err(dsa_service::JobError::Busy { retry_after_ms }) => {
+                                    assert!((10..=30_000).contains(&retry_after_ms));
+                                    shed += 1;
+                                }
+                                Err(e) => panic!("unexpected error: {e}"),
+                            }
+                        }
+                        (delivered, shed)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .fold((0, 0), |(d, s), (d2, s2)| (d + d2, s + s2))
+        });
+        let m = service.metrics();
+        prop_assert_eq!(m.jobs_submitted, delivered + shed);
+        prop_assert_eq!(m.shed, shed);
+        prop_assert_eq!(
+            m.jobs_submitted,
+            m.cache_hits + m.cache_misses + m.coalesced + m.shed
+        );
+        // No cancellations in this workload, so every admitted job was
+        // delivered to exactly one caller.
+        prop_assert_eq!(m.jobs_completed, delivered);
+    }
 }
