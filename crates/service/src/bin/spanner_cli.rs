@@ -8,7 +8,21 @@
 //!             [--timeout-ms N] [--accept-denominator N]
 //!             [--shards N] [--no-monotone] [--no-rounding] [--ids]
 //!             [--retries N] [--retry-base-ms MS]
+//! spanner-cli [--addr HOST:PORT] [--http] graph create --id ID
+//!             --variant KIND --seed N [--input FILE|-]
+//!             [--clients "IDS"] [--servers "IDS"]
+//!             [--accept-denominator N] [--no-monotone] [--no-rounding]
+//! spanner-cli [--addr HOST:PORT] [--http] graph patch --id ID [--input FILE|-]
+//! spanner-cli [--addr HOST:PORT] [--http] graph <get|spanner|delete> --id ID
 //! ```
+//!
+//! `graph` drives the named long-lived graphs API: `create` reads the
+//! initial edge list (same formats as `run`), `patch` reads delta-op
+//! lines — `+ u v` / `+ u v WEIGHT` / `+ u v client|server|both`
+//! inserts, `- u v` deletes, blank lines and `#` comments skipped —
+//! and `spanner` prints the maintained spanner as `u v` lines.
+//! Responses are byte-identical whether the server repaired the cover
+//! incrementally or recomputed; see the README's Graphs API section.
 //!
 //! `--retries N` retries a `run` up to `N` times when the server sheds
 //! it (HTTP 429 / wire `busy`, honoring the server's retry hint),
@@ -46,15 +60,23 @@ use std::time::Duration;
 use dsa_core::dist::{VariantInstance, VariantKind};
 use dsa_graphs::io as gio;
 use dsa_graphs::EdgeSet;
-use dsa_service::{Client, HttpClient, JobError, JobResponse, JobSpec, RetryPolicy};
+use dsa_service::{
+    Client, DeltaOp, GraphCreated, GraphMeta, GraphPatched, GraphSpannerResult, GraphSpec,
+    HttpClient, JobError, JobResponse, JobSpec, RetryPolicy,
+};
 
 const USAGE: &str =
-    "usage: spanner-cli [--addr HOST:PORT] [--http] [--log-level LEVEL] <ping|stats|run> [run options]\n\
+    "usage: spanner-cli [--addr HOST:PORT] [--http] [--log-level LEVEL] <ping|stats|run|graph> [options]\n\
      run options: --variant <undirected|directed|weighted|client-server> --seed N\n\
      \x20            [--input FILE|-] [--clients \"IDS\"] [--servers \"IDS\"]\n\
      \x20            [--timeout-ms N] [--accept-denominator N] [--shards N]\n\
      \x20            [--no-monotone] [--no-rounding] [--ids]\n\
-     \x20            [--retries N] [--retry-base-ms MS]";
+     \x20            [--retries N] [--retry-base-ms MS]\n\
+     graph subcommands: create --id ID --variant KIND --seed N [--input FILE|-]\n\
+     \x20                    [--clients \"IDS\"] [--servers \"IDS\"]\n\
+     \x20                    [--accept-denominator N] [--no-monotone] [--no-rounding]\n\
+     \x20                  patch --id ID [--input FILE|-]   (op lines: `+ u v [w|role]`, `- u v`)\n\
+     \x20                  get|spanner|delete --id ID";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -73,6 +95,7 @@ fn fail(msg: &str) -> ! {
 }
 
 struct RunArgs {
+    id: Option<String>,
     variant: Option<VariantKind>,
     seed: Option<u64>,
     input: String,
@@ -121,6 +144,41 @@ impl Transport {
         match self {
             Transport::Tcp(c) => c.ping(),
             Transport::Http(c) => c.healthz(),
+        }
+    }
+
+    fn graph_create(&mut self, spec: &GraphSpec) -> Result<GraphCreated, JobError> {
+        match self {
+            Transport::Tcp(c) => c.graph_create(spec),
+            Transport::Http(c) => c.graph_create(spec),
+        }
+    }
+
+    fn graph_patch(&mut self, id: &str, ops: &[DeltaOp]) -> Result<GraphPatched, JobError> {
+        match self {
+            Transport::Tcp(c) => c.graph_patch(id, ops),
+            Transport::Http(c) => c.graph_patch(id, ops),
+        }
+    }
+
+    fn graph_get(&mut self, id: &str) -> Result<GraphMeta, JobError> {
+        match self {
+            Transport::Tcp(c) => c.graph_get(id),
+            Transport::Http(c) => c.graph_get(id),
+        }
+    }
+
+    fn graph_spanner(&mut self, id: &str) -> Result<GraphSpannerResult, JobError> {
+        match self {
+            Transport::Tcp(c) => c.graph_spanner(id),
+            Transport::Http(c) => c.graph_spanner(id),
+        }
+    }
+
+    fn graph_delete(&mut self, id: &str) -> Result<(), JobError> {
+        match self {
+            Transport::Tcp(c) => c.graph_delete(id),
+            Transport::Http(c) => c.graph_delete(id),
         }
     }
 }
@@ -196,6 +254,7 @@ fn main() -> ExitCode {
             }
         }
         "run" => run_command(&rest[1..], connect),
+        "graph" => graph_command(&rest[1..], connect),
         other => {
             dsa_runtime::obs::error("spanner-cli", "unknown command", &[("command", &other)]);
             usage()
@@ -263,8 +322,128 @@ fn run_command(args: &[String], connect: impl FnOnce() -> Transport) -> ExitCode
     ExitCode::SUCCESS
 }
 
+fn graph_command(args: &[String], connect: impl FnOnce() -> Transport) -> ExitCode {
+    let Some(op) = args.first() else {
+        fail("graph needs a subcommand: create|patch|get|spanner|delete")
+    };
+    let args = parse_run_args(&args[1..]);
+    let id = args
+        .id
+        .clone()
+        .unwrap_or_else(|| fail("--id is required for graph subcommands"));
+    let mut client = connect();
+    match op.as_str() {
+        "create" => {
+            let variant = args
+                .variant
+                .unwrap_or_else(|| fail("--variant is required"));
+            let seed = args.seed.unwrap_or_else(|| fail("--seed is required"));
+            if args.timeout_ms.is_some() || args.shards.is_some() {
+                fail("graph create does not take --timeout-ms or --shards (execution policy is per-read, not graph identity)");
+            }
+            let text = read_input(&args.input);
+            let instance = build_instance(variant, &text, &args);
+            // Same seeded default config a `run` job starts from; the
+            // per-read knobs (timeout, shards) are rejected above.
+            let mut spec = GraphSpec {
+                id,
+                instance,
+                config: dsa_core::dist::EngineConfig::seeded(seed),
+            };
+            if let Some(d) = args.accept_denominator {
+                spec.config.accept_denominator = d;
+            }
+            spec.config.monotone_stars = args.monotone;
+            spec.config.round_densities = args.rounding;
+            let created = client
+                .graph_create(&spec)
+                .unwrap_or_else(|e| fail(&format!("graph create: {e}")));
+            println!(
+                "graph {} {} version {} edges {} spanner {} edges",
+                created.id,
+                if created.existed {
+                    "existed"
+                } else {
+                    "created"
+                },
+                created.version,
+                created.edges,
+                created.spanner_size,
+            );
+        }
+        "patch" => {
+            let text = read_input(&args.input);
+            let ops = dsa_service::wire::parse_delta_ops(&text)
+                .unwrap_or_else(|e| fail(&format!("bad delta ops: {e}")));
+            let patched = client
+                .graph_patch(&id, &ops)
+                .unwrap_or_else(|e| fail(&format!("graph patch: {e}")));
+            println!(
+                "graph {} version {} applied {} commuted {} repaired {} recomputed {} edges {}",
+                patched.id,
+                patched.version,
+                patched.applied,
+                patched.classes.commuted,
+                patched.classes.repaired,
+                patched.classes.recomputed,
+                patched.edges,
+            );
+        }
+        "get" => {
+            let meta = client
+                .graph_get(&id)
+                .unwrap_or_else(|e| fail(&format!("graph get: {e}")));
+            println!(
+                "graph {} variant {} version {} vertices {} edges {} seed {} cover {} debt {} commuted {} repaired {} recomputed {}",
+                meta.id,
+                meta.kind,
+                meta.version,
+                meta.vertices,
+                meta.edges,
+                meta.seed,
+                meta.cover_size
+                    .map_or_else(|| "none".to_string(), |n| n.to_string()),
+                meta.debt,
+                meta.classes.commuted,
+                meta.classes.repaired,
+                meta.classes.recomputed,
+            );
+        }
+        "spanner" => {
+            let s = client
+                .graph_spanner(&id)
+                .unwrap_or_else(|e| fail(&format!("graph spanner: {e}")));
+            println!(
+                "graph {} version {} key {:016x} variant {} converged {} iterations {} local-rounds {} spanner {} edges",
+                s.id,
+                s.version,
+                s.key,
+                s.kind,
+                s.converged,
+                s.iterations,
+                s.local_rounds,
+                s.edges.len(),
+            );
+            for &(u, v) in &s.edges {
+                println!("{u} {v}");
+            }
+        }
+        "delete" => {
+            client
+                .graph_delete(&id)
+                .unwrap_or_else(|e| fail(&format!("graph delete: {e}")));
+            println!("graph {id} deleted");
+        }
+        other => fail(&format!(
+            "unknown graph subcommand `{other}` (expected create|patch|get|spanner|delete)"
+        )),
+    }
+    ExitCode::SUCCESS
+}
+
 fn parse_run_args(args: &[String]) -> RunArgs {
     let mut out = RunArgs {
+        id: None,
         variant: None,
         seed: None,
         input: "-".to_string(),
@@ -287,6 +466,7 @@ fn parse_run_args(args: &[String]) -> RunArgs {
                 .unwrap_or_else(|| fail(&format!("missing value for {name}")))
         };
         match flag.as_str() {
+            "--id" => out.id = Some(value("--id")),
             "--variant" => {
                 out.variant = Some(
                     value("--variant")

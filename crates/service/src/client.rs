@@ -3,11 +3,15 @@
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
+use crate::graphs::{
+    DeltaOp, GraphCreated, GraphMeta, GraphPatched, GraphSpannerResult, GraphSpec,
+};
 use crate::job::{JobError, JobResponse, JobSpec};
 use crate::retry::RetryPolicy;
 use crate::wire::{
-    decode_response, encode_ping_request, encode_request, encode_stats_request, read_frame,
-    write_frame, Response,
+    decode_response, encode_graph_create, encode_graph_delete, encode_graph_get,
+    encode_graph_patch, encode_graph_spanner_request, encode_hello_request, encode_ping_request,
+    encode_request, encode_stats_request, read_frame, write_frame, Response, PROTO_VERSION,
 };
 
 /// One connection to a `spanner-serve` instance. Requests are
@@ -134,5 +138,91 @@ impl Client {
             Response::Error(m) => Err(JobError::Remote(m)),
             other => Err(JobError::Protocol(format!("expected pong, got {other:?}"))),
         }
+    }
+
+    /// Negotiates the protocol version: offers this crate's
+    /// [`PROTO_VERSION`], returns the version the server settled on
+    /// plus its advertised feature tokens (`graphs` at v2). A v1
+    /// server answers the offer with an error frame — mapped here to
+    /// `(1, [])`, because every server speaks v1.
+    pub fn hello(&mut self) -> Result<(u64, Vec<String>), JobError> {
+        match self.roundtrip(&encode_hello_request(PROTO_VERSION))? {
+            Response::Hello { proto, features } => Ok((proto, features)),
+            Response::Error(_) => Ok((1, Vec::new())),
+            other => Err(JobError::Protocol(format!(
+                "expected hello response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Shared decode tail for the graph calls: map `busy` frames to
+    /// [`JobError::Busy`] and error frames to [`JobError::Remote`].
+    fn expect_graph<T>(
+        response: Response,
+        what: &str,
+        extract: impl FnOnce(Response) -> Option<T>,
+    ) -> Result<T, JobError> {
+        match response {
+            Response::Busy { retry_after_ms } => Err(JobError::Busy { retry_after_ms }),
+            Response::Error(m) => Err(JobError::Remote(m)),
+            other => extract(other)
+                .ok_or_else(|| JobError::Protocol(format!("expected {what} response"))),
+        }
+    }
+
+    /// Creates (or idempotently re-creates) a named graph.
+    pub fn graph_create(&mut self, spec: &GraphSpec) -> Result<GraphCreated, JobError> {
+        let resp = self.roundtrip(&encode_graph_create(spec))?;
+        Self::expect_graph(resp, "graph-create", |r| match r {
+            Response::GraphCreated(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// Applies a batch of edge deltas to a named graph.
+    pub fn graph_patch(&mut self, id: &str, ops: &[DeltaOp]) -> Result<GraphPatched, JobError> {
+        let resp = self.roundtrip(&encode_graph_patch(id, ops))?;
+        Self::expect_graph(resp, "graph-patch", |r| match r {
+            Response::GraphPatched(p) => Some(p),
+            _ => None,
+        })
+    }
+
+    /// Fetches a named graph's metadata and maintenance counters.
+    pub fn graph_get(&mut self, id: &str) -> Result<GraphMeta, JobError> {
+        let resp = self.roundtrip(&encode_graph_get(id))?;
+        Self::expect_graph(resp, "graph-get", |r| match r {
+            Response::GraphMeta(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Fetches the maintained spanner of a named graph.
+    pub fn graph_spanner(&mut self, id: &str) -> Result<GraphSpannerResult, JobError> {
+        let resp = self.roundtrip(&encode_graph_spanner_request(id))?;
+        Self::expect_graph(resp, "graph-spanner", |r| match r {
+            Response::GraphSpanner(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Fetches the maintained spanner as *raw response payload bytes*
+    /// — what the per-graph byte-identity guarantee is stated over.
+    pub fn graph_spanner_raw(&mut self, id: &str) -> Result<Vec<u8>, JobError> {
+        write_frame(
+            &mut self.stream,
+            encode_graph_spanner_request(id).as_bytes(),
+        )
+        .map_err(|e| JobError::Io(e.to_string()))?;
+        self.roundtrip_raw_read()
+    }
+
+    /// Deletes a named graph.
+    pub fn graph_delete(&mut self, id: &str) -> Result<(), JobError> {
+        let resp = self.roundtrip(&encode_graph_delete(id))?;
+        Self::expect_graph(resp, "graph-delete", |r| match r {
+            Response::GraphDeleted { .. } => Some(()),
+            _ => None,
+        })
     }
 }

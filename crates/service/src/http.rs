@@ -10,11 +10,25 @@
 //!
 //! # Routes
 //!
-//! | Method & path     | Body            | Response                     |
-//! |-------------------|-----------------|------------------------------|
-//! | `POST /v1/jobs`   | job spec (JSON) | job result (JSON)            |
-//! | `GET /v1/metrics` | —               | coherent counters + p50/p95  |
-//! | `GET /healthz`    | —               | `{"status":"ok"}`            |
+//! | Method & path                  | Body              | Response                     |
+//! |--------------------------------|-------------------|------------------------------|
+//! | `POST /v1/jobs`                | job spec (JSON)   | job result (JSON)            |
+//! | `PUT /v1/graphs/{id}`          | graph spec (JSON) | created graph (201/200)      |
+//! | `PATCH /v1/graphs/{id}`        | edge deltas (JSON)| applied patch + classes      |
+//! | `GET /v1/graphs/{id}`          | —                 | metadata + maintenance stats |
+//! | `GET /v1/graphs/{id}/spanner`  | —                 | the maintained spanner       |
+//! | `DELETE /v1/graphs/{id}`       | —                 | `{"id":...,"deleted":true}`  |
+//! | `GET /v1/metrics`              | —                 | coherent counters + p50/p95  |
+//! | `GET /healthz`                 | —                 | `{"status":"ok"}`            |
+//!
+//! The graph routes are the resource-oriented face of
+//! [`crate::graphs`]: a `PUT` body is a job spec without `timeout_ms`
+//! (and single-shard), a `PATCH` body is
+//! `{"insert": [[u, v], [u, v, w], [u, v, "server"]], "delete": [[u, v]]}`
+//! (inserts apply before deletes, each list in order), and
+//! `GET .../spanner` returns the maintained spanner as `[u, v]`
+//! endpoint pairs — byte-deterministic for a given create + delta
+//! history, equal to a from-scratch solve of the live edge set.
 //!
 //! `GET /v1/metrics` additionally accepts `?format=prometheus`, which
 //! returns the same snapshot in the Prometheus text exposition format
@@ -75,27 +89,20 @@
 //!
 //! # Status codes
 //!
-//! | Status | Meaning |
-//! |--------|---------|
-//! | 200    | job ran (or was served from cache) |
-//! | 400    | body is not valid JSON / schema violation / bad graph |
-//! | 404    | unknown route |
-//! | 405    | wrong method for a known route (`Allow` header set) |
-//! | 413    | body larger than [`MAX_BODY`] |
-//! | 422    | well-formed spec rejected by validation ([`JobError::Invalid`]) |
-//! | 429    | job shed by admission control ([`JobError::Busy`]); `Retry-After` set |
-//! | 431    | header section larger than the request-head bound |
-//! | 501    | `Transfer-Encoding` (chunked bodies are not supported) |
-//! | 503    | job cancelled before a result was available |
-//! | 504    | job deadline passed ([`JobError::TimedOut`]) |
-//! | 505    | HTTP version other than 1.0/1.1 |
-//!
-//! A 429 carries a `Retry-After` header (integer seconds, rounded up
-//! from the service's millisecond hint) derived from the observed p95
-//! engine latency and the queue backlog; [`HttpClient::run_with_retry`]
+//! The status/code table lives in [`STATUS_TABLE`] — one source of
+//! truth rendered into the README by [`status_table_markdown`] and
+//! into every error body's `code` field. A 429 carries a
+//! `Retry-After` header (integer seconds, rounded up from the
+//! service's millisecond hint) derived from the observed p95 engine
+//! latency and the queue backlog; [`HttpClient::run_with_retry`]
 //! honors it.
 //!
-//! Every error response body is `{"error": "<message>"}`. Errors that
+//! Every error response body is
+//! `{"error": "<message>", "code": "<slug>"}` — `error` is
+//! human-readable prose that may change between releases, `code` is a
+//! stable machine-readable slug (mirroring the [`JobError`] variants
+//! for job routes). Clients written against the pre-`code` bodies
+//! keep working: the `error` field is unchanged. Errors that
 //! leave the byte stream well-defined (routing, JSON, validation) keep
 //! the connection open; errors that desynchronize it (oversized or
 //! truncated requests) close it. A request whose bytes stall mid-flight
@@ -112,6 +119,10 @@ use dsa_core::dist::{EngineConfig, VariantInstance, VariantKind};
 use dsa_graphs::{io as gio, EdgeSet, Graph};
 use dsa_runtime::json::Json;
 
+use crate::graphs::{
+    DeltaOp, EdgeRole, GraphCreated, GraphError, GraphMeta, GraphPatched, GraphSpannerResult,
+    GraphSpec,
+};
 use crate::job::{JobError, JobResponse, JobSpec};
 use crate::net::{ListenerHandle, ShutdownReader, IDLE_POLL};
 use crate::retry::RetryPolicy;
@@ -226,7 +237,7 @@ fn serve_http_connection(stream: TcpStream, service: &Arc<Service>, stop: &Atomi
                     None,
                     None,
                     CT_JSON,
-                    &error_body(&message),
+                    &error_body(reject_code(status), &message),
                     false,
                 );
                 break;
@@ -461,44 +472,262 @@ fn route(
                 400,
                 None,
                 None,
-                error_body(&format!(
-                    "unknown metrics format `{other}` (expected `json` or `prometheus`)"
-                )),
+                error_body(
+                    "bad_request",
+                    &format!("unknown metrics format `{other}` (expected `json` or `prometheus`)"),
+                ),
             )),
         };
     }
+    if let Some(rest) = path.strip_prefix("/v1/graphs/") {
+        return json(route_graph(method, rest, body, service));
+    }
     json(match (path, method) {
         ("/v1/jobs", "POST") => match decode_job_spec(body) {
-            Err(e) => (400, None, None, error_body(&e.to_string())),
+            Err(e) => (400, None, None, error_body("bad_request", &e.to_string())),
             Ok(spec) => match service.run(&spec) {
                 Ok(resp) => (200, None, None, encode_job_response(&resp)),
-                Err(e @ JobError::Invalid(_)) => (422, None, None, error_body(&e.to_string())),
-                Err(e @ JobError::TimedOut) => (504, None, None, error_body(&e.to_string())),
-                Err(e @ JobError::Cancelled) => (503, None, None, error_body(&e.to_string())),
                 Err(e @ JobError::Busy { retry_after_ms }) => {
-                    (429, None, Some(retry_after_ms), error_body(&e.to_string()))
+                    let (status, code) = job_error_status_code(&e);
+                    (
+                        status,
+                        None,
+                        Some(retry_after_ms),
+                        error_body(code, &e.to_string()),
+                    )
                 }
-                Err(e) => (500, None, None, error_body(&e.to_string())),
+                Err(e) => {
+                    let (status, code) = job_error_status_code(&e);
+                    (status, None, None, error_body(code, &e.to_string()))
+                }
             },
         },
-        ("/v1/jobs", _) => (405, Some("POST"), None, error_body("use POST for /v1/jobs")),
+        ("/v1/jobs", _) => (
+            405,
+            Some("POST"),
+            None,
+            error_body("method_not_allowed", "use POST for /v1/jobs"),
+        ),
         ("/v1/metrics", _) => (
             405,
             Some("GET"),
             None,
-            error_body("use GET for /v1/metrics"),
+            error_body("method_not_allowed", "use GET for /v1/metrics"),
         ),
         ("/healthz", "GET") => (200, None, None, "{\"status\":\"ok\"}".to_string()),
-        ("/healthz", _) => (405, Some("GET"), None, error_body("use GET for /healthz")),
+        ("/healthz", _) => (
+            405,
+            Some("GET"),
+            None,
+            error_body("method_not_allowed", "use GET for /healthz"),
+        ),
         _ => (
             404,
             None,
             None,
-            error_body(&format!(
-                "no route for `{path}` (try POST /v1/jobs, GET /v1/metrics, GET /healthz)"
-            )),
+            error_body(
+                "not_found",
+                &format!(
+                    "no route for `{path}` (try POST /v1/jobs, PUT /v1/graphs/{{id}}, \
+                     GET /v1/metrics, GET /healthz)"
+                ),
+            ),
         ),
     })
+}
+
+/// Dispatches one `/v1/graphs/{id}[/spanner]` request; `rest` is the
+/// path after the prefix.
+fn route_graph(
+    method: &str,
+    rest: &str,
+    body: &[u8],
+    service: &Service,
+) -> (u16, Option<&'static str>, Option<u64>, String) {
+    let graph_err = |e: GraphError| {
+        let (status, code) = graph_error_status_code(&e);
+        let retry = match &e {
+            GraphError::Job(JobError::Busy { retry_after_ms }) => Some(*retry_after_ms),
+            _ => None,
+        };
+        (status, None, retry, error_body(code, &e.to_string()))
+    };
+    let (id, sub) = match rest.split_once('/') {
+        None => (rest, None),
+        Some((id, "spanner")) => (id, Some("spanner")),
+        Some((_, other)) => {
+            return (
+                404,
+                None,
+                None,
+                error_body(
+                    "not_found",
+                    &format!("no graph subresource `{other}` (try /spanner)"),
+                ),
+            )
+        }
+    };
+    match (sub, method) {
+        (None, "PUT") => match decode_graph_create_body(id, body) {
+            Err(e) => (400, None, None, error_body("bad_request", &e.to_string())),
+            Ok(spec) => match service.graph_create(spec) {
+                Ok(created) => {
+                    let status = if created.existed { 200 } else { 201 };
+                    (status, None, None, encode_graph_created_body(&created))
+                }
+                Err(e) => graph_err(e),
+            },
+        },
+        (None, "PATCH") => match decode_graph_patch_body(body) {
+            Err(e) => (400, None, None, error_body("bad_request", &e.to_string())),
+            Ok(ops) => match service.graph_patch(id, &ops) {
+                Ok(patched) => (200, None, None, encode_graph_patched_body(&patched)),
+                Err(e) => graph_err(e),
+            },
+        },
+        (None, "GET") => match service.graph_meta(id) {
+            Ok(meta) => (200, None, None, encode_graph_meta_body(&meta)),
+            Err(e) => graph_err(e),
+        },
+        (None, "DELETE") => match service.graph_delete(id) {
+            Ok(()) => (200, None, None, encode_graph_deleted_body(id)),
+            Err(e) => graph_err(e),
+        },
+        (None, _) => (
+            405,
+            Some("GET, PUT, PATCH, DELETE"),
+            None,
+            error_body(
+                "method_not_allowed",
+                "use PUT/PATCH/GET/DELETE for /v1/graphs/{id}",
+            ),
+        ),
+        (Some(_), "GET") => match service.graph_spanner(id) {
+            Ok(spanner) => (200, None, None, encode_graph_spanner_body(&spanner)),
+            Err(e) => graph_err(e),
+        },
+        (Some(_), _) => (
+            405,
+            Some("GET"),
+            None,
+            error_body("method_not_allowed", "use GET for /v1/graphs/{id}/spanner"),
+        ),
+    }
+}
+
+/// The HTTP status and stable machine-readable `code` slug for a
+/// [`JobError`] — the single mapping behind `POST /v1/jobs` error
+/// bodies (and, via [`graph_error_status_code`], the graph routes).
+pub fn job_error_status_code(e: &JobError) -> (u16, &'static str) {
+    match e {
+        JobError::Invalid(_) => (422, "invalid"),
+        JobError::Cancelled => (503, "cancelled"),
+        JobError::TimedOut => (504, "timed_out"),
+        JobError::Busy { .. } => (429, "busy"),
+        JobError::Protocol(_) => (400, "bad_request"),
+        JobError::Io(_) => (500, "io"),
+        JobError::Remote(_) => (500, "internal"),
+    }
+}
+
+/// The HTTP status and `code` slug for a [`GraphError`].
+pub fn graph_error_status_code(e: &GraphError) -> (u16, &'static str) {
+    match e {
+        GraphError::NotFound(_) => (404, "not_found"),
+        GraphError::Conflict(_) => (409, "conflict"),
+        GraphError::Invalid(_) => (422, "invalid"),
+        GraphError::Job(job) => job_error_status_code(job),
+    }
+}
+
+/// The `code` slug of a protocol-level rejection emitted before
+/// routing (the [`ReadOutcome::Reject`] path).
+fn reject_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        413 => "payload_too_large",
+        431 => "head_too_large",
+        501 => "not_implemented",
+        505 => "http_version",
+        _ => "error",
+    }
+}
+
+/// The status/code table — the one source of truth behind error-body
+/// `code` fields and the README's status table
+/// ([`status_table_markdown`]). Rows: status, `code` slug(s) the
+/// facade emits with it (`—` for successes), meaning.
+pub const STATUS_TABLE: &[(u16, &str, &str)] = &[
+    (
+        200,
+        "—",
+        "request served (job ran, was cached, or the graph op applied)",
+    ),
+    (201, "—", "`PUT /v1/graphs/{id}` created a new named graph"),
+    (
+        400,
+        "`bad_request`",
+        "body is not valid JSON / schema violation / bad graph / malformed head",
+    ),
+    (
+        404,
+        "`not_found`",
+        "unknown route, or no graph with that id",
+    ),
+    (
+        405,
+        "`method_not_allowed`",
+        "wrong method for a known route (`Allow` header set)",
+    ),
+    (
+        409,
+        "`conflict`",
+        "`PUT /v1/graphs/{id}` with a different definition than the live graph",
+    ),
+    (
+        413,
+        "`payload_too_large`",
+        "body larger than the request-body bound",
+    ),
+    (
+        422,
+        "`invalid`",
+        "well-formed spec or delta rejected by validation",
+    ),
+    (
+        429,
+        "`busy`",
+        "shed by admission control; `Retry-After` set",
+    ),
+    (
+        431,
+        "`head_too_large`",
+        "header section larger than the request-head bound",
+    ),
+    (500, "`internal`, `io`", "unexpected server-side failure"),
+    (
+        501,
+        "`not_implemented`",
+        "`Transfer-Encoding` (chunked bodies are not supported)",
+    ),
+    (
+        503,
+        "`cancelled`",
+        "job cancelled before a result was available",
+    ),
+    (504, "`timed_out`", "job deadline passed"),
+    (505, "`http_version`", "HTTP version other than 1.0/1.1"),
+];
+
+/// Renders [`STATUS_TABLE`] as the GitHub-flavored markdown table the
+/// README embeds between its `status-table` markers — regenerating the
+/// docs from the same constant the server answers with.
+pub fn status_table_markdown() -> String {
+    let mut out = String::from("| Status | Code | Meaning |\n|--------|------|---------|\n");
+    for (status, code, meaning) in STATUS_TABLE {
+        out.push_str(&format!("| {status} | {code} | {meaning} |\n"));
+    }
+    out
 }
 
 /// Looks up one `key=value` pair in a raw query string. No percent
@@ -512,17 +741,25 @@ fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
         .map(|(_, v)| v)
 }
 
-fn error_body(message: &str) -> String {
-    Json::Obj(vec![("error".to_string(), Json::Str(message.to_string()))]).encode()
+/// Encodes one error body: `error` (prose, first for pre-`code`
+/// consumers that pattern-match the prefix) then `code` (stable slug).
+fn error_body(code: &str, message: &str) -> String {
+    Json::Obj(vec![
+        ("error".to_string(), Json::Str(message.to_string())),
+        ("code".to_string(), Json::Str(code.to_string())),
+    ])
+    .encode()
 }
 
 fn status_reason(status: u16) -> &'static str {
     match status {
         100 => "Continue",
         200 => "OK",
+        201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
@@ -907,6 +1144,378 @@ pub fn decode_job_response(body: &[u8]) -> Result<JobResponse, JobError> {
 }
 
 // ---------------------------------------------------------------------
+// Graph JSON codecs
+// ---------------------------------------------------------------------
+
+/// Encodes the `PUT /v1/graphs/{id}` body for `spec` — exactly the
+/// job-spec schema without `timeout_ms` (the id travels in the path,
+/// not the body, so the body is the *definition* the conflict check
+/// compares).
+pub fn encode_graph_create_body(spec: &GraphSpec) -> String {
+    encode_job_spec(&JobSpec {
+        instance: spec.instance.clone(),
+        config: spec.config.clone(),
+        timeout: None,
+    })
+}
+
+/// Decodes a `PUT /v1/graphs/{id}` body: a job spec whose execution
+/// policy must be absent (`timeout_ms`) or trivial (`shards`), because
+/// a named graph's bytes are a pure function of its definition and
+/// delta history — mirroring the wire decoder's `graph-create` checks.
+pub fn decode_graph_create_body(id: &str, body: &[u8]) -> Result<GraphSpec, JobError> {
+    let spec = decode_job_spec(body)?;
+    if spec.timeout.is_some() {
+        return Err(proto(
+            "graph create takes no `timeout_ms`; deadlines apply to reads, not definitions",
+        ));
+    }
+    if spec.config.num_shards != 1 {
+        return Err(proto(
+            "graphs are maintained single-shard; omit `shards` or set it to 1",
+        ));
+    }
+    Ok(GraphSpec {
+        id: id.to_string(),
+        instance: spec.instance,
+        config: spec.config,
+    })
+}
+
+/// Encodes a `PATCH /v1/graphs/{id}` body. Inserts render as
+/// `[u, v]` / `[u, v, w]` / `[u, v, "role"]` rows under `insert`,
+/// deletes as `[u, v]` rows under `delete`; the server applies the
+/// insert list (in order) before the delete list, matching this
+/// function's op order on decode.
+pub fn encode_graph_patch_body(ops: &[DeltaOp]) -> String {
+    let pair = |u: usize, v: usize| vec![Json::U64(u as u64), Json::U64(v as u64)];
+    let mut insert = Vec::new();
+    let mut delete = Vec::new();
+    for op in ops {
+        match op {
+            DeltaOp::Insert { u, v, weight, role } => {
+                let mut row = pair(*u, *v);
+                if let Some(w) = weight {
+                    row.push(Json::U64(*w));
+                }
+                if let Some(r) = role {
+                    row.push(Json::Str(r.as_str().to_string()));
+                }
+                insert.push(Json::Arr(row));
+            }
+            DeltaOp::Delete { u, v } => delete.push(Json::Arr(pair(*u, *v))),
+        }
+    }
+    let mut pairs = Vec::new();
+    if !insert.is_empty() {
+        pairs.push(("insert".to_string(), Json::Arr(insert)));
+    }
+    if !delete.is_empty() {
+        pairs.push(("delete".to_string(), Json::Arr(delete)));
+    }
+    Json::Obj(pairs).encode()
+}
+
+/// Decodes a `PATCH /v1/graphs/{id}` body into delta ops (inserts
+/// first, then deletes, each list in order).
+pub fn decode_graph_patch_body(body: &[u8]) -> Result<Vec<DeltaOp>, JobError> {
+    let text = std::str::from_utf8(body).map_err(|_| proto("body is not UTF-8"))?;
+    let v = Json::parse(text).map_err(|e| proto(format!("bad JSON: {e}")))?;
+    let pairs = v
+        .as_obj()
+        .ok_or_else(|| proto("patch must be a JSON object"))?;
+    for (key, _) in pairs {
+        if key != "insert" && key != "delete" {
+            return Err(proto(format!("unknown key `{key}`")));
+        }
+    }
+    let endpoint = |x: &Json, what: &str, i: usize| -> Result<usize, JobError> {
+        x.as_u64().map(|x| x as usize).ok_or_else(|| {
+            proto(format!(
+                "{what} {i}: endpoints must be non-negative integers"
+            ))
+        })
+    };
+    let mut ops = Vec::new();
+    if let Some(rows) = v.get("insert") {
+        let rows = rows
+            .as_arr()
+            .ok_or_else(|| proto("`insert` must be an array of edges"))?;
+        for (i, row) in rows.iter().enumerate() {
+            let fields = row
+                .as_arr()
+                .ok_or_else(|| proto(format!("insert {i} must be an array")))?;
+            if fields.len() < 2 || fields.len() > 3 {
+                return Err(proto(format!(
+                    "insert {i}: expected [u, v], [u, v, w], or [u, v, \"role\"]"
+                )));
+            }
+            let u = endpoint(&fields[0], "insert", i)?;
+            let v = endpoint(&fields[1], "insert", i)?;
+            let (weight, role) = match fields.get(2) {
+                None => (None, None),
+                Some(Json::U64(w)) => (Some(*w), None),
+                Some(Json::Str(s)) => match EdgeRole::parse(s) {
+                    Some(role) => (None, Some(role)),
+                    None => {
+                        return Err(proto(format!(
+                            "insert {i}: unknown role `{s}` (expected client/server/both)"
+                        )))
+                    }
+                },
+                Some(_) => {
+                    return Err(proto(format!(
+                        "insert {i}: third field must be a weight or a role string"
+                    )))
+                }
+            };
+            ops.push(DeltaOp::Insert { u, v, weight, role });
+        }
+    }
+    if let Some(rows) = v.get("delete") {
+        let rows = rows
+            .as_arr()
+            .ok_or_else(|| proto("`delete` must be an array of edges"))?;
+        for (i, row) in rows.iter().enumerate() {
+            let fields = row
+                .as_arr()
+                .ok_or_else(|| proto(format!("delete {i} must be an array")))?;
+            if fields.len() != 2 {
+                return Err(proto(format!("delete {i}: expected [u, v]")));
+            }
+            ops.push(DeltaOp::Delete {
+                u: endpoint(&fields[0], "delete", i)?,
+                v: endpoint(&fields[1], "delete", i)?,
+            });
+        }
+    }
+    Ok(ops)
+}
+
+/// Encodes the `PUT /v1/graphs/{id}` success body.
+pub fn encode_graph_created_body(r: &GraphCreated) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), Json::Str(r.id.clone())),
+        ("version".to_string(), Json::U64(r.version)),
+        ("edges".to_string(), Json::U64(r.edges as u64)),
+        ("spanner_size".to_string(), Json::U64(r.spanner_size as u64)),
+        ("existed".to_string(), Json::Bool(r.existed)),
+    ])
+    .encode()
+}
+
+/// Decodes the `PUT /v1/graphs/{id}` success body.
+pub fn decode_graph_created_body(body: &[u8]) -> Result<GraphCreated, JobError> {
+    let (v, field) = parse_graph_body(body)?;
+    Ok(GraphCreated {
+        id: field_str(&v, "id")?,
+        version: field("version")?,
+        edges: field("edges")? as usize,
+        spanner_size: field("spanner_size")? as usize,
+        existed: v
+            .get("existed")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| proto("missing `existed` field"))?,
+    })
+}
+
+/// Encodes the `PATCH /v1/graphs/{id}` success body.
+pub fn encode_graph_patched_body(r: &GraphPatched) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), Json::Str(r.id.clone())),
+        ("version".to_string(), Json::U64(r.version)),
+        ("applied".to_string(), Json::U64(r.applied as u64)),
+        ("commuted".to_string(), Json::U64(r.classes.commuted)),
+        ("repaired".to_string(), Json::U64(r.classes.repaired)),
+        ("recomputed".to_string(), Json::U64(r.classes.recomputed)),
+        ("edges".to_string(), Json::U64(r.edges as u64)),
+    ])
+    .encode()
+}
+
+/// Decodes the `PATCH /v1/graphs/{id}` success body.
+pub fn decode_graph_patched_body(body: &[u8]) -> Result<GraphPatched, JobError> {
+    let (v, field) = parse_graph_body(body)?;
+    Ok(GraphPatched {
+        id: field_str(&v, "id")?,
+        version: field("version")?,
+        applied: field("applied")? as usize,
+        classes: crate::graphs::DeltaClasses {
+            commuted: field("commuted")?,
+            repaired: field("repaired")?,
+            recomputed: field("recomputed")?,
+        },
+        edges: field("edges")? as usize,
+    })
+}
+
+/// Encodes the `GET /v1/graphs/{id}` success body. `cover_size` is
+/// `null` while the working cover is invalidated (after a delete or a
+/// restart, before the next solve).
+pub fn encode_graph_meta_body(r: &GraphMeta) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), Json::Str(r.id.clone())),
+        ("variant".to_string(), Json::Str(r.kind.to_string())),
+        ("version".to_string(), Json::U64(r.version)),
+        ("vertices".to_string(), Json::U64(r.vertices as u64)),
+        ("edges".to_string(), Json::U64(r.edges as u64)),
+        ("seed".to_string(), Json::U64(r.seed)),
+        (
+            "cover_size".to_string(),
+            match r.cover_size {
+                Some(size) => Json::U64(size as u64),
+                None => Json::Null,
+            },
+        ),
+        ("debt".to_string(), Json::U64(r.debt as u64)),
+        ("commuted".to_string(), Json::U64(r.classes.commuted)),
+        ("repaired".to_string(), Json::U64(r.classes.repaired)),
+        ("recomputed".to_string(), Json::U64(r.classes.recomputed)),
+    ])
+    .encode()
+}
+
+/// Decodes the `GET /v1/graphs/{id}` success body.
+pub fn decode_graph_meta_body(body: &[u8]) -> Result<GraphMeta, JobError> {
+    let (v, field) = parse_graph_body(body)?;
+    let kind: VariantKind = field_str(&v, "variant")?
+        .parse()
+        .map_err(JobError::Protocol)?;
+    let cover_size = match v.get("cover_size") {
+        None => return Err(proto("missing `cover_size` field")),
+        Some(Json::Null) => None,
+        Some(x) => Some(
+            x.as_u64()
+                .ok_or_else(|| proto("`cover_size` must be an integer or null"))?
+                as usize,
+        ),
+    };
+    Ok(GraphMeta {
+        id: field_str(&v, "id")?,
+        kind,
+        version: field("version")?,
+        vertices: field("vertices")? as usize,
+        edges: field("edges")? as usize,
+        seed: field("seed")?,
+        cover_size,
+        debt: field("debt")? as usize,
+        classes: crate::graphs::DeltaClasses {
+            commuted: field("commuted")?,
+            repaired: field("repaired")?,
+            recomputed: field("recomputed")?,
+        },
+    })
+}
+
+/// Encodes the `GET /v1/graphs/{id}/spanner` success body — the JSON
+/// face of the per-graph byte-identity guarantee (a pure function of
+/// the graph's create + delta history).
+pub fn encode_graph_spanner_body(r: &GraphSpannerResult) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), Json::Str(r.id.clone())),
+        ("version".to_string(), Json::U64(r.version)),
+        ("key".to_string(), Json::Str(format!("{:016x}", r.key))),
+        ("variant".to_string(), Json::Str(r.kind.to_string())),
+        ("converged".to_string(), Json::Bool(r.converged)),
+        ("iterations".to_string(), Json::U64(r.iterations)),
+        ("local_rounds".to_string(), Json::U64(r.local_rounds)),
+        ("star_fallbacks".to_string(), Json::U64(r.star_fallbacks)),
+        ("spanner_size".to_string(), Json::U64(r.edges.len() as u64)),
+        (
+            "spanner".to_string(),
+            Json::Arr(
+                r.edges
+                    .iter()
+                    .map(|&(u, v)| Json::Arr(vec![Json::U64(u as u64), Json::U64(v as u64)]))
+                    .collect(),
+            ),
+        ),
+    ])
+    .encode()
+}
+
+/// Decodes the `GET /v1/graphs/{id}/spanner` success body.
+pub fn decode_graph_spanner_body(body: &[u8]) -> Result<GraphSpannerResult, JobError> {
+    let (v, field) = parse_graph_body(body)?;
+    let key_hex = field_str(&v, "key")?;
+    let key =
+        u64::from_str_radix(&key_hex, 16).map_err(|_| proto(format!("invalid key `{key_hex}`")))?;
+    let kind: VariantKind = field_str(&v, "variant")?
+        .parse()
+        .map_err(JobError::Protocol)?;
+    let rows = v
+        .get("spanner")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| proto("missing `spanner` (array of [u, v] pairs)"))?;
+    let mut edges = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let fields = row
+            .as_arr()
+            .filter(|f| f.len() == 2)
+            .ok_or_else(|| proto(format!("spanner edge {i} must be [u, v]")))?;
+        match (fields[0].as_u64(), fields[1].as_u64()) {
+            (Some(u), Some(v)) => edges.push((u as usize, v as usize)),
+            _ => return Err(proto(format!("spanner edge {i}: bad endpoints"))),
+        }
+    }
+    let size = field("spanner_size")? as usize;
+    if edges.len() != size {
+        return Err(proto(format!(
+            "spanner_size {size} does not match {} listed edges",
+            edges.len()
+        )));
+    }
+    Ok(GraphSpannerResult {
+        id: field_str(&v, "id")?,
+        version: field("version")?,
+        key,
+        kind,
+        converged: v
+            .get("converged")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| proto("missing `converged` field"))?,
+        iterations: field("iterations")?,
+        local_rounds: field("local_rounds")?,
+        star_fallbacks: field("star_fallbacks")?,
+        edges,
+    })
+}
+
+/// Encodes the `DELETE /v1/graphs/{id}` success body.
+pub fn encode_graph_deleted_body(id: &str) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), Json::Str(id.to_string())),
+        ("deleted".to_string(), Json::Bool(true)),
+    ])
+    .encode()
+}
+
+/// Parses a graph response body, returning the JSON value and a
+/// u64-field accessor over it.
+#[allow(clippy::type_complexity)]
+fn parse_graph_body(
+    body: &[u8],
+) -> Result<(Json, impl Fn(&'static str) -> Result<u64, JobError> + '_), JobError> {
+    let text = std::str::from_utf8(body).map_err(|_| proto("response is not UTF-8"))?;
+    let v = Json::parse(text).map_err(|e| proto(format!("bad JSON: {e}")))?;
+    let owned = v.clone();
+    let field = move |what: &'static str| {
+        owned
+            .get(what)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| proto(format!("missing `{what}` field")))
+    };
+    Ok((v, field))
+}
+
+fn field_str(v: &Json, what: &str) -> Result<String, JobError> {
+    v.get(what)
+        .and_then(Json::as_str)
+        .map(String::from)
+        .ok_or_else(|| proto(format!("missing `{what}` field")))
+}
+
+// ---------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------
 
@@ -1140,6 +1749,67 @@ impl HttpClient {
         }
         Ok(())
     }
+
+    /// Creates (or idempotently re-creates) a named graph via
+    /// `PUT /v1/graphs/{id}`.
+    pub fn graph_create(&mut self, spec: &GraphSpec) -> Result<GraphCreated, JobError> {
+        let path = format!("/v1/graphs/{}", spec.id);
+        let body = encode_graph_create_body(spec);
+        let (status, resp) = self.request("PUT", &path, Some(&body))?;
+        match status {
+            200 | 201 => decode_graph_created_body(&resp),
+            _ => Err(remote_status(status, &resp)),
+        }
+    }
+
+    /// Applies edge deltas via `PATCH /v1/graphs/{id}`.
+    pub fn graph_patch(&mut self, id: &str, ops: &[DeltaOp]) -> Result<GraphPatched, JobError> {
+        let path = format!("/v1/graphs/{id}");
+        let body = encode_graph_patch_body(ops);
+        let (status, resp) = self.request("PATCH", &path, Some(&body))?;
+        match status {
+            200 => decode_graph_patched_body(&resp),
+            _ => Err(remote_status(status, &resp)),
+        }
+    }
+
+    /// Fetches graph metadata via `GET /v1/graphs/{id}`.
+    pub fn graph_get(&mut self, id: &str) -> Result<GraphMeta, JobError> {
+        let (status, resp) = self.request("GET", &format!("/v1/graphs/{id}"), None)?;
+        match status {
+            200 => decode_graph_meta_body(&resp),
+            _ => Err(remote_status(status, &resp)),
+        }
+    }
+
+    /// Fetches the maintained spanner via `GET /v1/graphs/{id}/spanner`.
+    pub fn graph_spanner(&mut self, id: &str) -> Result<GraphSpannerResult, JobError> {
+        let (status, resp) = self.graph_spanner_raw(id)?;
+        match status {
+            200 => decode_graph_spanner_body(&resp),
+            _ => Err(remote_status(status, &resp)),
+        }
+    }
+
+    /// Fetches the maintained spanner as raw `(status, body bytes)` —
+    /// what the per-graph byte-identity guarantee is stated over.
+    pub fn graph_spanner_raw(&mut self, id: &str) -> Result<(u16, Vec<u8>), JobError> {
+        self.request("GET", &format!("/v1/graphs/{id}/spanner"), None)
+    }
+
+    /// Deletes a named graph via `DELETE /v1/graphs/{id}`.
+    pub fn graph_delete(&mut self, id: &str) -> Result<(), JobError> {
+        let (status, resp) = self.request("DELETE", &format!("/v1/graphs/{id}"), None)?;
+        match status {
+            200 => Ok(()),
+            _ => Err(remote_status(status, &resp)),
+        }
+    }
+}
+
+/// A non-2xx response folded into [`JobError::Remote`].
+fn remote_status(status: u16, body: &[u8]) -> JobError {
+    JobError::Remote(format!("HTTP {status}: {}", error_message(body)))
 }
 
 /// Extracts the `error` field of an error body, or shows the raw body.
@@ -1358,5 +2028,214 @@ mod tests {
         assert_eq!(head_end(b"a\n\nbody"), Some((1, 2)));
         assert_eq!(head_end(b"a\r\nb"), None);
         assert_eq!(head_end(b""), None);
+    }
+
+    #[test]
+    fn patch_body_roundtrips_all_op_shapes() {
+        let ops = vec![
+            DeltaOp::Insert {
+                u: 0,
+                v: 1,
+                weight: None,
+                role: None,
+            },
+            DeltaOp::Insert {
+                u: 1,
+                v: 2,
+                weight: Some(9),
+                role: None,
+            },
+            DeltaOp::Insert {
+                u: 2,
+                v: 3,
+                weight: None,
+                role: Some(EdgeRole::Server),
+            },
+            DeltaOp::Delete { u: 0, v: 1 },
+        ];
+        let body = encode_graph_patch_body(&ops);
+        assert_eq!(
+            body, r#"{"insert":[[0,1],[1,2,9],[2,3,"server"]],"delete":[[0,1]]}"#,
+            "the PATCH body encoding is part of the API"
+        );
+        assert_eq!(decode_graph_patch_body(body.as_bytes()).unwrap(), ops);
+        for bad in [
+            "nope",
+            "[1]",
+            r#"{"bogus":[]}"#,
+            r#"{"insert":[[0]]}"#,
+            r#"{"insert":[[0,1,2,3]]}"#,
+            r#"{"insert":[[0,1,"maybe"]]}"#,
+            r#"{"insert":[[0,1,true]]}"#,
+            r#"{"delete":[[0,1,2]]}"#,
+            r#"{"delete":[0,1]}"#,
+        ] {
+            assert!(
+                decode_graph_patch_body(bad.as_bytes()).is_err(),
+                "accepted: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_create_body_reuses_the_job_spec_schema() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let spec = GraphSpec {
+            id: "prod.web-1".to_string(),
+            instance: VariantInstance::Undirected { graph: g },
+            config: EngineConfig::seeded(42),
+        };
+        let body = encode_graph_create_body(&spec);
+        let back = decode_graph_create_body("prod.web-1", body.as_bytes()).unwrap();
+        assert_eq!(back.id, "prod.web-1");
+        assert_eq!(back.config.seed, 42);
+        assert_eq!(back.instance.kind(), VariantKind::Undirected);
+        // Execution policy is definitionally absent: a deadline or a
+        // shard count would make the graph's bytes depend on how it
+        // was served, not what it is.
+        let with_timeout = body.trim_end_matches('}').to_string() + r#","timeout_ms":100}"#;
+        assert!(decode_graph_create_body("g", with_timeout.as_bytes()).is_err());
+        let with_shards = body.trim_end_matches('}').to_string() + r#","shards":4}"#;
+        assert!(decode_graph_create_body("g", with_shards.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn graph_response_bodies_roundtrip() {
+        let created = GraphCreated {
+            id: "g".to_string(),
+            version: 3,
+            edges: 17,
+            spanner_size: 9,
+            existed: true,
+        };
+        assert_eq!(
+            decode_graph_created_body(encode_graph_created_body(&created).as_bytes()).unwrap(),
+            created
+        );
+        let patched = GraphPatched {
+            id: "g".to_string(),
+            version: 4,
+            applied: 2,
+            classes: crate::graphs::DeltaClasses {
+                commuted: 1,
+                repaired: 1,
+                recomputed: 0,
+            },
+            edges: 19,
+        };
+        assert_eq!(
+            decode_graph_patched_body(encode_graph_patched_body(&patched).as_bytes()).unwrap(),
+            patched
+        );
+        for cover_size in [Some(9), None] {
+            let meta = GraphMeta {
+                id: "g".to_string(),
+                kind: VariantKind::Weighted,
+                version: 4,
+                vertices: 10,
+                edges: 19,
+                seed: 7,
+                cover_size,
+                debt: 3,
+                classes: crate::graphs::DeltaClasses::default(),
+            };
+            let body = encode_graph_meta_body(&meta);
+            assert_eq!(decode_graph_meta_body(body.as_bytes()).unwrap(), meta);
+            if cover_size.is_none() {
+                assert!(body.contains("\"cover_size\":null"));
+            }
+        }
+        let spanner = GraphSpannerResult {
+            id: "g".to_string(),
+            version: 4,
+            key: 0xdead_beef,
+            kind: VariantKind::Undirected,
+            converged: true,
+            iterations: 6,
+            local_rounds: 42,
+            star_fallbacks: 0,
+            edges: vec![(0, 1), (2, 5)],
+        };
+        let body = encode_graph_spanner_body(&spanner);
+        assert_eq!(decode_graph_spanner_body(body.as_bytes()).unwrap(), spanner);
+        let lying = body.replace("\"spanner_size\":2", "\"spanner_size\":1");
+        assert!(decode_graph_spanner_body(lying.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_bodies_carry_stable_codes_and_stay_backward_compatible() {
+        // New bodies: `error` first (pre-`code` consumers often
+        // pattern-match the prefix), `code` second.
+        assert_eq!(
+            error_body("busy", "try later"),
+            r#"{"error":"try later","code":"busy"}"#
+        );
+        // The client-side reader accepts old-style bodies (no `code`)
+        // for one release: decommissioning them must not break
+        // deployed clients mid-upgrade.
+        assert_eq!(error_message(br#"{"error":"old style"}"#), "old style");
+        assert_eq!(
+            error_message(br#"{"error":"new style","code":"busy"}"#),
+            "new style"
+        );
+        // Every JobError variant maps to a status in the table and a
+        // code listed on that status's row.
+        let variants = [
+            JobError::Invalid("x".into()),
+            JobError::Cancelled,
+            JobError::TimedOut,
+            JobError::Busy { retry_after_ms: 1 },
+            JobError::Protocol("x".into()),
+            JobError::Io("x".into()),
+            JobError::Remote("x".into()),
+        ];
+        for e in &variants {
+            let (status, code) = job_error_status_code(e);
+            let row = STATUS_TABLE
+                .iter()
+                .find(|(s, _, _)| *s == status)
+                .unwrap_or_else(|| panic!("status {status} missing from STATUS_TABLE"));
+            assert!(
+                row.1.contains(&format!("`{code}`")),
+                "row for {status} does not list code `{code}`"
+            );
+            assert_ne!(status_reason(status), "Unknown");
+        }
+        for e in [
+            GraphError::NotFound("g".into()),
+            GraphError::Conflict("g".into()),
+            GraphError::Invalid("x".into()),
+            GraphError::Job(JobError::Busy { retry_after_ms: 1 }),
+        ] {
+            let (status, code) = graph_error_status_code(&e);
+            let row = STATUS_TABLE.iter().find(|(s, _, _)| *s == status).unwrap();
+            assert!(row.1.contains(&format!("`{code}`")));
+            assert_ne!(status_reason(status), "Unknown");
+        }
+    }
+
+    #[test]
+    fn readme_status_table_matches_the_source_of_truth() {
+        // The README embeds `status_table_markdown()` between markers;
+        // regenerating from [`STATUS_TABLE`] keeps docs and server
+        // answers from drifting.
+        let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+        let readme = std::fs::read_to_string(readme_path).expect("read README.md");
+        let begin = "<!-- status-table:begin -->\n";
+        let end = "<!-- status-table:end -->";
+        let start = readme
+            .find(begin)
+            .expect("README is missing <!-- status-table:begin -->")
+            + begin.len();
+        let stop = readme[start..]
+            .find(end)
+            .expect("README is missing <!-- status-table:end -->")
+            + start;
+        assert_eq!(
+            readme[start..stop].trim_end_matches('\n'),
+            status_table_markdown().trim_end_matches('\n'),
+            "README status table is stale; paste the output of \
+             dsa_service::http::status_table_markdown() between the markers"
+        );
     }
 }

@@ -52,6 +52,7 @@
 
 mod cache;
 pub mod client;
+pub mod graphs;
 pub mod http;
 mod job;
 mod metrics;
@@ -64,6 +65,10 @@ mod store;
 pub mod wire;
 
 pub use client::Client;
+pub use graphs::{
+    DeltaClasses, DeltaOp, EdgeRole, GraphCreated, GraphError, GraphMeta, GraphPatched,
+    GraphSpannerResult, GraphSpec,
+};
 pub use http::{HttpClient, HttpServer};
 pub use job::{JobError, JobResponse, JobSpec};
 pub use metrics::MetricsSnapshot;

@@ -82,6 +82,14 @@ pub(crate) struct ServiceMetrics {
     /// Wall time of the open-time recovery scan (log walk + warm
     /// decode), set once at open.
     store_recovery_us: AtomicU64,
+    /// Gauge: named graphs currently registered (set at open from the
+    /// replayed log, advanced on create/delete).
+    graphs_live: AtomicU64,
+    /// Graph PATCH ops by maintenance class: already covered (no
+    /// work), locally repaired, or queued for full recompute.
+    graph_deltas_commuted: AtomicU64,
+    graph_deltas_repaired: AtomicU64,
+    graph_deltas_recomputed: AtomicU64,
     latency: Mutex<LatencyRecorder>,
     hist: Mutex<Histogram>,
 }
@@ -140,6 +148,10 @@ impl ServiceMetrics {
             store_read_us: AtomicU64::new(0),
             store_write_us: AtomicU64::new(0),
             store_recovery_us: AtomicU64::new(0),
+            graphs_live: AtomicU64::new(0),
+            graph_deltas_commuted: AtomicU64::new(0),
+            graph_deltas_repaired: AtomicU64::new(0),
+            graph_deltas_recomputed: AtomicU64::new(0),
             latency: Mutex::new(LatencyRecorder::bounded(LATENCY_WINDOW)),
             hist: Mutex::new(Histogram::default()),
         }
@@ -244,6 +256,24 @@ impl ServiceMetrics {
             .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
     }
 
+    /// Updates the live named-graph gauge (registered graphs that have
+    /// not been deleted).
+    pub fn set_graphs_live(&self, n: u64) {
+        self.graphs_live.store(n, Ordering::Relaxed);
+    }
+
+    /// Adds one PATCH's worth of delta classifications: ops that
+    /// commuted with the maintained cover, ops repaired locally, and
+    /// ops that forced a full-recompute path.
+    pub fn on_graph_deltas(&self, commuted: u64, repaired: u64, recomputed: u64) {
+        self.graph_deltas_commuted
+            .fetch_add(commuted, Ordering::Relaxed);
+        self.graph_deltas_repaired
+            .fetch_add(repaired, Ordering::Relaxed);
+        self.graph_deltas_recomputed
+            .fetch_add(recomputed, Ordering::Relaxed);
+    }
+
     /// A response actually reached a waiting caller — the only place
     /// `jobs_completed` advances, so waiters that cancel or time out
     /// are never counted as answered.
@@ -310,6 +340,10 @@ impl ServiceMetrics {
             store_read_us: self.store_read_us.load(Ordering::Relaxed),
             store_write_us: self.store_write_us.load(Ordering::Relaxed),
             store_recovery_us: self.store_recovery_us.load(Ordering::Relaxed),
+            graphs_live: self.graphs_live.load(Ordering::Relaxed),
+            graph_deltas_commuted: self.graph_deltas_commuted.load(Ordering::Relaxed),
+            graph_deltas_repaired: self.graph_deltas_repaired.load(Ordering::Relaxed),
+            graph_deltas_recomputed: self.graph_deltas_recomputed.load(Ordering::Relaxed),
             // Gauges sampled by the owner of the queue/inflight state:
             // `Service::metrics` fills them in after this snapshot.
             queue_depth: 0,
@@ -385,6 +419,18 @@ pub struct MetricsSnapshot {
     /// Wall time of the open-time recovery scan (log walk + warm
     /// decode), µs.
     pub store_recovery_us: u64,
+    /// Named graphs currently registered (a gauge; created minus
+    /// deleted, seeded from the replayed graph log at open).
+    pub graphs_live: u64,
+    /// Graph PATCH ops whose edges were already covered by the
+    /// maintained spanner — classified with zero engine work.
+    pub graph_deltas_commuted: u64,
+    /// Graph PATCH ops absorbed by a local repair pass over the
+    /// maintained cover.
+    pub graph_deltas_repaired: u64,
+    /// Graph PATCH ops that invalidated the cover (deletes, stale or
+    /// debt-saturated covers) and deferred to a full recompute.
+    pub graph_deltas_recomputed: u64,
     /// Jobs waiting in the worker-pool queue (a gauge sampled at
     /// snapshot time).
     pub queue_depth: u64,
@@ -455,6 +501,8 @@ impl MetricsSnapshot {
                 "\"latency_hist_count\":{},",
                 "\"queue_depth\":{},\"in_flight\":{},",
                 "\"store_read_us\":{},\"store_write_us\":{},\"store_recovery_us\":{},",
+                "\"graphs_live\":{},\"graph_deltas_commuted\":{},",
+                "\"graph_deltas_repaired\":{},\"graph_deltas_recomputed\":{},",
                 "\"engine_iterations\":{},\"engine_local_rounds\":{},",
                 "\"uptime_secs\":{:.3}}}"
             ),
@@ -487,6 +535,10 @@ impl MetricsSnapshot {
             self.store_read_us,
             self.store_write_us,
             self.store_recovery_us,
+            self.graphs_live,
+            self.graph_deltas_commuted,
+            self.graph_deltas_repaired,
+            self.graph_deltas_recomputed,
             self.engine_iterations,
             self.engine_local_rounds,
             self.uptime.as_secs_f64(),
@@ -663,6 +715,31 @@ impl MetricsSnapshot {
             "counter",
             "Wall time of the store's open-time recovery scan.",
             &[(String::new(), secs6(self.store_recovery_us))],
+        );
+        metric(
+            "graphs_live",
+            "gauge",
+            "Named graphs currently registered (created minus deleted).",
+            &plain(self.graphs_live),
+        );
+        metric(
+            "graph_deltas_by_class_total",
+            "counter",
+            "Graph PATCH ops by maintenance class (commuted, repaired, recomputed).",
+            &[
+                (
+                    "{class=\"commuted\"}".to_string(),
+                    self.graph_deltas_commuted.to_string(),
+                ),
+                (
+                    "{class=\"repaired\"}".to_string(),
+                    self.graph_deltas_repaired.to_string(),
+                ),
+                (
+                    "{class=\"recomputed\"}".to_string(),
+                    self.graph_deltas_recomputed.to_string(),
+                ),
+            ],
         );
         metric(
             "engine_iterations_total",
@@ -872,6 +949,9 @@ mod tests {
         m.set_store_records(1);
         m.set_store_dropped(2);
         m.set_store_degraded();
+        m.set_graphs_live(3);
+        m.on_graph_deltas(5, 2, 1);
+        m.on_graph_deltas(1, 0, 0);
         let mut snap = m.snapshot();
         // Pin the wall-clock-dependent fields so repeated renderings
         // must agree byte-for-byte.
@@ -926,6 +1006,19 @@ mod tests {
         assert!(text.contains("spanner_store_degraded 1\n"));
         assert!(text.contains("spanner_connections_timed_out_total 1\n"));
         assert!(text.contains("le=\"+Inf\""));
+
+        // Graph metrics: the live gauge precedes the per-class delta
+        // counter, whose labels land in commuted/repaired/recomputed
+        // order between the store section and the engine totals.
+        assert!(text.contains("spanner_graphs_live 3\n"));
+        assert!(pos("spanner_graphs_live 3") < pos("class=\"commuted\""));
+        assert!(pos("spanner_store_recovery_seconds_total") < pos("spanner_graphs_live 3"));
+        assert!(pos("class=\"commuted\"") < pos("class=\"repaired\""));
+        assert!(pos("class=\"repaired\"") < pos("class=\"recomputed\""));
+        assert!(pos("class=\"recomputed\"") < pos("spanner_engine_iterations_total"));
+        assert!(text.contains("spanner_graph_deltas_by_class_total{class=\"commuted\"} 6\n"));
+        assert!(text.contains("spanner_graph_deltas_by_class_total{class=\"repaired\"} 2\n"));
+        assert!(text.contains("spanner_graph_deltas_by_class_total{class=\"recomputed\"} 1\n"));
 
         // The class series sum back to the total — the same invariant
         // the JSON body guarantees.

@@ -8,12 +8,15 @@ use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
+use crate::graphs::GraphError;
 use crate::job::JobError;
 use crate::net::{ListenerHandle, ShutdownReader, IDLE_POLL};
 use crate::service::{Service, ServiceConfig};
 use crate::wire::{
-    decode_request, encode_busy_response, encode_error_response, encode_pong_response,
-    encode_run_response, encode_stats_response, read_frame, write_frame, Request,
+    decode_request, encode_busy_response, encode_error_response, encode_graph_created,
+    encode_graph_deleted, encode_graph_meta, encode_graph_patched, encode_graph_spanner_response,
+    encode_hello_response, encode_pong_response, encode_run_response, encode_stats_response,
+    read_frame, write_frame, Request, PROTO_VERSION,
 };
 
 /// A running `spanner-serve` wire frontend. Dropping it (or calling
@@ -109,14 +112,57 @@ fn serve_connection(stream: TcpStream, service: &Arc<Service>, stop: &AtomicBool
 }
 
 fn handle_request(payload: &[u8], service: &Arc<Service>) -> String {
+    // Shared shed path: an overloaded solve answers `busy` with a
+    // retry hint whether it arrived as a one-shot job or a graph op.
+    let graph_result = |result: Result<String, GraphError>| match result {
+        Ok(response) => response,
+        Err(GraphError::Job(JobError::Busy { retry_after_ms })) => {
+            encode_busy_response(retry_after_ms)
+        }
+        Err(e) => encode_error_response(&e.to_string()),
+    };
     match decode_request(payload) {
         Ok(Request::Ping) => encode_pong_response(),
         Ok(Request::Stats) => encode_stats_response(&service.metrics().to_json()),
+        Ok(Request::Hello { proto }) => {
+            // Serve the newest version both sides speak. A v1 peer
+            // gets `proto 1` and no feature tokens — exactly the
+            // pre-handshake protocol it already knows.
+            let proto = proto.min(PROTO_VERSION);
+            if proto >= 2 {
+                encode_hello_response(proto, &["graphs"])
+            } else {
+                encode_hello_response(proto, &[])
+            }
+        }
         Ok(Request::Run(spec)) => match service.run(&spec) {
             Ok(resp) => encode_run_response(&resp),
             Err(JobError::Busy { retry_after_ms }) => encode_busy_response(retry_after_ms),
             Err(e) => encode_error_response(&e.to_string()),
         },
+        Ok(Request::GraphCreate(spec)) => graph_result(
+            service
+                .graph_create(*spec)
+                .map(|r| encode_graph_created(&r)),
+        ),
+        Ok(Request::GraphPatch { id, ops }) => graph_result(
+            service
+                .graph_patch(&id, &ops)
+                .map(|r| encode_graph_patched(&r)),
+        ),
+        Ok(Request::GraphGet { id }) => {
+            graph_result(service.graph_meta(&id).map(|r| encode_graph_meta(&r)))
+        }
+        Ok(Request::GraphSpanner { id }) => graph_result(
+            service
+                .graph_spanner(&id)
+                .map(|r| encode_graph_spanner_response(&r)),
+        ),
+        Ok(Request::GraphDelete { id }) => graph_result(
+            service
+                .graph_delete(&id)
+                .map(|()| encode_graph_deleted(&id)),
+        ),
         Err(e) => encode_error_response(&e.to_string()),
     }
 }

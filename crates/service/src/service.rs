@@ -71,6 +71,10 @@ use dsa_runtime::obs;
 use dsa_runtime::{FaultInjector, FlightRecorder};
 
 use crate::cache::LruCache;
+use crate::graphs::{
+    DeltaOp, GraphCreated, GraphError, GraphMeta, GraphPatched, GraphRegistry, GraphSpannerResult,
+    GraphSpec,
+};
 use crate::job::{canonicalize_job, JobError, JobResponse, JobSpec};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::pool::Pool;
@@ -229,6 +233,11 @@ pub struct Service {
     workers: usize,
     fault: Arc<FaultInjector>,
     read_budget: Duration,
+    /// The named-graph registry ([`crate::graphs`]), shared by the TCP
+    /// and HTTP frontends. Its solves go through [`Service::run`], so
+    /// graph reads hit the same cache/store/coalescing as one-shot
+    /// jobs.
+    graphs: GraphRegistry,
     /// Dropped last (declaration order): pool teardown drains queued
     /// runs, and those workers still need `shared`.
     pool: Pool,
@@ -294,6 +303,19 @@ impl Service {
                 Some(Mutex::new(store))
             }
         };
+        // The graph registry opens *after* the store: the store's
+        // advisory single-writer lock covers the whole cache dir,
+        // including the graph delta log.
+        let (graphs, replay) = GraphRegistry::open(cfg.cache_dir.as_deref(), Arc::clone(&fault))?;
+        if replay.dropped > 0 || replay.skipped > 0 {
+            let (dropped, skipped) = (replay.dropped, replay.skipped);
+            obs::warn(
+                "dsa-service",
+                "graph log replay dropped or skipped records",
+                &[("dropped", &dropped), ("skipped", &skipped)],
+            );
+        }
+        metrics.set_graphs_live(replay.graphs as u64);
         Ok(Service {
             shared: Arc::new(Shared {
                 cache: Mutex::new(cache),
@@ -308,8 +330,110 @@ impl Service {
             workers: cfg.workers,
             fault,
             read_budget: cfg.read_budget,
+            graphs,
             pool: Pool::new(cfg.workers, cfg.queue_capacity, cfg.queue_byte_budget),
         })
+    }
+
+    /// Creates (or idempotently re-creates) a named graph, solving its
+    /// baseline spanner eagerly. The `PUT /v1/graphs/{id}` and
+    /// `graph-create v2` surface.
+    pub fn graph_create(&self, spec: GraphSpec) -> Result<GraphCreated, GraphError> {
+        let id = spec.id.clone();
+        let (created, degraded) = self.graphs.create(spec, |s| self.run(&s))?;
+        if degraded {
+            self.shared.metrics.set_store_degraded();
+        }
+        if !created.existed {
+            self.shared
+                .metrics
+                .set_graphs_live(self.graphs.live() as u64);
+            self.shared.flight.event(
+                obs::next_trace_id(),
+                "graph.created",
+                vec![
+                    ("graph".to_string(), id),
+                    ("edges".to_string(), created.edges.to_string()),
+                    ("spanner_size".to_string(), created.spanner_size.to_string()),
+                ],
+            );
+        }
+        Ok(created)
+    }
+
+    /// Applies edge deltas to a named graph, classifying each batch as
+    /// commuted / repaired / recomputed. The `PATCH /v1/graphs/{id}`
+    /// and `graph-patch v2` surface.
+    pub fn graph_patch(&self, id: &str, ops: &[DeltaOp]) -> Result<GraphPatched, GraphError> {
+        let (patched, degraded) = self.graphs.patch(id, ops, |s| self.run(&s))?;
+        if degraded {
+            self.shared.metrics.set_store_degraded();
+        }
+        self.shared.metrics.on_graph_deltas(
+            patched.classes.commuted,
+            patched.classes.repaired,
+            patched.classes.recomputed,
+        );
+        self.shared.flight.event(
+            obs::next_trace_id(),
+            "graph.patched",
+            vec![
+                ("graph".to_string(), id.to_string()),
+                ("applied".to_string(), patched.applied.to_string()),
+                ("commuted".to_string(), patched.classes.commuted.to_string()),
+                ("repaired".to_string(), patched.classes.repaired.to_string()),
+                (
+                    "recomputed".to_string(),
+                    patched.classes.recomputed.to_string(),
+                ),
+            ],
+        );
+        Ok(patched)
+    }
+
+    /// A named graph's metadata/stats. The `GET /v1/graphs/{id}` and
+    /// `graph-get v2` surface.
+    pub fn graph_meta(&self, id: &str) -> Result<GraphMeta, GraphError> {
+        self.graphs.meta(id)
+    }
+
+    /// A named graph's maintained spanner: always the solve of the
+    /// current live edge set (byte-deterministic for a given delta
+    /// history), served through the same cache/store/coalescing
+    /// pipeline as one-shot jobs. The `GET /v1/graphs/{id}/spanner`
+    /// and `graph-spanner v2` surface.
+    pub fn graph_spanner(&self, id: &str) -> Result<GraphSpannerResult, GraphError> {
+        self.graphs.spanner(id, |s| self.run(&s))
+    }
+
+    /// Retires a named graph. The `DELETE /v1/graphs/{id}` and
+    /// `graph-delete v2` surface.
+    pub fn graph_delete(&self, id: &str) -> Result<(), GraphError> {
+        let degraded = self.graphs.delete(id)?;
+        if degraded {
+            self.shared.metrics.set_store_degraded();
+        }
+        self.shared
+            .metrics
+            .set_graphs_live(self.graphs.live() as u64);
+        self.shared.flight.event(
+            obs::next_trace_id(),
+            "graph.deleted",
+            vec![("graph".to_string(), id.to_string())],
+        );
+        Ok(())
+    }
+
+    /// Number of live named graphs.
+    pub fn graphs_live(&self) -> usize {
+        self.graphs.live()
+    }
+
+    /// Whether the graph delta log is still persisting creates and
+    /// patches (false after an append failure demoted the registry to
+    /// memory-only serving; trivially true without a cache directory).
+    pub fn graphs_log_healthy(&self) -> bool {
+        self.graphs.log_healthy()
     }
 
     /// Submits a job and returns a handle to its (possibly shared)

@@ -65,12 +65,22 @@ use std::time::Duration;
 use dsa_core::dist::{EngineConfig, VariantInstance, VariantKind};
 use dsa_graphs::{io as gio, EdgeSet};
 
+use crate::graphs::{
+    valid_graph_id, DeltaOp, EdgeRole, GraphCreated, GraphMeta, GraphPatched, GraphSpannerResult,
+    GraphSpec,
+};
 use crate::job::{JobError, JobResponse, JobSpec};
 
 /// Upper bound on a frame payload (64 MiB): a million-edge graph fits
 /// with a wide margin, while a corrupt length prefix cannot trigger an
 /// absurd allocation.
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// The protocol version this build speaks. Version 2 adds the `hello`
+/// handshake and the `graph-*` named-graph frames; every v1 command is
+/// unchanged byte-for-byte, so v1 clients are served without
+/// negotiation.
+pub const PROTO_VERSION: u64 = 2;
 
 /// Cap applied to a request's `shards` value at decode time (shared
 /// with the HTTP facade). The engine already clamps its shard count to
@@ -127,6 +137,37 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Protocol negotiation (`hello vN`, v2+). The server answers with
+    /// `min(N, PROTO_VERSION)` and its feature list. Optional: a
+    /// client may skip the handshake and speak v1 directly.
+    Hello {
+        /// The highest protocol version the client speaks.
+        proto: u64,
+    },
+    /// Create a named graph (v2).
+    GraphCreate(Box<GraphSpec>),
+    /// Apply edge deltas to a named graph (v2).
+    GraphPatch {
+        /// The graph id.
+        id: String,
+        /// The deltas, applied in order.
+        ops: Vec<DeltaOp>,
+    },
+    /// Read a named graph's metadata/stats (v2).
+    GraphGet {
+        /// The graph id.
+        id: String,
+    },
+    /// Read a named graph's maintained spanner (v2).
+    GraphSpanner {
+        /// The graph id.
+        id: String,
+    },
+    /// Retire a named graph (v2).
+    GraphDelete {
+        /// The graph id.
+        id: String,
+    },
 }
 
 /// A decoded response.
@@ -146,6 +187,26 @@ pub enum Response {
     },
     /// The server rejected or failed the request.
     Error(String),
+    /// Answer to [`Request::Hello`].
+    Hello {
+        /// The negotiated protocol version.
+        proto: u64,
+        /// Feature tokens the server advertises (e.g. `graphs`).
+        features: Vec<String>,
+    },
+    /// Answer to [`Request::GraphCreate`].
+    GraphCreated(GraphCreated),
+    /// Answer to [`Request::GraphPatch`].
+    GraphPatched(GraphPatched),
+    /// Answer to [`Request::GraphGet`].
+    GraphMeta(GraphMeta),
+    /// Answer to [`Request::GraphSpanner`].
+    GraphSpanner(GraphSpannerResult),
+    /// Answer to [`Request::GraphDelete`].
+    GraphDeleted {
+        /// The retired graph's id.
+        id: String,
+    },
 }
 
 fn parse_u64(value: &str, what: &str) -> Result<u64, JobError> {
@@ -251,6 +312,73 @@ pub fn encode_ping_request() -> String {
     "ping v1\n".to_string()
 }
 
+/// Encodes a `hello vN` handshake request.
+pub fn encode_hello_request(proto: u64) -> String {
+    format!("hello v{proto}\n")
+}
+
+/// Encodes a named-graph create as a `graph-create v2` payload.
+///
+/// The body after the `id` line is exactly a `run v1` body (the same
+/// headers, the same graph text), so create decoding — and thus the
+/// delta log, which stores these bytes — shares every normalization
+/// rule with one-shot jobs. Execution policy (shards, timeout, timing)
+/// is stripped: it is per-read, never part of a graph's definition.
+pub fn encode_graph_create(spec: &GraphSpec) -> String {
+    let mut config = spec.config.clone();
+    config.num_shards = 1;
+    config.cancel = None;
+    config.collect_timings = false;
+    let job = JobSpec {
+        instance: spec.instance.clone(),
+        config,
+        timeout: None,
+    };
+    let encoded = encode_request(&job);
+    let body = encoded
+        .strip_prefix("run v1\n")
+        .expect("run encoding opens with its command line");
+    format!("graph-create v2\nid {}\n{body}", spec.id)
+}
+
+/// Encodes a delta batch as a `graph-patch v2` payload. Op lines are
+/// `+ u v` (insert), `+ u v <weight>` (weighted insert),
+/// `+ u v client|server|both` (client-server insert), `- u v` (delete).
+pub fn encode_graph_patch(id: &str, ops: &[DeltaOp]) -> String {
+    let mut out = format!("graph-patch v2\nid {id}\nops\n");
+    for op in ops {
+        match *op {
+            DeltaOp::Insert { u, v, weight, role } => {
+                out.push_str(&format!("+ {u} {v}"));
+                if let Some(w) = weight {
+                    out.push_str(&format!(" {w}"));
+                }
+                if let Some(r) = role {
+                    out.push_str(&format!(" {}", r.as_str()));
+                }
+                out.push('\n');
+            }
+            DeltaOp::Delete { u, v } => out.push_str(&format!("- {u} {v}\n")),
+        }
+    }
+    out
+}
+
+/// Encodes a `graph-get v2` metadata request.
+pub fn encode_graph_get(id: &str) -> String {
+    format!("graph-get v2\nid {id}\n")
+}
+
+/// Encodes a `graph-spanner v2` read request.
+pub fn encode_graph_spanner_request(id: &str) -> String {
+    format!("graph-spanner v2\nid {id}\n")
+}
+
+/// Encodes a `graph-delete v2` request.
+pub fn encode_graph_delete(id: &str) -> String {
+    format!("graph-delete v2\nid {id}\n")
+}
+
 /// Decodes a request payload.
 pub fn decode_request(payload: &[u8]) -> Result<Request, JobError> {
     let text = std::str::from_utf8(payload)
@@ -260,10 +388,160 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, JobError> {
         "run v1" => decode_run_request(rest),
         "stats v1" => Ok(Request::Stats),
         "ping v1" => Ok(Request::Ping),
-        other => Err(JobError::Protocol(format!(
-            "unknown command `{other}` (expected `run v1`, `stats v1`, or `ping v1`)"
-        ))),
+        "graph-create v2" => decode_graph_create_request(rest),
+        "graph-patch v2" => decode_graph_patch_request(rest),
+        "graph-get v2" => decode_graph_id_request(rest, |id| Request::GraphGet { id }),
+        "graph-spanner v2" => decode_graph_id_request(rest, |id| Request::GraphSpanner { id }),
+        "graph-delete v2" => decode_graph_id_request(rest, |id| Request::GraphDelete { id }),
+        other => {
+            if let Some(version) = other.strip_prefix("hello v") {
+                let proto = parse_u64(version, "hello protocol version")?;
+                if proto == 0 {
+                    return Err(JobError::Protocol("protocol versions start at 1".into()));
+                }
+                return Ok(Request::Hello { proto });
+            }
+            Err(JobError::Protocol(format!(
+                "unknown command `{other}` (expected `hello vN`, `run v1`, `stats v1`, \
+                 `ping v1`, or a `graph-create|patch|get|spanner|delete v2` frame)"
+            )))
+        }
     }
+}
+
+/// Parses an `id <name>` line, validating the graph-id alphabet.
+fn decode_id_line(line: &str) -> Result<String, JobError> {
+    let line = line.trim();
+    let id = line
+        .strip_prefix("id ")
+        .ok_or_else(|| JobError::Protocol(format!("expected `id <name>` line, got `{line}`")))?
+        .trim();
+    if !valid_graph_id(id) {
+        return Err(JobError::Protocol(format!(
+            "invalid graph id `{id}` (1-64 characters from [a-zA-Z0-9._-])"
+        )));
+    }
+    Ok(id.to_string())
+}
+
+fn decode_graph_create_request(body: &str) -> Result<Request, JobError> {
+    let (id_line, rest) = body
+        .split_once('\n')
+        .ok_or_else(|| JobError::Protocol("graph-create needs an `id` line".into()))?;
+    let id = decode_id_line(id_line)?;
+    // The body after `id` is a run-v1 body: one decoder, one set of
+    // normalization and hardening rules (including the vertex-count
+    // bound) for jobs, graph creates, and the delta log.
+    let Request::Run(job) = decode_run_request(rest)? else {
+        unreachable!("decode_run_request only yields Run");
+    };
+    if job.timeout.is_some() {
+        return Err(JobError::Protocol(
+            "graph-create does not take `timeout-ms` (timeouts are per-read)".into(),
+        ));
+    }
+    if job.config.num_shards != 1 {
+        return Err(JobError::Protocol(
+            "graph-create does not take `shards` (execution policy is per-read)".into(),
+        ));
+    }
+    Ok(Request::GraphCreate(Box::new(GraphSpec {
+        id,
+        instance: job.instance,
+        config: job.config,
+    })))
+}
+
+fn decode_graph_patch_request(body: &str) -> Result<Request, JobError> {
+    let mut lines = body.lines();
+    let id = decode_id_line(
+        lines
+            .next()
+            .ok_or_else(|| JobError::Protocol("graph-patch needs an `id` line".into()))?,
+    )?;
+    match lines.next().map(str::trim) {
+        Some("ops") => {}
+        other => {
+            return Err(JobError::Protocol(format!(
+                "expected `ops` line after the id, got `{}`",
+                other.unwrap_or("<end of frame>")
+            )))
+        }
+    }
+    let rest: Vec<&str> = lines.collect();
+    let ops = parse_delta_ops(&rest.join("\n"))?;
+    Ok(Request::GraphPatch { id, ops })
+}
+
+/// Parses a block of delta-op lines — `+ u v [weight|client|server|both]`
+/// inserts, `- u v` deletes; blank lines and `#` comments are skipped.
+/// Shared by the `graph-patch` frame decoder and `spanner-cli graph
+/// patch`, so CLI and wire never drift.
+pub fn parse_delta_ops(text: &str) -> Result<Vec<DeltaOp>, JobError> {
+    let mut ops = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        ops.push(decode_delta_op(line)?);
+    }
+    Ok(ops)
+}
+
+/// Parses one delta-op line: `+ u v [weight|role]` or `- u v`. The
+/// third insert operand disambiguates lexically (all digits: weight;
+/// role word: role) so the decoder needs no variant knowledge — the
+/// registry validates variant fit.
+fn decode_delta_op(line: &str) -> Result<DeltaOp, JobError> {
+    let malformed = || {
+        JobError::Protocol(format!(
+            "malformed delta op `{line}` (expected `+ u v [weight|client|server|both]` or `- u v`)"
+        ))
+    };
+    let endpoint = |raw: &str| parse_u64(raw, "delta endpoint").map(|x| x as usize);
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    match fields.as_slice() {
+        ["+", u, v] => Ok(DeltaOp::Insert {
+            u: endpoint(u)?,
+            v: endpoint(v)?,
+            weight: None,
+            role: None,
+        }),
+        ["+", u, v, extra] => {
+            let (u, v) = (endpoint(u)?, endpoint(v)?);
+            if extra.bytes().all(|b| b.is_ascii_digit()) {
+                Ok(DeltaOp::Insert {
+                    u,
+                    v,
+                    weight: Some(parse_u64(extra, "edge weight")?),
+                    role: None,
+                })
+            } else if let Some(role) = EdgeRole::parse(extra) {
+                Ok(DeltaOp::Insert {
+                    u,
+                    v,
+                    weight: None,
+                    role: Some(role),
+                })
+            } else {
+                Err(malformed())
+            }
+        }
+        ["-", u, v] => Ok(DeltaOp::Delete {
+            u: endpoint(u)?,
+            v: endpoint(v)?,
+        }),
+        _ => Err(malformed()),
+    }
+}
+
+fn decode_graph_id_request(
+    body: &str,
+    build: impl FnOnce(String) -> Request,
+) -> Result<Request, JobError> {
+    let id_line = body.split('\n').next().unwrap_or("");
+    Ok(build(decode_id_line(id_line)?))
 }
 
 fn decode_run_request(body: &str) -> Result<Request, JobError> {
@@ -484,6 +762,88 @@ pub fn encode_busy_response(retry_after_ms: u64) -> String {
     format!("busy {retry_after_ms}\n")
 }
 
+/// Encodes an `ok hello` handshake response.
+pub fn encode_hello_response(proto: u64, features: &[&str]) -> String {
+    if features.is_empty() {
+        format!("ok hello\nproto {proto}\nfeatures\n")
+    } else {
+        format!("ok hello\nproto {proto}\nfeatures {}\n", features.join(" "))
+    }
+}
+
+/// Encodes an `ok graph-create` response.
+pub fn encode_graph_created(r: &GraphCreated) -> String {
+    format!(
+        "ok graph-create\nid {}\nversion {}\nedges {}\nspanner-size {}\nexisted {}\n",
+        r.id,
+        r.version,
+        r.edges,
+        r.spanner_size,
+        u8::from(r.existed),
+    )
+}
+
+/// Encodes an `ok graph-patch` response.
+pub fn encode_graph_patched(r: &GraphPatched) -> String {
+    format!(
+        "ok graph-patch\nid {}\nversion {}\napplied {}\ncommuted {}\nrepaired {}\nrecomputed {}\nedges {}\n",
+        r.id,
+        r.version,
+        r.applied,
+        r.classes.commuted,
+        r.classes.repaired,
+        r.classes.recomputed,
+        r.edges,
+    )
+}
+
+/// Encodes an `ok graph-get` metadata response.
+pub fn encode_graph_meta(r: &GraphMeta) -> String {
+    let cover = match r.cover_size {
+        Some(n) => n.to_string(),
+        None => "none".to_string(),
+    };
+    format!(
+        "ok graph-get\nid {}\nvariant {}\nversion {}\nvertices {}\nedges {}\nseed {}\ncover-size {cover}\ndebt {}\ncommuted {}\nrepaired {}\nrecomputed {}\n",
+        r.id,
+        r.kind,
+        r.version,
+        r.vertices,
+        r.edges,
+        r.seed,
+        r.debt,
+        r.classes.commuted,
+        r.classes.repaired,
+        r.classes.recomputed,
+    )
+}
+
+/// Encodes an `ok graph-spanner` response: the header, then one `u v`
+/// line per spanner edge. Deterministic for a given delta history.
+pub fn encode_graph_spanner_response(r: &GraphSpannerResult) -> String {
+    let mut out = format!(
+        "ok graph-spanner\nid {}\nversion {}\nkey {:016x}\nvariant {}\nconverged {}\niterations {}\nlocal-rounds {}\nstar-fallbacks {}\nspanner-size {}\nspanner\n",
+        r.id,
+        r.version,
+        r.key,
+        r.kind,
+        u8::from(r.converged),
+        r.iterations,
+        r.local_rounds,
+        r.star_fallbacks,
+        r.edges.len(),
+    );
+    for &(u, v) in &r.edges {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+/// Encodes an `ok graph-delete` response.
+pub fn encode_graph_deleted(id: &str) -> String {
+    format!("ok graph-delete\nid {id}\n")
+}
+
 /// Decodes a response payload.
 pub fn decode_response(payload: &[u8]) -> Result<Response, JobError> {
     let text = std::str::from_utf8(payload)
@@ -501,10 +861,173 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, JobError> {
         "ok ping" => Ok(Response::Pong),
         "ok stats" => Ok(Response::Stats(body.trim_end().to_string())),
         "ok run" => decode_run_response(body),
+        "ok hello" => decode_hello_response(body),
+        "ok graph-create" => decode_graph_created(body),
+        "ok graph-patch" => decode_graph_patched(body),
+        "ok graph-get" => decode_graph_meta(body),
+        "ok graph-spanner" => decode_graph_spanner(body),
+        "ok graph-delete" => {
+            let id = decode_id_line(body.lines().next().unwrap_or(""))?;
+            Ok(Response::GraphDeleted { id })
+        }
         other => Err(JobError::Protocol(format!(
             "unknown response head `{other}`"
         ))),
     }
+}
+
+fn decode_hello_response(body: &str) -> Result<Response, JobError> {
+    let mut proto = None;
+    let mut features = None;
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once(' ').unwrap_or((line, ""));
+        match k {
+            "proto" => proto = Some(parse_u64(v.trim(), "hello proto")?),
+            "features" => {
+                features = Some(v.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+            }
+            other => return Err(JobError::Protocol(format!("unknown field `{other}`"))),
+        }
+    }
+    Ok(Response::Hello {
+        proto: proto.ok_or_else(|| JobError::Protocol("missing `proto` field".into()))?,
+        features: features.unwrap_or_default(),
+    })
+}
+
+/// Collects `key value` body lines into a map, erroring on repeats.
+fn decode_kv_body(body: &str) -> Result<std::collections::HashMap<String, String>, JobError> {
+    let mut fields = std::collections::HashMap::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once(' ').unwrap_or((line, ""));
+        if fields.insert(k.to_string(), v.trim().to_string()).is_some() {
+            return Err(JobError::Protocol(format!("repeated field `{k}`")));
+        }
+    }
+    Ok(fields)
+}
+
+fn take_field(
+    fields: &mut std::collections::HashMap<String, String>,
+    key: &str,
+) -> Result<String, JobError> {
+    fields
+        .remove(key)
+        .ok_or_else(|| JobError::Protocol(format!("missing `{key}` field")))
+}
+
+fn take_u64(
+    fields: &mut std::collections::HashMap<String, String>,
+    key: &str,
+) -> Result<u64, JobError> {
+    parse_u64(&take_field(fields, key)?, key)
+}
+
+fn take_classes(
+    fields: &mut std::collections::HashMap<String, String>,
+) -> Result<crate::graphs::DeltaClasses, JobError> {
+    Ok(crate::graphs::DeltaClasses {
+        commuted: take_u64(fields, "commuted")?,
+        repaired: take_u64(fields, "repaired")?,
+        recomputed: take_u64(fields, "recomputed")?,
+    })
+}
+
+fn decode_graph_created(body: &str) -> Result<Response, JobError> {
+    let mut f = decode_kv_body(body)?;
+    Ok(Response::GraphCreated(GraphCreated {
+        id: take_field(&mut f, "id")?,
+        version: take_u64(&mut f, "version")?,
+        edges: take_u64(&mut f, "edges")? as usize,
+        spanner_size: take_u64(&mut f, "spanner-size")? as usize,
+        existed: parse_flag(&take_field(&mut f, "existed")?, "existed")?,
+    }))
+}
+
+fn decode_graph_patched(body: &str) -> Result<Response, JobError> {
+    let mut f = decode_kv_body(body)?;
+    Ok(Response::GraphPatched(GraphPatched {
+        id: take_field(&mut f, "id")?,
+        version: take_u64(&mut f, "version")?,
+        applied: take_u64(&mut f, "applied")? as usize,
+        classes: take_classes(&mut f)?,
+        edges: take_u64(&mut f, "edges")? as usize,
+    }))
+}
+
+fn decode_graph_meta(body: &str) -> Result<Response, JobError> {
+    let mut f = decode_kv_body(body)?;
+    let cover = take_field(&mut f, "cover-size")?;
+    let cover_size = if cover == "none" {
+        None
+    } else {
+        Some(parse_u64(&cover, "cover-size")? as usize)
+    };
+    Ok(Response::GraphMeta(GraphMeta {
+        id: take_field(&mut f, "id")?,
+        kind: take_field(&mut f, "variant")?
+            .parse::<VariantKind>()
+            .map_err(JobError::Protocol)?,
+        version: take_u64(&mut f, "version")?,
+        vertices: take_u64(&mut f, "vertices")? as usize,
+        edges: take_u64(&mut f, "edges")? as usize,
+        seed: take_u64(&mut f, "seed")?,
+        cover_size,
+        debt: take_u64(&mut f, "debt")? as usize,
+        classes: take_classes(&mut f)?,
+    }))
+}
+
+fn decode_graph_spanner(body: &str) -> Result<Response, JobError> {
+    // The header is `key value` lines up to the bare `spanner` line;
+    // everything after is `u v` edge lines.
+    let (header, edge_lines) = body.split_once("\nspanner\n").ok_or_else(|| {
+        JobError::Protocol("missing `spanner` section in graph-spanner response".into())
+    })?;
+    let mut f = decode_kv_body(header)?;
+    let size = take_u64(&mut f, "spanner-size")? as usize;
+    let mut edges = Vec::with_capacity(size);
+    for line in edge_lines.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (u, v) = line
+            .split_once(' ')
+            .ok_or_else(|| JobError::Protocol(format!("malformed spanner edge `{line}`")))?;
+        edges.push((
+            parse_u64(u.trim(), "spanner edge endpoint")? as usize,
+            parse_u64(v.trim(), "spanner edge endpoint")? as usize,
+        ));
+    }
+    if edges.len() != size {
+        return Err(JobError::Protocol(format!(
+            "spanner-size {size} does not match {} listed edges",
+            edges.len()
+        )));
+    }
+    Ok(Response::GraphSpanner(GraphSpannerResult {
+        id: take_field(&mut f, "id")?,
+        version: take_u64(&mut f, "version")?,
+        key: u64::from_str_radix(&take_field(&mut f, "key")?, 16)
+            .map_err(|_| JobError::Protocol("invalid key".into()))?,
+        kind: take_field(&mut f, "variant")?
+            .parse::<VariantKind>()
+            .map_err(JobError::Protocol)?,
+        converged: parse_flag(&take_field(&mut f, "converged")?, "converged")?,
+        iterations: take_u64(&mut f, "iterations")?,
+        local_rounds: take_u64(&mut f, "local-rounds")?,
+        star_fallbacks: take_u64(&mut f, "star-fallbacks")?,
+        edges,
+    }))
 }
 
 fn decode_run_response(body: &str) -> Result<Response, JobError> {
@@ -790,6 +1313,213 @@ mod tests {
             decode_response(b"busy soon\n"),
             Err(JobError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn hello_handshake_roundtrips() {
+        match decode_request(encode_hello_request(2).as_bytes()).unwrap() {
+            Request::Hello { proto } => assert_eq!(proto, 2),
+            other => panic!("expected hello, got {other:?}"),
+        }
+        // Future clients may announce higher versions; v0 is nonsense.
+        assert!(matches!(
+            decode_request(b"hello v17\n"),
+            Ok(Request::Hello { proto: 17 })
+        ));
+        assert!(matches!(
+            decode_request(b"hello v0\n"),
+            Err(JobError::Protocol(_))
+        ));
+        let enc = encode_hello_response(PROTO_VERSION, &["graphs"]);
+        match decode_response(enc.as_bytes()).unwrap() {
+            Response::Hello { proto, features } => {
+                assert_eq!(proto, PROTO_VERSION);
+                assert_eq!(features, vec!["graphs".to_string()]);
+            }
+            other => panic!("expected hello, got {other:?}"),
+        }
+        // A v1-style empty feature list survives too.
+        match decode_response(encode_hello_response(1, &[]).as_bytes()).unwrap() {
+            Response::Hello { proto, features } => {
+                assert_eq!(proto, 1);
+                assert!(features.is_empty());
+            }
+            other => panic!("expected hello, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_create_roundtrips_and_shares_run_normalization() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let spec = GraphSpec {
+            id: "prod.web-1".to_string(),
+            instance: VariantInstance::Undirected { graph: g },
+            config: EngineConfig::seeded(9),
+        };
+        let enc = encode_graph_create(&spec);
+        assert!(enc.starts_with("graph-create v2\nid prod.web-1\nvariant undirected\n"));
+        match decode_request(enc.as_bytes()).unwrap() {
+            Request::GraphCreate(back) => {
+                assert_eq!(back.id, spec.id);
+                assert_eq!(back.instance, spec.instance);
+                assert_eq!(back.config.seed, 9);
+            }
+            other => panic!("expected graph-create, got {other:?}"),
+        }
+        // Execution policy is stripped at encode and rejected at
+        // decode; the vertex-count bound applies as for `run v1`.
+        let mut wide = spec.clone();
+        wide.config.num_shards = 8;
+        assert!(!encode_graph_create(&wide).contains("shards"));
+        for bad in [
+            "graph-create v2\nid g\nvariant undirected\nseed 1\nshards 4\ngraph\n# n 2\n0 1\n",
+            "graph-create v2\nid g\nvariant undirected\nseed 1\ntimeout-ms 5\ngraph\n# n 2\n0 1\n",
+            "graph-create v2\nid bad/id\nvariant undirected\nseed 1\ngraph\n# n 2\n0 1\n",
+            "graph-create v2\nid g\nvariant undirected\nseed 1\ngraph\n# n 9999999999999\n0 1\n",
+        ] {
+            assert!(
+                matches!(decode_request(bad.as_bytes()), Err(JobError::Protocol(_))),
+                "accepted: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_patch_roundtrips_all_op_shapes() {
+        let ops = vec![
+            DeltaOp::Insert {
+                u: 0,
+                v: 1,
+                weight: None,
+                role: None,
+            },
+            DeltaOp::Insert {
+                u: 1,
+                v: 2,
+                weight: Some(9),
+                role: None,
+            },
+            DeltaOp::Insert {
+                u: 2,
+                v: 3,
+                weight: None,
+                role: Some(EdgeRole::Server),
+            },
+            DeltaOp::Delete { u: 0, v: 1 },
+        ];
+        let enc = encode_graph_patch("g", &ops);
+        assert_eq!(
+            enc,
+            "graph-patch v2\nid g\nops\n+ 0 1\n+ 1 2 9\n+ 2 3 server\n- 0 1\n"
+        );
+        match decode_request(enc.as_bytes()).unwrap() {
+            Request::GraphPatch { id, ops: back } => {
+                assert_eq!(id, "g");
+                assert_eq!(back, ops);
+            }
+            other => panic!("expected graph-patch, got {other:?}"),
+        }
+        for bad in [
+            "graph-patch v2\nid g\nops\n* 0 1\n",
+            "graph-patch v2\nid g\nops\n+ 0\n",
+            "graph-patch v2\nid g\nops\n+ 0 1 maybe\n",
+            "graph-patch v2\nid g\nops\n- 0 1 2\n",
+            "graph-patch v2\nid g\n+ 0 1\n",
+        ] {
+            assert!(
+                matches!(decode_request(bad.as_bytes()), Err(JobError::Protocol(_))),
+                "accepted: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_reads_and_delete_roundtrip() {
+        match decode_request(encode_graph_get("a.b").as_bytes()).unwrap() {
+            Request::GraphGet { id } => assert_eq!(id, "a.b"),
+            other => panic!("expected graph-get, got {other:?}"),
+        }
+        match decode_request(encode_graph_spanner_request("a.b").as_bytes()).unwrap() {
+            Request::GraphSpanner { id } => assert_eq!(id, "a.b"),
+            other => panic!("expected graph-spanner, got {other:?}"),
+        }
+        match decode_request(encode_graph_delete("a.b").as_bytes()).unwrap() {
+            Request::GraphDelete { id } => assert_eq!(id, "a.b"),
+            other => panic!("expected graph-delete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_responses_roundtrip() {
+        use crate::graphs::DeltaClasses;
+        let created = GraphCreated {
+            id: "g".into(),
+            version: 3,
+            edges: 17,
+            spanner_size: 9,
+            existed: true,
+        };
+        match decode_response(encode_graph_created(&created).as_bytes()).unwrap() {
+            Response::GraphCreated(back) => assert_eq!(back, created),
+            other => panic!("expected graph-created, got {other:?}"),
+        }
+        let patched = GraphPatched {
+            id: "g".into(),
+            version: 12,
+            applied: 4,
+            classes: DeltaClasses {
+                commuted: 2,
+                repaired: 1,
+                recomputed: 1,
+            },
+            edges: 20,
+        };
+        match decode_response(encode_graph_patched(&patched).as_bytes()).unwrap() {
+            Response::GraphPatched(back) => assert_eq!(back, patched),
+            other => panic!("expected graph-patched, got {other:?}"),
+        }
+        for cover_size in [Some(7), None] {
+            let meta = GraphMeta {
+                id: "g".into(),
+                kind: VariantKind::Weighted,
+                version: 5,
+                vertices: 40,
+                edges: 21,
+                seed: 8,
+                cover_size,
+                debt: 3,
+                classes: DeltaClasses {
+                    commuted: 9,
+                    repaired: 3,
+                    recomputed: 2,
+                },
+            };
+            match decode_response(encode_graph_meta(&meta).as_bytes()).unwrap() {
+                Response::GraphMeta(back) => assert_eq!(back, meta),
+                other => panic!("expected graph-meta, got {other:?}"),
+            }
+        }
+        for edges in [vec![(0, 1), (2, 3)], vec![]] {
+            let spanner = GraphSpannerResult {
+                id: "g".into(),
+                version: 6,
+                key: 0xabc_def,
+                kind: VariantKind::Undirected,
+                converged: true,
+                iterations: 4,
+                local_rounds: 28,
+                star_fallbacks: 0,
+                edges,
+            };
+            match decode_response(encode_graph_spanner_response(&spanner).as_bytes()).unwrap() {
+                Response::GraphSpanner(back) => assert_eq!(back, spanner),
+                other => panic!("expected graph-spanner, got {other:?}"),
+            }
+        }
+        match decode_response(encode_graph_deleted("g").as_bytes()).unwrap() {
+            Response::GraphDeleted { id } => assert_eq!(id, "g"),
+            other => panic!("expected graph-deleted, got {other:?}"),
+        }
     }
 
     #[test]

@@ -577,3 +577,34 @@ proptest! {
         client.healthz().unwrap();
     }
 }
+
+#[test]
+fn error_bodies_carry_the_stable_code_field() {
+    // Every error body is `{"error": prose, "code": slug}`: `error`
+    // stays first (and prose) so pre-code clients keep parsing, while
+    // `code` gives new clients a stable contract.
+    let server = start_server();
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+    let body = r#"{"variant":"undirected","seed":1,"graph":{"n":3,"edges":[[0,1],[1,2]]},"accept_denominator":0}"#;
+    let (status, resp) = client
+        .request("POST", "/v1/jobs", Some(body))
+        .expect("post");
+    assert_eq!(status, 422);
+    let text = String::from_utf8_lossy(&resp);
+    assert!(
+        text.starts_with(r#"{"error":"#),
+        "prose key must stay first: {text}"
+    );
+    assert!(text.contains(r#""code":"invalid""#), "{text}");
+
+    let (status, resp) = client
+        .request("GET", "/v1/graphs/absent", None)
+        .expect("get");
+    assert_eq!(status, 404);
+    assert!(
+        String::from_utf8_lossy(&resp).contains(r#""code":"not_found""#),
+        "{}",
+        String::from_utf8_lossy(&resp)
+    );
+    client.healthz().expect("healthz after error parade");
+}

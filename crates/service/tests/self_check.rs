@@ -73,3 +73,35 @@ fn explicit_help_succeeds_on_stdout() {
         assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
     }
 }
+
+#[test]
+fn spanner_serve_graphs_self_check_passes() {
+    let out = Command::new(env!("CARGO_BIN_EXE_spanner-serve"))
+        .args(["--self-check", "--graphs"])
+        .output()
+        .expect("run spanner-serve");
+    assert!(
+        out.status.success(),
+        "graphs self-check failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("self-check ok"));
+    // The one-line delta-classification summary CI extracts into
+    // graph_deltas.json must be on stdout.
+    assert!(
+        stdout.contains("{\"graphs_self_check\":{\"deltas\":"),
+        "missing artifact line\nstdout: {stdout}"
+    );
+}
+
+#[test]
+fn graphs_flag_without_self_check_is_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_spanner-serve"))
+        .arg("--graphs")
+        .output()
+        .expect("run spanner-serve");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--self-check"));
+}
