@@ -4,6 +4,8 @@
 //! A2: the Section-4.1 monotone star choice vs fresh densest stars.
 //! A3: rounding densities to powers of two vs exact densities.
 
+#![forbid(unsafe_code)]
+
 use dsa_bench::{banner, f2, Table};
 use dsa_core::dist::{run_engine, EngineConfig, UndirectedTwoSpanner};
 use dsa_core::verify::is_k_spanner;

@@ -3,6 +3,8 @@
 //! one's tables with a header. `cargo run --release -p dsa-bench --bin
 //! exp_all` regenerates everything EXPERIMENTS.md archives.
 
+#![forbid(unsafe_code)]
+
 use std::process::Command;
 
 const ORDER: &[(&str, &str)] = &[

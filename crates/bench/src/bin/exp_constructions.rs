@@ -1,5 +1,7 @@
 //! F1 F2 F3 — structural validation of the paper's three figures.
 
+#![forbid(unsafe_code)]
+
 use dsa_bench::{banner, Table};
 use dsa_graphs::gen;
 use dsa_lowerbounds::construction_g::{GConstruction, GParams};

@@ -50,6 +50,8 @@
 //! deliberately denser (0.3–1.5 s each on the reference 1-core
 //! container at baseline) so the speedup ratio is signal, not noise.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use dsa_core::dist::{

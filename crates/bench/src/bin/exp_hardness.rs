@@ -1,5 +1,7 @@
 //! E6–E9 — the Section 2–3 hardness results, executed.
 
+#![forbid(unsafe_code)]
+
 use dsa_bench::{banner, f2, Table};
 use dsa_core::dist::{min_2_spanner_weighted, EngineConfig};
 use dsa_core::verify::spanner_cost;

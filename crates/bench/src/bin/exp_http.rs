@@ -22,6 +22,8 @@
 //! cargo run --release -p dsa-bench --bin exp_http [jobs] [unique] [workers]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;

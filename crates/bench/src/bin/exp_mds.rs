@@ -2,6 +2,8 @@
 //! approximation quality against greedy and (for small graphs) the
 //! exact optimum, the round scaling, and the CONGEST message budget.
 
+#![forbid(unsafe_code)]
+
 use dsa_bench::{banner, f2, Table};
 use dsa_graphs::gen;
 use dsa_mds::{exact_mds, greedy_mds, is_dominating_set, jia_style_mds, run_mds_protocol};

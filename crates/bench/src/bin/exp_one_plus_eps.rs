@@ -2,6 +2,8 @@
 //! the exact optimum on small graphs, plus the network decomposition's
 //! color count.
 
+#![forbid(unsafe_code)]
+
 use dsa_bench::{banner, f2, Table};
 use dsa_core::one_plus_eps::{linial_saks, one_plus_eps_spanner};
 use dsa_core::seq::exact_min_k_spanner;

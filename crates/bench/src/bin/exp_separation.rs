@@ -9,6 +9,8 @@
 //! grow with Δ (the O(Δ) overhead of Section 1.3), whereas the MDS
 //! protocol's stay constant. We measure both on the same graphs.
 
+#![forbid(unsafe_code)]
+
 use dsa_bench::{banner, f2, Table};
 use dsa_core::protocol::run_two_spanner_protocol;
 use dsa_core::sparse::baswana_sen;

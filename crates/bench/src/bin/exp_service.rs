@@ -24,6 +24,8 @@
 //! cargo run --release -p dsa-bench --bin exp_service [jobs] [unique] [workers]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -1,6 +1,8 @@
 //! E1–E4 — the distributed 2-spanner approximations (Theorems 1.3,
 //! 4.9, 4.12, 4.15): ratio and round scaling across workloads.
 
+#![forbid(unsafe_code)]
+
 use dsa_bench::{banner, f2, Table};
 use dsa_core::dist::{
     min_2_spanner, min_2_spanner_client_server, min_2_spanner_directed, min_2_spanner_weighted,

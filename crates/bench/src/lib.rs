@@ -17,6 +17,8 @@
 //! archives one representative run of each. `cargo bench` runs the
 //! Criterion performance benchmarks in `benches/`.
 
+#![forbid(unsafe_code)]
+
 /// A minimal fixed-width markdown table printer, so every experiment
 /// binary reports in the same shape.
 pub struct Table {

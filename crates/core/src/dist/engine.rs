@@ -399,7 +399,7 @@ where
 {
     let ranges = shard_ranges(len, shards);
     if ranges.len() <= 1 {
-        let t = Instant::now();
+        let t = Instant::now(); // dsa-lint: allow(DSA-D002, reason="shard timings feed SpannerRun::trace only, never encoded output")
         let out = f(0..len);
         return (out, vec![t.elapsed()]);
     }
@@ -411,7 +411,7 @@ where
             .map(|range| {
                 let f = &f;
                 scope.spawn(move || {
-                    let t = Instant::now();
+                    let t = Instant::now(); // dsa-lint: allow(DSA-D002, reason="shard timings feed SpannerRun::trace only, never encoded output")
                     let chunk = f(range);
                     (chunk, t.elapsed())
                 })
@@ -544,7 +544,7 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
         // dominant cost of an iteration.
         // A vertex's star space plus the densest star found in it.
         type StarState = (LocalStars, Option<(Vec<bool>, Ratio)>);
-        let t_step1 = Instant::now();
+        let t_step1 = Instant::now(); // dsa-lint: allow(DSA-D002, reason="step timing is trace-only diagnostics, never encoded output")
         let step1_shards: Vec<Duration>;
         if locals.is_empty() {
             let (per_vertex, shard_times): (Vec<StarState>, _) = sharded_map(n, shards, |v| {
@@ -606,7 +606,7 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
             }
             // Final pass: recompute from scratch so `converged` rests
             // on a full check, not the incremental bookkeeping.
-            let t_cov = Instant::now();
+            let t_cov = Instant::now(); // dsa-lint: allow(DSA-D002, reason="coverage timing is trace-only diagnostics, never encoded output")
             uncovered = targets.clone();
             uncovered.subtract(&variant.covered(&h));
             let cov_wall = t_cov.elapsed();
@@ -635,7 +635,7 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
         // (unless ablated) and aggregated twice over the closed
         // neighborhood, giving each vertex the maximum over its
         // 2-neighborhood.
-        let t_step3 = Instant::now();
+        let t_step3 = Instant::now(); // dsa-lint: allow(DSA-D002, reason="step timing is trace-only diagnostics, never encoded output")
         for v in 0..n {
             keys[v] = if cfg.round_densities {
                 rho[v]
@@ -752,7 +752,7 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
         }
         let step3_wall = t_step3.elapsed();
         timings.step3 += step3_wall;
-        let t_step4 = Instant::now();
+        let t_step4 = Instant::now(); // dsa-lint: allow(DSA-D002, reason="step timing is trace-only diagnostics, never encoded output")
 
         // Step 4 (sharded over item ranges): voting. Each uncovered
         // item backs the first candidate 2-spanning it in `(r_v, v)`
@@ -807,7 +807,7 @@ pub fn run_engine_timed<V: SpannerVariant + Sync>(
         // Incremental coverage: only the items the new edges can have
         // covered leave `uncovered` (coverage is monotone, so the
         // delta is exact — see the module docs).
-        let t_cov = Instant::now();
+        let t_cov = Instant::now(); // dsa-lint: allow(DSA-D002, reason="coverage timing is trace-only diagnostics, never encoded output")
         delta.clear();
         variant.covered_delta(&h, &new_edges, &mut delta);
         uncovered.subtract(&delta);

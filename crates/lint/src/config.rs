@@ -1,0 +1,483 @@
+//! `lint.toml` — dsa-lint's configuration, parsed by hand.
+//!
+//! The build is offline (no crates.io), so this module implements the
+//! small TOML subset the config actually uses: `[table.subkey]`
+//! headers, `[[array-of-tables]]` headers, and `key = value` pairs
+//! where a value is a string, an integer, or an array of strings.
+//! Anything outside that subset is a hard error — a config that
+//! silently drops keys is worse than no config.
+//!
+//! Schema:
+//!
+//! ```toml
+//! exclude = ["crates/lint/tests/fixtures/**"]   # never scanned
+//!
+//! [rules.DSA-D001]            # one table per rule id
+//! paths = ["crates/core/src/dist/*.rs"]   # glob scope (* and **)
+//!
+//! [unsafe]
+//! deny_ok = ["crates/service/src/bin/spanner_serve.rs"]
+//!
+//! [[lock]]                    # the workspace lock inventory
+//! name = "cache"
+//! rank = 40
+//! file = "crates/service/src/service.rs"
+//! field = "cache"             # struct field the lock lives in
+//!
+//! [[external-lock]]           # ranked but not constructed in scope
+//! name = "flight_ring"
+//! rank = 100
+//!
+//! [[assume]]                  # call sites the analysis can't resolve
+//! call = "metrics.on_shed"    # `recv.method(` or a bare `name(`
+//! locks = ["metrics_classified"]
+//! ```
+
+use std::collections::BTreeMap;
+
+/// A declared lock: its place in the global order and where it lives.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    pub name: String,
+    pub rank: u32,
+    /// Repo-relative path of the file that constructs it.
+    pub file: String,
+    /// The struct field the lock is stored in; acquisition sites are
+    /// recognized as `<field>.lock()`.
+    pub field: String,
+}
+
+/// A lock that participates in the rank order but is constructed
+/// outside the analyzed scope (e.g. in another crate).
+#[derive(Debug, Clone)]
+pub struct ExternalLock {
+    pub name: String,
+    pub rank: u32,
+}
+
+/// A manual edge for calls the static analysis cannot resolve: when a
+/// call site textually matches `call`, the analysis assumes the callee
+/// acquires `locks`.
+#[derive(Debug, Clone)]
+pub struct Assume {
+    pub call: String,
+    pub locks: Vec<String>,
+}
+
+/// The parsed configuration.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Rule id -> path globs the rule applies to.
+    pub rules: BTreeMap<String, Vec<String>>,
+    /// Globs excluded from every scan (fixtures, vendored code).
+    pub exclude: Vec<String>,
+    /// Files where `#![deny(unsafe_code)]` satisfies DSA-U001.
+    pub deny_ok: Vec<String>,
+    pub locks: Vec<LockDecl>,
+    pub external_locks: Vec<ExternalLock>,
+    pub assumes: Vec<Assume>,
+}
+
+impl Config {
+    /// Parses the subset described in the module docs. Errors carry
+    /// the offending line number.
+    pub fn parse(src: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        // Current insertion target for key = value lines.
+        enum Target {
+            Top,
+            Rule(String),
+            Unsafe,
+            Lock,
+            ExternalLock,
+            Assume,
+        }
+        let mut target = Target::Top;
+
+        // Join multi-line arrays: a `key = [` whose brackets don't
+        // balance on one line absorbs following lines until they do.
+        let mut joined: Vec<(usize, String)> = Vec::new();
+        for (lineno, raw) in src.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            match joined.last_mut() {
+                Some((_, prev)) if !brackets_balance(prev) => {
+                    prev.push(' ');
+                    prev.push_str(&line);
+                }
+                _ => joined.push((lineno + 1, line)),
+            }
+        }
+        for (lineno, line) in joined {
+            let line = line.as_str();
+            if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                target = match header.trim() {
+                    "lock" => {
+                        cfg.locks.push(LockDecl {
+                            name: String::new(),
+                            rank: 0,
+                            file: String::new(),
+                            field: String::new(),
+                        });
+                        Target::Lock
+                    }
+                    "external-lock" => {
+                        cfg.external_locks.push(ExternalLock {
+                            name: String::new(),
+                            rank: 0,
+                        });
+                        Target::ExternalLock
+                    }
+                    "assume" => {
+                        cfg.assumes.push(Assume {
+                            call: String::new(),
+                            locks: Vec::new(),
+                        });
+                        Target::Assume
+                    }
+                    other => return Err(format!("line {lineno}: unknown table array [[{other}]]")),
+                };
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let header = header.trim();
+                target = if let Some(rule) = header.strip_prefix("rules.") {
+                    let id = rule.trim().trim_matches('"').to_string();
+                    cfg.rules.entry(id.clone()).or_default();
+                    Target::Rule(id)
+                } else if header == "unsafe" {
+                    Target::Unsafe
+                } else {
+                    return Err(format!("line {lineno}: unknown table [{header}]"));
+                };
+                continue;
+            }
+            let (key, value) = match line.split_once('=') {
+                Some((k, v)) => (k.trim(), v.trim()),
+                None => return Err(format!("line {lineno}: expected `key = value`")),
+            };
+            let val = Value::parse(value)
+                .map_err(|e| format!("line {lineno}: bad value for `{key}`: {e}"))?;
+            match (&mut target, key) {
+                (Target::Top, "exclude") => cfg.exclude = val.into_strings(lineno)?,
+                (Target::Rule(id), "paths") => {
+                    let paths = val.into_strings(lineno)?;
+                    cfg.rules.insert(id.clone(), paths);
+                }
+                (Target::Unsafe, "deny_ok") => cfg.deny_ok = val.into_strings(lineno)?,
+                (Target::Lock, k) => {
+                    let lock = cfg.locks.last_mut().ok_or("no [[lock]]")?;
+                    match k {
+                        "name" => lock.name = val.into_string(lineno)?,
+                        "rank" => lock.rank = val.into_int(lineno)?,
+                        "file" => lock.file = val.into_string(lineno)?,
+                        "field" => lock.field = val.into_string(lineno)?,
+                        _ => return Err(format!("line {lineno}: unknown [[lock]] key `{k}`")),
+                    }
+                }
+                (Target::ExternalLock, k) => {
+                    let lock = cfg
+                        .external_locks
+                        .last_mut()
+                        .ok_or("no [[external-lock]]")?;
+                    match k {
+                        "name" => lock.name = val.into_string(lineno)?,
+                        "rank" => lock.rank = val.into_int(lineno)?,
+                        _ => {
+                            return Err(format!(
+                                "line {lineno}: unknown [[external-lock]] key `{k}`"
+                            ))
+                        }
+                    }
+                }
+                (Target::Assume, k) => {
+                    let assume = cfg.assumes.last_mut().ok_or("no [[assume]]")?;
+                    match k {
+                        "call" => assume.call = val.into_string(lineno)?,
+                        "locks" => assume.locks = val.into_strings(lineno)?,
+                        _ => return Err(format!("line {lineno}: unknown [[assume]] key `{k}`")),
+                    }
+                }
+                (_, k) => return Err(format!("line {lineno}: key `{k}` not valid here")),
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let mut names: Vec<&str> = Vec::new();
+        for l in &self.locks {
+            if l.name.is_empty() || l.file.is_empty() || l.field.is_empty() {
+                return Err(format!(
+                    "[[lock]] `{}` must declare name, rank, file and field",
+                    l.name
+                ));
+            }
+            names.push(&l.name);
+        }
+        for l in &self.external_locks {
+            if l.name.is_empty() {
+                return Err("[[external-lock]] must declare a name".into());
+            }
+            names.push(&l.name);
+        }
+        names.sort_unstable();
+        if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!("duplicate lock name `{}`", w[0]));
+        }
+        let known = |n: &String| names.binary_search(&n.as_str()).is_ok();
+        for a in &self.assumes {
+            if a.call.is_empty() {
+                return Err("[[assume]] must declare `call`".into());
+            }
+            if let Some(bad) = a.locks.iter().find(|l| !known(l)) {
+                return Err(format!(
+                    "[[assume]] for `{}` names undeclared lock `{bad}`",
+                    a.call
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rank lookup across declared and external locks.
+    pub fn rank_of(&self, name: &str) -> Option<u32> {
+        self.locks
+            .iter()
+            .find(|l| l.name == name)
+            .map(|l| l.rank)
+            .or_else(|| {
+                self.external_locks
+                    .iter()
+                    .find(|l| l.name == name)
+                    .map(|l| l.rank)
+            })
+    }
+}
+
+enum Value {
+    Str(String),
+    Int(u32),
+    Arr(Vec<String>),
+}
+
+impl Value {
+    fn parse(s: &str) -> Result<Value, String> {
+        if let Some(inner) = s.strip_prefix('"') {
+            let inner = inner
+                .strip_suffix('"')
+                .ok_or("unterminated string".to_string())?;
+            return Ok(Value::Str(inner.to_string()));
+        }
+        if let Some(inner) = s.strip_prefix('[') {
+            let inner = inner
+                .strip_suffix(']')
+                .ok_or("unterminated array".to_string())?;
+            let mut items = Vec::new();
+            for item in split_top_level(inner) {
+                let item = item.trim();
+                if item.is_empty() {
+                    continue;
+                }
+                match Value::parse(item)? {
+                    Value::Str(s) => items.push(s),
+                    _ => return Err("arrays may only hold strings".into()),
+                }
+            }
+            return Ok(Value::Arr(items));
+        }
+        s.parse::<u32>()
+            .map(Value::Int)
+            .map_err(|_| format!("`{s}` is not a string, integer, or string array"))
+    }
+
+    fn into_string(self, lineno: usize) -> Result<String, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(format!("line {lineno}: expected a string")),
+        }
+    }
+
+    fn into_int(self, lineno: usize) -> Result<u32, String> {
+        match self {
+            Value::Int(i) => Ok(i),
+            _ => Err(format!("line {lineno}: expected an integer")),
+        }
+    }
+
+    fn into_strings(self, lineno: usize) -> Result<Vec<String>, String> {
+        match self {
+            Value::Arr(v) => Ok(v),
+            _ => Err(format!("line {lineno}: expected a string array")),
+        }
+    }
+}
+
+/// True when `[`/`]` outside quotes are balanced in `s`.
+fn brackets_balance(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+/// Drops a trailing `# comment`, respecting `#` inside quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Splits an array body on commas that are not inside quotes.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut in_str = false;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Glob matching with `*` (within a path segment) and `**` (any
+/// number of segments). Paths use `/` separators.
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    let pat: Vec<&str> = pattern.split('/').collect();
+    let segs: Vec<&str> = path.split('/').collect();
+    match_segments(&pat, &segs)
+}
+
+fn match_segments(pat: &[&str], segs: &[&str]) -> bool {
+    match pat.first() {
+        None => segs.is_empty(),
+        Some(&"**") => {
+            // `**` matches zero or more whole segments.
+            (0..=segs.len()).any(|k| match_segments(&pat[1..], &segs[k..]))
+        }
+        Some(p) => match segs.first() {
+            Some(s) if match_one(p, s) => match_segments(&pat[1..], &segs[1..]),
+            _ => false,
+        },
+    }
+}
+
+/// `*` within a segment matches any run of non-separator characters.
+fn match_one(pat: &str, seg: &str) -> bool {
+    let p: Vec<char> = pat.chars().collect();
+    let s: Vec<char> = seg.chars().collect();
+    fn rec(p: &[char], s: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('*') => (0..=s.len()).any(|k| rec(&p[1..], &s[k..])),
+            Some(c) => s.first() == Some(c) && rec(&p[1..], &s[1..]),
+        }
+    }
+    rec(&p, &s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_schema() {
+        let cfg = Config::parse(
+            r#"
+            # top comment
+            exclude = ["a/**", "b/*.rs"]
+
+            [rules.DSA-D001]
+            paths = ["crates/core/src/dist/*.rs", "x.rs"]
+
+            [unsafe]
+            deny_ok = ["serve.rs"]
+
+            [[lock]]
+            name = "cache"
+            rank = 40
+            file = "svc.rs"
+            field = "cache"
+
+            [[external-lock]]
+            name = "flight_ring"
+            rank = 100
+
+            [[assume]]
+            call = "metrics.on_shed"
+            locks = ["cache"]
+            "#,
+        )
+        .expect("parse");
+        assert_eq!(cfg.exclude.len(), 2);
+        assert_eq!(cfg.rules["DSA-D001"].len(), 2);
+        assert_eq!(cfg.deny_ok, ["serve.rs"]);
+        assert_eq!(cfg.locks[0].rank, 40);
+        assert_eq!(cfg.rank_of("flight_ring"), Some(100));
+        assert_eq!(cfg.assumes[0].locks, ["cache"]);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_duplicate_locks() {
+        assert!(Config::parse("[mystery]\n").is_err());
+        assert!(Config::parse(
+            "[[lock]]\nname = \"a\"\nrank = 1\nfile = \"f\"\nfield = \"x\"\nbogus = 3\n"
+        )
+        .is_err());
+        let dup = "[[lock]]\nname = \"a\"\nrank = 1\nfile = \"f\"\nfield = \"x\"\n\
+                   [[lock]]\nname = \"a\"\nrank = 2\nfile = \"g\"\nfield = \"y\"\n";
+        assert!(Config::parse(dup).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn assume_must_reference_declared_locks() {
+        let bad = "[[assume]]\ncall = \"x\"\nlocks = [\"ghost\"]\n";
+        assert!(Config::parse(bad).unwrap_err().contains("ghost"));
+    }
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match("crates/*/src/lib.rs", "crates/core/src/lib.rs"));
+        assert!(!glob_match(
+            "crates/*/src/lib.rs",
+            "crates/core/src/bin/x.rs"
+        ));
+        assert!(glob_match("crates/**", "crates/a/b/c.rs"));
+        assert!(glob_match(
+            "**/fixtures/**",
+            "crates/lint/tests/fixtures/w/x.rs"
+        ));
+        assert!(glob_match(
+            "crates/core/src/dist/*.rs",
+            "crates/core/src/dist/engine.rs"
+        ));
+        assert!(!glob_match(
+            "crates/core/src/dist/*.rs",
+            "crates/core/src/dist.rs"
+        ));
+        assert!(glob_match("src/lib.rs", "src/lib.rs"));
+    }
+}

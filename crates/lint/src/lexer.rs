@@ -1,0 +1,389 @@
+//! A lightweight Rust lexer: just enough tokenization for dsa-lint's
+//! rules, with zero dependencies.
+//!
+//! The rules need exactly four things the raw byte stream does not
+//! give them: (1) tokens with **line numbers**, so findings are
+//! addressable; (2) string/char literals skipped as opaque units, so
+//! `"panic!"` inside a log message is not a finding; (3) comments
+//! carried out-of-band, so `// dsa-lint: allow(...)` waivers can be
+//! parsed without polluting the token stream; (4) the classic
+//! `'a`-lifetime vs `'a'`-char ambiguity resolved. Everything subtler
+//! (macro expansion, type inference) is deliberately out of scope —
+//! the rules compensate with conservative heuristics and waivers.
+
+/// What a token is; `text` on [`Tok`] always holds the exact source
+/// slice, so most rules just match on text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// `'a` in `<'a>` — *not* a char literal.
+    Lifetime,
+    /// String, raw string, byte string, or char literal (one token).
+    Literal,
+    /// Integer or float literal.
+    Num,
+    /// Any single punctuation character: `.`, `(`, `[`, `!`, `:`, ...
+    Punct,
+}
+
+/// One token, with the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for a punctuation token equal to `c`.
+    pub fn is(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// True for an identifier token equal to `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+}
+
+/// A comment, with the 1-based line it starts on. Block comments are
+/// reported whole (possibly multi-line); waiver parsing only looks at
+/// line comments.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Never fails: unterminated constructs consume to end
+/// of file, which is the most useful behavior for a linter (the
+/// compiler will report the real error).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    // Advances `line` for every newline in b[from..to].
+    macro_rules! count_lines {
+        ($from:expr, $to:expr) => {
+            line += b[$from..$to].iter().filter(|&&c| c == b'\n').count() as u32
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                // Block comment; Rust nests them.
+                let (start, start_line) = (i, line);
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                let (start, start_line) = (i, line);
+                // Skip the r/br/rb prefix, count the hashes.
+                while i < n && (b[i] == b'r' || b[i] == b'b') {
+                    i += 1;
+                }
+                let mut hashes = 0;
+                while i < n && b[i] == b'#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                i += 1; // opening quote
+                loop {
+                    if i >= n {
+                        break;
+                    }
+                    if b[i] == b'"' {
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if i + 1 + k >= n || b[i + 1 + k] != b'#' {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            i += 1 + hashes;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                count_lines!(start, i);
+                out.tokens.push(Tok {
+                    kind: Kind::Literal,
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let (start, start_line) = (i, line);
+                i += 1;
+                while i < n {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                let end = i.min(n);
+                count_lines!(start, end);
+                out.tokens.push(Tok {
+                    kind: Kind::Literal,
+                    text: src[start..end].to_string(),
+                    line: start_line,
+                });
+            }
+            b'b' if i + 1 < n && b[i + 1] == b'\'' => {
+                // Byte literal b'x'.
+                let start = i;
+                i += 2;
+                i = skip_char_body(b, i);
+                out.tokens.push(Tok {
+                    kind: Kind::Literal,
+                    text: src[start..i.min(n)].to_string(),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'a'` is a char; `'a` not
+                // followed by a closing quote is a lifetime.
+                if is_lifetime(b, i) {
+                    let start = i;
+                    i += 1;
+                    while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: Kind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    let start = i;
+                    i += 1;
+                    i = skip_char_body(b, i);
+                    out.tokens.push(Tok {
+                        kind: Kind::Literal,
+                        text: src[start..i.min(n)].to_string(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: Kind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                    // `0..n` is a range, not part of the number.
+                    && !(b[i] == b'.' && i + 1 < n && b[i + 1] == b'.')
+                {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: Kind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Tok {
+                    kind: Kind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `r"`, `r#`, `br"`, `br#`, `rb...` — a raw (byte) string start at `i`.
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    // At most two prefix letters drawn from {r, b}, containing an r.
+    let mut saw_r = false;
+    let mut letters = 0;
+    while j < n && letters < 2 && (b[j] == b'r' || b[j] == b'b') {
+        saw_r |= b[j] == b'r';
+        letters += 1;
+        j += 1;
+    }
+    if !saw_r || letters == 0 {
+        return false;
+    }
+    while j < n && b[j] == b'#' {
+        j += 1;
+    }
+    j < n && b[j] == b'"'
+}
+
+/// True if the `'` at `i` starts a lifetime rather than a char literal.
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    let n = b.len();
+    if i + 1 >= n {
+        return false;
+    }
+    let c1 = b[i + 1];
+    if !(c1.is_ascii_alphabetic() || c1 == b'_') {
+        return false; // '\n' or similar: a char literal
+    }
+    // 'a' (char) vs 'a (lifetime): look at the byte after the first
+    // identifier char. `'static`, `'_`, `'a` all continue with
+    // ident chars or terminate without a quote.
+    let mut j = i + 1;
+    while j < n && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    !(j < n && b[j] == b'\'' && j == i + 2)
+}
+
+/// Consumes a char-literal body starting just after the opening quote,
+/// returning the index just past the closing quote.
+fn skip_char_body(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            texts("fn a(x: u32) -> bool { x > 0 }"),
+            ["fn", "a", "(", "x", ":", "u32", ")", "-", ">", "bool", "{", "x", ">", "0", "}"]
+        );
+    }
+
+    #[test]
+    fn strings_are_single_opaque_tokens() {
+        let toks = texts(r#"let s = "panic! // not a comment"; x"#);
+        assert_eq!(toks[3], "\"panic! // not a comment\"");
+        assert_eq!(toks.last().map(String::as_str), Some("x"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = texts(r###"let s = r#"a "quoted" b"#; y"###);
+        assert_eq!(toks[3], r###"r#"a "quoted" b"#"###);
+        assert_eq!(toks.last().map(String::as_str), Some("y"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'a'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .collect();
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Literal)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].text, "'a'");
+        assert_eq!(chars[1].text, "'\\n'");
+    }
+
+    #[test]
+    fn comments_carried_out_of_band() {
+        let lexed =
+            lex("let x = 1; // dsa-lint: allow(X, reason=\"y\")\n/* block\nnested /* deep */ */ z");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("dsa-lint"));
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(lexed.comments[1].text.contains("deep"));
+        assert_eq!(lexed.tokens.last().map(|t| t.text.as_str()), Some("z"));
+        assert_eq!(lexed.tokens.last().map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let lexed = lex("let s = \"a\nb\nc\";\nx");
+        let x = lexed.tokens.last().expect("token");
+        assert_eq!(x.text, "x");
+        assert_eq!(x.line, 4);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        assert_eq!(texts("0..n"), ["0", ".", ".", "n"]);
+        assert_eq!(texts("1.5 + 2"), ["1.5", "+", "2"]);
+    }
+}

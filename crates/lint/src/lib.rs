@@ -1,0 +1,180 @@
+//! dsa-lint: the workspace invariant analyzer.
+//!
+//! The repo's three serving contracts — deterministic output,
+//! panic-free request paths, deadlock-free locking — are documented
+//! prose until something checks them. This crate is that check: a
+//! dependency-free static analyzer (its own lexer, its own config
+//! parser — the build is offline) that runs as `cargo run -p
+//! dsa-lint` locally and as a CI gate.
+//!
+//! * Rules and their IDs: see [`rules`] (token-level D/P/C/U series)
+//!   and [`locks`] (the L series over the declared lock inventory).
+//! * Configuration: `lint.toml` at the workspace root, see [`config`].
+//! * Waivers: `// dsa-lint: allow(RULE-ID, reason="...")`, see
+//!   [`report`] — unused waivers are themselves findings, so the
+//!   waiver set can only shrink.
+//!
+//! The library entry point is [`run`]; the binary in `main.rs` is a
+//! thin CLI over it, and the golden tests in `tests/` drive the same
+//! API against a fixture corpus.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod locks;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use config::{glob_match, Config};
+use report::{Finding, Waiver};
+use rules::FileCtx;
+
+/// What to analyze.
+pub struct Options {
+    /// Workspace root; all config globs and reported paths are
+    /// relative to it.
+    pub root: PathBuf,
+    /// The configuration (usually parsed from `<root>/lint.toml`).
+    pub config: Config,
+}
+
+/// The analysis result: surviving findings, sorted by (file, line,
+/// rule), plus the number of files scanned (for reporting).
+pub struct Outcome {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+/// Runs every configured rule over the tree under `opts.root`.
+pub fn run(opts: &Options) -> Result<Outcome, String> {
+    let cfg = &opts.config;
+    let mut paths = Vec::new();
+    walk(&opts.root, &opts.root, cfg, &mut paths)?;
+    paths.sort();
+
+    // Lex everything once.
+    let mut lexed: BTreeMap<String, lexer::Lexed> = BTreeMap::new();
+    for rel in &paths {
+        let src =
+            std::fs::read_to_string(opts.root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        lexed.insert(rel.clone(), lexer::lex(&src));
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut waivers: Vec<Waiver> = Vec::new();
+
+    // Waivers live anywhere in the scanned tree; parse them all up
+    // front so a waiver in an unscoped file is reported as unused
+    // rather than silently ignored.
+    for (rel, lx) in &lexed {
+        let code_lines: std::collections::BTreeSet<u32> =
+            lx.tokens.iter().map(|t| t.line).collect();
+        let max_line = lx
+            .tokens
+            .last()
+            .map(|t| t.line)
+            .max(lx.comments.last().map(|c| c.line))
+            .unwrap_or(1);
+        let (mut w, mut bad) =
+            report::parse_waivers(rel, &lx.comments, |l| code_lines.contains(&l), max_line);
+        waivers.append(&mut w);
+        findings.append(&mut bad);
+    }
+
+    // Token rules, per configured scope.
+    type RuleFn = fn(&FileCtx) -> Vec<Finding>;
+    let token_rules: [(&str, RuleFn); 7] = [
+        ("DSA-D001", rules::d001),
+        ("DSA-D002", rules::d002),
+        ("DSA-D003", rules::d003),
+        ("DSA-P001", rules::p001),
+        ("DSA-P002", rules::p002),
+        ("DSA-P003", rules::p003),
+        ("DSA-C001", rules::c001),
+    ];
+    for (id, rule) in token_rules {
+        let Some(globs) = cfg.rules.get(id) else {
+            continue;
+        };
+        for (rel, lx) in &lexed {
+            if globs.iter().any(|g| glob_match(g, rel)) {
+                let ctx = FileCtx::new(rel, lx);
+                findings.extend(rule(&ctx));
+            }
+        }
+    }
+
+    // DSA-U001 (crate roots), with its deny_ok escape hatch.
+    if let Some(globs) = cfg.rules.get("DSA-U001") {
+        for (rel, lx) in &lexed {
+            if globs.iter().any(|g| glob_match(g, rel)) {
+                let ctx = FileCtx::new(rel, lx);
+                let deny_ok = cfg.deny_ok.iter().any(|f| f == rel);
+                findings.extend(rules::u001(&ctx, deny_ok));
+            }
+        }
+    }
+
+    // L series over the lock inventory's files.
+    if !cfg.locks.is_empty() {
+        let mut lock_files: BTreeMap<String, &lexer::Lexed> = BTreeMap::new();
+        for decl in &cfg.locks {
+            match lexed.get(&decl.file) {
+                Some(lx) => {
+                    lock_files.insert(decl.file.clone(), lx);
+                }
+                None => {
+                    return Err(format!(
+                        "lint.toml declares lock `{}` in `{}`, which was not found under the root",
+                        decl.name, decl.file
+                    ))
+                }
+            }
+        }
+        findings.extend(locks::analyze(cfg, &lock_files));
+    }
+
+    let mut findings = report::apply_waivers(findings, &mut waivers);
+    findings.extend(report::unused_waiver_findings(&waivers));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+    findings.dedup();
+    Ok(Outcome {
+        findings,
+        files_scanned: lexed.len(),
+    })
+}
+
+/// Collects repo-relative `.rs` paths under `dir`, honoring
+/// `cfg.exclude` and skipping build/VCS directories.
+fn walk(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name == "target" || name.starts_with('.') {
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| e.to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        if cfg.exclude.iter().any(|g| glob_match(g, &rel)) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(root, &path, cfg, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,867 @@
+//! The L-series: static lock-order analysis over the declared
+//! inventory.
+//!
+//! The workspace's deadlock-freedom argument is a *total order*: every
+//! `OrderedMutex` carries a rank, and no thread acquires a lock whose
+//! rank is ≤ any lock it holds. `dsa_runtime::sync` enforces this
+//! dynamically on tested paths; this module proves it statically for
+//! the whole acquisition graph:
+//!
+//! | id | what it checks |
+//! |---|---|
+//! | DSA-L001 | the acquisition graph (lock held → lock taken) is acyclic |
+//! | DSA-L002 | every acquisition edge goes strictly *up* in rank |
+//! | DSA-L003 | `OrderedMutex::new("name", rank, ..)` literals match the inventory in `lint.toml` |
+//!
+//! The analysis is token-level and deliberately modest:
+//!
+//! * An **acquisition site** is `<field>.lock()` where `field` is a
+//!   declared lock field for the file. A let-bound guard lives to the
+//!   end of its block (or `drop(guard)`); a temporary lives to the end
+//!   of its statement. Both approximations round *up* — a guard never
+//!   dies early, so the analysis can report a spurious edge but not
+//!   miss a real one.
+//! * **Calls** made while holding a lock propagate: the callee's lock
+//!   closure (every lock it can acquire, transitively) becomes edges
+//!   from each held lock. Only calls the lexer can resolve are
+//!   followed — `self.method(...)`, `Self::assoc(...)`, and bare
+//!   `free_fn(...)` within the analyzed file set. Calls through other
+//!   receivers are invisible to the analysis and must be declared in
+//!   `lint.toml` as `[[assume]]` entries (`call = "recv.method"`),
+//!   which is exactly the explicitness the contract wants: every
+//!   cross-component lock dependency is written down.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::lexer::{Kind, Lexed, Tok};
+use crate::report::Finding;
+use crate::rules::{matching_close, FileCtx};
+
+/// An acquisition edge: while holding `from`, `to` is (possibly
+/// transitively) acquired at `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    via: String,
+}
+
+/// Runs the whole L series over `files` (path -> lexed source).
+pub fn analyze(cfg: &Config, files: &BTreeMap<String, &Lexed>) -> Vec<Finding> {
+    let mut findings = check_construction_sites(cfg, files);
+
+    // field name -> lock name, per file.
+    let mut field_map: BTreeMap<&str, BTreeMap<&str, &str>> = BTreeMap::new();
+    for l in &cfg.locks {
+        field_map
+            .entry(l.file.as_str())
+            .or_default()
+            .insert(l.field.as_str(), l.name.as_str());
+    }
+
+    // Pass 1: per-function facts across the file set.
+    let mut fns: BTreeMap<String, FnFacts> = BTreeMap::new();
+    for (path, lexed) in files {
+        let ctx = FileCtx::new(path, lexed);
+        let fields = field_map.get(path.as_str()).cloned().unwrap_or_default();
+        collect_functions(&ctx, &fields, cfg, &mut fns);
+    }
+
+    // Pass 2: transitive lock closure per function (fixed point).
+    let closures = compute_closures(&fns);
+
+    // Pass 3: edges.
+    let mut edges: BTreeSet<Edge> = BTreeSet::new();
+    for facts in fns.values() {
+        for acq in &facts.events {
+            match acq {
+                Event::Acquire {
+                    held,
+                    lock,
+                    file,
+                    line,
+                } => {
+                    for h in held {
+                        edges.insert(Edge {
+                            from: h.clone(),
+                            to: lock.clone(),
+                            file: file.clone(),
+                            line: *line,
+                            via: "direct".into(),
+                        });
+                    }
+                }
+                Event::Call {
+                    held,
+                    callee,
+                    file,
+                    line,
+                } => {
+                    if held.is_empty() {
+                        continue;
+                    }
+                    let mut acquired: BTreeSet<&String> = BTreeSet::new();
+                    match callee {
+                        Callee::Fn(name) => {
+                            if let Some(c) = closures.get(name) {
+                                acquired.extend(c);
+                            }
+                        }
+                        Callee::Assume(locks) => acquired.extend(locks.iter()),
+                    }
+                    for to in acquired {
+                        for h in held {
+                            if h != to {
+                                edges.insert(Edge {
+                                    from: h.clone(),
+                                    to: (*to).clone(),
+                                    file: file.clone(),
+                                    line: *line,
+                                    via: callee.describe(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // L002: every edge must go strictly up in rank. Report each
+    // (from, to) pair once, at its first site.
+    let mut seen_pairs: BTreeSet<(String, String)> = BTreeSet::new();
+    for e in &edges {
+        let (Some(rf), Some(rt)) = (cfg.rank_of(&e.from), cfg.rank_of(&e.to)) else {
+            continue;
+        };
+        if rt <= rf && seen_pairs.insert((e.from.clone(), e.to.clone())) {
+            findings.push(Finding::new(
+                "DSA-L002",
+                &e.file,
+                e.line,
+                format!(
+                    "lock order violated: `{}` (rank {rt}) acquired {} while holding \
+                     `{}` (rank {rf}) — ranks must strictly increase",
+                    e.to,
+                    if e.via == "direct" {
+                        "directly".to_string()
+                    } else {
+                        format!("via {}", e.via)
+                    },
+                    e.from,
+                ),
+            ));
+        }
+    }
+
+    // L001: cycles. With a consistent rank assignment L002 subsumes
+    // this, but L001 also catches graphs whose ranks were edited into
+    // agreement with a cycle (two violations that "cancel out").
+    for cycle in find_cycles(&edges) {
+        let site = edges
+            .iter()
+            .find(|e| e.from == cycle[0] && e.to == cycle[1 % cycle.len()]);
+        let (file, line) = site.map_or(("lint.toml".to_string(), 0), |e| (e.file.clone(), e.line));
+        findings.push(Finding::new(
+            "DSA-L001",
+            &file,
+            line,
+            format!(
+                "lock acquisition cycle: {} -> {} — some path acquires these in both \
+                 orders, which deadlocks under contention",
+                cycle.join(" -> "),
+                cycle[0]
+            ),
+        ));
+    }
+    findings
+}
+
+/// DSA-L003: every `OrderedMutex::new("name", rank, ...)` literal must
+/// match the inventory — and every non-external inventory entry must
+/// be constructed somewhere in its declared file.
+fn check_construction_sites(cfg: &Config, files: &BTreeMap<String, &Lexed>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut constructed: BTreeSet<&str> = BTreeSet::new();
+    for (path, lexed) in files {
+        let toks = &lexed.tokens;
+        for i in 0..toks.len().saturating_sub(6) {
+            // OrderedMutex :: new ( "name" , rank
+            if !(toks[i].is_ident("OrderedMutex")
+                && toks[i + 1].is(':')
+                && toks[i + 2].is(':')
+                && toks[i + 3].is_ident("new")
+                && toks[i + 4].is('('))
+            {
+                continue;
+            }
+            let line = toks[i].line;
+            let name_tok = &toks[i + 5];
+            let (Kind::Literal, Some(name)) = (name_tok.kind, unquote(&name_tok.text)) else {
+                findings.push(Finding::new(
+                    "DSA-L003",
+                    path,
+                    line,
+                    "OrderedMutex::new must be called with a string-literal name \
+                     (the lint matches it against the inventory in lint.toml)",
+                ));
+                continue;
+            };
+            let rank: Option<u32> = toks
+                .get(i + 7)
+                .filter(|t| t.kind == Kind::Num)
+                .and_then(|t| t.text.replace('_', "").parse().ok());
+            let Some(decl) = cfg.locks.iter().find(|l| l.name == name) else {
+                findings.push(Finding::new(
+                    "DSA-L003",
+                    path,
+                    line,
+                    format!(
+                        "lock `{name}` is not in the lint.toml inventory — declare it with a rank"
+                    ),
+                ));
+                continue;
+            };
+            constructed.insert(decl.name.as_str());
+            if rank != Some(decl.rank) {
+                findings.push(Finding::new(
+                    "DSA-L003",
+                    path,
+                    line,
+                    format!(
+                        "lock `{name}` constructed with rank {} but lint.toml declares rank {} — \
+                         the code and the inventory must agree",
+                        rank.map_or("<non-literal>".to_string(), |r| r.to_string()),
+                        decl.rank
+                    ),
+                ));
+            }
+            if decl.file != *path {
+                findings.push(Finding::new(
+                    "DSA-L003",
+                    path,
+                    line,
+                    format!(
+                        "lock `{name}` constructed here but declared for `{}`",
+                        decl.file
+                    ),
+                ));
+            }
+        }
+    }
+    for decl in &cfg.locks {
+        if !constructed.contains(decl.name.as_str()) {
+            findings.push(Finding::new(
+                "DSA-L003",
+                &decl.file,
+                1,
+                format!(
+                    "inventory lock `{}` has no OrderedMutex::new construction site in this \
+                     file — remove the entry or mark it [[external-lock]]",
+                    decl.name
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+fn unquote(s: &str) -> Option<String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+}
+
+#[derive(Debug, Clone)]
+enum Callee {
+    Fn(String),
+    Assume(Vec<String>),
+}
+
+impl Callee {
+    fn describe(&self) -> String {
+        match self {
+            Callee::Fn(n) => format!("call to `{n}`"),
+            Callee::Assume(_) => "an assumed call (see [[assume]] in lint.toml)".to_string(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Acquire {
+        held: Vec<String>,
+        lock: String,
+        file: String,
+        line: u32,
+    },
+    Call {
+        held: Vec<String>,
+        callee: Callee,
+        file: String,
+        line: u32,
+    },
+}
+
+#[derive(Debug, Default)]
+struct FnFacts {
+    /// Locks acquired anywhere in the body (for the closure).
+    acquires: BTreeSet<String>,
+    /// Resolved callees (for the transitive closure).
+    calls: BTreeSet<String>,
+    /// Assumed locks at call sites (join into the closure).
+    assumed: BTreeSet<String>,
+    /// Ordered acquisition/call events with the held-set at each.
+    events: Vec<Event>,
+}
+
+/// How a live guard dies.
+#[derive(Debug)]
+enum Until {
+    /// Let-bound: the enclosing block closes (depth falls below) or
+    /// `drop(name)` runs.
+    BlockEnd { depth: i32, name: String },
+    /// Temporary: the statement ends (`;` at or below the depth).
+    Stmt { depth: i32 },
+}
+
+struct Guard {
+    lock: String,
+    until: Until,
+}
+
+/// Scans every `fn` in the file, recording acquisition and call
+/// events with the live lock set, into `fns` (merged by function name
+/// — a name collision conservatively unions the facts).
+fn collect_functions(
+    ctx: &FileCtx,
+    fields: &BTreeMap<&str, &str>,
+    cfg: &Config,
+    fns: &mut BTreeMap<String, FnFacts>,
+) {
+    let toks = ctx.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_ident("fn") && toks.get(i + 1).map(|t| t.kind) == Some(Kind::Ident)) {
+            i += 1;
+            continue;
+        }
+        if ctx.in_test(i) {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        // Body: first `{` at paren-depth 0 after the signature.
+        let mut j = i + 2;
+        let mut paren = 0i32;
+        let mut open = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is('(') {
+                paren += 1;
+            } else if t.is(')') {
+                paren -= 1;
+            } else if t.is('{') && paren == 0 {
+                open = Some(j);
+                break;
+            } else if t.is(';') && paren == 0 {
+                break; // trait method declaration, no body
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i += 2;
+            continue;
+        };
+        let close = matching_close(toks, open).unwrap_or(toks.len());
+        let facts = fns.entry(name).or_default();
+        scan_body(ctx, &toks[open..close], toks[open].line, fields, cfg, facts);
+        i = close + 1;
+    }
+}
+
+/// Walks one function body, tracking live guards and emitting events.
+/// `body` starts at the opening `{`.
+///
+/// `move` closures run detached from the current thread's lock state
+/// (worker jobs, spawned threads), so their bodies are scanned as
+/// separate anonymous functions with an empty held set — and their
+/// acquisitions do *not* join the enclosing function's closure, since
+/// the enclosing call does not synchronously take those locks.
+fn scan_body(
+    ctx: &FileCtx,
+    body: &[Tok],
+    _start_line: u32,
+    fields: &BTreeMap<&str, &str>,
+    cfg: &Config,
+    facts: &mut FnFacts,
+) {
+    let mut depth = 0i32;
+    let mut guards: Vec<Guard> = Vec::new();
+    let file = ctx.path.to_string();
+
+    let held = |guards: &[Guard]| -> Vec<String> {
+        let mut v: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+        v.dedup();
+        v
+    };
+
+    let mut k = 0usize;
+    while k < body.len() {
+        let t = &body[k];
+
+        // `move |args| { ... }`: detach the block.
+        if t.is_ident("move") && body.get(k + 1).is_some_and(|t| t.is('|')) {
+            let mut j = k + 2;
+            while j < body.len() && !body[j].is('|') {
+                j += 1;
+            }
+            if let Some(open) = body.get(j + 1).filter(|t| t.is('{')).map(|_| j + 1) {
+                if let Some(close) = crate::rules::matching_close(body, open) {
+                    let mut detached = FnFacts::default();
+                    scan_body(
+                        ctx,
+                        &body[open..close],
+                        body[open].line,
+                        fields,
+                        cfg,
+                        &mut detached,
+                    );
+                    facts.events.extend(detached.events);
+                    k = close + 1;
+                    continue;
+                }
+            }
+        }
+
+        if t.is('{') {
+            depth += 1;
+        } else if t.is('}') {
+            depth -= 1;
+            guards.retain(|g| match &g.until {
+                Until::BlockEnd { depth: d, .. } => depth >= *d,
+                Until::Stmt { depth: d } => depth >= *d,
+            });
+        } else if t.is(';') {
+            guards.retain(|g| !matches!(&g.until, Until::Stmt { depth: d } if depth <= *d));
+        }
+
+        // drop(NAME) ends a let-bound guard.
+        if t.is_ident("drop")
+            && body.get(k + 1).is_some_and(|t| t.is('('))
+            && body.get(k + 3).is_some_and(|t| t.is(')'))
+        {
+            if let Some(victim) = body.get(k + 2) {
+                guards.retain(
+                    |g| !matches!(&g.until, Until::BlockEnd { name, .. } if *name == victim.text),
+                );
+            }
+        }
+
+        // Acquisition: FIELD . lock ( )
+        if t.kind == Kind::Ident
+            && body.get(k + 1).is_some_and(|t| t.is('.'))
+            && body.get(k + 2).is_some_and(|t| t.is_ident("lock"))
+            && body.get(k + 3).is_some_and(|t| t.is('('))
+        {
+            if let Some(lock) = fields.get(t.text.as_str()) {
+                let lock = lock.to_string();
+                facts.events.push(Event::Acquire {
+                    held: held(&guards),
+                    lock: lock.clone(),
+                    file: file.clone(),
+                    line: t.line,
+                });
+                facts.acquires.insert(lock.clone());
+                // Binding form: scan back to the statement start.
+                let until = binding_of(body, k, depth);
+                let until = match until {
+                    // `let g = x.lock().more()` binds the *result of
+                    // the chain*, not the guard: if anything follows
+                    // the `lock()` call, the guard is a temporary.
+                    Until::BlockEnd { depth, .. } if !body.get(k + 5).is_none_or(|t| t.is(';')) => {
+                        Until::Stmt { depth }
+                    }
+                    u => u,
+                };
+                guards.push(Guard { lock, until });
+                k += 4;
+                continue;
+            }
+        }
+
+        // Call site: IDENT (  — classified by what precedes it.
+        if t.kind == Kind::Ident && body.get(k + 1).is_some_and(|t| t.is('(')) && !is_ctrl(&t.text)
+        {
+            let callee = classify_call(body, k, cfg);
+            if let Some(callee) = callee {
+                match &callee {
+                    Callee::Fn(n) => {
+                        facts.calls.insert(n.clone());
+                    }
+                    Callee::Assume(locks) => {
+                        facts.assumed.extend(locks.iter().cloned());
+                    }
+                }
+                facts.events.push(Event::Call {
+                    held: held(&guards),
+                    callee,
+                    file: file.clone(),
+                    line: t.line,
+                });
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Whether the acquisition at token `k` is let-bound, and to what.
+fn binding_of(body: &[Tok], k: usize, depth: i32) -> Until {
+    // Walk back to the nearest statement boundary.
+    let mut s = k;
+    while s > 0 {
+        let t = &body[s - 1];
+        if t.is(';') || t.is('{') || t.is('}') {
+            break;
+        }
+        s -= 1;
+    }
+    if body.get(s).is_some_and(|t| t.is_ident("let")) {
+        let mut n = s + 1;
+        if body.get(n).is_some_and(|t| t.is_ident("mut")) {
+            n += 1;
+        }
+        if let Some(name_tok) = body.get(n).filter(|t| t.kind == Kind::Ident) {
+            // `let copy = *x.lock();` / `let r = &x.lock().field;` bind
+            // a value copied out of the guard, not the guard: the
+            // temporary guard dies at the semicolon.
+            let derefs = body.get(n + 1).is_some_and(|t| {
+                t.is('=') && body.get(n + 2).is_some_and(|t| t.is('*') || t.is('&'))
+            });
+            if !derefs {
+                return Until::BlockEnd {
+                    depth,
+                    name: name_tok.text.clone(),
+                };
+            }
+        }
+    }
+    Until::Stmt { depth }
+}
+
+/// Resolves a call site to something the analysis can follow.
+///
+/// * `self.NAME(` / `Self::NAME(` / bare `NAME(` -> [`Callee::Fn`]
+///   (resolved against the scanned function set later; unknown names
+///   simply have an empty closure).
+/// * `recv.NAME(` with `recv.NAME` in `[[assume]]` -> [`Callee::Assume`].
+/// * anything else -> `None` (invisible to the analysis).
+fn classify_call(body: &[Tok], k: usize, cfg: &Config) -> Option<Callee> {
+    let name = body[k].text.as_str();
+    let prev = k.checked_sub(1).map(|i| &body[i]);
+    let prev2 = k.checked_sub(2).map(|i| &body[i]);
+    let prev3 = k.checked_sub(3).map(|i| &body[i]);
+    match (prev3, prev2, prev) {
+        // self . NAME (
+        (_, Some(p2), Some(p1)) if p1.is('.') && p2.is_ident("self") => {
+            Some(Callee::Fn(name.to_string()))
+        }
+        // Self : : NAME (
+        (Some(p3), Some(p2), Some(p1)) if p1.is(':') && p2.is(':') && p3.is_ident("Self") => {
+            Some(Callee::Fn(name.to_string()))
+        }
+        // recv . NAME (  — assume table lookup; `recv.*` declares a
+        // blanket assumption for every method on that receiver.
+        (_, Some(p2), Some(p1)) if p1.is('.') && p2.kind == Kind::Ident => {
+            let key = format!("{}.{name}", p2.text);
+            let blanket = format!("{}.*", p2.text);
+            cfg.assumes
+                .iter()
+                .find(|a| a.call == key || a.call == blanket)
+                .map(|a| Callee::Assume(a.locks.clone()))
+        }
+        // A path call `mod::NAME(` — not followed (cross-crate).
+        (_, Some(p2), Some(p1)) if p1.is(':') && p2.is(':') => None,
+        // Bare NAME( — free function or assumed.
+        (_, _, Some(p1)) if !p1.is('.') => {
+            if let Some(a) = cfg.assumes.iter().find(|a| a.call == name) {
+                return Some(Callee::Assume(a.locks.clone()));
+            }
+            Some(Callee::Fn(name.to_string()))
+        }
+        _ => None,
+    }
+}
+
+/// Control-flow keywords that look like calls at the token level.
+fn is_ctrl(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "move"
+            | "fn"
+            | "impl"
+            | "Some"
+            | "Ok"
+            | "Err"
+            | "None"
+            | "Box"
+            | "Vec"
+            | "vec"
+            | "format"
+            | "write"
+            | "writeln"
+            | "println"
+            | "eprintln"
+            | "assert"
+            | "assert_eq"
+            | "assert_ne"
+            | "debug_assert"
+    )
+}
+
+/// Per-function transitive lock closure (fixed point over the call
+/// graph; unresolved callees contribute nothing).
+fn compute_closures(fns: &BTreeMap<String, FnFacts>) -> BTreeMap<String, BTreeSet<String>> {
+    let mut closures: BTreeMap<String, BTreeSet<String>> = fns
+        .iter()
+        .map(|(name, f)| {
+            let mut s = f.acquires.clone();
+            s.extend(f.assumed.iter().cloned());
+            (name.clone(), s)
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for (name, f) in fns {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for callee in &f.calls {
+                if callee == name {
+                    continue;
+                }
+                if let Some(c) = closures.get(callee) {
+                    add.extend(c.iter().cloned());
+                }
+            }
+            let mine = closures.entry(name.clone()).or_default();
+            let before = mine.len();
+            mine.extend(add);
+            changed |= mine.len() != before;
+        }
+        if !changed {
+            return closures;
+        }
+    }
+}
+
+/// Finds elementary cycles (as lock-name paths) in the edge set.
+/// Reports each cycle once, rotated to start at its smallest node.
+fn find_cycles(edges: &BTreeSet<Edge>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+    }
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut path: Vec<&str> = vec![start];
+        let mut on_path: BTreeSet<&str> = [start].into();
+        dfs(start, start, &adj, &mut path, &mut on_path, &mut cycles);
+    }
+    cycles.into_iter().collect()
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    start: &'a str,
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    path: &mut Vec<&'a str>,
+    on_path: &mut BTreeSet<&'a str>,
+    cycles: &mut BTreeSet<Vec<String>>,
+) {
+    let Some(nexts) = adj.get(node) else { return };
+    for &next in nexts {
+        if next == start {
+            // Canonicalize: rotate so the smallest name leads.
+            let min = path
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| **s)
+                .map_or(0, |(i, _)| i);
+            let rotated: Vec<String> = path[min..]
+                .iter()
+                .chain(path[..min].iter())
+                .map(|s| s.to_string())
+                .collect();
+            cycles.insert(rotated);
+        } else if !on_path.contains(next) {
+            path.push(next);
+            on_path.insert(next);
+            dfs(next, start, adj, path, on_path, cycles);
+            path.pop();
+            on_path.remove(next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn cfg_two_locks() -> Config {
+        Config::parse(
+            r#"
+            [[lock]]
+            name = "a"
+            rank = 10
+            file = "m.rs"
+            field = "a"
+            [[lock]]
+            name = "b"
+            rank = 20
+            file = "m.rs"
+            field = "b"
+            "#,
+        )
+        .expect("config")
+    }
+
+    fn run(cfg: &Config, src: &str) -> Vec<Finding> {
+        let lexed = lexer::lex(src);
+        let mut files = BTreeMap::new();
+        files.insert("m.rs".to_string(), &lexed);
+        analyze(cfg, &files)
+    }
+
+    const CONSTRUCT: &str = r#"
+        fn build() {
+            let a = OrderedMutex::new("a", 10, 0);
+            let b = OrderedMutex::new("b", 20, 0);
+        }
+    "#;
+
+    #[test]
+    fn ascending_nesting_is_clean() {
+        let src =
+            format!("{CONSTRUCT} fn ok(&self) {{ let g = self.a.lock(); let h = self.b.lock(); }}");
+        assert!(run(&cfg_two_locks(), &src).is_empty());
+    }
+
+    #[test]
+    fn descending_nesting_is_l002() {
+        let src = format!(
+            "{CONSTRUCT} fn bad(&self) {{ let g = self.b.lock(); let h = self.a.lock(); }}"
+        );
+        let f = run(&cfg_two_locks(), &src);
+        assert!(f.iter().any(|f| f.rule == "DSA-L002"), "{f:?}");
+    }
+
+    #[test]
+    fn opposite_orders_are_a_cycle() {
+        let src = format!(
+            "{CONSTRUCT}
+             fn one(&self) {{ let g = self.a.lock(); let h = self.b.lock(); }}
+             fn two(&self) {{ let g = self.b.lock(); let h = self.a.lock(); }}"
+        );
+        let f = run(&cfg_two_locks(), &src);
+        assert!(f.iter().any(|f| f.rule == "DSA-L001"), "{f:?}");
+    }
+
+    #[test]
+    fn transitive_edge_through_self_call() {
+        let src = format!(
+            "{CONSTRUCT}
+             fn leaf(&self) {{ let g = self.a.lock(); }}
+             fn outer(&self) {{ let g = self.b.lock(); self.leaf(); }}"
+        );
+        let f = run(&cfg_two_locks(), &src);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "DSA-L002" && f.message.contains("leaf")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn drop_ends_a_let_bound_guard() {
+        let src = format!(
+            "{CONSTRUCT}
+             fn ok(&self) {{ let g = self.b.lock(); drop(g); let h = self.a.lock(); }}"
+        );
+        assert!(run(&cfg_two_locks(), &src).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let src = format!(
+            "{CONSTRUCT}
+             fn ok(&self) {{ let n = self.b.lock().len(); let h = self.a.lock(); }}"
+        );
+        assert!(run(&cfg_two_locks(), &src).is_empty());
+    }
+
+    #[test]
+    fn assume_entries_create_edges() {
+        let cfg = Config::parse(
+            r#"
+            [[lock]]
+            name = "a"
+            rank = 10
+            file = "m.rs"
+            field = "a"
+            [[external-lock]]
+            name = "z"
+            rank = 5
+            [[assume]]
+            call = "helper.touch"
+            locks = ["z"]
+            "#,
+        )
+        .expect("config");
+        let src = r#"
+            fn build() { let a = OrderedMutex::new("a", 10, 0); }
+            fn bad(&self) { let g = self.a.lock(); self.helper.touch(); }
+        "#;
+        let f = run(&cfg, src);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "DSA-L002" && f.message.contains("`z`")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn l003_rank_and_inventory_mismatches() {
+        let f = run(
+            &cfg_two_locks(),
+            r#"fn build() {
+                let a = OrderedMutex::new("a", 11, 0);
+                let g = OrderedMutex::new("ghost", 9, 0);
+            }"#,
+        );
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "DSA-L003" && f.message.contains("rank 11")),
+            "{f:?}"
+        );
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "DSA-L003" && f.message.contains("ghost")),
+            "{f:?}"
+        );
+        // `b` declared but never constructed.
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "DSA-L003" && f.message.contains("`b`")),
+            "{f:?}"
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! `dsa-lint` — CLI for the workspace invariant analyzer.
+//!
+//! ```text
+//! cargo run -p dsa-lint [-- --root DIR] [--config FILE] [--json FILE]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (printed one per line as
+//! `path:line: RULE message`), `2` usage or configuration error.
+//! `--json FILE` additionally writes the findings as a JSON array
+//! (`-` for stdout) — the artifact CI uploads.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dsa_lint::{config::Config, report, run, Options};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut json_out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--config" => config_path = args.next().map(PathBuf::from),
+            "--json" => json_out = args.next(),
+            "--help" | "-h" => {
+                println!("usage: dsa-lint [--root DIR] [--config FILE] [--json FILE|-]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dsa-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: the nearest ancestor of the current directory
+    // holding a lint.toml (so the tool works from any crate dir).
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("dsa-lint: no lint.toml found here or above; pass --root");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config_src = match std::fs::read_to_string(&config_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dsa-lint: read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::parse(&config_src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dsa-lint: {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = match run(&Options { root, config }) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("dsa-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(dest) = json_out {
+        let json = report::to_json(&outcome.findings);
+        if dest == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(&dest, json) {
+            eprintln!("dsa-lint: write {dest}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if outcome.findings.is_empty() {
+        eprintln!(
+            "dsa-lint: {} files scanned, no findings",
+            outcome.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        print!("{}", report::to_text(&outcome.findings));
+        eprintln!(
+            "dsa-lint: {} finding(s) across {} files scanned",
+            outcome.findings.len(),
+            outcome.files_scanned
+        );
+        ExitCode::from(1)
+    }
+}
+
+/// Nearest ancestor (including cwd) containing a `lint.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

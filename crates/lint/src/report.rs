@@ -1,0 +1,287 @@
+//! Findings, waivers, and the two output formats.
+//!
+//! A **waiver** is an inline comment of the form
+//!
+//! ```text
+//! // dsa-lint: allow(DSA-P001, reason="guarded by the arity check above")
+//! ```
+//!
+//! and silences matching findings on its own line or, when the
+//! comment stands alone, on the next line that has code. Waivers are
+//! themselves checked: a waiver without a reason is a finding
+//! (`DSA-W001`), and a waiver that silences nothing is a finding
+//! (`DSA-W002`) — so the waiver list can only shrink as the code
+//! improves, never silently rot.
+
+use crate::lexer::Comment;
+
+/// One finding: a rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: String,
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(rule: &str, file: &str, line: u32, message: impl Into<String>) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// A parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub rule: String,
+    pub reason: String,
+    pub file: String,
+    /// Line of the waiver comment itself.
+    pub line: u32,
+    /// The code line this waiver covers (same line for a trailing
+    /// comment, the next code line for a standalone one).
+    pub covers: u32,
+    pub used: bool,
+}
+
+/// Extracts waivers from a file's comments. `line_has_code(l)` tells
+/// whether source line `l` has any token on it, which decides whether
+/// a waiver is trailing (covers its own line) or standalone (covers
+/// the next code line). Malformed waivers are returned as findings.
+pub fn parse_waivers(
+    file: &str,
+    comments: &[Comment],
+    line_has_code: impl Fn(u32) -> bool,
+    max_line: u32,
+) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        // Waivers are plain `//` comments; doc comments (`//!`, `///`)
+        // and block comments may *mention* the syntax (this tool's own
+        // docs do) without waiving anything.
+        if c.text.starts_with("//!") || c.text.starts_with("///") || c.text.starts_with("/*") {
+            continue;
+        }
+        let Some(at) = c.text.find("dsa-lint:") else {
+            continue;
+        };
+        let body = c.text[at + "dsa-lint:".len()..].trim();
+        let Some(args) = body
+            .strip_prefix("allow")
+            .map(str::trim_start)
+            .and_then(|s| s.strip_prefix('('))
+            .and_then(|s| s.rfind(')').map(|end| &s[..end]))
+        else {
+            findings.push(Finding::new(
+                "DSA-W001",
+                file,
+                c.line,
+                format!(
+                    "malformed waiver `{}`: expected `dsa-lint: allow(RULE-ID, reason=\"...\")`",
+                    c.text.trim()
+                ),
+            ));
+            continue;
+        };
+        let (rule, rest) = match args.split_once(',') {
+            Some((r, rest)) => (r.trim(), rest.trim()),
+            None => (args.trim(), ""),
+        };
+        let reason = rest
+            .strip_prefix("reason")
+            .map(str::trim_start)
+            .and_then(|s| s.strip_prefix('='))
+            .map(str::trim)
+            .and_then(|s| s.strip_prefix('"'))
+            .and_then(|s| s.strip_suffix('"'))
+            .unwrap_or("");
+        if rule.is_empty() || reason.is_empty() {
+            findings.push(Finding::new(
+                "DSA-W001",
+                file,
+                c.line,
+                "waiver must name a rule and a non-empty reason=\"...\"",
+            ));
+            continue;
+        }
+        let covers = if line_has_code(c.line) {
+            c.line
+        } else {
+            // Standalone comment: covers the next line with code
+            // (skipping further comment-only lines, so waivers can sit
+            // above an explanatory comment block).
+            (c.line + 1..=max_line)
+                .find(|&l| line_has_code(l))
+                .unwrap_or(c.line)
+        };
+        waivers.push(Waiver {
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+            file: file.to_string(),
+            line: c.line,
+            covers,
+            used: false,
+        });
+    }
+    (waivers, findings)
+}
+
+/// Applies `waivers` to `findings`: silenced findings are removed and
+/// the waiver is marked used. Returns the surviving findings.
+pub fn apply_waivers(findings: Vec<Finding>, waivers: &mut [Waiver]) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            for w in waivers.iter_mut() {
+                if w.rule == f.rule && w.file == f.file && w.covers == f.line {
+                    w.used = true;
+                    return false;
+                }
+            }
+            true
+        })
+        .collect()
+}
+
+/// One finding per never-used waiver.
+pub fn unused_waiver_findings(waivers: &[Waiver]) -> Vec<Finding> {
+    waivers
+        .iter()
+        .filter(|w| !w.used)
+        .map(|w| {
+            Finding::new(
+                "DSA-W002",
+                &w.file,
+                w.line,
+                format!(
+                    "unused waiver for {}: nothing on line {} triggers it — delete the waiver",
+                    w.rule, w.covers
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Renders findings as `path:line: RULE message`, one per line,
+/// sorted; the stable format the golden tests pin.
+pub fn to_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: {} {}\n",
+            f.file, f.line, f.rule, f.message
+        ));
+    }
+    out
+}
+
+/// Renders findings as a JSON array (the CI artifact).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}{}\n",
+            json_str(&f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn waivers_of(src: &str) -> (Vec<Waiver>, Vec<Finding>) {
+        let lexed = lexer::lex(src);
+        let code_lines: std::collections::BTreeSet<u32> =
+            lexed.tokens.iter().map(|t| t.line).collect();
+        let max = src.lines().count() as u32;
+        parse_waivers("f.rs", &lexed.comments, |l| code_lines.contains(&l), max)
+    }
+
+    #[test]
+    fn trailing_waiver_covers_its_own_line() {
+        let (w, bad) = waivers_of(
+            "let x = a.unwrap(); // dsa-lint: allow(DSA-P001, reason=\"startup only\")\n",
+        );
+        assert!(bad.is_empty());
+        assert_eq!(w.len(), 1);
+        assert_eq!((w[0].covers, w[0].rule.as_str()), (1, "DSA-P001"));
+        assert_eq!(w[0].reason, "startup only");
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_code_line() {
+        let (w, bad) = waivers_of(
+            "// dsa-lint: allow(DSA-C001, reason=\"bounded by MAX\")\n// explanation\nlet x = y as u32;\n",
+        );
+        assert!(bad.is_empty());
+        assert_eq!(w[0].covers, 3);
+    }
+
+    #[test]
+    fn missing_reason_is_a_finding() {
+        let (w, bad) = waivers_of("// dsa-lint: allow(DSA-P001)\nlet x = 1;\n");
+        assert!(w.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "DSA-W001");
+    }
+
+    #[test]
+    fn unused_waivers_are_reported() {
+        let (mut w, _) = waivers_of("// dsa-lint: allow(DSA-P001, reason=\"x\")\nlet y = 1;\n");
+        let kept = apply_waivers(vec![Finding::new("DSA-P001", "f.rs", 2, "boom")], &mut w);
+        assert!(kept.is_empty());
+        assert!(unused_waiver_findings(&w).is_empty());
+
+        let (mut w2, _) = waivers_of("// dsa-lint: allow(DSA-P001, reason=\"x\")\nlet y = 1;\n");
+        let unused = unused_waiver_findings(&w2);
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].rule, "DSA-W002");
+        let survive = apply_waivers(
+            vec![Finding::new("DSA-P002", "f.rs", 2, "different rule")],
+            &mut w2,
+        );
+        assert_eq!(survive.len(), 1, "waiver for another rule must not silence");
+    }
+
+    #[test]
+    fn json_escapes() {
+        let f = vec![Finding::new("R", "a\"b.rs", 3, "say \"hi\"\n")];
+        let j = to_json(&f);
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("say \\\"hi\\\"\\n"));
+    }
+}

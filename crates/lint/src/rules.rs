@@ -1,0 +1,638 @@
+//! The token-level rule series.
+//!
+//! | id | series | what it proves |
+//! |---|---|---|
+//! | DSA-D001 | determinism | no iteration over `HashMap`/`HashSet` (order is nondeterministic) unless the results are sorted in the same statement |
+//! | DSA-D002 | determinism | no `Instant::now`/`SystemTime::now` (wall-clock values must not feed encoded output) |
+//! | DSA-D003 | determinism | no ambient randomness (`thread_rng`, `OsRng`, ...) outside the seeded RNG |
+//! | DSA-P001 | panic-freedom | no `.unwrap()` / `.expect(...)` in request paths |
+//! | DSA-P002 | panic-freedom | no `panic!` / `unreachable!` / `todo!` / `unimplemented!` in request paths |
+//! | DSA-P003 | panic-freedom | no panicking non-range indexing (`x[i]`) in request paths |
+//! | DSA-C001 | cast safety | no narrowing `as` casts in decode paths — use `try_from` |
+//! | DSA-U001 | memory safety | crate roots must carry `#![forbid(unsafe_code)]` |
+//!
+//! Every rule skips `#[cfg(test)]` regions: tests may unwrap, index,
+//! and time things freely. All heuristics here are *token-level* —
+//! no type information — so each rule documents its over- and
+//! under-approximations inline; waivers absorb the deliberate
+//! remainder.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Kind, Lexed, Tok};
+use crate::report::Finding;
+
+/// Per-file context shared by the rules (and by the lock analysis).
+pub struct FileCtx<'a> {
+    pub path: &'a str,
+    pub toks: &'a [Tok],
+    /// Token-index ranges covered by `#[cfg(test)]` items.
+    test_spans: Vec<(usize, usize)>,
+}
+
+impl<'a> FileCtx<'a> {
+    pub fn new(path: &'a str, lexed: &'a Lexed) -> FileCtx<'a> {
+        let toks = &lexed.tokens[..];
+        FileCtx {
+            path,
+            toks,
+            test_spans: cfg_test_spans(toks),
+        }
+    }
+
+    /// True when token `i` is inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= i && i < b)
+    }
+}
+
+/// Finds the token span of every `#[cfg(test)]`-gated item: from the
+/// `#` through the matching `}` of the item's body.
+fn cfg_test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_gate = toks[i].is('#')
+            && toks[i + 1].is('[')
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is('(')
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is(')')
+            && toks[i + 6].is(']');
+        if !is_gate {
+            i += 1;
+            continue;
+        }
+        // The gated item runs to the matching close of its first `{`
+        // (fn/mod/impl body) or to a `;` before any `{` (a gated
+        // `use` or field — rare; treat the single statement as the
+        // span).
+        let start = i;
+        let mut j = i + 7;
+        let mut end = toks.len();
+        while j < toks.len() {
+            if toks[j].is(';') {
+                end = j + 1;
+                break;
+            }
+            if toks[j].is('{') {
+                end = matching_close(toks, j).map_or(toks.len(), |k| k + 1);
+                break;
+            }
+            j += 1;
+        }
+        spans.push((start, end));
+        i = end.max(i + 1);
+    }
+    spans
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub fn matching_close(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is('{') {
+            depth += 1;
+        } else if t.is('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------- D001
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+];
+
+/// DSA-D001: iteration over hash containers.
+///
+/// Tracking is name-based: an identifier counts as a hash container if
+/// the file binds or declares it with a `HashMap`/`HashSet` type
+/// (`let m: HashMap<..>`, `m = HashMap::new()`, struct field
+/// `m: HashMap<..>`, fn param `m: &HashSet<..>`). Iterating such a
+/// name — `m.iter()`, `m.keys()`, `for x in &m` — is a finding unless
+/// the same statement also sorts (`sort`/`sort_unstable`/`sort_by*`)
+/// or lands in a BTree collection, which restores a canonical order.
+pub fn d001(ctx: &FileCtx) -> Vec<Finding> {
+    let toks = ctx.toks;
+    let mut hash_names: BTreeSet<&str> = BTreeSet::new();
+    // Pass 1: collect names declared/bound with a hash type. Look for
+    // `NAME : [&mut] HashX` and `NAME ... = HashX ::`.
+    for i in 0..toks.len() {
+        if toks[i].kind != Kind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if HASH_TYPES.contains(&name) {
+            continue;
+        }
+        // `NAME :` then a hash type within the next few tokens
+        // (skipping `&`, `mut`, `Option <`, `Arc <` wrappers).
+        if i + 1 < toks.len()
+            && toks[i + 1].is(':')
+            && !matches!(toks.get(i + 2), Some(t) if t.is(':'))
+        {
+            for t in toks.iter().skip(i + 2).take(8) {
+                if t.is(';') || t.is(',') || t.is(')') || t.is('=') {
+                    break;
+                }
+                if HASH_TYPES.contains(&t.text.as_str()) {
+                    hash_names.insert(name);
+                    break;
+                }
+            }
+        }
+        // `NAME = HashX ::` (also covers `let mut NAME = ...`).
+        if i + 3 < toks.len()
+            && toks[i + 1].is('=')
+            && HASH_TYPES.contains(&toks[i + 2].text.as_str())
+            && toks[i + 3].is(':')
+        {
+            hash_names.insert(name);
+        }
+    }
+    // Pass 2: flag iteration over collected names.
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        if ctx.in_test(i) || toks[i].kind != Kind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if !hash_names.contains(name) {
+            continue;
+        }
+        // `NAME . method (`
+        let method_hit = i + 3 < toks.len()
+            && toks[i + 1].is('.')
+            && ITER_METHODS.contains(&toks[i + 2].text.as_str())
+            && toks[i + 3].is('(');
+        // `for PAT in [&]NAME` — NAME preceded by `in` or `in &`.
+        let for_hit = (i >= 1 && toks[i - 1].is_ident("in")
+            || i >= 2 && toks[i - 2].is_ident("in") && toks[i - 1].is('&'))
+            && !(i + 1 < toks.len() && (toks[i + 1].is('.') || toks[i + 1].is('(')));
+        if !(method_hit || for_hit) {
+            continue;
+        }
+        if statement_sorts(toks, i) {
+            continue;
+        }
+        let how = if method_hit {
+            format!("{name}.{}()", toks[i + 2].text)
+        } else {
+            format!("for .. in {name}")
+        };
+        findings.push(Finding::new(
+            "DSA-D001",
+            ctx.path,
+            toks[i].line,
+            format!(
+                "iteration over hash container `{name}` ({how}): ordering is \
+                 nondeterministic — sort the results, use a BTree collection, or waive"
+            ),
+        ));
+    }
+    findings
+}
+
+/// True when the iteration starting at token `i` restores a canonical
+/// order: a `sort*` call or a BTree collection within the same
+/// statement or the immediately following one (the idiomatic shape is
+/// `let mut v: Vec<_> = m.keys().collect(); v.sort();`).
+fn statement_sorts(toks: &[Tok], i: usize) -> bool {
+    let mut depth = 0i32;
+    let mut stmt_ends = 0;
+    for t in toks.iter().skip(i) {
+        if t.is('{') || t.is('(') || t.is('[') {
+            depth += 1;
+        } else if t.is('}') || t.is(')') || t.is(']') {
+            depth -= 1;
+            if depth < 0 {
+                stmt_ends += 1;
+                if stmt_ends >= 2 {
+                    break;
+                }
+                depth = 0;
+            }
+        } else if t.is(';') && depth == 0 {
+            stmt_ends += 1;
+            if stmt_ends >= 2 {
+                break;
+            }
+        }
+        if t.kind == Kind::Ident && (t.text.starts_with("sort") || t.text.starts_with("BTree")) {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------- D002
+
+/// DSA-D002: wall-clock reads. Flags `Instant::now` and
+/// `SystemTime::now`. Timing that demonstrably never reaches encoded
+/// output is waived at the call site with a reason saying where the
+/// value goes.
+pub fn d002(ctx: &FileCtx) -> Vec<Finding> {
+    let toks = ctx.toks;
+    let mut findings = Vec::new();
+    for i in 0..toks.len().saturating_sub(3) {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let clock = toks[i].is_ident("Instant") || toks[i].is_ident("SystemTime");
+        if clock && toks[i + 1].is(':') && toks[i + 2].is(':') && toks[i + 3].is_ident("now") {
+            findings.push(Finding::new(
+                "DSA-D002",
+                ctx.path,
+                toks[i].line,
+                format!(
+                    "`{}::now()` in a determinism-scoped file: wall-clock values must \
+                     not influence encoded output",
+                    toks[i].text
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------- D003
+
+const AMBIENT_RNG: [&str; 5] = [
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+    "entropy",
+];
+
+/// DSA-D003: ambient (non-seeded) randomness. Every RNG in the
+/// workspace must derive from an explicit seed; these names are the
+/// standard escape hatches.
+pub fn d003(ctx: &FileCtx) -> Vec<Finding> {
+    let toks = ctx.toks;
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        if ctx.in_test(i) || toks[i].kind != Kind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        let hit = AMBIENT_RNG.contains(&name)
+            // `rand :: random`
+            || (name == "random" && i >= 3 && toks[i - 3].is_ident("rand") && toks[i - 2].is(':'));
+        if hit {
+            findings.push(Finding::new(
+                "DSA-D003",
+                ctx.path,
+                toks[i].line,
+                format!("ambient randomness `{name}`: all RNGs must derive from an explicit seed"),
+            ));
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------- P001
+
+/// DSA-P001: `.unwrap()` / `.expect(` in request paths. Exact-name
+/// match, so `unwrap_or_else` and friends pass.
+pub fn p001(ctx: &FileCtx) -> Vec<Finding> {
+    let toks = ctx.toks;
+    let mut findings = Vec::new();
+    for i in 2..toks.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let m = &toks[i - 1];
+        let is_call = toks[i].is('(') && toks[i - 2].is('.');
+        if is_call && (m.is_ident("unwrap") || m.is_ident("expect")) {
+            findings.push(Finding::new(
+                "DSA-P001",
+                ctx.path,
+                m.line,
+                format!(
+                    ".{}() in a request path: return the error (`?`, match) — a panic \
+                     here kills a worker serving live traffic",
+                    m.text
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------- P002
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// DSA-P002: panic macros in request paths.
+pub fn p002(ctx: &FileCtx) -> Vec<Finding> {
+    let toks = ctx.toks;
+    let mut findings = Vec::new();
+    for i in 0..toks.len().saturating_sub(1) {
+        if ctx.in_test(i) {
+            continue;
+        }
+        if PANIC_MACROS.contains(&toks[i].text.as_str())
+            && toks[i].kind == Kind::Ident
+            && toks[i + 1].is('!')
+        {
+            findings.push(Finding::new(
+                "DSA-P002",
+                ctx.path,
+                toks[i].line,
+                format!(
+                    "`{}!` in a request path: encode the failure as an error response",
+                    toks[i].text
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------- P003
+
+/// DSA-P003: panicking indexing in request paths.
+///
+/// Flags `expr[index]` where `expr` ends in an identifier, `)`, or
+/// `]`, and the index is *not* a range (`[..k]`, `[a..]` slice
+/// expressions are bounds-derived in this codebase and excluded to
+/// keep the signal usable — a range that can panic still shows up in
+/// review). Attribute brackets (`#[...]`) and array types/literals
+/// are not preceded by those tokens and never match.
+pub fn p003(ctx: &FileCtx) -> Vec<Finding> {
+    let toks = ctx.toks;
+    let mut findings = Vec::new();
+    for i in 1..toks.len() {
+        if ctx.in_test(i) || !toks[i].is('[') {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let indexes =
+            prev.kind == Kind::Ident && !is_keyword(&prev.text) || prev.is(')') || prev.is(']');
+        if !indexes {
+            continue;
+        }
+        let Some(close) = matching_square(toks, i) else {
+            continue;
+        };
+        let body = &toks[i + 1..close];
+        if body.is_empty() || body.windows(2).any(|w| w[0].is('.') && w[1].is('.')) {
+            continue; // `[]` can't panic here; ranges excluded by design
+        }
+        let idx: String = body
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join("");
+        findings.push(Finding::new(
+            "DSA-P003",
+            ctx.path,
+            toks[i].line,
+            format!(
+                "indexing `{}[{idx}]` can panic in a request path: use .get() or waive \
+                 with the guard that makes it safe",
+                prev.text
+            ),
+        ));
+    }
+    findings
+}
+
+fn matching_square(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is('[') {
+            depth += 1;
+        } else if t.is(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else" | "match" | "return" | "in" | "let" | "mut" | "ref" | "move" | "break"
+    )
+}
+
+// ---------------------------------------------------------------- C001
+
+const NARROW_TARGETS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+const SMALL_SOURCES: [&str; 3] = ["u8", "u16", "u32"];
+
+/// DSA-C001: narrowing `as` casts in decode paths.
+///
+/// Flags `expr as T` for integer `T` narrower than `u64`. Suppressed
+/// when the expression's recent tokens mention a source type that
+/// makes the cast widening on every supported (64-bit) target —
+/// `u32::from_be_bytes(b) as usize` and `r.u32()? as usize` pass,
+/// `r.u64()? as usize` does not. `as u64`/`as u128`/float casts are
+/// never narrowing from this codebase's sources and are not flagged.
+pub fn c001(ctx: &FileCtx) -> Vec<Finding> {
+    let toks = ctx.toks;
+    let mut findings = Vec::new();
+    for i in 0..toks.len().saturating_sub(1) {
+        if ctx.in_test(i) || !toks[i].is_ident("as") {
+            continue;
+        }
+        let target = toks[i + 1].text.as_str();
+        if !NARROW_TARGETS.contains(&target) {
+            continue;
+        }
+        // Widening suppression: scan back across the source expression
+        // (bounded, stopping at statement-ish boundaries) for a small
+        // source type when the target is at least as wide.
+        let target_wide_enough = |src: &str| match target {
+            "usize" | "isize" | "i64" => true, // u32/u16/u8 all fit
+            "u32" | "i32" => src == "u16" || src == "u8",
+            "u16" | "i16" => src == "u8",
+            _ => false,
+        };
+        let mut widening = false;
+        for k in (i.saturating_sub(14)..i).rev() {
+            let t = &toks[k];
+            if t.is(';') || t.is('{') || t.is('=') || t.is(',') {
+                break;
+            }
+            if SMALL_SOURCES.contains(&t.text.as_str()) && target_wide_enough(&t.text) {
+                widening = true;
+                break;
+            }
+        }
+        if widening {
+            continue;
+        }
+        findings.push(Finding::new(
+            "DSA-C001",
+            ctx.path,
+            toks[i].line,
+            format!(
+                "narrowing `as {target}` in a decode path: silently truncates \
+                 out-of-range input — use `try_from` and map the error"
+            ),
+        ));
+    }
+    findings
+}
+
+// ---------------------------------------------------------------- U001
+
+/// DSA-U001: crate roots must open with `#![forbid(unsafe_code)]`.
+/// Files listed in `[unsafe] deny_ok` may use `#![deny(unsafe_code)]`
+/// instead (needed when a crate has exactly one audited, explicitly
+/// `#[allow]`ed unsafe block, e.g. a hand-declared libc FFI).
+pub fn u001(ctx: &FileCtx, deny_ok: bool) -> Vec<Finding> {
+    let toks = ctx.toks;
+    // Scan the leading inner attributes: `# ! [ level ( unsafe_code ) ]`.
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        if !(toks[i].is('#') && toks[i + 1].is('!') && toks[i + 2].is('[')) {
+            break;
+        }
+        let Some(close) = matching_square(toks, i + 2) else {
+            break;
+        };
+        let level = &toks[i + 3];
+        let target = toks.get(i + 5);
+        let names_unsafe = toks[i + 4].is('(') && target.is_some_and(|t| t.is_ident("unsafe_code"));
+        if names_unsafe && (level.is_ident("forbid") || (deny_ok && level.is_ident("deny"))) {
+            return Vec::new();
+        }
+        i = close + 1;
+    }
+    let want = if deny_ok {
+        "#![forbid(unsafe_code)] or #![deny(unsafe_code)]"
+    } else {
+        "#![forbid(unsafe_code)]"
+    };
+    vec![Finding::new(
+        "DSA-U001",
+        ctx.path,
+        1,
+        format!("crate root missing {want}"),
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn run(rule: fn(&FileCtx) -> Vec<Finding>, src: &str) -> Vec<Finding> {
+        let lexed = lexer::lex(src);
+        let ctx = FileCtx::new("t.rs", &lexed);
+        rule(&ctx)
+    }
+
+    #[test]
+    fn d001_flags_iteration_not_membership() {
+        let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2); \
+                   for (k, v) in &m { use_it(k, v); } let n = m.keys().count(); }";
+        let f = run(d001, src);
+        assert_eq!(f.len(), 2);
+        let src2 = "fn f(s: &HashSet<u32>) { if s.contains(&3) { hit(); } }";
+        assert!(run(d001, src2).is_empty());
+    }
+
+    #[test]
+    fn d001_sorted_statement_suppresses() {
+        let src = "fn f(m: HashMap<u32, u32>) { \
+                   let mut v: Vec<_> = m.keys().copied().collect(); v.sort(); }";
+        assert!(run(d001, src).is_empty());
+        let chained = "fn f(m: HashMap<u32, u32>) { \
+                       let v = { let mut v: Vec<_> = m.keys().collect(); v.sort_unstable(); v }; }";
+        assert!(run(d001, chained).is_empty());
+        // A sort two or more statements away does not count.
+        let far = "fn f(m: HashMap<u32, u32>) { \
+                   let mut v: Vec<_> = m.keys().collect(); other(); v.sort(); }";
+        assert_eq!(run(d001, far).len(), 1);
+    }
+
+    #[test]
+    fn d002_flags_clocks_outside_tests() {
+        let src = "fn f() { let t = Instant::now(); }\n\
+                   #[cfg(test)] mod tests { fn g() { let t = Instant::now(); } }";
+        let f = run(d002, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn p001_exact_method_names_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_default(); x.unwrap_or(3); \
+                   x.expect(\"boom\") }";
+        let f = run(p001, src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("expect"));
+    }
+
+    #[test]
+    fn p002_macros() {
+        let f = run(
+            p002,
+            "fn f() { if bad { panic!(\"no\") } else { unreachable!() } }",
+        );
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn p003_ranges_and_attributes_excluded() {
+        let src = "#[derive(Debug)]\nfn f(v: &[u8], k: usize) { let a = v[0]; \
+                   let b = &v[..k]; let c = v[k..]; let t: [u8; 4] = [0; 4]; }";
+        let f = run(p003, src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("v[0]"));
+    }
+
+    #[test]
+    fn c001_narrowing_vs_widening() {
+        let src = "fn f(x: u64, r: &mut R) { let a = x as usize; \
+                   let b = u32::from_be_bytes(buf) as usize; \
+                   let c = r.u32()? as usize; let d = x as u64; }";
+        let f = run(c001, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn u001_levels() {
+        let forbid = lexer::lex("#![forbid(unsafe_code)]\nfn main() {}");
+        let deny = lexer::lex("#![deny(unsafe_code)]\nfn main() {}");
+        let nothing = lexer::lex("//! docs\nfn main() {}");
+        assert!(u001(&FileCtx::new("a.rs", &forbid), false).is_empty());
+        assert_eq!(u001(&FileCtx::new("b.rs", &deny), false).len(), 1);
+        assert!(u001(&FileCtx::new("b.rs", &deny), true).is_empty());
+        assert_eq!(u001(&FileCtx::new("c.rs", &nothing), true).len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_mods_and_fns() {
+        let lexed = lexer::lex(
+            "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n",
+        );
+        let ctx = FileCtx::new("t.rs", &lexed);
+        let f = p001(&ctx);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+}

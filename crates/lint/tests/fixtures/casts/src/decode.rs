@@ -1,0 +1,18 @@
+//! Cast-safety fixture: narrowing casts in a decode path are
+//! findings; widening from a provably-small source is not.
+
+pub fn read_len(x: u64) -> usize {
+    x as usize
+}
+
+pub fn read_id(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn widen(b: [u8; 4]) -> usize {
+    u32::from_be_bytes(b) as usize
+}
+
+pub fn float_ok(x: u64) -> f64 {
+    x as f64
+}

@@ -1,0 +1,29 @@
+//! Determinism fixture: every construct here violates a D rule.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+pub fn leak_order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}
+
+pub fn walk(set: &HashSet<u32>) -> u32 {
+    let mut total = 0;
+    for x in set {
+        total += x;
+    }
+    total
+}
+
+pub fn stamp() -> u128 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    t.elapsed().as_millis()
+}
+
+pub fn seed() -> u64 {
+    let mut rng = thread_rng();
+    let x: u64 = rand::random();
+    let _ = rng;
+    x
+}

@@ -1,0 +1,16 @@
+//! Inventory fixture: a wrong rank literal, an undeclared lock, and a
+//! declared lock with no construction site — three L003 findings.
+
+pub struct Inv {
+    right_field: OrderedMutex<u32>,
+    ghost_field: OrderedMutex<u32>,
+}
+
+impl Inv {
+    pub fn new() -> Inv {
+        Inv {
+            right_field: OrderedMutex::new("right", 11, 0),
+            ghost_field: OrderedMutex::new("ghost", 5, 0),
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Lock-order fixture: `good` climbs the ranks, `bad` descends them.
+//! Together they also close a cycle, so both L001 and L002 fire.
+
+pub struct Svc {
+    alpha: OrderedMutex<u32>,
+    beta: OrderedMutex<u32>,
+}
+
+impl Svc {
+    pub fn new() -> Svc {
+        Svc {
+            alpha: OrderedMutex::new("alpha", 10, 0),
+            beta: OrderedMutex::new("beta", 20, 0),
+        }
+    }
+
+    pub fn good(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        let _ = (*a, *b);
+    }
+
+    pub fn bad(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        let _ = (*a, *b);
+    }
+}

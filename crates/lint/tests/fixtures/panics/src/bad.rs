@@ -1,0 +1,24 @@
+//! Panic-freedom fixture: request-path code that can die.
+
+pub fn first(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}
+
+pub fn must(opt: Option<u32>) -> u32 {
+    opt.expect("present")
+}
+
+pub fn dispatch(kind: u8) -> u32 {
+    match kind {
+        0 => 1,
+        _ => unreachable!("bad kind"),
+    }
+}
+
+pub fn not_done() {
+    todo!()
+}
+
+pub fn pick(fields: &[u32]) -> u32 {
+    fields[0]
+}

@@ -1,0 +1,17 @@
+//! The same shapes written panic-free: none of these is a finding.
+
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn fallback(opt: Option<u32>) -> u32 {
+    opt.unwrap_or_else(|| 0)
+}
+
+pub fn pick(fields: &[u32]) -> Option<u32> {
+    fields.get(0).copied()
+}
+
+pub fn head(v: &[u32], n: usize) -> &[u32] {
+    &v[..n]
+}

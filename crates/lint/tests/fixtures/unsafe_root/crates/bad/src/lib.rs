@@ -1,0 +1,1 @@
+pub fn no_gate_at_all() {}

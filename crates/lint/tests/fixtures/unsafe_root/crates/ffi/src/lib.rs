@@ -1,0 +1,3 @@
+#![deny(unsafe_code)]
+
+pub fn deny_is_enough_when_listed() {}

@@ -1,0 +1,3 @@
+#![deny(unsafe_code)]
+
+pub fn deny_without_being_listed_is_not() {}

@@ -1,0 +1,17 @@
+//! Waiver fixture. The trailing waiver below silences its finding;
+//! the standalone one covers a line that triggers nothing (DSA-W002);
+//! the reason-less one is malformed (DSA-W001) and silences nothing.
+
+pub fn startup(opt: Option<u32>) -> u32 {
+    opt.expect("startup only") // dsa-lint: allow(DSA-P001, reason="runs before any traffic")
+}
+
+// dsa-lint: allow(DSA-P001, reason="nothing here triggers it")
+pub fn quiet() -> u32 {
+    7
+}
+
+// dsa-lint: allow(DSA-P001)
+pub fn sloppy(opt: Option<u32>) -> u32 {
+    opt.unwrap()
+}

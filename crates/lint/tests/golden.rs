@@ -1,0 +1,113 @@
+//! Golden tests: each directory under `tests/fixtures/` is a
+//! mini-workspace with its own `lint.toml` and an `expected.txt`
+//! pinning dsa-lint's exact text output (the same rendering the CLI
+//! prints). The corpus is the executable specification of every rule
+//! ID: a rule change that shifts a finding, a message, or a line
+//! number fails here first.
+//!
+//! To update after an intentional rule change, re-run the CLI against
+//! the fixture and re-pin:
+//!
+//! ```text
+//! cargo run -p dsa-lint -- --root crates/lint/tests/fixtures/<name> \
+//!     --config crates/lint/tests/fixtures/<name>/lint.toml > .../expected.txt
+//! ```
+
+use std::path::PathBuf;
+
+use dsa_lint::config::Config;
+use dsa_lint::{report, run, Options};
+
+fn check(fixture: &str) {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let toml = std::fs::read_to_string(root.join("lint.toml")).expect("fixture lint.toml");
+    let config = Config::parse(&toml).unwrap_or_else(|e| panic!("fixture config parses: {e}"));
+    let outcome = run(&Options {
+        root: root.clone(),
+        config,
+    })
+    .unwrap_or_else(|e| panic!("lint runs on fixture `{fixture}`: {e}"));
+    let actual = report::to_text(&outcome.findings);
+    let expected = std::fs::read_to_string(root.join("expected.txt")).expect("expected.txt");
+    assert_eq!(
+        actual, expected,
+        "fixture `{fixture}` drifted from its expected findings"
+    );
+}
+
+#[test]
+fn determinism_rules() {
+    check("determinism");
+}
+
+#[test]
+fn panic_rules() {
+    check("panics");
+}
+
+#[test]
+fn cast_rules() {
+    check("casts");
+}
+
+#[test]
+fn unsafe_crate_roots() {
+    check("unsafe_root");
+}
+
+#[test]
+fn lock_order_cycle_and_rank() {
+    check("lock_order");
+}
+
+#[test]
+fn lock_inventory_agreement() {
+    check("lock_inventory");
+}
+
+#[test]
+fn waiver_mechanics() {
+    check("waivers");
+}
+
+/// The workspace itself must lint clean — the same invocation CI runs.
+/// This is the acceptance gate: zero findings, zero unused waivers.
+#[test]
+fn workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let toml = std::fs::read_to_string(root.join("lint.toml")).expect("workspace lint.toml");
+    let config = Config::parse(&toml).expect("workspace config parses");
+    let outcome = run(&Options {
+        root: root.clone(),
+        config,
+    })
+    .expect("lint runs on the workspace");
+    assert!(
+        outcome.findings.is_empty(),
+        "workspace lint must be clean:\n{}",
+        report::to_text(&outcome.findings)
+    );
+}
+
+/// The JSON artifact renderer stays valid and stable for the findings
+/// the fixtures produce.
+#[test]
+fn json_artifact_shape() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/casts");
+    let toml = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml");
+    let config = Config::parse(&toml).expect("config");
+    let outcome = run(&Options {
+        root: root.clone(),
+        config,
+    })
+    .expect("lint runs");
+    let json = report::to_json(&outcome.findings);
+    assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+    assert_eq!(json.matches("\"rule\":\"DSA-C001\"").count(), 2);
+    assert!(json.contains("\"file\":\"src/decode.rs\""));
+}

@@ -73,6 +73,7 @@ mod metrics;
 mod network;
 pub mod obs;
 mod simulator;
+pub mod sync;
 
 pub use codec::{WordReader, WordWriter};
 pub use fault::{FaultInjector, FaultPlan};
@@ -81,3 +82,4 @@ pub use metrics::{LatencyRecorder, Metrics};
 pub use network::Network;
 pub use obs::{FlightRecorder, Level, TraceEvent};
 pub use simulator::{Envelope, Outbox, Protocol, RoundCtx, RunReport, Simulator, Word};
+pub use sync::{OrderedMutex, OrderedMutexGuard};

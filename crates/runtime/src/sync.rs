@@ -1,0 +1,376 @@
+//! Checked locking: [`OrderedMutex`], a mutex wrapper that enforces a
+//! global lock-acquisition order at runtime under debug assertions.
+//!
+//! The serving path's panic-freedom contract has a deadlock-shaped
+//! blind spot: a refactor that nests two mutexes in opposite orders on
+//! two code paths compiles, passes single-threaded tests, and wedges
+//! under load. `dsa-lint`'s L-series rules prove the *static* call
+//! graph acquires locks in rank order; this module is the dynamic
+//! teammate that validates the same contract on every path the tests
+//! actually execute.
+//!
+//! Every lock is constructed with a name and a numeric **rank** (the
+//! workspace inventory lives in `lint.toml`, which `dsa-lint` checks
+//! against these construction sites). A thread may only acquire a lock
+//! whose rank is *strictly greater* than every lock it already holds;
+//! under `debug_assertions` a violation panics immediately with both
+//! lock names and the full per-thread acquisition stack — turning a
+//! once-in-a-blue-moon deadlock into a deterministic test failure. In
+//! release builds the bookkeeping compiles out and `lock()` is a plain
+//! `Mutex::lock`.
+//!
+//! Poisoning is absorbed rather than propagated: the serving contract
+//! is "degrade, never die", so a panic on one worker thread must not
+//! cascade `PoisonError` panics through every other thread that shares
+//! a lock. `lock()` therefore returns the guard directly — there is no
+//! `.unwrap()` for `dsa-lint`'s P-series rules to flag.
+//!
+//! Condvar integration: `std::sync::Condvar` waits on a
+//! `std::sync::MutexGuard`, so [`OrderedMutexGuard`] exposes
+//! [`wait_on`](OrderedMutexGuard::wait_on) /
+//! [`wait_timeout_on`](OrderedMutexGuard::wait_timeout_on), which
+//! release and reacquire the underlying guard without disturbing the
+//! thread's acquisition stack (blocking in a wait holds no *other*
+//! lock, so the stack entry stays accurate on both sides of the wake).
+
+use std::cell::RefCell;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+thread_local! {
+    /// Ranks (and names, for diagnostics) of the ordered locks this
+    /// thread currently holds, in acquisition order.
+    static HELD: RefCell<Vec<(u32, &'static str)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A [`Mutex`] with a declared place in the workspace's global lock
+/// order. See the module docs for the contract.
+#[derive(Debug)]
+pub struct OrderedMutex<T> {
+    name: &'static str,
+    rank: u32,
+    inner: Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Wraps `value` in a mutex named `name` at position `rank` in the
+    /// global acquisition order. Ranks need not be distinct globally,
+    /// but two locks a thread ever holds *simultaneously* must have
+    /// distinct, correctly ordered ranks (equal ranks count as a
+    /// violation — self-deadlock looks exactly like reacquisition).
+    pub const fn new(name: &'static str, rank: u32, value: T) -> Self {
+        OrderedMutex {
+            name,
+            rank,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// The lock's declared name (as listed in the lint inventory).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The lock's declared rank.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Acquires the lock, blocking the current thread.
+    ///
+    /// # Panics
+    ///
+    /// Under `debug_assertions`, panics if this thread already holds a
+    /// lock of equal or greater rank (an ordering violation — the
+    /// interleaving that deadlocks in release). The check runs *before*
+    /// blocking, so the violating path is reported even when the lock
+    /// happens to be free.
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        if cfg!(debug_assertions) {
+            self.check_order_and_push();
+        }
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        OrderedMutexGuard {
+            lock: self,
+            inner: Some(inner),
+        }
+    }
+
+    /// Mutable access through exclusive ownership; no locking, no
+    /// ordering interaction (holding `&mut self` proves no guard
+    /// exists).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn check_order_and_push(&self) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&(top_rank, top_name)) = held.last() {
+                if self.rank <= top_rank {
+                    let stack: Vec<String> =
+                        held.iter().map(|(r, n)| format!("{n}(rank {r})")).collect();
+                    panic!(
+                        "lock-order violation: acquiring `{}` (rank {}) while holding \
+                         `{top_name}` (rank {top_rank}); held stack: [{}]. The workspace \
+                         lock order is declared in lint.toml and checked by dsa-lint.",
+                        self.name,
+                        self.rank,
+                        stack.join(" -> "),
+                    );
+                }
+            }
+            held.push((self.rank, self.name));
+        });
+    }
+
+    fn pop_held(&self) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(i) = held
+                .iter()
+                .rposition(|&(r, n)| r == self.rank && n == self.name)
+            {
+                held.remove(i);
+            }
+        });
+    }
+}
+
+/// RAII guard for [`OrderedMutex`]; releases the lock (and the
+/// thread's acquisition-stack entry) on drop.
+#[derive(Debug)]
+pub struct OrderedMutexGuard<'a, T> {
+    lock: &'a OrderedMutex<T>,
+    /// Always `Some` while the guard is live; taken only transiently
+    /// inside the condvar bridges below.
+    inner: Option<MutexGuard<'a, T>>,
+}
+
+impl<'a, T> OrderedMutexGuard<'a, T> {
+    /// Releases the lock, waits on `cv`, and reacquires — the
+    /// [`Condvar::wait`] bridge. The acquisition-stack entry is kept:
+    /// a blocked waiter holds no other lock, and on wake the lock is
+    /// held again exactly as before.
+    pub fn wait_on(mut self, cv: &Condvar) -> Self {
+        if let Some(g) = self.inner.take() {
+            self.inner = Some(cv.wait(g).unwrap_or_else(PoisonError::into_inner));
+        }
+        self
+    }
+
+    /// [`Condvar::wait_timeout`] bridge; see [`wait_on`](Self::wait_on).
+    pub fn wait_timeout_on(mut self, cv: &Condvar, dur: Duration) -> (Self, WaitTimeoutResult) {
+        // A taken-out guard is unreachable (`inner` is only `None`
+        // transiently inside these bridges), but degrade to a plain
+        // reacquire rather than panic if that invariant ever breaks.
+        let g = match self.inner.take() {
+            Some(g) => g,
+            None => {
+                let g = self
+                    .lock
+                    .inner
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                self.inner = Some(g);
+                return (self, timed_out_result(cv));
+            }
+        };
+        let (g, timed_out) = match cv.wait_timeout(g, dur) {
+            Ok(pair) => pair,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        self.inner = Some(g);
+        (self, timed_out)
+    }
+}
+
+/// Manufactures a `WaitTimeoutResult` (the type has no public
+/// constructor) for the unreachable guard-less branch above: a
+/// zero-length wait on a throwaway mutex that cannot be poisoned.
+fn timed_out_result(cv: &Condvar) -> WaitTimeoutResult {
+    let m = Mutex::new(());
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    let (g, r) = match cv.wait_timeout(g, Duration::from_millis(0)) {
+        Ok(pair) => pair,
+        Err(p) => p.into_inner(),
+    };
+    drop(g);
+    r
+}
+
+impl<T> std::ops::Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            // `inner` is `None` only transiently inside the condvar
+            // bridges, which hold `self` by value; a live shared
+            // reference proves it is `Some`.
+            None => unreachable!("OrderedMutexGuard dereferenced while mid-wait"),
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("OrderedMutexGuard dereferenced while mid-wait"),
+        }
+    }
+}
+
+impl<T> Drop for OrderedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if cfg!(debug_assertions) {
+            self.lock.pop_held();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn guards_data_like_a_mutex() {
+        let m = Arc::new(OrderedMutex::new("counter", 10, 0u64));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn ascending_ranks_are_free() {
+        let a = OrderedMutex::new("a", 10, ());
+        let b = OrderedMutex::new("b", 20, ());
+        let c = OrderedMutex::new("c", 30, ());
+        let ga = a.lock();
+        let gb = b.lock();
+        let gc = c.lock();
+        drop(gc);
+        drop(gb);
+        drop(ga);
+        // Releasing resets the stack: the same locks again, still fine.
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+
+    #[test]
+    fn out_of_order_drop_keeps_the_stack_consistent() {
+        let a = OrderedMutex::new("a", 10, ());
+        let b = OrderedMutex::new("b", 20, ());
+        let c = OrderedMutex::new("c", 30, ());
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga); // released before b — stack must not lose b's entry
+        let gc = c.lock();
+        drop(gb);
+        drop(gc);
+        let _ga = a.lock();
+    }
+
+    /// The tentpole contract: a reversed two-lock acquisition panics
+    /// under debug assertions and is free (a plain deadlock-prone
+    /// mutex pair, but this test never contends) under release.
+    #[test]
+    fn reversed_acquisition_panics_under_debug_assertions() {
+        let result = std::thread::spawn(|| {
+            let low = OrderedMutex::new("low", 10, ());
+            let high = OrderedMutex::new("high", 20, ());
+            let _g_high = high.lock();
+            let _g_low = low.lock(); // rank 10 while holding rank 20
+        })
+        .join();
+        if cfg!(debug_assertions) {
+            let err = result.expect_err("reversed order must panic under debug assertions");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            assert!(
+                msg.contains("lock-order violation")
+                    && msg.contains("`low` (rank 10)")
+                    && msg.contains("`high` (rank 20)"),
+                "unexpected panic message: {msg}"
+            );
+        } else {
+            result.expect("release builds skip the ordering check");
+        }
+    }
+
+    #[test]
+    fn equal_ranks_count_as_a_violation() {
+        let result = std::thread::spawn(|| {
+            let a = OrderedMutex::new("a", 10, ());
+            let b = OrderedMutex::new("b", 10, ());
+            let _ga = a.lock();
+            let _gb = b.lock();
+        })
+        .join();
+        if cfg!(debug_assertions) {
+            result.expect_err("equal ranks must panic under debug assertions");
+        } else {
+            result.expect("release builds skip the ordering check");
+        }
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_panicking() {
+        let m = Arc::new(OrderedMutex::new("poisoned", 10, 7u64));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7, "data survives a poisoning panic");
+    }
+
+    #[test]
+    fn condvar_wait_bridges_preserve_the_lock() {
+        let pair = Arc::new((OrderedMutex::new("gate", 10, false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (m, cv) = (&pair.0, &pair.1);
+                let mut g = m.lock();
+                while !*g {
+                    g = g.wait_on(cv);
+                }
+                *g
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_timeout_times_out() {
+        let m = OrderedMutex::new("gate", 10, ());
+        let cv = Condvar::new();
+        let g = m.lock();
+        let (g, result) = g.wait_timeout_on(&cv, Duration::from_millis(5));
+        assert!(result.timed_out());
+        drop(g);
+        // The lock is still usable (and the stack balanced) after a
+        // timed-out wait.
+        let _g = m.lock();
+    }
+}

@@ -53,6 +53,8 @@
 //! client-server variant, `--clients`/`--servers` take
 //! whitespace-separated edge ids of the input edge list.
 
+#![forbid(unsafe_code)]
+
 use std::io::Read;
 use std::process::ExitCode;
 use std::time::Duration;

@@ -90,6 +90,8 @@
 //! `{"graphs_self_check":...}` JSON line with the delta-class counts
 //! and timings (CI uploads it as an artifact).
 
+#![deny(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -286,6 +288,7 @@ extern "C" fn on_shutdown_signal(_signum: i32) {
 /// Declared by hand (the build is offline, no libc crate): `signal`
 /// is in every libc this binary links against.
 #[cfg(unix)]
+#[allow(unsafe_code)] // hand-declared libc `signal` FFI; the only unsafe in the workspace
 fn install_signal_handlers() {
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;

@@ -51,7 +51,9 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use dsa_runtime::sync::OrderedMutex;
 
 use dsa_core::dist::{
     plan_insertions, repair_cover, ClientServerTwoSpanner, DirectedTwoSpanner, EngineConfig,
@@ -355,7 +357,7 @@ struct GraphState {
 }
 
 struct GraphEntry {
-    state: Mutex<GraphState>,
+    state: OrderedMutex<GraphState>,
 }
 
 /// What open-time log replay found.
@@ -374,8 +376,8 @@ pub(crate) struct ReplayReport {
 
 /// The named-graph registry shared by the TCP and HTTP frontends.
 pub(crate) struct GraphRegistry {
-    graphs: Mutex<HashMap<String, Arc<GraphEntry>>>,
-    log: Option<Mutex<GraphLog>>,
+    graphs: OrderedMutex<HashMap<String, Arc<GraphEntry>>>,
+    log: Option<OrderedMutex<GraphLog>>,
     /// Cleared when an append fails: the registry keeps serving from
     /// memory but stops persisting (mirrors the result store).
     log_ok: AtomicBool,
@@ -455,13 +457,18 @@ impl GraphState {
     /// Applies validated ops. Returns the live ids of inserted edges
     /// (meaningful only for insert-only patches: deletion shifts ids)
     /// and whether any op was a delete.
-    fn apply_ops(&mut self, ops: &[DeltaOp]) -> (Vec<usize>, bool) {
+    ///
+    /// Callers run [`GraphState::validate_ops`] first, so the fallible
+    /// steps here cannot fail in practice; they still propagate as
+    /// `GraphError` rather than panicking — a request-path invariant
+    /// slip must degrade to a failed patch, not a dead worker.
+    fn apply_ops(&mut self, ops: &[DeltaOp]) -> Result<(Vec<usize>, bool), GraphError> {
         let mut new_ids = Vec::new();
         let mut had_delete = false;
         for op in ops {
             match *op {
                 DeltaOp::Insert { u, v, weight, role } => {
-                    let pair = self.normalize_pair(u, v).expect("validated insert");
+                    let pair = self.normalize_pair(u, v)?;
                     let id = self.edges.len();
                     self.edges.push(EdgeRecord {
                         u: pair.0,
@@ -475,8 +482,10 @@ impl GraphState {
                 }
                 DeltaOp::Delete { u, v } => {
                     had_delete = true;
-                    let pair = self.normalize_pair(u, v).expect("validated delete");
-                    let id = *self.index.get(&pair).expect("validated delete target");
+                    let pair = self.normalize_pair(u, v)?;
+                    let id = *self.index.get(&pair).ok_or_else(|| {
+                        GraphError::Invalid(format!("delete ({u}, {v}): no such edge"))
+                    })?;
                     self.edges.remove(id);
                     self.index.clear();
                     for (i, r) in self.edges.iter().enumerate() {
@@ -486,7 +495,7 @@ impl GraphState {
             }
         }
         self.version += ops.len() as u64;
-        (new_ids, had_delete)
+        Ok((new_ids, had_delete))
     }
 
     /// Rebuilds the engine instance from the live edge list. Live edge
@@ -671,7 +680,7 @@ impl GraphRegistry {
         fault: Arc<FaultInjector>,
     ) -> std::io::Result<(GraphRegistry, ReplayReport)> {
         let mut registry = GraphRegistry {
-            graphs: Mutex::new(HashMap::new()),
+            graphs: OrderedMutex::new("graphs_map", 10, HashMap::new()),
             log: None,
             log_ok: AtomicBool::new(true),
             fault,
@@ -687,7 +696,7 @@ impl GraphRegistry {
                     report.skipped += 1;
                 }
             }
-            registry.log = Some(Mutex::new(log));
+            registry.log = Some(OrderedMutex::new("graph_log", 30, log));
         }
         report.graphs = registry.live();
         Ok((registry, report))
@@ -705,7 +714,7 @@ impl GraphRegistry {
         };
         match request {
             wire::Request::GraphCreate(spec) => {
-                let map = self.graphs.get_mut().expect("graphs lock");
+                let map = self.graphs.get_mut();
                 if !valid_graph_id(&spec.id) || map.contains_key(&spec.id) {
                     return false;
                 }
@@ -713,38 +722,32 @@ impl GraphRegistry {
                 map.insert(
                     spec.id.clone(),
                     Arc::new(GraphEntry {
-                        state: Mutex::new(state),
+                        state: OrderedMutex::new("graph_state", 20, state),
                     }),
                 );
                 true
             }
             wire::Request::GraphPatch { id, ops } => {
-                let map = self.graphs.get_mut().expect("graphs lock");
+                let map = self.graphs.get_mut();
                 let Some(entry) = map.get(&id) else {
                     return false;
                 };
-                let mut st = entry.state.lock().expect("graph state lock");
-                if st.validate_ops(&ops).is_err() {
+                let mut st = entry.state.lock();
+                if st.validate_ops(&ops).is_err() || st.apply_ops(&ops).is_err() {
                     return false;
                 }
-                st.apply_ops(&ops);
                 st.cover = None;
                 st.debt = 0;
                 true
             }
-            wire::Request::GraphDelete { id } => self
-                .graphs
-                .get_mut()
-                .expect("graphs lock")
-                .remove(&id)
-                .is_some(),
+            wire::Request::GraphDelete { id } => self.graphs.get_mut().remove(&id).is_some(),
             _ => false,
         }
     }
 
     /// Number of live graphs.
     pub fn live(&self) -> usize {
-        self.graphs.lock().expect("graphs lock").len()
+        self.graphs.lock().len()
     }
 
     /// Whether the delta log is still persisting (false after an
@@ -756,7 +759,6 @@ impl GraphRegistry {
     fn entry(&self, id: &str) -> Result<Arc<GraphEntry>, GraphError> {
         self.graphs
             .lock()
-            .expect("graphs lock")
             .get(id)
             .cloned()
             .ok_or_else(|| GraphError::NotFound(id.to_string()))
@@ -774,7 +776,7 @@ impl GraphRegistry {
         }
         let result = match self.fault.io_error("graphs.append.err") {
             Some(e) => Err(e),
-            None => log.lock().expect("graph log lock").append(cmd.as_bytes()),
+            None => log.lock().append(cmd.as_bytes()),
         };
         match result {
             Ok(()) => true,
@@ -828,14 +830,8 @@ impl GraphRegistry {
                 )))
             }
         };
-        if let Some(entry) = self
-            .graphs
-            .lock()
-            .expect("graphs lock")
-            .get(&spec.id)
-            .cloned()
-        {
-            return idempotent(&entry.state.lock().expect("graph state lock"));
+        if let Some(entry) = self.graphs.lock().get(&spec.id).cloned() {
+            return idempotent(&entry.state.lock());
         }
         // Solve before registering: a graph only exists once its
         // baseline spanner does, so a failed solve leaves no trace.
@@ -844,17 +840,17 @@ impl GraphRegistry {
         state.install_cover(&resp);
         let spanner_size = resp.spanner.len();
         let edges = state.edges.len();
-        let mut map = self.graphs.lock().expect("graphs lock");
+        let mut map = self.graphs.lock();
         if let Some(entry) = map.get(&spec.id).cloned() {
             // Lost a concurrent create race; fall back to the
             // idempotency check against the winner.
-            return idempotent(&entry.state.lock().expect("graph state lock"));
+            return idempotent(&entry.state.lock());
         }
         let persisted = self.append(&cmd);
         map.insert(
             spec.id.clone(),
             Arc::new(GraphEntry {
-                state: Mutex::new(state),
+                state: OrderedMutex::new("graph_state", 20, state),
             }),
         );
         Ok((
@@ -878,7 +874,7 @@ impl GraphRegistry {
         solve: impl Fn(JobSpec) -> Result<JobResponse, JobError>,
     ) -> Result<(GraphPatched, bool), GraphError> {
         let entry = self.entry(id)?;
-        let mut st = entry.state.lock().expect("graph state lock");
+        let mut st = entry.state.lock();
         st.validate_ops(ops)?;
         // Classification basis is decided *before* applying: a cover
         // already past the debt threshold (or absent after a restart)
@@ -886,7 +882,7 @@ impl GraphRegistry {
         let trusted_cover = st.cover.is_some() && st.debt <= REPAIR_DEBT_THRESHOLD;
         let cmd = wire::encode_graph_patch(id, ops);
         let persisted = self.append(&cmd);
-        let (new_ids, had_delete) = st.apply_ops(ops);
+        let (new_ids, had_delete) = st.apply_ops(ops)?;
         let mut classes = DeltaClasses::default();
         if had_delete {
             // Coverage is not monotone under deletion: the cover is
@@ -922,7 +918,7 @@ impl GraphRegistry {
             // grown edge universe (ids are stable under insertion),
             // classify, repair the uncovered stragglers locally.
             let m = st.edges.len();
-            let old = st.cover.take().expect("trusted cover present");
+            let old = st.cover.take().expect("trusted cover present"); // dsa-lint: allow(DSA-P001, reason="branch is only entered when a trusted cover is present")
             let mut cover = EdgeSet::from_iter(m, old.iter());
             let instance = st.instance();
             let (commuted, repaired, added) = classify_inserts(&instance, &mut cover, &new_ids);
@@ -947,7 +943,7 @@ impl GraphRegistry {
     /// Metadata/stats for one graph.
     pub fn meta(&self, id: &str) -> Result<GraphMeta, GraphError> {
         let entry = self.entry(id)?;
-        let st = entry.state.lock().expect("graph state lock");
+        let st = entry.state.lock();
         Ok(st.meta(id))
     }
 
@@ -960,13 +956,13 @@ impl GraphRegistry {
         solve: impl Fn(JobSpec) -> Result<JobResponse, JobError>,
     ) -> Result<GraphSpannerResult, GraphError> {
         let entry = self.entry(id)?;
-        let mut st = entry.state.lock().expect("graph state lock");
+        let mut st = entry.state.lock();
         let resp = solve(st.job_spec()).map_err(GraphError::Job)?;
         st.install_cover(&resp);
         let edges = resp
             .spanner
             .iter()
-            .map(|&e| (st.edges[e].u, st.edges[e].v))
+            .map(|&e| (st.edges[e].u, st.edges[e].v)) // dsa-lint: allow(DSA-P003, reason="spanner indices come from the solver over this instance, in range by construction")
             .collect();
         Ok(GraphSpannerResult {
             id: id.to_string(),
@@ -983,7 +979,7 @@ impl GraphRegistry {
 
     /// Retires a graph. Returns whether the log degraded on this call.
     pub fn delete(&self, id: &str) -> Result<bool, GraphError> {
-        let mut map = self.graphs.lock().expect("graphs lock");
+        let mut map = self.graphs.lock();
         if map.remove(id).is_none() {
             return Err(GraphError::NotFound(id.to_string()));
         }
@@ -1144,7 +1140,12 @@ impl GraphLog {
             }
             self.file = Some(file);
         }
-        Ok(self.file.as_mut().expect("file just ensured"))
+        match self.file.as_mut() {
+            Some(file) => Ok(file),
+            // Unreachable (`file` was just ensured above); an IO error
+            // keeps the degrade-to-memory-only path panic-free.
+            None => Err(std::io::Error::other("graph log file missing after ensure")),
+        }
     }
 
     /// Appends one record. On failure the log is truncated back to its
@@ -1165,7 +1166,7 @@ impl GraphLog {
             let file = self.file()?;
             file.seek(SeekFrom::Start(end))?;
             let mut framed = Vec::with_capacity(12 + payload.len());
-            framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            framed.extend_from_slice(&(payload.len() as u32).to_be_bytes()); // dsa-lint: allow(DSA-C001, reason="payload.len() checked against MAX_GRAPH_RECORD above, far below u32::MAX")
             framed.extend_from_slice(payload);
             framed.extend_from_slice(&graph_checksum(payload).to_be_bytes());
             file.write_all(&framed)?;

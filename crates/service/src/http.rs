@@ -127,7 +127,7 @@ use crate::job::{JobError, JobResponse, JobSpec};
 use crate::net::{ListenerHandle, ShutdownReader, IDLE_POLL};
 use crate::retry::RetryPolicy;
 use crate::service::{Service, ServiceConfig};
-use crate::wire::MIN_VERTEX_ALLOWANCE;
+use crate::wire::{narrow_usize, MIN_VERTEX_ALLOWANCE};
 
 /// Upper bound on a request body (matches [`crate::wire::MAX_FRAME`]):
 /// a million-edge graph as JSON fits, while a hostile `Content-Length`
@@ -941,6 +941,7 @@ pub fn decode_job_spec(body: &[u8]) -> Result<JobSpec, JobError> {
             "declared vertex count {n} exceeds the request-size bound {limit}"
         )));
     }
+    let n = narrow_usize(n, "vertex count")?;
     let edges = graph
         .get("edges")
         .and_then(Json::as_arr)
@@ -968,8 +969,8 @@ pub fn decode_job_spec(body: &[u8]) -> Result<JobSpec, JobError> {
         for id in ids {
             let id = id
                 .as_u64()
-                .ok_or_else(|| proto(format!("`{key}` ids must be non-negative integers")))?
-                as usize;
+                .and_then(|x| usize::try_from(x).ok())
+                .ok_or_else(|| proto(format!("`{key}` ids must be non-negative integers")))?;
             if id >= universe {
                 return Err(proto(format!(
                     "{key} id {id} out of range for {universe} edges"
@@ -990,23 +991,23 @@ pub fn decode_job_spec(body: &[u8]) -> Result<JobSpec, JobError> {
 
     let instance = match variant {
         VariantKind::Undirected => {
-            let (graph, w) = gio::edge_rows_to_graph(n as usize, &rows).map_err(bad_graph)?;
+            let (graph, w) = gio::edge_rows_to_graph(n, &rows).map_err(bad_graph)?;
             if w.is_some() {
                 return Err(proto("undirected variant takes [u, v] edges"));
             }
             VariantInstance::Undirected { graph }
         }
         VariantKind::Weighted => {
-            let (graph, w) = gio::edge_rows_to_graph(n as usize, &rows).map_err(bad_graph)?;
+            let (graph, w) = gio::edge_rows_to_graph(n, &rows).map_err(bad_graph)?;
             let weights = w.ok_or_else(|| proto("weighted variant needs [u, v, w] edges"))?;
             VariantInstance::Weighted { graph, weights }
         }
         VariantKind::Directed => {
-            let graph = gio::edge_rows_to_digraph(n as usize, &rows).map_err(bad_graph)?;
+            let graph = gio::edge_rows_to_digraph(n, &rows).map_err(bad_graph)?;
             VariantInstance::Directed { graph }
         }
         VariantKind::ClientServer => {
-            let (graph, w) = gio::edge_rows_to_graph(n as usize, &rows).map_err(bad_graph)?;
+            let (graph, w) = gio::edge_rows_to_graph(n, &rows).map_err(bad_graph)?;
             if w.is_some() {
                 return Err(proto("client-server variant takes [u, v] edges"));
             }
@@ -1111,13 +1112,15 @@ pub fn decode_job_response(body: &[u8]) -> Result<JobResponse, JobError> {
         .and_then(Json::as_arr)
         .ok_or_else(|| missing("spanner"))?
         .iter()
-        .map(|x| x.as_u64().map(|x| x as usize))
+        .map(|x| x.as_u64().and_then(|x| usize::try_from(x).ok()))
         .collect::<Option<Vec<usize>>>()
         .ok_or_else(|| proto("spanner ids must be non-negative integers"))?;
-    let size = v
-        .get("spanner_size")
-        .and_then(Json::as_u64)
-        .ok_or_else(|| missing("spanner_size"))? as usize;
+    let size = narrow_usize(
+        v.get("spanner_size")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| missing("spanner_size"))?,
+        "spanner_size",
+    )?;
     if spanner.len() != size {
         return Err(proto(format!(
             "spanner_size {size} does not match {} listed ids",
@@ -1230,11 +1233,13 @@ pub fn decode_graph_patch_body(body: &[u8]) -> Result<Vec<DeltaOp>, JobError> {
         }
     }
     let endpoint = |x: &Json, what: &str, i: usize| -> Result<usize, JobError> {
-        x.as_u64().map(|x| x as usize).ok_or_else(|| {
-            proto(format!(
-                "{what} {i}: endpoints must be non-negative integers"
-            ))
-        })
+        x.as_u64()
+            .and_then(|x| usize::try_from(x).ok())
+            .ok_or_else(|| {
+                proto(format!(
+                    "{what} {i}: endpoints must be non-negative integers"
+                ))
+            })
     };
     let mut ops = Vec::new();
     if let Some(rows) = v.get("insert") {
@@ -1250,8 +1255,8 @@ pub fn decode_graph_patch_body(body: &[u8]) -> Result<Vec<DeltaOp>, JobError> {
                     "insert {i}: expected [u, v], [u, v, w], or [u, v, \"role\"]"
                 )));
             }
-            let u = endpoint(&fields[0], "insert", i)?;
-            let v = endpoint(&fields[1], "insert", i)?;
+            let u = endpoint(&fields[0], "insert", i)?; // dsa-lint: allow(DSA-P003, reason="arity checked just above, fields has at least 2 elements")
+            let v = endpoint(&fields[1], "insert", i)?; // dsa-lint: allow(DSA-P003, reason="arity checked just above, fields has at least 2 elements")
             let (weight, role) = match fields.get(2) {
                 None => (None, None),
                 Some(Json::U64(w)) => (Some(*w), None),
@@ -1284,8 +1289,8 @@ pub fn decode_graph_patch_body(body: &[u8]) -> Result<Vec<DeltaOp>, JobError> {
                 return Err(proto(format!("delete {i}: expected [u, v]")));
             }
             ops.push(DeltaOp::Delete {
-                u: endpoint(&fields[0], "delete", i)?,
-                v: endpoint(&fields[1], "delete", i)?,
+                u: endpoint(&fields[0], "delete", i)?, // dsa-lint: allow(DSA-P003, reason="arity checked just above, fields.len() == 2")
+                v: endpoint(&fields[1], "delete", i)?, // dsa-lint: allow(DSA-P003, reason="arity checked just above, fields.len() == 2")
             });
         }
     }
@@ -1310,8 +1315,8 @@ pub fn decode_graph_created_body(body: &[u8]) -> Result<GraphCreated, JobError> 
     Ok(GraphCreated {
         id: field_str(&v, "id")?,
         version: field("version")?,
-        edges: field("edges")? as usize,
-        spanner_size: field("spanner_size")? as usize,
+        edges: narrow_usize(field("edges")?, "edges")?,
+        spanner_size: narrow_usize(field("spanner_size")?, "spanner_size")?,
         existed: v
             .get("existed")
             .and_then(Json::as_bool)
@@ -1339,13 +1344,13 @@ pub fn decode_graph_patched_body(body: &[u8]) -> Result<GraphPatched, JobError> 
     Ok(GraphPatched {
         id: field_str(&v, "id")?,
         version: field("version")?,
-        applied: field("applied")? as usize,
+        applied: narrow_usize(field("applied")?, "applied")?,
         classes: crate::graphs::DeltaClasses {
             commuted: field("commuted")?,
             repaired: field("repaired")?,
             recomputed: field("recomputed")?,
         },
-        edges: field("edges")? as usize,
+        edges: narrow_usize(field("edges")?, "edges")?,
     })
 }
 
@@ -1386,19 +1391,19 @@ pub fn decode_graph_meta_body(body: &[u8]) -> Result<GraphMeta, JobError> {
         Some(Json::Null) => None,
         Some(x) => Some(
             x.as_u64()
-                .ok_or_else(|| proto("`cover_size` must be an integer or null"))?
-                as usize,
+                .and_then(|x| usize::try_from(x).ok())
+                .ok_or_else(|| proto("`cover_size` must be an integer or null"))?,
         ),
     };
     Ok(GraphMeta {
         id: field_str(&v, "id")?,
         kind,
         version: field("version")?,
-        vertices: field("vertices")? as usize,
-        edges: field("edges")? as usize,
+        vertices: narrow_usize(field("vertices")?, "vertices")?,
+        edges: narrow_usize(field("edges")?, "edges")?,
         seed: field("seed")?,
         cover_size,
-        debt: field("debt")? as usize,
+        debt: narrow_usize(field("debt")?, "debt")?,
         classes: crate::graphs::DeltaClasses {
             commuted: field("commuted")?,
             repaired: field("repaired")?,
@@ -1453,12 +1458,16 @@ pub fn decode_graph_spanner_body(body: &[u8]) -> Result<GraphSpannerResult, JobE
             .as_arr()
             .filter(|f| f.len() == 2)
             .ok_or_else(|| proto(format!("spanner edge {i} must be [u, v]")))?;
-        match (fields[0].as_u64(), fields[1].as_u64()) {
-            (Some(u), Some(v)) => edges.push((u as usize, v as usize)),
-            _ => return Err(proto(format!("spanner edge {i}: bad endpoints"))),
+        let endpoints = fields[0] // dsa-lint: allow(DSA-P003, reason="rows filtered to len() == 2 above")
+            .as_u64()
+            .and_then(|x| usize::try_from(x).ok())
+            .zip(fields[1].as_u64().and_then(|x| usize::try_from(x).ok())); // dsa-lint: allow(DSA-P003, reason="rows filtered to len() == 2 above")
+        match endpoints {
+            Some((u, v)) => edges.push((u, v)),
+            None => return Err(proto(format!("spanner edge {i}: bad endpoints"))),
         }
     }
-    let size = field("spanner_size")? as usize;
+    let size = narrow_usize(field("spanner_size")?, "spanner_size")?;
     if edges.len() != size {
         return Err(proto(format!(
             "spanner_size {size} does not match {} listed edges",

@@ -25,8 +25,8 @@
 //! misses`. Latency percentile math reuses
 //! [`dsa_runtime::LatencyRecorder`] rather than duplicating it.
 
+use dsa_runtime::sync::OrderedMutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use dsa_runtime::LatencyRecorder;
@@ -52,7 +52,7 @@ struct Classified {
 #[derive(Debug)]
 pub(crate) struct ServiceMetrics {
     started: Instant,
-    classified: Mutex<Classified>,
+    classified: OrderedMutex<Classified>,
     completed: AtomicU64,
     skipped: AtomicU64,
     aborted: AtomicU64,
@@ -90,8 +90,8 @@ pub(crate) struct ServiceMetrics {
     graph_deltas_commuted: AtomicU64,
     graph_deltas_repaired: AtomicU64,
     graph_deltas_recomputed: AtomicU64,
-    latency: Mutex<LatencyRecorder>,
-    hist: Mutex<Histogram>,
+    latency: OrderedMutex<LatencyRecorder>,
+    hist: OrderedMutex<Histogram>,
 }
 
 /// Upper bounds (µs) of the fixed engine-run latency buckets; the
@@ -132,7 +132,7 @@ impl ServiceMetrics {
     pub fn new() -> Self {
         ServiceMetrics {
             started: Instant::now(),
-            classified: Mutex::new(Classified::default()),
+            classified: OrderedMutex::new("metrics_classified", 90, Classified::default()),
             completed: AtomicU64::new(0),
             skipped: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
@@ -152,8 +152,12 @@ impl ServiceMetrics {
             graph_deltas_commuted: AtomicU64::new(0),
             graph_deltas_repaired: AtomicU64::new(0),
             graph_deltas_recomputed: AtomicU64::new(0),
-            latency: Mutex::new(LatencyRecorder::bounded(LATENCY_WINDOW)),
-            hist: Mutex::new(Histogram::default()),
+            latency: OrderedMutex::new(
+                "metrics_latency",
+                92,
+                LatencyRecorder::bounded(LATENCY_WINDOW),
+            ),
+            hist: OrderedMutex::new("metrics_hist", 94, Histogram::default()),
         }
     }
 
@@ -162,13 +166,13 @@ impl ServiceMetrics {
     /// coalesced` identity holds at every instant a snapshot can
     /// observe.
     pub fn on_cache_hit(&self) {
-        let mut c = self.classified.lock().expect("classified lock");
+        let mut c = self.classified.lock();
         c.submitted += 1;
         c.cache_hits += 1;
     }
 
     pub fn on_cache_miss(&self) {
-        let mut c = self.classified.lock().expect("classified lock");
+        let mut c = self.classified.lock();
         c.submitted += 1;
         c.cache_misses += 1;
     }
@@ -179,14 +183,14 @@ impl ServiceMetrics {
     /// invariant extends coherently (`disk_hits` is a subset counter,
     /// not a fourth class).
     pub fn on_disk_hit(&self) {
-        let mut c = self.classified.lock().expect("classified lock");
+        let mut c = self.classified.lock();
         c.submitted += 1;
         c.cache_hits += 1;
         c.disk_hits += 1;
     }
 
     pub fn on_coalesced(&self) {
-        let mut c = self.classified.lock().expect("classified lock");
+        let mut c = self.classified.lock();
         c.submitted += 1;
         c.coalesced += 1;
     }
@@ -196,7 +200,7 @@ impl ServiceMetrics {
     /// class `shed`, so the classification identity extends to
     /// `submitted == hits + misses + coalesced + shed`.
     pub fn on_shed(&self) {
-        let mut c = self.classified.lock().expect("classified lock");
+        let mut c = self.classified.lock();
         c.submitted += 1;
         c.shed += 1;
     }
@@ -217,11 +221,7 @@ impl ServiceMetrics {
     /// (0 with no samples yet) — the basis of `Retry-After` hints on
     /// shed jobs.
     pub fn p95_us(&self) -> u64 {
-        self.latency
-            .lock()
-            .expect("latency lock")
-            .p95()
-            .unwrap_or(0)
+        self.latency.lock().p95().unwrap_or(0)
     }
 
     /// Updates the persistent-store size gauge (records currently
@@ -309,8 +309,8 @@ impl ServiceMetrics {
         self.engine_local_rounds
             .fetch_add(local_rounds, Ordering::Relaxed);
         let us = latency.as_micros() as u64;
-        self.latency.lock().expect("latency lock").record_micros(us);
-        self.hist.lock().expect("hist lock").record_micros(us);
+        self.latency.lock().record_micros(us);
+        self.hist.lock().record_micros(us);
     }
 
     /// A point-in-time view. The classification counters are copied
@@ -319,9 +319,9 @@ impl ServiceMetrics {
     /// ones taken while submissions race; the remaining counters are
     /// advisory (read individually).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let latency = self.latency.lock().expect("latency lock").clone();
-        let hist = *self.hist.lock().expect("hist lock");
-        let c = *self.classified.lock().expect("classified lock");
+        let latency = self.latency.lock().clone();
+        let hist = *self.hist.lock();
+        let c = *self.classified.lock();
         let completed = self.completed.load(Ordering::Relaxed);
         let uptime = self.started.elapsed();
         let classified = c.cache_hits + c.cache_misses;

@@ -19,8 +19,10 @@
 //! joins every worker, so no admitted job is ever silently lost.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
+
+use dsa_runtime::sync::OrderedMutex;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -32,7 +34,7 @@ struct QueueState {
 }
 
 struct PoolInner {
-    state: Mutex<QueueState>,
+    state: OrderedMutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
@@ -56,11 +58,15 @@ impl Pool {
         assert!(workers >= 1, "pool needs at least one worker");
         assert!(capacity >= 1, "queue capacity must be positive");
         let inner = Arc::new(PoolInner {
-            state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
-                queued_cost: 0,
-                shutdown: false,
-            }),
+            state: OrderedMutex::new(
+                "pool_queue",
+                80,
+                QueueState {
+                    queue: VecDeque::new(),
+                    queued_cost: 0,
+                    shutdown: false,
+                },
+            ),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
@@ -72,7 +78,7 @@ impl Pool {
                 std::thread::Builder::new()
                     .name(format!("dsa-service-worker-{i}"))
                     .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker thread")
+                    .expect("spawn worker thread") // dsa-lint: allow(DSA-P001, reason="startup-only, worker threads spawn at pool construction before any traffic")
             })
             .collect();
         Pool { inner, workers }
@@ -87,9 +93,9 @@ impl Pool {
     /// survives for tests that want backpressure semantics.
     #[cfg(test)]
     pub fn submit(&self, job: Job) {
-        let mut state = self.inner.state.lock().expect("pool lock");
+        let mut state = self.inner.state.lock();
         while state.queue.len() >= self.inner.capacity && !state.shutdown {
-            state = self.inner.not_full.wait(state).expect("pool lock");
+            state = state.wait_on(&self.inner.not_full);
         }
         if state.shutdown {
             return;
@@ -107,7 +113,7 @@ impl Pool {
     /// shutdown the job is dropped and reported as admitted, matching
     /// [`Pool::submit`]).
     pub fn try_submit(&self, job: Job, cost: usize) -> bool {
-        let mut state = self.inner.state.lock().expect("pool lock");
+        let mut state = self.inner.state.lock();
         if state.shutdown {
             return true;
         }
@@ -126,20 +132,20 @@ impl Pool {
 
     /// Number of jobs waiting in the queue (diagnostic only).
     pub fn queued(&self) -> usize {
-        self.inner.state.lock().expect("pool lock").queue.len()
+        self.inner.state.lock().queue.len()
     }
 
     /// Summed cost estimates of the queued jobs (diagnostic only).
     #[cfg(test)]
     pub fn queued_bytes(&self) -> usize {
-        self.inner.state.lock().expect("pool lock").queued_cost
+        self.inner.state.lock().queued_cost
     }
 }
 
 fn worker_loop(inner: &PoolInner) {
     loop {
         let job = {
-            let mut state = inner.state.lock().expect("pool lock");
+            let mut state = inner.state.lock();
             loop {
                 if let Some((job, cost)) = state.queue.pop_front() {
                     state.queued_cost -= cost;
@@ -148,7 +154,7 @@ fn worker_loop(inner: &PoolInner) {
                 if state.shutdown {
                     return;
                 }
-                state = inner.not_empty.wait(state).expect("pool lock");
+                state = state.wait_on(&inner.not_empty);
             }
         };
         inner.not_full.notify_one();
@@ -159,7 +165,7 @@ fn worker_loop(inner: &PoolInner) {
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut state = self.inner.state.lock().expect("pool lock");
+            let mut state = self.inner.state.lock();
             state.shutdown = true;
         }
         self.inner.not_empty.notify_all();
@@ -174,7 +180,7 @@ impl Drop for Pool {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Mutex};
 
     #[test]
     fn runs_every_submitted_job() {

@@ -62,12 +62,13 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
 
 use dsa_core::dist::{run_variant_timed, EngineConfig, SpannerRun, VariantInstance, VariantKind};
 use dsa_graphs::EdgeId;
 use dsa_runtime::obs;
+use dsa_runtime::sync::OrderedMutex;
 use dsa_runtime::{FaultInjector, FlightRecorder};
 
 use crate::cache::LruCache;
@@ -177,7 +178,7 @@ fn job_cost(instance: &VariantInstance) -> usize {
 struct Inflight {
     instance: VariantInstance,
     config_sig: ConfigSig,
-    state: Mutex<InflightState>,
+    state: OrderedMutex<InflightState>,
     done: Condvar,
     /// Handles still interested in the result; when it reaches zero
     /// before a worker starts the run, the run is skipped.
@@ -206,16 +207,16 @@ struct CachedResult {
 }
 
 struct Shared {
-    cache: Mutex<LruCache<CachedResult>>,
+    cache: OrderedMutex<LruCache<CachedResult>>,
     /// The persistent tier behind the LRU; locked after `cache` and
     /// never while `inflight` is held.
-    store: Option<Mutex<Store>>,
+    store: Option<OrderedMutex<Store>>,
     /// Cleared when a store append fails (real ENOSPC or injected
     /// fault): the service demotes itself to memory-only caching —
     /// the store is neither read nor written again — instead of
     /// failing requests or serving unverified bytes.
     store_ok: AtomicBool,
-    inflight: Mutex<HashMap<u64, Arc<Inflight>>>,
+    inflight: OrderedMutex<HashMap<u64, Arc<Inflight>>>,
     metrics: ServiceMetrics,
     /// Lifecycle span/event ring: every submission gets a trace id and
     /// leaves a submitted → classified → executed → delivered trail
@@ -254,7 +255,7 @@ impl Service {
     /// *corrupt* store never fails — bad records are dropped and
     /// counted, only real IO errors do).
     pub fn new(cfg: &ServiceConfig) -> Self {
-        Service::open(cfg).expect("open persistent store")
+        Service::open(cfg).expect("open persistent store") // dsa-lint: allow(DSA-P001, reason="documented startup-only panic, Service::open is the non-panicking path")
     }
 
     /// Starts a service, propagating persistent-store IO errors (an
@@ -300,7 +301,7 @@ impl Service {
                 }
                 metrics.set_store_records(store.records());
                 metrics.set_store_recovery(t_recovery.elapsed());
-                Some(Mutex::new(store))
+                Some(OrderedMutex::new("store", 50, store))
             }
         };
         // The graph registry opens *after* the store: the store's
@@ -318,10 +319,10 @@ impl Service {
         metrics.set_graphs_live(replay.graphs as u64);
         Ok(Service {
             shared: Arc::new(Shared {
-                cache: Mutex::new(cache),
+                cache: OrderedMutex::new("cache", 40, cache),
                 store,
                 store_ok: AtomicBool::new(true),
-                inflight: Mutex::new(HashMap::new()),
+                inflight: OrderedMutex::new("inflight", 60, HashMap::new()),
                 metrics,
                 flight: FlightRecorder::new(obs::DEFAULT_FLIGHT_CAPACITY),
             }),
@@ -474,7 +475,7 @@ impl Service {
         // canonical instance + config, so a 64-bit key collision costs
         // a duplicate computation instead of cross-serving results.
         let sig = config_sig(&job.config);
-        let mut cache = self.shared.cache.lock().expect("cache lock");
+        let mut cache = self.shared.cache.lock();
         if let Some(v) = cache.get(job.key) {
             if v.instance == job.instance && v.config_sig == sig {
                 self.shared.metrics.on_cache_hit();
@@ -498,7 +499,7 @@ impl Service {
             .as_ref()
             .filter(|_| self.shared.store_ok.load(Ordering::SeqCst))
         {
-            let mut store = store.lock().expect("store lock");
+            let mut store = store.lock();
             let hit = if store.contains(job.key) {
                 let t_read = Instant::now();
                 let verification = verification_bytes(&job.instance, &job.config);
@@ -524,7 +525,7 @@ impl Service {
                 return Ok(handle_base(HandleSource::Ready(run)));
             }
         }
-        let mut inflight = self.shared.inflight.lock().expect("inflight lock");
+        let mut inflight = self.shared.inflight.lock();
         // A colliding in-flight entry cannot be joined *or* displaced;
         // the new run proceeds untracked (no dedup for the collider).
         // An *abort-pending* identical entry (last waiter cancelled,
@@ -547,7 +548,7 @@ impl Service {
         let entry = Arc::new(Inflight {
             instance: job.instance,
             config_sig: sig,
-            state: Mutex::new(InflightState::default()),
+            state: OrderedMutex::new("inflight_state", 70, InflightState::default()),
             done: Condvar::new(),
             waiters: AtomicUsize::new(1),
             abort: Arc::new(AtomicBool::new(false)),
@@ -588,11 +589,11 @@ impl Service {
                 // submission can never join an entry this closure is about
                 // to retire as skipped.
                 {
-                    let mut inflight = shared.inflight.lock().expect("inflight lock");
+                    let mut inflight = shared.inflight.lock();
                     if entry.waiters.load(Ordering::SeqCst) == 0 {
                         retire(&mut inflight);
                         drop(inflight);
-                        let mut state = entry.state.lock().expect("inflight state");
+                        let mut state = entry.state.lock();
                         state.skipped = true;
                         drop(state);
                         entry.done.notify_all();
@@ -618,10 +619,10 @@ impl Service {
                     // Mid-flight abort: every waiter is gone (the flag is
                     // only raised by the last cancel), and the partial
                     // spanner must never reach the cache.
-                    let mut inflight = shared.inflight.lock().expect("inflight lock");
+                    let mut inflight = shared.inflight.lock();
                     retire(&mut inflight);
                     drop(inflight);
-                    let mut state = entry.state.lock().expect("inflight state");
+                    let mut state = entry.state.lock();
                     state.skipped = true;
                     drop(state);
                     entry.done.notify_all();
@@ -650,7 +651,7 @@ impl Service {
                 );
                 // Same lock order as classification: publish to the cache
                 // *before* retiring the in-flight entry.
-                let mut cache = shared.cache.lock().expect("cache lock");
+                let mut cache = shared.cache.lock();
                 cache.insert(
                     key,
                     CachedResult {
@@ -659,7 +660,7 @@ impl Service {
                         run: Arc::clone(&run),
                     },
                 );
-                retire(&mut shared.inflight.lock().expect("inflight lock"));
+                retire(&mut shared.inflight.lock());
                 drop(cache);
                 // Persist the completed run (aborted runs returned above
                 // and never reach this point) — *outside* the cache lock:
@@ -676,7 +677,7 @@ impl Service {
                 {
                     let t_write = Instant::now();
                     let verification = verification_bytes(&entry.instance, &config);
-                    let mut store = store.lock().expect("store lock");
+                    let mut store = store.lock();
                     match store.append(key, &verification, &run) {
                         Ok(()) => {
                             shared.metrics.set_store_records(store.records());
@@ -700,7 +701,7 @@ impl Service {
                         }
                     }
                 }
-                let mut state = entry.state.lock().expect("inflight state");
+                let mut state = entry.state.lock();
                 state.result = Some(run);
                 drop(state);
                 entry.done.notify_all();
@@ -753,7 +754,7 @@ impl Service {
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snapshot = self.shared.metrics.snapshot();
         snapshot.queue_depth = self.pool.queued() as u64;
-        snapshot.in_flight = self.shared.inflight.lock().expect("inflight lock").len() as u64;
+        snapshot.in_flight = self.shared.inflight.lock().len() as u64;
         snapshot
     }
 
@@ -765,7 +766,7 @@ impl Service {
 
     /// Entries currently in the result cache.
     pub fn cache_len(&self) -> usize {
-        self.shared.cache.lock().expect("cache lock").len()
+        self.shared.cache.lock().len()
     }
 
     /// Jobs waiting in the pool queue (diagnostic only).
@@ -799,13 +800,7 @@ impl Service {
     pub fn drain(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
-            let idle = self.pool.queued() == 0
-                && self
-                    .shared
-                    .inflight
-                    .lock()
-                    .expect("inflight lock")
-                    .is_empty();
+            let idle = self.pool.queued() == 0 && self.shared.inflight.lock().is_empty();
             if idle {
                 return true;
             }
@@ -858,7 +853,7 @@ impl JobHandle {
             HandleSource::Ready(run) => Arc::clone(run),
             HandleSource::Waiting(entry) => {
                 let deadline = timeout.map(|t| Instant::now() + t);
-                let mut state = entry.state.lock().expect("inflight state");
+                let mut state = entry.state.lock();
                 loop {
                     if let Some(run) = &state.result {
                         break Arc::clone(run);
@@ -870,7 +865,7 @@ impl JobHandle {
                         return Err(JobError::Cancelled);
                     }
                     match deadline {
-                        None => state = entry.done.wait(state).expect("inflight state"),
+                        None => state = state.wait_on(&entry.done),
                         Some(d) => {
                             let now = Instant::now();
                             if now >= d {
@@ -881,10 +876,7 @@ impl JobHandle {
                                     .event(self.trace_id, "job.timed_out", vec![]);
                                 return Err(JobError::TimedOut);
                             }
-                            let (s, _) = entry
-                                .done
-                                .wait_timeout(state, d - now)
-                                .expect("inflight state");
+                            let (s, _) = state.wait_timeout_on(&entry.done, d - now);
                             state = s;
                         }
                     }
@@ -913,7 +905,7 @@ impl JobHandle {
             // lock — the lock coalescing joins hold — so a join can
             // never slip between "last waiter left" and "abort
             // raised" and latch onto a doomed run.
-            let _inflight = self.shared.inflight.lock().expect("inflight lock");
+            let _inflight = self.shared.inflight.lock();
             if entry.waiters.fetch_sub(1, Ordering::SeqCst) == 1 {
                 entry.abort.store(true, Ordering::SeqCst);
             }

@@ -348,7 +348,7 @@ impl Store {
                 key,
                 IndexEntry {
                     offset,
-                    payload_len: payload_len as u32,
+                    payload_len: payload_len as u32, // dsa-lint: allow(DSA-C001, reason="replay path, payload_len already bounded by the MAX_PAYLOAD read check")
                 },
             );
             store.end = pos;
@@ -423,16 +423,16 @@ impl Store {
         }
         let mut payload = Vec::with_capacity(verification.len() + 64);
         payload.extend_from_slice(&key.to_be_bytes());
-        payload.extend_from_slice(&(verification.len() as u32).to_be_bytes());
+        payload.extend_from_slice(&(verification.len() as u32).to_be_bytes()); // dsa-lint: allow(DSA-C001, reason="a wrapping length implies payload > MAX_PAYLOAD, skipped below before disk")
         payload.extend_from_slice(verification);
         let run_bytes = encode_run(run);
-        payload.extend_from_slice(&(run_bytes.len() as u32).to_be_bytes());
+        payload.extend_from_slice(&(run_bytes.len() as u32).to_be_bytes()); // dsa-lint: allow(DSA-C001, reason="a wrapping length implies payload > MAX_PAYLOAD, skipped below before disk")
         payload.extend_from_slice(&run_bytes);
         if payload.len() > MAX_PAYLOAD {
             return Ok(()); // cannot be replayed within the read bound; skip
         }
         let mut frame = Vec::with_capacity(payload.len() + 12);
-        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes()); // dsa-lint: allow(DSA-C001, reason="payload.len() <= MAX_PAYLOAD, far below u32::MAX, checked above")
         frame.extend_from_slice(&payload);
         frame.extend_from_slice(&checksum(&payload).to_be_bytes());
         if self.fault.fire("store.append.short") {
@@ -465,7 +465,7 @@ impl Store {
                     key,
                     IndexEntry {
                         offset: self.end,
-                        payload_len: payload.len() as u32,
+                        payload_len: payload.len() as u32, // dsa-lint: allow(DSA-C001, reason="payload.len() <= MAX_PAYLOAD, far below u32::MAX, checked above")
                     },
                 );
                 self.end += frame.len() as u64;
@@ -524,19 +524,16 @@ impl Store {
     }
 
     fn read_payload(&mut self, entry: IndexEntry) -> Option<Vec<u8>> {
-        let mut buf = vec![0u8; entry.payload_len as usize + 8];
+        let plen = usize::try_from(entry.payload_len).ok()?;
+        let mut buf = vec![0u8; plen + 8];
         self.file.seek(SeekFrom::Start(entry.offset + 4)).ok()?;
         self.file.read_exact(&mut buf).ok()?;
-        let payload = &buf[..entry.payload_len as usize];
-        let stored_sum = u64::from_be_bytes(
-            buf[entry.payload_len as usize..]
-                .try_into()
-                .expect("8 bytes"),
-        );
-        if checksum(payload) != stored_sum {
+        let stored_sum = u64::from_be_bytes(buf[plen..].try_into().ok()?);
+        if checksum(&buf[..plen]) != stored_sum {
             return None;
         }
-        Some(buf[..entry.payload_len as usize].to_vec())
+        buf.truncate(plen);
+        Some(buf)
     }
 }
 
@@ -568,9 +565,9 @@ struct Record {
 fn decode_payload(payload: &[u8]) -> Option<Record> {
     let mut r = Cursor { buf: payload };
     let _key = r.u64()?;
-    let spec_len = r.u32()? as usize;
+    let spec_len = r.u32()? as usize; // u32 -> usize: widening on every supported target
     let spec = r.bytes(spec_len)?.to_vec();
-    let run_len = r.u32()? as usize;
+    let run_len = r.u32()? as usize; // u32 -> usize: widening on every supported target
     if r.buf.len() != run_len {
         return None; // trailing junk (or shortfall) inside the frame
     }
@@ -607,7 +604,7 @@ fn decode_run(bytes: &[u8]) -> Option<SpannerRun> {
         _ => return None,
     };
     let star_fallbacks = r.u64()?;
-    let universe = r.u64()? as usize;
+    let universe = usize::try_from(r.u64()?).ok()?;
     // `EdgeSet::new` allocates a bit per universe id; bound it by the
     // record size (one stored id is 8 bytes, and a graph with m edges
     // encodes in far more than m/64 bytes of spec) so a hostile edit
@@ -615,29 +612,29 @@ fn decode_run(bytes: &[u8]) -> Option<SpannerRun> {
     if universe > bytes.len().saturating_mul(64) + 1024 {
         return None;
     }
-    let count = r.u64()? as usize;
+    let count = usize::try_from(r.u64()?).ok()?;
     if count > r.buf.len() / 8 {
         return None;
     }
     let mut spanner = EdgeSet::new(universe);
     for _ in 0..count {
-        let e = r.u64()? as usize;
+        let e = usize::try_from(r.u64()?).ok()?;
         if e >= universe {
             return None;
         }
         spanner.insert(e);
     }
-    let stats_len = r.u64()? as usize;
+    let stats_len = usize::try_from(r.u64()?).ok()?;
     if stats_len > r.buf.len() / 32 {
         return None;
     }
     let mut stats = Vec::with_capacity(stats_len);
     for _ in 0..stats_len {
         stats.push(IterationStats {
-            candidates: r.u64()? as usize,
-            accepted: r.u64()? as usize,
-            added_edges: r.u64()? as usize,
-            uncovered: r.u64()? as usize,
+            candidates: usize::try_from(r.u64()?).ok()?,
+            accepted: usize::try_from(r.u64()?).ok()?,
+            added_edges: usize::try_from(r.u64()?).ok()?,
+            uncovered: usize::try_from(r.u64()?).ok()?,
         });
     }
     if !r.buf.is_empty() {

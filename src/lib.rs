@@ -2,6 +2,8 @@
 //! reproduction. Re-exports the workspace crates so examples and
 //! integration tests can use a single dependency.
 
+#![forbid(unsafe_code)]
+
 pub use dsa_core as core;
 pub use dsa_flow as flow;
 pub use dsa_graphs as graphs;
